@@ -1,0 +1,60 @@
+// Extension: parametric yield and speed binning (the manufacturer's dual
+// of the paper's fixed-percentile sign-off). Shows yield-vs-clock curves
+// at 0.55 V / 90 nm and how the spare budget converts directly into
+// sellable parts at a fixed clock.
+#include "bench_util.h"
+#include "core/yield.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Extension -- parametric yield / speed binning (90nm)");
+  core::YieldAnalysis analysis(device::tech_90nm());
+  const double vdd = 0.55;
+
+  const double t50 = analysis.t_clk_for_yield(vdd, 0.50);
+  bench::row("median-yield clock at %.2f V: %.3f ns", vdd, t50 * 1e9);
+
+  bench::row("\nyield vs clock (no spares / 6 / 28 spares):");
+  bench::row("%-12s %10s %10s %10s", "T_clk [ns]", "alpha=0", "alpha=6",
+             "alpha=28");
+  for (double k = 0.985; k <= 1.0151; k += 0.005) {
+    const double t = t50 * k;
+    bench::row("%-12.3f %10.4f %10.4f %10.4f", t * 1e9,
+               analysis.yield(vdd, t, 0), analysis.yield(vdd, t, 6),
+               analysis.yield(vdd, t, 28));
+  }
+
+  bench::row("\n99%%-yield clocks: alpha=0 %.3f ns, alpha=6 %.3f ns,"
+             " alpha=28 %.3f ns",
+             analysis.t_clk_for_yield(vdd, 0.99) * 1e9,
+             analysis.t_clk_for_yield(vdd, 0.99, 6) * 1e9,
+             analysis.t_clk_for_yield(vdd, 0.99, 28) * 1e9);
+
+  // Three speed bins around the median clock.
+  const double edges[] = {t50 * 0.99, t50 * 1.005, t50 * 1.02};
+  const auto bins = analysis.bin_fractions(vdd, edges);
+  bench::row("\nspeed bins (fast / medium / slow / scrap):"
+             " %.3f / %.3f / %.3f / %.3f",
+             bins[0], bins[1], bins[2], bins[3]);
+  bench::row("with 28 spares the same bins:");
+  const auto bins28 = analysis.bin_fractions(vdd, edges, 28);
+  bench::row("  %.3f / %.3f / %.3f / %.3f  -- duplication upgrades parts"
+             " into faster bins", bins28[0], bins28[1], bins28[2], bins28[3]);
+}
+
+void BM_YieldCurve(benchmark::State& state) {
+  core::MitigationConfig config;
+  config.chip_samples = 3000;
+  for (auto _ : state) {
+    core::YieldAnalysis analysis(device::tech_90nm(), config);
+    benchmark::DoNotOptimize(analysis.curve(0.55, 13e-9, 16e-9, 20));
+  }
+}
+BENCHMARK(BM_YieldCurve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,61 @@
+// Figure 11 (Appendix C): delay variation (3sigma/mu) at 0.55 V as a
+// function of FO4 chain length N, for four technology nodes — showing the
+// diminishing returns of longer logic chains (the systematic component
+// survives averaging).
+#include "bench_util.h"
+#include "core/variation_study.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Fig. 11 -- 3sigma/mu [%] @0.55V vs chain length N");
+  std::vector<core::VariationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  bench::row("%-6s | %10s %10s %12s %12s", "N", "90nm GP", "45nm GP",
+             "32nm PTM HP", "22nm PTM HP");
+  for (int n : {1, 2, 5, 10, 20, 50, 100, 150, 200}) {
+    char line[160];
+    int len = std::snprintf(line, sizeof(line), "%-6d |", n);
+    for (std::size_t i = 0; i < studies.size(); ++i) {
+      const int width = (i < 2) ? 10 : 12;
+      len += std::snprintf(line + len,
+                           sizeof(line) - static_cast<std::size_t>(len),
+                           " %*.2f", width,
+                           studies[i].chain_variation_pct(0.55, n));
+    }
+    std::printf("%s\n", line);
+  }
+
+  // The derivative-magnitude claim: d(3s/mu)/dN shrinks with N.
+  bench::row("\ndiminishing returns (90nm): delta per added stage");
+  const auto& s90 = studies[0];
+  double prev_n = 1, prev_v = s90.chain_variation_pct(0.55, 1);
+  for (int n : {10, 50, 200}) {
+    const double v = s90.chain_variation_pct(0.55, n);
+    bench::row("  N %3.0f -> %3d: %+.4f %%/stage", prev_n, n,
+               (v - prev_v) / (n - prev_n));
+    prev_n = n;
+    prev_v = v;
+  }
+  bench::row("conclusion (paper): a very long chain does not solve the"
+             " variation problem");
+}
+
+void BM_ChainLengthSweep(benchmark::State& state) {
+  const core::VariationStudy study(device::tech_90nm());
+  for (auto _ : state) {
+    for (int n : {1, 10, 50, 200}) {
+      benchmark::DoNotOptimize(study.chain_variation_pct(0.55, n));
+    }
+  }
+}
+BENCHMARK(BM_ChainLengthSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

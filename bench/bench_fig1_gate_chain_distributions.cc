@@ -1,0 +1,65 @@
+// Figure 1: delay distributions of (a) a single inverter and (b) a chain
+// of 50 FO4 inverters at 0.5-1.0 V, 90 nm GP, 1,000 samples each.
+//
+// Prints the 3sigma/mu legend values the paper annotates on each panel and
+// an ASCII histogram of the two most-contrasting voltages.
+#include "bench_util.h"
+#include "core/variation_study.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace ntv;
+
+constexpr double kPaperSingle[] = {35.49, 22.25, 17.74, 16.29, 15.70, 15.58};
+constexpr double kPaperChain[] = {9.43, 6.81, 6.17, 5.96, 5.84, 5.76};
+constexpr double kVolts[] = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+
+void print_artifact() {
+  const core::VariationStudy study(device::tech_90nm());
+  constexpr std::size_t kSamples = 1000;  // As in the paper.
+
+  bench::banner(
+      "Fig. 1 -- delay distributions, 90nm GP, 1000 Monte Carlo samples");
+  bench::row("%-6s | %-22s | %-22s", "Vdd", "(a) single inverter",
+             "(b) chain of 50 FO4");
+  bench::row("%-6s | %10s %11s | %10s %11s", "[V]", "3s/mu [%]", "paper [%]",
+             "3s/mu [%]", "paper [%]");
+  for (int i = 0; i < 6; ++i) {
+    const double v = kVolts[i];
+    const auto single = study.mc_single_gate_delays(v, kSamples);
+    const auto chain = study.mc_chain_delays(v, 50, kSamples);
+    bench::row("%-6.2f | %10.2f %11.2f | %10.2f %11.2f", v,
+               stats::three_sigma_over_mu_pct(single), kPaperSingle[i],
+               stats::three_sigma_over_mu_pct(chain), kPaperChain[i]);
+  }
+
+  for (double v : {1.0, 0.5}) {
+    const auto chain = study.mc_chain_delays(v, 50, 10000);
+    bench::row("\nchain-of-50 delay histogram @ %.1f V (ns):", v);
+    std::vector<double> ns(chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) ns[i] = chain[i] * 1e9;
+    std::printf("%s", stats::Histogram::auto_range(ns, 15).render(48).c_str());
+  }
+}
+
+void BM_SingleGateSample(benchmark::State& state) {
+  const core::VariationStudy study(device::tech_90nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study.mc_single_gate_delays(0.5, 1000));
+  }
+}
+BENCHMARK(BM_SingleGateSample)->Unit(benchmark::kMillisecond);
+
+void BM_ChainSample(benchmark::State& state) {
+  const core::VariationStudy study(device::tech_90nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study.mc_chain_delays(0.5, 50, 1000));
+  }
+}
+BENCHMARK(BM_ChainSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

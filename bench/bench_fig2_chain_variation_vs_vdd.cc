@@ -1,0 +1,56 @@
+// Figure 2: delay variation (3sigma/mu) of a chain of 50 FO4 inverters vs
+// supply voltage for 90nm GP, 45nm GP, 32nm PTM HP and 22nm PTM HP (each
+// node swept up to its nominal voltage).
+#include "bench_util.h"
+#include "core/variation_study.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Fig. 2 -- chain-of-50 3sigma/mu [%] vs Vdd, four nodes");
+  std::vector<core::VariationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  bench::row("%-6s | %10s %10s %12s %12s", "Vdd[V]", "90nm GP", "45nm GP",
+             "32nm PTM HP", "22nm PTM HP");
+  for (double v = 0.50; v <= 1.001; v += 0.05) {
+    std::string line;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%-6.2f |", v);
+    line = buf;
+    for (std::size_t i = 0; i < studies.size(); ++i) {
+      const auto* node = device::all_nodes()[i];
+      const int width = (i < 2) ? 10 : 12;
+      if (v <= node->nominal_vdd + 1e-9) {
+        std::snprintf(buf, sizeof(buf), " %*.2f", width,
+                      studies[i].chain_variation_pct(v, 50));
+      } else {
+        std::snprintf(buf, sizeof(buf), " %*s", width, "-");
+      }
+      line += buf;
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  bench::row("\npaper checkpoints: 90nm 9.43%%@0.5V; 22nm ~11%%@0.8V ->"
+             " ~25%%@0.5V; ~2.5x 90nm->22nm at 0.55V");
+  const double r55 = studies[3].chain_variation_pct(0.55, 50) /
+                     studies[0].chain_variation_pct(0.55, 50);
+  bench::row("measured 22nm/90nm ratio at 0.55V: %.2fx", r55);
+}
+
+void BM_ChainVariationPoint(benchmark::State& state) {
+  const core::VariationStudy study(device::tech_22nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study.chain_variation_pct(0.55, 50));
+  }
+}
+BENCHMARK(BM_ChainVariationPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,71 @@
+// Figure 3: delay distributions (in FO4 units) for one critical path at
+// 1 V, a 1-wide lane at 1 V, and the 128-wide SIMD datapath at 1.0, 0.6,
+// 0.55 and 0.5 V. 90 nm GP, 10,000 samples per curve.
+#include "bench_util.h"
+#include "core/mitigation.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_histogram(const std::vector<double>& fo4_delays,
+                     const char* label) {
+  bench::row("\n%s (x-axis: FO4 inverter delays)", label);
+  std::printf("%s",
+              stats::Histogram::auto_range(fo4_delays, 12).render(44).c_str());
+}
+
+void print_artifact() {
+  bench::banner(
+      "Fig. 3 -- delay distributions in FO4 units, 90nm GP, 10k samples");
+  core::MitigationStudy study(device::tech_90nm());
+  constexpr std::size_t kSamples = 10000;
+
+  // One critical path and a 1-wide system at nominal voltage.
+  {
+    const auto& sampler = study.sampler(1.0);
+    stats::Xoshiro256pp rng(7);
+    std::vector<double> path(kSamples), lane(kSamples);
+    std::vector<double> lanes(1);
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      path[i] = sampler.sample_path_delay(rng) / sampler.fo4_unit();
+      sampler.sample_lanes(rng, lanes);
+      lane[i] = lanes[0] / sampler.fo4_unit();
+    }
+    bench::row("%-24s median %6.2f  p99 %6.2f", "critical path @1V",
+               stats::percentile(path, 50.0), stats::percentile(path, 99.0));
+    bench::row("%-24s median %6.2f  p99 %6.2f", "1-wide @1V",
+               stats::percentile(lane, 50.0), stats::percentile(lane, 99.0));
+    print_histogram(path, "critical path @1V");
+  }
+
+  for (double v : {1.0, 0.6, 0.55, 0.5}) {
+    const auto mc = study.mc_chip(v, 0);
+    std::vector<double> fo4(mc.delays.size());
+    const double unit = study.sampler(v).fo4_unit();
+    for (std::size_t i = 0; i < fo4.size(); ++i) fo4[i] = mc.delays[i] / unit;
+    bench::row("%-12s @%4.2fV       median %6.2f  p99 %6.2f", "128-wide", v,
+               stats::percentile(fo4, 50.0), stats::percentile(fo4, 99.0));
+    if (v == 0.5 || v == 1.0) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "128-wide @%.2fV", v);
+      print_histogram(fo4, label);
+    }
+  }
+  bench::row("\npaper shape: path@1V < 1-wide@1V < 128-wide@1V; NTV curves"
+             " drift right and widen as Vdd falls");
+}
+
+void BM_ChipSample10k(benchmark::State& state) {
+  core::MitigationStudy study(device::tech_90nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study.mc_chip(0.5, 0));
+  }
+}
+BENCHMARK(BM_ChipSample10k)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

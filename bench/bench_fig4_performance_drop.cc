@@ -1,0 +1,49 @@
+// Figure 4: performance drop (%) of a 128-wide SIMD architecture in the
+// near-threshold region vs its nominal-voltage operation, for four nodes.
+// Sign-off at the 99% point of the FO4-normalized chip-delay distribution.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Fig. 4 -- performance drop [%] vs Vdd, 128-wide SIMD");
+  std::vector<core::MitigationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  bench::row("%-6s | %9s %9s %12s %12s", "Vdd[V]", "90nm GP", "45nm GP",
+             "32nm PTM HP", "22nm PTM HP");
+  for (double v = 0.50; v <= 0.751; v += 0.05) {
+    char line[160];
+    int n = std::snprintf(line, sizeof(line), "%-6.2f |", v);
+    for (std::size_t i = 0; i < studies.size(); ++i) {
+      const int width = (i < 2) ? 9 : 12;
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " %*.2f", width, studies[i].performance_drop_pct(v));
+    }
+    std::printf("%s\n", line);
+  }
+  bench::row("\npaper checkpoints: 90nm 5/2.5/1.5%% at 0.5/0.55/0.6V;"
+             " 22nm ~18%% at 0.5V");
+  bench::row("measured: 90nm %.1f%%@0.5V  22nm %.1f%%@0.5V",
+             studies[0].performance_drop_pct(0.5),
+             studies[3].performance_drop_pct(0.5));
+}
+
+void BM_PerformanceDropPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_90nm(), config);
+    benchmark::DoNotOptimize(study.performance_drop_pct(0.5));
+  }
+}
+BENCHMARK(BM_PerformanceDropPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

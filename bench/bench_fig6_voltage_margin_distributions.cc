@@ -1,0 +1,53 @@
+// Figure 6: delay distributions of the 128-wide SIMD datapath operating at
+// 600, 605, 610, 615 and 620 mV, plus duplicated systems
+// (128 + alpha spares) at 600 mV, against the Section 4.2 target delay.
+// 45 nm GP, 10,000 samples per curve.
+#include "bench_util.h"
+#include "core/mitigation.h"
+#include "stats/percentile.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner(
+      "Fig. 6 -- voltage margining vs duplication @600mV, 45nm GP, 10k");
+  core::MitigationStudy study(device::tech_45nm());
+  const double target = study.target_delay(0.600);
+  bench::row("target delay (nominal-scaled): %.3f ns", target * 1e9);
+
+  bench::row("\n%-26s | %9s %9s  %s", "system", "median ns", "p99 ns",
+             "meets target?");
+  for (double v : {0.600, 0.605, 0.610, 0.615, 0.620}) {
+    const auto mc = study.mc_chip(v, 0);
+    const double p99 = mc.percentile(99.0);
+    bench::row("128-wide @%3.0fmV           | %9.3f %9.3f  %s", v * 1e3,
+               mc.percentile(50.0) * 1e9, p99 * 1e9,
+               p99 <= target ? "yes" : "no");
+  }
+  for (int alpha : {4, 8, 16, 32}) {
+    const auto mc = study.mc_chip(0.600, alpha);
+    const double p99 = mc.percentile(99.0);
+    bench::row("128-wide + %2d spares@600mV | %9.3f %9.3f  %s", alpha,
+               mc.percentile(50.0) * 1e9, p99 * 1e9,
+               p99 <= target ? "yes" : "no");
+  }
+  const auto vm = study.required_voltage_margin(0.600);
+  bench::row("\nrequired margin at 600 mV: %.1f mV (paper: ~16.2 mV)",
+             vm.margin * 1e3);
+}
+
+void BM_VoltageMarginSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_45nm(), config);
+    benchmark::DoNotOptimize(study.required_voltage_margin(0.6));
+  }
+}
+BENCHMARK(BM_VoltageMarginSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,54 @@
+// Figure 7: power-overhead comparison between structural duplication and
+// voltage margining for four technology nodes (panels a-d), 0.50-0.70 V.
+// Duplication wins in the high near-threshold range where variation is
+// low; margining takes over as voltage drops / nodes scale.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Fig. 7 -- power overhead: duplication vs margining");
+  const auto nodes = device::all_nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const device::TechNode* node = nodes[i];
+    core::MitigationStudy study(*node);
+    bench::row("\n(%c) %s", "abcd"[i], node->name.data());
+    bench::row("%-6s | %14s %14s  %s", "Vdd[V]", "duplication %",
+               "margining %", "winner");
+    for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+      const auto dup = study.required_spares(v);
+      const auto vm = study.required_voltage_margin(v);
+      const double dup_cost =
+          dup.feasible ? dup.power_overhead * 100.0 : 1e9;
+      const double vm_cost = vm.power_overhead * 100.0;
+      char dup_str[24];
+      if (dup.feasible) {
+        std::snprintf(dup_str, sizeof(dup_str), "%14.2f", dup_cost);
+      } else {
+        std::snprintf(dup_str, sizeof(dup_str), "%14s", ">21 (>128sp)");
+      }
+      bench::row("%-6.2f | %s %14.2f  %s", v, dup_str, vm_cost,
+                 dup_cost < vm_cost ? "duplication" : "margining");
+    }
+  }
+  bench::row("\npaper guideline: e.g. 45nm@0.6V duplication 4%% vs"
+             " margining 2%% -> margining preferred");
+}
+
+void BM_OverheadPair(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_45nm(), config);
+    benchmark::DoNotOptimize(study.required_spares(0.6));
+    benchmark::DoNotOptimize(study.required_voltage_margin(0.6));
+  }
+}
+BENCHMARK(BM_OverheadPair)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

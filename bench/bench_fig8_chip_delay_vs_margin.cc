@@ -1,0 +1,58 @@
+// Figure 8: 99% chip delays for the 128-wide SIMD datapath at 600-620 mV
+// (45 nm GP) vs the target delay, with duplicated systems at 600 mV shown
+// alongside — the data behind Table 3's combination choices.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Fig. 8 -- p99 chip delay vs margin/spares, 45nm @600mV");
+  core::MitigationStudy study(device::tech_45nm());
+  const double target = study.target_delay(0.600);
+  bench::row("target delay: %.3f ns", target * 1e9);
+
+  bench::row("\nvoltage sweep (no spares):");
+  bench::row("%-10s %12s  %s", "Vdd [mV]", "p99 [ns]", "meets target?");
+  for (double v = 0.600; v <= 0.6201; v += 0.005) {
+    const double p99 = study.chip_delay_p99(v);
+    bench::row("%-10.0f %12.3f  %s", v * 1e3, p99 * 1e9,
+               p99 <= target ? "yes" : "no");
+  }
+
+  bench::row("\nspare sweep at fixed 600 mV:");
+  bench::row("%-10s %12s  %s", "spares", "p99 [ns]", "meets target?");
+  for (int alpha : {0, 1, 2, 4, 8, 16, 32}) {
+    const double p99 = study.chip_delay_p99(0.600, alpha);
+    bench::row("%-10d %12.3f  %s", alpha, p99 * 1e9,
+               p99 <= target ? "yes" : "no");
+  }
+
+  bench::row("\ncombinations meeting the target (paper: 2 spares + 10 mV"
+             " or 8 spares + 5 mV):");
+  for (int alpha : {0, 1, 2, 4, 8, 16, 32}) {
+    const auto vm = study.required_voltage_margin(0.600, alpha);
+    bench::row("  %2d spares -> +%.1f mV margin (power %.2f%%)", alpha,
+               vm.margin * 1e3,
+               study.config().area_power.combined_power_overhead(
+                   alpha, 0.600, vm.margin) * 100.0);
+  }
+}
+
+void BM_ChipDelayP99(benchmark::State& state) {
+  core::MitigationConfig config;
+  config.chip_samples = 2000;
+  core::MitigationStudy study(device::tech_45nm(), config);
+  double v = 0.600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study.chip_delay_p99(v));
+    v += 1e-6;  // Defeat the cache to measure the full pipeline.
+  }
+}
+BENCHMARK(BM_ChipDelayP99)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,66 @@
+// Figure 9 (Appendix A): energy and delay vs supply voltage across the
+// super-threshold, near-threshold and sub-threshold regions, showing the
+// NTV sweet spot and the sub-threshold energy minimum.
+#include "bench_util.h"
+#include "energy/energy_model.h"
+
+namespace {
+
+using namespace ntv;
+
+const char* region_name(energy::Region r) {
+  switch (r) {
+    case energy::Region::kSubThreshold: return "sub";
+    case energy::Region::kNearThreshold: return "near";
+    case energy::Region::kSuperThreshold: return "super";
+  }
+  return "?";
+}
+
+void print_artifact() {
+  bench::banner("Fig. 9 -- energy/delay vs Vdd, three regions (90nm GP)");
+  const energy::EnergyModel model(device::tech_90nm());
+
+  bench::row("%-7s %-6s %12s %10s %10s %10s", "Vdd[V]", "region",
+             "delay [ns]", "E_dyn", "E_leak", "E_total");
+  for (const auto& p : model.sweep(0.20, 1.00, 0.05)) {
+    bench::row("%-7.2f %-6s %12.3f %10.4f %10.4f %10.4f", p.vdd,
+               region_name(p.region), p.delay * 1e9, p.dynamic_energy,
+               p.leakage_energy, p.total_energy);
+  }
+
+  const double v_min = model.minimum_energy_vdd();
+  const auto at_min = model.at(v_min);
+  const auto at_ntv = model.at(0.5);
+  const auto at_nom = model.at(1.0);
+  bench::row("\nenergy minimum at %.3f V (%s-threshold), E = %.3f", v_min,
+             region_name(at_min.region), at_min.total_energy);
+  bench::row("nominal -> NTV: %.1fx less energy, %.1fx slower"
+             " (paper: ~10x / ~10x)",
+             at_nom.total_energy / at_ntv.total_energy,
+             at_ntv.delay / at_nom.delay);
+  bench::row("sub-threshold minimum -> NTV: %.1fx faster for %.2fx energy"
+             " (paper: 6-8x for ~2x)",
+             at_min.delay / at_ntv.delay,
+             at_ntv.total_energy / at_min.total_energy);
+}
+
+void BM_EnergySweep(benchmark::State& state) {
+  const energy::EnergyModel model(device::tech_90nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sweep(0.2, 1.0, 0.01));
+  }
+}
+BENCHMARK(BM_EnergySweep)->Unit(benchmark::kMicrosecond);
+
+void BM_EnergyMinimumSearch(benchmark::State& state) {
+  const energy::EnergyModel model(device::tech_90nm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.minimum_energy_vdd());
+  }
+}
+BENCHMARK(BM_EnergyMinimumSearch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,59 @@
+// Table 1: required number of spare SIMD lanes and the corresponding area
+// and power overhead, for four technology nodes at 0.50-0.70 V. A system
+// is sized by matching the 99% FO4 chip delay of the duplicated NTV
+// system to the 128-wide nominal-voltage baseline.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Table 1 -- structural duplication: required spares");
+  bench::row("paper (90nm): 28@0.50V  6@0.55V  2@0.60V  1@0.65V  1@0.70V;"
+             " scaled nodes exceed 128 at 0.50V");
+  bench::row("");
+  bench::row("%-6s || %22s | %22s | %22s | %22s", "Vdd[V]", "90nm GP",
+             "45nm GP", "32nm PTM HP", "22nm PTM HP");
+  bench::row("%-6s || %6s %7s %7s | %6s %7s %7s | %6s %7s %7s | %6s %7s %7s",
+             "", "spares", "area%", "power%", "spares", "area%", "power%",
+             "spares", "area%", "power%", "spares", "area%", "power%");
+
+  std::vector<core::MitigationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+    char line[256];
+    int n = std::snprintf(line, sizeof(line), "%-6.2f ||", v);
+    for (auto& study : studies) {
+      const auto result = study.required_spares(v);
+      if (result.feasible) {
+        n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                           " %6d %7.1f %7.1f |", result.spares,
+                           result.area_overhead * 100.0,
+                           result.power_overhead * 100.0);
+      } else {
+        n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                           " %6s %7s %7s |", ">128", ">55.4", ">21.0");
+      }
+    }
+    std::printf("%s\n", line);
+  }
+}
+
+void BM_RequiredSpares(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_90nm(), config);
+    benchmark::DoNotOptimize(study.required_spares(0.55));
+  }
+}
+BENCHMARK(BM_RequiredSpares)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

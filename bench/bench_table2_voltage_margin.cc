@@ -1,0 +1,53 @@
+// Table 2: required voltage margin (V_M) for a 128-wide SIMD architecture
+// at near-threshold voltages and the corresponding power overhead, for
+// four technology nodes. The final supply is Vdd + V_M.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Table 2 -- voltage margining: required margin / power");
+  bench::row("paper (mV): 90nm 5.8/4.1/2.9/2.2/1.7; 45nm 19.6/18.2/16.2/"
+             "14.0/12.8; 32nm 12.1/11.1/10.4/8.9/7.7; 22nm 16.4/17.6/11.1/"
+             "11.5/9.6  (0.50..0.70V)");
+  bench::row("");
+  bench::row("%-6s || %17s | %17s | %17s | %17s", "Vdd[V]", "90nm GP",
+             "45nm GP", "32nm PTM HP", "22nm PTM HP");
+  bench::row("%-6s || %8s %8s | %8s %8s | %8s %8s | %8s %8s", "",
+             "V_M[mV]", "power%", "V_M[mV]", "power%", "V_M[mV]", "power%",
+             "V_M[mV]", "power%");
+
+  std::vector<core::MitigationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+    char line[256];
+    int n = std::snprintf(line, sizeof(line), "%-6.2f ||", v);
+    for (auto& study : studies) {
+      const auto result = study.required_voltage_margin(v);
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " %8.2f %8.2f |", result.margin * 1e3,
+                         result.power_overhead * 100.0);
+    }
+    std::printf("%s\n", line);
+  }
+}
+
+void BM_MarginCell(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_32nm(), config);
+    benchmark::DoNotOptimize(study.required_voltage_margin(0.55));
+  }
+}
+BENCHMARK(BM_MarginCell)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

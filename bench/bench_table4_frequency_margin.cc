@@ -1,0 +1,56 @@
+// Table 4: designed clock period (T_clk), variation-aware clock period
+// (T_va-clk) and the corresponding performance degradation of frequency
+// margining, for four nodes at 0.50-0.70 V. With technology scaling the
+// required margins approach ~20%, making frequency margining infeasible.
+#include "bench_util.h"
+#include "core/mitigation.h"
+
+namespace {
+
+using namespace ntv;
+
+void print_artifact() {
+  bench::banner("Table 4 -- frequency margining: Tclk / Tva-clk / drop");
+  bench::row("%-6s || %24s | %24s | %24s | %24s", "Vdd[V]", "90nm GP",
+             "45nm GP", "32nm PTM HP", "22nm PTM HP");
+  bench::row("%-6s || %8s %8s %6s | %8s %8s %6s | %8s %8s %6s |"
+             " %8s %8s %6s",
+             "", "Tclk ns", "Tva ns", "drop%", "Tclk ns", "Tva ns", "drop%",
+             "Tclk ns", "Tva ns", "drop%", "Tclk ns", "Tva ns", "drop%");
+
+  std::vector<core::MitigationStudy> studies;
+  for (const device::TechNode* node : device::all_nodes()) {
+    studies.emplace_back(*node);
+  }
+
+  double worst_drop = 0.0;
+  for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+    char line[320];
+    int n = std::snprintf(line, sizeof(line), "%-6.2f ||", v);
+    for (auto& study : studies) {
+      const auto fm = study.frequency_margin(v);
+      worst_drop = std::max(worst_drop, fm.drop_pct);
+      n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
+                         " %8.2f %8.2f %6.2f |", fm.t_clk * 1e9,
+                         fm.t_va_clk * 1e9, fm.drop_pct);
+    }
+    std::printf("%s\n", line);
+  }
+  bench::row("\nworst required margin: %.1f%% (paper: approaching ~20%% at"
+             " scaled nodes -> frequency margining infeasible)",
+             worst_drop);
+}
+
+void BM_FrequencyMarginCell(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MitigationConfig config;
+    config.chip_samples = 2000;
+    core::MitigationStudy study(device::tech_22nm(), config);
+    benchmark::DoNotOptimize(study.frequency_margin(0.5));
+  }
+}
+BENCHMARK(BM_FrequencyMarginCell)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -1,0 +1,67 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints the rows/series of one table or figure of the
+// paper (the "artifact"), then runs its registered google-benchmark micro
+// timings. Use --artifact_only to skip the timings (CI convenience).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ntv::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+/// printf-style row helper (keeps call sites compact).
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Standard bench main: print the artifact, then run micro benchmarks.
+/// `print_artifact` is supplied by each bench binary. Unless the caller
+/// sets --benchmark_min_time explicitly, a short default keeps the full
+/// suite (24 binaries, several seconds per heavy iteration) tractable.
+inline int run_bench_main(int argc, char** argv,
+                          void (*print_artifact)()) {
+  bool artifact_only = false;
+  bool has_min_time = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--artifact_only") == 0) artifact_only = true;
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+      has_min_time = true;
+    }
+  }
+  print_artifact();
+  if (artifact_only) return 0;
+
+  static char min_time_flag[] = "--benchmark_min_time=0.05s";
+  if (!has_min_time) args.push_back(min_time_flag);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ntv::bench
+
+#define NTV_BENCH_MAIN(print_artifact_fn)                       \
+  int main(int argc, char** argv) {                             \
+    return ntv::bench::run_bench_main(argc, argv,               \
+                                      &(print_artifact_fn));    \
+  }

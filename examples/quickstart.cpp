@@ -1,0 +1,53 @@
+// Quickstart: the library in one page.
+//
+// Asks the three questions the paper answers for a 128-wide near-threshold
+// SIMD datapath in 90 nm at 0.55 V:
+//   1. how much does delay vary?            (circuit-level study)
+//   2. how much performance does that cost? (architecture-level study)
+//   3. what is the cheapest fix?            (mitigation comparison)
+#include <cstdio>
+
+#include "core/mitigation.h"
+#include "core/variation_study.h"
+#include "device/tech_node.h"
+
+int main() {
+  using namespace ntv;
+
+  const device::TechNode& node = device::tech_90nm();
+  const double vdd = 0.55;
+
+  // 1. Circuit-level: delay variation of a single gate and of a 50-stage
+  //    FO4 chain (the paper's critical-path proxy).
+  core::VariationStudy study(node);
+  const auto point = study.study_point(vdd);
+  std::printf("== %s @ %.2f V ==\n", node.name.data(), vdd);
+  std::printf("FO4 delay            : %7.1f ps\n", point.fo4_delay * 1e12);
+  std::printf("single gate 3s/mu    : %7.2f %%\n", point.single_pct);
+  std::printf("50-FO4 chain 3s/mu   : %7.2f %%  (averaging effect)\n",
+              point.chain_pct);
+
+  // 2. Architecture-level: sign-off (99 %) delay of the 128-wide SIMD
+  //    datapath and the performance drop vs nominal voltage.
+  core::MitigationConfig config;
+  config.chip_samples = 5000;  // Quick run; benches use the paper's 10000.
+  core::MitigationStudy chip(node, config);
+  std::printf("fo4 chip delay p99   : %7.2f FO4 (nominal %.2f FO4)\n",
+              chip.fo4_chip_delay_p99(vdd),
+              chip.fo4_chip_delay_p99(node.nominal_vdd));
+  std::printf("performance drop     : %7.2f %%\n",
+              chip.performance_drop_pct(vdd));
+
+  // 3. Mitigation: structural duplication vs voltage margining.
+  const auto dup = chip.required_spares(vdd);
+  const auto vm = chip.required_voltage_margin(vdd);
+  std::printf("spares needed        : %7d  (power overhead %.2f %%)\n",
+              dup.spares, dup.power_overhead * 100.0);
+  std::printf("voltage margin       : %7.2f mV (power overhead %.2f %%)\n",
+              vm.margin * 1e3, vm.power_overhead * 100.0);
+  std::printf("cheapest technique   : %s\n",
+              dup.feasible && dup.power_overhead < vm.power_overhead
+                  ? "structural duplication"
+                  : "voltage margining");
+  return 0;
+}

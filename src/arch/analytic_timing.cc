@@ -1,0 +1,54 @@
+#include "arch/analytic_timing.h"
+
+#include <stdexcept>
+
+#include "device/gate_table.h"
+#include "stats/root_find.h"
+
+namespace ntv::arch {
+
+AnalyticChipModel::AnalyticChipModel(
+    const device::VariationModel& model, double vdd,
+    const TimingConfig& config,
+    const device::DistributionOptions& dist_opt)
+    : vdd_(vdd),
+      config_(config),
+      path_(device::build_total_chain_distribution(model, vdd,
+                                                   config.chain_stages,
+                                                   dist_opt)),
+      lane_(path_.max_of_iid(config.paths_per_lane)),
+      fo4_unit_(model.gate_model().fo4_delay(vdd)) {
+  if (config.correlation != DieCorrelation::kIndependentPaths)
+    throw std::invalid_argument(
+        "AnalyticChipModel: only the independent-paths methodology has a "
+        "closed form; use the Monte Carlo sampler for shared-die mode");
+  if (config.simd_width < 1 || config.paths_per_lane < 1)
+    throw std::invalid_argument("AnalyticChipModel: bad TimingConfig");
+}
+
+stats::GridDistribution AnalyticChipModel::chip(int spares) const {
+  if (spares < 0)
+    throw std::invalid_argument("AnalyticChipModel::chip: negative spares");
+  return lane_.order_statistic(config_.simd_width,
+                               config_.simd_width + spares);
+}
+
+double AnalyticChipModel::signoff_delay(double percentile,
+                                        int spares) const {
+  if (!(percentile > 0.0) || !(percentile < 100.0))
+    throw std::invalid_argument(
+        "AnalyticChipModel::signoff_delay: percentile in (0, 100)");
+  return chip(spares).quantile(percentile / 100.0);
+}
+
+int AnalyticChipModel::required_spares(double target, double percentile,
+                                       int max_spares) const {
+  const long result = stats::smallest_true(
+      [&](long alpha) {
+        return signoff_delay(percentile, static_cast<int>(alpha)) <= target;
+      },
+      0, max_spares);
+  return static_cast<int>(result);
+}
+
+}  // namespace ntv::arch

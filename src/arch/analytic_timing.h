@@ -1,0 +1,59 @@
+// Closed-form chip-delay distributions (no Monte Carlo).
+//
+// Under the paper's i.i.d.-path methodology the whole chip-level study is
+// analytic order statistics:
+//
+//   lane  = max of p i.i.d. paths              -> CDF_lane  = F_path^p
+//   chip (alpha spares, keep fastest w of w+alpha lanes)
+//         = the w-th order statistic of w+alpha i.i.d. lanes
+//           CDF_chip(x) = P(Binomial(w+alpha, F_lane(x)) >= w)
+//
+// Combined with the exact FFT-convolved path distribution this gives the
+// entire Fig. 3-8 / Table 1-4 machinery in closed form — used to
+// cross-validate the Monte Carlo engine and to answer "what percentile
+// am I really signing off at?" without sampling noise.
+#pragma once
+
+#include "arch/simd_timing.h"
+
+namespace ntv::arch {
+
+/// Exact chip-delay law at one (node, Vdd) operating point. Only valid
+/// for DieCorrelation::kIndependentPaths (the constructor throws for the
+/// shared-die mode, where lanes are not independent).
+class AnalyticChipModel {
+ public:
+  AnalyticChipModel(const device::VariationModel& model, double vdd,
+                    const TimingConfig& config = {},
+                    const device::DistributionOptions& dist_opt = {});
+
+  /// Exact delay distribution of one critical path (total, cross-chip).
+  const stats::GridDistribution& path() const noexcept { return path_; }
+
+  /// Exact delay distribution of one lane (max of paths_per_lane paths).
+  const stats::GridDistribution& lane() const noexcept { return lane_; }
+
+  /// Exact delay distribution of the chip with `spares` spare lanes.
+  stats::GridDistribution chip(int spares = 0) const;
+
+  /// Exact sign-off delay: the `percentile` point of chip(spares) [s].
+  double signoff_delay(double percentile, int spares = 0) const;
+
+  /// Fewest spares whose sign-off delay meets `target` [s]; returns
+  /// max_spares + 1 when none do.
+  int required_spares(double target, double percentile,
+                      int max_spares = 128) const;
+
+  double fo4_unit() const noexcept { return fo4_unit_; }
+  double vdd() const noexcept { return vdd_; }
+  const TimingConfig& config() const noexcept { return config_; }
+
+ private:
+  double vdd_;
+  TimingConfig config_;
+  stats::GridDistribution path_;
+  stats::GridDistribution lane_;
+  double fo4_unit_;
+};
+
+}  // namespace ntv::arch

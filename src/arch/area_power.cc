@@ -1,0 +1,47 @@
+#include "arch/area_power.h"
+
+#include <stdexcept>
+
+namespace ntv::arch {
+
+double AreaPowerModel::duplication_area_overhead(int spares) const {
+  if (spares < 0)
+    throw std::invalid_argument("duplication_area_overhead: negative spares");
+  return lane_area_frac * static_cast<double>(spares);
+}
+
+double AreaPowerModel::duplication_power_overhead(int spares) const {
+  if (spares < 0)
+    throw std::invalid_argument("duplication_power_overhead: negative spares");
+  return spare_power_frac * static_cast<double>(spares);
+}
+
+double AreaPowerModel::duplication_power_overhead_with_xram(
+    int spares, int width) const {
+  if (width < 1)
+    throw std::invalid_argument(
+        "duplication_power_overhead_with_xram: bad width");
+  const double w = static_cast<double>(width);
+  const double ws = w + static_cast<double>(spares);
+  const double xram_growth = (ws * ws) / (w * w) - 1.0;
+  return duplication_power_overhead(spares) +
+         xram_power_share * xram_growth;
+}
+
+double AreaPowerModel::vmargin_power_overhead(double vdd,
+                                              double margin) const {
+  if (vdd <= 0.0)
+    throw std::invalid_argument("vmargin_power_overhead: vdd must be > 0");
+  if (margin < 0.0)
+    throw std::invalid_argument("vmargin_power_overhead: negative margin");
+  const double ratio = (vdd + margin) / vdd;
+  return dv_power_frac * (ratio * ratio - 1.0);
+}
+
+double AreaPowerModel::combined_power_overhead(int spares, double vdd,
+                                               double margin) const {
+  return duplication_power_overhead(spares) +
+         vmargin_power_overhead(vdd, margin);
+}
+
+}  // namespace ntv::arch

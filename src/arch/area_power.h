@@ -1,0 +1,51 @@
+// Area/power overhead accounting for the mitigation techniques.
+//
+// The paper bases its overhead percentages on the Diet SODA silicon
+// budget. The published tables are all linear in two per-lane fractions
+// and one domain share, which this model captures:
+//
+//  * each spare SIMD lane adds `lane_area_frac` of PE area (Table 1's
+//    area column: 6 spares -> 2.6 %, 28 -> 12.1 %);
+//  * a spare's run-time power cost is routing only (the lane itself is
+//    power-gated): `spare_power_frac` per spare (6 -> 1.0 %, 28 -> 4.6 %);
+//  * the near-threshold (DV) domain consumes `dv_power_frac` of total PE
+//    power, so a voltage margin V_M on top of Vdd costs
+//    dv_power_frac * ((Vdd+V_M)^2/Vdd^2 - 1) of chip power (dynamic CV^2
+//    scaling; reproduces Table 2's power column).
+#pragma once
+
+namespace ntv::arch {
+
+/// Linear overhead model fitted to the Diet SODA budget.
+struct AreaPowerModel {
+  double lane_area_frac = 0.00433;   ///< PE-area fraction per SIMD lane.
+  double spare_power_frac = 0.00164; ///< Routing-power fraction per spare.
+  double dv_power_frac = 0.43;       ///< DV-domain share of PE power.
+
+  /// Area overhead fraction of adding `spares` lanes (>= 0).
+  double duplication_area_overhead(int spares) const;
+
+  /// Power overhead fraction of adding `spares` power-gated lanes.
+  double duplication_power_overhead(int spares) const;
+
+  /// Share of PE power consumed by the SIMD shuffle network (XRAM). Used
+  /// only by the _with_xram variant; the paper's tables use the linear
+  /// model above (the text notes the widened network's power "cannot be
+  /// ignored" at low voltages without quantifying it).
+  double xram_power_share = 0.03;
+
+  /// Duplication power overhead including the quadratic growth of the
+  /// widened (width+spares)^2 crossbar (the paper's Section 4.1 caveat).
+  double duplication_power_overhead_with_xram(int spares,
+                                              int width = 128) const;
+
+  /// Power overhead fraction of raising the DV-domain supply from `vdd`
+  /// to `vdd + margin` (dynamic CV^2 scaling of the DV domain).
+  double vmargin_power_overhead(double vdd, double margin) const;
+
+  /// Combined overhead of `spares` lanes plus a voltage margin.
+  double combined_power_overhead(int spares, double vdd,
+                                 double margin) const;
+};
+
+}  // namespace ntv::arch

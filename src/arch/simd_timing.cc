@@ -1,0 +1,150 @@
+#include "arch/simd_timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/percentile.h"
+
+namespace ntv::arch {
+
+ChipDelaySampler::ChipDelaySampler(const device::VariationModel& model,
+                                   double vdd, const TimingConfig& config,
+                                   const device::DistributionOptions& dist_opt)
+    : model_(&model),
+      vdd_(vdd),
+      config_(config),
+      chain_(config.correlation == DieCorrelation::kIndependentPaths
+                 ? device::build_total_chain_distribution(
+                       model, vdd, config.chain_stages, dist_opt)
+                 : device::build_chain_distribution(
+                       model, vdd, config.chain_stages, dist_opt)),
+      fo4_unit_(model.gate_model().fo4_delay(vdd)) {
+  if (config.simd_width < 1 || config.paths_per_lane < 1 ||
+      config.chain_stages < 1)
+    throw std::invalid_argument("ChipDelaySampler: invalid TimingConfig");
+}
+
+void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
+                                    std::span<double> lanes) const {
+  double scale = 1.0;
+  if (config_.correlation == DieCorrelation::kSharedDie) {
+    const device::DieState die = model_->sample_die(rng);
+    scale = model_->die_scale(vdd_, die);
+  }
+  for (double& lane : lanes) {
+    lane = scale * chain_.max_quantile(rng.uniform(), config_.paths_per_lane);
+  }
+}
+
+double ChipDelaySampler::chip_delay_from_lanes(std::span<double> lanes,
+                                               int width) {
+  if (width < 1 || static_cast<std::size_t>(width) > lanes.size())
+    throw std::invalid_argument("chip_delay_from_lanes: bad width");
+  // Delay of the fastest `width` lanes == width-th smallest lane delay.
+  auto mid = lanes.begin() + (width - 1);
+  std::nth_element(lanes.begin(), mid, lanes.end());
+  return *mid;
+}
+
+double ChipDelaySampler::sample_chip_delay(stats::Xoshiro256pp& rng,
+                                           int width) const {
+  double scale = 1.0;
+  if (config_.correlation == DieCorrelation::kSharedDie) {
+    const device::DieState die = model_->sample_die(rng);
+    scale = model_->die_scale(vdd_, die);
+  }
+  double worst = 0.0;
+  for (int i = 0; i < width; ++i) {
+    worst = std::max(
+        worst, chain_.max_quantile(rng.uniform(), config_.paths_per_lane));
+  }
+  return scale * worst;
+}
+
+std::vector<double> ChipDelaySampler::chip_delay_curve(
+    std::span<const double> lanes, int width) {
+  if (width < 1 || static_cast<std::size_t>(width) > lanes.size())
+    throw std::invalid_argument("chip_delay_curve: bad width");
+  // Max-heap of the `width` smallest lane delays seen so far; its top is
+  // the chip delay of the current prefix.
+  std::vector<double> heap(lanes.begin(),
+                           lanes.begin() + width);
+  std::make_heap(heap.begin(), heap.end());
+
+  std::vector<double> curve;
+  curve.reserve(lanes.size() - static_cast<std::size_t>(width) + 1);
+  curve.push_back(heap.front());
+  for (std::size_t i = static_cast<std::size_t>(width); i < lanes.size();
+       ++i) {
+    if (lanes[i] < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = lanes[i];
+      std::push_heap(heap.begin(), heap.end());
+    }
+    curve.push_back(heap.front());
+  }
+  return curve;
+}
+
+double ChipDelaySampler::sample_path_delay(stats::Xoshiro256pp& rng) const {
+  if (config_.correlation == DieCorrelation::kSharedDie) {
+    const device::DieState die = model_->sample_die(rng);
+    return model_->die_scale(vdd_, die) * chain_.quantile(rng.uniform());
+  }
+  return chain_.quantile(rng.uniform());
+}
+
+double ChipMcResult::percentile(double p) const {
+  return stats::percentile(delays, p);
+}
+
+ChipMcResult mc_chip_delays(const ChipDelaySampler& sampler,
+                            std::size_t n_chips, int width, int spares,
+                            const stats::MonteCarloOptions& opt) {
+  const int counts[] = {spares};
+  std::vector<ChipMcResult> sweep =
+      mc_chip_delay_sweep(sampler, n_chips, width, counts, opt);
+  return std::move(sweep.front());
+}
+
+std::vector<ChipMcResult> mc_chip_delay_sweep(
+    const ChipDelaySampler& sampler, std::size_t n_chips, int width,
+    std::span<const int> spare_counts, const stats::MonteCarloOptions& opt) {
+  if (spare_counts.empty())
+    throw std::invalid_argument("mc_chip_delay_sweep: no spare counts");
+  int max_spares = 0;
+  for (int s : spare_counts) {
+    if (s < 0)
+      throw std::invalid_argument("mc_chip_delay_sweep: negative spares");
+    max_spares = std::max(max_spares, s);
+  }
+
+  const std::size_t row_width =
+      static_cast<std::size_t>(width) + static_cast<std::size_t>(max_spares);
+  const std::vector<double> rows = stats::monte_carlo_rows(
+      n_chips, row_width,
+      [&sampler, row_width](stats::Xoshiro256pp& rng, std::size_t,
+                            double* out) {
+        sampler.sample_lanes(rng, std::span<double>(out, row_width));
+      },
+      opt);
+
+  std::vector<ChipMcResult> results(spare_counts.size());
+  for (auto& r : results) r.delays.resize(n_chips);
+
+  std::vector<double> scratch(row_width);
+  for (std::size_t chip = 0; chip < n_chips; ++chip) {
+    const double* row = rows.data() + chip * row_width;
+    for (std::size_t k = 0; k < spare_counts.size(); ++k) {
+      const std::size_t n_lanes =
+          static_cast<std::size_t>(width) +
+          static_cast<std::size_t>(spare_counts[k]);
+      std::copy(row, row + n_lanes, scratch.begin());
+      results[k].delays[chip] = ChipDelaySampler::chip_delay_from_lanes(
+          std::span<double>(scratch.data(), n_lanes), width);
+    }
+  }
+  return results;
+}
+
+}  // namespace ntv::arch

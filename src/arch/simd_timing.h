@@ -1,0 +1,131 @@
+// Statistical timing model of a wide SIMD datapath.
+//
+// Follows the paper's modelling assumptions (Section 3.2):
+//  * one critical path == a chain of `chain_stages` (50) FO4 inverters;
+//  * each SIMD lane holds `paths_per_lane` (100) critical paths — the 50
+//    reported by synthesis plus 50 near-critical paths that can become
+//    critical under variation;
+//  * a lane's delay is the slowest of its paths; an N-wide datapath's
+//    delay is the slowest of its N lanes;
+//  * all paths on a die share the die-to-die systematic variation; path
+//    randomness is independent.
+//
+// The sampler is exact and fast: the i.i.d. chain-delay distribution is
+// built once by convolution (device::build_chain_distribution) and a
+// lane's max-of-k draw is one inverse-CDF evaluation, Q(u^(1/k)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "device/gate_table.h"
+#include "device/variation.h"
+#include "stats/discrete_distribution.h"
+#include "stats/monte_carlo.h"
+
+namespace ntv::arch {
+
+/// How the die-to-die systematic variation enters the chip-level model.
+enum class DieCorrelation {
+  /// Every path samples the *total* cross-chip delay distribution i.i.d.
+  /// This is the paper's own architecture-level methodology ("the delay of
+  /// an N-wide SIMD datapath is determined by the slowest of the N SIMD
+  /// lanes in simulations", each drawn from the measured path
+  /// distribution), and it is what makes a handful of spares effective.
+  kIndependentPaths,
+  /// Physically-motivated alternative: all paths of one chip share a
+  /// common die-systematic factor. Spares cannot reduce that shared
+  /// factor, so duplication is much weaker here — quantified by the
+  /// ablation bench (see DESIGN.md).
+  kSharedDie,
+};
+
+/// Structural parameters of the studied SIMD datapath (Diet SODA).
+struct TimingConfig {
+  int simd_width = 128;     ///< Logical SIMD lanes.
+  int paths_per_lane = 100; ///< Critical + near-critical paths per lane.
+  int chain_stages = 50;    ///< FO4 stages per critical path.
+  DieCorrelation correlation = DieCorrelation::kIndependentPaths;
+};
+
+/// Samples per-lane and per-chip delays at one (node, Vdd) operating point.
+class ChipDelaySampler {
+ public:
+  ChipDelaySampler(const device::VariationModel& model, double vdd,
+                   const TimingConfig& config = {},
+                   const device::DistributionOptions& dist_opt = {});
+
+  /// Fills `lanes` with one chip's per-lane delays [s]. All lanes share a
+  /// freshly drawn die state; each lane is the max of paths_per_lane
+  /// i.i.d. chain delays.
+  void sample_lanes(stats::Xoshiro256pp& rng, std::span<double> lanes) const;
+
+  /// Delay of one chip that uses the fastest `width` of the sampled
+  /// lanes (structural duplication drops the rest). `lanes` is reordered.
+  /// Precondition: width >= 1 and width <= lanes.size().
+  static double chip_delay_from_lanes(std::span<double> lanes, int width);
+
+  /// Convenience: one full-chip delay sample with `width` lanes.
+  double sample_chip_delay(stats::Xoshiro256pp& rng, int width) const;
+
+  /// Chip delay for EVERY spare count at once: element alpha of the result
+  /// is the delay of a chip built from the first (width + alpha) lanes
+  /// keeping the fastest `width` — i.e. the width-th smallest of that
+  /// prefix. Runs in O(n log width) with a max-heap over the prefix.
+  static std::vector<double> chip_delay_curve(std::span<const double> lanes,
+                                              int width);
+
+  /// One critical-path delay sample (chain of chain_stages), including the
+  /// die-systematic factor — the paper's Fig. 1(b)/Fig. 3 "critical path".
+  double sample_path_delay(stats::Xoshiro256pp& rng) const;
+
+  /// Nominal (variation-free) FO4 inverter delay at this Vdd [s] — the
+  /// unit of the paper's "FO4 delay" axes.
+  double fo4_unit() const noexcept { return fo4_unit_; }
+
+  /// Nominal critical-path delay: chain_stages * fo4_unit [s].
+  double nominal_path_delay() const noexcept {
+    return fo4_unit_ * static_cast<double>(config_.chain_stages);
+  }
+
+  double vdd() const noexcept { return vdd_; }
+  const TimingConfig& config() const noexcept { return config_; }
+  const stats::GridDistribution& chain_distribution() const noexcept {
+    return chain_;
+  }
+  const device::VariationModel& variation_model() const noexcept {
+    return *model_;
+  }
+
+ private:
+  const device::VariationModel* model_;
+  double vdd_;
+  TimingConfig config_;
+  stats::GridDistribution chain_;
+  double fo4_unit_;
+};
+
+/// Monte Carlo chip-delay sample with percentile queries.
+struct ChipMcResult {
+  std::vector<double> delays;  ///< One chip delay per Monte Carlo sample [s].
+
+  /// p-th percentile of the sample [s]; the paper signs off at p = 99.
+  double percentile(double p) const;
+};
+
+/// Samples `n_chips` chips of `width (+ spares)` lanes; each chip keeps its
+/// fastest `width` lanes.
+ChipMcResult mc_chip_delays(const ChipDelaySampler& sampler,
+                            std::size_t n_chips, int width, int spares = 0,
+                            const stats::MonteCarloOptions& opt = {});
+
+/// Shared-sample sweep over several spare counts: for each chip, lanes are
+/// drawn once for the largest configuration and every spare count alpha
+/// reuses the first (width + alpha) of them — exactly the paper's Fig. 5
+/// construction ("the six slowest SIMD datapaths are dropped").
+std::vector<ChipMcResult> mc_chip_delay_sweep(
+    const ChipDelaySampler& sampler, std::size_t n_chips, int width,
+    std::span<const int> spare_counts,
+    const stats::MonteCarloOptions& opt = {});
+
+}  // namespace ntv::arch

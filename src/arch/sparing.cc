@@ -1,0 +1,158 @@
+#include "arch/sparing.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace ntv::arch {
+
+GlobalSparing::GlobalSparing(int spares) : spares_(spares) {
+  if (spares < 0) throw std::invalid_argument("GlobalSparing: spares < 0");
+}
+
+int GlobalSparing::physical_lanes(int logical_width) const {
+  return logical_width + spares_;
+}
+
+bool GlobalSparing::covers(std::span<const std::uint8_t> faulty,
+                           int logical_width) const {
+  if (static_cast<int>(faulty.size()) != physical_lanes(logical_width))
+    throw std::invalid_argument("GlobalSparing::covers: size mismatch");
+  int faults = 0;
+  for (bool f : faulty) faults += f ? 1 : 0;
+  return faults <= spares_;
+}
+
+std::string GlobalSparing::name() const {
+  return "global(" + std::to_string(spares_) + " spares)";
+}
+
+LocalSparing::LocalSparing(int cluster_size, int spares_per_cluster)
+    : cluster_size_(cluster_size), spares_per_cluster_(spares_per_cluster) {
+  if (cluster_size < 1 || spares_per_cluster < 0)
+    throw std::invalid_argument("LocalSparing: bad parameters");
+}
+
+int LocalSparing::physical_lanes(int logical_width) const {
+  if (logical_width % cluster_size_ != 0)
+    throw std::invalid_argument(
+        "LocalSparing: width must be a multiple of cluster size");
+  const int clusters = logical_width / cluster_size_;
+  return logical_width + clusters * spares_per_cluster_;
+}
+
+bool LocalSparing::covers(std::span<const std::uint8_t> faulty,
+                          int logical_width) const {
+  if (static_cast<int>(faulty.size()) != physical_lanes(logical_width))
+    throw std::invalid_argument("LocalSparing::covers: size mismatch");
+  const int clusters = logical_width / cluster_size_;
+  const int per_cluster = cluster_size_ + spares_per_cluster_;
+  for (int c = 0; c < clusters; ++c) {
+    int faults = 0;
+    for (int i = 0; i < per_cluster; ++i) {
+      faults += faulty[static_cast<std::size_t>(c * per_cluster + i)] ? 1 : 0;
+    }
+    if (faults > spares_per_cluster_) return false;
+  }
+  return true;
+}
+
+std::string LocalSparing::name() const {
+  return "local(" + std::to_string(spares_per_cluster_) + " per " +
+         std::to_string(cluster_size_) + ")";
+}
+
+HybridSparing::HybridSparing(int cluster_size, int spares_per_cluster,
+                             int global_spares)
+    : cluster_size_(cluster_size),
+      spares_per_cluster_(spares_per_cluster),
+      global_spares_(global_spares) {
+  if (cluster_size < 1 || spares_per_cluster < 0 || global_spares < 0)
+    throw std::invalid_argument("HybridSparing: bad parameters");
+}
+
+int HybridSparing::physical_lanes(int logical_width) const {
+  if (logical_width % cluster_size_ != 0)
+    throw std::invalid_argument(
+        "HybridSparing: width must be a multiple of cluster size");
+  const int clusters = logical_width / cluster_size_;
+  return logical_width + clusters * spares_per_cluster_ + global_spares_;
+}
+
+bool HybridSparing::covers(std::span<const std::uint8_t> faulty,
+                           int logical_width) const {
+  if (static_cast<int>(faulty.size()) != physical_lanes(logical_width))
+    throw std::invalid_argument("HybridSparing::covers: size mismatch");
+  const int clusters = logical_width / cluster_size_;
+  const int per_cluster = cluster_size_ + spares_per_cluster_;
+
+  // Per-cluster overflow beyond the local spares must fit in the healthy
+  // part of the global pool.
+  int overflow = 0;
+  for (int c = 0; c < clusters; ++c) {
+    int faults = 0;
+    for (int i = 0; i < per_cluster; ++i) {
+      faults += faulty[static_cast<std::size_t>(c * per_cluster + i)] ? 1 : 0;
+    }
+    overflow += std::max(0, faults - spares_per_cluster_);
+  }
+  int pool_faults = 0;
+  for (int i = 0; i < global_spares_; ++i) {
+    pool_faults +=
+        faulty[static_cast<std::size_t>(clusters * per_cluster + i)] ? 1 : 0;
+  }
+  return overflow <= global_spares_ - pool_faults;
+}
+
+std::string HybridSparing::name() const {
+  return "hybrid(" + std::to_string(spares_per_cluster_) + " per " +
+         std::to_string(cluster_size_) + " + " +
+         std::to_string(global_spares_) + " pooled)";
+}
+
+double mc_coverage(const SparingScheme& scheme, int logical_width,
+                   double fault_prob, std::size_t n_trials,
+                   std::uint64_t seed) {
+  if (fault_prob < 0.0 || fault_prob > 1.0)
+    throw std::invalid_argument("mc_coverage: fault_prob out of range");
+  const int phys = scheme.physical_lanes(logical_width);
+  stats::Xoshiro256pp rng(seed);
+  std::vector<std::uint8_t> faulty(static_cast<std::size_t>(phys));
+  std::size_t covered = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    for (auto&& f : faulty) f = rng.uniform() < fault_prob;
+    covered += scheme.covers(faulty, logical_width) ? 1 : 0;
+  }
+  return static_cast<double>(covered) / static_cast<double>(n_trials);
+}
+
+double mc_coverage_delay(const SparingScheme& scheme,
+                         const ChipDelaySampler& sampler, int logical_width,
+                         double t_clk, std::size_t n_trials,
+                         std::uint64_t seed) {
+  return mc_coverage_delay_fn(
+      scheme,
+      [&sampler](stats::Xoshiro256pp& rng, std::span<double> lanes) {
+        sampler.sample_lanes(rng, lanes);
+      },
+      logical_width, t_clk, n_trials, seed);
+}
+
+double mc_coverage_delay_fn(const SparingScheme& scheme,
+                            const LaneSampler& sample_lanes,
+                            int logical_width, double t_clk,
+                            std::size_t n_trials, std::uint64_t seed) {
+  const int phys = scheme.physical_lanes(logical_width);
+  stats::Xoshiro256pp rng(seed);
+  std::vector<double> lanes(static_cast<std::size_t>(phys));
+  std::vector<std::uint8_t> faulty(static_cast<std::size_t>(phys));
+  std::size_t covered = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    sample_lanes(rng, lanes);
+    for (std::size_t i = 0; i < lanes.size(); ++i) faulty[i] = lanes[i] > t_clk;
+    covered += scheme.covers(faulty, logical_width) ? 1 : 0;
+  }
+  return static_cast<double>(covered) / static_cast<double>(n_trials);
+}
+
+}  // namespace ntv::arch

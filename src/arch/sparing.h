@@ -1,0 +1,112 @@
+// Spare-placement schemes: global vs. local sparing (Appendix D).
+//
+// Local sparing assigns spares to fixed clusters (Synctium's 1-per-4);
+// it fails when a cluster accumulates more faults than it has spares.
+// Global sparing (enabled by the XRAM crossbar) lets any spare replace
+// any faulty lane, so it only fails when the total fault count exceeds
+// the spare count. The Monte Carlo helpers quantify that difference.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/simd_timing.h"
+#include "stats/rng.h"
+
+namespace ntv::arch {
+
+/// A spare-placement policy over a set of physical lanes.
+class SparingScheme {
+ public:
+  virtual ~SparingScheme() = default;
+
+  /// Total physical lanes the scheme manages for `logical_width` lanes.
+  virtual int physical_lanes(int logical_width) const = 0;
+
+  /// True when the fault pattern is repairable (all logical lanes can be
+  /// served by healthy physical lanes under the placement constraints).
+  /// faulty.size() must equal physical_lanes(logical_width).
+  virtual bool covers(std::span<const std::uint8_t> faulty,
+                      int logical_width) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// All spares in one shared pool; any spare can replace any lane.
+class GlobalSparing final : public SparingScheme {
+ public:
+  explicit GlobalSparing(int spares);
+  int physical_lanes(int logical_width) const override;
+  bool covers(std::span<const std::uint8_t> faulty, int logical_width) const override;
+  std::string name() const override;
+  int spares() const noexcept { return spares_; }
+
+ private:
+  int spares_;
+};
+
+/// Lanes grouped into clusters of `cluster_size`, each with
+/// `spares_per_cluster` dedicated spares (physical layout: cluster 0's
+/// lanes and spares first, then cluster 1, ...).
+class LocalSparing final : public SparingScheme {
+ public:
+  LocalSparing(int cluster_size, int spares_per_cluster);
+  int physical_lanes(int logical_width) const override;
+  bool covers(std::span<const std::uint8_t> faulty, int logical_width) const override;
+  std::string name() const override;
+  int cluster_size() const noexcept { return cluster_size_; }
+  int spares_per_cluster() const noexcept { return spares_per_cluster_; }
+
+ private:
+  int cluster_size_;
+  int spares_per_cluster_;
+};
+
+/// Hybrid placement: each cluster keeps `spares_per_cluster` local spares
+/// (cheap routing) and a shared pool of `global_spares` (placed after all
+/// clusters) absorbs whatever the local spares cannot. Covers a fault
+/// pattern iff the summed per-cluster overflow fits in the pool.
+class HybridSparing final : public SparingScheme {
+ public:
+  HybridSparing(int cluster_size, int spares_per_cluster, int global_spares);
+  int physical_lanes(int logical_width) const override;
+  bool covers(std::span<const std::uint8_t> faulty,
+              int logical_width) const override;
+  std::string name() const override;
+
+ private:
+  int cluster_size_;
+  int spares_per_cluster_;
+  int global_spares_;
+};
+
+/// Coverage probability when each physical lane fails independently with
+/// probability `fault_prob` (Bernoulli fault injection).
+double mc_coverage(const SparingScheme& scheme, int logical_width,
+                   double fault_prob, std::size_t n_trials,
+                   std::uint64_t seed = 0xC0FFEE);
+
+/// Coverage probability under the *delay* fault model: a physical lane is
+/// faulty when its sampled delay exceeds `t_clk`. Lane delays within one
+/// chip share the die systematic, so faults arrive in correlated bursts —
+/// exactly the case where local sparing loses (Appendix D).
+double mc_coverage_delay(const SparingScheme& scheme,
+                         const ChipDelaySampler& sampler, int logical_width,
+                         double t_clk, std::size_t n_trials,
+                         std::uint64_t seed = 0xC0FFEE);
+
+/// Generic variant: `sample_lanes` fills one chip's physical-lane delays
+/// (in physical order) per call. Use with SpatialChipSampler or any
+/// custom correlation structure.
+using LaneSampler =
+    std::function<void(stats::Xoshiro256pp&, std::span<double>)>;
+double mc_coverage_delay_fn(const SparingScheme& scheme,
+                            const LaneSampler& sample_lanes,
+                            int logical_width, double t_clk,
+                            std::size_t n_trials,
+                            std::uint64_t seed = 0xC0FFEE);
+
+}  // namespace ntv::arch

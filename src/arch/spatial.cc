@@ -1,0 +1,88 @@
+#include "arch/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "device/gate_table.h"
+
+namespace ntv::arch {
+
+int SpatialChipSampler::levels_for(int n) {
+  int levels = 1;
+  while ((1 << (levels - 1)) < n) ++levels;
+  return levels;
+}
+
+SpatialChipSampler::SpatialChipSampler(
+    const device::VariationModel& model, double vdd,
+    const SpatialConfig& config,
+    const device::DistributionOptions& dist_opt)
+    : model_(&model),
+      vdd_(vdd),
+      config_(config),
+      chain_(device::build_chain_distribution(
+          model, vdd, config.timing.chain_stages, dist_opt)),
+      sensitivity_(model.gate_model().sensitivity(vdd)) {
+  if (config.root_fraction < 0.0 || config.root_fraction > 1.0)
+    throw std::invalid_argument(
+        "SpatialChipSampler: root_fraction in [0, 1]");
+
+  // Split the calibrated systematic Vth variance across the tree levels:
+  // root gets root_fraction, the rest decays geometrically (1/2 each
+  // level) and is renormalized so the total is exact.
+  const double total_var =
+      model.params().sigma_vth_sys * model.params().sigma_vth_sys;
+  const int levels = levels_for(config.timing.simd_width);
+  level_sigma_.assign(static_cast<std::size_t>(levels), 0.0);
+  if (levels == 1 || config.root_fraction >= 1.0) {
+    level_sigma_[0] = std::sqrt(total_var);
+  } else {
+    level_sigma_[0] = std::sqrt(total_var * config.root_fraction);
+    double weight_sum = 0.0;
+    for (int l = 1; l < levels; ++l) weight_sum += std::pow(0.5, l - 1);
+    const double rest = total_var * (1.0 - config.root_fraction);
+    for (int l = 1; l < levels; ++l) {
+      level_sigma_[static_cast<std::size_t>(l)] =
+          std::sqrt(rest * std::pow(0.5, l - 1) / weight_sum);
+    }
+  }
+}
+
+void SpatialChipSampler::sample_lane_shifts(stats::Xoshiro256pp& rng,
+                                            std::span<double> shifts) const {
+  const int levels = static_cast<int>(level_sigma_.size());
+  std::fill(shifts.begin(), shifts.end(), 0.0);
+  for (int l = 0; l < levels; ++l) {
+    const int segments = 1 << l;
+    const double sigma = level_sigma_[static_cast<std::size_t>(l)];
+    // One draw per segment at this level; lanes inherit their segment's.
+    const std::size_t n = shifts.size();
+    const std::size_t span_size = (n + static_cast<std::size_t>(segments) - 1) /
+                                  static_cast<std::size_t>(segments);
+    for (int s = 0; s < segments; ++s) {
+      const double draw = rng.normal(0.0, sigma);
+      const std::size_t begin = static_cast<std::size_t>(s) * span_size;
+      const std::size_t end = std::min(n, begin + span_size);
+      for (std::size_t i = begin; i < end; ++i) shifts[i] += draw;
+      if (begin >= n) break;
+    }
+  }
+}
+
+void SpatialChipSampler::sample_lanes(stats::Xoshiro256pp& rng,
+                                      std::span<double> lanes) const {
+  std::vector<double> shifts(lanes.size());
+  sample_lane_shifts(rng, shifts);
+  // The drive-systematic part has no published spatial structure; keep it
+  // die-wide as in the shared-die model.
+  const double mult =
+      1.0 + rng.normal(0.0, model_->params().sigma_mult_sys);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const double scale = mult * std::exp(sensitivity_ * shifts[i]);
+    lanes[i] = scale * chain_.max_quantile(
+                           rng.uniform(), config_.timing.paths_per_lane);
+  }
+}
+
+}  // namespace ntv::arch

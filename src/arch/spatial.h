@@ -1,0 +1,72 @@
+// Spatially correlated within-die variation (quad-tree model).
+//
+// The paper's two extremes — fully independent paths and one shared die
+// factor — bracket reality: nearby lanes share lithography and stress
+// conditions, so their delays correlate with distance. This sampler
+// implements the classic hierarchical (Agarwal-style) model: the lane
+// row is recursively halved, each segment at each level carries an
+// independent normal Vth component, and a lane's systematic shift is the
+// sum along its root-to-leaf path. Lane correlation then decays with
+// distance: adjacent lanes share all levels, opposite ends share only
+// the root.
+//
+// Consequence for sparing: faults arrive in spatial bursts, which is
+// precisely the case where local (per-cluster) spares fail and the XRAM
+// global pool wins (Appendix D).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "arch/simd_timing.h"
+#include "device/variation.h"
+
+namespace ntv::arch {
+
+/// Parameters of the hierarchical correlation model.
+struct SpatialConfig {
+  TimingConfig timing;  ///< Width / paths / stages as usual.
+  /// Fraction of the die-systematic Vth variance assigned to the shared
+  /// root level; the remainder is split geometrically (factor 1/2 per
+  /// level) across the finer levels. 1.0 reproduces the shared-die model.
+  double root_fraction = 0.5;
+};
+
+/// Chip sampler with distance-decaying lane correlation. The total
+/// systematic variance matches the calibrated sigma_vth_sys/sigma_mult_sys
+/// regardless of how it is split across levels, so circuit-level
+/// quantities (Fig. 1/2) are unchanged; only the lane-to-lane correlation
+/// structure differs.
+class SpatialChipSampler {
+ public:
+  SpatialChipSampler(const device::VariationModel& model, double vdd,
+                     const SpatialConfig& config = {},
+                     const device::DistributionOptions& dist_opt = {});
+
+  /// Per-lane delays of one chip; lanes are in physical order, so
+  /// correlation decays with index distance.
+  void sample_lanes(stats::Xoshiro256pp& rng,
+                    std::span<double> lanes) const;
+
+  /// Per-lane systematic Vth shifts of one chip (exposed for correlation
+  /// tests). Size must be a power-of-two-padded width internally; the
+  /// span receives the first lanes.size() values.
+  void sample_lane_shifts(stats::Xoshiro256pp& rng,
+                          std::span<double> shifts) const;
+
+  /// Number of tree levels used for `n` lanes.
+  static int levels_for(int n);
+
+  double vdd() const noexcept { return vdd_; }
+  const SpatialConfig& config() const noexcept { return config_; }
+
+ private:
+  const device::VariationModel* model_;
+  double vdd_;
+  SpatialConfig config_;
+  stats::GridDistribution chain_;  ///< Random-only chain distribution.
+  std::vector<double> level_sigma_;  ///< Vth sigma per tree level.
+  double sensitivity_;
+};
+
+}  // namespace ntv::arch

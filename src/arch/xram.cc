@@ -1,0 +1,59 @@
+#include "arch/xram.h"
+
+namespace ntv::arch {
+
+XramCrossbar::XramCrossbar(int inputs, int outputs, int contexts)
+    : inputs_(inputs), outputs_(outputs) {
+  if (inputs < 1 || outputs < 1 || contexts < 1)
+    throw std::invalid_argument("XramCrossbar: bad dimensions");
+  configs_.assign(static_cast<std::size_t>(contexts),
+                  std::vector<int>(static_cast<std::size_t>(outputs),
+                                   kUnrouted));
+}
+
+void XramCrossbar::select_context(int context) {
+  if (context < 0 || context >= contexts())
+    throw std::out_of_range("XramCrossbar::select_context");
+  active_ = context;
+}
+
+void XramCrossbar::set_route(int output, int input) {
+  if (output < 0 || output >= outputs_)
+    throw std::out_of_range("XramCrossbar::set_route: output");
+  if (input != kUnrouted && (input < 0 || input >= inputs_))
+    throw std::out_of_range("XramCrossbar::set_route: input");
+  configs_[static_cast<std::size_t>(active_)]
+          [static_cast<std::size_t>(output)] = input;
+}
+
+void XramCrossbar::program(std::span<const int> input_per_output) {
+  if (static_cast<int>(input_per_output.size()) != outputs_)
+    throw std::invalid_argument("XramCrossbar::program: size mismatch");
+  for (int o = 0; o < outputs_; ++o) {
+    set_route(o, input_per_output[static_cast<std::size_t>(o)]);
+  }
+}
+
+int XramCrossbar::route(int output) const {
+  if (output < 0 || output >= outputs_)
+    throw std::out_of_range("XramCrossbar::route");
+  return configs_[static_cast<std::size_t>(active_)]
+                 [static_cast<std::size_t>(output)];
+}
+
+std::optional<std::vector<int>> XramCrossbar::bypass_mapping(
+    std::span<const std::uint8_t> faulty_physical, int logical_width) {
+  std::vector<int> map;
+  map.reserve(static_cast<std::size_t>(logical_width));
+  for (std::size_t phys = 0;
+       phys < faulty_physical.size() &&
+       map.size() < static_cast<std::size_t>(logical_width);
+       ++phys) {
+    if (!faulty_physical[phys]) map.push_back(static_cast<int>(phys));
+  }
+  if (map.size() < static_cast<std::size_t>(logical_width))
+    return std::nullopt;
+  return map;
+}
+
+}  // namespace ntv::arch

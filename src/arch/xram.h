@@ -1,0 +1,83 @@
+// XRAM crossbar model (Satpathy et al., VLSI'11).
+//
+// The XRAM is an SRAM-topology swizzle network that stores shuffle
+// configurations at its crosspoints. The paper uses it for *global*
+// sparing: any set of faulty SIMD lanes can be bypassed by programming a
+// configuration that routes the logical lanes onto the surviving physical
+// lanes (Appendix D, Fig. 12). This model captures the functional
+// behaviour (configuration registers, routing, bypass computation) and a
+// first-order area/power proxy (crosspoint count).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ntv::arch {
+
+/// An inputs x outputs crossbar with per-output input-select registers and
+/// multiple stored configurations (the XRAM holds one configuration bit
+/// per crosspoint per context).
+class XramCrossbar {
+ public:
+  /// Sentinel: output not driven.
+  static constexpr int kUnrouted = -1;
+
+  XramCrossbar(int inputs, int outputs, int contexts = 1);
+
+  int inputs() const noexcept { return inputs_; }
+  int outputs() const noexcept { return outputs_; }
+  int contexts() const noexcept { return static_cast<int>(configs_.size()); }
+
+  /// Selects the active stored configuration.
+  void select_context(int context);
+  int active_context() const noexcept { return active_; }
+
+  /// Routes `output` from `input` in the active context.
+  void set_route(int output, int input);
+
+  /// Programs the whole active context: input_per_output[o] is the input
+  /// feeding output o (kUnrouted allowed).
+  void program(std::span<const int> input_per_output);
+
+  /// Input currently feeding `output` (kUnrouted if none).
+  int route(int output) const;
+
+  /// Moves data through the crossbar: out[o] = in[route(o)]; unrouted
+  /// outputs receive `fill`.
+  template <typename T>
+  void apply(std::span<const T> in, std::span<T> out, T fill = T{}) const {
+    if (static_cast<int>(in.size()) != inputs_ ||
+        static_cast<int>(out.size()) != outputs_)
+      throw std::invalid_argument("XramCrossbar::apply: size mismatch");
+    const auto& cfg = configs_[static_cast<std::size_t>(active_)];
+    for (int o = 0; o < outputs_; ++o) {
+      const int i = cfg[static_cast<std::size_t>(o)];
+      out[static_cast<std::size_t>(o)] =
+          (i == kUnrouted) ? fill : in[static_cast<std::size_t>(i)];
+    }
+  }
+
+  /// Computes the lane remap that bypasses faulty physical lanes: result r
+  /// has r[logical] = physical index of the logical lane's replacement,
+  /// preserving order (Fig. 12(c)). Returns nullopt when fewer than
+  /// `logical_width` healthy lanes exist.
+  static std::optional<std::vector<int>> bypass_mapping(
+      std::span<const std::uint8_t> faulty_physical, int logical_width);
+
+  /// Crosspoint count — the first-order area/power proxy of the XRAM
+  /// (grows quadratically when the crossbar widens for spares).
+  long crosspoints() const noexcept {
+    return static_cast<long>(inputs_) * outputs_;
+  }
+
+ private:
+  int inputs_;
+  int outputs_;
+  int active_ = 0;
+  std::vector<std::vector<int>> configs_;
+};
+
+}  // namespace ntv::arch

@@ -1,0 +1,175 @@
+#include "circuit/gates.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/gate_delay.h"
+
+namespace ntv::circuit {
+
+Netlist build_inverter_chain(const device::TechNode& tech,
+                             const ChainConfig& config, NodeId* input,
+                             NodeId* output,
+                             std::vector<NodeId>* stage_outputs) {
+  if (config.stages < 1)
+    throw std::invalid_argument("build_inverter_chain: stages must be >= 1");
+  if (!config.variation.empty() &&
+      config.variation.size() != static_cast<std::size_t>(config.stages))
+    throw std::invalid_argument(
+        "build_inverter_chain: variation size must match stages");
+
+  Netlist nl(tech);
+  const NodeId vdd = nl.add_node("vdd");
+  nl.add_vsource(vdd, kGround, config.vdd);
+
+  const NodeId in = nl.add_node("in");
+  if (input) *input = in;
+
+  NodeId prev = in;
+  for (int s = 0; s < config.stages; ++s) {
+    const NodeId out = nl.add_node("s" + std::to_string(s));
+    InverterVar var;
+    if (!config.variation.empty())
+      var = config.variation[static_cast<std::size_t>(s)];
+
+    Mosfet n;
+    n.type = MosType::kNmos;
+    n.drain = out;
+    n.gate = prev;
+    n.source = kGround;
+    n.width = config.nmos_width;
+    n.dvth = var.nmos.dvth;
+    n.drive_mult = 1.0 + var.nmos.mult;
+    nl.add_mosfet(n);
+
+    Mosfet p;
+    p.type = MosType::kPmos;
+    p.drain = out;
+    p.gate = prev;
+    p.source = vdd;
+    p.width = config.pmos_width;
+    p.dvth = var.pmos.dvth;
+    p.drive_mult = 1.0 + var.pmos.mult;
+    nl.add_mosfet(p);
+
+    nl.add_capacitor(out, kGround, config.load_cap);
+    if (stage_outputs) stage_outputs->push_back(out);
+    prev = out;
+  }
+  if (output) *output = prev;
+  return nl;
+}
+
+ChainTiming measure_chain(const device::TechNode& tech,
+                          const ChainConfig& config,
+                          const TransientOptions* opt_in) {
+  NodeId in = kGround, out = kGround;
+  std::vector<NodeId> stage_nodes;
+  Netlist nl = build_inverter_chain(tech, config, &in, &out, &stage_nodes);
+
+  // Analytic per-stage estimate sets the simulation horizon and step.
+  const device::GateDelayModel model(tech);
+  const double est = model.fo4_delay(config.vdd);
+
+  TransientOptions opt;
+  if (opt_in) {
+    opt = *opt_in;
+  } else {
+    opt.dt = est / 50.0;
+    // Variation can slow stages several-fold in the worst tail; 8x the
+    // nominal total leaves room.
+    opt.t_stop = est * static_cast<double>(config.stages) * 8.0 + 100.0 * opt.dt;
+  }
+
+  // Rising step on the input shortly after t=0 (two steps of lead time let
+  // the chain settle into its DC state first).
+  const double t_step = 2.0 * opt.dt;
+  nl.add_vsource_pwl(in, kGround,
+                     {{0.0, 0.0},
+                      {t_step, 0.0},
+                      {t_step + opt.dt, config.vdd}});
+
+  ChainTiming timing;
+  const TransientResult tr = transient(nl, opt);
+  if (!tr.ok) return timing;
+
+  const double half = config.vdd / 2.0;
+  const auto t_in = tr.at(in).crossing(half, /*rising=*/true);
+  if (!t_in) return timing;
+
+  double t_prev = *t_in;
+  bool rising_out = false;  // First inverter output falls on a rising input.
+  for (std::size_t s = 0; s < stage_nodes.size(); ++s) {
+    const auto t_cross =
+        tr.at(stage_nodes[s]).crossing(half, rising_out, t_prev);
+    if (!t_cross) return timing;
+    timing.stage_delays.push_back(*t_cross - t_prev);
+    t_prev = *t_cross;
+    rising_out = !rising_out;
+  }
+  timing.total_delay = t_prev - *t_in;
+  timing.ok = true;
+  return timing;
+}
+
+double fo4_delay_spice(const device::TechNode& tech, double vdd,
+                       double load_cap) {
+  // A 4-stage chain: measure the average of stage 2 and 3 delays (one
+  // falling, one rising transition in settled surroundings).
+  ChainConfig config;
+  config.stages = 4;
+  config.vdd = vdd;
+  config.load_cap = load_cap;
+  const ChainTiming timing = measure_chain(tech, config);
+  if (!timing.ok) return 0.0;
+  return 0.5 * (timing.stage_delays[1] + timing.stage_delays[2]);
+}
+
+double ring_oscillator_period(const device::TechNode& tech, int stages,
+                              double vdd, double load_cap) {
+  if (stages < 3 || stages % 2 == 0)
+    throw std::invalid_argument(
+        "ring_oscillator_period: need an odd stage count >= 3");
+
+  Netlist nl(tech);
+  const NodeId vdd_node = nl.add_node("vdd");
+  nl.add_vsource(vdd_node, kGround, vdd);
+
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) nodes.push_back(nl.add_node());
+
+  for (int s = 0; s < stages; ++s) {
+    const NodeId in = nodes[static_cast<std::size_t>(s)];
+    const NodeId out = nodes[static_cast<std::size_t>((s + 1) % stages)];
+    Mosfet n{MosType::kNmos, out, in, kGround, 1.0, 0.0, 1.0};
+    Mosfet p{MosType::kPmos, out, in, vdd_node, 2.0, 0.0, 1.0};
+    nl.add_mosfet(n);
+    nl.add_mosfet(p);
+    // Kick the first node low initially to break the metastable DC point.
+    const double init = (s == 0) ? 0.0 : vdd / 2.0;
+    nl.add_capacitor(out, kGround, load_cap, init);
+  }
+
+  const device::GateDelayModel model(tech);
+  const double est = model.fo4_delay(vdd);
+  TransientOptions opt;
+  opt.dt = est / 40.0;
+  opt.t_stop = est * static_cast<double>(stages) * 12.0;
+  opt.dc_init = false;  // A DC solve would settle at the metastable point.
+
+  const TransientResult tr = transient(nl, opt);
+  if (!tr.ok) return 0.0;
+
+  // Period = time between consecutive rising crossings of one node, after
+  // skipping the start-up transient (first third of the run).
+  const auto& w = tr.at(nodes[0]);
+  const double settle = opt.t_stop / 3.0;
+  const auto c1 = w.crossing(vdd / 2.0, true, settle);
+  if (!c1) return 0.0;
+  const auto c2 = w.crossing(vdd / 2.0, true, *c1 + opt.dt);
+  if (!c2) return 0.0;
+  return *c2 - *c1;
+}
+
+}  // namespace ntv::circuit

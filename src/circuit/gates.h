@@ -1,0 +1,70 @@
+// Gate-level circuit builders: inverters, FO4 chains, ring oscillators.
+//
+// These are the structures the paper characterizes with HSPICE. The
+// builders assemble them from the MOSFET primitives, drive them with a
+// step input, and measure 50%-crossing delays, optionally with per-device
+// process variation injected — giving a circuit-level Monte Carlo that
+// validates the closed-form statistical model.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/simulator.h"
+#include "device/variation.h"
+
+namespace ntv::circuit {
+
+/// Per-stage process variation of one inverter.
+struct InverterVar {
+  device::GateVar nmos;
+  device::GateVar pmos;
+};
+
+/// Configuration of an FO4 inverter chain experiment.
+struct ChainConfig {
+  int stages = 5;
+  double vdd = 1.0;
+  double load_cap = 4e-15;      ///< FO4 load per stage output [F].
+  double nmos_width = 1.0;
+  double pmos_width = 2.0;      ///< Classic 2:1 P/N sizing.
+  /// Optional per-stage variation; empty = nominal. Size must equal
+  /// `stages` when non-empty.
+  std::vector<InverterVar> variation;
+};
+
+/// Measured chain timing.
+struct ChainTiming {
+  bool ok = false;
+  /// 50%-crossing delay of each stage [s].
+  std::vector<double> stage_delays;
+  /// Input 50%-crossing to last-output 50%-crossing [s].
+  double total_delay = 0.0;
+};
+
+/// Builds the chain netlist. `input`/`output` receive the boundary nodes;
+/// `stage_outputs` (optional) receives each stage's output node.
+Netlist build_inverter_chain(const device::TechNode& tech,
+                             const ChainConfig& config, NodeId* input,
+                             NodeId* output,
+                             std::vector<NodeId>* stage_outputs = nullptr);
+
+/// Simulates a rising step into the chain and measures stage delays.
+/// Simulation horizon and step are auto-derived from the analytic delay
+/// model estimate unless overridden via `opt` (pass nullptr for auto).
+ChainTiming measure_chain(const device::TechNode& tech,
+                          const ChainConfig& config,
+                          const TransientOptions* opt = nullptr);
+
+/// Average of the rising and falling propagation delay of a single FO4
+/// inverter at `vdd` — the circuit-level counterpart of
+/// device::GateDelayModel::fo4_delay (up to one global load-cap scale).
+double fo4_delay_spice(const device::TechNode& tech, double vdd,
+                       double load_cap = 4e-15);
+
+/// Oscillation period of an N-stage (odd) ring oscillator at `vdd`.
+/// Returns 0 on simulation failure.
+double ring_oscillator_period(const device::TechNode& tech, int stages,
+                              double vdd, double load_cap = 4e-15);
+
+}  // namespace ntv::circuit

@@ -1,0 +1,62 @@
+#include "circuit/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::circuit {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::clear() noexcept {
+  for (auto& v : data_) v = 0.0;
+}
+
+bool lu_solve(DenseMatrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("lu_solve: dimension mismatch");
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot = k;
+    double best = std::abs(a.at(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(a.at(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(k, j), a.at(pivot, j));
+      }
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a.at(i, k) * inv;
+      if (factor == 0.0) continue;
+      a.at(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a.at(i, j) -= factor * a.at(k, j);
+      }
+      b[i] -= factor * b[k];
+    }
+  }
+
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * b[j];
+    b[i] = sum / a.at(i, i);
+  }
+  return true;
+}
+
+}  // namespace ntv::circuit

@@ -1,0 +1,39 @@
+// Small dense linear algebra for MNA systems.
+//
+// Circuit matrices here are tiny (tens of nodes), so a dense LU with
+// partial pivoting is the right tool — no sparse machinery needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ntv::circuit {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets every entry to zero (keeps dimensions).
+  void clear() noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place by LU with partial pivoting. A is overwritten.
+/// Returns false when the matrix is numerically singular.
+bool lu_solve(DenseMatrix& a, std::vector<double>& b);
+
+}  // namespace ntv::circuit

@@ -1,0 +1,56 @@
+// Modified nodal analysis assembly.
+//
+// Unknown vector layout: [v_1 .. v_N, i_vsrc_1 .. i_vsrc_M] where node 0 is
+// ground. Nonlinear MOSFETs are linearized around the current iterate
+// (Newton-Raphson); capacitors enter through trapezoidal companion models
+// supplied by the transient loop.
+#pragma once
+
+#include <vector>
+
+#include "circuit/linear.h"
+#include "circuit/netlist.h"
+#include "device/transistor.h"
+
+namespace ntv::circuit {
+
+/// Capacitor companion state for the trapezoidal rule.
+struct CapCompanion {
+  double geq = 0.0;  ///< 2C/h.
+  double ieq = 0.0;  ///< geq*v_prev + i_prev.
+};
+
+/// Assembles and evaluates the MNA system for one netlist.
+class MnaSystem {
+ public:
+  explicit MnaSystem(const Netlist& netlist);
+
+  /// System dimension: nodes + voltage-source branch currents.
+  std::size_t dimension() const noexcept { return dim_; }
+  std::size_t node_count() const noexcept { return nodes_; }
+
+  /// Builds G and b for the current Newton iterate `x` at time `t`.
+  /// `caps` supplies trapezoidal companions (empty span = DC analysis,
+  /// capacitors open). `gmin` is a convergence-aiding conductance from
+  /// every node to ground.
+  void assemble(const std::vector<double>& x, double t,
+                const std::vector<CapCompanion>& caps, double gmin,
+                DenseMatrix& g, std::vector<double>& b) const;
+
+  /// Drain current flowing into the MOSFET's drain terminal, given node
+  /// voltages of the iterate. Exposed for power/leakage queries and tests.
+  double mosfet_current(const Mosfet& m, const std::vector<double>& x) const;
+
+ private:
+  double volt(const std::vector<double>& x, NodeId n) const {
+    return n == kGround ? 0.0 : x[n - 1];
+  }
+
+  const Netlist* nl_;
+  device::TransistorModel transistor_;
+  std::size_t nodes_;
+  std::size_t dim_;
+  double drive_scale_;  ///< Per-node ampere scale, see mna.cc.
+};
+
+}  // namespace ntv::circuit

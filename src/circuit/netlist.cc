@@ -1,0 +1,54 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ntv::circuit {
+
+double VSource::value(double t) const noexcept {
+  if (pwl.empty()) return dc;
+  if (t <= pwl.front().first) return pwl.front().second;
+  if (t >= pwl.back().first) return pwl.back().second;
+  const auto it = std::upper_bound(
+      pwl.begin(), pwl.end(), t,
+      [](double time, const auto& pt) { return time < pt.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (t - lo.first) / (hi.first - lo.first);
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+NodeId Netlist::add_node(std::string name) {
+  const NodeId id = names_.size();
+  if (name.empty()) name = "n" + std::to_string(id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  r_.push_back({a, b, ohms});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads,
+                            double initial_volts) {
+  c_.push_back({a, b, farads, initial_volts});
+}
+
+std::size_t Netlist::add_vsource(NodeId pos, NodeId neg, double dc) {
+  v_.push_back({pos, neg, dc, {}});
+  return v_.size() - 1;
+}
+
+std::size_t Netlist::add_vsource_pwl(
+    NodeId pos, NodeId neg, std::vector<std::pair<double, double>> pwl) {
+  VSource src;
+  src.pos = pos;
+  src.neg = neg;
+  src.pwl = std::move(pwl);
+  v_.push_back(std::move(src));
+  return v_.size() - 1;
+}
+
+void Netlist::add_mosfet(const Mosfet& m) { m_.push_back(m); }
+
+}  // namespace ntv::circuit

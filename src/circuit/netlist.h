@@ -1,0 +1,107 @@
+// Circuit netlist: nodes and elements.
+//
+// A deliberately small SPICE-like representation, sufficient for the
+// structures the paper simulates: FO4 inverter chains and ring oscillators
+// built from the transregional MOSFET model, with per-device threshold
+// shifts so circuit-level Monte Carlo matches the statistical model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "device/tech_node.h"
+
+namespace ntv::circuit {
+
+/// Node handle; kGround (node 0) is the reference.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+/// Two-terminal linear resistor.
+struct Resistor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 1.0;
+};
+
+/// Two-terminal linear capacitor.
+struct Capacitor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 1e-15;
+  double initial_volts = 0.0;  ///< Initial condition used by transient.
+};
+
+/// Piecewise-linear voltage source between node `pos` and ground reference
+/// node `neg`. With an empty waveform the source holds `dc` forever.
+struct VSource {
+  NodeId pos = kGround;
+  NodeId neg = kGround;
+  double dc = 0.0;
+  /// Sorted (time, volts) breakpoints; value is held outside the range.
+  std::vector<std::pair<double, double>> pwl;
+
+  /// Source value at time t.
+  double value(double t) const noexcept;
+};
+
+/// MOSFET polarity.
+enum class MosType { kNmos, kPmos };
+
+/// Quasi-static MOSFET using the transregional on-current model:
+///   |Ids| = width * K * softplus((|Vgs|-Vth)/(2 n vT))^alpha
+///           * tanh(|Vds| / vsat)
+/// with per-instance threshold shift (process variation) and drive
+/// multiplier. Gate capacitance is not modeled inside the device; lump it
+/// as explicit capacitors (the gate builders do this).
+struct Mosfet {
+  MosType type = MosType::kNmos;
+  NodeId drain = kGround;
+  NodeId gate = kGround;
+  NodeId source = kGround;
+  double width = 1.0;       ///< Relative drive strength.
+  double dvth = 0.0;        ///< Per-instance threshold shift [V].
+  double drive_mult = 1.0;  ///< Per-instance multiplicative drive factor.
+};
+
+/// The netlist: a bag of elements over a set of nodes.
+class Netlist {
+ public:
+  /// Creates a netlist for devices of the given technology node.
+  explicit Netlist(const device::TechNode& tech) : tech_(&tech) {}
+
+  /// Allocates a new node; `name` is for diagnostics only.
+  NodeId add_node(std::string name = {});
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads,
+                     double initial_volts = 0.0);
+  /// Returns the index of the added source (for waveform updates).
+  std::size_t add_vsource(NodeId pos, NodeId neg, double dc);
+  std::size_t add_vsource_pwl(NodeId pos, NodeId neg,
+                              std::vector<std::pair<double, double>> pwl);
+  void add_mosfet(const Mosfet& m);
+
+  /// Number of non-ground nodes (node ids run 0..node_count()).
+  std::size_t node_count() const noexcept { return names_.size() - 1; }
+  const std::string& node_name(NodeId n) const { return names_.at(n); }
+
+  const device::TechNode& tech() const noexcept { return *tech_; }
+  const std::vector<Resistor>& resistors() const noexcept { return r_; }
+  const std::vector<Capacitor>& capacitors() const noexcept { return c_; }
+  const std::vector<VSource>& vsources() const noexcept { return v_; }
+  std::vector<VSource>& vsources() noexcept { return v_; }
+  const std::vector<Mosfet>& mosfets() const noexcept { return m_; }
+  std::vector<Mosfet>& mosfets() noexcept { return m_; }
+
+ private:
+  const device::TechNode* tech_;
+  std::vector<std::string> names_{"gnd"};
+  std::vector<Resistor> r_;
+  std::vector<Capacitor> c_;
+  std::vector<VSource> v_;
+  std::vector<Mosfet> m_;
+};
+
+}  // namespace ntv::circuit

@@ -1,0 +1,137 @@
+#include "circuit/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntv::circuit {
+
+namespace {
+
+/// One Newton solve of the (possibly companion-augmented) system at time t.
+/// `x` holds the initial guess on entry and the solution on success.
+bool newton_solve(const MnaSystem& sys, double t,
+                  const std::vector<CapCompanion>& caps,
+                  const NewtonOptions& opt, std::vector<double>& x,
+                  int* iterations_out) {
+  const std::size_t dim = sys.dimension();
+  DenseMatrix g(dim, dim);
+  std::vector<double> b(dim);
+  std::vector<double> x_new(dim);
+
+  // Per-node step caps with oscillation detection: Newton on saturating
+  // device characteristics (tanh output stage) overshoots and would bounce
+  // at a fixed damping cap forever, so a node whose update flips sign gets
+  // its cap halved, and consistent directions earn it back.
+  std::vector<double> cap(dim, opt.damping);
+  std::vector<double> last_dx(dim, 0.0);
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    sys.assemble(x, t, caps, opt.gmin, g, b);
+    x_new = b;
+    if (!lu_solve(g, x_new)) return false;
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      double dx = x_new[i] - x[i];
+      if (i < sys.node_count()) {
+        if (dx * last_dx[i] < 0.0) {
+          cap[i] = std::max(cap[i] * 0.5, 1e-12);
+        } else {
+          cap[i] = std::min(cap[i] * 1.5, opt.damping);
+        }
+        dx = std::clamp(dx, -cap[i], cap[i]);
+        last_dx[i] = dx;
+        max_dv = std::max(max_dv, std::abs(dx));
+      }
+      x[i] += dx;
+    }
+    if (iterations_out) *iterations_out = iter + 1;
+    if (max_dv < opt.abs_tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DcResult dc_operating_point(const Netlist& netlist, double t,
+                            const NewtonOptions& opt) {
+  MnaSystem sys(netlist);
+  DcResult result;
+  result.x.assign(sys.dimension(), 0.0);
+
+  // Gmin stepping: solve with a strong leak first, then relax it. This
+  // reliably converges the rail-to-rail DC points of inverter chains.
+  const std::vector<CapCompanion> no_caps;
+  for (double gmin : {1e-3, 1e-5, 1e-7, opt.gmin}) {
+    NewtonOptions step_opt = opt;
+    step_opt.gmin = std::max(gmin, opt.gmin);
+    int iters = 0;
+    result.converged =
+        newton_solve(sys, t, no_caps, step_opt, result.x, &iters);
+    result.iterations += iters;
+    if (!result.converged) return result;
+  }
+  return result;
+}
+
+TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
+  MnaSystem sys(netlist);
+  TransientResult result;
+  const std::size_t nodes = netlist.node_count();
+
+  std::vector<double> x(sys.dimension(), 0.0);
+  if (opt.dc_init) {
+    DcResult dc = dc_operating_point(netlist, 0.0, opt.newton);
+    if (!dc.converged) return result;
+    x = dc.x;
+  } else {
+    // Honor capacitor initial conditions as node guesses.
+    for (const auto& c : netlist.capacitors()) {
+      if (c.a != kGround) x[c.a - 1] = c.initial_volts;
+    }
+  }
+
+  auto volt = [&](NodeId n) { return n == kGround ? 0.0 : x[n - 1]; };
+
+  // Initialize companion states from the initial solution.
+  const std::size_t nc = netlist.capacitors().size();
+  std::vector<double> v_prev(nc), i_prev(nc, 0.0);
+  std::vector<CapCompanion> caps(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const auto& c = netlist.capacitors()[i];
+    v_prev[i] = volt(c.a) - volt(c.b);
+  }
+
+  result.node_waveforms.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    result.node_waveforms.emplace_back(0.0, opt.dt);
+    result.node_waveforms.back().push(x[n]);
+  }
+
+  const auto steps = static_cast<std::size_t>(std::ceil(opt.t_stop / opt.dt));
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const double t = opt.dt * static_cast<double>(s);
+    for (std::size_t i = 0; i < nc; ++i) {
+      const double geq = 2.0 * netlist.capacitors()[i].farads / opt.dt;
+      caps[i].geq = geq;
+      caps[i].ieq = geq * v_prev[i] + i_prev[i];
+    }
+    if (!newton_solve(sys, t, caps, opt.newton, x, nullptr)) {
+      return result;  // ok stays false.
+    }
+    for (std::size_t i = 0; i < nc; ++i) {
+      const auto& c = netlist.capacitors()[i];
+      const double v_now = volt(c.a) - volt(c.b);
+      // Trapezoidal branch current update: i = geq*(v - v_prev) - i_prev.
+      i_prev[i] = caps[i].geq * (v_now - v_prev[i]) - i_prev[i];
+      v_prev[i] = v_now;
+    }
+    for (std::size_t n = 0; n < nodes; ++n) {
+      result.node_waveforms[n].push(x[n]);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ntv::circuit

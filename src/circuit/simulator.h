@@ -1,0 +1,52 @@
+// DC operating point and transient analysis.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "circuit/waveform.h"
+
+namespace ntv::circuit {
+
+/// Newton-iteration options.
+struct NewtonOptions {
+  int max_iterations = 100;
+  double abs_tol = 1e-9;     ///< Convergence threshold on max |dV|.
+  double damping = 0.3;      ///< Max per-iteration voltage step [V].
+  double gmin = 1e-9;        ///< Node-to-ground leak conductance [S].
+};
+
+/// Result of a DC solve.
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> x;  ///< Solution vector (nodes then branch currents).
+};
+
+/// Solves the DC operating point at time `t` (sources evaluated at t,
+/// capacitors open).
+DcResult dc_operating_point(const Netlist& netlist, double t = 0.0,
+                            const NewtonOptions& opt = {});
+
+/// Transient options (fixed-step trapezoidal integration).
+struct TransientOptions {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  bool dc_init = true;  ///< Start from the DC operating point at t=0.
+  NewtonOptions newton;
+};
+
+/// Result of a transient analysis: one waveform per non-ground node.
+struct TransientResult {
+  bool ok = false;
+  std::vector<Waveform> node_waveforms;  ///< Index node_id - 1.
+
+  const Waveform& at(NodeId node) const { return node_waveforms.at(node - 1); }
+};
+
+/// Runs a fixed-step trapezoidal transient with Newton at each step.
+TransientResult transient(const Netlist& netlist,
+                          const TransientOptions& opt);
+
+}  // namespace ntv::circuit

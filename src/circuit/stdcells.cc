@@ -1,0 +1,89 @@
+#include "circuit/stdcells.h"
+
+#include <stdexcept>
+
+#include "circuit/simulator.h"
+
+namespace ntv::circuit {
+
+NodeId add_inverter(Netlist& netlist, NodeId vdd, NodeId input,
+                    double load_cap, const device::GateVar& nmos_var,
+                    const device::GateVar& pmos_var) {
+  const NodeId out = netlist.add_node();
+  Mosfet n{MosType::kNmos, out, input, kGround, 1.0, nmos_var.dvth,
+           1.0 + nmos_var.mult};
+  Mosfet p{MosType::kPmos, out, input, vdd, 2.0, pmos_var.dvth,
+           1.0 + pmos_var.mult};
+  netlist.add_mosfet(n);
+  netlist.add_mosfet(p);
+  netlist.add_capacitor(out, kGround, load_cap);
+  return out;
+}
+
+NodeId add_nand2(Netlist& netlist, NodeId vdd, NodeId a, NodeId b,
+                 double load_cap, const Cell2Var& var) {
+  const NodeId out = netlist.add_node();
+  const NodeId mid = netlist.add_node();  // Between the series NMOS pair.
+
+  // Series pulldown (double width balances the stack resistance).
+  Mosfet na{MosType::kNmos, out, a, mid, 2.0, var.nmos_a.dvth,
+            1.0 + var.nmos_a.mult};
+  Mosfet nb{MosType::kNmos, mid, b, kGround, 2.0, var.nmos_b.dvth,
+            1.0 + var.nmos_b.mult};
+  // Parallel pullup.
+  Mosfet pa{MosType::kPmos, out, a, vdd, 2.0, var.pmos_a.dvth,
+            1.0 + var.pmos_a.mult};
+  Mosfet pb{MosType::kPmos, out, b, vdd, 2.0, var.pmos_b.dvth,
+            1.0 + var.pmos_b.mult};
+  netlist.add_mosfet(na);
+  netlist.add_mosfet(nb);
+  netlist.add_mosfet(pa);
+  netlist.add_mosfet(pb);
+  // Small parasitic on the internal node keeps the transient well-posed.
+  netlist.add_capacitor(mid, kGround, load_cap / 20.0);
+  netlist.add_capacitor(out, kGround, load_cap);
+  return out;
+}
+
+NodeId add_nor2(Netlist& netlist, NodeId vdd, NodeId a, NodeId b,
+                double load_cap, const Cell2Var& var) {
+  const NodeId out = netlist.add_node();
+  const NodeId mid = netlist.add_node();  // Between the series PMOS pair.
+
+  // Parallel pulldown.
+  Mosfet na{MosType::kNmos, out, a, kGround, 1.0, var.nmos_a.dvth,
+            1.0 + var.nmos_a.mult};
+  Mosfet nb{MosType::kNmos, out, b, kGround, 1.0, var.nmos_b.dvth,
+            1.0 + var.nmos_b.mult};
+  // Series pullup (quadruple width balances the weak stacked PMOS).
+  Mosfet pa{MosType::kPmos, mid, a, vdd, 4.0, var.pmos_a.dvth,
+            1.0 + var.pmos_a.mult};
+  Mosfet pb{MosType::kPmos, out, b, mid, 4.0, var.pmos_b.dvth,
+            1.0 + var.pmos_b.mult};
+  netlist.add_mosfet(na);
+  netlist.add_mosfet(nb);
+  netlist.add_mosfet(pa);
+  netlist.add_mosfet(pb);
+  netlist.add_capacitor(mid, kGround, load_cap / 20.0);
+  netlist.add_capacitor(out, kGround, load_cap);
+  return out;
+}
+
+double dc_output(const device::TechNode& tech, double vdd, bool a, bool b,
+                 NodeId (*build)(Netlist&, NodeId, NodeId, NodeId)) {
+  Netlist netlist(tech);
+  const NodeId vdd_node = netlist.add_node("vdd");
+  netlist.add_vsource(vdd_node, kGround, vdd);
+  const NodeId a_node = netlist.add_node("a");
+  const NodeId b_node = netlist.add_node("b");
+  netlist.add_vsource(a_node, kGround, a ? vdd : 0.0);
+  netlist.add_vsource(b_node, kGround, b ? vdd : 0.0);
+
+  const NodeId out = build(netlist, vdd_node, a_node, b_node);
+  const DcResult dc = dc_operating_point(netlist);
+  if (!dc.converged)
+    throw std::runtime_error("dc_output: operating point did not converge");
+  return dc.x[out - 1];
+}
+
+}  // namespace ntv::circuit

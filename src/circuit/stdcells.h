@@ -1,0 +1,45 @@
+// Small standard-cell library on top of the MOSFET primitives.
+//
+// Besides the inverter chains the paper characterizes, real SIMD
+// datapaths are built from multi-input gates whose stacked devices make
+// them *more* variation-sensitive (two series near-threshold transistors
+// share one Vth-limited headroom). These builders let tests and studies
+// quantify that at the circuit level.
+#pragma once
+
+#include "circuit/netlist.h"
+#include "device/variation.h"
+
+namespace ntv::circuit {
+
+/// Per-device variation of one two-input cell.
+struct Cell2Var {
+  device::GateVar nmos_a;
+  device::GateVar nmos_b;
+  device::GateVar pmos_a;
+  device::GateVar pmos_b;
+};
+
+/// Adds an inverter; returns its output node. Width ratio 2:1 (P:N).
+NodeId add_inverter(Netlist& netlist, NodeId vdd, NodeId input,
+                    double load_cap, const device::GateVar& nmos_var = {},
+                    const device::GateVar& pmos_var = {});
+
+/// Adds a 2-input NAND (series NMOS stack, parallel PMOS); returns the
+/// output node. NMOS devices are double-width to balance the stack.
+NodeId add_nand2(Netlist& netlist, NodeId vdd, NodeId a, NodeId b,
+                 double load_cap, const Cell2Var& var = {});
+
+/// Adds a 2-input NOR (parallel NMOS, series PMOS stack); returns the
+/// output node. PMOS devices are quadruple-width to balance the stack.
+NodeId add_nor2(Netlist& netlist, NodeId vdd, NodeId a, NodeId b,
+                double load_cap, const Cell2Var& var = {});
+
+/// DC truth-table check helper: returns the settled output voltage of the
+/// cell produced by `build` for the given input levels. The `build`
+/// callback receives (netlist, vdd_node, a_node, b_node) and must return
+/// the output node.
+double dc_output(const device::TechNode& tech, double vdd, bool a, bool b,
+                 NodeId (*build)(Netlist&, NodeId, NodeId, NodeId));
+
+}  // namespace ntv::circuit

@@ -1,0 +1,77 @@
+#include "circuit/vcd.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ntv::circuit {
+
+namespace {
+
+/// VCD identifier for signal `index`: short printable-ASCII strings.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+}  // namespace
+
+std::string to_vcd(const Netlist& netlist, const TransientResult& result,
+                   const VcdOptions& options) {
+  if (!result.ok)
+    throw std::invalid_argument("to_vcd: transient result not ok");
+  const std::size_t nodes = result.node_waveforms.size();
+
+  std::string out;
+  out += "$date ntvsim $end\n";
+  out += "$version ntvsim mini-SPICE $end\n";
+  out += "$timescale " + options.timescale + " $end\n";
+  out += "$scope module circuit $end\n";
+  for (std::size_t n = 0; n < nodes; ++n) {
+    out += "$var real 64 " + vcd_id(n) + " " + netlist.node_name(n + 1) +
+           " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<double> last(nodes, NAN);
+  char buf[64];
+  const std::size_t samples = result.node_waveforms.front().size();
+  for (std::size_t s = 0; s < samples; ++s) {
+    bool stamped = false;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double v = result.node_waveforms[n].value(s);
+      if (!std::isnan(last[n]) &&
+          std::abs(v - last[n]) < options.resolution) {
+        continue;
+      }
+      if (!stamped) {
+        const double t = result.node_waveforms[n].time(s) /
+                         options.time_unit;
+        std::snprintf(buf, sizeof(buf), "#%lld\n",
+                      static_cast<long long>(std::llround(t)));
+        out += buf;
+        stamped = true;
+      }
+      std::snprintf(buf, sizeof(buf), "r%.9g %s\n", v,
+                    vcd_id(n).c_str());
+      out += buf;
+      last[n] = v;
+    }
+  }
+  return out;
+}
+
+void write_vcd(const std::string& path, const Netlist& netlist,
+               const TransientResult& result, const VcdOptions& options) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_vcd: cannot open " + path);
+  file << to_vcd(netlist, result, options);
+  if (!file) throw std::runtime_error("write_vcd: write failed " + path);
+}
+
+}  // namespace ntv::circuit

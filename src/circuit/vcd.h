@@ -1,0 +1,33 @@
+// VCD (Value Change Dump) export of transient waveforms.
+//
+// Real-valued VCD ($var real ...) viewable in GTKWave and friends, so the
+// mini-SPICE runs can be inspected with standard EDA tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/simulator.h"
+
+namespace ntv::circuit {
+
+/// Options for the dump.
+struct VcdOptions {
+  std::string timescale = "1ps";  ///< VCD timescale directive.
+  double time_unit = 1e-12;       ///< Seconds per VCD time tick.
+  /// Minimum voltage change recorded (suppresses numeric chatter).
+  double resolution = 1e-6;
+};
+
+/// Renders the transient result as VCD text. Node names come from the
+/// netlist; every non-ground node becomes a real-valued signal.
+std::string to_vcd(const Netlist& netlist, const TransientResult& result,
+                   const VcdOptions& options = {});
+
+/// Writes the VCD to a file; throws std::runtime_error on I/O failure.
+void write_vcd(const std::string& path, const Netlist& netlist,
+               const TransientResult& result,
+               const VcdOptions& options = {});
+
+}  // namespace ntv::circuit

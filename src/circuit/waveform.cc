@@ -1,0 +1,21 @@
+#include "circuit/waveform.h"
+
+namespace ntv::circuit {
+
+std::optional<double> Waveform::crossing(double level, bool rising,
+                                         double after) const noexcept {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double t1 = time(i);
+    if (t1 < after) continue;
+    const double v0 = samples_[i - 1];
+    const double v1 = samples_[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    return time(i - 1) + frac * dt_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ntv::circuit

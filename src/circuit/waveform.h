@@ -1,0 +1,37 @@
+// Sampled waveforms and timing measurements.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace ntv::circuit {
+
+/// A uniformly-sampled voltage waveform.
+class Waveform {
+ public:
+  Waveform(double t0, double dt) : t0_(t0), dt_(dt) {}
+
+  void push(double v) { samples_.push_back(v); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  double time(std::size_t i) const noexcept {
+    return t0_ + dt_ * static_cast<double>(i);
+  }
+  double value(std::size_t i) const { return samples_.at(i); }
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// First time the waveform crosses `level` in the given direction,
+  /// starting the search at `after`. Linear interpolation between samples.
+  /// Returns nullopt if no crossing is found.
+  std::optional<double> crossing(double level, bool rising,
+                                 double after = 0.0) const noexcept;
+
+  /// Final value of the waveform (steady state when simulated long enough).
+  double last() const { return samples_.back(); }
+
+ private:
+  double t0_;
+  double dt_;
+  std::vector<double> samples_;
+};
+
+}  // namespace ntv::circuit

@@ -1,0 +1,106 @@
+#include "core/body_bias.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/simd_timing.h"
+#include "device/transistor.h"
+#include "energy/energy_model.h"
+#include "stats/percentile.h"
+#include "stats/root_find.h"
+
+namespace ntv::core {
+
+BodyBiasSolver::BodyBiasSolver(const device::TechNode& node,
+                               MitigationConfig config,
+                               double leak_share_nominal)
+    : node_(node),
+      study_(node_, config),
+      leak_share_nominal_(leak_share_nominal) {
+  if (leak_share_nominal <= 0.0)
+    throw std::invalid_argument("BodyBiasSolver: bad leakage share");
+}
+
+double BodyBiasSolver::chip_delay_p99_biased(double vdd,
+                                             double delta) const {
+  // A -delta body-bias shift is a new card with vth0 lowered; the
+  // calibrated sigma parameters describe RDF/LER and are unchanged.
+  device::TechNode biased = node_;
+  biased.vth0 -= delta;
+  // Keep the unbiased card's absolute drive scale (K*C): the reference
+  // delay must be what the biased device achieves at the reference
+  // voltage, otherwise the model silently renormalizes the speedup away.
+  const device::GateDelayModel original(node_);
+  biased.fo4_ref_delay = original.delay(node_.fo4_ref_vdd, -delta, 0.0);
+  const device::VariationModel model(biased, study_.model().params());
+  const arch::ChipDelaySampler sampler(model, vdd, study_.config().timing,
+                                       study_.config().dist);
+  stats::MonteCarloOptions opt;
+  opt.seed = study_.config().seed;
+  const auto mc =
+      arch::mc_chip_delays(sampler, study_.config().chip_samples,
+                           study_.config().timing.simd_width, 0, opt);
+  return stats::percentile(mc.delays,
+                           study_.config().signoff_percentile);
+}
+
+double BodyBiasSolver::leakage_multiplier(double vdd, double delta) const {
+  // Off-current ratio from the transregional model at gate bias 0 with
+  // DIBL, evaluated at the shifted and unshifted thresholds.
+  constexpr double kDibl = 0.1;
+  const double two_n_vt =
+      2.0 * node_.n_slope * device::kThermalVoltage;
+  const double x0 = (-node_.vth0 + kDibl * vdd) / two_n_vt;
+  const double x1 = (-(node_.vth0 - delta) + kDibl * vdd) / two_n_vt;
+  return std::pow(device::softplus(x1) / device::softplus(x0),
+                  node_.alpha);
+}
+
+double BodyBiasSolver::leakage_share(double vdd) const {
+  const energy::EnergyModel em(node_, leak_share_nominal_);
+  const auto p = em.at(vdd);
+  return p.leakage_energy / p.total_energy;
+}
+
+BodyBiasResult BodyBiasSolver::required_bias(double vdd,
+                                             double max_delta) const {
+  const double target = study_.target_delay(vdd);
+
+  BodyBiasResult result;
+  auto excess = [&](double delta) {
+    return chip_delay_p99_biased(vdd, delta) - target;
+  };
+
+  if (excess(0.0) <= 0.0) {
+    result.feasible = true;
+    return result;
+  }
+  // Bracket by doubling from 1 mV of Vth shift.
+  double hi = 1e-3;
+  while (hi <= max_delta && excess(hi) > 0.0) hi *= 2.0;
+  if (hi > max_delta) {
+    result.feasible = false;
+    result.delta_vth = max_delta;
+    result.leakage_multiplier = leakage_multiplier(vdd, max_delta);
+    result.power_overhead = study_.config().area_power.dv_power_frac *
+                            leakage_share(vdd) *
+                            (result.leakage_multiplier - 1.0);
+    return result;
+  }
+
+  stats::RootOptions opt;
+  opt.x_tol = 1e-5;
+  const auto root = stats::brent(excess, 0.0, hi, opt);
+  double delta = root.x;
+  if (excess(delta) > 0.0) delta += opt.x_tol;
+
+  result.feasible = true;
+  result.delta_vth = delta;
+  result.leakage_multiplier = leakage_multiplier(vdd, delta);
+  result.power_overhead = study_.config().area_power.dv_power_frac *
+                          leakage_share(vdd) *
+                          (result.leakage_multiplier - 1.0);
+  return result;
+}
+
+}  // namespace ntv::core

@@ -1,0 +1,62 @@
+// Adaptive body bias (ABB) as a fourth mitigation technique.
+//
+// The paper's related work (EVAL, Sarangi et al.) trades variation-induced
+// timing errors against power using adaptive body bias / adaptive supply
+// voltage. This solver adds that option to the comparison: forward body
+// bias lowers the effective threshold voltage of the whole DV domain,
+// which speeds the datapath up (strongly, near threshold) at the cost of
+// exponentially increased subthreshold leakage.
+//
+// Model: a bias shifting Vth by -delta turns the node card's vth0 into
+// vth0 - delta for every device (systematic, not per-gate); the required
+// delta is solved against the Section 4.2 target delay, and the power
+// cost is the DV domain's leakage share scaled by the subthreshold
+// leakage multiplier exp-like factor implied by the transregional model.
+#pragma once
+
+#include "core/mitigation.h"
+#include "device/tech_node.h"
+
+namespace ntv::core {
+
+/// Result of the body-bias sizing at one operating point.
+struct BodyBiasResult {
+  double delta_vth = 0.0;        ///< Required threshold reduction [V].
+  bool feasible = false;         ///< False when delta exceeds the cap.
+  double leakage_multiplier = 1.0;  ///< I_off(vth0-delta)/I_off(vth0).
+  double power_overhead = 0.0;   ///< Fraction of PE power.
+};
+
+/// Sizes forward body bias against the same target the margin solver uses.
+/// Not thread-safe (owns a MitigationStudy for the baseline target).
+class BodyBiasSolver {
+ public:
+  /// `leak_share_nominal`: leakage fraction of DV-domain power at the
+  /// node's nominal voltage (the energy model's default ratio).
+  explicit BodyBiasSolver(const device::TechNode& node,
+                          MitigationConfig config = {},
+                          double leak_share_nominal = 0.01);
+
+  /// Smallest Vth reduction meeting target_delay(vdd) at the sign-off
+  /// percentile; search capped at `max_delta` volts.
+  BodyBiasResult required_bias(double vdd, double max_delta = 0.15) const;
+
+  /// Sign-off chip delay at `vdd` with the DV domain biased by -delta.
+  double chip_delay_p99_biased(double vdd, double delta) const;
+
+  /// Leakage multiplier of a -delta Vth shift at supply `vdd`.
+  double leakage_multiplier(double vdd, double delta) const;
+
+  /// Leakage share of DV-domain power at `vdd` (grows as Vdd falls, since
+  /// dynamic power shrinks quadratically while leakage does not).
+  double leakage_share(double vdd) const;
+
+  const MitigationStudy& baseline() const noexcept { return study_; }
+
+ private:
+  device::TechNode node_;
+  MitigationStudy study_;
+  double leak_share_nominal_;
+};
+
+}  // namespace ntv::core

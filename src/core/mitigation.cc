@@ -1,0 +1,192 @@
+#include "core/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/percentile.h"
+#include "stats/root_find.h"
+
+namespace ntv::core {
+
+MitigationStudy::MitigationStudy(const device::TechNode& node,
+                                 MitigationConfig config)
+    : model_(node), config_(config) {}
+
+std::int64_t MitigationStudy::vkey(double vdd) const noexcept {
+  // Quantize to 0.1 uV so float noise cannot split cache entries.
+  return static_cast<std::int64_t>(std::llround(vdd * 1e7));
+}
+
+const arch::ChipDelaySampler& MitigationStudy::sampler(double vdd) const {
+  const auto key = vkey(vdd);
+  auto it = samplers_.find(key);
+  if (it == samplers_.end()) {
+    it = samplers_
+             .emplace(key, arch::ChipDelaySampler(model_, vdd, config_.timing,
+                                                  config_.dist))
+             .first;
+  }
+  return it->second;
+}
+
+arch::ChipMcResult MitigationStudy::mc_chip(double vdd, int spares) const {
+  stats::MonteCarloOptions opt;
+  opt.seed = config_.seed;
+  return arch::mc_chip_delays(sampler(vdd), config_.chip_samples,
+                              config_.timing.simd_width, spares, opt);
+}
+
+double MitigationStudy::chip_delay_p99(double vdd, int spares) const {
+  const auto key = std::make_pair(vkey(vdd), spares);
+  auto it = p99_cache_.find(key);
+  if (it != p99_cache_.end()) return it->second;
+  const double p99 =
+      mc_chip(vdd, spares).percentile(config_.signoff_percentile);
+  p99_cache_.emplace(key, p99);
+  return p99;
+}
+
+double MitigationStudy::fo4_chip_delay_p99(double vdd, int spares) const {
+  return chip_delay_p99(vdd, spares) / sampler(vdd).fo4_unit();
+}
+
+double MitigationStudy::performance_drop_pct(double vdd) const {
+  const double at_fv = fo4_chip_delay_p99(node().nominal_vdd);
+  const double at_ntv = fo4_chip_delay_p99(vdd);
+  return 100.0 * (at_ntv - at_fv) / at_fv;
+}
+
+double MitigationStudy::target_delay(double vdd) const {
+  // The normalized sign-off delay of the nominal-voltage system, expressed
+  // in absolute time at `vdd` (Section 4.2's scaled baseline).
+  return fo4_chip_delay_p99(node().nominal_vdd) * sampler(vdd).fo4_unit();
+}
+
+DuplicationResult MitigationStudy::required_spares(double vdd,
+                                                   int max_spares) const {
+  const double baseline = fo4_chip_delay_p99(node().nominal_vdd);
+
+  // One Monte Carlo run with width + max_spares lanes yields the sign-off
+  // delay for EVERY spare count via per-chip prefix curves.
+  const int width = config_.timing.simd_width;
+  const std::size_t row_width =
+      static_cast<std::size_t>(width) + static_cast<std::size_t>(max_spares);
+  const auto& smp = sampler(vdd);
+
+  stats::MonteCarloOptions opt;
+  opt.seed = config_.seed;
+  const std::vector<double> rows = stats::monte_carlo_rows(
+      config_.chip_samples, row_width,
+      [&smp, row_width](stats::Xoshiro256pp& rng, std::size_t, double* out) {
+        smp.sample_lanes(rng, std::span<double>(out, row_width));
+      },
+      opt);
+
+  // delays_by_alpha[alpha][chip]
+  const std::size_t n_alpha = static_cast<std::size_t>(max_spares) + 1;
+  std::vector<std::vector<double>> delays_by_alpha(
+      n_alpha, std::vector<double>(config_.chip_samples));
+  for (std::size_t chip = 0; chip < config_.chip_samples; ++chip) {
+    const auto curve = arch::ChipDelaySampler::chip_delay_curve(
+        std::span<const double>(rows.data() + chip * row_width, row_width),
+        width);
+    for (std::size_t a = 0; a < n_alpha; ++a) {
+      delays_by_alpha[a][chip] = curve[a];
+    }
+  }
+
+  const double fo4 = smp.fo4_unit();
+  auto meets = [&](long alpha) {
+    const double p99 = stats::percentile(
+        delays_by_alpha[static_cast<std::size_t>(alpha)],
+        config_.signoff_percentile);
+    return p99 / fo4 <= baseline;
+  };
+
+  DuplicationResult result;
+  const long alpha = stats::smallest_true(meets, 0, max_spares);
+  if (alpha > max_spares) {
+    result.feasible = false;
+    result.spares = max_spares + 1;
+    result.area_overhead =
+        config_.area_power.duplication_area_overhead(max_spares + 1);
+    result.power_overhead =
+        config_.area_power.duplication_power_overhead(max_spares + 1);
+    return result;
+  }
+  result.feasible = true;
+  result.spares = static_cast<int>(alpha);
+  result.area_overhead =
+      config_.area_power.duplication_area_overhead(result.spares);
+  result.power_overhead =
+      config_.area_power.duplication_power_overhead(result.spares);
+  return result;
+}
+
+VoltageMarginResult MitigationStudy::required_voltage_margin(
+    double vdd, int spares, double max_margin) const {
+  const double target = target_delay(vdd);
+
+  auto excess = [&](double margin) {
+    return chip_delay_p99(vdd + margin, spares) - target;
+  };
+
+  VoltageMarginResult result;
+  if (excess(0.0) <= 0.0) {
+    result.margin = 0.0;
+    result.feasible = true;
+    result.power_overhead = 0.0;
+    return result;
+  }
+
+  // Bracket the root by doubling from 1 mV.
+  double hi = 1e-3;
+  while (hi <= max_margin && excess(hi) > 0.0) hi *= 2.0;
+  if (hi > max_margin) {
+    result.feasible = false;
+    result.margin = max_margin;
+    result.power_overhead =
+        config_.area_power.vmargin_power_overhead(vdd, max_margin);
+    return result;
+  }
+
+  stats::RootOptions ropt;
+  ropt.x_tol = 1e-5;  // 10 uV resolution.
+  const auto root = stats::brent(excess, 0.0, hi, ropt);
+
+  // Round the margin UP to the resolution so the target is actually met.
+  double margin = root.x;
+  if (excess(margin) > 0.0) margin += ropt.x_tol;
+  result.margin = margin;
+  result.feasible = true;
+  result.power_overhead =
+      config_.area_power.vmargin_power_overhead(vdd, margin);
+  return result;
+}
+
+FrequencyMarginResult MitigationStudy::frequency_margin(double vdd) const {
+  FrequencyMarginResult result;
+  result.t_clk = target_delay(vdd);
+  result.t_va_clk = chip_delay_p99(vdd);
+  result.drop_pct = 100.0 * (result.t_va_clk - result.t_clk) / result.t_clk;
+  return result;
+}
+
+std::vector<CombinedChoice> MitigationStudy::explore_combined(
+    double vdd, std::span<const int> spare_counts, double max_margin) const {
+  std::vector<CombinedChoice> choices;
+  choices.reserve(spare_counts.size());
+  for (int spares : spare_counts) {
+    const auto vm = required_voltage_margin(vdd, spares, max_margin);
+    CombinedChoice choice;
+    choice.spares = spares;
+    choice.margin = vm.margin;
+    choice.feasible = vm.feasible;
+    choice.power_overhead = config_.area_power.combined_power_overhead(
+        spares, vdd, vm.feasible ? vm.margin : max_margin);
+    choices.push_back(choice);
+  }
+  return choices;
+}
+
+}  // namespace ntv::core

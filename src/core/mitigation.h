@@ -1,0 +1,131 @@
+// Architecture-level variation analysis and mitigation (Sections 3.2, 4).
+//
+// Everything the paper's evaluation reports flows through this class:
+//
+//  * chip-delay distributions of the N-wide SIMD datapath (Fig. 3, 5, 6);
+//  * performance drop at near-threshold voltage vs nominal (Fig. 4);
+//  * structural duplication sizing + overhead (Table 1, Fig. 5);
+//  * voltage margining (Table 2, Fig. 6) and its power overhead;
+//  * frequency margining (Table 4);
+//  * combined duplication + margining design choices (Table 3, Fig. 8);
+//  * the overhead comparison between techniques (Fig. 7).
+//
+// Sign-off point: the `signoff_percentile` (99 %) of the Monte Carlo
+// chip-delay distribution, exactly as in the paper. All Monte Carlo runs
+// use common random numbers (one seed), so delay is a smooth monotone
+// function of supply voltage and the margin search is well-posed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "arch/area_power.h"
+#include "arch/simd_timing.h"
+#include "device/tech_node.h"
+#include "device/variation.h"
+
+namespace ntv::core {
+
+/// Experiment configuration.
+struct MitigationConfig {
+  arch::TimingConfig timing;            ///< 128 lanes, 100 paths, 50 stages.
+  std::size_t chip_samples = 10000;     ///< Monte Carlo chips per point.
+  double signoff_percentile = 99.0;     ///< Delay sign-off point [%].
+  std::uint64_t seed = 0x5EED0FD1E;     ///< Common-random-numbers seed.
+  arch::AreaPowerModel area_power;      ///< Diet SODA overhead budget.
+  device::DistributionOptions dist;     ///< Grid resolution.
+};
+
+/// Result of the structural-duplication sizing (one Table 1 cell).
+struct DuplicationResult {
+  int spares = 0;          ///< Required spare lanes (valid when feasible).
+  bool feasible = false;   ///< False when > max_spares are needed.
+  double area_overhead = 0.0;   ///< Fraction of PE area.
+  double power_overhead = 0.0;  ///< Fraction of PE power.
+};
+
+/// Result of the voltage-margin search (one Table 2 cell).
+struct VoltageMarginResult {
+  double margin = 0.0;     ///< Required supply increase [V].
+  bool feasible = false;   ///< False when margin exceeds the search cap.
+  double power_overhead = 0.0;  ///< Fraction of PE power.
+};
+
+/// Result of the frequency-margining analysis (one Table 4 cell).
+struct FrequencyMarginResult {
+  double t_clk = 0.0;      ///< Designed (nominal-scaled) clock period [s].
+  double t_va_clk = 0.0;   ///< Variation-aware clock period [s].
+  double drop_pct = 0.0;   ///< Performance degradation [%].
+};
+
+/// One combined design choice (one Table 3 row).
+struct CombinedChoice {
+  int spares = 0;
+  double margin = 0.0;          ///< [V].
+  bool feasible = false;
+  double power_overhead = 0.0;  ///< Fraction of PE power.
+};
+
+/// Architecture-level study of one technology node.
+/// Not thread-safe (internally caches per-voltage samplers); use one
+/// instance per thread.
+class MitigationStudy {
+ public:
+  explicit MitigationStudy(const device::TechNode& node,
+                           MitigationConfig config = {});
+
+  const device::TechNode& node() const noexcept { return model_.node(); }
+  const MitigationConfig& config() const noexcept { return config_; }
+  const device::VariationModel& model() const noexcept { return model_; }
+
+  /// Cached per-voltage sampler (built on first use).
+  const arch::ChipDelaySampler& sampler(double vdd) const;
+
+  /// Monte Carlo chip-delay sample at `vdd` with `spares` spare lanes.
+  arch::ChipMcResult mc_chip(double vdd, int spares = 0) const;
+
+  /// Sign-off (99 %) chip delay [s].
+  double chip_delay_p99(double vdd, int spares = 0) const;
+
+  /// Sign-off chip delay in FO4 units at `vdd` ("fo4chipd").
+  double fo4_chip_delay_p99(double vdd, int spares = 0) const;
+
+  /// Fig. 4: performance drop [%] of NTV operation vs nominal voltage,
+  /// compared at the sign-off point of normalized (FO4-unit) delay.
+  double performance_drop_pct(double vdd) const;
+
+  /// Section 4.2 target: the absolute delay at `vdd` that matches the
+  /// nominal-voltage normalized sign-off delay [s].
+  double target_delay(double vdd) const;
+
+  /// Table 1: fewest spares whose sign-off delay meets the nominal
+  /// baseline, searched in [0, max_spares].
+  DuplicationResult required_spares(double vdd, int max_spares = 128) const;
+
+  /// Table 2 (and the margin half of Table 3): smallest supply increase
+  /// such that the sign-off delay of a (width + spares) system meets
+  /// target_delay(vdd). Search capped at `max_margin`.
+  VoltageMarginResult required_voltage_margin(double vdd, int spares = 0,
+                                              double max_margin = 0.1) const;
+
+  /// Table 4: frequency-margining figures at `vdd`.
+  FrequencyMarginResult frequency_margin(double vdd) const;
+
+  /// Table 3 / Fig. 8: for each spare count, the margin completing it and
+  /// the combined power overhead.
+  std::vector<CombinedChoice> explore_combined(
+      double vdd, std::span<const int> spare_counts,
+      double max_margin = 0.1) const;
+
+ private:
+  std::int64_t vkey(double vdd) const noexcept;
+
+  device::VariationModel model_;
+  MitigationConfig config_;
+  mutable std::map<std::int64_t, arch::ChipDelaySampler> samplers_;
+  mutable std::map<std::pair<std::int64_t, int>, double> p99_cache_;
+};
+
+}  // namespace ntv::core

@@ -1,0 +1,90 @@
+#include "core/operating_point.h"
+
+#include <stdexcept>
+
+#include "stats/root_find.h"
+
+namespace ntv::core {
+
+OperatingPointFinder::OperatingPointFinder(const device::TechNode& node,
+                                           MitigationConfig config)
+    : study_(node, config), energy_(node) {}
+
+double OperatingPointFinder::naive_vdd_for_clock(double t_clk) const {
+  const auto& node = study_.node();
+  const device::GateDelayModel model(node);
+  const double stages = study_.config().timing.chain_stages;
+  auto excess = [&](double v) {
+    return stages * model.fo4_delay(v) - t_clk;
+  };
+  if (excess(node.nominal_vdd) > 0.0) return node.nominal_vdd;
+  if (excess(0.3) < 0.0) return 0.3;
+  stats::RootOptions opt;
+  opt.x_tol = 1e-5;
+  return stats::brent(excess, 0.3, node.nominal_vdd, opt).x;
+}
+
+OperatingPoint OperatingPointFinder::evaluate(double vdd, double t_clk,
+                                              int spares) const {
+  if (t_clk <= 0.0)
+    throw std::invalid_argument("OperatingPointFinder: t_clk must be > 0");
+  OperatingPoint point;
+  point.vdd = vdd;
+  point.spares = spares;
+
+  // The mitigation target here is the *clock*, not the paper's nominal-
+  // scaled baseline: find the smallest margin making p99 <= t_clk.
+  auto excess = [&](double margin) {
+    return study_.chip_delay_p99(vdd + margin, spares) - t_clk;
+  };
+  double margin = 0.0;
+  if (excess(0.0) > 0.0) {
+    double hi = 1e-3;
+    const double cap = study_.node().nominal_vdd - vdd;
+    while (hi <= cap && excess(hi) > 0.0) hi *= 2.0;
+    if (hi > cap) {
+      point.meets_clock = false;
+      point.signoff_delay = study_.chip_delay_p99(vdd, spares);
+      point.energy = energy_.at(vdd).total_energy;
+      return point;
+    }
+    stats::RootOptions opt;
+    opt.x_tol = 1e-5;
+    margin = stats::brent(excess, 0.0, hi, opt).x;
+    if (excess(margin) > 0.0) margin += opt.x_tol;
+  }
+
+  point.margin = margin;
+  point.meets_clock = true;
+  point.signoff_delay = study_.chip_delay_p99(vdd + margin, spares);
+  // Energy at the margined voltage, plus the spares' routing power.
+  const double base = energy_.at(vdd + margin).total_energy;
+  point.energy =
+      base *
+      (1.0 + study_.config().area_power.duplication_power_overhead(spares));
+  return point;
+}
+
+OperatingPoint OperatingPointFinder::optimize(
+    double t_clk, double v_lo, double v_hi, double v_step,
+    std::span<const int> spare_options) const {
+  if (v_step <= 0.0 || v_hi < v_lo)
+    throw std::invalid_argument("OperatingPointFinder::optimize: bad range");
+  static constexpr int kDefaultSpares[] = {0};
+  if (spare_options.empty()) spare_options = kDefaultSpares;
+
+  OperatingPoint best;
+  best.meets_clock = false;
+  best.energy = 1e300;
+  for (double v = v_lo; v <= v_hi + v_step / 2.0; v += v_step) {
+    for (int spares : spare_options) {
+      const OperatingPoint candidate = evaluate(v, t_clk, spares);
+      if (candidate.meets_clock && candidate.energy < best.energy) {
+        best = candidate;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ntv::core

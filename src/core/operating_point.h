@@ -1,0 +1,58 @@
+// Variation-aware energy-optimal operating point.
+//
+// An extension in the paper's spirit: given a throughput requirement
+// (a clock period the 128-wide datapath must meet at the 99% sign-off
+// point), find the minimum-energy supply voltage — *including* the
+// variation mitigation cost. A variation-naive DVFS controller would pick
+// the voltage where the nominal critical path meets the clock; the
+// variation-aware one must either raise the voltage by the Table 2 margin
+// or add Table 1 spares, and the energy comparison between those choices
+// moves the optimum.
+#pragma once
+
+#include "core/mitigation.h"
+#include "energy/energy_model.h"
+
+namespace ntv::core {
+
+/// One evaluated operating point.
+struct OperatingPoint {
+  double vdd = 0.0;             ///< Base supply before margin [V].
+  double margin = 0.0;          ///< Voltage margin applied [V].
+  int spares = 0;               ///< Spare lanes used.
+  bool meets_clock = false;     ///< Sign-off delay <= t_clk.
+  double energy = 0.0;          ///< Energy/op, normalized to nominal.
+  double signoff_delay = 0.0;   ///< 99% chip delay at (vdd+margin) [s].
+};
+
+/// Finds variation-aware minimum-energy operating points.
+class OperatingPointFinder {
+ public:
+  explicit OperatingPointFinder(const device::TechNode& node,
+                                MitigationConfig config = {});
+
+  /// Lowest voltage whose *nominal* (variation-free) chip delay meets
+  /// t_clk — what a variation-naive controller would pick.
+  double naive_vdd_for_clock(double t_clk) const;
+
+  /// Evaluates one candidate: at base voltage `vdd` with `spares`, the
+  /// required margin is applied and the total energy computed (dynamic
+  /// CV^2 at the margined voltage + leakage).
+  OperatingPoint evaluate(double vdd, double t_clk, int spares = 0) const;
+
+  /// Scans base voltages in [v_lo, v_hi] (step `v_step`) x spare options
+  /// and returns the minimum-energy point that meets the clock.
+  /// Returns meets_clock=false in the result when nothing does.
+  OperatingPoint optimize(double t_clk, double v_lo, double v_hi,
+                          double v_step = 0.01,
+                          std::span<const int> spare_options = {}) const;
+
+  const MitigationStudy& study() const noexcept { return study_; }
+  const energy::EnergyModel& energy_model() const noexcept { return energy_; }
+
+ private:
+  mutable MitigationStudy study_;
+  energy::EnergyModel energy_;
+};
+
+}  // namespace ntv::core

@@ -1,0 +1,90 @@
+#include "core/variation_study.h"
+
+#include <cmath>
+
+#include "stats/monte_carlo.h"
+
+namespace ntv::core {
+
+VariationStudy::VariationStudy(const device::TechNode& node,
+                               device::DistributionOptions dist_opt)
+    : model_(node), dist_opt_(dist_opt) {}
+
+double VariationStudy::fo4_delay(double vdd) const noexcept {
+  return model_.gate_model().fo4_delay(vdd);
+}
+
+std::pair<double, double> VariationStudy::with_die(double vdd, double mean,
+                                                   double variance) const {
+  const auto& p = model_.params();
+  const double g = model_.gate_model().sensitivity(vdd);
+  const double a = g * p.sigma_vth_sys;
+  // S = exp(g*Z)*(1+W), Z~N(0,svs), W~N(0,sms):
+  //   E[S]   = exp(a^2/2),   E[S^2] = exp(2 a^2) * (1 + sms^2).
+  const double es = std::exp(0.5 * a * a);
+  const double es2 =
+      std::exp(2.0 * a * a) * (1.0 + p.sigma_mult_sys * p.sigma_mult_sys);
+  const double total_mean = es * mean;
+  const double total_var = es2 * (variance + mean * mean) -
+                           total_mean * total_mean;
+  return {total_mean, total_var};
+}
+
+double VariationStudy::single_gate_variation_pct(double vdd) const {
+  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
+  const auto [m, v] = with_die(vdd, gate.mean(), gate.variance());
+  return 300.0 * std::sqrt(v) / m;
+}
+
+double VariationStudy::chain_variation_pct(double vdd, int n_stages) const {
+  const auto chain =
+      device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
+  const auto [m, v] = with_die(vdd, chain.mean(), chain.variance());
+  return 300.0 * std::sqrt(v) / m;
+}
+
+VariationPoint VariationStudy::study_point(double vdd, int n_stages) const {
+  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
+  const auto chain = gate.sum_of_iid(n_stages);
+  const auto [gm, gv] = with_die(vdd, gate.mean(), gate.variance());
+  const auto [cm, cv] = with_die(vdd, chain.mean(), chain.variance());
+  return VariationPoint{
+      .vdd = vdd,
+      .fo4_delay = fo4_delay(vdd),
+      .single_pct = 300.0 * std::sqrt(gv) / gm,
+      .chain_pct = 300.0 * std::sqrt(cv) / cm,
+      .chain_mean = cm,
+  };
+}
+
+std::vector<double> VariationStudy::mc_single_gate_delays(
+    double vdd, std::size_t n, std::uint64_t seed) const {
+  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
+  stats::MonteCarloOptions opt;
+  opt.seed = seed;
+  return stats::monte_carlo(
+      n,
+      [&](stats::Xoshiro256pp& rng) {
+        const auto die = model_.sample_die(rng);
+        return model_.die_scale(vdd, die) * gate.quantile(rng.uniform());
+      },
+      opt);
+}
+
+std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
+                                                    std::size_t n,
+                                                    std::uint64_t seed) const {
+  const auto chain =
+      device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
+  stats::MonteCarloOptions opt;
+  opt.seed = seed;
+  return stats::monte_carlo(
+      n,
+      [&](stats::Xoshiro256pp& rng) {
+        const auto die = model_.sample_die(rng);
+        return model_.die_scale(vdd, die) * chain.quantile(rng.uniform());
+      },
+      opt);
+}
+
+}  // namespace ntv::core

@@ -1,0 +1,69 @@
+// Circuit-level variation study (Section 3.1 of the paper).
+//
+// Reproduces the quantities behind Figs. 1, 2 and 11: delay distributions
+// and 3sigma/mu of a single FO4 inverter and of FO4 chains, as functions
+// of supply voltage, chain length and technology node. Both an analytic
+// (distribution-level, Monte-Carlo-noise-free) and a sampling path are
+// provided; the paper's own methodology (1,000 HSPICE samples) corresponds
+// to the sampling path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/gate_table.h"
+#include "device/variation.h"
+
+namespace ntv::core {
+
+/// One row of the variation study at a given supply voltage.
+struct VariationPoint {
+  double vdd = 0.0;          ///< Supply voltage [V].
+  double fo4_delay = 0.0;    ///< Nominal FO4 delay [s].
+  double single_pct = 0.0;   ///< Single-gate 3sigma/mu [%].
+  double chain_pct = 0.0;    ///< Chain 3sigma/mu [%].
+  double chain_mean = 0.0;   ///< Mean chain delay [s].
+};
+
+/// Variation study of one technology node.
+class VariationStudy {
+ public:
+  explicit VariationStudy(const device::TechNode& node,
+                          device::DistributionOptions dist_opt = {});
+
+  const device::VariationModel& model() const noexcept { return model_; }
+  const device::TechNode& node() const noexcept { return model_.node(); }
+
+  /// Nominal FO4 delay at `vdd` [s].
+  double fo4_delay(double vdd) const noexcept;
+
+  /// Analytic 3sigma/mu [%] of a single gate's delay at `vdd`, including
+  /// both within-die random and die-to-die systematic variation.
+  double single_gate_variation_pct(double vdd) const;
+
+  /// Analytic 3sigma/mu [%] of an `n_stages` chain at `vdd`.
+  double chain_variation_pct(double vdd, int n_stages) const;
+
+  /// Full study row at `vdd` for the standard 50-stage chain.
+  VariationPoint study_point(double vdd, int n_stages = 50) const;
+
+  /// Monte Carlo sample of single-gate delays [s] (paper Fig. 1(a)).
+  std::vector<double> mc_single_gate_delays(double vdd, std::size_t n,
+                                            std::uint64_t seed = 1) const;
+
+  /// Monte Carlo sample of `n_stages`-chain delays [s] (Fig. 1(b)).
+  std::vector<double> mc_chain_delays(double vdd, int n_stages,
+                                      std::size_t n,
+                                      std::uint64_t seed = 2) const;
+
+ private:
+  /// Combines grid moments with the die-systematic factor
+  /// S = exp(g*dvth_sys)*(1+eps_sys): returns {mean, variance} of S*X.
+  std::pair<double, double> with_die(double vdd, double mean,
+                                     double variance) const;
+
+  device::VariationModel model_;
+  device::DistributionOptions dist_opt_;
+};
+
+}  // namespace ntv::core

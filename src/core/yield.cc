@@ -1,0 +1,74 @@
+#include "core/yield.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::core {
+
+YieldAnalysis::YieldAnalysis(const device::TechNode& node,
+                             MitigationConfig config)
+    : study_(node, config) {}
+
+const stats::Ecdf& YieldAnalysis::ecdf(double vdd, int spares) const {
+  const auto key =
+      std::make_pair(static_cast<std::int64_t>(std::llround(vdd * 1e7)),
+                     spares);
+  auto it = ecdfs_.find(key);
+  if (it == ecdfs_.end()) {
+    const auto mc = study_.mc_chip(vdd, spares);
+    it = ecdfs_.emplace(key, stats::Ecdf(mc.delays)).first;
+  }
+  return it->second;
+}
+
+double YieldAnalysis::yield(double vdd, double t_clk, int spares) const {
+  if (t_clk <= 0.0)
+    throw std::invalid_argument("YieldAnalysis::yield: t_clk must be > 0");
+  return ecdf(vdd, spares)(t_clk);
+}
+
+double YieldAnalysis::t_clk_for_yield(double vdd, double target_yield,
+                                      int spares) const {
+  if (!(target_yield > 0.0) || target_yield > 1.0)
+    throw std::invalid_argument(
+        "YieldAnalysis::t_clk_for_yield: target in (0, 1] required");
+  return ecdf(vdd, spares).quantile(target_yield);
+}
+
+std::vector<YieldPoint> YieldAnalysis::curve(double vdd, double t_lo,
+                                             double t_hi, int points,
+                                             int spares) const {
+  if (points < 2 || t_hi <= t_lo)
+    throw std::invalid_argument("YieldAnalysis::curve: bad range");
+  std::vector<YieldPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t =
+        t_lo + (t_hi - t_lo) * static_cast<double>(i) / (points - 1);
+    out.push_back({t, yield(vdd, t, spares)});
+  }
+  return out;
+}
+
+std::vector<double> YieldAnalysis::bin_fractions(
+    double vdd, std::span<const double> bin_edges, int spares) const {
+  if (bin_edges.empty())
+    throw std::invalid_argument("YieldAnalysis::bin_fractions: no bins");
+  for (std::size_t i = 1; i < bin_edges.size(); ++i) {
+    if (bin_edges[i] <= bin_edges[i - 1])
+      throw std::invalid_argument(
+          "YieldAnalysis::bin_fractions: edges must ascend");
+  }
+  std::vector<double> fractions;
+  fractions.reserve(bin_edges.size() + 1);
+  double covered = 0.0;
+  for (double edge : bin_edges) {
+    const double cumulative = yield(vdd, edge, spares);
+    fractions.push_back(cumulative - covered);
+    covered = cumulative;
+  }
+  fractions.push_back(1.0 - covered);  // Scrap.
+  return fractions;
+}
+
+}  // namespace ntv::core

@@ -1,0 +1,61 @@
+// Parametric yield and speed binning.
+//
+// The duplication/margining solvers size a design for a fixed sign-off
+// percentile; manufacturers think in the dual view — given a clock, what
+// fraction of parts makes it (parametric yield), and how does the spare
+// budget buy yield back? This module answers both from the same chip-
+// delay Monte Carlo.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/mitigation.h"
+#include "stats/ecdf.h"
+
+namespace ntv::core {
+
+/// One point of a yield curve.
+struct YieldPoint {
+  double t_clk = 0.0;  ///< Clock period [s].
+  double yield = 0.0;  ///< Fraction of chips meeting it, in [0, 1].
+};
+
+/// Yield analysis of the N-wide SIMD datapath at one technology node.
+/// Not thread-safe (shares the MitigationStudy caches).
+class YieldAnalysis {
+ public:
+  explicit YieldAnalysis(const device::TechNode& node,
+                         MitigationConfig config = {});
+
+  /// Fraction of manufactured chips whose (duplication-repaired) delay
+  /// meets `t_clk` at supply `vdd`.
+  double yield(double vdd, double t_clk, int spares = 0) const;
+
+  /// Smallest clock period achieving `target_yield` (in (0, 1]).
+  double t_clk_for_yield(double vdd, double target_yield,
+                         int spares = 0) const;
+
+  /// Yield curve over `points` clock periods spanning
+  /// [t_lo, t_hi] inclusive.
+  std::vector<YieldPoint> curve(double vdd, double t_lo, double t_hi,
+                                int points, int spares = 0) const;
+
+  /// Speed-binning summary: the fraction of parts falling into each bin
+  /// delimited by ascending clock periods `bin_edges` (a part lands in
+  /// the fastest bin it meets; parts meeting none are "scrap", returned
+  /// as the extra last element).
+  std::vector<double> bin_fractions(double vdd,
+                                    std::span<const double> bin_edges,
+                                    int spares = 0) const;
+
+  const MitigationStudy& study() const noexcept { return study_; }
+
+ private:
+  const stats::Ecdf& ecdf(double vdd, int spares) const;
+
+  mutable MitigationStudy study_;
+  mutable std::map<std::pair<std::int64_t, int>, stats::Ecdf> ecdfs_;
+};
+
+}  // namespace ntv::core

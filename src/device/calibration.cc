@@ -1,0 +1,194 @@
+#include "device/calibration.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ntv::device {
+
+namespace {
+
+// Converts a 3sigma/mu percentage into a sigma/mu fraction.
+double pct_to_frac(double pct) { return pct / 100.0 / 3.0; }
+
+// Solves the dense n x n system M y = r by Gaussian elimination with
+// partial pivoting (n <= 4 here). Returns false when singular.
+bool solve_small(std::vector<std::vector<double>>& m, std::vector<double>& r) {
+  const std::size_t n = r.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(m[i][k]) > std::abs(m[pivot][k])) pivot = i;
+    }
+    if (std::abs(m[pivot][k]) < 1e-300) return false;
+    std::swap(m[k], m[pivot]);
+    std::swap(r[k], r[pivot]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = m[i][k] / m[k][k];
+      for (std::size_t j = k; j < n; ++j) m[i][j] -= f * m[k][j];
+      r[i] -= f * r[k];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) r[i] -= m[i][j] * r[j];
+    r[i] /= m[i][i];
+  }
+  return true;
+}
+
+// Non-negative least squares over the four variance parameters
+// x = [svr^2, smr^2, svs^2, sms^2] against the anchor series. The model is
+// linear in x:
+//   var_single(V) = g^2 x0 + x1 + g^2 x2 + x3
+//   var_chain(V)  = (g^2 x0 + x1)/N + g^2 x2 + x3
+// Rows are weighted by 1/target^2 (relative variance error). Negative
+// solutions are handled with a simple active-set clamp.
+VariationParams calibrate_lsq(const GateDelayModel& model,
+                              const std::vector<AnchorPoint>& series,
+                              int chain_length) {
+  const double n = chain_length;
+  std::vector<std::array<double, 4>> rows;
+  std::vector<double> rhs;
+  for (const AnchorPoint& p : series) {
+    const double g2 = model.sensitivity(p.vdd) * model.sensitivity(p.vdd);
+    const double s2 = pct_to_frac(p.single_pct) * pct_to_frac(p.single_pct);
+    const double c2 = pct_to_frac(p.chain_pct) * pct_to_frac(p.chain_pct);
+    rows.push_back({g2 / s2, 1.0 / s2, g2 / s2, 1.0 / s2});
+    rhs.push_back(1.0);  // s2 / s2
+    rows.push_back({g2 / n / c2, 1.0 / n / c2, g2 / c2, 1.0 / c2});
+    rhs.push_back(1.0);  // c2 / c2
+  }
+
+  std::array<bool, 4> active = {true, true, true, true};
+  std::array<double, 4> x = {0.0, 0.0, 0.0, 0.0};
+  for (int pass = 0; pass < 5; ++pass) {
+    std::vector<std::size_t> idx;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (active[j]) idx.push_back(j);
+    }
+    if (idx.empty()) break;
+    const std::size_t k = idx.size();
+    std::vector<std::vector<double>> m(k, std::vector<double>(k, 0.0));
+    std::vector<double> y(k, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      for (std::size_t a = 0; a < k; ++a) {
+        y[a] += rows[r][idx[a]] * rhs[r];
+        for (std::size_t b = 0; b < k; ++b) {
+          m[a][b] += rows[r][idx[a]] * rows[r][idx[b]];
+        }
+      }
+    }
+    if (!solve_small(m, y))
+      throw std::domain_error("calibrate_lsq: singular normal equations");
+
+    bool clamped = false;
+    x = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t a = 0; a < k; ++a) {
+      if (y[a] < 0.0) {
+        active[idx[a]] = false;
+        clamped = true;
+      } else {
+        x[idx[a]] = y[a];
+      }
+    }
+    if (!clamped) break;
+  }
+
+  return VariationParams{
+      .sigma_vth_rand = std::sqrt(x[0]),
+      .sigma_mult_rand = std::sqrt(x[1]),
+      .sigma_vth_sys = std::sqrt(x[2]),
+      .sigma_mult_sys = std::sqrt(x[3]),
+  };
+}
+
+}  // namespace
+
+VariationParams calibrate_variation(const GateDelayModel& model,
+                                    const VariationAnchors& a,
+                                    int chain_length) {
+  if (a.series.size() >= 3) {
+    if (chain_length < 2)
+      throw std::domain_error(
+          "calibrate_variation: chain_length must be >= 2");
+    return calibrate_lsq(model, a.series, chain_length);
+  }
+  if (chain_length < 2)
+    throw std::domain_error("calibrate_variation: chain_length must be >= 2");
+  const double n = chain_length;
+
+  const double g_hi = model.sensitivity(a.v_hi);
+  const double g_lo = model.sensitivity(a.v_lo);
+  const double gg = g_lo * g_lo - g_hi * g_hi;
+  if (gg <= 0.0)
+    throw std::domain_error(
+        "calibrate_variation: sensitivity must grow toward low voltage");
+
+  const double s_hi = pct_to_frac(a.single_hi_pct);
+  const double s_lo = pct_to_frac(a.single_lo_pct);
+  const double c_hi = pct_to_frac(a.chain_hi_pct);
+  const double c_lo = pct_to_frac(a.chain_lo_pct);
+
+  // Random (within-die) part: var_single - var_chain = r^2 * (1 - 1/N).
+  const double shrink = 1.0 - 1.0 / n;
+  const double r2_hi = (s_hi * s_hi - c_hi * c_hi) / shrink;
+  const double r2_lo = (s_lo * s_lo - c_lo * c_lo) / shrink;
+  if (r2_hi <= 0.0 || r2_lo <= 0.0)
+    throw std::domain_error(
+        "calibrate_variation: chain spread exceeds single-gate spread");
+
+  const double svr2 = (r2_lo - r2_hi) / gg;
+  if (svr2 < 0.0)
+    throw std::domain_error(
+        "calibrate_variation: random Vth variance negative");
+  const double smr2 = r2_hi - g_hi * g_hi * svr2;
+  if (smr2 < 0.0)
+    throw std::domain_error(
+        "calibrate_variation: random drive variance negative");
+
+  // Systematic part: var_chain - r^2/N = q^2.
+  const double q2_hi = c_hi * c_hi - r2_hi / n;
+  const double q2_lo = c_lo * c_lo - r2_lo / n;
+  if (q2_hi < 0.0 || q2_lo < 0.0)
+    throw std::domain_error(
+        "calibrate_variation: systematic variance negative");
+
+  const double svs2 = (q2_lo - q2_hi) / gg;
+  if (svs2 < 0.0)
+    throw std::domain_error(
+        "calibrate_variation: systematic Vth variance negative");
+  const double sms2 = q2_hi - g_hi * g_hi * svs2;
+  if (sms2 < 0.0)
+    throw std::domain_error(
+        "calibrate_variation: systematic drive variance negative");
+
+  return VariationParams{
+      .sigma_vth_rand = std::sqrt(svr2),
+      .sigma_mult_rand = std::sqrt(smr2),
+      .sigma_vth_sys = std::sqrt(svs2),
+      .sigma_mult_sys = std::sqrt(sms2),
+  };
+}
+
+double predict_single_gate_pct(const GateDelayModel& model,
+                               const VariationParams& p, double vdd) {
+  const double g = model.sensitivity(vdd);
+  const double r2 = g * g * p.sigma_vth_rand * p.sigma_vth_rand +
+                    p.sigma_mult_rand * p.sigma_mult_rand;
+  const double q2 = g * g * p.sigma_vth_sys * p.sigma_vth_sys +
+                    p.sigma_mult_sys * p.sigma_mult_sys;
+  return 300.0 * std::sqrt(r2 + q2);
+}
+
+double predict_chain_pct(const GateDelayModel& model, const VariationParams& p,
+                         double vdd, int n_stages) {
+  const double g = model.sensitivity(vdd);
+  const double r2 = g * g * p.sigma_vth_rand * p.sigma_vth_rand +
+                    p.sigma_mult_rand * p.sigma_mult_rand;
+  const double q2 = g * g * p.sigma_vth_sys * p.sigma_vth_sys +
+                    p.sigma_mult_sys * p.sigma_mult_sys;
+  return 300.0 * std::sqrt(q2 + r2 / static_cast<double>(n_stages));
+}
+
+}  // namespace ntv::device

@@ -1,0 +1,43 @@
+// Closed-form calibration of the variation model.
+//
+// The paper reports 3sigma/mu (percent) for a single FO4 inverter and for a
+// chain of 50 FO4 inverters at two anchor voltages. Under the first-order
+// variation model
+//
+//   relative delay variance of one gate at V:
+//       r^2(V) = (g(V) * s_vr)^2 + s_mr^2          (within-die random)
+//   shared across a die:
+//       q^2(V) = (g(V) * s_vs)^2 + s_ms^2          (die-to-die systematic)
+//
+//   single gate:      var_single(V) = r^2(V) + q^2(V)
+//   chain of N gates: var_chain(V)  = q^2(V) + r^2(V) / N
+//
+// the four sigmas (s_vr, s_mr, s_vs, s_ms) follow in closed form from the
+// four anchor values, because g(V) — the gate-delay sensitivity to Vth — is
+// fixed by the current model. This is how the sigma parameters of every
+// TechNode card are derived.
+#pragma once
+
+#include "device/gate_delay.h"
+#include "device/tech_node.h"
+
+namespace ntv::device {
+
+/// Solves the four sigma parameters from the node's anchors.
+/// Throws std::domain_error when the anchors are infeasible under the
+/// first-order model (any implied variance negative).
+VariationParams calibrate_variation(const GateDelayModel& model,
+                                    const VariationAnchors& anchors,
+                                    int chain_length = 50);
+
+/// First-order *prediction* of the single-gate 3sigma/mu [%] at `vdd` for
+/// fitted parameters — used by tests to compare the closed form against
+/// Monte Carlo.
+double predict_single_gate_pct(const GateDelayModel& model,
+                               const VariationParams& p, double vdd);
+
+/// First-order prediction of the N-stage chain 3sigma/mu [%] at `vdd`.
+double predict_chain_pct(const GateDelayModel& model,
+                         const VariationParams& p, double vdd, int n_stages);
+
+}  // namespace ntv::device

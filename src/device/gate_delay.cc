@@ -1,0 +1,25 @@
+#include "device/gate_delay.h"
+
+namespace ntv::device {
+
+GateDelayModel::GateDelayModel(const TechNode& node) : model_(node) {
+  const double raw =
+      node.fo4_ref_vdd / model_.ion(node.fo4_ref_vdd, node.vth0);
+  scale_ = node.fo4_ref_delay / raw;
+}
+
+double GateDelayModel::fo4_delay(double vdd) const noexcept {
+  return delay(vdd, 0.0, 0.0);
+}
+
+double GateDelayModel::delay(double vdd, double dvth,
+                             double eps) const noexcept {
+  const double vth = node().vth0 + dvth;
+  return scale_ * vdd / model_.ion(vdd, vth) * (1.0 + eps);
+}
+
+double GateDelayModel::sensitivity(double vdd) const noexcept {
+  return -model_.dlnion_dvth(vdd, node().vth0);
+}
+
+}  // namespace ntv::device

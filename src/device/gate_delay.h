@@ -1,0 +1,45 @@
+// FO4 gate-delay model.
+//
+// Delay of one FO4 (fan-out-of-4) inverter stage:
+//
+//     D(Vdd, dVth, eps) = K * C * Vdd / I_on(Vdd, Vth0 + dVth) * (1 + eps)
+//
+// where dVth is the device threshold shift (RDF + LER) and eps is a
+// voltage-independent multiplicative drive variation (effective-length /
+// mobility component of LER). K*C is folded into one scale constant chosen
+// so that the nominal delay matches the node's fo4_ref_delay at
+// fo4_ref_vdd (for 90 nm: 441 ps at 0.5 V, i.e. the paper's 22.05 ns
+// 50-stage chain).
+#pragma once
+
+#include "device/tech_node.h"
+#include "device/transistor.h"
+
+namespace ntv::device {
+
+/// Nominal and perturbed FO4 stage delay for one technology node.
+/// Pure and thread-safe.
+class GateDelayModel {
+ public:
+  explicit GateDelayModel(const TechNode& node);
+
+  /// Nominal FO4 delay at supply `vdd` [s].
+  double fo4_delay(double vdd) const noexcept;
+
+  /// FO4 delay with a threshold shift and multiplicative drive factor [s].
+  double delay(double vdd, double dvth, double eps) const noexcept;
+
+  /// Relative delay sensitivity to Vth [1/V]:
+  ///   g(V) = d ln D / d Vth = -d ln I_on / d Vth  (positive).
+  /// This is the quantity the closed-form sigma calibration uses.
+  double sensitivity(double vdd) const noexcept;
+
+  const TechNode& node() const noexcept { return model_.node(); }
+  const TransistorModel& transistor() const noexcept { return model_; }
+
+ private:
+  TransistorModel model_;
+  double scale_;  ///< K*C folded constant [s * current-unit / V].
+};
+
+}  // namespace ntv::device

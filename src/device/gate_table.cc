@@ -1,0 +1,118 @@
+#include "device/gate_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/normal.h"
+
+namespace ntv::device {
+
+stats::GridDistribution build_gate_distribution(
+    const VariationModel& model, double vdd, const DistributionOptions& opt) {
+  if (opt.bins < 8 || opt.vth_points < 3 || opt.mult_points < 3)
+    throw std::invalid_argument("build_gate_distribution: resolution too low");
+
+  const auto& p = model.params();
+  const auto& gm = model.gate_model();
+  const double sv = p.sigma_vth_rand;
+  const double sm = p.sigma_mult_rand;
+  const double z = opt.z_span;
+
+  // Delay is monotone increasing in both dVth and eps, so the support over
+  // the truncated +-z sigma box is spanned by the two corners.
+  const double d_min = gm.delay(vdd, -z * sv, -z * sm);
+  const double d_max = gm.delay(vdd, +z * sv, +z * sm);
+  const double lo = d_min;
+  const double step =
+      (d_max - d_min) / static_cast<double>(opt.bins - 1);
+
+  std::vector<double> pmf(opt.bins, 0.0);
+  auto deposit = [&](double delay, double weight) {
+    double pos = (delay - lo) / step;
+    // Clamp to the grid: floating-point round-off can land a corner value
+    // epsilon outside [0, bins-1].
+    pos = std::clamp(pos, 0.0, static_cast<double>(opt.bins - 1));
+    auto idx = static_cast<std::size_t>(pos);
+    if (idx >= opt.bins - 1) idx = opt.bins - 2;
+    const double frac = std::clamp(pos - static_cast<double>(idx), 0.0, 1.0);
+    pmf[idx] += weight * (1.0 - frac);
+    pmf[idx + 1] += weight * frac;
+  };
+
+  // Tensor-product trapezoid quadrature with normal weights. The grids are
+  // in standardized units; weights renormalize inside GridDistribution, so
+  // the constant factors of the normal pdf are irrelevant.
+  const std::size_t nv = opt.vth_points;
+  const std::size_t nm = opt.mult_points;
+  const double hv = 2.0 * z / static_cast<double>(nv - 1);
+  const double hm = 2.0 * z / static_cast<double>(nm - 1);
+
+  std::vector<double> wv(nv), zv(nv);
+  for (std::size_t i = 0; i < nv; ++i) {
+    zv[i] = -z + hv * static_cast<double>(i);
+    wv[i] = stats::normal_pdf(zv[i]) * ((i == 0 || i == nv - 1) ? 0.5 : 1.0);
+  }
+  std::vector<double> wm(nm), zm(nm);
+  for (std::size_t j = 0; j < nm; ++j) {
+    zm[j] = -z + hm * static_cast<double>(j);
+    wm[j] = stats::normal_pdf(zm[j]) * ((j == 0 || j == nm - 1) ? 0.5 : 1.0);
+  }
+
+  for (std::size_t i = 0; i < nv; ++i) {
+    // delay(dvth, eps) = base(dvth) * (1 + eps): hoist the expensive part.
+    const double base = gm.delay(vdd, zv[i] * sv, 0.0);
+    for (std::size_t j = 0; j < nm; ++j) {
+      deposit(base * (1.0 + zm[j] * sm), wv[i] * wm[j]);
+    }
+  }
+
+  return stats::GridDistribution(lo, step, std::move(pmf));
+}
+
+stats::GridDistribution build_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt) {
+  return build_gate_distribution(model, vdd, opt).sum_of_iid(n_stages);
+}
+
+stats::GridDistribution build_total_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt) {
+  const stats::GridDistribution chain =
+      build_chain_distribution(model, vdd, n_stages, opt);
+
+  // Die factor S = exp(g*Z)*(1+W), Z~N(0,svs), W~N(0,sms). First order in
+  // the small spread: X*S ~ X + mu_X*(S-1), an additive Gaussian with
+  //   mean  mu_X*(E[S]-1),  sigma  mu_X*stddev(S).
+  const auto& p = model.params();
+  const double g = model.gate_model().sensitivity(vdd);
+  const double a = g * p.sigma_vth_sys;
+  const double es = std::exp(0.5 * a * a);
+  const double es2 =
+      std::exp(2.0 * a * a) * (1.0 + p.sigma_mult_sys * p.sigma_mult_sys);
+  const double sd_s = std::sqrt(std::max(es2 - es * es, 0.0));
+
+  const double mean_k = chain.mean() * (es - 1.0);
+  const double sigma_k = chain.mean() * sd_s;
+  const double step = chain.step();
+  if (sigma_k < step) {
+    // Systematic spread below grid resolution: a pure shift suffices.
+    return stats::GridDistribution(chain.lo() + mean_k, step, chain.pmf());
+  }
+
+  const double span = opt.z_span * sigma_k;
+  const auto kernel_bins =
+      static_cast<std::size_t>(std::ceil(2.0 * span / step)) + 1;
+  std::vector<double> kernel(kernel_bins);
+  const double k_lo = mean_k - span;
+  for (std::size_t i = 0; i < kernel_bins; ++i) {
+    const double x = k_lo + step * static_cast<double>(i);
+    kernel[i] = stats::normal_pdf((x - mean_k) / sigma_k);
+  }
+  const stats::GridDistribution sys(k_lo, step, std::move(kernel));
+  return stats::GridDistribution::convolve(chain, sys);
+}
+
+}  // namespace ntv::device

@@ -1,0 +1,49 @@
+// Deterministic construction of gate- and chain-delay distributions.
+//
+// Given the calibrated variation model, the delay of one gate (with the
+// die-systematic part factored out) is D0(V, Vth0 + dVth)*(1 + eps) with
+// independent normal dVth and eps. We integrate that 2-D density onto a
+// uniform delay grid (numerically exact up to grid resolution, no Monte
+// Carlo noise) and obtain chain distributions as i.i.d. convolution powers
+// via FFT. These GridDistributions power the fast architecture-level
+// samplers: a lane's delay is max of k i.i.d. chains, sampled exactly with
+// the inverse-CDF trick Q_max(u) = Q(u^(1/k)).
+#pragma once
+
+#include "device/variation.h"
+#include "stats/discrete_distribution.h"
+
+namespace ntv::device {
+
+/// Resolution options for the quadrature and the delay grid.
+struct DistributionOptions {
+  std::size_t bins = 4096;       ///< Delay grid bins.
+  double z_span = 8.0;           ///< Integrate variations over +-z_span sigma.
+  std::size_t vth_points = 601;  ///< Quadrature points for dVth.
+  std::size_t mult_points = 301; ///< Quadrature points for eps.
+};
+
+/// Distribution of one gate's delay at supply `vdd`, within-die random
+/// variation only (die-systematic handling is multiplicative, see
+/// VariationModel::die_scale).
+stats::GridDistribution build_gate_distribution(
+    const VariationModel& model, double vdd,
+    const DistributionOptions& opt = {});
+
+/// Distribution of an `n_stages` FO4 chain (i.i.d. gate sum), within-die
+/// random variation only.
+stats::GridDistribution build_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt = {});
+
+/// Distribution of an `n_stages` chain with the die/systematic variation
+/// folded in as an additive Gaussian term (exact to first order in the
+/// small systematic spread): the *total* cross-chip delay distribution of
+/// one critical path. This matches the paper's architecture-level
+/// methodology, which samples every critical path i.i.d. from the total
+/// path-delay distribution.
+stats::GridDistribution build_total_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt = {});
+
+}  // namespace ntv::device

@@ -1,0 +1,88 @@
+// Technology node parameter cards.
+//
+// The paper simulates four nodes: 90 nm / 45 nm commercial GP models and
+// 32 nm / 22 nm PTM HP models. Those model cards are proprietary or
+// external, so this library ships analytic "cards" — parameters of the
+// transregional current model in transistor.h plus variation statistics —
+// calibrated so the delay-variation numbers the paper reports are
+// reproduced (see DESIGN.md §5 and calibration.h).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ntv::device {
+
+/// One calibration target: the paper's reported 3sigma/mu [%] for a single
+/// FO4 inverter and a 50-stage FO4 chain at a supply voltage.
+struct AnchorPoint {
+  double vdd = 0.0;        ///< Supply voltage [V].
+  double single_pct = 0.0; ///< Single-gate 3sigma/mu [%].
+  double chain_pct = 0.0;  ///< 50-FO4-chain 3sigma/mu [%].
+};
+
+/// Variation calibration anchors. With exactly two points the four sigma
+/// parameters follow in closed form; with more (90 nm has all six Fig. 1
+/// voltages) a non-negative least-squares fit over the whole series is
+/// used (see calibration.cc).
+struct VariationAnchors {
+  double v_hi = 1.0;          ///< High (nominal) anchor voltage [V].
+  double single_hi_pct = 0.0; ///< Single-gate 3sigma/mu at v_hi [%].
+  double chain_hi_pct = 0.0;  ///< 50-FO4-chain 3sigma/mu at v_hi [%].
+  double v_lo = 0.5;          ///< Low (near-threshold) anchor voltage [V].
+  double single_lo_pct = 0.0; ///< Single-gate 3sigma/mu at v_lo [%].
+  double chain_lo_pct = 0.0;  ///< 50-FO4-chain 3sigma/mu at v_lo [%].
+
+  /// Optional full anchor series; when non-empty it supersedes the two
+  /// endpoint anchors above for calibration.
+  std::vector<AnchorPoint> series;
+};
+
+/// Fitted variation model parameters (derived from VariationAnchors).
+struct VariationParams {
+  double sigma_vth_rand = 0.0;  ///< Within-die random Vth sigma [V] (RDF+LER).
+  double sigma_mult_rand = 0.0; ///< Within-die random multiplicative drive
+                                ///< sigma [fraction] (Leff/mobility/LER).
+  double sigma_vth_sys = 0.0;   ///< Die-to-die systematic Vth sigma [V].
+  double sigma_mult_sys = 0.0;  ///< Die-to-die systematic drive sigma [fr].
+};
+
+/// One technology node: transregional current-model parameters, the FO4
+/// delay scale, the voltage range the paper simulates, and variation
+/// anchors.
+struct TechNode {
+  std::string_view name;     ///< e.g. "90nm GP".
+  double nominal_vdd = 1.0;  ///< Full-voltage (FV) operating point [V].
+  double vth0 = 0.45;        ///< Nominal threshold voltage [V].
+  double n_slope = 1.4;      ///< Subthreshold slope factor (S = n*vT*ln10).
+  double alpha = 1.4;        ///< Velocity-saturation (alpha-power) index.
+  double fo4_ref_delay = 45e-12;  ///< FO4 delay at fo4_ref_vdd [s].
+  double fo4_ref_vdd = 1.0;       ///< Voltage at which fo4_ref_delay holds.
+  VariationAnchors anchors;  ///< Calibration targets for sigma fitting.
+
+  /// Lowest voltage the paper sweeps for this node.
+  double min_vdd = 0.5;
+};
+
+/// 90 nm commercial general-purpose card.
+/// Anchors are the exact Fig. 1 values of the paper.
+const TechNode& tech_90nm();
+
+/// 45 nm commercial general-purpose card.
+const TechNode& tech_45nm();
+
+/// 32 nm PTM high-performance card (nominal 0.9 V).
+const TechNode& tech_32nm();
+
+/// 22 nm PTM high-performance card (nominal 0.8 V).
+const TechNode& tech_22nm();
+
+/// All four nodes in the paper's order (90, 45, 32, 22 nm).
+std::span<const TechNode* const> all_nodes();
+
+/// Looks a node up by name ("90nm GP", ...); throws std::out_of_range if
+/// the name is unknown.
+const TechNode& node_by_name(std::string_view name);
+
+}  // namespace ntv::device

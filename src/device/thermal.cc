@@ -1,0 +1,59 @@
+#include "device/thermal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/transistor.h"
+#include "stats/root_find.h"
+
+namespace ntv::device {
+
+namespace {
+
+/// Transregional on-current at an explicit temperature: the thermal
+/// voltage scales with T, the threshold shifts with vth_tc, and the drive
+/// carries the mobility power law.
+double ion_at(const TechNode& node, const ThermalParams& p, double vdd,
+              double temp_k) {
+  const double vt = kThermalVoltage * temp_k / 300.0;
+  const double two_n_vt = 2.0 * node.n_slope * vt;
+  const double vth = node.vth0 + p.vth_tc * (temp_k - p.t0);
+  const double x = (vdd - vth) / two_n_vt;
+  const double mobility = std::pow(temp_k / p.t0, -p.mobility_exponent);
+  return mobility * std::pow(softplus(x), node.alpha);
+}
+
+}  // namespace
+
+ThermalDelayModel::ThermalDelayModel(const TechNode& node,
+                                     const ThermalParams& params)
+    : node_(&node), params_(params) {
+  const double raw =
+      node.fo4_ref_vdd / ion_at(node, params, node.fo4_ref_vdd, params.t0);
+  scale_ = node.fo4_ref_delay / raw;
+}
+
+double ThermalDelayModel::fo4_delay(double vdd, double temp_k) const {
+  if (vdd <= 0.0 || temp_k < 200.0 || temp_k > 450.0)
+    throw std::invalid_argument("ThermalDelayModel: operating point");
+  return scale_ * vdd / ion_at(*node_, params_, vdd, temp_k);
+}
+
+double ThermalDelayModel::hot_cold_ratio(double vdd, double t_cold,
+                                         double t_hot) const {
+  return fo4_delay(vdd, t_hot) / fo4_delay(vdd, t_cold);
+}
+
+double ThermalDelayModel::inversion_crossover_vdd(double t_cold,
+                                                  double t_hot, double v_lo,
+                                                  double v_hi) const {
+  auto f = [&](double v) { return hot_cold_ratio(v, t_cold, t_hot) - 1.0; };
+  if (f(v_lo) * f(v_hi) > 0.0)
+    throw std::invalid_argument(
+        "inversion_crossover_vdd: no crossover in range");
+  stats::RootOptions opt;
+  opt.x_tol = 1e-5;
+  return stats::brent(f, v_lo, v_hi, opt).x;
+}
+
+}  // namespace ntv::device

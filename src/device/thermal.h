@@ -1,0 +1,58 @@
+// Temperature-aware delay: the temperature-inversion effect.
+//
+// Two competing temperature dependencies set a gate's speed:
+//  * mobility degrades as T rises (mu ~ (T/T0)^-m): slower when hot;
+//  * Vth falls as T rises (dVth/dT ~ -1 mV/K) and the thermal voltage
+//    grows: more overdrive, faster when hot — and near threshold the
+//    current is exponentially sensitive to exactly that overdrive.
+//
+// At nominal voltage the mobility term wins (hot = slow, the familiar
+// sign-off corner); in the near-threshold region the Vth term wins
+// (hot = FAST), with a crossover voltage in between. Any NTV margining
+// scheme must therefore size margins at the COLD corner — the opposite
+// of super-threshold practice. This module quantifies that.
+#pragma once
+
+#include "device/tech_node.h"
+
+namespace ntv::device {
+
+/// Temperature coefficients (typical bulk-CMOS values).
+struct ThermalParams {
+  double t0 = 300.0;             ///< Reference temperature [K].
+  double vth_tc = -1.0e-3;       ///< dVth/dT [V/K].
+  double mobility_exponent = 1.5;  ///< mu ~ (T/T0)^-m.
+};
+
+/// FO4 delay as a function of supply voltage AND temperature.
+/// At (vdd, t0) it reproduces GateDelayModel exactly.
+class ThermalDelayModel {
+ public:
+  explicit ThermalDelayModel(const TechNode& node,
+                             const ThermalParams& params = {});
+
+  /// FO4 delay at supply `vdd` and temperature `temp_k` [s].
+  double fo4_delay(double vdd, double temp_k) const;
+
+  /// Ratio delay(t_hot)/delay(t_cold) at `vdd`: > 1 in the conventional
+  /// region, < 1 once temperature inversion sets in.
+  double hot_cold_ratio(double vdd, double t_cold = 273.15,
+                        double t_hot = 398.15) const;
+
+  /// Supply voltage where delay(t_hot) == delay(t_cold) — the
+  /// temperature-inversion crossover. Searched on [v_lo, v_hi]; throws
+  /// std::invalid_argument when no crossover exists in the range.
+  double inversion_crossover_vdd(double t_cold = 273.15,
+                                 double t_hot = 398.15, double v_lo = 0.35,
+                                 double v_hi = 1.2) const;
+
+  const TechNode& node() const noexcept { return *node_; }
+  const ThermalParams& params() const noexcept { return params_; }
+
+ private:
+  const TechNode* node_;
+  ThermalParams params_;
+  double scale_;  ///< K*C constant matched to the card at t0.
+};
+
+}  // namespace ntv::device

@@ -1,0 +1,49 @@
+#include "device/transistor.h"
+
+#include <cmath>
+
+namespace ntv::device {
+
+double softplus(double x) noexcept {
+  // ln(1+e^x) = x + ln(1+e^-x) for large x; avoids overflow both ways.
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+TransistorModel::TransistorModel(const TechNode& node) noexcept
+    : node_(&node),
+      two_n_vt_(2.0 * node.n_slope * kThermalVoltage) {}
+
+double TransistorModel::ion(double vdd, double vth) const noexcept {
+  const double x = (vdd - vth) / two_n_vt_;
+  return std::pow(softplus(x), node_->alpha);
+}
+
+double TransistorModel::dlnion_dvth(double vdd, double vth) const noexcept {
+  const double x = (vdd - vth) / two_n_vt_;
+  const double sp = softplus(x);
+  if (sp <= 0.0) return 0.0;
+  // d ln I / d vth = alpha * d ln softplus(x)/dx * dx/dvth
+  //                = -alpha * sigmoid(x) / softplus(x) / (2 n vT).
+  return -node_->alpha * sigmoid(x) / sp / two_n_vt_;
+}
+
+double TransistorModel::ioff(double vdd) const noexcept {
+  // Gate at 0: effective overdrive is -vth0; DIBL lowers the barrier
+  // slightly with vdd (eta ~ 0.1 V/V).
+  constexpr double kDibl = 0.1;
+  const double x = (-node_->vth0 + kDibl * vdd) / two_n_vt_;
+  return std::pow(softplus(x), node_->alpha);
+}
+
+}  // namespace ntv::device

@@ -1,0 +1,60 @@
+// Transregional MOSFET on-current model.
+//
+// The study needs one thing from the device physics: how gate delay (and
+// therefore drive current) depends on Vdd and on threshold-voltage shifts
+// across the sub-/near-/super-threshold regions. We use the EKV-style
+// interpolation
+//
+//     I_on(Vdd, Vth) = Is * softplus((Vdd - Vth) / (2 n vT))^alpha
+//
+// which reduces to the exponential subthreshold law for Vdd << Vth and to
+// the alpha-power (velocity-saturated) law for Vdd >> Vth, with a smooth
+// near-threshold transition. This reproduces exactly the sensitivity
+// structure that makes near-threshold operation variation-prone: the
+// relative delay sensitivity to Vth grows steeply as Vdd approaches Vth.
+#pragma once
+
+#include "device/tech_node.h"
+
+namespace ntv::device {
+
+/// Thermal voltage kT/q at 300 K [V].
+inline constexpr double kThermalVoltage = 0.02585;
+
+/// Numerically-stable softplus ln(1 + e^x).
+double softplus(double x) noexcept;
+
+/// d/dx softplus(x) = logistic sigmoid.
+double sigmoid(double x) noexcept;
+
+/// Transregional on-current model for one technology node.
+/// All queries are pure and thread-safe.
+class TransistorModel {
+ public:
+  explicit TransistorModel(const TechNode& node) noexcept;
+
+  /// Normalized on-current (drive) at supply `vdd` with threshold `vth`.
+  /// Units are arbitrary; only ratios matter for delay.
+  double ion(double vdd, double vth) const noexcept;
+
+  /// d ln(I_on) / d Vth at the given bias — negative (higher Vth, less
+  /// current). Its magnitude is the gate-delay sensitivity used by the
+  /// variation calibration.
+  double dlnion_dvth(double vdd, double vth) const noexcept;
+
+  /// Subthreshold off-current at gate bias 0 (used by the leakage-energy
+  /// model): I_off(vdd) = ion at an effective overdrive of -vth0 plus a
+  /// small DIBL correction.
+  double ioff(double vdd) const noexcept;
+
+  const TechNode& node() const noexcept { return *node_; }
+
+  /// Half the subthreshold denominator 2*n*vT [V].
+  double two_n_vt() const noexcept { return two_n_vt_; }
+
+ private:
+  const TechNode* node_;
+  double two_n_vt_;
+};
+
+}  // namespace ntv::device

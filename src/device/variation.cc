@@ -1,0 +1,47 @@
+#include "device/variation.h"
+
+#include <cmath>
+
+namespace ntv::device {
+
+VariationModel::VariationModel(const TechNode& node)
+    : model_(node),
+      params_(calibrate_variation(model_, node.anchors)) {}
+
+VariationModel::VariationModel(const TechNode& node,
+                               const VariationParams& params)
+    : model_(node), params_(params) {}
+
+DieState VariationModel::sample_die(stats::Xoshiro256pp& rng) const noexcept {
+  return DieState{rng.normal(0.0, params_.sigma_vth_sys),
+                  rng.normal(0.0, params_.sigma_mult_sys)};
+}
+
+GateVar VariationModel::sample_gate(stats::Xoshiro256pp& rng) const noexcept {
+  return GateVar{rng.normal(0.0, params_.sigma_vth_rand),
+                 rng.normal(0.0, params_.sigma_mult_rand)};
+}
+
+double VariationModel::gate_delay(double vdd, const DieState& die,
+                                  const GateVar& gate) const noexcept {
+  return model_.delay(vdd, die.dvth_sys + gate.dvth, gate.mult) *
+         (1.0 + die.mult_sys);
+}
+
+double VariationModel::chain_delay(double vdd, int n_stages,
+                                   const DieState& die,
+                                   stats::Xoshiro256pp& rng) const noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < n_stages; ++i) {
+    sum += gate_delay(vdd, die, sample_gate(rng));
+  }
+  return sum;
+}
+
+double VariationModel::die_scale(double vdd,
+                                 const DieState& die) const noexcept {
+  const double g = model_.sensitivity(vdd);
+  return std::exp(g * die.dvth_sys) * (1.0 + die.mult_sys);
+}
+
+}  // namespace ntv::device

@@ -1,0 +1,73 @@
+// Sampling interface of the process-variation model.
+//
+// Two levels of variation, following the paper's setup (normally
+// distributed Vth shifts from RDF plus LER, and a drive component):
+//
+//  * die-to-die systematic: one (dVth_sys, eps_sys) pair per chip, shared
+//    by every gate on that chip;
+//  * within-die random: independent (dVth, eps) per gate.
+//
+// The exact per-gate delay is
+//     D = D0(Vdd, Vth0 + dVth_sys + dVth) * (1 + eps_sys) * (1 + eps).
+//
+// For fast distribution-level work the systematic part is equivalently
+// applied as a multiplicative die factor exp(g(V)*dVth_sys)*(1+eps_sys)
+// (first-order in the small systematic shift); `die_scale` computes it.
+#pragma once
+
+#include "device/calibration.h"
+#include "device/gate_delay.h"
+#include "device/tech_node.h"
+#include "stats/rng.h"
+
+namespace ntv::device {
+
+/// Per-chip systematic variation state.
+struct DieState {
+  double dvth_sys = 0.0;  ///< Systematic Vth shift [V].
+  double mult_sys = 0.0;  ///< Systematic drive variation [fraction].
+};
+
+/// Per-gate random variation state.
+struct GateVar {
+  double dvth = 0.0;  ///< Random Vth shift [V].
+  double mult = 0.0;  ///< Random drive variation [fraction].
+};
+
+/// Bundles a gate-delay model with calibrated sigma parameters and
+/// provides samplers. Construction runs the closed-form calibration
+/// against the node's anchors.
+class VariationModel {
+ public:
+  explicit VariationModel(const TechNode& node);
+  VariationModel(const TechNode& node, const VariationParams& params);
+
+  const GateDelayModel& gate_model() const noexcept { return model_; }
+  const VariationParams& params() const noexcept { return params_; }
+  const TechNode& node() const noexcept { return model_.node(); }
+
+  /// Draws the systematic state of one chip.
+  DieState sample_die(stats::Xoshiro256pp& rng) const noexcept;
+
+  /// Draws the random state of one gate.
+  GateVar sample_gate(stats::Xoshiro256pp& rng) const noexcept;
+
+  /// Exact delay of one gate given both variation levels [s].
+  double gate_delay(double vdd, const DieState& die,
+                    const GateVar& gate) const noexcept;
+
+  /// Exact delay of an `n_stages` chain: sum of i.i.d. gate delays under a
+  /// common die state [s].
+  double chain_delay(double vdd, int n_stages, const DieState& die,
+                     stats::Xoshiro256pp& rng) const noexcept;
+
+  /// Multiplicative die factor equivalent to the systematic state at
+  /// voltage `vdd` (first-order): exp(g(V)*dVth_sys) * (1 + eps_sys).
+  double die_scale(double vdd, const DieState& die) const noexcept;
+
+ private:
+  GateDelayModel model_;
+  VariationParams params_;
+};
+
+}  // namespace ntv::device

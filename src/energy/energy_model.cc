@@ -1,0 +1,60 @@
+#include "energy/energy_model.h"
+
+#include <stdexcept>
+
+#include "stats/root_find.h"
+
+namespace ntv::energy {
+
+EnergyModel::EnergyModel(const device::TechNode& node,
+                         double leak_ratio_nominal, int logic_depth)
+    : model_(node), logic_depth_(logic_depth) {
+  if (leak_ratio_nominal <= 0.0 || logic_depth < 1)
+    throw std::invalid_argument("EnergyModel: bad parameters");
+  const double vnom = node.nominal_vdd;
+  const double t_nom =
+      model_.fo4_delay(vnom) * static_cast<double>(logic_depth_);
+  const double leak_raw = model_.transistor().ioff(vnom) * vnom * t_nom;
+  // E_dyn(vnom) = 1 by normalization.
+  lambda_ = leak_ratio_nominal / leak_raw;
+}
+
+EnergyPoint EnergyModel::at(double vdd) const {
+  if (vdd <= 0.0) throw std::invalid_argument("EnergyModel::at: vdd <= 0");
+  const double vnom = node().nominal_vdd;
+  EnergyPoint point;
+  point.vdd = vdd;
+  point.region = classify(vdd);
+  point.delay = model_.fo4_delay(vdd) * static_cast<double>(logic_depth_);
+  point.dynamic_energy = (vdd / vnom) * (vdd / vnom);
+  point.leakage_energy =
+      lambda_ * model_.transistor().ioff(vdd) * vdd * point.delay;
+  point.total_energy = point.dynamic_energy + point.leakage_energy;
+  return point;
+}
+
+Region EnergyModel::classify(double vdd, double band) const noexcept {
+  const double vth = node().vth0;
+  if (vdd < vth - band) return Region::kSubThreshold;
+  if (vdd > vth + band) return Region::kSuperThreshold;
+  return Region::kNearThreshold;
+}
+
+double EnergyModel::minimum_energy_vdd(double lo, double hi) const {
+  stats::RootOptions opt;
+  opt.x_tol = 1e-4;
+  const auto result = stats::golden_min(
+      [this](double v) { return at(v).total_energy; }, lo, hi, opt);
+  return result.x;
+}
+
+std::vector<EnergyPoint> EnergyModel::sweep(double lo, double hi,
+                                            double step) const {
+  if (step <= 0.0 || hi < lo)
+    throw std::invalid_argument("EnergyModel::sweep: bad range");
+  std::vector<EnergyPoint> points;
+  for (double v = lo; v <= hi + step / 2.0; v += step) points.push_back(at(v));
+  return points;
+}
+
+}  // namespace ntv::energy

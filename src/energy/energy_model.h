@@ -1,0 +1,71 @@
+// Energy model of the three operating regions (Section 2 / Appendix A).
+//
+// Per-operation energy is modeled as
+//
+//     E(V) = E_dyn(V) + E_leak(V)
+//     E_dyn(V)  = (V / Vnom)^2                      (switching, CV^2)
+//     E_leak(V) = lambda * I_off(V) * V * T_op(V)   (leakage * V * delay)
+//
+// with T_op(V) = logic_depth * FO4(V) and lambda chosen so that leakage is
+// `leak_ratio_nominal` of dynamic energy at the nominal voltage. Energies
+// are normalized to E_dyn(Vnom) = 1.
+//
+// This reproduces the paper's Fig. 9 narrative: scaling from
+// super-threshold into the near-threshold region trades ~10x delay for a
+// large energy reduction; below threshold, exponentially growing delay
+// makes leakage energy dominate and creates an energy minimum in the
+// sub-threshold region.
+#pragma once
+
+#include <vector>
+
+#include "device/gate_delay.h"
+#include "device/tech_node.h"
+
+namespace ntv::energy {
+
+/// Operating region relative to the threshold voltage.
+enum class Region { kSubThreshold, kNearThreshold, kSuperThreshold };
+
+/// One point of the energy/delay sweep. Energies are normalized to the
+/// nominal-voltage switching energy; delay is absolute [s].
+struct EnergyPoint {
+  double vdd = 0.0;
+  Region region = Region::kSuperThreshold;
+  double delay = 0.0;           ///< T_op = logic_depth * FO4(V) [s].
+  double dynamic_energy = 0.0;
+  double leakage_energy = 0.0;
+  double total_energy = 0.0;
+};
+
+/// Energy/delay model of one technology node.
+class EnergyModel {
+ public:
+  /// `leak_ratio_nominal`: leakage/dynamic energy ratio at nominal Vdd.
+  /// `logic_depth`: FO4 stages per operation (50, the critical path).
+  explicit EnergyModel(const device::TechNode& node,
+                       double leak_ratio_nominal = 0.01,
+                       int logic_depth = 50);
+
+  const device::TechNode& node() const noexcept { return model_.node(); }
+
+  /// Full energy/delay point at `vdd`.
+  EnergyPoint at(double vdd) const;
+
+  /// Region classification: near-threshold is the +-`band` volt window
+  /// around Vth0 (default 100 mV), matching the paper's Vdd ~ Vth usage.
+  Region classify(double vdd, double band = 0.1) const noexcept;
+
+  /// Supply voltage minimizing total energy on [lo, hi] (golden search).
+  double minimum_energy_vdd(double lo = 0.15, double hi = 1.2) const;
+
+  /// Uniform sweep of points over [lo, hi] inclusive.
+  std::vector<EnergyPoint> sweep(double lo, double hi, double step) const;
+
+ private:
+  device::GateDelayModel model_;
+  int logic_depth_;
+  double lambda_;  ///< Leakage scale fixed by the nominal ratio.
+};
+
+}  // namespace ntv::energy

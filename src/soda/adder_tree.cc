@@ -1,0 +1,50 @@
+#include "soda/adder_tree.h"
+
+#include <stdexcept>
+
+#include "soda/simd_unit.h"
+
+namespace ntv::soda {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+AdderTree::AdderTree(int width) : width_(width) {
+  if (!is_pow2(width)) {
+    throw std::invalid_argument("AdderTree: width must be a power of two");
+  }
+}
+
+std::int32_t AdderTree::reduce(std::span<const std::uint16_t> lanes) const {
+  const auto sums = partial_sums(lanes, width_);
+  return sums.front();
+}
+
+std::vector<std::int32_t> AdderTree::partial_sums(
+    std::span<const std::uint16_t> lanes, int group) const {
+  if (static_cast<int>(lanes.size()) != width_)
+    throw std::invalid_argument("AdderTree: lane count mismatch");
+  if (!is_pow2(group) || group > width_ || width_ % group != 0)
+    throw std::invalid_argument("AdderTree: bad group size");
+
+  // Level-by-level pairwise reduction, mirroring the hardware tree.
+  std::vector<std::int32_t> level(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    level[i] = as_signed(lanes[i]);
+  }
+  int span_size = 1;
+  while (span_size < group) {
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      level[i / 2] = level[i] + level[i + 1];
+      ++ops_;
+    }
+    level.resize(level.size() / 2);
+    span_size *= 2;
+  }
+  return level;
+}
+
+}  // namespace ntv::soda

@@ -1,0 +1,36 @@
+// Multi-output adder tree (the SIMD pipeline's reduction unit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ntv::soda {
+
+/// Log-depth reduction tree over `width` 16-bit lanes producing 32-bit
+/// sums. "Multi-output": partial sums are available at every tree level,
+/// so group reductions (per 2, 4, ..., width lanes) come out of the same
+/// hardware.
+class AdderTree {
+ public:
+  explicit AdderTree(int width);
+
+  int width() const noexcept { return width_; }
+
+  /// Full signed sum of all lanes.
+  std::int32_t reduce(std::span<const std::uint16_t> lanes) const;
+
+  /// Partial signed sums over consecutive groups of `group` lanes
+  /// (group must be a power of two dividing width).
+  std::vector<std::int32_t> partial_sums(std::span<const std::uint16_t> lanes,
+                                         int group) const;
+
+  /// Adder operations performed so far (energy/activity proxy).
+  long ops() const noexcept { return ops_; }
+
+ private:
+  int width_;
+  mutable long ops_ = 0;
+};
+
+}  // namespace ntv::soda

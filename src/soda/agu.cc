@@ -1,0 +1,53 @@
+#include "soda/agu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntv::soda {
+
+Prefetcher::Prefetcher(int width)
+    : width_(width), buffer_(static_cast<std::size_t>(width), 0) {
+  if (width < 1) throw std::invalid_argument("Prefetcher: bad width");
+}
+
+void Prefetcher::gather(const MultiBankMemory& mem,
+                        const AguPattern& row_pattern,
+                        const AguPattern& lane_pattern) {
+  for (int i = 0; i < width_; ++i) {
+    buffer_[static_cast<std::size_t>(i)] =
+        mem.read(row_pattern.address(i), lane_pattern.address(i));
+  }
+}
+
+void Prefetcher::gather_block(const MultiBankMemory& mem, int row0, int col0,
+                              int rows, int cols) {
+  if (rows < 1 || cols < 1 || rows * cols > width_)
+    throw std::invalid_argument("Prefetcher::gather_block: tile too large");
+  std::fill(buffer_.begin(), buffer_.end(), 0);
+  int i = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      buffer_[static_cast<std::size_t>(i++)] = mem.read(row0 + r, col0 + c);
+    }
+  }
+}
+
+void Prefetcher::gather_column(const MultiBankMemory& mem, int row0, int col,
+                               int count) {
+  if (count < 1 || count > width_)
+    throw std::invalid_argument("Prefetcher::gather_column: bad count");
+  std::fill(buffer_.begin(), buffer_.end(), 0);
+  for (int i = 0; i < count; ++i) {
+    buffer_[static_cast<std::size_t>(i)] = mem.read(row0 + i, col);
+  }
+}
+
+void Prefetcher::realign(const arch::XramCrossbar& xram) {
+  if (xram.inputs() != width_ || xram.outputs() != width_)
+    throw std::invalid_argument("Prefetcher::realign: crossbar size");
+  std::vector<std::uint16_t> out(buffer_.size());
+  xram.apply<std::uint16_t>(buffer_, out, 0);
+  buffer_ = std::move(out);
+}
+
+}  // namespace ntv::soda

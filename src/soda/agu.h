@@ -1,0 +1,65 @@
+// Address-generation units and the SIMD data prefetcher.
+//
+// Appendix B: four AGU pipelines (one per memory bank) compute local bank
+// addresses; the prefetcher coordinates a 128-wide buffer with the XRAM
+// crossbar to realize complex alignment patterns such as two-dimensional
+// block access used by multimedia kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/xram.h"
+#include "soda/memory.h"
+
+namespace ntv::soda {
+
+/// Address pattern of one AGU: address(i) = base + i * stride (mod wrap
+/// when wrap > 0).
+struct AguPattern {
+  int base = 0;
+  int stride = 1;
+  int wrap = 0;  ///< 0 = no wrap; else addresses are taken modulo wrap.
+
+  int address(int i) const noexcept {
+    const int a = base + i * stride;
+    return wrap > 0 ? ((a % wrap) + wrap) % wrap : a;
+  }
+};
+
+/// The prefetcher: gathers arbitrary (row, lane) element patterns from the
+/// multi-bank memory into its 128-wide buffer, optionally realigning
+/// through an XRAM shuffle before the SIMD pipeline consumes it.
+class Prefetcher {
+ public:
+  explicit Prefetcher(int width = 128);
+
+  int width() const noexcept { return width_; }
+  std::span<const std::uint16_t> buffer() const noexcept { return buffer_; }
+
+  /// Gathers buffer[i] = mem(row_pattern(i), lane_pattern(i)).
+  void gather(const MultiBankMemory& mem, const AguPattern& row_pattern,
+              const AguPattern& lane_pattern);
+
+  /// 2-D block gather: reads a (rows x cols) tile starting at (row0, col0)
+  /// in row-major order into the buffer (rows*cols must be <= width;
+  /// remaining buffer lanes are zeroed). This is the "two-dimensional data
+  /// access widely used in multimedia algorithms".
+  void gather_block(const MultiBankMemory& mem, int row0, int col0, int rows,
+                    int cols);
+
+  /// Column gather: buffer[i] = mem(row0 + i, col) — a matrix-column read
+  /// that a plain row-wide load cannot express.
+  void gather_column(const MultiBankMemory& mem, int row0, int col,
+                     int count);
+
+  /// Realigns the buffer through a programmed crossbar (out = xram(in)).
+  void realign(const arch::XramCrossbar& xram);
+
+ private:
+  int width_;
+  std::vector<std::uint16_t> buffer_;
+};
+
+}  // namespace ntv::soda

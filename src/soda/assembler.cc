@@ -1,0 +1,281 @@
+#include "soda/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace ntv::soda {
+
+namespace {
+
+// Operand signature characters:
+//   d scalar dst | D vector dst | a scalar src1 | A vector src1
+//   b scalar src2 | B vector src2 | i immediate | t branch target
+struct OpcodeSpec {
+  Opcode op;
+  const char* name;
+  const char* sig;
+};
+
+constexpr OpcodeSpec kSpecs[] = {
+    {Opcode::kNop, "nop", ""},
+    {Opcode::kHalt, "halt", ""},
+    {Opcode::kLoadImm, "li", "di"},
+    {Opcode::kSAdd, "sadd", "dab"},
+    {Opcode::kSSub, "ssub", "dab"},
+    {Opcode::kSMul, "smul", "dab"},
+    {Opcode::kSAddImm, "saddi", "dai"},
+    {Opcode::kSLoad, "sload", "dai"},
+    {Opcode::kSStore, "sstore", "abi"},
+    {Opcode::kJump, "jump", "t"},
+    {Opcode::kBranchNZ, "bnez", "at"},
+    {Opcode::kBranchZ, "beqz", "at"},
+    {Opcode::kVAdd, "vadd", "DAB"},
+    {Opcode::kVSub, "vsub", "DAB"},
+    {Opcode::kVAddSat, "vadds", "DAB"},
+    {Opcode::kVSubSat, "vsubs", "DAB"},
+    {Opcode::kVMul, "vmul", "DAB"},
+    {Opcode::kVMulH, "vmulh", "DAB"},
+    {Opcode::kVMac, "vmac", "DAB"},
+    {Opcode::kVAnd, "vand", "DAB"},
+    {Opcode::kVOr, "vor", "DAB"},
+    {Opcode::kVXor, "vxor", "DAB"},
+    {Opcode::kVShiftL, "vsll", "DAi"},
+    {Opcode::kVShiftRA, "vsra", "DAi"},
+    {Opcode::kVMin, "vmin", "DAB"},
+    {Opcode::kVMax, "vmax", "DAB"},
+    {Opcode::kVSplat, "vsplat", "Da"},
+    {Opcode::kVShuffle, "vshuf", "DAi"},
+    {Opcode::kVSelect, "vsel", "DAB"},
+    {Opcode::kVLoad, "vload", "Dai"},
+    {Opcode::kVStore, "vstore", "Bai"},
+    {Opcode::kVReduceSum, "vredsum", "A"},
+    {Opcode::kReadAccLo, "racclo", "d"},
+    {Opcode::kReadAccHi, "racchi", "d"},
+};
+
+const OpcodeSpec* find_spec(std::string_view name) {
+  for (const auto& spec : kSpecs) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+const OpcodeSpec* find_spec(Opcode op) {
+  for (const auto& spec : kSpecs) {
+    if (op == spec.op) return &spec;
+  }
+  return nullptr;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const auto pos = s.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(s);
+      return out;
+    }
+    out.push_back(s.substr(0, pos));
+    s.remove_prefix(pos + 1);
+  }
+}
+
+int parse_register(std::string_view token, char prefix, int limit, int line) {
+  if (token.size() < 2 ||
+      std::tolower(static_cast<unsigned char>(token[0])) != prefix)
+    throw AssemblerError(line, "expected register '" + std::string(1, prefix) +
+                                   "N', got '" + std::string(token) + "'");
+  int value = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i])))
+      throw AssemblerError(line,
+                           "bad register '" + std::string(token) + "'");
+    value = value * 10 + (token[i] - '0');
+  }
+  if (value >= limit)
+    throw AssemblerError(line, "register '" + std::string(token) +
+                                   "' out of range (max " +
+                                   std::to_string(limit - 1) + ")");
+  return value;
+}
+
+std::int32_t parse_immediate(std::string_view token, int line) {
+  const std::string text(token);
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 0);
+  if (end == text.c_str() || *end != '\0')
+    throw AssemblerError(line, "bad immediate '" + text + "'");
+  return static_cast<std::int32_t>(value);
+}
+
+bool looks_numeric(std::string_view token) {
+  if (token.empty()) return false;
+  const char c = token.front();
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+';
+}
+
+}  // namespace
+
+Program assemble(std::string_view source) {
+  Program program;
+  std::unordered_map<std::string, std::int32_t> labels;
+  struct Fixup {
+    std::size_t index;
+    std::string label;
+    int line;
+  };
+  std::vector<Fixup> fixups;
+
+  int line_no = 0;
+  for (std::string_view raw : split(source, '\n')) {
+    ++line_no;
+    // Strip comments.
+    for (char marker : {';', '#'}) {
+      const auto pos = raw.find(marker);
+      if (pos != std::string_view::npos) raw = raw.substr(0, pos);
+    }
+    std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    // Labels (possibly followed by an instruction on the same line).
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view label = trim(line.substr(0, colon));
+      if (label.empty() ||
+          looks_numeric(label))
+        throw AssemblerError(line_no, "bad label");
+      if (!labels.emplace(std::string(label),
+                          static_cast<std::int32_t>(program.size()))
+               .second)
+        throw AssemblerError(line_no,
+                             "duplicate label '" + std::string(label) + "'");
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Mnemonic.
+    auto space = line.find_first_of(" \t");
+    const std::string_view mnemonic =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    const OpcodeSpec* spec = find_spec(mnemonic);
+    if (!spec)
+      throw AssemblerError(line_no,
+                           "unknown mnemonic '" + std::string(mnemonic) + "'");
+
+    std::vector<std::string_view> operands;
+    if (space != std::string_view::npos) {
+      for (std::string_view op : split(line.substr(space + 1), ',')) {
+        const std::string_view t = trim(op);
+        if (!t.empty()) operands.push_back(t);
+      }
+    }
+    const std::size_t expected = std::string_view(spec->sig).size();
+    if (operands.size() != expected)
+      throw AssemblerError(
+          line_no, std::string(mnemonic) + " expects " +
+                       std::to_string(expected) + " operand(s), got " +
+                       std::to_string(operands.size()));
+
+    Instruction inst;
+    inst.op = spec->op;
+    for (std::size_t i = 0; i < expected; ++i) {
+      const std::string_view token = operands[i];
+      switch (spec->sig[i]) {
+        case 'd':
+          inst.dst = static_cast<std::uint8_t>(
+              parse_register(token, 'r', kScalarRegs, line_no));
+          break;
+        case 'D':
+          inst.dst = static_cast<std::uint8_t>(
+              parse_register(token, 'v', kVectorRegs, line_no));
+          break;
+        case 'a':
+          inst.src1 = static_cast<std::uint8_t>(
+              parse_register(token, 'r', kScalarRegs, line_no));
+          break;
+        case 'A':
+          inst.src1 = static_cast<std::uint8_t>(
+              parse_register(token, 'v', kVectorRegs, line_no));
+          break;
+        case 'b':
+          inst.src2 = static_cast<std::uint8_t>(
+              parse_register(token, 'r', kScalarRegs, line_no));
+          break;
+        case 'B':
+          inst.src2 = static_cast<std::uint8_t>(
+              parse_register(token, 'v', kVectorRegs, line_no));
+          break;
+        case 'i':
+          inst.imm = parse_immediate(token, line_no);
+          break;
+        case 't':
+          if (looks_numeric(token)) {
+            inst.imm = parse_immediate(token, line_no);
+          } else {
+            fixups.push_back({program.size(), std::string(token), line_no});
+            inst.imm = -1;
+          }
+          break;
+        default:
+          throw AssemblerError(line_no, "internal: bad signature");
+      }
+    }
+    program.push_back(inst);
+  }
+
+  for (const auto& fixup : fixups) {
+    const auto it = labels.find(fixup.label);
+    if (it == labels.end())
+      throw AssemblerError(fixup.line,
+                           "unresolved label '" + fixup.label + "'");
+    program[fixup.index].imm = it->second;
+  }
+  return program;
+}
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  char buf[96];
+  for (const Instruction& inst : program) {
+    const OpcodeSpec* spec = find_spec(inst.op);
+    if (!spec) {
+      out += "nop\n";
+      continue;
+    }
+    out += spec->name;
+    const std::string_view sig(spec->sig);
+    for (std::size_t i = 0; i < sig.size(); ++i) {
+      out += (i == 0) ? " " : ", ";
+      switch (sig[i]) {
+        case 'd': std::snprintf(buf, sizeof(buf), "r%d", inst.dst); break;
+        case 'D': std::snprintf(buf, sizeof(buf), "v%d", inst.dst); break;
+        case 'a': std::snprintf(buf, sizeof(buf), "r%d", inst.src1); break;
+        case 'A': std::snprintf(buf, sizeof(buf), "v%d", inst.src1); break;
+        case 'b': std::snprintf(buf, sizeof(buf), "r%d", inst.src2); break;
+        case 'B': std::snprintf(buf, sizeof(buf), "v%d", inst.src2); break;
+        case 'i':
+        case 't': std::snprintf(buf, sizeof(buf), "%d", inst.imm); break;
+        default: buf[0] = '\0'; break;
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ntv::soda

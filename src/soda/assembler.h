@@ -1,0 +1,50 @@
+// Text assembler / disassembler for the Diet SODA ISA.
+//
+// Syntax (one instruction per line, ';' or '#' starts a comment):
+//
+//     ; vector low-pass accumulate
+//     start:
+//       li      r1, 16
+//       vload   v0, r0, 3        ; row = r0 + 3
+//       vadd    v2, v0, v1
+//       vshuf   v3, v2, 5        ; shuffle context 5
+//       saddi   r1, r1, -1
+//       bnez    r1, start
+//       halt
+//
+// Scalar registers are r0..r15, vector registers v0..v31. Immediates are
+// decimal or 0x-hex, optionally negative. Branch targets are labels or
+// absolute instruction indices.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "soda/program.h"
+
+namespace ntv::soda {
+
+/// Error with the 1-based source line where assembly failed.
+class AssemblerError : public std::runtime_error {
+ public:
+  AssemblerError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assembles source text into a Program. Throws AssemblerError on any
+/// syntax problem (unknown mnemonic, bad register, missing operand,
+/// unresolved label, ...).
+Program assemble(std::string_view source);
+
+/// Renders a program back into assembly text (one instruction per line,
+/// absolute branch targets). assemble(disassemble(p)) == p.
+std::string disassemble(const Program& program);
+
+}  // namespace ntv::soda

@@ -1,0 +1,65 @@
+#include "soda/energy_report.h"
+
+#include <stdexcept>
+
+#include "device/transistor.h"
+
+namespace ntv::soda {
+
+ActivitySnapshot ActivitySnapshot::of(const ProcessingElement& pe) {
+  ActivitySnapshot snap;
+  snap.fu_ops = pe.simd().total_ops();
+  snap.tree_ops = pe.adder_tree().ops();
+  snap.memory_reads = pe.simd_memory().reads();
+  snap.memory_writes = pe.simd_memory().writes();
+  return snap;
+}
+
+EnergyReport estimate_energy(const device::TechNode& node,
+                             const RunStats& stats,
+                             const ActivitySnapshot& before,
+                             const ActivitySnapshot& after, double vdd_simd,
+                             double t_simd, double t_mem,
+                             const EnergyCosts& costs) {
+  if (vdd_simd <= 0.0 || vdd_simd > node.nominal_vdd + 1e-9)
+    throw std::invalid_argument("estimate_energy: bad DV-domain voltage");
+
+  const long fu_ops = after.fu_ops - before.fu_ops;
+  const long tree_ops = after.tree_ops - before.tree_ops;
+  const long mem_ops = (after.memory_reads - before.memory_reads) +
+                       (after.memory_writes - before.memory_writes);
+  if (fu_ops < 0 || tree_ops < 0 || mem_ops < 0)
+    throw std::invalid_argument("estimate_energy: snapshots out of order");
+
+  EnergyReport report;
+  report.runtime =
+      ProcessingElement::execution_time(stats, t_simd, t_mem);
+
+  // Dynamic CV^2 scaling of the DV domain relative to nominal.
+  const double v_ratio = vdd_simd / node.nominal_vdd;
+  const double dv_scale = v_ratio * v_ratio;
+  report.dv_dynamic =
+      dv_scale * (costs.fu_op * static_cast<double>(fu_ops) +
+                  costs.tree_add * static_cast<double>(tree_ops));
+
+  // Leakage: power at nominal = leakage_fraction * (1 op / 1 nominal
+  // SIMD cycle); scale current by the transregional off-current ratio and
+  // integrate over the runtime.
+  const device::TransistorModel transistor(node);
+  const double leak_current_ratio =
+      transistor.ioff(vdd_simd) / transistor.ioff(node.nominal_vdd);
+  const double nominal_cycle = t_mem;  // FV cycle as the time base.
+  const double leak_power_nominal = costs.leakage_fraction / nominal_cycle;
+  report.dv_leakage = leak_power_nominal * leak_current_ratio * v_ratio *
+                      report.runtime;
+
+  // FV domain (memory + scalar) runs at nominal voltage: no scaling.
+  report.fv_energy =
+      costs.memory_access * static_cast<double>(mem_ops) +
+      costs.scalar_cycle * static_cast<double>(stats.scalar_cycles);
+
+  report.total = report.dv_dynamic + report.dv_leakage + report.fv_energy;
+  return report;
+}
+
+}  // namespace ntv::soda

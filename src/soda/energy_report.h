@@ -1,0 +1,57 @@
+// Per-kernel energy accounting for the PE.
+//
+// Combines the simulator's activity counters (FU ops, adder-tree adds,
+// memory accesses, cycle counts per clock domain) with the technology
+// energy model to estimate a kernel's energy at a given operating point —
+// the quantity the paper's whole NTV argument is about. Energies are in
+// normalized units (one FV-domain FU op at nominal voltage = 1).
+#pragma once
+
+#include "device/tech_node.h"
+#include "soda/pe.h"
+
+namespace ntv::soda {
+
+/// Relative energy cost per event, in units of one FU op at nominal Vdd.
+/// Ratios follow common DSP energy breakdowns (memory access an order of
+/// magnitude above an ALU op; tree adds below a full FU op).
+struct EnergyCosts {
+  double fu_op = 1.0;
+  double tree_add = 0.3;
+  double memory_access = 8.0;   ///< Per lane-element read/write (FV).
+  double scalar_cycle = 0.5;
+  double leakage_fraction = 0.01;  ///< DV-domain leak share at nominal.
+};
+
+/// Energy estimate of one run.
+struct EnergyReport {
+  double dv_dynamic = 0.0;   ///< SIMD datapath switching energy.
+  double dv_leakage = 0.0;   ///< SIMD datapath leakage over the runtime.
+  double fv_energy = 0.0;    ///< Memory + scalar (full voltage) energy.
+  double total = 0.0;
+  double runtime = 0.0;      ///< Wall-clock of the run [s].
+};
+
+/// Snapshot of a PE's activity counters (take one before and one after a
+/// run; the report uses the difference).
+struct ActivitySnapshot {
+  long fu_ops = 0;
+  long tree_ops = 0;
+  long memory_reads = 0;
+  long memory_writes = 0;
+
+  static ActivitySnapshot of(const ProcessingElement& pe);
+};
+
+/// Estimates the energy of a run that produced `stats`, given the
+/// activity delta and the operating point: DV domain at `vdd_simd`,
+/// FV domain at the node's nominal voltage, clock periods per
+/// Section 4.3 (t_simd a multiple of t_mem).
+EnergyReport estimate_energy(const device::TechNode& node,
+                             const RunStats& stats,
+                             const ActivitySnapshot& before,
+                             const ActivitySnapshot& after, double vdd_simd,
+                             double t_simd, double t_mem,
+                             const EnergyCosts& costs = {});
+
+}  // namespace ntv::soda

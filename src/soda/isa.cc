@@ -1,0 +1,71 @@
+#include "soda/isa.h"
+
+namespace ntv::soda {
+
+std::string_view opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLoadImm: return "li";
+    case Opcode::kSAdd: return "sadd";
+    case Opcode::kSSub: return "ssub";
+    case Opcode::kSMul: return "smul";
+    case Opcode::kSAddImm: return "saddi";
+    case Opcode::kSLoad: return "sload";
+    case Opcode::kSStore: return "sstore";
+    case Opcode::kJump: return "jump";
+    case Opcode::kBranchNZ: return "bnez";
+    case Opcode::kBranchZ: return "beqz";
+    case Opcode::kVAdd: return "vadd";
+    case Opcode::kVSub: return "vsub";
+    case Opcode::kVAddSat: return "vadds";
+    case Opcode::kVSubSat: return "vsubs";
+    case Opcode::kVMul: return "vmul";
+    case Opcode::kVMulH: return "vmulh";
+    case Opcode::kVMac: return "vmac";
+    case Opcode::kVAnd: return "vand";
+    case Opcode::kVOr: return "vor";
+    case Opcode::kVXor: return "vxor";
+    case Opcode::kVShiftL: return "vsll";
+    case Opcode::kVShiftRA: return "vsra";
+    case Opcode::kVMin: return "vmin";
+    case Opcode::kVMax: return "vmax";
+    case Opcode::kVSplat: return "vsplat";
+    case Opcode::kVShuffle: return "vshuf";
+    case Opcode::kVSelect: return "vsel";
+    case Opcode::kVLoad: return "vload";
+    case Opcode::kVStore: return "vstore";
+    case Opcode::kVReduceSum: return "vredsum";
+    case Opcode::kReadAccLo: return "racclo";
+    case Opcode::kReadAccHi: return "racchi";
+  }
+  return "?";
+}
+
+bool is_simd_op(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kVAdd:
+    case Opcode::kVSub:
+    case Opcode::kVAddSat:
+    case Opcode::kVSubSat:
+    case Opcode::kVMul:
+    case Opcode::kVMulH:
+    case Opcode::kVMac:
+    case Opcode::kVAnd:
+    case Opcode::kVOr:
+    case Opcode::kVXor:
+    case Opcode::kVShiftL:
+    case Opcode::kVShiftRA:
+    case Opcode::kVMin:
+    case Opcode::kVMax:
+    case Opcode::kVSplat:
+    case Opcode::kVShuffle:
+    case Opcode::kVSelect:
+    case Opcode::kVReduceSum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ntv::soda

@@ -1,0 +1,86 @@
+// Instruction set of the Diet SODA processing element (Appendix B).
+//
+// A deliberately small load/store ISA with two register files:
+//  * 16 scalar registers (16-bit) driving control flow, addresses and
+//    broadcast values (the scalar pipeline);
+//  * 32 vector registers, each `width` lanes of 16 bits (the SIMD RF).
+// Vector arithmetic is two's-complement 16-bit with wraparound; fixed-
+// point kernels manage precision with the shift instructions, as the real
+// SODA-family DSPs do.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ntv::soda {
+
+/// Opcode of one instruction.
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,
+
+  // ---- scalar pipeline ----
+  kLoadImm,   ///< s[dst] = imm
+  kSAdd,      ///< s[dst] = s[src1] + s[src2]
+  kSSub,      ///< s[dst] = s[src1] - s[src2]
+  kSMul,      ///< s[dst] = s[src1] * s[src2] (low 16 bits)
+  kSAddImm,   ///< s[dst] = s[src1] + imm
+  kSLoad,     ///< s[dst] = scalar_mem[s[src1] + imm]
+  kSStore,    ///< scalar_mem[s[src1] + imm] = s[src2]
+
+  // ---- control flow ----
+  kJump,      ///< pc = imm
+  kBranchNZ,  ///< if (s[src1] != 0) pc = imm
+  kBranchZ,   ///< if (s[src1] == 0) pc = imm
+
+  // ---- SIMD pipeline (DV domain) ----
+  kVAdd,      ///< v[dst] = v[src1] + v[src2]
+  kVSub,      ///< v[dst] = v[src1] - v[src2]
+  kVAddSat,   ///< v[dst] = sat16(v[src1] + v[src2])
+  kVSubSat,   ///< v[dst] = sat16(v[src1] - v[src2])
+  kVMul,      ///< v[dst] = v[src1] * v[src2] (low 16 bits)
+  kVMulH,     ///< v[dst] = (v[src1] * v[src2]) >> 16 (signed high half)
+  kVMac,      ///< v[dst] += v[src1] * v[src2] (low 16 bits)
+  kVAnd,      ///< v[dst] = v[src1] & v[src2]
+  kVOr,       ///< v[dst] = v[src1] | v[src2]
+  kVXor,      ///< v[dst] = v[src1] ^ v[src2]
+  kVShiftL,   ///< v[dst] = v[src1] << imm
+  kVShiftRA,  ///< v[dst] = v[src1] >> imm (arithmetic)
+  kVMin,      ///< v[dst] = min(v[src1], v[src2]) (signed)
+  kVMax,      ///< v[dst] = max(v[src1], v[src2]) (signed)
+  kVSplat,    ///< v[dst] = broadcast s[src1]
+  kVShuffle,  ///< v[dst] = SSN(v[src1]) with shuffle context imm
+  kVSelect,   ///< v[dst] = v[src2] lane-signbit ? v[src1][lane] : v[dst][lane]
+
+  // ---- memory / prefetcher (FV domain) ----
+  kVLoad,     ///< v[dst] = simd_mem row (s[src1] + imm)
+  kVStore,    ///< simd_mem row (s[src1] + imm) = v[src2]
+
+  // ---- adder tree ----
+  kVReduceSum,  ///< acc32 = sum of lanes of v[src1] (32-bit)
+  kReadAccLo,   ///< s[dst] = acc32 & 0xffff
+  kReadAccHi,   ///< s[dst] = acc32 >> 16
+};
+
+/// One decoded instruction. Register fields index the scalar or vector
+/// file depending on the opcode (see Opcode docs).
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+  std::int32_t imm = 0;
+};
+
+/// Human-readable opcode name (diagnostics, traces).
+std::string_view opcode_name(Opcode op) noexcept;
+
+/// True when the instruction executes in the SIMD (DV) domain; false for
+/// scalar / control / memory instructions (FV domain). Used by the cycle
+/// accounting that couples the two clock domains.
+bool is_simd_op(Opcode op) noexcept;
+
+inline constexpr int kScalarRegs = 16;
+inline constexpr int kVectorRegs = 32;
+
+}  // namespace ntv::soda

@@ -1,0 +1,419 @@
+#include "soda/kernels.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::soda {
+
+namespace {
+
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int ilog2(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+
+// Scalar/vector register conventions shared by the kernel programs.
+enum SReg { R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8 };
+enum VReg {
+  XR = 0, XI, AR, AI, BR, BI, TR, TI, P1, P2,
+  V_IN = 12, V_ACC = 13, V_T1 = 14, V_T2 = 15,
+};
+
+/// Q15 sign-folded twiddle rows for every FFT stage: rows[s] = {re, im}
+/// with t[o] = +w(j) on low lanes, -w(j) on high lanes, j = o & (half-1),
+/// w(j) = exp(-2*pi*i*j / (2*half)). Shared by prepare() and the
+/// bit-exact reference so both use identical constants.
+std::vector<std::pair<std::vector<std::int16_t>, std::vector<std::int16_t>>>
+fft_twiddle_rows(int width) {
+  const int stages = ilog2(width);
+  std::vector<std::pair<std::vector<std::int16_t>, std::vector<std::int16_t>>>
+      rows(static_cast<std::size_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    const int half = 1 << s;
+    auto& [re, im] = rows[static_cast<std::size_t>(s)];
+    re.resize(static_cast<std::size_t>(width));
+    im.resize(static_cast<std::size_t>(width));
+    for (int o = 0; o < width; ++o) {
+      const int j = o & (half - 1);
+      const double angle = -2.0 * M_PI * j / (2.0 * half);
+      const double sign = (o & half) ? -1.0 : 1.0;
+      re[static_cast<std::size_t>(o)] =
+          static_cast<std::int16_t>(std::lround(sign * 32767.0 * std::cos(angle)));
+      im[static_cast<std::size_t>(o)] =
+          static_cast<std::int16_t>(std::lround(sign * 32767.0 * std::sin(angle)));
+    }
+  }
+  return rows;
+}
+
+// Q15 "multiply high": (a * b) >> 16 with arithmetic shift, exactly the
+// PE's kVMulH semantics.
+std::int16_t mulh(std::int16_t a, std::int16_t b) {
+  return static_cast<std::int16_t>((static_cast<std::int32_t>(a) * b) >> 16);
+}
+
+std::int16_t wrap_add(std::int16_t a, std::int16_t b) {
+  return static_cast<std::int16_t>(
+      static_cast<std::uint16_t>(a) + static_cast<std::uint16_t>(b));
+}
+
+void write_row_i16(ProcessingElement& pe, int row,
+                   std::span<const std::int16_t> values) {
+  std::vector<std::uint16_t> raw(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(values[i]);
+  pe.simd_memory().write_row(row, raw);
+}
+
+}  // namespace
+
+std::vector<int> rotation_mapping(int width, int shift) {
+  std::vector<int> map(static_cast<std::size_t>(width));
+  for (int o = 0; o < width; ++o) {
+    map[static_cast<std::size_t>(o)] = ((o + shift) % width + width) % width;
+  }
+  return map;
+}
+
+std::vector<int> bit_reversal_mapping(int width) {
+  if (!is_pow2(width))
+    throw std::invalid_argument("bit_reversal_mapping: width not power of 2");
+  const int bits = ilog2(width);
+  std::vector<int> map(static_cast<std::size_t>(width));
+  for (int o = 0; o < width; ++o) {
+    int r = 0;
+    for (int b = 0; b < bits; ++b) {
+      if (o & (1 << b)) r |= 1 << (bits - 1 - b);
+    }
+    map[static_cast<std::size_t>(o)] = r;
+  }
+  return map;
+}
+
+std::vector<int> butterfly_low_mapping(int width, int stage) {
+  std::vector<int> map(static_cast<std::size_t>(width));
+  for (int o = 0; o < width; ++o) {
+    map[static_cast<std::size_t>(o)] = o & ~(1 << stage);
+  }
+  return map;
+}
+
+std::vector<int> butterfly_high_mapping(int width, int stage) {
+  std::vector<int> map(static_cast<std::size_t>(width));
+  for (int o = 0; o < width; ++o) {
+    map[static_cast<std::size_t>(o)] = o | (1 << stage);
+  }
+  return map;
+}
+
+// ---- FirKernel ------------------------------------------------------------
+
+void FirKernel::prepare(ProcessingElement& pe,
+                        std::span<const std::int16_t> coefficients) const {
+  if (static_cast<int>(coefficients.size()) != taps)
+    throw std::invalid_argument("FirKernel::prepare: tap count mismatch");
+  for (int k = 0; k < taps; ++k) {
+    pe.scalar_memory().write(
+        coef_addr + k,
+        static_cast<std::uint16_t>(coefficients[static_cast<std::size_t>(k)]));
+    pe.program_shuffle(ctx0 + k, rotation_mapping(pe.config().width, k));
+  }
+}
+
+Program FirKernel::build() const {
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.vload(V_IN, R0, input_row);
+  b.vxor(V_ACC, V_ACC, V_ACC);
+  for (int k = 0; k < taps; ++k) {
+    b.sload(R2, R0, coef_addr + k);
+    b.vsplat(V_T1, R2);
+    b.vshuf(V_T2, V_IN, ctx0 + k);
+    b.vmac(V_ACC, V_T1, V_T2);
+  }
+  b.vstore(V_ACC, R0, output_row);
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> FirKernel::reference(
+    std::span<const std::int16_t> x, std::span<const std::int16_t> h) {
+  const int n = static_cast<int>(x.size());
+  std::vector<std::int16_t> y(x.size(), 0);
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    for (int lane = 0; lane < n; ++lane) {
+      // Same wraparound arithmetic as the PE's vmac.
+      const std::int16_t prod = static_cast<std::int16_t>(
+          static_cast<std::int32_t>(h[k]) *
+          x[static_cast<std::size_t>((lane + static_cast<int>(k)) % n)]);
+      y[static_cast<std::size_t>(lane)] =
+          wrap_add(y[static_cast<std::size_t>(lane)], prod);
+    }
+  }
+  return y;
+}
+
+// ---- FftKernel ------------------------------------------------------------
+
+void FftKernel::prepare(ProcessingElement& pe) const {
+  const int width = pe.config().width;
+  if (!is_pow2(width))
+    throw std::invalid_argument("FftKernel: width must be a power of two");
+  const int stages = ilog2(width);
+
+  pe.program_shuffle(ctx0, bit_reversal_mapping(width));
+  const auto twiddles = fft_twiddle_rows(width);
+  for (int s = 0; s < stages; ++s) {
+    pe.program_shuffle(ctx0 + 1 + 2 * s, butterfly_low_mapping(width, s));
+    pe.program_shuffle(ctx0 + 2 + 2 * s, butterfly_high_mapping(width, s));
+    write_row_i16(pe, twiddle_base_row + 2 * s,
+                  twiddles[static_cast<std::size_t>(s)].first);
+    write_row_i16(pe, twiddle_base_row + 2 * s + 1,
+                  twiddles[static_cast<std::size_t>(s)].second);
+  }
+}
+
+Program FftKernel::build(const ProcessingElement& pe) const {
+  const int width = pe.config().width;
+  const int stages = ilog2(width);
+
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.vload(XR, R0, re_row);
+  b.vload(XI, R0, im_row);
+  b.vshuf(XR, XR, ctx0);
+  b.vshuf(XI, XI, ctx0);
+  for (int s = 0; s < stages; ++s) {
+    b.vload(TR, R0, twiddle_base_row + 2 * s);
+    b.vload(TI, R0, twiddle_base_row + 2 * s + 1);
+    b.vshuf(AR, XR, ctx0 + 1 + 2 * s);
+    b.vshuf(BR, XR, ctx0 + 2 + 2 * s);
+    b.vshuf(AI, XI, ctx0 + 1 + 2 * s);
+    b.vshuf(BI, XI, ctx0 + 2 + 2 * s);
+    // Re(t * B) at Q15 >> 1 comes straight out of vmulh (Q15*Q15 >> 16).
+    b.vmulh(P1, TR, BR);
+    b.vmulh(P2, TI, BI);
+    b.vsub(P1, P1, P2);
+    b.vsra(AR, AR, 1);
+    b.vadd(XR, AR, P1);
+    // Im(t * B) likewise.
+    b.vmulh(P1, TR, BI);
+    b.vmulh(P2, TI, BR);
+    b.vadd(P1, P1, P2);
+    b.vsra(AI, AI, 1);
+    b.vadd(XI, AI, P1);
+  }
+  b.vstore(XR, R0, out_re_row);
+  b.vstore(XI, R0, out_im_row);
+  b.halt();
+  return b.build();
+}
+
+void FftKernel::reference_fixed(std::vector<std::int16_t>& re,
+                                std::vector<std::int16_t>& im) {
+  const int width = static_cast<int>(re.size());
+  if (!is_pow2(width) || im.size() != re.size())
+    throw std::invalid_argument("reference_fixed: bad input size");
+  const int stages = ilog2(width);
+
+  // Bit-reversal permutation.
+  const auto rev = bit_reversal_mapping(width);
+  std::vector<std::int16_t> tr(re.size()), ti(im.size());
+  for (int o = 0; o < width; ++o) {
+    tr[static_cast<std::size_t>(o)] = re[static_cast<std::size_t>(rev[static_cast<std::size_t>(o)])];
+    ti[static_cast<std::size_t>(o)] = im[static_cast<std::size_t>(rev[static_cast<std::size_t>(o)])];
+  }
+  re = tr;
+  im = ti;
+
+  const auto twiddles = fft_twiddle_rows(width);
+  for (int s = 0; s < stages; ++s) {
+    const auto& [wr, wi] = twiddles[static_cast<std::size_t>(s)];
+    std::vector<std::int16_t> nr(re.size()), ni(im.size());
+    for (int o = 0; o < width; ++o) {
+      const auto lo = static_cast<std::size_t>(o & ~(1 << s));
+      const auto hi = static_cast<std::size_t>(o | (1 << s));
+      const auto oo = static_cast<std::size_t>(o);
+      const std::int16_t p_re = static_cast<std::int16_t>(
+          mulh(wr[oo], re[hi]) - mulh(wi[oo], im[hi]));
+      const std::int16_t p_im = static_cast<std::int16_t>(
+          mulh(wr[oo], im[hi]) + mulh(wi[oo], re[hi]));
+      nr[oo] = wrap_add(static_cast<std::int16_t>(re[lo] >> 1), p_re);
+      ni[oo] = wrap_add(static_cast<std::int16_t>(im[lo] >> 1), p_im);
+    }
+    re = nr;
+    im = ni;
+  }
+}
+
+std::vector<std::complex<double>> FftKernel::reference_double(
+    std::span<const std::int16_t> re, std::span<const std::int16_t> im) {
+  const auto n = re.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * M_PI * static_cast<double>(k * t % n) / static_cast<double>(n);
+      sum += std::complex<double>(re[t], im[t]) *
+             std::polar(1.0, angle);
+    }
+    out[k] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+// ---- Conv2dKernel ----------------------------------------------------------
+
+void Conv2dKernel::prepare(
+    ProcessingElement& pe,
+    std::span<const std::int16_t> coefficients_3x3) const {
+  if (coefficients_3x3.size() != 9)
+    throw std::invalid_argument("Conv2dKernel::prepare: need 9 coefficients");
+  for (int i = 0; i < 9; ++i) {
+    pe.scalar_memory().write(
+        coef_addr + i,
+        static_cast<std::uint16_t>(coefficients_3x3[static_cast<std::size_t>(i)]));
+  }
+  // Rotation contexts for dx = -1, 0, +1.
+  for (int dx = -1; dx <= 1; ++dx) {
+    pe.program_shuffle(ctx0 + dx + 1,
+                       rotation_mapping(pe.config().width, dx));
+  }
+  // Circular row-index table: T[i] = image_row0 + ((i - 1) mod height) for
+  // i in [0, height+1], so row (r + dy) for dy in {-1,0,1} is T[r + dy+1].
+  for (int i = 0; i <= height + 1; ++i) {
+    const int wrapped = ((i - 1) % height + height) % height;
+    pe.scalar_memory().write(coef_addr + 16 + i,
+                             static_cast<std::uint16_t>(image_row0 + wrapped));
+  }
+}
+
+Program Conv2dKernel::build() const {
+  // R1 = output row index r (counts up), R8 = remaining rows.
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.li(R1, 0);
+  b.li(R8, height);
+  b.bind("row_loop");
+  b.vxor(V_ACC, V_ACC, V_ACC);
+  for (int dy = 0; dy < 3; ++dy) {
+    // Row index from the circular table: T[r + dy].
+    b.sload(R4, R1, coef_addr + 16 + dy);
+    b.vload(V_IN, R4, 0);
+    for (int dx = 0; dx < 3; ++dx) {
+      b.vshuf(V_T2, V_IN, ctx0 + dx);
+      b.sload(R2, R0, coef_addr + dy * 3 + dx);
+      b.vsplat(V_T1, R2);
+      b.vmac(V_ACC, V_T1, V_T2);
+    }
+  }
+  b.vstore(V_ACC, R1, output_row0);
+  b.saddi(R1, R1, 1);
+  b.saddi(R8, R8, -1);
+  b.bnez(R8, "row_loop");
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> Conv2dKernel::reference(
+    std::span<const std::int16_t> image, int height, int width,
+    std::span<const std::int16_t> coefficients_3x3) {
+  if (static_cast<int>(image.size()) != height * width)
+    throw std::invalid_argument("Conv2dKernel::reference: size mismatch");
+  std::vector<std::int16_t> out(image.size(), 0);
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      std::int16_t acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int rr = ((r + dy) % height + height) % height;
+          const int cc = ((c + dx) % width + width) % width;
+          const std::int16_t k =
+              coefficients_3x3[static_cast<std::size_t>((dy + 1) * 3 + dx + 1)];
+          const std::int16_t prod = static_cast<std::int16_t>(
+              static_cast<std::int32_t>(k) *
+              image[static_cast<std::size_t>(rr * width + cc)]);
+          acc = wrap_add(acc, prod);
+        }
+      }
+      out[static_cast<std::size_t>(r * width + c)] = acc;
+    }
+  }
+  return out;
+}
+
+// ---- MatVecKernel ----------------------------------------------------------
+
+Program MatVecKernel::build() const {
+  // R1 = row counter (up), R8 = rows remaining, R2 = result low word.
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.li(R1, 0);
+  b.li(R8, rows);
+  b.vload(XI, R0, x_row);
+  b.bind("row_loop");
+  b.vload(XR, R1, matrix_row0);  // Row = r + matrix_row0.
+  b.vmul(P1, XR, XI);
+  b.vredsum(P1);
+  b.racclo(R2);
+  b.sstore(R1, R2, result_addr);  // scalar_mem[r + result_addr] = lo.
+  b.saddi(R1, R1, 1);
+  b.saddi(R8, R8, -1);
+  b.bnez(R8, "row_loop");
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> MatVecKernel::reference(
+    std::span<const std::int16_t> matrix, int rows, int width,
+    std::span<const std::int16_t> x) {
+  if (static_cast<int>(matrix.size()) != rows * width ||
+      static_cast<int>(x.size()) != width)
+    throw std::invalid_argument("MatVecKernel::reference: size mismatch");
+  std::vector<std::int16_t> y(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    std::int32_t sum = 0;
+    for (int c = 0; c < width; ++c) {
+      // Lane products wrap at 16 bits (vmul), the tree sums at 32.
+      sum += static_cast<std::int16_t>(
+          static_cast<std::int32_t>(matrix[static_cast<std::size_t>(r * width + c)]) *
+          x[static_cast<std::size_t>(c)]);
+    }
+    y[static_cast<std::size_t>(r)] =
+        static_cast<std::int16_t>(sum & 0xFFFF);
+  }
+  return y;
+}
+
+// ---- DotKernel -------------------------------------------------------------
+
+Program DotKernel::build() const {
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.vload(XR, R0, a_row);
+  b.vload(XI, R0, b_row);
+  b.vmul(P1, XR, XI);
+  b.vredsum(P1);
+  b.racclo(R1);
+  b.racchi(R2);
+  b.sstore(R0, R1, result_addr);
+  b.sstore(R0, R2, result_addr + 1);
+  b.halt();
+  return b.build();
+}
+
+std::int32_t DotKernel::reference(std::span<const std::int16_t> a,
+                                  std::span<const std::int16_t> b) {
+  std::int32_t sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Products wrap at 16 bits (the PE's vmul keeps the low half).
+    sum += static_cast<std::int16_t>(static_cast<std::int32_t>(a[i]) * b[i]);
+  }
+  return sum;
+}
+
+}  // namespace ntv::soda

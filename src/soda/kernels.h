@@ -1,0 +1,145 @@
+// DLP workload kernels for the Diet SODA PE.
+//
+// These are the signal-processing workloads the paper's introduction
+// motivates (high-throughput DSP on hand-helds): FIR filtering, a 128-
+// point fixed-point FFT that exercises the shuffle network heavily, 2-D
+// convolution using rotations, and adder-tree dot products. Each kernel
+// has a `prepare` step (host writes coefficients and programs shuffle
+// contexts), a `build` step producing the Program, and a bit-accurate or
+// double-precision reference for verification.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "soda/pe.h"
+#include "soda/program.h"
+
+namespace ntv::soda {
+
+// ---- shuffle-mapping helpers -------------------------------------------
+
+/// Rotation: out[o] = in[(o + shift) mod width] (shift may be negative).
+std::vector<int> rotation_mapping(int width, int shift);
+
+/// Bit reversal: out[o] = in[bitrev(o)]; width must be a power of two.
+std::vector<int> bit_reversal_mapping(int width);
+
+/// FFT butterfly gather, low partner: out[o] = in[o with bit `stage` clear].
+std::vector<int> butterfly_low_mapping(int width, int stage);
+
+/// FFT butterfly gather, high partner: out[o] = in[o with bit `stage` set].
+std::vector<int> butterfly_high_mapping(int width, int stage);
+
+// ---- circular FIR filter ------------------------------------------------
+
+/// y[n] = sum_k h[k] * x[(n + k) mod width], all lanes in parallel.
+struct FirKernel {
+  int taps = 4;
+  int input_row = 0;    ///< SIMD memory row holding x.
+  int output_row = 1;   ///< SIMD memory row receiving y.
+  int coef_addr = 0;    ///< Scalar-memory address of h[0..taps-1].
+  int ctx0 = 0;         ///< First of `taps` rotation shuffle contexts.
+
+  /// Writes coefficients to scalar memory and programs the rotation
+  /// contexts [ctx0, ctx0 + taps).
+  void prepare(ProcessingElement& pe,
+               std::span<const std::int16_t> coefficients) const;
+
+  /// Builds the program (runs once, ends with halt).
+  Program build() const;
+
+  /// Bit-exact reference (same wraparound arithmetic as the PE).
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> x, std::span<const std::int16_t> h);
+};
+
+// ---- 128-point radix-2 DIT FFT (Q15, >>1 per stage) ----------------------
+
+/// Fixed-point FFT over `width` lanes. Input: Q15 re/im rows; output rows
+/// hold FFT(x) scaled by 1/width. Twiddle factors (sign-folded) are
+/// written as Q15 memory rows; shuffle contexts: 1 bit-reversal + 2 per
+/// stage.
+struct FftKernel {
+  int re_row = 0;            ///< Input/working real row.
+  int im_row = 1;            ///< Input/working imag row.
+  int out_re_row = 2;        ///< Output real row.
+  int out_im_row = 3;        ///< Output imag row.
+  int twiddle_base_row = 8;  ///< 2 rows per stage from here.
+  int ctx0 = 0;              ///< Contexts [ctx0, ctx0 + 1 + 2*stages).
+
+  /// Programs shuffle contexts and writes twiddle rows for the PE width.
+  void prepare(ProcessingElement& pe) const;
+
+  /// Builds the program.
+  Program build(const ProcessingElement& pe) const;
+
+  /// Bit-exact fixed-point reference on int16 data: returns (re, im) after
+  /// the same bit-reversal, Q15 multiplies and per-stage >>1 scaling.
+  static void reference_fixed(std::vector<std::int16_t>& re,
+                              std::vector<std::int16_t>& im);
+
+  /// Double-precision DFT scaled by 1/n, for accuracy bounds.
+  static std::vector<std::complex<double>> reference_double(
+      std::span<const std::int16_t> re, std::span<const std::int16_t> im);
+};
+
+// ---- 3x3 2-D convolution (circular) --------------------------------------
+
+/// out(r, c) = sum_{dy,dx in -1..1} k(dy,dx) * img((r+dy) mod H, (c+dx)
+/// mod W), integer coefficients, one image row per SIMD memory row.
+struct Conv2dKernel {
+  int image_row0 = 0;    ///< First image row in SIMD memory.
+  int height = 8;        ///< Image rows.
+  int output_row0 = 64;  ///< First output row.
+  int coef_addr = 32;    ///< Scalar memory address of the 9 coefficients
+                         ///< (row-major dy=-1..1, dx=-1..1).
+  int ctx0 = 0;          ///< Three rotation contexts (dx=-1, 0, +1).
+
+  void prepare(ProcessingElement& pe,
+               std::span<const std::int16_t> coefficients_3x3) const;
+  Program build() const;
+
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> image, int height, int width,
+      std::span<const std::int16_t> coefficients_3x3);
+};
+
+// ---- matrix-vector product via the adder tree -----------------------------
+
+/// y = A * x for a (rows x width) int16 matrix A with one matrix row per
+/// SIMD memory row. Each output element is one vmul + full adder-tree
+/// reduction; the row loop runs on the scalar pipeline. Results (low 16
+/// bits of the 32-bit sums) are stored to scalar memory.
+struct MatVecKernel {
+  int matrix_row0 = 0;   ///< First matrix row in SIMD memory.
+  int rows = 8;          ///< Matrix rows (= output length).
+  int x_row = 32;        ///< SIMD memory row holding x.
+  int result_addr = 64;  ///< Scalar memory: y[i] at result_addr + i.
+
+  Program build() const;
+
+  /// Reference: low 16 bits of the exact 32-bit row sums (wrap-mul lanes).
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> matrix, int rows, int width,
+      std::span<const std::int16_t> x);
+};
+
+// ---- dot product via the adder tree --------------------------------------
+
+/// dot = sum_l a[l] * b[l] (32-bit), left in scalar regs (lo, hi) and
+/// stored to scalar memory.
+struct DotKernel {
+  int a_row = 0;
+  int b_row = 1;
+  int result_addr = 0;  ///< Scalar memory: lo word at result_addr, hi next.
+
+  Program build() const;
+
+  static std::int32_t reference(std::span<const std::int16_t> a,
+                                std::span<const std::int16_t> b);
+};
+
+}  // namespace ntv::soda

@@ -1,0 +1,116 @@
+#include "soda/memory.h"
+
+#include <stdexcept>
+
+namespace ntv::soda {
+
+SimdMemoryBank::SimdMemoryBank(int lanes, int entries)
+    : lanes_(lanes),
+      entries_(entries),
+      data_(static_cast<std::size_t>(lanes) * entries, 0) {
+  if (lanes < 1 || entries < 1)
+    throw std::invalid_argument("SimdMemoryBank: bad dimensions");
+}
+
+std::uint16_t SimdMemoryBank::read(int entry, int lane) const {
+  if (entry < 0 || entry >= entries_ || lane < 0 || lane >= lanes_)
+    throw std::out_of_range("SimdMemoryBank::read");
+  return data_[static_cast<std::size_t>(entry) * lanes_ + lane];
+}
+
+void SimdMemoryBank::write(int entry, int lane, std::uint16_t value) {
+  if (entry < 0 || entry >= entries_ || lane < 0 || lane >= lanes_)
+    throw std::out_of_range("SimdMemoryBank::write");
+  data_[static_cast<std::size_t>(entry) * lanes_ + lane] = value;
+}
+
+MultiBankMemory::MultiBankMemory(int width, int banks, int entries)
+    : width_(width), entries_(entries) {
+  if (banks < 1 || width < banks || width % banks != 0)
+    throw std::invalid_argument(
+        "MultiBankMemory: width must be a positive multiple of banks");
+  lanes_per_bank_ = width / banks;
+  banks_.reserve(static_cast<std::size_t>(banks));
+  for (int b = 0; b < banks; ++b) {
+    banks_.emplace_back(lanes_per_bank_, entries);
+  }
+}
+
+void MultiBankMemory::read_row(int row, std::span<std::uint16_t> out) const {
+  if (static_cast<int>(out.size()) != width_)
+    throw std::invalid_argument("MultiBankMemory::read_row: size mismatch");
+  for (int lane = 0; lane < width_; ++lane) {
+    out[static_cast<std::size_t>(lane)] = read(row, lane);
+  }
+}
+
+void MultiBankMemory::write_row(int row,
+                                std::span<const std::uint16_t> in) {
+  if (static_cast<int>(in.size()) != width_)
+    throw std::invalid_argument("MultiBankMemory::write_row: size mismatch");
+  for (int lane = 0; lane < width_; ++lane) {
+    write(row, lane, in[static_cast<std::size_t>(lane)]);
+  }
+}
+
+std::uint16_t MultiBankMemory::read(int row, int lane) const {
+  if (lane < 0 || lane >= width_)
+    throw std::out_of_range("MultiBankMemory::read: lane");
+  ++reads_;
+  return banks_[static_cast<std::size_t>(lane / lanes_per_bank_)].read(
+      row, lane % lanes_per_bank_);
+}
+
+void MultiBankMemory::write(int row, int lane, std::uint16_t value) {
+  if (lane < 0 || lane >= width_)
+    throw std::out_of_range("MultiBankMemory::write: lane");
+  ++writes_;
+  banks_[static_cast<std::size_t>(lane / lanes_per_bank_)].write(
+      row, lane % lanes_per_bank_, value);
+}
+
+long MultiBankMemory::inject_retention_faults(stats::Xoshiro256pp& rng,
+                                              double bit_flip_prob) {
+  if (bit_flip_prob < 0.0 || bit_flip_prob > 1.0)
+    throw std::invalid_argument(
+        "inject_retention_faults: probability out of range");
+  long flipped = 0;
+  for (int row = 0; row < entries_; ++row) {
+    for (int lane = 0; lane < width_; ++lane) {
+      std::uint16_t word =
+          banks_[static_cast<std::size_t>(lane / lanes_per_bank_)].read(
+              row, lane % lanes_per_bank_);
+      std::uint16_t mask = 0;
+      for (int bit = 0; bit < 16; ++bit) {
+        if (rng.uniform() < bit_flip_prob) {
+          mask = static_cast<std::uint16_t>(mask | (1u << bit));
+          ++flipped;
+        }
+      }
+      if (mask != 0) {
+        banks_[static_cast<std::size_t>(lane / lanes_per_bank_)].write(
+            row, lane % lanes_per_bank_,
+            static_cast<std::uint16_t>(word ^ mask));
+      }
+    }
+  }
+  return flipped;
+}
+
+ScalarMemory::ScalarMemory(int words) : data_(static_cast<std::size_t>(words), 0) {
+  if (words < 1) throw std::invalid_argument("ScalarMemory: bad size");
+}
+
+std::uint16_t ScalarMemory::read(int address) const {
+  if (address < 0 || address >= size())
+    throw std::out_of_range("ScalarMemory::read");
+  return data_[static_cast<std::size_t>(address)];
+}
+
+void ScalarMemory::write(int address, std::uint16_t value) {
+  if (address < 0 || address >= size())
+    throw std::out_of_range("ScalarMemory::write");
+  data_[static_cast<std::size_t>(address)] = value;
+}
+
+}  // namespace ntv::soda

@@ -1,0 +1,90 @@
+// Memory subsystem of the PE (full-voltage domain).
+//
+// Appendix B: 64 KB SIMD memory in four banks (each 32 lanes x 16 bit x
+// 256 entries) plus a 4 KB scalar memory. A 128-wide vector row spans all
+// four banks: lane L of row R lives in bank L/32, lane-column L%32,
+// entry R. Memory stays at full voltage (data-retention), which is why
+// the paper couples the SIMD clock to the memory clock in Section 4.3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::soda {
+
+/// One SIMD memory bank: `lanes` columns x `entries` rows of 16-bit words.
+class SimdMemoryBank {
+ public:
+  SimdMemoryBank(int lanes, int entries);
+
+  int lanes() const noexcept { return lanes_; }
+  int entries() const noexcept { return entries_; }
+
+  std::uint16_t read(int entry, int lane) const;
+  void write(int entry, int lane, std::uint16_t value);
+
+ private:
+  int lanes_;
+  int entries_;
+  std::vector<std::uint16_t> data_;
+};
+
+/// Four banks presenting a `width`-lane row interface.
+class MultiBankMemory {
+ public:
+  /// `width` must be divisible by `banks`.
+  MultiBankMemory(int width = 128, int banks = 4, int entries = 256);
+
+  int width() const noexcept { return width_; }
+  int banks() const noexcept { return static_cast<int>(banks_.size()); }
+  int entries() const noexcept { return entries_; }
+
+  /// Reads a full row into `out` (size width). Throws on bad row.
+  void read_row(int row, std::span<std::uint16_t> out) const;
+
+  /// Writes a full row from `in` (size width).
+  void write_row(int row, std::span<const std::uint16_t> in);
+
+  /// Element access (lane-addressed).
+  std::uint16_t read(int row, int lane) const;
+  void write(int row, int lane, std::uint16_t value);
+
+  /// Access counters (bank conflicts/energy proxies for the stats report).
+  long reads() const noexcept { return reads_; }
+  long writes() const noexcept { return writes_; }
+
+  /// Data-retention fault injection: flips each stored bit independently
+  /// with probability `bit_flip_prob` and returns the number of flipped
+  /// bits. Models what would happen if the SRAM were dragged into the
+  /// near-threshold domain — the reason Diet SODA keeps all memory at
+  /// full voltage (Appendix B). Destructive; intended for fault-injection
+  /// experiments.
+  long inject_retention_faults(stats::Xoshiro256pp& rng,
+                               double bit_flip_prob);
+
+ private:
+  int width_;
+  int entries_;
+  int lanes_per_bank_;
+  std::vector<SimdMemoryBank> banks_;
+  mutable long reads_ = 0;
+  long writes_ = 0;
+};
+
+/// 16-bit-word scalar memory (4 KB = 2048 words).
+class ScalarMemory {
+ public:
+  explicit ScalarMemory(int words = 2048);
+
+  std::uint16_t read(int address) const;
+  void write(int address, std::uint16_t value);
+  int size() const noexcept { return static_cast<int>(data_.size()); }
+
+ private:
+  std::vector<std::uint16_t> data_;
+};
+
+}  // namespace ntv::soda

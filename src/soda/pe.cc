@@ -1,0 +1,249 @@
+#include "soda/pe.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::soda {
+
+namespace {
+
+std::uint16_t op_add(std::uint16_t a, std::uint16_t b) {
+  return as_unsigned(as_signed(a) + as_signed(b));
+}
+std::uint16_t op_sub(std::uint16_t a, std::uint16_t b) {
+  return as_unsigned(as_signed(a) - as_signed(b));
+}
+std::uint16_t sat16(std::int32_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return static_cast<std::uint16_t>(-32768);
+  return as_unsigned(v);
+}
+std::uint16_t op_adds(std::uint16_t a, std::uint16_t b) {
+  return sat16(as_signed(a) + as_signed(b));
+}
+std::uint16_t op_subs(std::uint16_t a, std::uint16_t b) {
+  return sat16(as_signed(a) - as_signed(b));
+}
+std::uint16_t op_mul(std::uint16_t a, std::uint16_t b) {
+  return as_unsigned(as_signed(a) * as_signed(b));
+}
+std::uint16_t op_mulh(std::uint16_t a, std::uint16_t b) {
+  const std::int32_t p = as_signed(a) * as_signed(b);
+  return static_cast<std::uint16_t>((p >> 16) & 0xFFFF);
+}
+std::uint16_t op_and(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a & b);
+}
+std::uint16_t op_or(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a | b);
+}
+std::uint16_t op_xor(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a ^ b);
+}
+std::uint16_t op_min(std::uint16_t a, std::uint16_t b) {
+  return as_signed(a) < as_signed(b) ? a : b;
+}
+std::uint16_t op_max(std::uint16_t a, std::uint16_t b) {
+  return as_signed(a) > as_signed(b) ? a : b;
+}
+
+}  // namespace
+
+ProcessingElement::ProcessingElement(const PeConfig& config)
+    : config_(config),
+      simd_mem_(config.width, config.banks, config.mem_entries),
+      scalar_mem_(config.scalar_words),
+      simd_(config.width, config.spare_fus, kVectorRegs),
+      prefetcher_(config.width),
+      adder_tree_(config.width),
+      ssn_(config.width, config.width, config.shuffle_contexts),
+      sregs_(static_cast<std::size_t>(kScalarRegs), 0) {}
+
+void ProcessingElement::program_shuffle(int context,
+                                        std::span<const int> mapping) {
+  const int saved = ssn_.active_context();
+  ssn_.select_context(context);
+  ssn_.program(mapping);
+  ssn_.select_context(saved);
+}
+
+void ProcessingElement::set_faulty_fus(
+    std::span<const std::uint8_t> faulty) {
+  simd_.set_faulty(faulty);
+}
+
+std::uint16_t ProcessingElement::scalar_reg(int r) const {
+  return sregs_.at(static_cast<std::size_t>(r));
+}
+
+void ProcessingElement::set_scalar_reg(int r, std::uint16_t value) {
+  sregs_.at(static_cast<std::size_t>(r)) = value;
+}
+
+void ProcessingElement::write_vector(int reg,
+                                     std::span<const std::uint16_t> values) {
+  auto dst = simd_.reg(reg);
+  if (values.size() != dst.size())
+    throw std::invalid_argument("write_vector: size mismatch");
+  std::copy(values.begin(), values.end(), dst.begin());
+}
+
+std::vector<std::uint16_t> ProcessingElement::read_vector(int reg) const {
+  const auto src = simd_.reg(reg);
+  return {src.begin(), src.end()};
+}
+
+void ProcessingElement::exec_simd(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kVAdd: simd_.binary(inst.dst, inst.src1, inst.src2, op_add); break;
+    case Opcode::kVSub: simd_.binary(inst.dst, inst.src1, inst.src2, op_sub); break;
+    case Opcode::kVAddSat: simd_.binary(inst.dst, inst.src1, inst.src2, op_adds); break;
+    case Opcode::kVSubSat: simd_.binary(inst.dst, inst.src1, inst.src2, op_subs); break;
+    case Opcode::kVMul: simd_.binary(inst.dst, inst.src1, inst.src2, op_mul); break;
+    case Opcode::kVMulH: simd_.binary(inst.dst, inst.src1, inst.src2, op_mulh); break;
+    case Opcode::kVMac: simd_.mac(inst.dst, inst.src1, inst.src2); break;
+    case Opcode::kVAnd: simd_.binary(inst.dst, inst.src1, inst.src2, op_and); break;
+    case Opcode::kVOr: simd_.binary(inst.dst, inst.src1, inst.src2, op_or); break;
+    case Opcode::kVXor: simd_.binary(inst.dst, inst.src1, inst.src2, op_xor); break;
+    case Opcode::kVShiftL: simd_.shift(inst.dst, inst.src1, inst.imm, true); break;
+    case Opcode::kVShiftRA: simd_.shift(inst.dst, inst.src1, inst.imm, false); break;
+    case Opcode::kVMin: simd_.binary(inst.dst, inst.src1, inst.src2, op_min); break;
+    case Opcode::kVMax: simd_.binary(inst.dst, inst.src1, inst.src2, op_max); break;
+    case Opcode::kVSplat:
+      simd_.splat(inst.dst, sregs_[inst.src1]);
+      break;
+    case Opcode::kVShuffle: {
+      const int saved = ssn_.active_context();
+      ssn_.select_context(inst.imm);
+      simd_.shuffle(inst.dst, inst.src1, ssn_);
+      ssn_.select_context(saved);
+      break;
+    }
+    case Opcode::kVSelect:
+      simd_.select(inst.dst, inst.src1, inst.src2);
+      break;
+    case Opcode::kVReduceSum:
+      acc32_ = adder_tree_.reduce(simd_.reg(inst.src1));
+      break;
+    default:
+      throw std::logic_error("exec_simd: not a SIMD opcode");
+  }
+}
+
+RunStats ProcessingElement::run(const Program& program,
+                                long max_instructions) {
+  RunStats stats;
+  std::size_t pc = 0;
+  while (pc < program.size()) {
+    if (stats.instructions >= max_instructions)
+      throw std::runtime_error("ProcessingElement::run: instruction limit");
+    const Instruction& inst = program[pc];
+    if (trace_) trace_(pc, inst);
+    ++stats.instructions;
+    std::size_t next = pc + 1;
+
+    switch (inst.op) {
+      case Opcode::kNop:
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kHalt:
+        stats.halted = true;
+        return stats;
+
+      case Opcode::kLoadImm:
+        sregs_[inst.dst] = static_cast<std::uint16_t>(inst.imm);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSAdd:
+        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) +
+                                       as_signed(sregs_[inst.src2]));
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSSub:
+        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) -
+                                       as_signed(sregs_[inst.src2]));
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSMul:
+        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) *
+                                       as_signed(sregs_[inst.src2]));
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSAddImm:
+        sregs_[inst.dst] =
+            as_unsigned(as_signed(sregs_[inst.src1]) + inst.imm);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSLoad:
+        sregs_[inst.dst] =
+            scalar_mem_.read(as_signed(sregs_[inst.src1]) + inst.imm);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kSStore:
+        scalar_mem_.write(as_signed(sregs_[inst.src1]) + inst.imm,
+                          sregs_[inst.src2]);
+        ++stats.scalar_cycles;
+        break;
+
+      case Opcode::kJump:
+        next = static_cast<std::size_t>(inst.imm);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kBranchNZ:
+        if (sregs_[inst.src1] != 0) next = static_cast<std::size_t>(inst.imm);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kBranchZ:
+        if (sregs_[inst.src1] == 0) next = static_cast<std::size_t>(inst.imm);
+        ++stats.scalar_cycles;
+        break;
+
+      case Opcode::kVLoad: {
+        const int row = as_signed(sregs_[inst.src1]) + inst.imm;
+        auto dst = simd_.reg(inst.dst);
+        simd_mem_.read_row(row, dst);
+        ++stats.memory_cycles;
+        break;
+      }
+      case Opcode::kVStore: {
+        const int row = as_signed(sregs_[inst.src1]) + inst.imm;
+        simd_mem_.write_row(row, simd_.reg(inst.src2));
+        ++stats.memory_cycles;
+        break;
+      }
+
+      case Opcode::kReadAccLo:
+        sregs_[inst.dst] = static_cast<std::uint16_t>(acc32_ & 0xFFFF);
+        ++stats.scalar_cycles;
+        break;
+      case Opcode::kReadAccHi:
+        sregs_[inst.dst] =
+            static_cast<std::uint16_t>((acc32_ >> 16) & 0xFFFF);
+        ++stats.scalar_cycles;
+        break;
+
+      default:
+        exec_simd(inst);
+        ++stats.simd_cycles;
+        break;
+    }
+    pc = next;
+  }
+  return stats;
+}
+
+double ProcessingElement::execution_time(const RunStats& stats, double t_simd,
+                                         double t_mem) {
+  if (t_simd <= 0.0 || t_mem <= 0.0)
+    throw std::invalid_argument("execution_time: periods must be positive");
+  const double ratio = t_simd / t_mem;
+  if (std::abs(ratio - std::round(ratio)) > 1e-6 * ratio)
+    throw std::invalid_argument(
+        "execution_time: SIMD period must be a multiple of the memory "
+        "period (Section 4.3)");
+  return static_cast<double>(stats.simd_cycles) * t_simd +
+         static_cast<double>(stats.scalar_cycles + stats.memory_cycles) *
+             t_mem;
+}
+
+}  // namespace ntv::soda

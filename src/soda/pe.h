@@ -1,0 +1,110 @@
+// The Diet SODA processing element: interpreter + subsystems.
+//
+// Ties together the pieces of Appendix B — multi-banked SIMD memory,
+// scalar memory, prefetcher, SIMD pipeline with shuffle network and adder
+// tree, and the scalar pipeline — under a simple sequential interpreter
+// with per-domain cycle accounting. The PE runs in two clock domains: the
+// memory/scalar side at full voltage, the SIMD side at either full or
+// near-threshold voltage; `execution_time` converts the cycle counts into
+// wall-clock time for given clock periods (Section 4.3's constraint that
+// the SIMD period be a multiple of the memory period is asserted there).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "arch/xram.h"
+#include "soda/adder_tree.h"
+#include "soda/agu.h"
+#include "soda/memory.h"
+#include "soda/program.h"
+#include "soda/simd_unit.h"
+
+namespace ntv::soda {
+
+/// Static configuration of one PE.
+struct PeConfig {
+  int width = 128;           ///< Logical SIMD lanes.
+  int spare_fus = 0;         ///< Spare physical FUs (structural duplication).
+  int banks = 4;             ///< SIMD memory banks.
+  int mem_entries = 256;     ///< Rows per bank.
+  int scalar_words = 2048;   ///< Scalar memory size (16-bit words).
+  int shuffle_contexts = 16; ///< Stored SSN configurations.
+};
+
+/// Cycle/instruction counters of one run.
+struct RunStats {
+  bool halted = false;       ///< True when kHalt was reached.
+  long instructions = 0;
+  long simd_cycles = 0;      ///< DV-domain cycles (SIMD pipeline).
+  long scalar_cycles = 0;    ///< FV-domain cycles (scalar + control).
+  long memory_cycles = 0;    ///< FV-domain cycles (vector loads/stores).
+};
+
+/// One processing element.
+class ProcessingElement {
+ public:
+  explicit ProcessingElement(const PeConfig& config = {});
+
+  const PeConfig& config() const noexcept { return config_; }
+
+  // Subsystem access (setup, inspection, tests).
+  MultiBankMemory& simd_memory() noexcept { return simd_mem_; }
+  const MultiBankMemory& simd_memory() const noexcept { return simd_mem_; }
+  ScalarMemory& scalar_memory() noexcept { return scalar_mem_; }
+  SimdUnit& simd() noexcept { return simd_; }
+  const SimdUnit& simd() const noexcept { return simd_; }
+  Prefetcher& prefetcher() noexcept { return prefetcher_; }
+  AdderTree& adder_tree() noexcept { return adder_tree_; }
+  const AdderTree& adder_tree() const noexcept { return adder_tree_; }
+  arch::XramCrossbar& shuffle_network() noexcept { return ssn_; }
+
+  /// Programs shuffle context `context` with input_per_output mapping.
+  void program_shuffle(int context, std::span<const int> mapping);
+
+  /// Declares faulty physical FUs; lanes are remapped through the XRAM
+  /// bypass. Throws when too few healthy FUs remain.
+  void set_faulty_fus(std::span<const std::uint8_t> faulty);
+
+  // Scalar register access.
+  std::uint16_t scalar_reg(int r) const;
+  void set_scalar_reg(int r, std::uint16_t value);
+
+  // Vector register convenience access (logical lanes).
+  void write_vector(int reg, std::span<const std::uint16_t> values);
+  std::vector<std::uint16_t> read_vector(int reg) const;
+
+  /// Instruction trace hook: called before each instruction executes with
+  /// (pc, instruction). Empty function disables tracing (the default).
+  using TraceHook = std::function<void(std::size_t, const Instruction&)>;
+  void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+  /// Executes the program from pc=0 until kHalt, the end of the program,
+  /// or `max_instructions` (safety net; throws std::runtime_error when
+  /// exceeded — a runaway loop is a program bug).
+  RunStats run(const Program& program, long max_instructions = 10'000'000);
+
+  /// Wall-clock execution time for the given clock periods [s].
+  /// `t_simd` must be an integer multiple of `t_mem` within 1 ppm
+  /// (Section 4.3); throws std::invalid_argument otherwise.
+  static double execution_time(const RunStats& stats, double t_simd,
+                               double t_mem);
+
+ private:
+  void exec_simd(const Instruction& inst);
+
+  PeConfig config_;
+  MultiBankMemory simd_mem_;
+  ScalarMemory scalar_mem_;
+  SimdUnit simd_;
+  Prefetcher prefetcher_;
+  AdderTree adder_tree_;
+  arch::XramCrossbar ssn_;
+  std::vector<std::uint16_t> sregs_;
+  std::int32_t acc32_ = 0;
+  TraceHook trace_;
+};
+
+}  // namespace ntv::soda

@@ -1,0 +1,159 @@
+#include "soda/program.h"
+
+#include <stdexcept>
+
+namespace ntv::soda {
+
+void ProgramBuilder::bind(const std::string& name) {
+  if (!labels_.emplace(name, here()).second)
+    throw std::runtime_error("ProgramBuilder: duplicate label " + name);
+}
+
+ProgramBuilder& ProgramBuilder::emit(Opcode op, int dst, int src1, int src2,
+                                     std::int32_t imm) {
+  Instruction inst;
+  inst.op = op;
+  inst.dst = static_cast<std::uint8_t>(dst);
+  inst.src1 = static_cast<std::uint8_t>(src1);
+  inst.src2 = static_cast<std::uint8_t>(src2);
+  inst.imm = imm;
+  code_.push_back(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::li(int dst, std::int32_t imm) {
+  return emit(Opcode::kLoadImm, dst, 0, 0, imm);
+}
+ProgramBuilder& ProgramBuilder::sadd(int dst, int a, int b) {
+  return emit(Opcode::kSAdd, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::ssub(int dst, int a, int b) {
+  return emit(Opcode::kSSub, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::smul(int dst, int a, int b) {
+  return emit(Opcode::kSMul, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::saddi(int dst, int a, std::int32_t imm) {
+  return emit(Opcode::kSAddImm, dst, a, 0, imm);
+}
+ProgramBuilder& ProgramBuilder::sload(int dst, int base,
+                                      std::int32_t offset) {
+  return emit(Opcode::kSLoad, dst, base, 0, offset);
+}
+ProgramBuilder& ProgramBuilder::sstore(int base, int value,
+                                       std::int32_t offset) {
+  return emit(Opcode::kSStore, 0, base, value, offset);
+}
+
+ProgramBuilder& ProgramBuilder::jump(std::int32_t target) {
+  return emit(Opcode::kJump, 0, 0, 0, target);
+}
+ProgramBuilder& ProgramBuilder::bnez(int reg, std::int32_t target) {
+  return emit(Opcode::kBranchNZ, 0, reg, 0, target);
+}
+ProgramBuilder& ProgramBuilder::beqz(int reg, std::int32_t target) {
+  return emit(Opcode::kBranchZ, 0, reg, 0, target);
+}
+
+ProgramBuilder& ProgramBuilder::branch_to_label(Opcode op, int reg,
+                                                const std::string& label) {
+  const auto it = labels_.find(label);
+  if (it != labels_.end()) {
+    return emit(op, 0, reg, 0, it->second);
+  }
+  fixups_.emplace_back(code_.size(), label);
+  return emit(op, 0, reg, 0, -1);
+}
+
+ProgramBuilder& ProgramBuilder::jump(const std::string& label) {
+  return branch_to_label(Opcode::kJump, 0, label);
+}
+ProgramBuilder& ProgramBuilder::bnez(int reg, const std::string& label) {
+  return branch_to_label(Opcode::kBranchNZ, reg, label);
+}
+ProgramBuilder& ProgramBuilder::beqz(int reg, const std::string& label) {
+  return branch_to_label(Opcode::kBranchZ, reg, label);
+}
+ProgramBuilder& ProgramBuilder::halt() { return emit(Opcode::kHalt); }
+
+ProgramBuilder& ProgramBuilder::vadd(int dst, int a, int b) {
+  return emit(Opcode::kVAdd, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vsub(int dst, int a, int b) {
+  return emit(Opcode::kVSub, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vadds(int dst, int a, int b) {
+  return emit(Opcode::kVAddSat, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vsubs(int dst, int a, int b) {
+  return emit(Opcode::kVSubSat, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vmul(int dst, int a, int b) {
+  return emit(Opcode::kVMul, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vmulh(int dst, int a, int b) {
+  return emit(Opcode::kVMulH, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vmac(int dst, int a, int b) {
+  return emit(Opcode::kVMac, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vand(int dst, int a, int b) {
+  return emit(Opcode::kVAnd, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vor(int dst, int a, int b) {
+  return emit(Opcode::kVOr, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vxor(int dst, int a, int b) {
+  return emit(Opcode::kVXor, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vsll(int dst, int a, int shift) {
+  return emit(Opcode::kVShiftL, dst, a, 0, shift);
+}
+ProgramBuilder& ProgramBuilder::vsra(int dst, int a, int shift) {
+  return emit(Opcode::kVShiftRA, dst, a, 0, shift);
+}
+ProgramBuilder& ProgramBuilder::vmin(int dst, int a, int b) {
+  return emit(Opcode::kVMin, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vmax(int dst, int a, int b) {
+  return emit(Opcode::kVMax, dst, a, b);
+}
+ProgramBuilder& ProgramBuilder::vsplat(int dst, int sreg) {
+  return emit(Opcode::kVSplat, dst, sreg);
+}
+ProgramBuilder& ProgramBuilder::vshuf(int dst, int src, int context) {
+  return emit(Opcode::kVShuffle, dst, src, 0, context);
+}
+ProgramBuilder& ProgramBuilder::vsel(int dst, int if_neg, int mask) {
+  return emit(Opcode::kVSelect, dst, if_neg, mask);
+}
+ProgramBuilder& ProgramBuilder::vload(int dst, int base_sreg,
+                                      std::int32_t row_offset) {
+  return emit(Opcode::kVLoad, dst, base_sreg, 0, row_offset);
+}
+ProgramBuilder& ProgramBuilder::vstore(int src, int base_sreg,
+                                       std::int32_t row_offset) {
+  return emit(Opcode::kVStore, 0, base_sreg, src, row_offset);
+}
+ProgramBuilder& ProgramBuilder::vredsum(int src) {
+  return emit(Opcode::kVReduceSum, 0, src);
+}
+ProgramBuilder& ProgramBuilder::racclo(int dst) {
+  return emit(Opcode::kReadAccLo, dst);
+}
+ProgramBuilder& ProgramBuilder::racchi(int dst) {
+  return emit(Opcode::kReadAccHi, dst);
+}
+
+Program ProgramBuilder::build() {
+  for (const auto& [index, label] : fixups_) {
+    const auto it = labels_.find(label);
+    if (it == labels_.end())
+      throw std::runtime_error("ProgramBuilder: unresolved label " + label);
+    code_[index].imm = it->second;
+  }
+  fixups_.clear();
+  return code_;
+}
+
+}  // namespace ntv::soda

@@ -1,0 +1,95 @@
+// Program container and a tiny assembler-style builder with labels.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "soda/isa.h"
+
+namespace ntv::soda {
+
+/// An executable program: a flat instruction vector; pc indexes into it.
+using Program = std::vector<Instruction>;
+
+/// Fluent builder with forward-referencable labels.
+///
+///     ProgramBuilder b;
+///     b.li(R1, 16);
+///     const auto loop = b.here();
+///     ... body ...
+///     b.saddi(R1, R1, -1);
+///     b.bnez(R1, loop);
+///     b.halt();
+///     Program p = b.build();
+class ProgramBuilder {
+ public:
+  /// Current instruction index (use as a backward branch target).
+  std::int32_t here() const noexcept {
+    return static_cast<std::int32_t>(code_.size());
+  }
+
+  /// Declares a named label at the current position.
+  void bind(const std::string& name);
+
+  /// Emits a raw instruction.
+  ProgramBuilder& emit(Opcode op, int dst = 0, int src1 = 0, int src2 = 0,
+                       std::int32_t imm = 0);
+
+  // Scalar helpers.
+  ProgramBuilder& li(int dst, std::int32_t imm);
+  ProgramBuilder& sadd(int dst, int a, int b);
+  ProgramBuilder& ssub(int dst, int a, int b);
+  ProgramBuilder& smul(int dst, int a, int b);
+  ProgramBuilder& saddi(int dst, int a, std::int32_t imm);
+  ProgramBuilder& sload(int dst, int base, std::int32_t offset);
+  ProgramBuilder& sstore(int base, int value, std::int32_t offset);
+
+  // Control flow. Branch targets are instruction indices or label names.
+  ProgramBuilder& jump(std::int32_t target);
+  ProgramBuilder& bnez(int reg, std::int32_t target);
+  ProgramBuilder& beqz(int reg, std::int32_t target);
+  ProgramBuilder& jump(const std::string& label);
+  ProgramBuilder& bnez(int reg, const std::string& label);
+  ProgramBuilder& beqz(int reg, const std::string& label);
+  ProgramBuilder& halt();
+
+  // Vector helpers.
+  ProgramBuilder& vadd(int dst, int a, int b);
+  ProgramBuilder& vsub(int dst, int a, int b);
+  ProgramBuilder& vadds(int dst, int a, int b);
+  ProgramBuilder& vsubs(int dst, int a, int b);
+  ProgramBuilder& vmul(int dst, int a, int b);
+  ProgramBuilder& vmulh(int dst, int a, int b);
+  ProgramBuilder& vmac(int dst, int a, int b);
+  ProgramBuilder& vand(int dst, int a, int b);
+  ProgramBuilder& vor(int dst, int a, int b);
+  ProgramBuilder& vxor(int dst, int a, int b);
+  ProgramBuilder& vsll(int dst, int a, int shift);
+  ProgramBuilder& vsra(int dst, int a, int shift);
+  ProgramBuilder& vmin(int dst, int a, int b);
+  ProgramBuilder& vmax(int dst, int a, int b);
+  ProgramBuilder& vsplat(int dst, int sreg);
+  ProgramBuilder& vshuf(int dst, int src, int context);
+  ProgramBuilder& vsel(int dst, int if_neg, int mask);
+  ProgramBuilder& vload(int dst, int base_sreg, std::int32_t row_offset);
+  ProgramBuilder& vstore(int src, int base_sreg, std::int32_t row_offset);
+  ProgramBuilder& vredsum(int src);
+  ProgramBuilder& racclo(int dst);
+  ProgramBuilder& racchi(int dst);
+
+  /// Resolves pending label references and returns the program.
+  /// Throws std::runtime_error on unresolved labels.
+  Program build();
+
+ private:
+  ProgramBuilder& branch_to_label(Opcode op, int reg,
+                                  const std::string& label);
+
+  Program code_;
+  std::unordered_map<std::string, std::int32_t> labels_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+}  // namespace ntv::soda

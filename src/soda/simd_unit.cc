@@ -1,0 +1,111 @@
+#include "soda/simd_unit.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ntv::soda {
+
+SimdUnit::SimdUnit(int width, int spare_fus, int vector_regs)
+    : width_(width), physical_(width + spare_fus) {
+  if (width < 1 || spare_fus < 0 || vector_regs < 1)
+    throw std::invalid_argument("SimdUnit: bad configuration");
+  regs_.assign(static_cast<std::size_t>(vector_regs),
+               std::vector<std::uint16_t>(static_cast<std::size_t>(width), 0));
+  lane_map_.resize(static_cast<std::size_t>(width));
+  std::iota(lane_map_.begin(), lane_map_.end(), 0);
+  fu_ops_.assign(static_cast<std::size_t>(physical_), 0);
+}
+
+void SimdUnit::set_faulty(std::span<const std::uint8_t> faulty_physical) {
+  if (static_cast<int>(faulty_physical.size()) != physical_)
+    throw std::invalid_argument("SimdUnit::set_faulty: size mismatch");
+  auto mapping = arch::XramCrossbar::bypass_mapping(faulty_physical, width_);
+  if (!mapping)
+    throw std::runtime_error(
+        "SimdUnit::set_faulty: not enough healthy functional units");
+  lane_map_ = std::move(*mapping);
+}
+
+long SimdUnit::total_ops() const noexcept {
+  return std::accumulate(fu_ops_.begin(), fu_ops_.end(), 0L);
+}
+
+std::span<std::uint16_t> SimdUnit::reg(int r) {
+  return regs_.at(static_cast<std::size_t>(r));
+}
+
+std::span<const std::uint16_t> SimdUnit::reg(int r) const {
+  return regs_.at(static_cast<std::size_t>(r));
+}
+
+void SimdUnit::count_ops() noexcept {
+  for (int lane = 0; lane < width_; ++lane) {
+    ++fu_ops_[static_cast<std::size_t>(lane_map_[static_cast<std::size_t>(lane)])];
+  }
+}
+
+void SimdUnit::binary(int dst, int a, int b,
+                      std::uint16_t (*op)(std::uint16_t, std::uint16_t)) {
+  auto& d = regs_.at(static_cast<std::size_t>(dst));
+  const auto& x = regs_.at(static_cast<std::size_t>(a));
+  const auto& y = regs_.at(static_cast<std::size_t>(b));
+  for (int lane = 0; lane < width_; ++lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    d[l] = op(x[l], y[l]);
+  }
+  count_ops();
+}
+
+void SimdUnit::shift(int dst, int a, int amount, bool left) {
+  auto& d = regs_.at(static_cast<std::size_t>(dst));
+  const auto& x = regs_.at(static_cast<std::size_t>(a));
+  const int sh = amount & 15;
+  for (int lane = 0; lane < width_; ++lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    if (left) {
+      d[l] = static_cast<std::uint16_t>(x[l] << sh);
+    } else {
+      d[l] = static_cast<std::uint16_t>(as_signed(x[l]) >> sh);
+    }
+  }
+  count_ops();
+}
+
+void SimdUnit::mac(int dst, int a, int b) {
+  auto& d = regs_.at(static_cast<std::size_t>(dst));
+  const auto& x = regs_.at(static_cast<std::size_t>(a));
+  const auto& y = regs_.at(static_cast<std::size_t>(b));
+  for (int lane = 0; lane < width_; ++lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    const std::int32_t prod = as_signed(x[l]) * as_signed(y[l]);
+    d[l] = as_unsigned(as_signed(d[l]) + prod);
+  }
+  count_ops();
+}
+
+void SimdUnit::splat(int dst, std::uint16_t value) {
+  auto& d = regs_.at(static_cast<std::size_t>(dst));
+  for (auto& lane : d) lane = value;
+  count_ops();
+}
+
+void SimdUnit::shuffle(int dst, int src, const arch::XramCrossbar& ssn) {
+  const auto& x = regs_.at(static_cast<std::size_t>(src));
+  std::vector<std::uint16_t> out(static_cast<std::size_t>(width_));
+  ssn.apply<std::uint16_t>(x, out, 0);
+  regs_.at(static_cast<std::size_t>(dst)) = std::move(out);
+  count_ops();
+}
+
+void SimdUnit::select(int dst, int if_neg, int mask) {
+  auto& d = regs_.at(static_cast<std::size_t>(dst));
+  const auto& x = regs_.at(static_cast<std::size_t>(if_neg));
+  const auto& m = regs_.at(static_cast<std::size_t>(mask));
+  for (int lane = 0; lane < width_; ++lane) {
+    const auto l = static_cast<std::size_t>(lane);
+    if (m[l] & 0x8000) d[l] = x[l];
+  }
+  count_ops();
+}
+
+}  // namespace ntv::soda

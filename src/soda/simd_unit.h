@@ -1,0 +1,71 @@
+// SIMD register file and functional-unit array with spare-lane bypass.
+//
+// The unit owns `width` logical lanes backed by `width + spares` physical
+// FUs. Faulty FUs (identified at test time by the variation study) are
+// bypassed through an XRAM-style mapping (Fig. 12(c)): logical lane L
+// executes on physical FU lane_map[L]. Functional results are unaffected —
+// which is the point — while per-FU op counters let tests and examples
+// verify that work really moved off the faulty hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/xram.h"
+
+namespace ntv::soda {
+
+/// 16-bit lane arithmetic helpers (two's complement, wraparound).
+inline std::int16_t as_signed(std::uint16_t v) noexcept {
+  return static_cast<std::int16_t>(v);
+}
+inline std::uint16_t as_unsigned(std::int32_t v) noexcept {
+  return static_cast<std::uint16_t>(v & 0xFFFF);
+}
+
+/// Vector register file + FU array.
+class SimdUnit {
+ public:
+  SimdUnit(int width, int spare_fus, int vector_regs);
+
+  int width() const noexcept { return width_; }
+  int physical_fus() const noexcept { return physical_; }
+  int spare_fus() const noexcept { return physical_ - width_; }
+
+  /// Marks physical FUs faulty and recomputes the bypass mapping.
+  /// Throws std::runtime_error when healthy FUs < width.
+  void set_faulty(std::span<const std::uint8_t> faulty_physical);
+
+  /// Logical-lane -> physical-FU mapping currently in effect.
+  const std::vector<int>& lane_map() const noexcept { return lane_map_; }
+
+  /// Ops executed per physical FU since construction.
+  const std::vector<long>& fu_op_counts() const noexcept { return fu_ops_; }
+  long total_ops() const noexcept;
+
+  /// Register access (logical width).
+  std::span<std::uint16_t> reg(int r);
+  std::span<const std::uint16_t> reg(int r) const;
+
+  // ---- lane-wise operations (each counts one op per logical lane) ----
+  void binary(int dst, int a, int b,
+              std::uint16_t (*op)(std::uint16_t, std::uint16_t));
+  void shift(int dst, int a, int amount, bool left);
+  void mac(int dst, int a, int b);
+  void splat(int dst, std::uint16_t value);
+  void shuffle(int dst, int src, const arch::XramCrossbar& ssn);
+  /// dst[l] = (mask[l] has sign bit) ? if_neg[l] : dst[l].
+  void select(int dst, int if_neg, int mask);
+
+ private:
+  void count_ops() noexcept;
+
+  int width_;
+  int physical_;
+  std::vector<std::vector<std::uint16_t>> regs_;
+  std::vector<int> lane_map_;
+  std::vector<long> fu_ops_;
+};
+
+}  // namespace ntv::soda

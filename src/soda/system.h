@@ -1,0 +1,77 @@
+// Multi-PE SODA system: variation at the system level.
+//
+// SODA-class baseband/multimedia SoCs deploy several PEs. Under process
+// variation each manufactured PE bins to its own maximum SIMD clock, so a
+// multi-PE system is heterogeneous even when the design is homogeneous.
+// This module models that: per-PE clock periods (memory-clock multiples,
+// Section 4.3), a greedy list scheduler for independent kernel jobs, and
+// the resulting makespan — quantifying how much throughput the slow bins
+// cost relative to a uniform ideal.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "soda/pe.h"
+
+namespace ntv::soda {
+
+/// Static configuration of the system.
+struct SystemConfig {
+  int num_pes = 4;          ///< PEs on the die (SODA uses 4).
+  PeConfig pe;              ///< Per-PE configuration (shared design).
+  double t_mem = 1e-9;      ///< Full-voltage memory clock period [s].
+};
+
+/// One schedulable unit of work: runs a program on a PE and returns its
+/// cycle counts. The callable owns any setup (writing inputs, preparing
+/// shuffle contexts) and must be safe to run on any PE of the system.
+using Job = std::function<RunStats(ProcessingElement&)>;
+
+/// Result of scheduling a batch of jobs.
+struct Schedule {
+  struct Placement {
+    int pe = 0;          ///< PE the job ran on.
+    double start = 0.0;  ///< Start time [s].
+    double finish = 0.0; ///< Finish time [s].
+  };
+  std::vector<Placement> placements;  ///< One per job, in input order.
+  std::vector<double> busy;           ///< Total busy time per PE [s].
+  double makespan = 0.0;              ///< Completion time of the batch [s].
+};
+
+/// A system of PEs with individually binned SIMD clocks.
+class SodaSystem {
+ public:
+  explicit SodaSystem(const SystemConfig& config);
+
+  int num_pes() const noexcept { return static_cast<int>(pes_.size()); }
+  ProcessingElement& pe(int index);
+  const SystemConfig& config() const noexcept { return config_; }
+
+  /// Sets PE `index`'s SIMD clock period. Must be a positive integer
+  /// multiple of the memory clock within 1 ppm (throws otherwise).
+  void set_pe_clock(int index, double t_simd);
+  double pe_clock(int index) const;
+
+  /// Convenience: bins a raw (variation-determined) critical-path delay
+  /// UP to the next memory-clock multiple, the Section 4.3 constraint.
+  double bin_clock(double raw_delay) const;
+
+  /// Runs the jobs with greedy earliest-available-PE list scheduling.
+  /// Jobs are executed functionally (each on its assigned PE) and timed
+  /// with the PE's clock via ProcessingElement::execution_time.
+  Schedule run_jobs(const std::vector<Job>& jobs);
+
+  /// Makespan lower bound if every PE ran at the fastest PE's clock —
+  /// the uniform ideal the variation tax is measured against.
+  double ideal_makespan(const Schedule& schedule) const;
+
+ private:
+  SystemConfig config_;
+  std::vector<std::unique_ptr<ProcessingElement>> pes_;
+  std::vector<double> t_simd_;
+};
+
+}  // namespace ntv::soda

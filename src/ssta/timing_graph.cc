@@ -1,0 +1,204 @@
+#include "ssta/timing_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace ntv::ssta {
+
+TimingGraph::NodeId TimingGraph::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(names_.size());
+  if (name.empty()) name = "n" + std::to_string(id);
+  names_.push_back(std::move(name));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return id;
+}
+
+const std::string& TimingGraph::node_name(NodeId node) const {
+  return names_.at(static_cast<std::size_t>(node));
+}
+
+void TimingGraph::add_edge(NodeId from, NodeId to,
+                           stats::GridDistribution delay) {
+  if (from < 0 || from >= node_count() || to < 0 || to >= node_count())
+    throw std::out_of_range("TimingGraph::add_edge: bad node");
+  if (from == to)
+    throw std::invalid_argument("TimingGraph::add_edge: self loop");
+  if (!edges_.empty()) {
+    const double ref = edges_.front().delay.step();
+    if (std::abs(delay.step() - ref) > 1e-9 * ref)
+      throw std::invalid_argument(
+          "TimingGraph::add_edge: grid step mismatch");
+  }
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back({from, to, std::move(delay)});
+  in_edges_[static_cast<std::size_t>(to)].push_back(index);
+  out_edges_[static_cast<std::size_t>(from)].push_back(index);
+}
+
+TimingGraph::Result TimingGraph::analyze() const {
+  const auto n = static_cast<std::size_t>(node_count());
+  Result result;
+  result.arrival.resize(n);
+  result.is_source.resize(n);
+
+  // Kahn topological order.
+  std::vector<int> pending(n);
+  std::queue<NodeId> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    pending[v] = static_cast<int>(in_edges_[v].size());
+    result.is_source[v] = in_edges_[v].empty();
+    if (result.is_source[v]) ready.push(static_cast<NodeId>(v));
+  }
+
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    ++visited;
+    const auto vi = static_cast<std::size_t>(v);
+
+    if (!result.is_source[vi]) {
+      std::optional<stats::GridDistribution> worst;
+      for (int e : in_edges_[vi]) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        const auto& up = result.arrival[static_cast<std::size_t>(edge.from)];
+        // Source arrival is identically zero: path delay = edge delay.
+        stats::GridDistribution path =
+            up ? stats::GridDistribution::convolve(*up, edge.delay)
+               : edge.delay;
+        if (!worst) {
+          worst = std::move(path);
+        } else {
+          worst = stats::GridDistribution::max_of_independent(*worst, path);
+        }
+      }
+      result.arrival[vi] = std::move(worst);
+    }
+
+    for (int e : out_edges_[vi]) {
+      const auto to = static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].to);
+      if (--pending[to] == 0) ready.push(static_cast<NodeId>(to));
+    }
+  }
+  if (visited != n)
+    throw std::invalid_argument("TimingGraph::analyze: graph has a cycle");
+  return result;
+}
+
+std::vector<double> TimingGraph::monte_carlo_arrival(
+    NodeId sink, std::size_t samples, std::uint64_t seed) const {
+  if (sink < 0 || sink >= node_count())
+    throw std::out_of_range("monte_carlo_arrival: bad sink");
+
+  // Topological node order (reuse analyze()'s validation implicitly).
+  const auto n = static_cast<std::size_t>(node_count());
+  std::vector<int> pending(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::queue<NodeId> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    pending[v] = static_cast<int>(in_edges_[v].size());
+    if (in_edges_[v].empty()) ready.push(static_cast<NodeId>(v));
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (int e : out_edges_[static_cast<std::size_t>(v)]) {
+      const auto to = static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].to);
+      if (--pending[to] == 0) ready.push(static_cast<NodeId>(to));
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("monte_carlo_arrival: graph has a cycle");
+
+  stats::Xoshiro256pp rng(seed);
+  std::vector<double> arrival(n);
+  std::vector<double> out(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::fill(arrival.begin(), arrival.end(), 0.0);
+    for (NodeId v : order) {
+      const auto vi = static_cast<std::size_t>(v);
+      double worst = 0.0;
+      for (int e : in_edges_[vi]) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        const double d = edge.delay.quantile(rng.uniform());
+        worst = std::max(
+            worst, arrival[static_cast<std::size_t>(edge.from)] + d);
+      }
+      arrival[vi] = worst;
+    }
+    out[s] = arrival[static_cast<std::size_t>(sink)];
+  }
+  return out;
+}
+
+std::vector<double> TimingGraph::monte_carlo_criticality(
+    NodeId sink, std::size_t samples, std::uint64_t seed) const {
+  if (sink < 0 || sink >= node_count())
+    throw std::out_of_range("monte_carlo_criticality: bad sink");
+
+  // Topological order (validates acyclicity).
+  const auto n = static_cast<std::size_t>(node_count());
+  std::vector<int> pending(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::queue<NodeId> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    pending[v] = static_cast<int>(in_edges_[v].size());
+    if (in_edges_[v].empty()) ready.push(static_cast<NodeId>(v));
+  }
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (int e : out_edges_[static_cast<std::size_t>(v)]) {
+      const auto to = static_cast<std::size_t>(edges_[static_cast<std::size_t>(e)].to);
+      if (--pending[to] == 0) ready.push(static_cast<NodeId>(to));
+    }
+  }
+  if (order.size() != n)
+    throw std::invalid_argument("monte_carlo_criticality: graph has a cycle");
+
+  stats::Xoshiro256pp rng(seed);
+  std::vector<double> arrival(n);
+  std::vector<int> critical_in(n);  // Winning in-edge per node.
+  std::vector<long> hits(edges_.size(), 0);
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::fill(arrival.begin(), arrival.end(), 0.0);
+    std::fill(critical_in.begin(), critical_in.end(), -1);
+    for (NodeId v : order) {
+      const auto vi = static_cast<std::size_t>(v);
+      for (int e : in_edges_[vi]) {
+        const Edge& edge = edges_[static_cast<std::size_t>(e)];
+        const double t =
+            arrival[static_cast<std::size_t>(edge.from)] +
+            edge.delay.quantile(rng.uniform());
+        if (critical_in[vi] < 0 || t > arrival[vi]) {
+          arrival[vi] = t;
+          critical_in[vi] = e;
+        }
+      }
+    }
+    // Backtrace the critical path from the sink.
+    NodeId v = sink;
+    while (critical_in[static_cast<std::size_t>(v)] >= 0) {
+      const int e = critical_in[static_cast<std::size_t>(v)];
+      ++hits[static_cast<std::size_t>(e)];
+      v = edges_[static_cast<std::size_t>(e)].from;
+    }
+  }
+
+  std::vector<double> criticality(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    criticality[e] =
+        static_cast<double>(hits[e]) / static_cast<double>(samples);
+  }
+  return criticality;
+}
+
+}  // namespace ntv::ssta

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/percentile.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, int resamples, std::uint64_t seed) {
+  if (sample.empty())
+    throw std::invalid_argument("bootstrap_ci: empty sample");
+  if (!(confidence > 0.0) || !(confidence < 1.0))
+    throw std::invalid_argument("bootstrap_ci: confidence in (0,1)");
+  if (resamples < 10)
+    throw std::invalid_argument("bootstrap_ci: need >= 10 resamples");
+
+  ConfidenceInterval ci;
+  ci.point = statistic(sample);
+
+  Xoshiro256pp rng(seed);
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[rng.bounded(sample.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - confidence) / 2.0;
+  ci.lo = percentile(stats, 100.0 * alpha);
+  ci.hi = percentile(stats, 100.0 * (1.0 - alpha));
+  return ci;
+}
+
+ConfidenceInterval bootstrap_percentile_ci(std::span<const double> sample,
+                                           double p, double confidence,
+                                           int resamples,
+                                           std::uint64_t seed) {
+  return bootstrap_ci(
+      sample,
+      [p](std::span<const double> s) { return percentile(s, p); },
+      confidence, resamples, seed);
+}
+
+}  // namespace ntv::stats

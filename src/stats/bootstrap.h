@@ -1,0 +1,38 @@
+// Bootstrap confidence intervals for Monte Carlo estimates.
+//
+// The paper's sign-off quantity is a 99th percentile estimated from
+// 10,000 samples — a statistic with non-trivial sampling error. The
+// bootstrap quantifies it without distributional assumptions, so the
+// benches can report how much of a paper-vs-measured gap is just Monte
+// Carlo noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace ntv::stats {
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< Point estimate on the original sample.
+};
+
+/// Percentile-bootstrap CI for an arbitrary statistic of the sample.
+/// `confidence` in (0,1), e.g. 0.95. `resamples` bootstrap replicates.
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence = 0.95, int resamples = 1000,
+    std::uint64_t seed = 0xB007);
+
+/// Convenience: CI of the p-th percentile (the sign-off statistic).
+ConfidenceInterval bootstrap_percentile_ci(std::span<const double> sample,
+                                           double p,
+                                           double confidence = 0.95,
+                                           int resamples = 1000,
+                                           std::uint64_t seed = 0xB007);
+
+}  // namespace ntv::stats

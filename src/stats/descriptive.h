@@ -1,0 +1,71 @@
+// Descriptive statistics over samples of delays (or any scalar data).
+//
+// The paper's central metric is the relative delay spread 3σ/μ, reported in
+// percent; `Summary::three_sigma_over_mu_pct()` computes exactly that.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ntv::stats {
+
+/// One-pass summary of a sample: moments, extrema and derived spread
+/// metrics. Uses Welford's algorithm so it is numerically stable even for
+/// tightly clustered nanosecond-scale delays.
+class Summary {
+ public:
+  Summary() = default;
+
+  /// Builds a summary from an existing sample.
+  explicit Summary(std::span<const double> data);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another summary (parallel reduction; Chan et al. update).
+  void merge(const Summary& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Minimum / maximum observed value; undefined when count()==0.
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// The paper's spread metric: 3σ/μ in percent. Returns 0 when the mean
+  /// is zero (no meaningful relative spread).
+  double three_sigma_over_mu_pct() const noexcept;
+
+  /// Coefficient of variation σ/μ (unitless).
+  double cv() const noexcept;
+
+  /// Sample skewness (g1); 0 for fewer than three observations.
+  double skewness() const noexcept;
+
+  /// Excess kurtosis (g2); 0 for fewer than four observations.
+  double excess_kurtosis() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> data) noexcept;
+
+/// Unbiased sample standard deviation; 0 for fewer than two observations.
+double stddev(std::span<const double> data) noexcept;
+
+/// 3σ/μ in percent — the paper's delay-variation metric.
+double three_sigma_over_mu_pct(std::span<const double> data) noexcept;
+
+}  // namespace ntv::stats

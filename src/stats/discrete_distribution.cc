@@ -1,0 +1,206 @@
+#include "stats/discrete_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/fft.h"
+
+namespace ntv::stats {
+
+GridDistribution::GridDistribution(double lo, double step,
+                                   std::vector<double> pmf)
+    : lo_(lo), step_(step), pmf_(std::move(pmf)) {
+  if (pmf_.empty())
+    throw std::invalid_argument("GridDistribution: empty pmf");
+  if (step_ <= 0.0)
+    throw std::invalid_argument("GridDistribution: step must be positive");
+
+  double sum = 0.0;
+  for (double p : pmf_) {
+    if (p < 0.0)
+      throw std::invalid_argument("GridDistribution: negative mass");
+    sum += p;
+  }
+  if (sum <= 0.0)
+    throw std::invalid_argument("GridDistribution: zero total mass");
+  for (auto& p : pmf_) p /= sum;
+
+  cdf_.resize(pmf_.size());
+  double acc = 0.0;
+  double m1 = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    acc += pmf_[i];
+    cdf_[i] = acc;
+    m1 += pmf_[i] * (lo_ + step_ * static_cast<double>(i));
+  }
+  cdf_.back() = 1.0;
+  mean_ = m1;
+
+  double m2 = 0.0, m3 = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double d = lo_ + step_ * static_cast<double>(i) - mean_;
+    m2 += pmf_[i] * d * d;
+    m3 += pmf_[i] * d * d * d;
+  }
+  var_ = m2;
+  skew_ = (m2 > 0.0) ? m3 / std::pow(m2, 1.5) : 0.0;
+}
+
+double GridDistribution::stddev() const noexcept { return std::sqrt(var_); }
+
+double GridDistribution::three_sigma_over_mu_pct() const noexcept {
+  if (mean_ == 0.0) return 0.0;
+  return 100.0 * 3.0 * stddev() / mean_;
+}
+
+double GridDistribution::cdf(double x) const noexcept {
+  // Mass sits ON grid points: P(X <= lo) includes the first point's mass,
+  // so only x strictly below the grid returns 0 (keeps quantile() and
+  // cdf() mutually consistent at the origin).
+  if (x < lo_) return 0.0;
+  const double pos = (x - lo_) / step_;
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx >= pmf_.size() - 1) return 1.0;
+  const double frac = pos - static_cast<double>(idx);
+  const double c0 = cdf_[idx];
+  const double c1 = cdf_[idx + 1];
+  return c0 + frac * (c1 - c0);
+}
+
+double GridDistribution::quantile(double u) const noexcept {
+  u = std::clamp(u, 1e-300, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  if (idx == 0) return lo_;
+  const double c0 = cdf_[idx - 1];
+  const double c1 = cdf_[idx];
+  const double frac = (c1 > c0) ? (u - c0) / (c1 - c0) : 0.0;
+  return lo_ + step_ * (static_cast<double>(idx - 1) + frac);
+}
+
+double GridDistribution::max_quantile(double u, int k) const {
+  if (k < 1) throw std::invalid_argument("max_quantile: k must be >= 1");
+  u = std::clamp(u, 1e-300, 1.0);
+  return quantile(std::pow(u, 1.0 / static_cast<double>(k)));
+}
+
+GridDistribution GridDistribution::sum_of_iid(int n) const {
+  if (n < 1) throw std::invalid_argument("sum_of_iid: n must be >= 1");
+  if (n == 1) return *this;
+  return GridDistribution(lo_ * n, step_, pmf_power(pmf_, n));
+}
+
+GridDistribution GridDistribution::max_of_iid(int k) const {
+  if (k < 1) throw std::invalid_argument("max_of_iid: k must be >= 1");
+  if (k == 1) return *this;
+  std::vector<double> pmf(pmf_.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double cur = std::pow(cdf_[i], k);
+    pmf[i] = std::max(cur - prev, 0.0);
+    prev = cur;
+  }
+  return GridDistribution(lo_, step_, std::move(pmf));
+}
+
+namespace {
+
+/// P(Binomial(n, p) >= r) when the tail is the SMALL one (p <= r/n):
+/// stable decreasing term-recurrence sum from j = r upward.
+double binomial_sf_small_tail(int r, int n, double p) {
+  // log C(n, r) + r log p + (n - r) log(1 - p) via lgamma.
+  const double log_term0 = std::lgamma(n + 1.0) - std::lgamma(r + 1.0) -
+                           std::lgamma(n - r + 1.0) +
+                           r * std::log(p) + (n - r) * std::log1p(-p);
+  double term = std::exp(log_term0);
+  double sum = term;
+  const double ratio_base = p / (1.0 - p);
+  for (int j = r; j < n; ++j) {
+    term *= ratio_base * static_cast<double>(n - j) /
+            static_cast<double>(j + 1);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return std::min(sum, 1.0);
+}
+
+/// P(Binomial(n, p) >= r), accurate in both tails. When p is above the
+/// mode the direct sum's leading term underflows (it sits deep in the
+/// lower tail), so reflect: P(X >= r) = 1 - P(n - X >= n - r + 1) with
+/// n - X ~ Binomial(n, 1 - p).
+double binomial_sf(int r, int n, double p) {
+  if (r <= 0) return 1.0;
+  if (r > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  if (p * static_cast<double>(n) > static_cast<double>(r)) {
+    return 1.0 - binomial_sf_small_tail(n - r + 1, n, 1.0 - p);
+  }
+  return binomial_sf_small_tail(r, n, p);
+}
+
+}  // namespace
+
+GridDistribution GridDistribution::order_statistic(int r, int n) const {
+  if (n < 1 || r < 1 || r > n)
+    throw std::invalid_argument("order_statistic: need 1 <= r <= n");
+  if (n == 1) return *this;
+  if (r == n) return max_of_iid(n);
+  std::vector<double> pmf(pmf_.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    const double cur = binomial_sf(r, n, cdf_[i]);
+    pmf[i] = std::max(cur - prev, 0.0);
+    prev = cur;
+  }
+  return GridDistribution(lo_, step_, std::move(pmf));
+}
+
+GridDistribution GridDistribution::max_of_independent(
+    const GridDistribution& a, const GridDistribution& b) {
+  const double rel = std::abs(a.step_ - b.step_) / a.step_;
+  if (rel > 1e-9)
+    throw std::invalid_argument(
+        "GridDistribution::max_of_independent: step mismatch");
+  const double lo = std::min(a.lo_, b.lo_);
+  const double hi =
+      std::max(a.lo_ + a.step_ * static_cast<double>(a.size() - 1),
+               b.lo_ + b.step_ * static_cast<double>(b.size() - 1));
+  const auto bins =
+      static_cast<std::size_t>(std::llround((hi - lo) / a.step_)) + 1;
+  std::vector<double> pmf(bins);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double x = lo + a.step_ * static_cast<double>(i);
+    const double cur = a.cdf(x) * b.cdf(x);
+    pmf[i] = std::max(cur - prev, 0.0);
+    prev = cur;
+  }
+  return GridDistribution(lo, a.step_, std::move(pmf));
+}
+
+GridDistribution GridDistribution::convolve(const GridDistribution& a,
+                                            const GridDistribution& b) {
+  const double rel = std::abs(a.step_ - b.step_) / a.step_;
+  if (rel > 1e-9)
+    throw std::invalid_argument("GridDistribution::convolve: step mismatch");
+
+  const std::size_t out_size = a.pmf_.size() + b.pmf_.size() - 1;
+  const std::size_t n = next_pow2(out_size);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.pmf_.size(); ++i) fa[i] = a.pmf_[i];
+  for (std::size_t i = 0; i < b.pmf_.size(); ++i) fb[i] = b.pmf_[i];
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+
+  std::vector<double> pmf(out_size);
+  for (std::size_t i = 0; i < out_size; ++i) {
+    pmf[i] = std::max(fa[i].real(), 0.0);
+  }
+  return GridDistribution(a.lo_ + b.lo_, a.step_, std::move(pmf));
+}
+
+}  // namespace ntv::stats

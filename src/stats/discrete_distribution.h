@@ -1,0 +1,78 @@
+// A probability distribution discretized on a uniform grid.
+//
+// Delay distributions of gates and gate chains are represented this way:
+// built once (numerically exact up to grid resolution), then queried for
+// quantiles, CDF values and moments in O(log n) / O(1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ntv::stats {
+
+/// Immutable discretized distribution over [lo, lo + (bins-1)*step].
+/// pmf[i] is the probability mass at grid point lo + i*step.
+class GridDistribution {
+ public:
+  /// Builds from a pmf; normalizes mass to one.
+  /// Precondition: pmf non-empty with non-negative entries and positive sum.
+  GridDistribution(double lo, double step, std::vector<double> pmf);
+
+  double lo() const noexcept { return lo_; }
+  double step() const noexcept { return step_; }
+  std::size_t size() const noexcept { return pmf_.size(); }
+  const std::vector<double>& pmf() const noexcept { return pmf_; }
+
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return var_; }
+  double stddev() const noexcept;
+  double skewness() const noexcept { return skew_; }
+
+  /// 3*stddev/mean in percent — the paper's variation metric.
+  double three_sigma_over_mu_pct() const noexcept;
+
+  /// P(X <= x), piecewise-linear between grid points.
+  double cdf(double x) const noexcept;
+
+  /// Inverse CDF with linear interpolation; u clamped to (0,1).
+  double quantile(double u) const noexcept;
+
+  /// Quantile of the maximum of k i.i.d. copies of this variable at
+  /// probability u:  Q_max(u) = quantile(u^(1/k)).
+  double max_quantile(double u, int k) const;
+
+  /// Distribution of the sum of `n` i.i.d. copies (convolution power).
+  GridDistribution sum_of_iid(int n) const;
+
+  /// Distribution of the sum of two independent variables (FFT
+  /// convolution). Both operands must share the same grid step.
+  static GridDistribution convolve(const GridDistribution& a,
+                                   const GridDistribution& b);
+
+  /// Distribution of the maximum of k i.i.d. copies: CDF = F^k.
+  /// Exact order-statistics result; no sampling.
+  GridDistribution max_of_iid(int k) const;
+
+  /// Distribution of the r-th smallest (1-based) of n i.i.d. copies:
+  /// CDF(x) = P(at least r of n are <= x) = I_{F(x)}(r, n-r+1).
+  /// r == n gives max_of_iid(n); r == 1 the minimum. This is the delay
+  /// law of a spare-repaired chip: keeping the fastest `width` of
+  /// `width+alpha` lanes is the order statistic r = width.
+  GridDistribution order_statistic(int r, int n) const;
+
+  /// Distribution of max(X, Y) for independent X, Y on the same grid
+  /// step: CDF = F_X * F_Y (grids are unioned).
+  static GridDistribution max_of_independent(const GridDistribution& a,
+                                             const GridDistribution& b);
+
+ private:
+  double lo_;
+  double step_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= lo + i*step)
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  double skew_ = 0.0;
+};
+
+}  // namespace ntv::stats

@@ -1,0 +1,37 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::stats {
+
+Ecdf::Ecdf(std::span<const double> data)
+    : sorted_(data.begin(), data.end()) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (!(q > 0.0) || q > 1.0)
+    throw std::invalid_argument("Ecdf::quantile: q must be in (0, 1]");
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+double Ecdf::ks_statistic(const Ecdf& a, const Ecdf& b) {
+  double d = 0.0;
+  for (double x : a.sorted_) d = std::max(d, std::abs(a(x) - b(x)));
+  for (double x : b.sorted_) d = std::max(d, std::abs(a(x) - b(x)));
+  return d;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,34 @@
+// Empirical cumulative distribution function.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ntv::stats {
+
+/// Immutable empirical CDF built from a sample. Queries are O(log n).
+class Ecdf {
+ public:
+  /// Builds the ECDF; copies and sorts the sample.
+  explicit Ecdf(std::span<const double> data);
+
+  /// Fraction of the sample <= x, in [0, 1].
+  double operator()(double x) const noexcept;
+
+  /// Smallest sample value v such that (fraction of sample <= v) >= q.
+  /// q must be in (0, 1].
+  double quantile(double q) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+  /// Two-sample Kolmogorov–Smirnov statistic: max |F1 - F2|. Used by the
+  /// tests to check distribution shifts (e.g. spares tighten the chip
+  /// delay distribution).
+  static double ks_statistic(const Ecdf& a, const Ecdf& b);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ntv::stats

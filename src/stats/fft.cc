@@ -1,0 +1,74 @@
+#include "stats/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::stats {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft: size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> pmf_power(const std::vector<double>& pmf, int power) {
+  if (pmf.empty() || power < 1)
+    throw std::invalid_argument("pmf_power: need non-empty pmf, power >= 1");
+  if (power == 1) return pmf;
+
+  const std::size_t out_size = (pmf.size() - 1) * static_cast<std::size_t>(power) + 1;
+  const std::size_t n = next_pow2(out_size);
+
+  std::vector<std::complex<double>> freq(n);
+  for (std::size_t i = 0; i < pmf.size(); ++i) freq[i] = pmf[i];
+  fft(freq, /*inverse=*/false);
+  for (auto& x : freq) x = std::pow(x, power);
+  fft(freq, /*inverse=*/true);
+
+  std::vector<double> out(out_size);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out_size; ++i) {
+    const double v = freq[i].real();
+    out[i] = v > 0.0 ? v : 0.0;  // Clamp FFT round-off.
+    sum += out[i];
+  }
+  if (sum > 0.0) {
+    for (auto& v : out) v /= sum;
+  }
+  return out;
+}
+
+}  // namespace ntv::stats

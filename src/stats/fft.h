@@ -1,0 +1,28 @@
+// Minimal iterative radix-2 complex FFT and pmf convolution powers.
+//
+// Used to build the exact delay distribution of an N-stage gate chain: the
+// chain pmf is the gate pmf convolved with itself N times, computed as a
+// pointwise N-th power in the frequency domain.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ntv::stats {
+
+/// In-place iterative radix-2 FFT. `data.size()` must be a power of two
+/// (throws std::invalid_argument otherwise). `inverse` selects the inverse
+/// transform (including the 1/N normalization).
+void fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Returns the smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Returns pmf convolved with itself `power` times (the distribution of a
+/// sum of `power` i.i.d. variables whose pmf is given on a uniform grid).
+/// The result has size (pmf.size()-1)*power + 1 and is renormalized to sum
+/// to one; tiny negative FFT round-off values are clamped to zero.
+/// Precondition: power >= 1 and pmf non-empty.
+std::vector<double> pmf_power(const std::vector<double>& pmf, int power);
+
+}  // namespace ntv::stats

@@ -1,0 +1,86 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ntv::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+  bin_width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+Histogram Histogram::auto_range(std::span<const double> data,
+                                std::size_t bins) {
+  if (data.empty()) return Histogram(0.0, 1.0, bins);
+  auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  double lo = *mn, hi = *mx;
+  if (lo == hi) {  // Degenerate sample: widen symmetrically.
+    lo -= 0.5;
+    hi += 0.5;
+  } else {
+    const double pad = (hi - lo) / static_cast<double>(bins) / 2.0;
+    lo -= pad;
+    hi += pad;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(data);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    // The top edge belongs to the last bin so max() is not an overflow.
+    if (x == hi_) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> data) noexcept {
+  for (double x : data) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+std::size_t Histogram::max_count() const noexcept {
+  if (counts_.empty()) return 0;
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::string Histogram::render(std::size_t width,
+                              const std::string& unit) const {
+  const std::size_t peak = std::max<std::size_t>(max_count(), 1);
+  std::string out;
+  char label[64];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(label, sizeof(label), "%12.4g%s | ", bin_center(i),
+                  unit.c_str());
+    out += label;
+    const auto bar =
+        counts_[i] * width / peak;
+    out.append(bar, '#');
+    std::snprintf(label, sizeof(label), " %zu\n", counts_[i]);
+    out += label;
+  }
+  return out;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,59 @@
+// Fixed-bin histograms with an ASCII renderer.
+//
+// The benches use these to print the figure-style delay distributions
+// (Figs 1, 3, 5, 6 of the paper) directly to the terminal.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ntv::stats {
+
+/// Equal-width binning over [lo, hi]; values outside the range are counted
+/// in the under/overflow counters, never silently dropped.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` equal-width bins over [lo, hi].
+  /// Precondition: bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Creates a histogram auto-ranged over the sample (min..max padded by
+  /// half a bin on each side) and fills it.
+  static Histogram auto_range(std::span<const double> data, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> data) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Center of the given bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Largest single-bin count (0 when empty); used for plot scaling.
+  std::size_t max_count() const noexcept;
+
+  /// Renders a horizontal ASCII bar chart, one row per bin, at most
+  /// `width` characters of bar. Bin labels use `unit` as suffix.
+  std::string render(std::size_t width = 60,
+                     const std::string& unit = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ntv::stats

@@ -1,0 +1,80 @@
+#include "stats/monte_carlo.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ntv::stats {
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+}  // namespace
+
+Xoshiro256pp substream(std::uint64_t seed, std::size_t index) {
+  // Derive an independent stream per block by mixing the block index into
+  // the seed with SplitMix64 (O(1), unlike chained jump()s which would make
+  // the whole run quadratic in the number of blocks).
+  SplitMix64 mixer(seed ^ (0xA24BAED4963EE407ULL * (index + 1)));
+  return Xoshiro256pp(mixer.next());
+}
+
+std::vector<double> monte_carlo(
+    std::size_t n, const std::function<double(Xoshiro256pp&)>& sampler,
+    const MonteCarloOptions& opt) {
+  return monte_carlo_rows(
+      n, 1,
+      [&sampler](Xoshiro256pp& rng, std::size_t, double* out) {
+        *out = sampler(rng);
+      },
+      opt);
+}
+
+std::vector<double> monte_carlo_rows(
+    std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t, double*)>& sampler,
+    const MonteCarloOptions& opt) {
+  std::vector<double> out(n * width);
+  if (n == 0) return out;
+
+  // Fixed-size blocks keep sample->substream assignment independent of the
+  // thread count: block b covers rows [b*kBlock, min(n,(b+1)*kBlock)).
+  constexpr std::size_t kBlock = 64;
+  const std::size_t blocks = (n + kBlock - 1) / kBlock;
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(resolve_threads(opt.threads),
+                                             blocks));
+
+  auto run_block = [&](std::size_t b) {
+    Xoshiro256pp rng = substream(opt.seed, b);
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(n, lo + kBlock);
+    for (std::size_t row = lo; row < hi; ++row) {
+      sampler(rng, row, out.data() + row * width);
+    }
+  };
+
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < blocks; ++b) run_block(b);
+    return out;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t b = static_cast<std::size_t>(t); b < blocks;
+           b += static_cast<std::size_t>(threads)) {
+        run_block(b);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return out;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,44 @@
+// Threaded Monte Carlo sample generation with reproducible substreams.
+//
+// Every experiment in the paper is a Monte Carlo sweep (1,000 samples for
+// circuit-level figures, 10,000 for chip-level figures). The runner splits
+// one seed into per-thread xoshiro jump-substreams so the generated sample
+// set is independent of the machine's core count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+
+/// Configuration for a Monte Carlo run.
+struct MonteCarloOptions {
+  std::uint64_t seed = 0xD1E7C0DE5EED;  ///< Base seed of the run.
+  int threads = 0;  ///< 0 = use hardware_concurrency (capped at 16).
+};
+
+/// Draws `n` samples of `sampler(rng)` and returns them in deterministic
+/// order (sample i is always produced by substream i/chunk, offset i%chunk,
+/// regardless of thread count).
+std::vector<double> monte_carlo(
+    std::size_t n, const std::function<double(Xoshiro256pp&)>& sampler,
+    const MonteCarloOptions& opt = {});
+
+/// Vector-valued variant: each draw produces `width` doubles (e.g. the
+/// delays of all lanes of one chip instance). Results are returned
+/// row-major: sample i occupies [i*width, (i+1)*width).
+std::vector<double> monte_carlo_rows(
+    std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t /*row*/,
+                             double* /*out*/)>& sampler,
+    const MonteCarloOptions& opt = {});
+
+/// Returns the substream RNG for block `index` under the given seed.
+/// Exposed so single-shot callers can reproduce exactly what the threaded
+/// runner would generate.
+Xoshiro256pp substream(std::uint64_t seed, std::size_t index);
+
+}  // namespace ntv::stats

@@ -1,0 +1,38 @@
+// Normal distribution functions: pdf, cdf, inverse cdf, moment fitting.
+//
+// The paper models both dominant variation sources (Vth via random dopant
+// fluctuation, and line-edge roughness) as normal distributions; the
+// calibration fitter needs accurate normal quantiles.
+#pragma once
+
+#include <span>
+
+namespace ntv::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution (via std::erfc; ~1e-15 accurate).
+double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; accurate to ~1e-15 over (0,1)).
+/// Throws std::domain_error for p outside (0, 1).
+double normal_quantile(double p);
+
+/// Parameters of a fitted normal.
+struct NormalFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Moment-matching fit (sample mean / unbiased stddev).
+NormalFit fit_normal(std::span<const double> data) noexcept;
+
+/// Expected value of the maximum of n i.i.d. standard normals
+/// (exact 1-D Gauss–Hermite style numeric integration).
+/// This drives the analytic cross-check of the "max over lanes" shift in
+/// the architecture model tests.
+double expected_max_of_normals(int n);
+
+}  // namespace ntv::stats

@@ -1,0 +1,53 @@
+#include "stats/normality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/normal.h"
+
+namespace ntv::stats {
+
+AndersonDarlingResult anderson_darling_normal(
+    std::span<const double> data) {
+  if (data.size() < 8)
+    throw std::invalid_argument(
+        "anderson_darling_normal: need at least 8 observations");
+
+  const Summary summary(data);
+  const double mu = summary.mean();
+  const double sigma = summary.stddev();
+  if (sigma <= 0.0)
+    throw std::invalid_argument(
+        "anderson_darling_normal: degenerate sample");
+
+  std::vector<double> z(data.begin(), data.end());
+  std::sort(z.begin(), z.end());
+  const auto n = static_cast<double>(z.size());
+
+  double a2 = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    // Clamp the CDF away from 0/1 so the logs stay finite.
+    const double f = std::clamp(
+        normal_cdf((z[i] - mu) / sigma), 1e-300, 1.0 - 1e-16);
+    const double f_rev = std::clamp(
+        normal_cdf((z[z.size() - 1 - i] - mu) / sigma), 1e-300,
+        1.0 - 1e-16);
+    const double weight = 2.0 * static_cast<double>(i) + 1.0;
+    a2 += weight * (std::log(f) + std::log1p(-f_rev));
+  }
+  a2 = -n - a2 / n;
+
+  // Stephens' correction for estimated parameters.
+  const double a2_star = a2 * (1.0 + 0.75 / n + 2.25 / (n * n));
+
+  AndersonDarlingResult result;
+  result.a2 = a2_star;
+  result.normal_at_5pct = a2_star < 0.752;
+  result.normal_at_1pct = a2_star < 1.035;
+  return result;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,25 @@
+// Anderson-Darling normality test.
+//
+// The paper represents Vth and LER variations as normal distributions and
+// its chain-delay histograms look Gaussian; the AD statistic lets the
+// tests check where normality actually holds in our model (chains,
+// sums) and where it visibly fails (single near-threshold gates, lane
+// maxima — both right-skewed).
+#pragma once
+
+#include <span>
+
+namespace ntv::stats {
+
+/// Result of the Anderson-Darling test against a normal distribution with
+/// estimated mean/variance (case 3, Stephens' small-sample correction).
+struct AndersonDarlingResult {
+  double a2 = 0.0;        ///< Corrected A^2* statistic.
+  bool normal_at_5pct = false;  ///< A^2* below the 5% critical value 0.752.
+  bool normal_at_1pct = false;  ///< A^2* below the 1% critical value 1.035.
+};
+
+/// Runs the test. Requires at least 8 observations (throws otherwise).
+AndersonDarlingResult anderson_darling_normal(std::span<const double> data);
+
+}  // namespace ntv::stats

@@ -1,0 +1,55 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ntv::stats {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  assert(!sorted.empty());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> data, double p) {
+  std::vector<double> copy(data.begin(), data.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+std::vector<double> percentiles(std::span<const double> data,
+                                std::span<const double> ps) {
+  std::vector<double> copy(data.begin(), data.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(copy, p));
+  return out;
+}
+
+std::vector<double> smallest_k(std::span<const double> data, std::size_t k) {
+  std::vector<double> copy(data.begin(), data.end());
+  k = std::min(k, copy.size());
+  std::partial_sort(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(k),
+                    copy.end());
+  copy.resize(k);
+  return copy;
+}
+
+double kth_smallest(std::span<const double> data, std::size_t k) {
+  assert(k < data.size());
+  std::vector<double> copy(data.begin(), data.end());
+  auto mid = copy.begin() + static_cast<std::ptrdiff_t>(k);
+  std::nth_element(copy.begin(), mid, copy.end());
+  return *mid;
+}
+
+double median(std::span<const double> data) { return percentile(data, 50.0); }
+
+}  // namespace ntv::stats

@@ -1,0 +1,35 @@
+// Percentile and order statistics.
+//
+// The paper signs off designs at the 99 % point of the chip-delay
+// distribution ("fo4chipd"); `percentile(data, 99.0)` is that operation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ntv::stats {
+
+/// Returns the p-th percentile (p in [0,100]) with linear interpolation
+/// between closest ranks (type-7 quantile, the R/NumPy default).
+/// Precondition: data is non-empty.
+double percentile(std::span<const double> data, double p);
+
+/// Like `percentile`, but assumes the data is already sorted ascending.
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Returns several percentiles in one pass over a single sorted copy.
+std::vector<double> percentiles(std::span<const double> data,
+                                std::span<const double> ps);
+
+/// Returns the k smallest elements, sorted ascending (k-order statistics).
+/// Used by the structural-duplication solver: keeping the 128 fastest of
+/// 128+alpha lanes is `smallest_k(lane_delays, 128)`.
+std::vector<double> smallest_k(std::span<const double> data, std::size_t k);
+
+/// Returns the k-th smallest element (0-based). Precondition: k < size.
+double kth_smallest(std::span<const double> data, std::size_t k);
+
+/// Median (50th percentile).
+double median(std::span<const double> data);
+
+}  // namespace ntv::stats

@@ -1,0 +1,73 @@
+// Deterministic, high-quality pseudo-random number generation.
+//
+// All Monte Carlo experiments in this repository must be reproducible across
+// platforms and standard-library implementations, so we ship our own
+// generator (xoshiro256++) and our own variate transforms instead of relying
+// on std::normal_distribution, whose output is implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ntv::stats {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Never use it as the main generator; it is only a seeder.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value of the sequence.
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+///
+/// Supports `jump()` (advance by 2^128 steps) so that independent parallel
+/// substreams can be derived from one seed, which the threaded Monte Carlo
+/// runner uses to keep results independent of the thread count.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Returns the next 64-bit value.
+  result_type next() noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  result_type operator()() noexcept { return next(); }
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Advances the state by 2^128 steps; equivalent to discarding 2^128
+  /// outputs. Used to split one seed into non-overlapping substreams.
+  void jump() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal variate via the Marsaglia polar method (exact,
+  /// platform-independent; caches the second variate of each pair).
+  double normal() noexcept;
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ntv::stats

@@ -1,0 +1,150 @@
+#include "stats/root_find.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::stats {
+
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, const RootOptions& opt) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if ((flo > 0.0) == (fhi > 0.0))
+    throw std::invalid_argument("bisect: no sign change on bracket");
+
+  RootResult r;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    r.x = mid;
+    r.f = fmid;
+    if (std::abs(fmid) <= opt.f_tol || (hi - lo) < opt.x_tol) {
+      r.converged = true;
+      return r;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  r.converged = (hi - lo) < opt.x_tol * 10;
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opt) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if ((fa > 0.0) == (fb > 0.0))
+    throw std::invalid_argument("brent: no sign change on bracket");
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  RootResult r;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * 1e-16 * std::abs(b) + 0.5 * opt.x_tol;
+    const double m = 0.5 * (c - b);
+    r.x = b;
+    r.f = fb;
+    if (std::abs(m) <= tol || fb == 0.0 || std::abs(fb) <= opt.f_tol) {
+      r.converged = true;
+      return r;
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = m;
+      e = m;
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {  // Secant step.
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // Inverse quadratic interpolation.
+        const double qq = fa / fc;
+        const double rr = fb / fc;
+        p = s * (2.0 * m * qq * (qq - rr) - (b - a) * (rr - 1.0));
+        q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = d = b - a;
+    }
+  }
+  return r;
+}
+
+RootResult golden_min(const std::function<double(double)>& f, double lo,
+                      double hi, const RootOptions& opt) {
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  RootResult r;
+  for (r.iterations = 0; r.iterations < opt.max_iter; ++r.iterations) {
+    if ((b - a) < opt.x_tol) break;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  r.converged = (b - a) < opt.x_tol * 10;
+  if (f1 < f2) {
+    r.x = x1;
+    r.f = f1;
+  } else {
+    r.x = x2;
+    r.f = f2;
+  }
+  return r;
+}
+
+long smallest_true(const std::function<bool(long)>& pred, long lo, long hi) {
+  if (lo > hi) return hi + 1;
+  if (!pred(hi)) return hi + 1;
+  while (lo < hi) {
+    const long mid = lo + (hi - lo) / 2;
+    if (pred(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,43 @@
+// Scalar root finding and minimization used by the calibration fitter and
+// the voltage-margin solver.
+#pragma once
+
+#include <functional>
+
+namespace ntv::stats {
+
+/// Options for bracketing root finders.
+struct RootOptions {
+  double x_tol = 1e-12;   ///< Stop when the bracket is this narrow.
+  double f_tol = 0.0;     ///< Stop when |f| falls below this.
+  int max_iter = 200;     ///< Hard iteration cap.
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;        ///< Best abscissa found.
+  double f = 0.0;        ///< Function value at x.
+  int iterations = 0;    ///< Iterations consumed.
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi]. Requires f(lo) and f(hi) to have opposite signs
+/// (throws std::invalid_argument otherwise). Robust and deterministic.
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, const RootOptions& opt = {});
+
+/// Brent's method on [lo, hi]: bisection safety with superlinear speed.
+/// Requires a sign change like `bisect`.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opt = {});
+
+/// Golden-section minimization of a unimodal f on [lo, hi].
+RootResult golden_min(const std::function<double(double)>& f, double lo,
+                      double hi, const RootOptions& opt = {});
+
+/// Finds the smallest integer n in [lo, hi] with pred(n) true, assuming
+/// pred is monotone (false..false,true..true). Returns hi+1 if none.
+/// Used by the duplication solver ("fewest spares meeting the target").
+long smallest_true(const std::function<bool(long)>& pred, long lo, long hi);
+
+}  // namespace ntv::stats

@@ -1,0 +1,108 @@
+#include "arch/analytic_timing.h"
+
+#include <gtest/gtest.h>
+
+#include "device/tech_node.h"
+#include "stats/bootstrap.h"
+
+namespace ntv::arch {
+namespace {
+
+const device::VariationModel& model90() {
+  static const device::VariationModel vm(device::tech_90nm());
+  return vm;
+}
+
+const AnalyticChipModel& model_at_055() {
+  static const AnalyticChipModel m(model90(), 0.55);
+  return m;
+}
+
+TEST(AnalyticChipModel, RejectsSharedDieMode) {
+  TimingConfig config;
+  config.correlation = DieCorrelation::kSharedDie;
+  EXPECT_THROW(AnalyticChipModel(model90(), 0.55, config),
+               std::invalid_argument);
+}
+
+TEST(AnalyticChipModel, LaneDominatesPath) {
+  const auto& m = model_at_055();
+  EXPECT_GT(m.lane().mean(), m.path().mean());
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_GT(m.lane().quantile(u), m.path().quantile(u));
+  }
+}
+
+TEST(AnalyticChipModel, ChipDominatesLane) {
+  const auto& m = model_at_055();
+  const auto chip = m.chip(0);
+  EXPECT_GT(chip.quantile(0.5), m.lane().quantile(0.5));
+}
+
+TEST(AnalyticChipModel, SparesReduceSignoffMonotonically) {
+  const auto& m = model_at_055();
+  double prev = 1e300;
+  for (int spares : {0, 1, 2, 6, 13, 28, 64}) {
+    const double p99 = m.signoff_delay(99.0, spares);
+    EXPECT_LT(p99, prev) << "spares=" << spares;
+    prev = p99;
+  }
+}
+
+TEST(AnalyticChipModel, MatchesMonteCarloWithinSamplingError) {
+  // The closed form must agree with the Monte Carlo engine — the MC p99's
+  // bootstrap CI should contain (or nearly contain) the analytic value.
+  const auto& m = model_at_055();
+  const ChipDelaySampler sampler(model90(), 0.55);
+  const auto mc = mc_chip_delays(sampler, 10000, 128, 0);
+  const auto ci = stats::bootstrap_percentile_ci(mc.delays, 99.0, 0.999);
+  const double analytic = m.signoff_delay(99.0, 0);
+  const double slack = 0.1 * (ci.hi - ci.lo);
+  EXPECT_GE(analytic, ci.lo - slack);
+  EXPECT_LE(analytic, ci.hi + slack);
+}
+
+TEST(AnalyticChipModel, MatchesMonteCarloWithSpares) {
+  const auto& m = model_at_055();
+  const ChipDelaySampler sampler(model90(), 0.55);
+  const auto mc = mc_chip_delays(sampler, 10000, 128, 13);
+  const double analytic = m.signoff_delay(99.0, 13);
+  const double mc_p99 = mc.percentile(99.0);
+  EXPECT_NEAR(analytic, mc_p99, 0.003 * mc_p99);
+}
+
+TEST(AnalyticChipModel, RequiredSparesMatchesMonteCarloSolver) {
+  // Same question, two engines: analytic vs MC-based sizing agree to
+  // within the MC solver's granularity.
+  const AnalyticChipModel nominal(model90(), 1.0);
+  const double baseline_fo4 =
+      nominal.signoff_delay(99.0) / nominal.fo4_unit();
+  const auto& m = model_at_055();
+  const int analytic = m.required_spares(baseline_fo4 * m.fo4_unit(), 99.0);
+  // The MC study (mitigation_test) finds ~14 at 0.55 V; the analytic
+  // answer must land in the same neighbourhood.
+  EXPECT_GE(analytic, 8);
+  EXPECT_LE(analytic, 22);
+}
+
+TEST(AnalyticChipModel, OrderStatisticEdgeCases) {
+  const auto& m = model_at_055();
+  // r = n reduces to the plain maximum.
+  const auto max_form = m.lane().max_of_iid(4);
+  const auto os_form = m.lane().order_statistic(4, 4);
+  EXPECT_NEAR(max_form.quantile(0.9), os_form.quantile(0.9),
+              1e-9 * max_form.quantile(0.9));
+  EXPECT_THROW(m.chip(-1), std::invalid_argument);
+  EXPECT_THROW(m.signoff_delay(0.0), std::invalid_argument);
+}
+
+TEST(AnalyticChipModel, NormalizedSignoffNearFig3Value) {
+  // fo4chipd99 at nominal voltage ~54.5 FO4 (cf. Fig. 3 / MC engine).
+  const AnalyticChipModel nominal(model90(), 1.0);
+  const double fo4 = nominal.signoff_delay(99.0) / nominal.fo4_unit();
+  EXPECT_GT(fo4, 52.0);
+  EXPECT_LT(fo4, 58.0);
+}
+
+}  // namespace
+}  // namespace ntv::arch

@@ -1,0 +1,98 @@
+#include "arch/area_power.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ntv::arch {
+namespace {
+
+TEST(AreaPowerModel, Table1AreaColumn) {
+  // Paper Table 1 (90 nm): 6 spares -> 2.6 %, 2 -> 0.9 %, 1 -> 0.4 %.
+  const AreaPowerModel m;
+  EXPECT_NEAR(m.duplication_area_overhead(6), 0.026, 0.001);
+  EXPECT_NEAR(m.duplication_area_overhead(2), 0.009, 0.001);
+  EXPECT_NEAR(m.duplication_area_overhead(1), 0.004, 0.001);
+  EXPECT_NEAR(m.duplication_area_overhead(28), 0.121, 0.002);
+}
+
+TEST(AreaPowerModel, Table1PowerColumn) {
+  // 6 spares -> 1.0 %, 28 -> 4.6 %, 2 -> 0.3 %.
+  const AreaPowerModel m;
+  EXPECT_NEAR(m.duplication_power_overhead(6), 0.010, 0.001);
+  EXPECT_NEAR(m.duplication_power_overhead(28), 0.046, 0.001);
+  EXPECT_NEAR(m.duplication_power_overhead(2), 0.003, 0.001);
+}
+
+TEST(AreaPowerModel, Table2PowerColumn) {
+  // Voltage-margin power overheads (dv domain at 43 % of chip power):
+  // 90 nm: 5.8 mV @0.50 V -> 1.0 %;  1.7 mV @0.70 V -> 0.2 %.
+  // 45 nm: 19.6 mV @0.50 V -> 3.3 %.
+  const AreaPowerModel m;
+  EXPECT_NEAR(m.vmargin_power_overhead(0.50, 5.8e-3), 0.010, 0.001);
+  EXPECT_NEAR(m.vmargin_power_overhead(0.70, 1.7e-3), 0.002, 0.001);
+  EXPECT_NEAR(m.vmargin_power_overhead(0.50, 19.6e-3), 0.033, 0.002);
+}
+
+TEST(AreaPowerModel, ZeroIsFree) {
+  const AreaPowerModel m;
+  EXPECT_DOUBLE_EQ(m.duplication_area_overhead(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.duplication_power_overhead(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.vmargin_power_overhead(0.6, 0.0), 0.0);
+}
+
+TEST(AreaPowerModel, CombinedIsSum) {
+  const AreaPowerModel m;
+  const double combined = m.combined_power_overhead(2, 0.6, 0.010);
+  EXPECT_NEAR(combined,
+              m.duplication_power_overhead(2) +
+                  m.vmargin_power_overhead(0.6, 0.010),
+              1e-12);
+}
+
+TEST(AreaPowerModel, OverheadGrowsWithMargin) {
+  const AreaPowerModel m;
+  double prev = 0.0;
+  for (double margin : {0.001, 0.005, 0.010, 0.020}) {
+    const double cur = m.vmargin_power_overhead(0.5, margin);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(AreaPowerModel, MarginCostsMoreAtLowerVdd) {
+  // The same absolute margin is relatively larger at lower supply.
+  const AreaPowerModel m;
+  EXPECT_GT(m.vmargin_power_overhead(0.5, 0.01),
+            m.vmargin_power_overhead(0.7, 0.01));
+}
+
+TEST(AreaPowerModel, XramAwareOverheadGrowsQuadratically) {
+  const AreaPowerModel m;
+  const double few = m.duplication_power_overhead_with_xram(4) -
+                     m.duplication_power_overhead(4);
+  const double many = m.duplication_power_overhead_with_xram(64) -
+                      m.duplication_power_overhead(64);
+  EXPECT_GT(few, 0.0);
+  // The crossbar term grows superlinearly: 16x the spares cost more than
+  // 16x the crossbar overhead.
+  EXPECT_GT(many, 16.0 * few);
+}
+
+TEST(AreaPowerModel, XramAwareReducesToLinearWithZeroShare) {
+  AreaPowerModel m;
+  m.xram_power_share = 0.0;
+  EXPECT_DOUBLE_EQ(m.duplication_power_overhead_with_xram(28),
+                   m.duplication_power_overhead(28));
+}
+
+TEST(AreaPowerModel, RejectsInvalidArguments) {
+  const AreaPowerModel m;
+  EXPECT_THROW(m.duplication_area_overhead(-1), std::invalid_argument);
+  EXPECT_THROW(m.duplication_power_overhead(-1), std::invalid_argument);
+  EXPECT_THROW(m.vmargin_power_overhead(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(m.vmargin_power_overhead(0.5, -0.01), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::arch

@@ -1,0 +1,116 @@
+// Parameterized property tests for the architecture timing layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/simd_timing.h"
+#include "arch/sparing.h"
+#include "device/tech_node.h"
+#include "stats/percentile.h"
+
+namespace ntv::arch {
+namespace {
+
+class NodeTest : public ::testing::TestWithParam<const device::TechNode*> {
+ protected:
+  const device::TechNode& node() const { return *GetParam(); }
+};
+
+TEST_P(NodeTest, ChipDelayGrowsWithWidth) {
+  const device::VariationModel vm(node());
+  const ChipDelaySampler sampler(vm, 0.55);
+  double prev = 0.0;
+  for (int width : {1, 8, 32, 128}) {
+    const auto mc = mc_chip_delays(sampler, 1500, width, 0);
+    const double median = mc.percentile(50.0);
+    EXPECT_GT(median, prev) << "width=" << width;
+    prev = median;
+  }
+}
+
+TEST_P(NodeTest, ChipDelayShrinksWithSpares) {
+  const device::VariationModel vm(node());
+  const ChipDelaySampler sampler(vm, 0.55);
+  double prev = 1e9;
+  for (int spares : {0, 2, 8, 32}) {
+    const auto mc = mc_chip_delays(sampler, 1500, 128, spares);
+    const double p99 = mc.percentile(99.0);
+    EXPECT_LT(p99, prev) << "spares=" << spares;
+    prev = p99;
+  }
+}
+
+TEST_P(NodeTest, NormalizedDelayAboveStageCount) {
+  // The chip can never be faster than its nominal 50-FO4 critical path.
+  const device::VariationModel vm(node());
+  const ChipDelaySampler sampler(vm, 0.5);
+  const auto mc = mc_chip_delays(sampler, 500, 128, 0);
+  EXPECT_GT(mc.percentile(1.0) / sampler.fo4_unit(), 49.0);
+}
+
+TEST_P(NodeTest, MorePathsPerLaneIsSlower) {
+  const device::VariationModel vm(node());
+  TimingConfig few;
+  few.paths_per_lane = 25;
+  TimingConfig many;
+  many.paths_per_lane = 400;
+  const ChipDelaySampler s_few(vm, 0.55, few);
+  const ChipDelaySampler s_many(vm, 0.55, many);
+  EXPECT_GT(mc_chip_delays(s_many, 1000, 128, 0).percentile(50.0),
+            mc_chip_delays(s_few, 1000, 128, 0).percentile(50.0));
+}
+
+TEST_P(NodeTest, CurveEqualsBruteForceOnRandomLanes) {
+  const device::VariationModel vm(node());
+  const ChipDelaySampler sampler(vm, 0.6);
+  stats::Xoshiro256pp rng(33);
+  std::vector<double> lanes(150);
+  sampler.sample_lanes(rng, lanes);
+  const auto curve = ChipDelaySampler::chip_delay_curve(lanes, 120);
+  ASSERT_EQ(curve.size(), 31u);
+  for (std::size_t alpha = 0; alpha < curve.size(); alpha += 7) {
+    std::vector<double> prefix(
+        lanes.begin(), lanes.begin() + 120 + static_cast<long>(alpha));
+    EXPECT_DOUBLE_EQ(curve[alpha],
+                     stats::kth_smallest(prefix, 119));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodes, NodeTest, ::testing::ValuesIn([] {
+      std::vector<const device::TechNode*> nodes;
+      for (const device::TechNode* n : device::all_nodes()) nodes.push_back(n);
+      return nodes;
+    }()),
+    [](const ::testing::TestParamInfo<const device::TechNode*>& info) {
+      std::string name(info.param->name);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class SparingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparingPropertyTest, GlobalCoverageNeverBelowLocal) {
+  // For any fault probability, a pooled budget dominates the same budget
+  // split into per-cluster spares.
+  const double p = GetParam() / 100.0;
+  const double global = mc_coverage(GlobalSparing(32), 128, p, 3000, 7);
+  const double local = mc_coverage(LocalSparing(4, 1), 128, p, 3000, 7);
+  EXPECT_GE(global + 1e-12, local);
+}
+
+TEST_P(SparingPropertyTest, CoverageDecreasesWithFaultProbability) {
+  const double p = GetParam() / 100.0;
+  const double at_p = mc_coverage(GlobalSparing(16), 128, p, 3000, 11);
+  const double at_2p =
+      mc_coverage(GlobalSparing(16), 128, std::min(1.0, 2.0 * p), 3000, 11);
+  EXPECT_GE(at_p + 0.01, at_2p);
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultRates, SparingPropertyTest,
+                         ::testing::Values(1, 2, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace ntv::arch

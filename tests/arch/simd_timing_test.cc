@@ -1,0 +1,171 @@
+#include "arch/simd_timing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/tech_node.h"
+#include "stats/descriptive.h"
+
+namespace ntv::arch {
+namespace {
+
+const device::VariationModel& model90() {
+  static const device::VariationModel vm(device::tech_90nm());
+  return vm;
+}
+
+TEST(ChipDelaySampler, RejectsBadConfig) {
+  TimingConfig bad;
+  bad.simd_width = 0;
+  EXPECT_THROW(ChipDelaySampler(model90(), 0.6, bad), std::invalid_argument);
+}
+
+TEST(ChipDelaySampler, LaneDelaysExceedNominalPath) {
+  // A lane is the max of 100 paths, so it sits well above the nominal
+  // 50-FO4 path delay.
+  const ChipDelaySampler sampler(model90(), 0.6);
+  stats::Xoshiro256pp rng(1);
+  std::vector<double> lanes(128);
+  sampler.sample_lanes(rng, lanes);
+  const double nominal = sampler.nominal_path_delay();
+  for (double lane : lanes) {
+    EXPECT_GT(lane, nominal * 0.95);
+    EXPECT_LT(lane, nominal * 1.6);
+  }
+}
+
+TEST(ChipDelaySampler, ChipDelayFromLanesIsKthSmallest) {
+  std::vector<double> lanes = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      ChipDelaySampler::chip_delay_from_lanes(lanes, 3), 3.0);
+  std::vector<double> lanes2 = {5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(
+      ChipDelaySampler::chip_delay_from_lanes(lanes2, 5), 5.0);
+}
+
+TEST(ChipDelaySampler, ChipDelayCurveMatchesDirectComputation) {
+  std::vector<double> lanes = {7.0, 3.0, 9.0, 1.0, 5.0, 8.0, 2.0};
+  const auto curve = ChipDelaySampler::chip_delay_curve(lanes, 3);
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t alpha = 0; alpha < curve.size(); ++alpha) {
+    std::vector<double> prefix(lanes.begin(),
+                               lanes.begin() + 3 + static_cast<long>(alpha));
+    EXPECT_DOUBLE_EQ(curve[alpha],
+                     ChipDelaySampler::chip_delay_from_lanes(prefix, 3))
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(ChipDelaySampler, CurveIsNonIncreasing) {
+  const ChipDelaySampler sampler(model90(), 0.55);
+  stats::Xoshiro256pp rng(2);
+  std::vector<double> lanes(160);
+  sampler.sample_lanes(rng, lanes);
+  const auto curve = ChipDelaySampler::chip_delay_curve(lanes, 128);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(ChipDelaySampler, WiderChipIsSlower) {
+  // Fig. 3: 128-wide is slower than 1-wide; more lanes, more max pressure.
+  const ChipDelaySampler sampler(model90(), 1.0);
+  stats::MonteCarloOptions opt;
+  const auto one = mc_chip_delays(sampler, 2000, 1, 0, opt);
+  const auto wide = mc_chip_delays(sampler, 2000, 128, 0, opt);
+  EXPECT_GT(wide.percentile(50.0), one.percentile(50.0));
+}
+
+TEST(ChipDelaySampler, SparesSpeedUpChip) {
+  // Fig. 5: spare lanes shift the distribution left.
+  const ChipDelaySampler sampler(model90(), 0.55);
+  const auto base = mc_chip_delays(sampler, 3000, 128, 0);
+  const auto spared = mc_chip_delays(sampler, 3000, 128, 16);
+  EXPECT_LT(spared.percentile(99.0), base.percentile(99.0));
+  EXPECT_LT(spared.percentile(50.0), base.percentile(50.0));
+}
+
+TEST(ChipDelaySampler, SparesTightenDistribution) {
+  const ChipDelaySampler sampler(model90(), 0.55);
+  const auto base = mc_chip_delays(sampler, 3000, 128, 0);
+  const auto spared = mc_chip_delays(sampler, 3000, 128, 16);
+  EXPECT_LT(stats::stddev(spared.delays), stats::stddev(base.delays));
+}
+
+TEST(ChipDelaySampler, SweepSharesSamplesConsistently) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  const int counts[] = {0, 4, 8};
+  const auto sweep = mc_chip_delay_sweep(sampler, 500, 128, counts);
+  ASSERT_EQ(sweep.size(), 3u);
+  // Per construction each chip's delay is non-increasing in alpha.
+  for (std::size_t chip = 0; chip < 500; ++chip) {
+    EXPECT_LE(sweep[1].delays[chip], sweep[0].delays[chip]);
+    EXPECT_LE(sweep[2].delays[chip], sweep[1].delays[chip]);
+  }
+}
+
+TEST(ChipDelaySampler, SweepMatchesSingleRuns) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  const int counts[] = {0, 6};
+  const auto sweep = mc_chip_delay_sweep(sampler, 400, 128, counts);
+  const auto single = mc_chip_delays(sampler, 400, 128, 6);
+  // Same seed, but the sweep samples 134 lanes/chip while the single run
+  // samples 134 too (width+6): distributions must match exactly.
+  EXPECT_EQ(sweep[1].delays, single.delays);
+}
+
+TEST(ChipDelaySampler, LowerVoltageWidensNormalizedSpread) {
+  // Fig. 3: NTV curves spread out in FO4 units.
+  const ChipDelaySampler at1v(model90(), 1.0);
+  const ChipDelaySampler at05v(model90(), 0.5);
+  const auto a = mc_chip_delays(at1v, 2000, 128, 0);
+  const auto b = mc_chip_delays(at05v, 2000, 128, 0);
+  const double spread_1v =
+      (a.percentile(99.0) - a.percentile(1.0)) / at1v.fo4_unit();
+  const double spread_05v =
+      (b.percentile(99.0) - b.percentile(1.0)) / at05v.fo4_unit();
+  EXPECT_GT(spread_05v, 1.5 * spread_1v);
+}
+
+TEST(ChipDelaySampler, SharedDieModeProducesWiderChipSpread) {
+  // Ablation: a common die factor correlates all lanes, widening the
+  // chip-delay distribution relative to fully independent paths.
+  TimingConfig iid;
+  TimingConfig shared;
+  shared.correlation = DieCorrelation::kSharedDie;
+  const ChipDelaySampler s_iid(model90(), 0.55, iid);
+  const ChipDelaySampler s_shared(model90(), 0.55, shared);
+  const auto a = mc_chip_delays(s_iid, 3000, 128, 0);
+  const auto b = mc_chip_delays(s_shared, 3000, 128, 0);
+  EXPECT_GT(stats::stddev(b.delays), stats::stddev(a.delays));
+}
+
+TEST(ChipDelaySampler, PathSampleMatchesChainDistribution) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  stats::Xoshiro256pp rng(9);
+  stats::Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(sampler.sample_path_delay(rng));
+  EXPECT_NEAR(s.mean(), sampler.chain_distribution().mean(),
+              0.01 * s.mean());
+}
+
+TEST(McChipDelays, PercentileBoundsAreOrdered) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  const auto result = mc_chip_delays(sampler, 1000, 128, 0);
+  EXPECT_LE(result.percentile(50.0), result.percentile(99.0));
+  EXPECT_LE(result.percentile(1.0), result.percentile(50.0));
+}
+
+TEST(McChipDelaySweep, RejectsBadInput) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  const int negative[] = {-1};
+  EXPECT_THROW(mc_chip_delay_sweep(sampler, 10, 128, negative),
+               std::invalid_argument);
+  EXPECT_THROW(mc_chip_delay_sweep(sampler, 10, 128, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::arch

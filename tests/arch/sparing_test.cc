@@ -1,0 +1,161 @@
+#include "arch/sparing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/tech_node.h"
+
+namespace ntv::arch {
+namespace {
+
+TEST(GlobalSparing, CoversUpToSpareCount) {
+  const GlobalSparing scheme(2);
+  std::vector<std::uint8_t> faulty(10, 0);  // 8 logical + 2 spares.
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+  faulty[3] = 1;
+  faulty[7] = 1;
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+  faulty[0] = 1;
+  EXPECT_FALSE(scheme.covers(faulty, 8));
+}
+
+TEST(GlobalSparing, HandlesBurstFailures) {
+  // Adjacent (bursty) faults are no worse than scattered ones.
+  const GlobalSparing scheme(3);
+  std::vector<std::uint8_t> faulty(11, 0);
+  faulty[4] = faulty[5] = faulty[6] = 1;
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+}
+
+TEST(LocalSparing, FailsOnClusteredFaults) {
+  // Synctium-style 1-per-4: two faults in one cluster cannot be repaired.
+  const LocalSparing scheme(4, 1);
+  // 8 logical lanes -> 2 clusters of 5 physical each.
+  std::vector<std::uint8_t> faulty(10, 0);
+  faulty[0] = 1;  // Cluster 0.
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+  faulty[1] = 1;  // Second fault in cluster 0.
+  EXPECT_FALSE(scheme.covers(faulty, 8));
+}
+
+TEST(LocalSparing, SameTotalFaultsSpreadOutAreCovered) {
+  const LocalSparing scheme(4, 1);
+  std::vector<std::uint8_t> faulty(10, 0);
+  faulty[0] = 1;  // Cluster 0.
+  faulty[5] = 1;  // Cluster 1.
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+}
+
+TEST(LocalSparing, WidthMustDivide) {
+  const LocalSparing scheme(4, 1);
+  EXPECT_THROW(scheme.physical_lanes(6), std::invalid_argument);
+}
+
+TEST(SparingSchemes, PhysicalLaneCounts) {
+  EXPECT_EQ(GlobalSparing(32).physical_lanes(128), 160);
+  EXPECT_EQ(LocalSparing(4, 1).physical_lanes(128), 160);
+}
+
+TEST(McCoverage, ZeroFaultProbabilityIsCertainty) {
+  EXPECT_DOUBLE_EQ(mc_coverage(GlobalSparing(0), 16, 0.0, 200), 1.0);
+}
+
+TEST(McCoverage, CertainFaultsAreUncoverable) {
+  EXPECT_DOUBLE_EQ(mc_coverage(GlobalSparing(4), 16, 1.0, 200), 0.0);
+}
+
+TEST(McCoverage, GlobalBeatsLocalAtEqualSpareBudget) {
+  // Appendix D's core claim: with the same total spares (32 for 128
+  // lanes), global sparing covers strictly more fault patterns.
+  const int width = 128;
+  const double p = 0.05;
+  const double global = mc_coverage(GlobalSparing(32), width, p, 4000);
+  const double local = mc_coverage(LocalSparing(4, 1), width, p, 4000);
+  EXPECT_GT(global, local);
+  EXPECT_GT(global, 0.99);
+}
+
+TEST(McCoverage, MoreSparesNeverHurt) {
+  const double few = mc_coverage(GlobalSparing(2), 64, 0.05, 4000);
+  const double many = mc_coverage(GlobalSparing(8), 64, 0.05, 4000);
+  EXPECT_GE(many, few);
+}
+
+TEST(McCoverageDelay, TightClockFailsLooseClockPasses) {
+  const device::VariationModel vm(device::tech_90nm());
+  const ChipDelaySampler sampler(vm, 0.55);
+  const GlobalSparing scheme(8);
+  const double nominal = sampler.nominal_path_delay();
+  // A clock at nominal path delay is hopeless (every lane max > nominal);
+  // a 2x clock is trivially met.
+  const double tight = mc_coverage_delay(scheme, sampler, 128, nominal, 300);
+  const double loose =
+      mc_coverage_delay(scheme, sampler, 128, 2.0 * nominal, 300);
+  EXPECT_LT(tight, 0.05);
+  EXPECT_GT(loose, 0.99);
+}
+
+TEST(McCoverageDelay, GlobalBeatsLocalUnderDelayFaults) {
+  const device::VariationModel vm(device::tech_90nm());
+  const ChipDelaySampler sampler(vm, 0.55);
+  // Pick a clock where faults are common enough to matter (a few percent
+  // of lanes): ~4% above nominal lane delay at this voltage.
+  const double t_clk = sampler.nominal_path_delay() * 1.055;
+  const double global =
+      mc_coverage_delay(GlobalSparing(32), sampler, 128, t_clk, 2000);
+  const double local =
+      mc_coverage_delay(LocalSparing(4, 1), sampler, 128, t_clk, 2000);
+  EXPECT_GE(global, local);
+}
+
+TEST(SparingSchemes, NamesAreDescriptive) {
+  EXPECT_EQ(GlobalSparing(3).name(), "global(3 spares)");
+  EXPECT_EQ(LocalSparing(4, 1).name(), "local(1 per 4)");
+  EXPECT_EQ(HybridSparing(4, 1, 2).name(), "hybrid(1 per 4 + 2 pooled)");
+}
+
+TEST(HybridSparing, PoolAbsorbsClusterOverflow) {
+  // 8 logical lanes, 2 clusters of (4 + 1 local), 2 pooled spares.
+  const HybridSparing scheme(4, 1, 2);
+  ASSERT_EQ(scheme.physical_lanes(8), 12);
+  std::vector<std::uint8_t> faulty(12, 0);
+  // Two faults in cluster 0: local spare takes one, pool takes one.
+  faulty[0] = faulty[1] = 1;
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+  // Three in one cluster: overflow 2, pool has 2.
+  faulty[2] = 1;
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+  // Four: overflow 3 > pool.
+  faulty[3] = 1;
+  EXPECT_FALSE(scheme.covers(faulty, 8));
+}
+
+TEST(HybridSparing, FaultyPoolLanesShrinkThePool) {
+  const HybridSparing scheme(4, 1, 2);
+  std::vector<std::uint8_t> faulty(12, 0);
+  faulty[0] = faulty[1] = 1;  // Overflow 1 from cluster 0.
+  faulty[10] = faulty[11] = 1;  // Whole pool dead.
+  EXPECT_FALSE(scheme.covers(faulty, 8));
+  faulty[11] = 0;  // One pool lane survives.
+  EXPECT_TRUE(scheme.covers(faulty, 8));
+}
+
+TEST(HybridSparing, BeatsPureLocalAtEqualBudget) {
+  // Same 32-lane budget for 128 logical lanes: local 1-per-4 (32 local)
+  // vs hybrid 16 local (1-per-8) + 16 pooled.
+  const double p = 0.05;
+  const double local = mc_coverage(LocalSparing(4, 1), 128, p, 4000);
+  const double hybrid = mc_coverage(HybridSparing(8, 1, 16), 128, p, 4000);
+  EXPECT_GT(hybrid, local);
+}
+
+TEST(HybridSparing, GlobalIsTheBestExtreme) {
+  const double p = 0.08;
+  const double global = mc_coverage(GlobalSparing(32), 128, p, 4000);
+  const double hybrid = mc_coverage(HybridSparing(8, 1, 16), 128, p, 4000);
+  EXPECT_GE(global + 0.01, hybrid);
+}
+
+}  // namespace
+}  // namespace ntv::arch

@@ -1,0 +1,146 @@
+#include "arch/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/tech_node.h"
+#include "stats/descriptive.h"
+
+namespace ntv::arch {
+namespace {
+
+const device::VariationModel& model90() {
+  static const device::VariationModel vm(device::tech_90nm());
+  return vm;
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  stats::Summary sa(a), sb(b);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+TEST(SpatialChipSampler, LevelsForPowersOfTwo) {
+  EXPECT_EQ(SpatialChipSampler::levels_for(1), 1);
+  EXPECT_EQ(SpatialChipSampler::levels_for(2), 2);
+  EXPECT_EQ(SpatialChipSampler::levels_for(128), 8);
+  EXPECT_EQ(SpatialChipSampler::levels_for(100), 8);
+}
+
+TEST(SpatialChipSampler, TotalSystematicVarianceIsPreserved) {
+  // Whatever the level split, a lane's total systematic Vth variance must
+  // equal the calibrated sigma_vth_sys^2.
+  for (double root : {0.2, 0.5, 1.0}) {
+    SpatialConfig config;
+    config.root_fraction = root;
+    const SpatialChipSampler sampler(model90(), 0.55, config);
+    stats::Xoshiro256pp rng(3);
+    stats::Summary lane0;
+    std::vector<double> shifts(128);
+    for (int trial = 0; trial < 20000; ++trial) {
+      sampler.sample_lane_shifts(rng, shifts);
+      lane0.add(shifts[0]);
+    }
+    EXPECT_NEAR(lane0.stddev(), model90().params().sigma_vth_sys,
+                0.03 * model90().params().sigma_vth_sys)
+        << "root=" << root;
+  }
+}
+
+TEST(SpatialChipSampler, CorrelationDecaysWithDistance) {
+  SpatialConfig config;
+  config.root_fraction = 0.3;
+  const SpatialChipSampler sampler(model90(), 0.55, config);
+  stats::Xoshiro256pp rng(5);
+  constexpr int kTrials = 8000;
+  std::vector<double> l0(kTrials), l1(kTrials), l64(kTrials),
+      l127(kTrials);
+  std::vector<double> shifts(128);
+  for (int t = 0; t < kTrials; ++t) {
+    sampler.sample_lane_shifts(rng, shifts);
+    l0[static_cast<std::size_t>(t)] = shifts[0];
+    l1[static_cast<std::size_t>(t)] = shifts[1];
+    l64[static_cast<std::size_t>(t)] = shifts[64];
+    l127[static_cast<std::size_t>(t)] = shifts[127];
+  }
+  const double near = correlation(l0, l1);
+  const double mid = correlation(l0, l64);
+  const double far = correlation(l0, l127);
+  EXPECT_GT(near, 0.9);           // Adjacent: share almost every level.
+  EXPECT_GT(near, mid + 0.1);     // Decay with distance.
+  EXPECT_GE(mid + 0.05, far);     // Monotone-ish.
+  EXPECT_GT(far, 0.1);            // Root level always shared.
+  EXPECT_LT(far, 0.6);
+}
+
+TEST(SpatialChipSampler, RootFractionOneIsSharedDie) {
+  SpatialConfig config;
+  config.root_fraction = 1.0;
+  const SpatialChipSampler sampler(model90(), 0.55, config);
+  stats::Xoshiro256pp rng(7);
+  std::vector<double> shifts(128);
+  sampler.sample_lane_shifts(rng, shifts);
+  for (double s : shifts) EXPECT_DOUBLE_EQ(s, shifts[0]);
+}
+
+TEST(SpatialChipSampler, LaneDelaysHaveChainScale) {
+  const SpatialChipSampler sampler(model90(), 0.55);
+  stats::Xoshiro256pp rng(9);
+  std::vector<double> lanes(128);
+  sampler.sample_lanes(rng, lanes);
+  const double nominal =
+      50.0 * model90().gate_model().fo4_delay(0.55);
+  for (double lane : lanes) {
+    EXPECT_GT(lane, 0.9 * nominal);
+    EXPECT_LT(lane, 1.4 * nominal);
+  }
+}
+
+TEST(SpatialChipSampler, FaultsAreSpatiallyBursty) {
+  // Mark the slowest 10% of lanes faulty; under spatial correlation the
+  // faults cluster, so the count of adjacent faulty pairs exceeds the
+  // i.i.d. expectation.
+  SpatialConfig config;
+  config.root_fraction = 0.2;  // Most variance in local segments.
+  const SpatialChipSampler sampler(model90(), 0.55, config);
+  stats::Xoshiro256pp rng(11);
+  std::vector<double> lanes(128);
+  long adjacent_pairs = 0;
+  long faults = 0;
+  constexpr int kTrials = 800;
+  for (int t = 0; t < kTrials; ++t) {
+    sampler.sample_lanes(rng, lanes);
+    std::vector<double> sorted = lanes;
+    std::nth_element(sorted.begin(), sorted.begin() + 115, sorted.end());
+    const double threshold = sorted[115];
+    std::vector<bool> faulty(128);
+    for (int i = 0; i < 128; ++i) {
+      faulty[static_cast<std::size_t>(i)] = lanes[static_cast<std::size_t>(i)] > threshold;
+      faults += faulty[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i + 1 < 128; ++i) {
+      adjacent_pairs += faulty[static_cast<std::size_t>(i)] &&
+                        faulty[static_cast<std::size_t>(i + 1)];
+    }
+  }
+  // iid expectation: 127 pairs * (12/128)^2 ~ 1.1 per trial.
+  const double observed =
+      static_cast<double>(adjacent_pairs) / kTrials;
+  EXPECT_GT(observed, 1.3);
+}
+
+TEST(SpatialChipSampler, RejectsBadConfig) {
+  SpatialConfig config;
+  config.root_fraction = 1.5;
+  EXPECT_THROW(SpatialChipSampler(model90(), 0.55, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::arch

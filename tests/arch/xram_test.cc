@@ -1,0 +1,108 @@
+#include "arch/xram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ntv::arch {
+namespace {
+
+TEST(XramCrossbar, StartsUnrouted) {
+  const XramCrossbar x(4, 4);
+  for (int o = 0; o < 4; ++o) {
+    EXPECT_EQ(x.route(o), XramCrossbar::kUnrouted);
+  }
+}
+
+TEST(XramCrossbar, RoutesAndApplies) {
+  XramCrossbar x(4, 4);
+  x.program(std::vector<int>{3, 2, 1, 0});  // Reverse.
+  const std::vector<int> in = {10, 20, 30, 40};
+  std::vector<int> out(4);
+  x.apply<int>(in, out);
+  EXPECT_EQ(out, (std::vector<int>{40, 30, 20, 10}));
+}
+
+TEST(XramCrossbar, BroadcastIsAllowed) {
+  // Multiple outputs may select the same input (shuffle semantics).
+  XramCrossbar x(2, 4);
+  x.program(std::vector<int>{0, 0, 1, 1});
+  const std::vector<int> in = {7, 9};
+  std::vector<int> out(4);
+  x.apply<int>(in, out);
+  EXPECT_EQ(out, (std::vector<int>{7, 7, 9, 9}));
+}
+
+TEST(XramCrossbar, UnroutedOutputsGetFill) {
+  XramCrossbar x(2, 2);
+  x.set_route(0, 1);
+  const std::vector<int> in = {5, 6};
+  std::vector<int> out(2);
+  x.apply<int>(in, out, -1);
+  EXPECT_EQ(out[0], 6);
+  EXPECT_EQ(out[1], -1);
+}
+
+TEST(XramCrossbar, MultipleContexts) {
+  XramCrossbar x(2, 2, 2);
+  x.select_context(0);
+  x.program(std::vector<int>{0, 1});
+  x.select_context(1);
+  x.program(std::vector<int>{1, 0});
+
+  const std::vector<int> in = {1, 2};
+  std::vector<int> out(2);
+  x.select_context(0);
+  x.apply<int>(in, out);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  x.select_context(1);
+  x.apply<int>(in, out);
+  EXPECT_EQ(out, (std::vector<int>{2, 1}));
+}
+
+TEST(XramCrossbar, ValidatesArguments) {
+  XramCrossbar x(2, 2);
+  EXPECT_THROW(x.set_route(2, 0), std::out_of_range);
+  EXPECT_THROW(x.set_route(0, 5), std::out_of_range);
+  EXPECT_THROW(x.select_context(1), std::out_of_range);
+  EXPECT_THROW(XramCrossbar(0, 2), std::invalid_argument);
+  const std::vector<int> in = {1};
+  std::vector<int> out(2);
+  EXPECT_THROW(x.apply<int>(in, out), std::invalid_argument);
+}
+
+TEST(XramCrossbar, BypassMappingSkipsFaulty) {
+  // Fig. 12(c): 10 FUs (8 + 2 spares) with FU-2 and FU-3 faulty.
+  const std::vector<std::uint8_t> faulty = {0, 0, 1, 1, 0, 0, 0, 0, 0, 0};
+  const auto map = XramCrossbar::bypass_mapping(faulty, 8);
+  ASSERT_TRUE(map.has_value());
+  EXPECT_EQ(*map, (std::vector<int>{0, 1, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(XramCrossbar, BypassMappingAllHealthyIsIdentity) {
+  const std::vector<std::uint8_t> faulty(8, 0);
+  const auto map = XramCrossbar::bypass_mapping(faulty, 8);
+  ASSERT_TRUE(map.has_value());
+  std::vector<int> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(*map, identity);
+}
+
+TEST(XramCrossbar, BypassMappingFailsWhenTooManyFaults) {
+  const std::vector<std::uint8_t> faulty = {1, 1, 1, 0, 0};
+  EXPECT_FALSE(XramCrossbar::bypass_mapping(faulty, 4).has_value());
+}
+
+TEST(XramCrossbar, CrosspointsGrowWithSpares) {
+  // The paper's caveat: widening the crossbar for spares grows its
+  // area/power quadratically.
+  const XramCrossbar base(128, 128);
+  const XramCrossbar spared(156, 156);
+  EXPECT_GT(spared.crosspoints(), base.crosspoints());
+  EXPECT_NEAR(static_cast<double>(spared.crosspoints()) / base.crosspoints(),
+              (156.0 * 156.0) / (128.0 * 128.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace ntv::arch

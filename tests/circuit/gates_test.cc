@@ -1,0 +1,150 @@
+#include "circuit/gates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/gate_delay.h"
+#include "device/variation.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace ntv::circuit {
+namespace {
+
+TEST(InverterChain, BuilderValidatesInput) {
+  ChainConfig bad;
+  bad.stages = 0;
+  EXPECT_THROW(build_inverter_chain(device::tech_90nm(), bad, nullptr,
+                                    nullptr),
+               std::invalid_argument);
+  ChainConfig mismatch;
+  mismatch.stages = 3;
+  mismatch.variation.resize(2);
+  EXPECT_THROW(build_inverter_chain(device::tech_90nm(), mismatch, nullptr,
+                                    nullptr),
+               std::invalid_argument);
+}
+
+TEST(InverterChain, MeasuresEveryStage) {
+  ChainConfig config;
+  config.stages = 5;
+  config.vdd = 1.0;
+  const ChainTiming timing = measure_chain(device::tech_90nm(), config);
+  ASSERT_TRUE(timing.ok);
+  ASSERT_EQ(timing.stage_delays.size(), 5u);
+  for (double d : timing.stage_delays) EXPECT_GT(d, 0.0);
+  EXPECT_GT(timing.total_delay, 0.0);
+}
+
+TEST(InverterChain, TotalIsSumOfStages) {
+  ChainConfig config;
+  config.stages = 6;
+  config.vdd = 0.8;
+  const ChainTiming timing = measure_chain(device::tech_90nm(), config);
+  ASSERT_TRUE(timing.ok);
+  double sum = 0.0;
+  for (double d : timing.stage_delays) sum += d;
+  EXPECT_NEAR(timing.total_delay, sum, 1e-15);
+}
+
+TEST(Fo4Spice, TracksAnalyticModelAcrossVoltage) {
+  // The mini-SPICE and the closed-form model share the current equation;
+  // their delay *ratios* across voltage must agree closely. At 0.5 V the
+  // slow input ramp through the exponential region adds real delay the
+  // step-input closed form does not see, so the band widens there.
+  const device::GateDelayModel model(device::tech_90nm());
+  const double spice_1v = fo4_delay_spice(device::tech_90nm(), 1.0);
+  ASSERT_GT(spice_1v, 0.0);
+  for (double v : {0.8, 0.6, 0.5}) {
+    const double spice = fo4_delay_spice(device::tech_90nm(), v);
+    ASSERT_GT(spice, 0.0) << "v=" << v;
+    const double spice_ratio = spice / spice_1v;
+    const double model_ratio = model.fo4_delay(v) / model.fo4_delay(1.0);
+    const double band = (v <= 0.5 ? 0.25 : 0.15) * model_ratio;
+    EXPECT_NEAR(spice_ratio, model_ratio, band) << "v=" << v;
+  }
+}
+
+TEST(Fo4Spice, DelayScalesWithLoad) {
+  const double d1 = fo4_delay_spice(device::tech_90nm(), 0.8, 4e-15);
+  const double d2 = fo4_delay_spice(device::tech_90nm(), 0.8, 8e-15);
+  EXPECT_NEAR(d2 / d1, 2.0, 0.15);
+}
+
+TEST(InverterChain, SlowDeviceSlowsItsStage) {
+  ChainConfig nominal;
+  nominal.stages = 4;
+  nominal.vdd = 0.6;
+  const ChainTiming base = measure_chain(device::tech_90nm(), nominal);
+  ASSERT_TRUE(base.ok);
+
+  ChainConfig slowed = nominal;
+  slowed.variation.resize(4);
+  slowed.variation[2].nmos.dvth = 0.04;  // Slow stage 2's pulldown.
+  slowed.variation[2].pmos.dvth = 0.04;
+  const ChainTiming slow = measure_chain(device::tech_90nm(), slowed);
+  ASSERT_TRUE(slow.ok);
+
+  EXPECT_GT(slow.stage_delays[2], 1.2 * base.stage_delays[2]);
+  // Other stages barely move.
+  EXPECT_NEAR(slow.stage_delays[1], base.stage_delays[1],
+              0.05 * base.stage_delays[1]);
+}
+
+TEST(InverterChain, CircuitMonteCarloMatchesStatisticalModel) {
+  // Small circuit-level MC: the spread of a 5-stage chain with injected
+  // per-device Vth variation should match the analytic chain model within
+  // coarse bounds. This ties the two substrates together.
+  const device::TechNode& tech = device::tech_90nm();
+  const device::VariationModel vm(tech);
+  stats::Xoshiro256pp rng(21);
+
+  const int stages = 5;
+  const double vdd = 0.6;
+  stats::Summary spice;
+  for (int trial = 0; trial < 24; ++trial) {
+    ChainConfig config;
+    config.stages = stages;
+    config.vdd = vdd;
+    config.variation.resize(stages);
+    for (auto& var : config.variation) {
+      var.nmos = vm.sample_gate(rng);
+      var.pmos = vm.sample_gate(rng);
+    }
+    const ChainTiming timing = measure_chain(tech, config);
+    ASSERT_TRUE(timing.ok);
+    spice.add(timing.total_delay);
+  }
+  // Analytic 5-stage chain sigma/mu (random-only); sampling error with 24
+  // trials is large, so only demand the right ballpark (within 2.5x).
+  const device::GateDelayModel m(tech);
+  const double pred =
+      predict_chain_pct(m, vm.params(), vdd, stages);
+  const double got = spice.three_sigma_over_mu_pct();
+  EXPECT_GT(got, pred / 2.5);
+  EXPECT_LT(got, pred * 2.5);
+}
+
+TEST(RingOscillator, PeriodIsTwoNStageDelays) {
+  const double period = ring_oscillator_period(device::tech_90nm(), 5, 1.0);
+  ASSERT_GT(period, 0.0);
+  const double fo4 = fo4_delay_spice(device::tech_90nm(), 1.0);
+  EXPECT_NEAR(period, 2.0 * 5.0 * fo4, 0.25 * period);
+}
+
+TEST(RingOscillator, RejectsEvenStageCount) {
+  EXPECT_THROW(ring_oscillator_period(device::tech_90nm(), 4, 1.0),
+               std::invalid_argument);
+}
+
+TEST(RingOscillator, SlowerAtLowVoltage) {
+  const double fast = ring_oscillator_period(device::tech_90nm(), 3, 1.0);
+  const double slow = ring_oscillator_period(device::tech_90nm(), 3, 0.6);
+  ASSERT_GT(fast, 0.0);
+  ASSERT_GT(slow, 0.0);
+  EXPECT_GT(slow, 2.0 * fast);
+}
+
+}  // namespace
+}  // namespace ntv::circuit

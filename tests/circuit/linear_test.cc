@@ -1,0 +1,90 @@
+#include "circuit/linear.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntv::circuit {
+namespace {
+
+TEST(LuSolve, SolvesIdentity) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 1.0;
+  std::vector<double> b = {3.0, 4.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 4.0);
+}
+
+TEST(LuSolve, Solves2x2) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> b = {2.0, 7.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(lu_solve(a, b));
+}
+
+TEST(LuSolve, DimensionMismatchThrows) {
+  DenseMatrix a(2, 3);
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(lu_solve(a, b), std::invalid_argument);
+}
+
+TEST(LuSolve, LargerSystemRoundTrip) {
+  // Random-ish well-conditioned system: A = D + small off-diagonals.
+  const std::size_t n = 20;
+  DenseMatrix a(n, n);
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = static_cast<double>(i) - 7.5;
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = (i == j) ? 10.0 : 1.0 / static_cast<double>(i + j + 2);
+    }
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+  }
+  ASSERT_TRUE(lu_solve(a, b));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(DenseMatrix, ClearZeroes) {
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 5.0;
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace ntv::circuit

@@ -1,0 +1,157 @@
+#include "circuit/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/tech_node.h"
+
+namespace ntv::circuit {
+namespace {
+
+TEST(DcOperatingPoint, ResistorDivider) {
+  Netlist nl(device::tech_90nm());
+  const NodeId vin = nl.add_node("vin");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource(vin, kGround, 2.0);
+  nl.add_resistor(vin, mid, 1000.0);
+  nl.add_resistor(mid, kGround, 1000.0);
+  const DcResult dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[mid - 1], 1.0, 1e-5);
+}
+
+TEST(DcOperatingPoint, VsourceBranchCurrent) {
+  Netlist nl(device::tech_90nm());
+  const NodeId vin = nl.add_node("vin");
+  nl.add_vsource(vin, kGround, 5.0);
+  nl.add_resistor(vin, kGround, 1000.0);
+  const DcResult dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  // Branch current flows out of the + terminal: -5 mA into the source row.
+  EXPECT_NEAR(dc.x[nl.node_count()], -5e-3, 1e-6);
+}
+
+TEST(DcOperatingPoint, InverterRails) {
+  Netlist nl(device::tech_90nm());
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource(vdd, kGround, 1.0);
+  nl.add_vsource(in, kGround, 0.0);
+  nl.add_mosfet({MosType::kNmos, out, in, kGround, 1.0, 0.0, 1.0});
+  nl.add_mosfet({MosType::kPmos, out, in, vdd, 2.0, 0.0, 1.0});
+  const DcResult dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[out - 1], 1.0, 1e-3);  // Input low -> output high.
+}
+
+TEST(DcOperatingPoint, InverterRailsOtherWay) {
+  Netlist nl(device::tech_90nm());
+  const NodeId vdd = nl.add_node("vdd");
+  const NodeId in = nl.add_node("in");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource(vdd, kGround, 1.0);
+  nl.add_vsource(in, kGround, 1.0);
+  nl.add_mosfet({MosType::kNmos, out, in, kGround, 1.0, 0.0, 1.0});
+  nl.add_mosfet({MosType::kPmos, out, in, vdd, 2.0, 0.0, 1.0});
+  const DcResult dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[out - 1], 0.0, 1e-3);
+}
+
+TEST(Transient, RcChargeCurve) {
+  // R = 1k, C = 1pF, tau = 1ns: v(t) = 1 - exp(-t/tau).
+  Netlist nl(device::tech_90nm());
+  const NodeId vin = nl.add_node("vin");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource_pwl(vin, kGround, {{0.0, 0.0}, {1e-12, 1.0}});
+  nl.add_resistor(vin, out, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 5e-12;
+  const TransientResult tr = transient(nl, opt);
+  ASSERT_TRUE(tr.ok);
+
+  const auto& w = tr.at(out);
+  // Check v(tau) ~ 0.632 and v(3 tau) ~ 0.950.
+  const auto idx_of = [&](double t) {
+    return static_cast<std::size_t>(t / opt.dt);
+  };
+  EXPECT_NEAR(w.value(idx_of(1e-9)), 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(w.value(idx_of(3e-9)), 1.0 - std::exp(-3.0), 0.01);
+}
+
+TEST(Transient, RcCrossingTimeMatchesTheory) {
+  Netlist nl(device::tech_90nm());
+  const NodeId vin = nl.add_node("vin");
+  const NodeId out = nl.add_node("out");
+  nl.add_vsource_pwl(vin, kGround, {{0.0, 0.0}, {1e-12, 1.0}});
+  nl.add_resistor(vin, out, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-12);
+  TransientOptions opt;
+  opt.t_stop = 5e-9;
+  opt.dt = 2e-12;
+  const TransientResult tr = transient(nl, opt);
+  ASSERT_TRUE(tr.ok);
+  const auto cross = tr.at(out).crossing(0.5, true);
+  ASSERT_TRUE(cross.has_value());
+  // t_50 = tau * ln 2 ~ 0.693 ns.
+  EXPECT_NEAR(*cross, 0.693e-9, 0.02e-9);
+}
+
+TEST(Transient, CapacitorDividerConservesCharge) {
+  // Two series caps from a stepped source: midpoint = C1/(C1+C2) ratio.
+  Netlist nl(device::tech_90nm());
+  const NodeId vin = nl.add_node("vin");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_vsource_pwl(vin, kGround, {{0.0, 0.0}, {1e-12, 1.0}});
+  nl.add_capacitor(vin, mid, 2e-15);
+  nl.add_capacitor(mid, kGround, 2e-15);
+  // A weak bleed resistor defines the DC point without affecting the step.
+  nl.add_resistor(mid, kGround, 1e12);
+  TransientOptions opt;
+  opt.t_stop = 1e-10;
+  opt.dt = 1e-13;
+  const TransientResult tr = transient(nl, opt);
+  ASSERT_TRUE(tr.ok);
+  EXPECT_NEAR(tr.at(mid).last(), 0.5, 0.01);
+}
+
+TEST(Waveform, CrossingInterpolates) {
+  Waveform w(0.0, 1.0);
+  w.push(0.0);
+  w.push(1.0);
+  const auto c = w.crossing(0.25, true);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(*c, 0.25, 1e-12);
+}
+
+TEST(Waveform, NoCrossingReturnsNullopt) {
+  Waveform w(0.0, 1.0);
+  w.push(0.0);
+  w.push(0.1);
+  EXPECT_FALSE(w.crossing(0.5, true).has_value());
+  EXPECT_FALSE(w.crossing(0.05, false).has_value());
+}
+
+TEST(VSource, PwlInterpolation) {
+  VSource src;
+  src.pwl = {{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}};
+  EXPECT_DOUBLE_EQ(src.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(src.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(src.value(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(src.value(10.0), 2.0);
+}
+
+TEST(VSource, EmptyPwlHoldsDc) {
+  VSource src;
+  src.dc = 1.5;
+  EXPECT_DOUBLE_EQ(src.value(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(src.value(1e9), 1.5);
+}
+
+}  // namespace
+}  // namespace ntv::circuit

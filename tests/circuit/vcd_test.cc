@@ -1,0 +1,89 @@
+#include "circuit/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "device/tech_node.h"
+
+namespace ntv::circuit {
+namespace {
+
+struct RcFixture {
+  Netlist netlist{device::tech_90nm()};
+  TransientResult result;
+
+  RcFixture() {
+    const NodeId vin = netlist.add_node("vin");
+    const NodeId out = netlist.add_node("out");
+    netlist.add_vsource_pwl(vin, kGround, {{0.0, 0.0}, {1e-12, 1.0}});
+    netlist.add_resistor(vin, out, 1000.0);
+    netlist.add_capacitor(out, kGround, 1e-12);
+    TransientOptions opt;
+    opt.t_stop = 2e-9;
+    opt.dt = 1e-11;
+    result = transient(netlist, opt);
+  }
+};
+
+TEST(Vcd, ContainsHeaderAndSignals) {
+  RcFixture fixture;
+  ASSERT_TRUE(fixture.result.ok);
+  const std::string vcd = to_vcd(fixture.netlist, fixture.result);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64"), std::string::npos);
+  EXPECT_NE(vcd.find(" vin "), std::string::npos);
+  EXPECT_NE(vcd.find(" out "), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsTimestampsAndRealValues) {
+  RcFixture fixture;
+  const std::string vcd = to_vcd(fixture.netlist, fixture.result);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+  EXPECT_NE(vcd.find("\nr"), std::string::npos);
+  // The RC output reaches 1-e^-2 ~ 0.86 V by the end of the run.
+  EXPECT_NE(vcd.find("r0.8"), std::string::npos);  // v(2ns) = 1-e^-2 ~ 0.86.
+}
+
+TEST(Vcd, ResolutionSuppressesChatter) {
+  RcFixture fixture;
+  VcdOptions coarse;
+  coarse.resolution = 0.5;  // Only half-volt changes recorded.
+  VcdOptions fine;
+  fine.resolution = 1e-9;
+  const std::string small = to_vcd(fixture.netlist, fixture.result, coarse);
+  const std::string large = to_vcd(fixture.netlist, fixture.result, fine);
+  EXPECT_LT(small.size(), large.size() / 2);
+}
+
+TEST(Vcd, RejectsFailedTransient) {
+  RcFixture fixture;
+  TransientResult bad;  // ok == false.
+  EXPECT_THROW(to_vcd(fixture.netlist, bad), std::invalid_argument);
+}
+
+TEST(Vcd, WritesFile) {
+  RcFixture fixture;
+  const std::string path = ::testing::TempDir() + "/ntv_test.vcd";
+  write_vcd(path, fixture.netlist, fixture.result);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_NE(buffer.str().find("$enddefinitions"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, WriteToBadPathThrows) {
+  RcFixture fixture;
+  EXPECT_THROW(
+      write_vcd("/nonexistent_dir_xyz/file.vcd", fixture.netlist,
+                fixture.result),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ntv::circuit

@@ -1,0 +1,75 @@
+#include "core/body_bias.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::core {
+namespace {
+
+MitigationConfig quick() {
+  MitigationConfig config;
+  config.chip_samples = 2000;
+  return config;
+}
+
+TEST(BodyBiasSolver, BiasSpeedsUpChip) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const double unbiased = solver.chip_delay_p99_biased(0.55, 0.0);
+  const double biased = solver.chip_delay_p99_biased(0.55, 0.02);
+  EXPECT_LT(biased, unbiased);
+}
+
+TEST(BodyBiasSolver, RequiredBiasIsMillivoltScale) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const auto result = solver.required_bias(0.55);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.delta_vth, 0.5e-3);
+  EXPECT_LT(result.delta_vth, 20e-3);
+}
+
+TEST(BodyBiasSolver, BiasMeetsTarget) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const auto result = solver.required_bias(0.55);
+  ASSERT_TRUE(result.feasible);
+  const double target = solver.baseline().target_delay(0.55);
+  EXPECT_LE(solver.chip_delay_p99_biased(0.55, result.delta_vth),
+            target * (1.0 + 1e-9));
+}
+
+TEST(BodyBiasSolver, LeakageMultiplierIsExponentialInDelta) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const double m1 = solver.leakage_multiplier(0.55, 0.01);
+  const double m2 = solver.leakage_multiplier(0.55, 0.02);
+  EXPECT_GT(m1, 1.0);
+  // In deep subthreshold the multiplier compounds: m(2d) ~ m(d)^2.
+  EXPECT_NEAR(m2, m1 * m1, 0.05 * m2);
+}
+
+TEST(BodyBiasSolver, LeakageShareGrowsTowardLowVoltage) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  EXPECT_GT(solver.leakage_share(0.5), solver.leakage_share(1.0));
+}
+
+TEST(BodyBiasSolver, MoreBiasNeededAtLowerVoltage) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const auto at_low = solver.required_bias(0.50);
+  const auto at_high = solver.required_bias(0.65);
+  ASSERT_TRUE(at_low.feasible);
+  ASSERT_TRUE(at_high.feasible);
+  EXPECT_GT(at_low.delta_vth, at_high.delta_vth);
+}
+
+TEST(BodyBiasSolver, PowerOverheadIsPositiveAndBounded) {
+  const BodyBiasSolver solver(device::tech_90nm(), quick());
+  const auto result = solver.required_bias(0.55);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.power_overhead, 0.0);
+  EXPECT_LT(result.power_overhead, 0.25);
+}
+
+TEST(BodyBiasSolver, RejectsBadLeakShare) {
+  EXPECT_THROW(BodyBiasSolver(device::tech_90nm(), quick(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::core

@@ -1,0 +1,78 @@
+#include "core/operating_point.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::core {
+namespace {
+
+MitigationConfig quick() {
+  MitigationConfig config;
+  config.chip_samples = 2000;
+  return config;
+}
+
+OperatingPointFinder& finder() {
+  static OperatingPointFinder f(device::tech_90nm(), quick());
+  return f;
+}
+
+TEST(OperatingPointFinder, NaiveVddInvertsNominalDelay) {
+  const device::GateDelayModel model(device::tech_90nm());
+  const double t_clk = 50.0 * model.fo4_delay(0.6);
+  const double v = finder().naive_vdd_for_clock(t_clk);
+  EXPECT_NEAR(v, 0.6, 1e-3);
+}
+
+TEST(OperatingPointFinder, NaiveVddClampsToRange) {
+  EXPECT_DOUBLE_EQ(finder().naive_vdd_for_clock(1e-12), 1.0);
+  EXPECT_DOUBLE_EQ(finder().naive_vdd_for_clock(1.0), 0.3);
+}
+
+TEST(OperatingPointFinder, EvaluateAppliesMarginToMeetClock) {
+  const device::GateDelayModel model(device::tech_90nm());
+  const double t_clk = 50.0 * model.fo4_delay(0.6);
+  // At exactly the naive voltage the sign-off delay misses the clock, so
+  // a positive margin must appear.
+  const auto point = finder().evaluate(0.6, t_clk);
+  ASSERT_TRUE(point.meets_clock);
+  EXPECT_GT(point.margin, 0.0);
+  EXPECT_LE(point.signoff_delay, t_clk * (1.0 + 1e-9));
+}
+
+TEST(OperatingPointFinder, SparesReduceRequiredMargin) {
+  const device::GateDelayModel model(device::tech_90nm());
+  const double t_clk = 50.0 * model.fo4_delay(0.6);
+  const auto plain = finder().evaluate(0.6, t_clk, 0);
+  const auto spared = finder().evaluate(0.6, t_clk, 8);
+  ASSERT_TRUE(plain.meets_clock);
+  ASSERT_TRUE(spared.meets_clock);
+  EXPECT_LT(spared.margin, plain.margin);
+}
+
+TEST(OperatingPointFinder, OptimizerPicksFeasibleMinimumEnergy) {
+  const device::GateDelayModel model(device::tech_90nm());
+  const double t_clk = 50.0 * model.fo4_delay(0.55);
+  const int spares[] = {0, 8};
+  const auto best = finder().optimize(t_clk, 0.50, 0.70, 0.05, spares);
+  ASSERT_TRUE(best.meets_clock);
+  // The optimum is the lowest feasible voltage region (energy rises with
+  // V), i.e. at or just above the naive voltage for this clock.
+  EXPECT_LT(best.vdd, 0.62);
+  EXPECT_GE(best.vdd + best.margin, 0.50);
+  // And it beats running at a clearly higher voltage.
+  const auto high = finder().evaluate(0.70, t_clk);
+  EXPECT_LT(best.energy, high.energy);
+}
+
+TEST(OperatingPointFinder, InfeasibleClockReportsNoFit) {
+  const auto best = finder().optimize(1e-12, 0.5, 0.7, 0.1);
+  EXPECT_FALSE(best.meets_clock);
+}
+
+TEST(OperatingPointFinder, ValidatesArguments) {
+  EXPECT_THROW(finder().evaluate(0.6, -1.0), std::invalid_argument);
+  EXPECT_THROW(finder().optimize(1e-9, 0.7, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::core

@@ -1,0 +1,106 @@
+// Parameterized property tests: mitigation invariants per technology node
+// (reduced Monte Carlo budgets; the benches run the paper's settings).
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "core/mitigation.h"
+#include "core/variation_study.h"
+
+namespace ntv::core {
+namespace {
+
+class NodeStudyTest
+    : public ::testing::TestWithParam<const device::TechNode*> {
+ protected:
+  NodeStudyTest() {
+    MitigationConfig config;
+    config.chip_samples = 2000;
+    study_ = std::make_unique<MitigationStudy>(*GetParam(), config);
+  }
+  MitigationStudy& study() { return *study_; }
+  const device::TechNode& node() { return *GetParam(); }
+
+ private:
+  std::unique_ptr<MitigationStudy> study_;
+};
+
+TEST_P(NodeStudyTest, DropIsZeroAtNominal) {
+  EXPECT_NEAR(study().performance_drop_pct(node().nominal_vdd), 0.0, 1e-9);
+}
+
+TEST_P(NodeStudyTest, DropIncreasesMonotonicallyTowardLowVoltage) {
+  double prev = -1.0;
+  for (double v = node().nominal_vdd; v >= 0.5 - 1e-9; v -= 0.1) {
+    const double drop = study().performance_drop_pct(v);
+    EXPECT_GT(drop, prev - 1e-6) << "v=" << v;
+    prev = drop;
+  }
+}
+
+TEST_P(NodeStudyTest, MarginShrinksTowardNominal) {
+  const auto low = study().required_voltage_margin(0.5);
+  const auto high = study().required_voltage_margin(
+      node().nominal_vdd - 0.1);
+  ASSERT_TRUE(low.feasible);
+  ASSERT_TRUE(high.feasible);
+  EXPECT_GE(low.margin, high.margin);
+}
+
+TEST_P(NodeStudyTest, MarginAtNominalIsZero) {
+  const auto result = study().required_voltage_margin(node().nominal_vdd);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.margin, 0.0, 1e-12);
+  EXPECT_NEAR(result.power_overhead, 0.0, 1e-12);
+}
+
+TEST_P(NodeStudyTest, FrequencyDropEqualsFig4Drop) {
+  const auto fm = study().frequency_margin(0.55);
+  EXPECT_NEAR(fm.drop_pct, study().performance_drop_pct(0.55), 0.1);
+}
+
+TEST_P(NodeStudyTest, SignoffDelayScalesWithFo4Unit) {
+  // fo4chipd is dimensionless: chip delay divided by the FO4 unit must
+  // be in the low-50s band everywhere (50 stages + max-shift).
+  for (double v : {0.5, 0.7, node().nominal_vdd}) {
+    const double fo4 = study().fo4_chip_delay_p99(v);
+    EXPECT_GT(fo4, 50.0) << "v=" << v;
+    EXPECT_LT(fo4, 75.0) << "v=" << v;
+  }
+}
+
+TEST_P(NodeStudyTest, CombinedChoicesAreParetoConsistent) {
+  const int alphas[] = {0, 4, 16};
+  const auto choices = study().explore_combined(0.6, alphas);
+  ASSERT_EQ(choices.size(), 3u);
+  // More spares always need less margin.
+  EXPECT_GE(choices[0].margin, choices[1].margin);
+  EXPECT_GE(choices[1].margin, choices[2].margin);
+}
+
+TEST_P(NodeStudyTest, VariationStudyAnchorsRoundTrip) {
+  // The Monte-Carlo-free study must reproduce the calibration anchors.
+  VariationStudy vs(node());
+  const auto& a = node().anchors;
+  EXPECT_NEAR(vs.chain_variation_pct(a.v_lo, 50), a.chain_lo_pct,
+              0.1 * a.chain_lo_pct);
+  EXPECT_NEAR(vs.chain_variation_pct(a.v_hi, 50), a.chain_hi_pct,
+              0.1 * a.chain_hi_pct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodes, NodeStudyTest, ::testing::ValuesIn([] {
+      std::vector<const device::TechNode*> nodes;
+      for (const device::TechNode* n : device::all_nodes()) nodes.push_back(n);
+      return nodes;
+    }()),
+    [](const ::testing::TestParamInfo<const device::TechNode*>& info) {
+      std::string name(info.param->name);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ntv::core

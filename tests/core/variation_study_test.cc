@@ -1,0 +1,106 @@
+#include "core/variation_study.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace ntv::core {
+namespace {
+
+const VariationStudy& study90() {
+  static const VariationStudy s(device::tech_90nm());
+  return s;
+}
+
+TEST(VariationStudy, Fig1SingleGateBands) {
+  // Paper Fig. 1(a): 15.58 % @1.0 V rising to 35.49 % @0.5 V. The LSQ
+  // card stays within 10 % of each reported value.
+  EXPECT_NEAR(study90().single_gate_variation_pct(1.0), 15.58, 1.6);
+  EXPECT_NEAR(study90().single_gate_variation_pct(0.6), 22.25, 2.2);
+  EXPECT_NEAR(study90().single_gate_variation_pct(0.5), 35.49, 3.5);
+}
+
+TEST(VariationStudy, Fig1ChainBands) {
+  // Paper Fig. 1(b).
+  EXPECT_NEAR(study90().chain_variation_pct(1.0, 50), 5.76, 0.6);
+  EXPECT_NEAR(study90().chain_variation_pct(0.6, 50), 6.81, 0.7);
+  EXPECT_NEAR(study90().chain_variation_pct(0.5, 50), 9.43, 0.95);
+}
+
+TEST(VariationStudy, ChainAveragingEffect) {
+  // The headline circuit-level observation: 2.3x single-gate growth from
+  // 1.0 V to 0.5 V collapses to ~1.6x for a 50-gate chain.
+  const double single_ratio = study90().single_gate_variation_pct(0.5) /
+                              study90().single_gate_variation_pct(1.0);
+  const double chain_ratio = study90().chain_variation_pct(0.5, 50) /
+                             study90().chain_variation_pct(1.0, 50);
+  EXPECT_GT(single_ratio, 2.0);
+  EXPECT_LT(chain_ratio, 1.8);
+}
+
+TEST(VariationStudy, Fig11DiminishingReturns) {
+  // Appendix C: d(3sigma/mu)/dN shrinks with N.
+  const double v = 0.55;
+  const double d1 = study90().chain_variation_pct(v, 1) -
+                    study90().chain_variation_pct(v, 10);
+  const double d2 = study90().chain_variation_pct(v, 10) -
+                    study90().chain_variation_pct(v, 100);
+  const double d3 = study90().chain_variation_pct(v, 100) -
+                    study90().chain_variation_pct(v, 200);
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, d3);
+  EXPECT_GT(d3, 0.0);
+}
+
+TEST(VariationStudy, StudyPointIsConsistent) {
+  const auto p = study90().study_point(0.6);
+  EXPECT_DOUBLE_EQ(p.vdd, 0.6);
+  EXPECT_NEAR(p.single_pct, study90().single_gate_variation_pct(0.6), 0.05);
+  EXPECT_NEAR(p.chain_pct, study90().chain_variation_pct(0.6, 50), 0.05);
+  EXPECT_NEAR(p.chain_mean, 50.0 * p.fo4_delay, 0.03 * p.chain_mean);
+}
+
+TEST(VariationStudy, McMatchesAnalytic) {
+  const auto sample = study90().mc_chain_delays(0.5, 50, 4000);
+  stats::Summary s(sample);
+  EXPECT_NEAR(s.three_sigma_over_mu_pct(),
+              study90().chain_variation_pct(0.5, 50), 0.8);
+}
+
+TEST(VariationStudy, McSingleGateMatchesAnalytic) {
+  const auto sample = study90().mc_single_gate_delays(0.5, 10000);
+  stats::Summary s(sample);
+  EXPECT_NEAR(s.three_sigma_over_mu_pct(),
+              study90().single_gate_variation_pct(0.5), 1.5);
+}
+
+TEST(VariationStudy, McIsSeedDeterministic) {
+  const auto a = study90().mc_chain_delays(0.6, 50, 100, 5);
+  const auto b = study90().mc_chain_delays(0.6, 50, 100, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VariationStudy, TechnologyScalingAt055V) {
+  // Section 3.1: scaling 90 nm -> 22 nm multiplies the 50-chain variation
+  // at 0.55 V by ~2.5x.
+  const VariationStudy s22(device::tech_22nm());
+  const double v90 = study90().chain_variation_pct(0.55, 50);
+  const double v22 = s22.chain_variation_pct(0.55, 50);
+  EXPECT_GT(v22 / v90, 1.9);
+  EXPECT_LT(v22 / v90, 3.2);
+}
+
+TEST(VariationStudy, Fig2MonotoneInVoltageForAllNodes) {
+  for (const device::TechNode* node : device::all_nodes()) {
+    const VariationStudy s(*node);
+    double prev = 1e9;
+    for (double v = 0.5; v <= node->nominal_vdd + 1e-9; v += 0.05) {
+      const double cur = s.chain_variation_pct(v, 50);
+      EXPECT_LT(cur, prev) << node->name << " v=" << v;
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ntv::core

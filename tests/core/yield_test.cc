@@ -1,0 +1,81 @@
+#include "core/yield.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::core {
+namespace {
+
+MitigationConfig quick() {
+  MitigationConfig config;
+  config.chip_samples = 3000;
+  return config;
+}
+
+YieldAnalysis& analysis() {
+  static YieldAnalysis a(device::tech_90nm(), quick());
+  return a;
+}
+
+TEST(YieldAnalysis, YieldIsMonotoneInClock) {
+  const auto curve = analysis().curve(0.55, 13e-9, 16e-9, 16);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].yield, curve[i - 1].yield);
+  }
+  EXPECT_LT(curve.front().yield, 0.05);
+  EXPECT_GT(curve.back().yield, 0.95);
+}
+
+TEST(YieldAnalysis, TclkForYieldInvertsYield) {
+  const double t99 = analysis().t_clk_for_yield(0.55, 0.99);
+  EXPECT_NEAR(analysis().yield(0.55, t99), 0.99, 0.005);
+}
+
+TEST(YieldAnalysis, P99ClockMatchesMitigationStudy) {
+  // The 99%-yield clock is by definition the sign-off delay.
+  const double t99 = analysis().t_clk_for_yield(0.55, 0.99);
+  EXPECT_NEAR(t99, analysis().study().chip_delay_p99(0.55), 0.002 * t99);
+}
+
+TEST(YieldAnalysis, SparesImproveYieldAtFixedClock) {
+  const double t_clk = analysis().t_clk_for_yield(0.55, 0.5);
+  const double y0 = analysis().yield(0.55, t_clk, 0);
+  const double y16 = analysis().yield(0.55, t_clk, 16);
+  EXPECT_GT(y16, y0 + 0.2);
+}
+
+TEST(YieldAnalysis, BinFractionsSumToOne) {
+  const double t50 = analysis().t_clk_for_yield(0.55, 0.5);
+  const double edges[] = {t50 * 0.98, t50, t50 * 1.02};
+  const auto bins = analysis().bin_fractions(0.55, edges);
+  ASSERT_EQ(bins.size(), 4u);
+  double sum = 0.0;
+  for (double b : bins) {
+    EXPECT_GE(b, 0.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The middle bins straddle the median, so each holds real mass.
+  EXPECT_GT(bins[1], 0.05);
+}
+
+TEST(YieldAnalysis, ValidatesArguments) {
+  EXPECT_THROW(analysis().yield(0.55, -1.0), std::invalid_argument);
+  EXPECT_THROW(analysis().t_clk_for_yield(0.55, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(analysis().t_clk_for_yield(0.55, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(analysis().curve(0.55, 2e-9, 1e-9, 10),
+               std::invalid_argument);
+  const double bad_edges[] = {2e-9, 1e-9};
+  EXPECT_THROW(analysis().bin_fractions(0.55, bad_edges),
+               std::invalid_argument);
+}
+
+TEST(YieldAnalysis, LowerVoltageNeedsSlowerClockForSameYield) {
+  const double t_a = analysis().t_clk_for_yield(0.60, 0.99);
+  const double t_b = analysis().t_clk_for_yield(0.55, 0.99);
+  EXPECT_GT(t_b, t_a);
+}
+
+}  // namespace
+}  // namespace ntv::core

@@ -1,0 +1,108 @@
+#include "device/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntv::device {
+namespace {
+
+TEST(Calibration, AllNodeCardsAreFeasible) {
+  for (const TechNode* node : all_nodes()) {
+    const GateDelayModel m(*node);
+    EXPECT_NO_THROW(calibrate_variation(m, node->anchors)) << node->name;
+  }
+}
+
+TEST(Calibration, TwoAnchorFitIsExact) {
+  // With exactly two anchors the solve is closed-form exact.
+  const TechNode& node = tech_45nm();
+  ASSERT_TRUE(node.anchors.series.empty());
+  const GateDelayModel m(node);
+  const VariationParams p = calibrate_variation(m, node.anchors);
+  const auto& a = node.anchors;
+  EXPECT_NEAR(predict_single_gate_pct(m, p, a.v_hi), a.single_hi_pct, 1e-6);
+  EXPECT_NEAR(predict_single_gate_pct(m, p, a.v_lo), a.single_lo_pct, 1e-6);
+  EXPECT_NEAR(predict_chain_pct(m, p, a.v_hi, 50), a.chain_hi_pct, 1e-6);
+  EXPECT_NEAR(predict_chain_pct(m, p, a.v_lo, 50), a.chain_lo_pct, 1e-6);
+}
+
+TEST(Calibration, SeriesFitResidualsAreSmall) {
+  // 90 nm uses the six-voltage Fig. 1 series; the 4-parameter model cannot
+  // be exact, but every prediction must stay within 8 % of the paper.
+  const TechNode& node = tech_90nm();
+  ASSERT_GE(node.anchors.series.size(), 3u);
+  const GateDelayModel m(node);
+  const VariationParams p = calibrate_variation(m, node.anchors);
+  for (const AnchorPoint& pt : node.anchors.series) {
+    EXPECT_NEAR(predict_single_gate_pct(m, p, pt.vdd), pt.single_pct,
+                0.08 * pt.single_pct)
+        << "V=" << pt.vdd;
+    EXPECT_NEAR(predict_chain_pct(m, p, pt.vdd, 50), pt.chain_pct,
+                0.08 * pt.chain_pct)
+        << "V=" << pt.vdd;
+  }
+}
+
+TEST(Calibration, SigmasArePhysicallyPlausible) {
+  for (const TechNode* node : all_nodes()) {
+    const GateDelayModel m(*node);
+    const VariationParams p = calibrate_variation(m, node->anchors);
+    // RDF+LER sigma_vth: single mV to tens of mV.
+    EXPECT_GT(p.sigma_vth_rand, 1e-3) << node->name;
+    EXPECT_LT(p.sigma_vth_rand, 60e-3) << node->name;
+    // Drive variation: below 15 %.
+    EXPECT_LT(p.sigma_mult_rand, 0.15) << node->name;
+    // Systematic parts are smaller than random parts.
+    EXPECT_LT(p.sigma_vth_sys, p.sigma_vth_rand) << node->name;
+  }
+}
+
+TEST(Calibration, ScalingIncreasesVthSigma) {
+  // RDF/LER grow as devices shrink.
+  const auto params_of = [](const TechNode& n) {
+    const GateDelayModel m(n);
+    return calibrate_variation(m, n.anchors);
+  };
+  EXPECT_GT(params_of(tech_22nm()).sigma_vth_rand,
+            params_of(tech_90nm()).sigma_vth_rand);
+}
+
+TEST(Calibration, PredictChainShrinksWithLength) {
+  const GateDelayModel m(tech_90nm());
+  const VariationParams p = calibrate_variation(m, tech_90nm().anchors);
+  double prev = predict_chain_pct(m, p, 0.55, 2);
+  for (int n : {5, 10, 50, 100}) {
+    const double cur = predict_chain_pct(m, p, 0.55, n);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Calibration, PredictChainHasSystematicFloor) {
+  // Appendix C: lengthening the chain cannot remove all variation — the
+  // systematic component survives.
+  const GateDelayModel m(tech_90nm());
+  const VariationParams p = calibrate_variation(m, tech_90nm().anchors);
+  const double g = m.sensitivity(0.55);
+  const double floor_pct =
+      300.0 * std::sqrt(g * g * p.sigma_vth_sys * p.sigma_vth_sys +
+                        p.sigma_mult_sys * p.sigma_mult_sys);
+  EXPECT_GT(predict_chain_pct(m, p, 0.55, 100000), 0.99 * floor_pct);
+}
+
+TEST(Calibration, RejectsInfeasibleAnchors) {
+  const GateDelayModel m(tech_90nm());
+  VariationAnchors bad = tech_45nm().anchors;
+  bad.chain_hi_pct = bad.single_hi_pct * 2.0;  // Chain can't exceed single.
+  EXPECT_THROW(calibrate_variation(m, bad), std::domain_error);
+}
+
+TEST(Calibration, RejectsShortChain) {
+  const GateDelayModel m(tech_90nm());
+  EXPECT_THROW(calibrate_variation(m, tech_90nm().anchors, 1),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,89 @@
+#include "device/gate_delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntv::device {
+namespace {
+
+TEST(GateDelayModel, ReferencePointIsExact) {
+  for (const TechNode* node : all_nodes()) {
+    const GateDelayModel m(*node);
+    EXPECT_NEAR(m.fo4_delay(node->fo4_ref_vdd), node->fo4_ref_delay,
+                1e-18)
+        << node->name;
+  }
+}
+
+TEST(GateDelayModel, Paper90nmChainDelays) {
+  // Section 3.2: a 50-FO4 chain takes 22.05 ns @0.5 V and 8.99 ns @0.6 V.
+  const GateDelayModel m(tech_90nm());
+  EXPECT_NEAR(50.0 * m.fo4_delay(0.5), 22.05e-9, 0.03 * 22.05e-9);
+  EXPECT_NEAR(50.0 * m.fo4_delay(0.6), 8.99e-9, 0.03 * 8.99e-9);
+}
+
+TEST(GateDelayModel, DelayFallsWithVdd) {
+  for (const TechNode* node : all_nodes()) {
+    const GateDelayModel m(*node);
+    double prev = m.fo4_delay(0.4);
+    for (double v = 0.45; v <= node->nominal_vdd; v += 0.05) {
+      const double cur = m.fo4_delay(v);
+      EXPECT_LT(cur, prev) << node->name << " v=" << v;
+      prev = cur;
+    }
+  }
+}
+
+TEST(GateDelayModel, NearThresholdSlowdownIsAboutTenX) {
+  // Section 2: ~10x performance degradation from nominal to NTV.
+  const GateDelayModel m(tech_90nm());
+  const double ratio = m.fo4_delay(0.5) / m.fo4_delay(1.0);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(GateDelayModel, HigherVthIsSlower) {
+  const GateDelayModel m(tech_90nm());
+  EXPECT_GT(m.delay(0.5, +0.02, 0.0), m.delay(0.5, 0.0, 0.0));
+  EXPECT_LT(m.delay(0.5, -0.02, 0.0), m.delay(0.5, 0.0, 0.0));
+}
+
+TEST(GateDelayModel, DriveMultiplierIsLinear) {
+  const GateDelayModel m(tech_90nm());
+  const double base = m.delay(0.7, 0.0, 0.0);
+  EXPECT_NEAR(m.delay(0.7, 0.0, 0.1), base * 1.1, 1e-18);
+  EXPECT_NEAR(m.delay(0.7, 0.0, -0.1), base * 0.9, 1e-18);
+}
+
+TEST(GateDelayModel, SensitivityMatchesNumericDerivative) {
+  const GateDelayModel m(tech_90nm());
+  for (double v : {0.5, 0.6, 0.8, 1.0}) {
+    const double h = 1e-6;
+    const double numeric =
+        (std::log(m.delay(v, h, 0.0)) - std::log(m.delay(v, -h, 0.0))) /
+        (2.0 * h);
+    EXPECT_NEAR(m.sensitivity(v), numeric, 1e-3) << "v=" << v;
+  }
+}
+
+TEST(GateDelayModel, SensitivityLargerAtNearThreshold) {
+  for (const TechNode* node : all_nodes()) {
+    const GateDelayModel m(*node);
+    EXPECT_GT(m.sensitivity(0.5), m.sensitivity(node->nominal_vdd))
+        << node->name;
+  }
+}
+
+TEST(GateDelayModel, VthShiftActsThroughCurrentModel) {
+  const GateDelayModel m(tech_90nm());
+  // delay(V, dvth) == nominal delay of a device whose Vth0 is shifted:
+  // D = scale * V / I(V, vth0 + dvth).
+  const double d1 = m.delay(0.6, 0.01, 0.0);
+  const double i_shifted = m.transistor().ion(0.6, tech_90nm().vth0 + 0.01);
+  const double i_nominal = m.transistor().ion(0.6, tech_90nm().vth0);
+  EXPECT_NEAR(d1 / m.fo4_delay(0.6), i_nominal / i_shifted, 1e-12);
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,125 @@
+#include "device/gate_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/calibration.h"
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace ntv::device {
+namespace {
+
+TEST(GateDistribution, MeanNearNominalDelay) {
+  const VariationModel vm(tech_90nm());
+  const auto d = build_gate_distribution(vm, 0.7);
+  // Convexity shifts the mean slightly above nominal, but within a few %.
+  const double nominal = vm.gate_model().fo4_delay(0.7);
+  EXPECT_GT(d.mean(), 0.98 * nominal);
+  EXPECT_LT(d.mean(), 1.05 * nominal);
+}
+
+TEST(GateDistribution, SpreadMatchesFirstOrderPrediction) {
+  const VariationModel vm(tech_90nm());
+  for (double v : {0.6, 0.8, 1.0}) {
+    const auto d = build_gate_distribution(vm, v);
+    const auto& p = vm.params();
+    const double g = vm.gate_model().sensitivity(v);
+    const double pred = 300.0 * std::sqrt(
+        g * g * p.sigma_vth_rand * p.sigma_vth_rand +
+        p.sigma_mult_rand * p.sigma_mult_rand);
+    EXPECT_NEAR(d.three_sigma_over_mu_pct(), pred, 0.08 * pred) << "v=" << v;
+  }
+}
+
+TEST(GateDistribution, RightSkewedNearThreshold) {
+  // Delay is convex in Vth, so the near-threshold distribution has a
+  // heavier right tail (visible in the paper's Fig. 1 histograms).
+  const VariationModel vm(tech_90nm());
+  const auto d = build_gate_distribution(vm, 0.5);
+  EXPECT_GT(d.skewness(), 0.1);
+}
+
+TEST(GateDistribution, MatchesExactMonteCarlo) {
+  // The quadrature-built distribution must agree with brute-force sampling
+  // of the same model.
+  const VariationModel vm(tech_90nm());
+  const auto d = build_gate_distribution(vm, 0.55);
+  stats::Xoshiro256pp rng(7);
+  stats::Summary mc;
+  for (int i = 0; i < 60000; ++i) {
+    mc.add(vm.gate_delay(0.55, DieState{}, vm.sample_gate(rng)));
+  }
+  EXPECT_NEAR(d.mean(), mc.mean(), 0.01 * mc.mean());
+  EXPECT_NEAR(d.stddev(), mc.stddev(), 0.03 * mc.stddev());
+}
+
+TEST(GateDistribution, RejectsBadResolution) {
+  const VariationModel vm(tech_90nm());
+  DistributionOptions opt;
+  opt.bins = 2;
+  EXPECT_THROW(build_gate_distribution(vm, 0.5, opt), std::invalid_argument);
+}
+
+TEST(ChainDistribution, MeanIsFiftyGates) {
+  const VariationModel vm(tech_90nm());
+  const auto gate = build_gate_distribution(vm, 0.6);
+  const auto chain = build_chain_distribution(vm, 0.6, 50);
+  EXPECT_NEAR(chain.mean(), 50.0 * gate.mean(), 1e-3 * chain.mean());
+}
+
+TEST(ChainDistribution, RandomSpreadShrinksLikeSqrtN) {
+  const VariationModel vm(tech_90nm());
+  const auto gate = build_gate_distribution(vm, 0.6);
+  const auto chain = build_chain_distribution(vm, 0.6, 50);
+  EXPECT_NEAR(chain.three_sigma_over_mu_pct(),
+              gate.three_sigma_over_mu_pct() / std::sqrt(50.0),
+              0.02 * gate.three_sigma_over_mu_pct());
+}
+
+TEST(TotalChainDistribution, AddsSystematicSpread) {
+  const VariationModel vm(tech_90nm());
+  const auto random_only = build_chain_distribution(vm, 0.55, 50);
+  const auto total = build_total_chain_distribution(vm, 0.55, 50);
+  EXPECT_GT(total.three_sigma_over_mu_pct(),
+            random_only.three_sigma_over_mu_pct());
+}
+
+TEST(TotalChainDistribution, MatchesCalibratedChainPct) {
+  // The total distribution is what the paper's Fig. 1(b)/Fig. 2 report.
+  const VariationModel vm(tech_90nm());
+  const GateDelayModel& m = vm.gate_model();
+  for (double v : {0.5, 0.6, 0.8, 1.0}) {
+    const auto total = build_total_chain_distribution(vm, v, 50);
+    const double pred = predict_chain_pct(m, vm.params(), v, 50);
+    EXPECT_NEAR(total.three_sigma_over_mu_pct(), pred, 0.08 * pred)
+        << "v=" << v;
+  }
+}
+
+TEST(TotalChainDistribution, MatchesExactTwoLevelMonteCarlo) {
+  const VariationModel vm(tech_90nm());
+  const auto total = build_total_chain_distribution(vm, 0.55, 50);
+  stats::Xoshiro256pp rng(11);
+  stats::Summary mc;
+  for (int i = 0; i < 4000; ++i) {
+    const DieState die = vm.sample_die(rng);
+    mc.add(vm.chain_delay(0.55, 50, die, rng));
+  }
+  EXPECT_NEAR(total.mean(), mc.mean(), 0.01 * mc.mean());
+  EXPECT_NEAR(total.stddev(), mc.stddev(), 0.08 * mc.stddev());
+}
+
+TEST(ChainDistribution, VariationGrowsAsVddFalls) {
+  const VariationModel vm(tech_22nm());
+  double prev = 0.0;
+  for (double v : {0.8, 0.7, 0.6, 0.5}) {
+    const auto total = build_total_chain_distribution(vm, v, 50);
+    EXPECT_GT(total.three_sigma_over_mu_pct(), prev) << "v=" << v;
+    prev = total.three_sigma_over_mu_pct();
+  }
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,119 @@
+// Parameterized property tests: model invariants that must hold at every
+// (technology node, supply voltage) combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/calibration.h"
+#include "device/gate_table.h"
+#include "device/variation.h"
+
+namespace ntv::device {
+namespace {
+
+struct GridPoint {
+  const TechNode* node;
+  double vdd;
+};
+
+std::vector<GridPoint> full_grid() {
+  std::vector<GridPoint> grid;
+  for (const TechNode* node : all_nodes()) {
+    for (double v = 0.45; v <= node->nominal_vdd + 1e-9; v += 0.05) {
+      grid.push_back({node, v});
+    }
+  }
+  return grid;
+}
+
+class DeviceGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(DeviceGridTest, DelayPositiveAndFinite) {
+  const auto [node, vdd] = GetParam();
+  const GateDelayModel m(*node);
+  const double d = m.fo4_delay(vdd);
+  EXPECT_GT(d, 1e-12);
+  EXPECT_LT(d, 1e-6);
+}
+
+TEST_P(DeviceGridTest, SensitivityPositive) {
+  const auto [node, vdd] = GetParam();
+  const GateDelayModel m(*node);
+  EXPECT_GT(m.sensitivity(vdd), 0.0);
+}
+
+TEST_P(DeviceGridTest, ChainVariesLessThanGate) {
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto gate = build_gate_distribution(vm, vdd);
+  const auto chain = gate.sum_of_iid(50);
+  EXPECT_LT(chain.three_sigma_over_mu_pct(),
+            gate.three_sigma_over_mu_pct());
+}
+
+TEST_P(DeviceGridTest, ChainAveragingIsSqrtN) {
+  // Within-die-random-only chains average exactly like sqrt(N).
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto gate = build_gate_distribution(vm, vdd);
+  const auto chain = gate.sum_of_iid(50);
+  EXPECT_NEAR(chain.three_sigma_over_mu_pct() * std::sqrt(50.0),
+              gate.three_sigma_over_mu_pct(),
+              0.03 * gate.three_sigma_over_mu_pct());
+}
+
+TEST_P(DeviceGridTest, TotalChainDominatesRandomOnly) {
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto random_only = build_chain_distribution(vm, vdd, 50);
+  const auto total = build_total_chain_distribution(vm, vdd, 50);
+  EXPECT_GE(total.three_sigma_over_mu_pct(),
+            random_only.three_sigma_over_mu_pct() * 0.999);
+  EXPECT_GE(total.mean(), random_only.mean() * 0.999);
+}
+
+TEST_P(DeviceGridTest, QuantileIsMonotone) {
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto gate = build_gate_distribution(vm, vdd);
+  double prev = -1.0;
+  for (double u = 0.01; u < 1.0; u += 0.07) {
+    const double q = gate.quantile(u);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST_P(DeviceGridTest, CdfQuantileConsistent) {
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto chain = build_chain_distribution(vm, vdd, 50);
+  for (double u : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(chain.cdf(chain.quantile(u)), u, 1e-3) << "u=" << u;
+  }
+}
+
+TEST_P(DeviceGridTest, FirstOrderPredictionTracksDistribution) {
+  const auto [node, vdd] = GetParam();
+  const VariationModel vm(*node);
+  const auto total = build_total_chain_distribution(vm, vdd, 50);
+  const double pred =
+      predict_chain_pct(vm.gate_model(), vm.params(), vdd, 50);
+  // First-order in the sigmas: within 12 % everywhere on the grid.
+  EXPECT_NEAR(total.three_sigma_over_mu_pct(), pred, 0.12 * pred);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNodesAllVoltages, DeviceGridTest, ::testing::ValuesIn(full_grid()),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      std::string name(info.param.node->name);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" +
+             std::to_string(static_cast<int>(info.param.vdd * 100 + 0.5)) +
+             "cV";
+    });
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,67 @@
+#include "device/tech_node.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::device {
+namespace {
+
+TEST(TechNode, AllFourNodesPresent) {
+  const auto nodes = all_nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0]->name, "90nm GP");
+  EXPECT_EQ(nodes[1]->name, "45nm GP");
+  EXPECT_EQ(nodes[2]->name, "32nm PTM HP");
+  EXPECT_EQ(nodes[3]->name, "22nm PTM HP");
+}
+
+TEST(TechNode, LookupByName) {
+  EXPECT_EQ(&node_by_name("90nm GP"), &tech_90nm());
+  EXPECT_EQ(&node_by_name("22nm PTM HP"), &tech_22nm());
+  EXPECT_THROW(node_by_name("65nm"), std::out_of_range);
+}
+
+TEST(TechNode, NominalVoltagesMatchPaper) {
+  // Fig. 2: 32 nm simulated up to 900 mV, 22 nm up to 800 mV.
+  EXPECT_DOUBLE_EQ(tech_90nm().nominal_vdd, 1.0);
+  EXPECT_DOUBLE_EQ(tech_45nm().nominal_vdd, 1.0);
+  EXPECT_DOUBLE_EQ(tech_32nm().nominal_vdd, 0.9);
+  EXPECT_DOUBLE_EQ(tech_22nm().nominal_vdd, 0.8);
+}
+
+TEST(TechNode, AnchorsGrowTowardLowVoltage) {
+  for (const TechNode* node : all_nodes()) {
+    const auto& a = node->anchors;
+    EXPECT_GT(a.single_lo_pct, a.single_hi_pct) << node->name;
+    EXPECT_GT(a.chain_lo_pct, a.chain_hi_pct) << node->name;
+    // Chain always varies less than a single gate (averaging).
+    EXPECT_LT(a.chain_hi_pct, a.single_hi_pct) << node->name;
+    EXPECT_LT(a.chain_lo_pct, a.single_lo_pct) << node->name;
+  }
+}
+
+TEST(TechNode, ScalingIncreasesVariation) {
+  // Technology scaling exacerbates delay variation (paper Section 3.1).
+  EXPECT_GT(tech_22nm().anchors.chain_lo_pct,
+            tech_90nm().anchors.chain_lo_pct);
+  EXPECT_GT(tech_32nm().anchors.chain_lo_pct,
+            tech_45nm().anchors.chain_lo_pct);
+}
+
+TEST(TechNode, Paper90nmAnchorsExact) {
+  const auto& a = tech_90nm().anchors;
+  EXPECT_DOUBLE_EQ(a.single_hi_pct, 15.58);
+  EXPECT_DOUBLE_EQ(a.chain_hi_pct, 5.76);
+  EXPECT_DOUBLE_EQ(a.single_lo_pct, 35.49);
+  EXPECT_DOUBLE_EQ(a.chain_lo_pct, 9.43);
+  ASSERT_EQ(a.series.size(), 6u);
+}
+
+TEST(TechNode, Paper22nmChainAnchors) {
+  // "from 11%@0.8V to 25%@0.5V" (Section 3.1).
+  const auto& a = tech_22nm().anchors;
+  EXPECT_DOUBLE_EQ(a.chain_hi_pct, 11.0);
+  EXPECT_DOUBLE_EQ(a.chain_lo_pct, 25.0);
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,84 @@
+#include "device/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include "device/gate_delay.h"
+
+namespace ntv::device {
+namespace {
+
+const ThermalDelayModel& model90() {
+  static const ThermalDelayModel m(tech_90nm());
+  return m;
+}
+
+TEST(ThermalDelayModel, MatchesGateDelayModelAtReferenceTemperature) {
+  const GateDelayModel base(tech_90nm());
+  for (double v : {0.5, 0.7, 1.0}) {
+    EXPECT_NEAR(model90().fo4_delay(v, 300.0), base.fo4_delay(v),
+                1e-6 * base.fo4_delay(v))
+        << "v=" << v;
+  }
+}
+
+TEST(ThermalDelayModel, HotIsSlowerAtNominalVoltage) {
+  // Conventional corner: mobility degradation dominates far above Vth.
+  EXPECT_GT(model90().hot_cold_ratio(1.0), 1.02);
+}
+
+TEST(ThermalDelayModel, HotIsFasterNearThreshold) {
+  // Temperature inversion: Vth reduction dominates at NTV.
+  EXPECT_LT(model90().hot_cold_ratio(0.45), 0.9);
+}
+
+TEST(ThermalDelayModel, CrossoverLiesBetweenTheRegimes) {
+  const double crossover = model90().inversion_crossover_vdd();
+  EXPECT_GT(crossover, 0.45);
+  EXPECT_LT(crossover, 1.0);
+  // At the crossover the hot/cold ratio is one by construction.
+  EXPECT_NEAR(model90().hot_cold_ratio(crossover), 1.0, 1e-3);
+}
+
+TEST(ThermalDelayModel, EveryNodeShowsInversion) {
+  for (const TechNode* node : all_nodes()) {
+    const ThermalDelayModel m(*node);
+    EXPECT_LT(m.hot_cold_ratio(0.42), 1.0) << node->name;
+    EXPECT_NO_THROW(m.inversion_crossover_vdd(273.15, 398.15, 0.35,
+                                              node->nominal_vdd + 0.2))
+        << node->name;
+  }
+}
+
+TEST(ThermalDelayModel, DelayMonotoneInTemperatureOnEachSide) {
+  // Below the crossover: delay falls with T; above: rises with T.
+  double prev = model90().fo4_delay(0.45, 260.0);
+  for (double t = 280.0; t <= 400.0; t += 20.0) {
+    const double cur = model90().fo4_delay(0.45, t);
+    EXPECT_LT(cur, prev) << "t=" << t;
+    prev = cur;
+  }
+  prev = model90().fo4_delay(1.0, 260.0);
+  for (double t = 280.0; t <= 400.0; t += 20.0) {
+    const double cur = model90().fo4_delay(1.0, t);
+    EXPECT_GT(cur, prev) << "t=" << t;
+    prev = cur;
+  }
+}
+
+TEST(ThermalDelayModel, ColdIsTheWorstNtvCorner) {
+  // The sign-off consequence: at 0.5 V the slowest corner is COLD, so
+  // Table 2 margins sized at the hot corner would under-margin.
+  const double cold = model90().fo4_delay(0.5, 273.15);
+  const double hot = model90().fo4_delay(0.5, 398.15);
+  EXPECT_GT(cold, hot);
+}
+
+TEST(ThermalDelayModel, ValidatesOperatingPoint) {
+  EXPECT_THROW(model90().fo4_delay(0.5, 100.0), std::invalid_argument);
+  EXPECT_THROW(model90().fo4_delay(-0.5, 300.0), std::invalid_argument);
+  EXPECT_THROW(model90().inversion_crossover_vdd(273.0, 398.0, 0.9, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::device

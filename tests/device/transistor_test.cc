@@ -1,0 +1,99 @@
+#include "device/transistor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntv::device {
+namespace {
+
+TEST(Softplus, LimitsAndMidpoint) {
+  EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(softplus(50.0), 50.0, 1e-9);
+  EXPECT_NEAR(softplus(-50.0), 0.0, 1e-12);
+  EXPECT_GT(softplus(-50.0), 0.0);  // Never exactly zero above -inf.
+}
+
+TEST(Softplus, MonotoneIncreasing) {
+  double prev = softplus(-10.0);
+  for (double x = -9.5; x <= 10.0; x += 0.5) {
+    const double cur = softplus(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Sigmoid, IsDerivativeOfSoftplus) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    const double h = 1e-6;
+    const double numeric = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+    EXPECT_NEAR(sigmoid(x), numeric, 1e-8) << "x=" << x;
+  }
+}
+
+TEST(TransistorModel, CurrentGrowsWithVdd) {
+  const TransistorModel m(tech_90nm());
+  double prev = m.ion(0.2, tech_90nm().vth0);
+  for (double v = 0.3; v <= 1.2; v += 0.1) {
+    const double cur = m.ion(v, tech_90nm().vth0);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TransistorModel, CurrentFallsWithVth) {
+  const TransistorModel m(tech_90nm());
+  EXPECT_LT(m.ion(0.5, 0.45), m.ion(0.5, 0.40));
+}
+
+TEST(TransistorModel, SubthresholdIsExponential) {
+  const TransistorModel m(tech_90nm());
+  const double vth = tech_90nm().vth0;
+  // Deep subthreshold: I(v) ~ exp(alpha * v / (2 n vT)); check the ratio
+  // of two 50 mV steps is constant.
+  const double i1 = m.ion(vth - 0.30, vth);
+  const double i2 = m.ion(vth - 0.25, vth);
+  const double i3 = m.ion(vth - 0.20, vth);
+  EXPECT_NEAR(i2 / i1, i3 / i2, 0.02 * i3 / i2);
+}
+
+TEST(TransistorModel, SuperthresholdIsPolynomial) {
+  const TransistorModel m(tech_90nm());
+  const double vth = tech_90nm().vth0;
+  // Far above threshold: I ~ (V - Vth)^alpha.
+  const double i1 = m.ion(vth + 0.4, vth);
+  const double i2 = m.ion(vth + 0.8, vth);
+  EXPECT_NEAR(i2 / i1, std::pow(2.0, tech_90nm().alpha), 0.2);
+}
+
+TEST(TransistorModel, SensitivityIsLogDerivative) {
+  const TransistorModel m(tech_90nm());
+  const double vth = tech_90nm().vth0;
+  for (double v : {0.5, 0.7, 1.0}) {
+    const double h = 1e-6;
+    const double numeric =
+        (std::log(m.ion(v, vth + h)) - std::log(m.ion(v, vth - h))) /
+        (2.0 * h);
+    EXPECT_NEAR(m.dlnion_dvth(v, vth), numeric, 1e-4) << "v=" << v;
+  }
+}
+
+TEST(TransistorModel, SensitivityGrowsTowardThreshold) {
+  const TransistorModel m(tech_90nm());
+  const double vth = tech_90nm().vth0;
+  EXPECT_GT(std::abs(m.dlnion_dvth(0.5, vth)),
+            std::abs(m.dlnion_dvth(1.0, vth)));
+}
+
+TEST(TransistorModel, OffCurrentGrowsWithVddViaDibl) {
+  const TransistorModel m(tech_90nm());
+  EXPECT_GT(m.ioff(1.0), m.ioff(0.5));
+}
+
+TEST(TransistorModel, OffCurrentTinyComparedToOn) {
+  const TransistorModel m(tech_90nm());
+  EXPECT_LT(m.ioff(1.0) * 100.0, m.ion(1.0, tech_90nm().vth0));
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,116 @@
+#include "device/variation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace ntv::device {
+namespace {
+
+TEST(VariationModel, DieSamplesHaveCalibratedSigmas) {
+  const VariationModel vm(tech_90nm());
+  stats::Xoshiro256pp rng(1);
+  stats::Summary vth, mult;
+  for (int i = 0; i < 100000; ++i) {
+    const DieState die = vm.sample_die(rng);
+    vth.add(die.dvth_sys);
+    mult.add(die.mult_sys);
+  }
+  EXPECT_NEAR(vth.mean(), 0.0, 1e-4);
+  EXPECT_NEAR(vth.stddev(), vm.params().sigma_vth_sys,
+              0.02 * vm.params().sigma_vth_sys);
+  EXPECT_NEAR(mult.stddev(), vm.params().sigma_mult_sys,
+              0.02 * vm.params().sigma_mult_sys);
+}
+
+TEST(VariationModel, GateSamplesHaveCalibratedSigmas) {
+  const VariationModel vm(tech_90nm());
+  stats::Xoshiro256pp rng(2);
+  stats::Summary vth;
+  for (int i = 0; i < 100000; ++i) vth.add(vm.sample_gate(rng).dvth);
+  EXPECT_NEAR(vth.stddev(), vm.params().sigma_vth_rand,
+              0.02 * vm.params().sigma_vth_rand);
+}
+
+TEST(VariationModel, NominalGateDelayMatchesModel) {
+  const VariationModel vm(tech_90nm());
+  const DieState die{};
+  const GateVar gate{};
+  EXPECT_DOUBLE_EQ(vm.gate_delay(0.6, die, gate),
+                   vm.gate_model().fo4_delay(0.6));
+}
+
+TEST(VariationModel, SystematicShiftSlowsEveryGate) {
+  const VariationModel vm(tech_90nm());
+  const DieState slow{+0.01, 0.0};
+  const GateVar gate{};
+  EXPECT_GT(vm.gate_delay(0.55, slow, gate),
+            vm.gate_delay(0.55, DieState{}, gate));
+}
+
+TEST(VariationModel, DieScaleFirstOrderMatchesExact) {
+  const VariationModel vm(tech_90nm());
+  // For small systematic shifts, the multiplicative die factor should
+  // track the exact recomputed delay within a fraction of a percent.
+  for (double dv : {-0.003, -0.001, 0.001, 0.003}) {
+    const DieState die{dv, 0.0};
+    const GateVar gate{};
+    const double exact =
+        vm.gate_delay(0.55, die, gate) / vm.gate_delay(0.55, DieState{}, gate);
+    const double approx = vm.die_scale(0.55, die);
+    EXPECT_NEAR(approx, exact, 0.005 * exact) << "dv=" << dv;
+  }
+}
+
+TEST(VariationModel, ChainDelayIsSumOfPositiveGates) {
+  const VariationModel vm(tech_90nm());
+  stats::Xoshiro256pp rng(3);
+  const DieState die = vm.sample_die(rng);
+  const double chain = vm.chain_delay(0.5, 50, die, rng);
+  // Must be within a factor of ~2 of 50 nominal FO4 delays.
+  const double nominal = 50.0 * vm.gate_model().fo4_delay(0.5);
+  EXPECT_GT(chain, 0.5 * nominal);
+  EXPECT_LT(chain, 2.0 * nominal);
+}
+
+TEST(VariationModel, McSingleGateMatchesCalibration3SigmaOverMu) {
+  // End-to-end: Monte Carlo through the exact sampler reproduces the
+  // paper's single-inverter 3sigma/mu within sampling tolerance.
+  const VariationModel vm(tech_90nm());
+  stats::Xoshiro256pp rng(4);
+  stats::Summary s;
+  for (int i = 0; i < 40000; ++i) {
+    const DieState die = vm.sample_die(rng);
+    const GateVar gate = vm.sample_gate(rng);
+    s.add(vm.gate_delay(1.0, die, gate));
+  }
+  // Paper: 15.58 % at 1.0 V; the LSQ card predicts ~14.9 %.
+  EXPECT_NEAR(s.three_sigma_over_mu_pct(), 14.9, 1.5);
+}
+
+TEST(VariationModel, McChainAveragesOut) {
+  const VariationModel vm(tech_90nm());
+  stats::Xoshiro256pp rng(5);
+  stats::Summary single, chain;
+  for (int i = 0; i < 4000; ++i) {
+    const DieState die = vm.sample_die(rng);
+    single.add(vm.gate_delay(0.5, die, vm.sample_gate(rng)));
+    chain.add(vm.chain_delay(0.5, 50, die, rng));
+  }
+  EXPECT_LT(chain.three_sigma_over_mu_pct(),
+            0.5 * single.three_sigma_over_mu_pct());
+}
+
+TEST(VariationModel, CustomParamsBypassCalibration) {
+  VariationParams p;
+  p.sigma_vth_rand = 0.005;
+  const VariationModel vm(tech_90nm(), p);
+  EXPECT_DOUBLE_EQ(vm.params().sigma_vth_rand, 0.005);
+  EXPECT_DOUBLE_EQ(vm.params().sigma_mult_sys, 0.0);
+}
+
+}  // namespace
+}  // namespace ntv::device

@@ -1,0 +1,109 @@
+#include "energy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::energy {
+namespace {
+
+const EnergyModel& model90() {
+  static const EnergyModel m(device::tech_90nm());
+  return m;
+}
+
+TEST(EnergyModel, RegionsClassifyAroundVth) {
+  // 90 nm card Vth0 = 0.39 V.
+  EXPECT_EQ(model90().classify(1.0), Region::kSuperThreshold);
+  EXPECT_EQ(model90().classify(0.45), Region::kNearThreshold);
+  EXPECT_EQ(model90().classify(0.39), Region::kNearThreshold);
+  EXPECT_EQ(model90().classify(0.20), Region::kSubThreshold);
+}
+
+TEST(EnergyModel, DynamicEnergyIsQuadratic) {
+  const auto half = model90().at(0.5);
+  EXPECT_NEAR(half.dynamic_energy, 0.25, 1e-12);
+  const auto full = model90().at(1.0);
+  EXPECT_NEAR(full.dynamic_energy, 1.0, 1e-12);
+}
+
+TEST(EnergyModel, LeakRatioAtNominalIsConfigured) {
+  const EnergyModel m(device::tech_90nm(), 0.05);
+  const auto p = m.at(1.0);
+  EXPECT_NEAR(p.leakage_energy / p.dynamic_energy, 0.05, 1e-9);
+}
+
+TEST(EnergyModel, LargeEnergyReductionIntoNearThreshold) {
+  // Section 2: voltage scaling to NTV gives an energy reduction on the
+  // order of several-x (paper: ~10x including architectural effects).
+  const double e_nom = model90().at(1.0).total_energy;
+  const double e_ntv = model90().at(0.45).total_energy;
+  EXPECT_GT(e_nom / e_ntv, 3.0);
+}
+
+TEST(EnergyModel, LargeDelayPenaltyAtNearThreshold) {
+  // ~10x performance degradation at NTV.
+  const double d_nom = model90().at(1.0).delay;
+  const double d_ntv = model90().at(0.47).delay;
+  EXPECT_GT(d_ntv / d_nom, 5.0);
+}
+
+TEST(EnergyModel, EnergyMinimumIsBelowNearThreshold) {
+  // Fig. 9: the energy minimum lies in the sub-threshold region.
+  const double v_min = model90().minimum_energy_vdd();
+  EXPECT_LT(v_min, device::tech_90nm().vth0);
+  EXPECT_GT(v_min, 0.15);
+}
+
+TEST(EnergyModel, SubToNearThresholdTradeoff) {
+  // Fig. 9: moving from the energy-optimal sub-threshold point up to NTV
+  // buys several-x performance for a bounded energy increase (paper:
+  // 6-8x speed for ~2x energy).
+  const double v_min = model90().minimum_energy_vdd();
+  const auto sub = model90().at(v_min);
+  const auto ntv = model90().at(0.5);
+  const double speedup = sub.delay / ntv.delay;
+  const double energy_cost = ntv.total_energy / sub.total_energy;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(energy_cost, 3.0);
+}
+
+TEST(EnergyModel, LeakageDominatesDeepSubthreshold) {
+  const auto deep = model90().at(0.2);
+  EXPECT_GT(deep.leakage_energy, deep.dynamic_energy);
+}
+
+TEST(EnergyModel, SweepIsOrderedAndComplete) {
+  const auto points = model90().sweep(0.3, 1.0, 0.1);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_NEAR(points.front().vdd, 0.3, 1e-9);
+  EXPECT_NEAR(points.back().vdd, 1.0, 1e-9);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].delay, points[i - 1].delay);
+  }
+}
+
+TEST(EnergyModel, TotalIsSumOfComponents) {
+  const auto p = model90().at(0.6);
+  EXPECT_NEAR(p.total_energy, p.dynamic_energy + p.leakage_energy, 1e-12);
+}
+
+TEST(EnergyModel, RejectsBadArguments) {
+  EXPECT_THROW(EnergyModel(device::tech_90nm(), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(EnergyModel(device::tech_90nm(), 0.02, 0),
+               std::invalid_argument);
+  EXPECT_THROW(model90().at(0.0), std::invalid_argument);
+  EXPECT_THROW(model90().sweep(1.0, 0.5, 0.1), std::invalid_argument);
+}
+
+TEST(EnergyModel, EveryNodeHasEnergyMinimum) {
+  for (const device::TechNode* node : device::all_nodes()) {
+    const EnergyModel m(*node);
+    const double v_min = m.minimum_energy_vdd(0.15, node->nominal_vdd);
+    // Minimum is interior, not at the search edges.
+    EXPECT_GT(v_min, 0.16) << node->name;
+    EXPECT_LT(v_min, node->nominal_vdd - 0.05) << node->name;
+  }
+}
+
+}  // namespace
+}  // namespace ntv::energy

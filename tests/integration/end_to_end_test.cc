@@ -1,0 +1,187 @@
+// Cross-module integration tests: the paper's headline claims, checked
+// end-to-end with reduced Monte Carlo budgets (the benches run the full
+// 10,000-sample versions).
+#include <gtest/gtest.h>
+
+#include "arch/sparing.h"
+#include "core/mitigation.h"
+#include "core/variation_study.h"
+#include "energy/energy_model.h"
+#include "soda/kernels.h"
+
+namespace ntv {
+namespace {
+
+core::MitigationConfig quick() {
+  core::MitigationConfig config;
+  config.chip_samples = 2500;
+  return config;
+}
+
+TEST(EndToEnd, Headline1_ChainAveragingTamesGateVariation) {
+  // "Although delay variation at 0.5V in a single gate increases by 2.5x
+  // compared to that at 1V, the variation decreases in a chain of gates;
+  // the variation is only 1.5x for a chain of 50 gates."
+  core::VariationStudy study(device::tech_90nm());
+  const double single_growth = study.single_gate_variation_pct(0.5) /
+                               study.single_gate_variation_pct(1.0);
+  const double chain_growth =
+      study.chain_variation_pct(0.5, 50) / study.chain_variation_pct(1.0, 50);
+  EXPECT_GT(single_growth, 2.0);
+  EXPECT_LT(single_growth, 3.0);
+  EXPECT_GT(chain_growth, 1.3);
+  EXPECT_LT(chain_growth, 2.0);
+}
+
+TEST(EndToEnd, Headline2_WideSimdDegradationIsSmallIn90nm) {
+  // "The corresponding performance degradation for such wide systems in
+  // 90nm technology is less than 5%" (at 0.55-0.6 V; ~5-6 % at 0.5 V).
+  core::MitigationStudy study(device::tech_90nm(), quick());
+  EXPECT_LT(study.performance_drop_pct(0.55), 5.5);
+  EXPECT_LT(study.performance_drop_pct(0.60), 4.0);
+}
+
+TEST(EndToEnd, Headline3_MarginsAreMillivolts) {
+  // Table 2: millivolt-scale margins suffice in 90 nm.
+  core::MitigationStudy study(device::tech_90nm(), quick());
+  const auto m = study.required_voltage_margin(0.5);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_LT(m.margin, 10e-3);
+  EXPECT_GT(m.margin, 1e-3);
+}
+
+TEST(EndToEnd, Headline4_CombinationBeatsEitherAloneAtScaledNodes) {
+  // Table 3 (45 nm, 0.60 V): a few spares + a small margin beats pure
+  // duplication and pure margining.
+  core::MitigationStudy study(device::tech_45nm(), quick());
+  const int alphas[] = {0, 2, 8, 26};
+  const auto choices = study.explore_combined(0.60, alphas);
+  ASSERT_EQ(choices.size(), 4u);
+  const double pure_margin = choices[0].power_overhead;
+  double best_mixed = 1e9;
+  for (std::size_t i = 1; i + 1 < choices.size(); ++i) {
+    best_mixed = std::min(best_mixed, choices[i].power_overhead);
+  }
+  const double pure_dup = choices.back().power_overhead;
+  EXPECT_LT(best_mixed, pure_margin);
+  EXPECT_LT(best_mixed, pure_dup + 0.02);
+}
+
+TEST(EndToEnd, Headline5_DuplicationWinsAtHighVoltageMarginingAtLow) {
+  // Fig. 7 crossover: at 0.65-0.7 V duplication is cheap; toward 0.5 V
+  // margining becomes competitive or better (45 nm shown in the paper).
+  core::MitigationStudy study(device::tech_90nm(), quick());
+  const auto dup_hi = study.required_spares(0.65);
+  const auto vm_hi = study.required_voltage_margin(0.65);
+  ASSERT_TRUE(dup_hi.feasible);
+  EXPECT_LT(dup_hi.power_overhead, vm_hi.power_overhead);
+
+  core::MitigationStudy s45(device::tech_45nm(), quick());
+  const auto dup_lo = s45.required_spares(0.5);
+  const auto vm_lo = s45.required_voltage_margin(0.5);
+  const double dup_cost =
+      dup_lo.feasible ? dup_lo.power_overhead : 1e9;
+  EXPECT_LT(vm_lo.power_overhead, dup_cost);
+}
+
+TEST(EndToEnd, Headline6_FrequencyMarginingInfeasibleWhenScaled) {
+  // Table 4: required delay margins approach ~20 % at 22 nm / 0.5 V.
+  core::MitigationStudy s22(device::tech_22nm(), quick());
+  const auto fm = s22.frequency_margin(0.5);
+  EXPECT_GT(fm.drop_pct, 8.0);
+  core::MitigationStudy s90(device::tech_90nm(), quick());
+  EXPECT_LT(s90.frequency_margin(0.6).drop_pct, 4.0);
+}
+
+TEST(EndToEnd, VariationAwarePeRunsKernelsOnSparedHardware) {
+  // Full pipeline: timing model identifies slow lanes at test time ->
+  // XRAM bypass -> kernels still bit-exact -> throughput unchanged
+  // (same cycle counts, work moved to spares).
+  const device::VariationModel vm(device::tech_90nm());
+  const arch::ChipDelaySampler sampler(vm, 0.55);
+  stats::Xoshiro256pp rng(4242);
+
+  const int width = 64, spares = 8;
+  std::vector<double> lanes(width + spares);
+  sampler.sample_lanes(rng, lanes);
+  // Fault threshold: anything slower than the 90th percentile lane delay.
+  std::vector<double> sorted = lanes;
+  std::sort(sorted.begin(), sorted.end());
+  const double t_clk = sorted[static_cast<std::size_t>(width + spares) * 9 / 10];
+  std::vector<std::uint8_t> faulty(lanes.size());
+  int n_faulty = 0;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    faulty[i] = lanes[i] > t_clk;
+    n_faulty += faulty[i];
+  }
+  ASSERT_GT(n_faulty, 0);
+  ASSERT_LE(n_faulty, spares);
+
+  soda::PeConfig config;
+  config.width = width;
+  config.spare_fus = spares;
+  soda::ProcessingElement pe(config);
+  pe.set_faulty_fus(faulty);
+
+  soda::FirKernel fir;
+  fir.taps = 4;
+  const std::vector<std::int16_t> coefs = {3, -1, 2, 5};
+  std::vector<std::int16_t> x(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) x[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(i * 7 - 100);
+  fir.prepare(pe, coefs);
+  std::vector<std::uint16_t> raw(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) raw[i] = static_cast<std::uint16_t>(x[i]);
+  pe.simd_memory().write_row(fir.input_row, raw);
+  const auto stats = pe.run(fir.build());
+  EXPECT_TRUE(stats.halted);
+
+  std::vector<std::uint16_t> out(x.size());
+  pe.simd_memory().read_row(fir.output_row, out);
+  const auto want = soda::FirKernel::reference(x, coefs);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int16_t>(out[i]), want[i]);
+  }
+  // No work on faulty FUs.
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    if (faulty[i]) {
+      EXPECT_EQ(pe.simd().fu_op_counts()[i], 0);
+    }
+  }
+}
+
+TEST(EndToEnd, NtvOperationTradesClockForEnergy) {
+  // Couple the energy model with the PE cycle model: running the FIR at
+  // NTV with the SIMD clock stretched to a memory-clock multiple costs
+  // throughput but saves energy/op.
+  const energy::EnergyModel em(device::tech_90nm());
+  const device::GateDelayModel gm(device::tech_90nm());
+
+  soda::PeConfig config;
+  config.width = 64;
+  soda::ProcessingElement pe(config);
+  soda::FirKernel fir;
+  fir.taps = 8;
+  const auto coefs = std::vector<std::int16_t>(8, 1);
+  fir.prepare(pe, coefs);
+  const auto stats = pe.run(fir.build());
+
+  const double t_mem = 50.0 * gm.fo4_delay(1.0);  // FV memory clock.
+  const double t_simd_fv = t_mem;
+  // NTV SIMD clock: the 0.5 V critical path, rounded UP to a multiple of
+  // the memory clock (Section 4.3).
+  const double raw_ntv = 50.0 * gm.fo4_delay(0.5);
+  const double t_simd_ntv = t_mem * std::ceil(raw_ntv / t_mem);
+
+  const double time_fv =
+      soda::ProcessingElement::execution_time(stats, t_simd_fv, t_mem);
+  const double time_ntv =
+      soda::ProcessingElement::execution_time(stats, t_simd_ntv, t_mem);
+  EXPECT_GT(time_ntv, 3.0 * time_fv);
+
+  const double e_fv = em.at(1.0).total_energy;
+  const double e_ntv = em.at(0.5).total_energy;
+  EXPECT_LT(e_ntv, 0.4 * e_fv);
+}
+
+}  // namespace
+}  // namespace ntv

@@ -1,0 +1,83 @@
+// Cross-substrate integration: the MNA transient simulator and the
+// analytic delay model must tell the same story on every node, since
+// every chip-level number ultimately rests on the analytic model.
+#include <gtest/gtest.h>
+
+#include "circuit/gates.h"
+#include "circuit/stdcells.h"
+#include "device/gate_delay.h"
+
+namespace ntv {
+namespace {
+
+TEST(SpiceVsModel, DelayRatiosTrackOnEveryNode) {
+  for (const device::TechNode* node : device::all_nodes()) {
+    const device::GateDelayModel model(*node);
+    const double nominal = node->nominal_vdd;
+    const double spice_nom = circuit::fo4_delay_spice(*node, nominal);
+    ASSERT_GT(spice_nom, 0.0) << node->name;
+    for (double v : {0.6, 0.5}) {
+      const double spice = circuit::fo4_delay_spice(*node, v);
+      ASSERT_GT(spice, 0.0) << node->name << " v=" << v;
+      const double spice_ratio = spice / spice_nom;
+      const double model_ratio =
+          model.fo4_delay(v) / model.fo4_delay(nominal);
+      EXPECT_NEAR(spice_ratio, model_ratio, 0.3 * model_ratio)
+          << node->name << " v=" << v;
+    }
+  }
+}
+
+TEST(SpiceVsModel, VthShiftSensitivityAgrees) {
+  // Injecting +dV into every device of a chain stage must slow the stage
+  // by ~exp(g*dV); compare the transient measurement to the model's
+  // sensitivity at 0.55 V.
+  const device::TechNode& node = device::tech_90nm();
+  const device::GateDelayModel model(node);
+  const double vdd = 0.55;
+  const double dvth = 0.02;
+
+  circuit::ChainConfig base;
+  base.stages = 4;
+  base.vdd = vdd;
+  const auto t0 = circuit::measure_chain(node, base);
+  ASSERT_TRUE(t0.ok);
+
+  circuit::ChainConfig shifted = base;
+  shifted.variation.resize(4);
+  shifted.variation[2].nmos.dvth = dvth;
+  shifted.variation[2].pmos.dvth = dvth;
+  const auto t1 = circuit::measure_chain(node, shifted);
+  ASSERT_TRUE(t1.ok);
+
+  const double spice_factor = t1.stage_delays[2] / t0.stage_delays[2];
+  const double model_factor =
+      model.delay(vdd, dvth, 0.0) / model.fo4_delay(vdd);
+  EXPECT_NEAR(spice_factor, model_factor, 0.15 * model_factor);
+}
+
+TEST(SpiceVsModel, StandardCellsResolveAtEveryNodeNtv) {
+  // The logic family must still produce rail-to-rail outputs at 0.5 V on
+  // every card — otherwise the "SIMD datapath at NTV" premise is void.
+  for (const device::TechNode* node : device::all_nodes()) {
+    const double out_low = circuit::dc_output(
+        *node, 0.5, true, true,
+        [](circuit::Netlist& nl, circuit::NodeId vdd, circuit::NodeId a,
+           circuit::NodeId b) { return circuit::add_nand2(nl, vdd, a, b, 4e-15); });
+    EXPECT_NEAR(out_low, 0.0, 0.02) << node->name;
+  }
+}
+
+TEST(SpiceVsModel, RingOscillatorTracksFo4AcrossVoltage) {
+  const device::TechNode& node = device::tech_90nm();
+  const double p_nom = circuit::ring_oscillator_period(node, 5, 1.0);
+  const double p_ntv = circuit::ring_oscillator_period(node, 5, 0.55);
+  ASSERT_GT(p_nom, 0.0);
+  ASSERT_GT(p_ntv, 0.0);
+  const device::GateDelayModel model(node);
+  const double model_ratio = model.fo4_delay(0.55) / model.fo4_delay(1.0);
+  EXPECT_NEAR(p_ntv / p_nom, model_ratio, 0.3 * model_ratio);
+}
+
+}  // namespace
+}  // namespace ntv

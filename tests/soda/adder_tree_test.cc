@@ -1,0 +1,75 @@
+#include "soda/adder_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ntv::soda {
+namespace {
+
+TEST(AdderTree, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(AdderTree(100), std::invalid_argument);
+  EXPECT_THROW(AdderTree(0), std::invalid_argument);
+}
+
+TEST(AdderTree, SumsRamp) {
+  AdderTree tree(8);
+  std::vector<std::uint16_t> lanes(8);
+  std::iota(lanes.begin(), lanes.end(), 1);
+  EXPECT_EQ(tree.reduce(lanes), 36);
+}
+
+TEST(AdderTree, SignedSum) {
+  AdderTree tree(4);
+  std::vector<std::uint16_t> lanes = {
+      static_cast<std::uint16_t>(-5), 3, static_cast<std::uint16_t>(-2), 10};
+  EXPECT_EQ(tree.reduce(lanes), 6);
+}
+
+TEST(AdderTree, No16BitOverflowInTree) {
+  // 128 lanes of 30000 sum to 3.84M — far beyond int16 but exact in the
+  // 32-bit tree.
+  AdderTree tree(128);
+  std::vector<std::uint16_t> lanes(128, 30000);
+  EXPECT_EQ(tree.reduce(lanes), 128 * 30000);
+}
+
+TEST(AdderTree, PartialSumsGroups) {
+  AdderTree tree(8);
+  std::vector<std::uint16_t> lanes = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto pairs = tree.partial_sums(lanes, 2);
+  EXPECT_EQ(pairs, (std::vector<std::int32_t>{3, 7, 11, 15}));
+  const auto quads = tree.partial_sums(lanes, 4);
+  EXPECT_EQ(quads, (std::vector<std::int32_t>{10, 26}));
+}
+
+TEST(AdderTree, GroupOfOneIsIdentity) {
+  AdderTree tree(4);
+  std::vector<std::uint16_t> lanes = {9, 8, 7, 6};
+  const auto ones = tree.partial_sums(lanes, 1);
+  EXPECT_EQ(ones, (std::vector<std::int32_t>{9, 8, 7, 6}));
+}
+
+TEST(AdderTree, ValidatesGroupSize) {
+  AdderTree tree(8);
+  std::vector<std::uint16_t> lanes(8, 0);
+  EXPECT_THROW(tree.partial_sums(lanes, 3), std::invalid_argument);
+  EXPECT_THROW(tree.partial_sums(lanes, 16), std::invalid_argument);
+}
+
+TEST(AdderTree, ValidatesLaneCount) {
+  AdderTree tree(8);
+  std::vector<std::uint16_t> lanes(4, 0);
+  EXPECT_THROW(tree.reduce(lanes), std::invalid_argument);
+}
+
+TEST(AdderTree, CountsAdderOps) {
+  AdderTree tree(8);
+  std::vector<std::uint16_t> lanes(8, 1);
+  tree.reduce(lanes);
+  EXPECT_EQ(tree.ops(), 7);  // A full 8-input tree is 7 adders.
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,100 @@
+#include "soda/agu.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "soda/kernels.h"
+
+namespace ntv::soda {
+namespace {
+
+MultiBankMemory make_ramp_memory(int width = 32, int entries = 16) {
+  MultiBankMemory mem(width, 4, entries);
+  for (int r = 0; r < entries; ++r) {
+    for (int c = 0; c < width; ++c) {
+      mem.write(r, c, static_cast<std::uint16_t>(r * 100 + c));
+    }
+  }
+  return mem;
+}
+
+TEST(AguPattern, LinearAndStride) {
+  const AguPattern linear{10, 1, 0};
+  EXPECT_EQ(linear.address(0), 10);
+  EXPECT_EQ(linear.address(5), 15);
+  const AguPattern strided{0, 4, 0};
+  EXPECT_EQ(strided.address(3), 12);
+}
+
+TEST(AguPattern, WrapsModulo) {
+  const AguPattern wrapped{6, 2, 8};
+  EXPECT_EQ(wrapped.address(0), 6);
+  EXPECT_EQ(wrapped.address(1), 0);
+  EXPECT_EQ(wrapped.address(2), 2);
+}
+
+TEST(AguPattern, WrapHandlesNegativeStride) {
+  const AguPattern back{0, -1, 8};
+  EXPECT_EQ(back.address(1), 7);
+  EXPECT_EQ(back.address(8), 0);
+}
+
+TEST(Prefetcher, GatherStridedPattern) {
+  auto mem = make_ramp_memory();
+  Prefetcher pf(8);
+  // Diagonal: element i from row i, lane i.
+  pf.gather(mem, AguPattern{0, 1, 0}, AguPattern{0, 1, 0});
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(pf.buffer()[static_cast<std::size_t>(i)], i * 100 + i);
+  }
+}
+
+TEST(Prefetcher, GatherBlockRowMajor) {
+  auto mem = make_ramp_memory();
+  Prefetcher pf(8);
+  pf.gather_block(mem, 2, 3, 2, 4);  // rows 2..3, cols 3..6.
+  EXPECT_EQ(pf.buffer()[0], 203);
+  EXPECT_EQ(pf.buffer()[3], 206);
+  EXPECT_EQ(pf.buffer()[4], 303);
+  EXPECT_EQ(pf.buffer()[7], 306);
+  // Rest zeroed.
+  for (std::size_t i = 8; i < pf.buffer().size(); ++i) {
+    EXPECT_EQ(pf.buffer()[i], 0);
+  }
+}
+
+TEST(Prefetcher, GatherBlockRejectsOversizedTile) {
+  auto mem = make_ramp_memory();
+  Prefetcher pf(8);
+  EXPECT_THROW(pf.gather_block(mem, 0, 0, 3, 4), std::invalid_argument);
+}
+
+TEST(Prefetcher, GatherColumnReadsMatrixColumn) {
+  auto mem = make_ramp_memory();
+  Prefetcher pf(8);
+  pf.gather_column(mem, 1, 5, 6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(pf.buffer()[static_cast<std::size_t>(i)], (1 + i) * 100 + 5);
+  }
+}
+
+TEST(Prefetcher, RealignThroughCrossbar) {
+  auto mem = make_ramp_memory();
+  Prefetcher pf(8);
+  pf.gather(mem, AguPattern{0, 0, 0}, AguPattern{0, 1, 0});  // Row 0.
+  arch::XramCrossbar xram(8, 8);
+  xram.program(rotation_mapping(8, 2));
+  pf.realign(xram);
+  EXPECT_EQ(pf.buffer()[0], 2);
+  EXPECT_EQ(pf.buffer()[6], 0);
+}
+
+TEST(Prefetcher, RealignValidatesCrossbarSize) {
+  Prefetcher pf(8);
+  arch::XramCrossbar wrong(4, 4);
+  EXPECT_THROW(pf.realign(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::soda

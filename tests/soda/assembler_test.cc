@@ -1,0 +1,188 @@
+#include "soda/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "soda/kernels.h"
+#include "soda/pe.h"
+
+namespace ntv::soda {
+namespace {
+
+TEST(Assembler, EmptySourceIsEmptyProgram) {
+  EXPECT_TRUE(assemble("").empty());
+  EXPECT_TRUE(assemble("\n  ; just a comment\n# another\n").empty());
+}
+
+TEST(Assembler, ParsesScalarOps) {
+  const Program p = assemble("li r1, 5\nsadd r2, r1, r1\nhalt\n");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0].op, Opcode::kLoadImm);
+  EXPECT_EQ(p[0].dst, 1);
+  EXPECT_EQ(p[0].imm, 5);
+  EXPECT_EQ(p[1].op, Opcode::kSAdd);
+  EXPECT_EQ(p[1].dst, 2);
+  EXPECT_EQ(p[1].src1, 1);
+  EXPECT_EQ(p[1].src2, 1);
+  EXPECT_EQ(p[2].op, Opcode::kHalt);
+}
+
+TEST(Assembler, ParsesVectorOps) {
+  const Program p = assemble(
+      "vload v0, r0, 3\n"
+      "vmac v2, v0, v1\n"
+      "vshuf v3, v2, 7\n"
+      "vstore v3, r0, 4\n");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].op, Opcode::kVLoad);
+  EXPECT_EQ(p[0].dst, 0);
+  EXPECT_EQ(p[0].imm, 3);
+  EXPECT_EQ(p[2].op, Opcode::kVShuffle);
+  EXPECT_EQ(p[2].imm, 7);
+  EXPECT_EQ(p[3].op, Opcode::kVStore);
+  EXPECT_EQ(p[3].src2, 3);  // vstore stores src2.
+  EXPECT_EQ(p[3].src1, 0);
+}
+
+TEST(Assembler, ParsesImmediateFormats) {
+  const Program p = assemble("li r1, -42\nli r2, 0x1f\nli r3, +7\n");
+  EXPECT_EQ(p[0].imm, -42);
+  EXPECT_EQ(p[1].imm, 31);
+  EXPECT_EQ(p[2].imm, 7);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  const Program p = assemble(
+      "start:\n"
+      "  saddi r1, r1, -1\n"
+      "  bnez r1, start\n"
+      "  beqz r0, end\n"
+      "  nop\n"
+      "end:\n"
+      "  halt\n");
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p[1].imm, 0);  // Backward to start.
+  EXPECT_EQ(p[2].imm, 4);  // Forward to end.
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const Program p = assemble("loop: saddi r1, r1, -1\nbnez r1, loop\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1].imm, 0);
+}
+
+TEST(Assembler, NumericBranchTargets) {
+  const Program p = assemble("jump 3\nnop\nnop\nhalt\n");
+  EXPECT_EQ(p[0].imm, 3);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nfrobnicate r1\n");
+    FAIL() << "expected AssemblerError";
+  } catch (const AssemblerError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_THROW(assemble("li r99, 5\n"), AssemblerError);
+  EXPECT_THROW(assemble("vadd v40, v0, v1\n"), AssemblerError);
+  EXPECT_THROW(assemble("li v1, 5\n"), AssemblerError);     // Wrong class.
+  EXPECT_THROW(assemble("sadd r1, r2\n"), AssemblerError);  // Arity.
+  EXPECT_THROW(assemble("li r1, xyz\n"), AssemblerError);
+  EXPECT_THROW(assemble("bnez r1, nowhere\n"), AssemblerError);
+  EXPECT_THROW(assemble("dup:\ndup:\n"), AssemblerError);
+}
+
+TEST(Assembler, RoundTripsThroughDisassembler) {
+  const Program original = assemble(
+      "li r1, 10\n"
+      "loop:\n"
+      "  vload v0, r0, 0\n"
+      "  vadd v1, v1, v0\n"
+      "  vsra v1, v1, 1\n"
+      "  vredsum v1\n"
+      "  racclo r2\n"
+      "  saddi r1, r1, -1\n"
+      "  bnez r1, loop\n"
+      "  vstore v1, r0, 1\n"
+      "  halt\n");
+  const std::string text = disassemble(original);
+  const Program again = assemble(text);
+  ASSERT_EQ(again.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(again[i].op, original[i].op) << i;
+    EXPECT_EQ(again[i].dst, original[i].dst) << i;
+    EXPECT_EQ(again[i].src1, original[i].src1) << i;
+    EXPECT_EQ(again[i].src2, original[i].src2) << i;
+    EXPECT_EQ(again[i].imm, original[i].imm) << i;
+  }
+}
+
+TEST(Assembler, AssembledProgramRunsOnThePe) {
+  // Sum a ramp via the adder tree, written entirely in assembly.
+  PeConfig config;
+  config.width = 8;
+  ProcessingElement pe(config);
+  std::vector<std::uint16_t> row(8);
+  std::iota(row.begin(), row.end(), 1);
+  pe.simd_memory().write_row(0, row);
+
+  const Program p = assemble(
+      "li r0, 0\n"
+      "vload v0, r0, 0\n"
+      "vadd v1, v0, v0\n"
+      "vredsum v1\n"
+      "racclo r1\n"
+      "halt\n");
+  const RunStats stats = pe.run(p);
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(pe.scalar_reg(1), 2 * 36);
+}
+
+TEST(Assembler, EveryOpcodeRoundTripsThroughText) {
+  // One instruction of every opcode, with distinct register/imm fields;
+  // assemble(disassemble(p)) must be the identity. Guards the mnemonic/
+  // signature table against drift when the ISA grows.
+  ProgramBuilder b;
+  b.emit(Opcode::kNop);
+  b.li(1, -7);
+  b.sadd(2, 3, 4).ssub(5, 6, 7).smul(1, 2, 3).saddi(4, 5, 99);
+  b.sload(6, 7, 11).sstore(1, 2, 12);
+  b.jump(0).bnez(3, 1).beqz(4, 2);
+  b.vadd(1, 2, 3).vsub(4, 5, 6).vadds(7, 8, 9).vsubs(10, 11, 12);
+  b.vmul(13, 14, 15).vmulh(16, 17, 18).vmac(19, 20, 21);
+  b.vand(22, 23, 24).vor(25, 26, 27).vxor(28, 29, 30);
+  b.vsll(31, 0, 3).vsra(1, 2, 4).vmin(3, 4, 5).vmax(6, 7, 8);
+  b.vsplat(9, 10).vshuf(11, 12, 13).vsel(14, 15, 16);
+  b.vload(17, 1, 5).vstore(18, 2, 6);
+  b.vredsum(19).racclo(3).racchi(4);
+  b.halt();
+  const Program original = b.build();
+
+  const Program again = assemble(disassemble(original));
+  ASSERT_EQ(again.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(again[i].op),
+              static_cast<int>(original[i].op)) << i;
+    EXPECT_EQ(again[i].dst, original[i].dst) << i;
+    EXPECT_EQ(again[i].src1, original[i].src1) << i;
+    EXPECT_EQ(again[i].src2, original[i].src2) << i;
+    EXPECT_EQ(again[i].imm, original[i].imm) << i;
+  }
+}
+
+TEST(Assembler, DisassembleMatchesBuilderOutput) {
+  ProgramBuilder b;
+  b.li(1, 3).vsplat(2, 1).vmul(3, 2, 2).halt();
+  const std::string text = disassemble(b.build());
+  EXPECT_NE(text.find("li r1, 3"), std::string::npos);
+  EXPECT_NE(text.find("vsplat v2, r1"), std::string::npos);
+  EXPECT_NE(text.find("vmul v3, v2, v2"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,110 @@
+#include "soda/energy_report.h"
+
+#include <gtest/gtest.h>
+
+#include "soda/kernels.h"
+
+namespace ntv::soda {
+namespace {
+
+struct FirRun {
+  RunStats stats;
+  ActivitySnapshot before;
+  ActivitySnapshot after;
+};
+
+FirRun run_fir(int width = 32) {
+  PeConfig config;
+  config.width = width;
+  ProcessingElement pe(config);
+  FirKernel fir;
+  fir.taps = 8;
+  fir.prepare(pe, std::vector<std::int16_t>(8, 2));
+  FirRun run;
+  run.before = ActivitySnapshot::of(pe);
+  run.stats = pe.run(fir.build());
+  run.after = ActivitySnapshot::of(pe);
+  return run;
+}
+
+const device::TechNode& node() { return device::tech_90nm(); }
+
+TEST(EnergyReport, ActivityCountersMoveDuringRun) {
+  const FirRun run = run_fir();
+  EXPECT_GT(run.after.fu_ops, run.before.fu_ops);
+  EXPECT_GT(run.after.memory_reads, run.before.memory_reads);
+  EXPECT_GT(run.after.memory_writes, run.before.memory_writes);
+}
+
+TEST(EnergyReport, TotalIsSumOfComponents) {
+  const FirRun run = run_fir();
+  const auto report = estimate_energy(node(), run.stats, run.before,
+                                      run.after, 1.0, 1e-9, 1e-9);
+  EXPECT_NEAR(report.total,
+              report.dv_dynamic + report.dv_leakage + report.fv_energy,
+              1e-12);
+  EXPECT_GT(report.dv_dynamic, 0.0);
+  EXPECT_GT(report.fv_energy, 0.0);
+}
+
+TEST(EnergyReport, NtvCutsDynamicEnergyQuadratically) {
+  const FirRun run = run_fir();
+  const auto fv = estimate_energy(node(), run.stats, run.before, run.after,
+                                  1.0, 1e-9, 1e-9);
+  const auto ntv = estimate_energy(node(), run.stats, run.before, run.after,
+                                   0.5, 10e-9, 1e-9);
+  EXPECT_NEAR(ntv.dv_dynamic, 0.25 * fv.dv_dynamic, 1e-9);
+  // FV-domain energy is voltage-independent here.
+  EXPECT_DOUBLE_EQ(ntv.fv_energy, fv.fv_energy);
+}
+
+TEST(EnergyReport, NtvTotalEnergyIsLowerDespiteLeakage) {
+  // The paper's core premise, at kernel granularity.
+  const FirRun run = run_fir(128);
+  const auto fv = estimate_energy(node(), run.stats, run.before, run.after,
+                                  1.0, 1e-9, 1e-9);
+  const auto ntv = estimate_energy(node(), run.stats, run.before, run.after,
+                                   0.5, 10e-9, 1e-9);
+  EXPECT_LT(ntv.dv_dynamic + ntv.dv_leakage,
+            0.5 * (fv.dv_dynamic + fv.dv_leakage));
+}
+
+TEST(EnergyReport, LeakageGrowsWithRuntime) {
+  const FirRun run = run_fir();
+  const auto fast = estimate_energy(node(), run.stats, run.before,
+                                    run.after, 0.5, 10e-9, 1e-9);
+  const auto slow = estimate_energy(node(), run.stats, run.before,
+                                    run.after, 0.5, 20e-9, 1e-9);
+  EXPECT_GT(slow.dv_leakage, fast.dv_leakage);
+  EXPECT_GT(slow.runtime, fast.runtime);
+}
+
+TEST(EnergyReport, ValidatesArguments) {
+  const FirRun run = run_fir();
+  EXPECT_THROW(estimate_energy(node(), run.stats, run.before, run.after,
+                               0.0, 1e-9, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW(estimate_energy(node(), run.stats, run.before, run.after,
+                               1.5, 1e-9, 1e-9),
+               std::invalid_argument);
+  // Swapped snapshots.
+  EXPECT_THROW(estimate_energy(node(), run.stats, run.after, run.before,
+                               1.0, 1e-9, 1e-9),
+               std::invalid_argument);
+}
+
+TEST(EnergyReport, CostKnobsScaleLinearly) {
+  const FirRun run = run_fir();
+  EnergyCosts cheap;
+  EnergyCosts pricey = cheap;
+  pricey.memory_access *= 2.0;
+  const auto a = estimate_energy(node(), run.stats, run.before, run.after,
+                                 1.0, 1e-9, 1e-9, cheap);
+  const auto b = estimate_energy(node(), run.stats, run.before, run.after,
+                                 1.0, 1e-9, 1e-9, pricey);
+  EXPECT_GT(b.fv_energy, a.fv_energy);
+  EXPECT_DOUBLE_EQ(b.dv_dynamic, a.dv_dynamic);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,62 @@
+#include "soda/isa.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ntv::soda {
+namespace {
+
+constexpr Opcode kAllOpcodes[] = {
+    Opcode::kNop,      Opcode::kHalt,     Opcode::kLoadImm,
+    Opcode::kSAdd,     Opcode::kSSub,     Opcode::kSMul,
+    Opcode::kSAddImm,  Opcode::kSLoad,    Opcode::kSStore,
+    Opcode::kJump,     Opcode::kBranchNZ, Opcode::kBranchZ,
+    Opcode::kVAdd,     Opcode::kVSub,     Opcode::kVAddSat,
+    Opcode::kVSubSat,  Opcode::kVMul,     Opcode::kVMulH,
+    Opcode::kVMac,     Opcode::kVAnd,     Opcode::kVOr,
+    Opcode::kVXor,     Opcode::kVShiftL,  Opcode::kVShiftRA,
+    Opcode::kVMin,     Opcode::kVMax,     Opcode::kVSplat,
+    Opcode::kVShuffle, Opcode::kVSelect,  Opcode::kVLoad,
+    Opcode::kVStore,   Opcode::kVReduceSum, Opcode::kReadAccLo,
+    Opcode::kReadAccHi,
+};
+
+TEST(Isa, EveryOpcodeHasAUniqueName) {
+  std::set<std::string> names;
+  for (Opcode op : kAllOpcodes) {
+    const auto name = std::string(opcode_name(op));
+    EXPECT_NE(name, "?") << static_cast<int>(op);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Isa, SimdClassificationIsConsistent) {
+  // SIMD ops execute in the DV domain; memory/scalar/control do not.
+  EXPECT_TRUE(is_simd_op(Opcode::kVAdd));
+  EXPECT_TRUE(is_simd_op(Opcode::kVAddSat));
+  EXPECT_TRUE(is_simd_op(Opcode::kVShuffle));
+  EXPECT_TRUE(is_simd_op(Opcode::kVReduceSum));
+  EXPECT_FALSE(is_simd_op(Opcode::kVLoad));   // Memory (FV) side.
+  EXPECT_FALSE(is_simd_op(Opcode::kVStore));
+  EXPECT_FALSE(is_simd_op(Opcode::kSAdd));
+  EXPECT_FALSE(is_simd_op(Opcode::kJump));
+  EXPECT_FALSE(is_simd_op(Opcode::kHalt));
+  EXPECT_FALSE(is_simd_op(Opcode::kReadAccLo));
+}
+
+TEST(Isa, RegisterFileSizesMatchDietSoda) {
+  EXPECT_EQ(kScalarRegs, 16);
+  EXPECT_EQ(kVectorRegs, 32);  // 128-wide 16-bit 32-entry SIMD RF.
+}
+
+TEST(Isa, DefaultInstructionIsNop) {
+  const Instruction inst{};
+  EXPECT_EQ(inst.op, Opcode::kNop);
+  EXPECT_EQ(inst.dst, 0);
+  EXPECT_EQ(inst.imm, 0);
+}
+
+}  // namespace
+}  // namespace ntv::soda

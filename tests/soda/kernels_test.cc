@@ -1,0 +1,258 @@
+#include "soda/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/rng.h"
+
+namespace ntv::soda {
+namespace {
+
+std::vector<std::int16_t> random_i16(int n, int bound, std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  std::vector<std::int16_t> out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    v = static_cast<std::int16_t>(
+        static_cast<long>(rng.bounded(static_cast<std::uint64_t>(2 * bound))) -
+        bound);
+  }
+  return out;
+}
+
+void write_row(ProcessingElement& pe, int row,
+               std::span<const std::int16_t> data) {
+  std::vector<std::uint16_t> raw(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(data[i]);
+  pe.simd_memory().write_row(row, raw);
+}
+
+std::vector<std::int16_t> read_row(ProcessingElement& pe, int row) {
+  std::vector<std::uint16_t> raw(static_cast<std::size_t>(pe.config().width));
+  pe.simd_memory().read_row(row, raw);
+  std::vector<std::int16_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out[i] = static_cast<std::int16_t>(raw[i]);
+  return out;
+}
+
+TEST(Mappings, RotationWrapsBothWays) {
+  const auto plus = rotation_mapping(8, 1);
+  EXPECT_EQ(plus[7], 0);
+  EXPECT_EQ(plus[0], 1);
+  const auto minus = rotation_mapping(8, -1);
+  EXPECT_EQ(minus[0], 7);
+  EXPECT_EQ(minus[7], 6);
+}
+
+TEST(Mappings, BitReversal8) {
+  const auto rev = bit_reversal_mapping(8);
+  EXPECT_EQ(rev, (std::vector<int>{0, 4, 2, 6, 1, 5, 3, 7}));
+}
+
+TEST(Mappings, ButterflyPartners) {
+  const auto low = butterfly_low_mapping(8, 1);
+  const auto high = butterfly_high_mapping(8, 1);
+  EXPECT_EQ(low[2], 0);
+  EXPECT_EQ(low[3], 1);
+  EXPECT_EQ(high[0], 2);
+  EXPECT_EQ(high[2], 2);
+}
+
+TEST(FirKernel, MatchesReferenceOnRandomData) {
+  PeConfig config;
+  config.width = 128;
+  ProcessingElement pe(config);
+
+  FirKernel fir;
+  fir.taps = 5;
+  const auto coefs = random_i16(5, 50, 1);
+  const auto x = random_i16(128, 1000, 2);
+  fir.prepare(pe, coefs);
+  write_row(pe, fir.input_row, x);
+  pe.run(fir.build());
+
+  EXPECT_EQ(read_row(pe, fir.output_row), FirKernel::reference(x, coefs));
+}
+
+TEST(FirKernel, SingleTapIsScaling) {
+  PeConfig config;
+  config.width = 16;
+  ProcessingElement pe(config);
+  FirKernel fir;
+  fir.taps = 1;
+  const std::vector<std::int16_t> coefs = {3};
+  std::vector<std::int16_t> x(16);
+  std::iota(x.begin(), x.end(), 0);
+  fir.prepare(pe, coefs);
+  write_row(pe, fir.input_row, x);
+  pe.run(fir.build());
+  const auto y = read_row(pe, fir.output_row);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(y[static_cast<std::size_t>(i)], 3 * i);
+  }
+}
+
+TEST(FirKernel, WorksWithFaultyLanesBypassed) {
+  PeConfig config;
+  config.width = 64;
+  config.spare_fus = 4;
+  ProcessingElement pe(config);
+  std::vector<std::uint8_t> faulty(68, 0);
+  faulty[10] = faulty[11] = faulty[12] = 1;  // Bursty faults.
+  pe.set_faulty_fus(faulty);
+
+  FirKernel fir;
+  fir.taps = 3;
+  const auto coefs = random_i16(3, 20, 3);
+  const auto x = random_i16(64, 500, 4);
+  fir.prepare(pe, coefs);
+  write_row(pe, fir.input_row, x);
+  pe.run(fir.build());
+  EXPECT_EQ(read_row(pe, fir.output_row), FirKernel::reference(x, coefs));
+}
+
+TEST(FftKernel, PeMatchesBitExactReference) {
+  PeConfig config;
+  config.width = 128;
+  config.shuffle_contexts = 16;
+  ProcessingElement pe(config);
+
+  FftKernel fft;
+  fft.prepare(pe);
+  auto re = random_i16(128, 12000, 5);
+  auto im = random_i16(128, 12000, 6);
+  write_row(pe, fft.re_row, re);
+  write_row(pe, fft.im_row, im);
+  pe.run(fft.build(pe));
+
+  auto want_re = re;
+  auto want_im = im;
+  FftKernel::reference_fixed(want_re, want_im);
+  EXPECT_EQ(read_row(pe, fft.out_re_row), want_re);
+  EXPECT_EQ(read_row(pe, fft.out_im_row), want_im);
+}
+
+TEST(FftKernel, AccuracyAgainstDoubleDft) {
+  PeConfig config;
+  config.width = 128;
+  ProcessingElement pe(config);
+  FftKernel fft;
+  fft.prepare(pe);
+
+  // A two-tone signal with plenty of headroom.
+  std::vector<std::int16_t> re(128), im(128, 0);
+  for (int i = 0; i < 128; ++i) {
+    re[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+        8000.0 * std::cos(2.0 * M_PI * 5.0 * i / 128.0) +
+        4000.0 * std::cos(2.0 * M_PI * 19.0 * i / 128.0));
+  }
+  write_row(pe, fft.re_row, re);
+  write_row(pe, fft.im_row, im);
+  pe.run(fft.build(pe));
+
+  const auto got_re = read_row(pe, fft.out_re_row);
+  const auto got_im = read_row(pe, fft.out_im_row);
+  const auto want = FftKernel::reference_double(re, im);
+  // Fixed-point error: a few LSB per stage; allow 1 % of peak magnitude.
+  double peak = 0.0;
+  for (const auto& w : want) peak = std::max(peak, std::abs(w));
+  for (int k = 0; k < 128; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    EXPECT_NEAR(got_re[kk], want[kk].real(), 0.02 * peak + 8.0) << "k=" << k;
+    EXPECT_NEAR(got_im[kk], want[kk].imag(), 0.02 * peak + 8.0) << "k=" << k;
+  }
+}
+
+TEST(FftKernel, ImpulseGivesFlatSpectrum) {
+  PeConfig config;
+  config.width = 128;
+  ProcessingElement pe(config);
+  FftKernel fft;
+  fft.prepare(pe);
+  std::vector<std::int16_t> re(128, 0), im(128, 0);
+  re[0] = 12800;  // Impulse: FFT/n = 100 in every bin.
+  write_row(pe, fft.re_row, re);
+  write_row(pe, fft.im_row, im);
+  pe.run(fft.build(pe));
+  for (auto v : read_row(pe, fft.out_re_row)) {
+    EXPECT_NEAR(v, 100, 4);
+  }
+  for (auto v : read_row(pe, fft.out_im_row)) {
+    EXPECT_NEAR(v, 0, 4);
+  }
+}
+
+TEST(Conv2dKernel, MatchesReference) {
+  PeConfig config;
+  config.width = 32;
+  ProcessingElement pe(config);
+
+  Conv2dKernel conv;
+  conv.height = 6;
+  const std::vector<std::int16_t> kernel = {1, 2, 1, 0, 3, 0, -1, -2, -1};
+  const auto image = random_i16(6 * 32, 100, 7);
+  conv.prepare(pe, kernel);
+  for (int r = 0; r < 6; ++r) {
+    write_row(pe, conv.image_row0 + r,
+              std::span<const std::int16_t>(image).subspan(
+                  static_cast<std::size_t>(r) * 32, 32));
+  }
+  pe.run(conv.build());
+
+  const auto want = Conv2dKernel::reference(image, 6, 32, kernel);
+  for (int r = 0; r < 6; ++r) {
+    const auto got = read_row(pe, conv.output_row0 + r);
+    for (int c = 0; c < 32; ++c) {
+      EXPECT_EQ(got[static_cast<std::size_t>(c)],
+                want[static_cast<std::size_t>(r * 32 + c)])
+          << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(Conv2dKernel, IdentityKernelCopiesImage) {
+  PeConfig config;
+  config.width = 16;
+  ProcessingElement pe(config);
+  Conv2dKernel conv;
+  conv.height = 4;
+  const std::vector<std::int16_t> identity = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  const auto image = random_i16(4 * 16, 200, 8);
+  conv.prepare(pe, identity);
+  for (int r = 0; r < 4; ++r) {
+    write_row(pe, conv.image_row0 + r,
+              std::span<const std::int16_t>(image).subspan(
+                  static_cast<std::size_t>(r) * 16, 16));
+  }
+  pe.run(conv.build());
+  for (int r = 0; r < 4; ++r) {
+    const auto got = read_row(pe, conv.output_row0 + r);
+    for (int c = 0; c < 16; ++c) {
+      EXPECT_EQ(got[static_cast<std::size_t>(c)],
+                image[static_cast<std::size_t>(r * 16 + c)]);
+    }
+  }
+}
+
+TEST(DotKernel, MatchesReference) {
+  PeConfig config;
+  config.width = 128;
+  ProcessingElement pe(config);
+  DotKernel dot;
+  const auto a = random_i16(128, 180, 9);
+  const auto b2 = random_i16(128, 180, 10);
+  write_row(pe, dot.a_row, a);
+  write_row(pe, dot.b_row, b2);
+  pe.run(dot.build());
+  const std::int32_t got =
+      static_cast<std::int32_t>(pe.scalar_memory().read(dot.result_addr)) |
+      (static_cast<std::int32_t>(pe.scalar_memory().read(dot.result_addr + 1))
+       << 16);
+  EXPECT_EQ(got, DotKernel::reference(a, b2));
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "soda/assembler.h"
+#include "soda/kernels.h"
+#include "soda/pe.h"
+#include "stats/rng.h"
+
+namespace ntv::soda {
+namespace {
+
+TEST(MatVecKernel, IdentityMatrixCopiesLowWords) {
+  PeConfig config;
+  config.width = 8;
+  ProcessingElement pe(config);
+
+  MatVecKernel mv;
+  mv.rows = 8;
+  // Identity matrix.
+  for (int r = 0; r < 8; ++r) {
+    std::vector<std::uint16_t> row(8, 0);
+    row[static_cast<std::size_t>(r)] = 1;
+    pe.simd_memory().write_row(mv.matrix_row0 + r, row);
+  }
+  std::vector<std::uint16_t> x = {10, 20, 30, 40, 50, 60, 70, 80};
+  pe.simd_memory().write_row(mv.x_row, x);
+
+  pe.run(mv.build());
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(pe.scalar_memory().read(mv.result_addr + r),
+              x[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(MatVecKernel, MatchesReferenceOnRandomData) {
+  PeConfig config;
+  config.width = 32;
+  ProcessingElement pe(config);
+
+  MatVecKernel mv;
+  mv.rows = 12;
+  stats::Xoshiro256pp rng(5);
+  std::vector<std::int16_t> matrix(static_cast<std::size_t>(12 * 32));
+  std::vector<std::int16_t> x(32);
+  for (auto& v : matrix) v = static_cast<std::int16_t>(rng.bounded(400)) - 200;
+  for (auto& v : x) v = static_cast<std::int16_t>(rng.bounded(400)) - 200;
+
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint16_t> row(32);
+    for (int c = 0; c < 32; ++c) {
+      row[static_cast<std::size_t>(c)] = static_cast<std::uint16_t>(
+          matrix[static_cast<std::size_t>(r * 32 + c)]);
+    }
+    pe.simd_memory().write_row(mv.matrix_row0 + r, row);
+  }
+  std::vector<std::uint16_t> xr(32);
+  for (int c = 0; c < 32; ++c) xr[static_cast<std::size_t>(c)] = static_cast<std::uint16_t>(x[static_cast<std::size_t>(c)]);
+  pe.simd_memory().write_row(mv.x_row, xr);
+
+  pe.run(mv.build());
+  const auto want = MatVecKernel::reference(matrix, 12, 32, x);
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_EQ(static_cast<std::int16_t>(
+                  pe.scalar_memory().read(mv.result_addr + r)),
+              want[static_cast<std::size_t>(r)])
+        << "row " << r;
+  }
+}
+
+TEST(MatVecKernel, CycleCountScalesWithRows) {
+  PeConfig config;
+  config.width = 16;
+  ProcessingElement pe(config);
+  MatVecKernel mv;
+  mv.rows = 4;
+  const auto s4 = pe.run(mv.build());
+  mv.rows = 8;
+  const auto s8 = pe.run(mv.build());
+  // Two SIMD ops per row (vmul + vredsum).
+  EXPECT_EQ(s4.simd_cycles, 8);
+  EXPECT_EQ(s8.simd_cycles, 16);
+}
+
+TEST(SaturatingOps, ClampAtInt16Limits) {
+  PeConfig config;
+  config.width = 4;
+  ProcessingElement pe(config);
+  pe.write_vector(0, std::vector<std::uint16_t>{32767, 0x8000, 100, 0});
+  pe.write_vector(1, std::vector<std::uint16_t>{1, 1, 200,
+                                                static_cast<std::uint16_t>(-1)});
+  ProgramBuilder b;
+  b.vadds(2, 0, 1);
+  b.vsubs(3, 0, 1);
+  b.halt();
+  pe.run(b.build());
+  const auto add = pe.read_vector(2);
+  EXPECT_EQ(as_signed(add[0]), 32767);   // Saturated high.
+  EXPECT_EQ(as_signed(add[1]), -32767);  // -32768 + 1.
+  EXPECT_EQ(as_signed(add[2]), 300);
+  EXPECT_EQ(as_signed(add[3]), -1);
+  const auto sub = pe.read_vector(3);
+  EXPECT_EQ(as_signed(sub[0]), 32766);
+  EXPECT_EQ(as_signed(sub[1]), -32768);  // Saturated low: -32768 - 1.
+  EXPECT_EQ(as_signed(sub[2]), -100);
+  EXPECT_EQ(as_signed(sub[3]), 1);
+}
+
+TEST(SaturatingOps, AssembleAndDisassemble) {
+  const Program p = assemble("vadds v1, v2, v3\nvsubs v4, v5, v6\n");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].op, Opcode::kVAddSat);
+  EXPECT_EQ(p[1].op, Opcode::kVSubSat);
+  const Program again = assemble(disassemble(p));
+  EXPECT_EQ(again[0].op, Opcode::kVAddSat);
+  EXPECT_EQ(again[1].src2, 6);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,142 @@
+#include "soda/memory.h"
+
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ntv::soda {
+namespace {
+
+TEST(SimdMemoryBank, ReadsBackWrites) {
+  SimdMemoryBank bank(32, 256);
+  bank.write(3, 7, 0xBEEF);
+  EXPECT_EQ(bank.read(3, 7), 0xBEEF);
+  EXPECT_EQ(bank.read(3, 8), 0);
+}
+
+TEST(SimdMemoryBank, BoundsChecked) {
+  SimdMemoryBank bank(32, 256);
+  EXPECT_THROW(bank.read(256, 0), std::out_of_range);
+  EXPECT_THROW(bank.read(0, 32), std::out_of_range);
+  EXPECT_THROW(bank.write(-1, 0, 0), std::out_of_range);
+}
+
+TEST(MultiBankMemory, DimensionsMatchDietSoda) {
+  // 64 KB: 4 banks x 32 lanes x 256 entries x 16 bit.
+  MultiBankMemory mem;
+  EXPECT_EQ(mem.width(), 128);
+  EXPECT_EQ(mem.banks(), 4);
+  EXPECT_EQ(mem.entries(), 256);
+}
+
+TEST(MultiBankMemory, LaneToBankMapping) {
+  MultiBankMemory mem;
+  // Lane 0 -> bank 0, lane 32 -> bank 1, etc. Write through the row
+  // interface, read through the element interface.
+  std::vector<std::uint16_t> row(128);
+  std::iota(row.begin(), row.end(), 100);
+  mem.write_row(5, row);
+  EXPECT_EQ(mem.read(5, 0), 100);
+  EXPECT_EQ(mem.read(5, 32), 132);
+  EXPECT_EQ(mem.read(5, 127), 227);
+}
+
+TEST(MultiBankMemory, RowRoundTrip) {
+  MultiBankMemory mem;
+  std::vector<std::uint16_t> row(128);
+  std::iota(row.begin(), row.end(), 0);
+  mem.write_row(10, row);
+  std::vector<std::uint16_t> out(128);
+  mem.read_row(10, out);
+  EXPECT_EQ(out, row);
+}
+
+TEST(MultiBankMemory, RejectsBadShapes) {
+  EXPECT_THROW(MultiBankMemory(126, 4, 256), std::invalid_argument);
+  MultiBankMemory mem;
+  std::vector<std::uint16_t> short_row(64);
+  EXPECT_THROW(mem.write_row(0, short_row), std::invalid_argument);
+  EXPECT_THROW(mem.read(0, 128), std::out_of_range);
+}
+
+TEST(MultiBankMemory, CountsAccesses) {
+  MultiBankMemory mem;
+  std::vector<std::uint16_t> row(128, 1);
+  mem.write_row(0, row);
+  mem.read_row(0, row);
+  EXPECT_EQ(mem.writes(), 128);
+  EXPECT_EQ(mem.reads(), 128);
+}
+
+TEST(RetentionFaults, ZeroProbabilityIsHarmless) {
+  MultiBankMemory mem(32, 4, 16);
+  std::vector<std::uint16_t> row(32);
+  std::iota(row.begin(), row.end(), 7);
+  mem.write_row(3, row);
+  stats::Xoshiro256pp rng(1);
+  EXPECT_EQ(mem.inject_retention_faults(rng, 0.0), 0);
+  std::vector<std::uint16_t> out(32);
+  mem.read_row(3, out);
+  EXPECT_EQ(out, row);
+}
+
+TEST(RetentionFaults, FlipRateMatchesProbability) {
+  MultiBankMemory mem(32, 4, 64);
+  stats::Xoshiro256pp rng(2);
+  const double p = 0.01;
+  const long flipped = mem.inject_retention_faults(rng, p);
+  const double bits = 32.0 * 64.0 * 16.0;
+  EXPECT_NEAR(static_cast<double>(flipped), bits * p,
+              4.0 * std::sqrt(bits * p));
+}
+
+TEST(RetentionFaults, CertainFlipInvertsEverything) {
+  MultiBankMemory mem(32, 4, 4);
+  std::vector<std::uint16_t> row(32, 0x00FF);
+  mem.write_row(0, row);
+  stats::Xoshiro256pp rng(3);
+  mem.inject_retention_faults(rng, 1.0);
+  std::vector<std::uint16_t> out(32);
+  mem.read_row(0, out);
+  for (auto v : out) EXPECT_EQ(v, 0xFF00);
+}
+
+TEST(RetentionFaults, CorruptsKernelResults) {
+  // The Appendix B rationale: memory in the NTV domain loses data, so a
+  // kernel that reads after fault injection produces wrong answers.
+  MultiBankMemory mem(32, 4, 16);
+  std::vector<std::uint16_t> row(32);
+  std::iota(row.begin(), row.end(), 0);
+  mem.write_row(0, row);
+  stats::Xoshiro256pp rng(4);
+  const long flipped = mem.inject_retention_faults(rng, 0.02);
+  ASSERT_GT(flipped, 0);
+  std::vector<std::uint16_t> out(32);
+  mem.read_row(0, out);
+  EXPECT_NE(out, row);
+}
+
+TEST(RetentionFaults, RejectsBadProbability) {
+  MultiBankMemory mem(32, 4, 4);
+  stats::Xoshiro256pp rng(5);
+  EXPECT_THROW(mem.inject_retention_faults(rng, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(mem.inject_retention_faults(rng, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ScalarMemory, ReadWrite) {
+  ScalarMemory mem;
+  EXPECT_EQ(mem.size(), 2048);  // 4 KB of 16-bit words.
+  mem.write(100, 0xCAFE);
+  EXPECT_EQ(mem.read(100), 0xCAFE);
+  EXPECT_THROW(mem.read(2048), std::out_of_range);
+  EXPECT_THROW(mem.write(-1, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,219 @@
+#include "soda/pe.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "soda/kernels.h"
+
+namespace ntv::soda {
+namespace {
+
+PeConfig small_config() {
+  PeConfig config;
+  config.width = 8;
+  config.banks = 4;
+  config.mem_entries = 32;
+  return config;
+}
+
+TEST(ProcessingElement, ScalarArithmeticAndHalt) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(1, 5).li(2, 7).sadd(3, 1, 2).smul(4, 1, 2).ssub(5, 2, 1).halt();
+  const RunStats stats = pe.run(b.build());
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(pe.scalar_reg(3), 12);
+  EXPECT_EQ(pe.scalar_reg(4), 35);
+  EXPECT_EQ(pe.scalar_reg(5), 2);
+}
+
+TEST(ProcessingElement, LoopCountsDown) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(1, 10).li(2, 0);
+  b.bind("loop");
+  b.saddi(2, 2, 3);
+  b.saddi(1, 1, -1);
+  b.bnez(1, "loop");
+  b.halt();
+  const RunStats stats = pe.run(b.build());
+  EXPECT_TRUE(stats.halted);
+  EXPECT_EQ(pe.scalar_reg(2), 30);
+}
+
+TEST(ProcessingElement, BranchZTaken) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(1, 0);
+  b.beqz(1, "skip");
+  b.li(2, 99);  // Skipped.
+  b.bind("skip");
+  b.li(3, 42);
+  b.halt();
+  pe.run(b.build());
+  EXPECT_EQ(pe.scalar_reg(2), 0);
+  EXPECT_EQ(pe.scalar_reg(3), 42);
+}
+
+TEST(ProcessingElement, ScalarMemoryRoundTrip) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(1, 100).li(2, 0xBEE).sstore(1, 2, 5).sload(3, 1, 5).halt();
+  pe.run(b.build());
+  EXPECT_EQ(pe.scalar_reg(3), 0xBEE);
+  EXPECT_EQ(pe.scalar_memory().read(105), 0xBEE);
+}
+
+TEST(ProcessingElement, VectorLoadComputeStore) {
+  ProcessingElement pe(small_config());
+  std::vector<std::uint16_t> row(8);
+  std::iota(row.begin(), row.end(), 1);
+  pe.simd_memory().write_row(0, row);
+
+  ProgramBuilder b;
+  b.li(0, 0);
+  b.vload(1, 0, 0);
+  b.vadd(2, 1, 1);  // Double each lane.
+  b.vstore(2, 0, 1);
+  b.halt();
+  pe.run(b.build());
+
+  std::vector<std::uint16_t> out(8);
+  pe.simd_memory().read_row(1, out);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 2 * (i + 1));
+  }
+}
+
+TEST(ProcessingElement, SplatAndShiftPipeline) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(1, 6);
+  b.emit(Opcode::kVSplat, 0, 1);
+  b.vsll(2, 0, 2);
+  b.vsra(3, 2, 1);
+  b.halt();
+  pe.run(b.build());
+  for (auto v : pe.read_vector(3)) EXPECT_EQ(v, 12);
+}
+
+TEST(ProcessingElement, ShuffleThroughNamedContext) {
+  ProcessingElement pe(small_config());
+  pe.program_shuffle(2, rotation_mapping(8, 1));
+  std::vector<std::uint16_t> data = {10, 11, 12, 13, 14, 15, 16, 17};
+  pe.write_vector(0, data);
+  ProgramBuilder b;
+  b.vshuf(1, 0, 2).halt();
+  pe.run(b.build());
+  const auto out = pe.read_vector(1);
+  EXPECT_EQ(out[0], 11);
+  EXPECT_EQ(out[7], 10);
+}
+
+TEST(ProcessingElement, ReduceSumThroughAdderTree) {
+  ProcessingElement pe(small_config());
+  std::vector<std::uint16_t> data(8);
+  std::iota(data.begin(), data.end(), 1);  // 1..8 -> 36.
+  pe.write_vector(0, data);
+  ProgramBuilder b;
+  b.vredsum(0).racclo(1).racchi(2).halt();
+  pe.run(b.build());
+  EXPECT_EQ(pe.scalar_reg(1), 36);
+  EXPECT_EQ(pe.scalar_reg(2), 0);
+}
+
+TEST(ProcessingElement, ReduceSumNegativeValues) {
+  ProcessingElement pe(small_config());
+  std::vector<std::uint16_t> data(8, static_cast<std::uint16_t>(-1000));
+  pe.write_vector(0, data);
+  ProgramBuilder b;
+  b.vredsum(0).racclo(1).racchi(2).halt();
+  pe.run(b.build());
+  const std::int32_t acc =
+      static_cast<std::int32_t>(pe.scalar_reg(1)) |
+      (static_cast<std::int32_t>(pe.scalar_reg(2)) << 16);
+  EXPECT_EQ(acc, -8000);
+}
+
+TEST(ProcessingElement, CycleAccountingSplitsDomains) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.li(0, 0);      // scalar
+  b.vload(1, 0, 0);  // memory
+  b.vadd(2, 1, 1);   // simd
+  b.vadd(3, 2, 2);   // simd
+  b.vstore(3, 0, 1); // memory
+  b.halt();
+  const RunStats stats = pe.run(b.build());
+  EXPECT_EQ(stats.simd_cycles, 2);
+  EXPECT_EQ(stats.memory_cycles, 2);
+  EXPECT_EQ(stats.scalar_cycles, 1);
+}
+
+TEST(ProcessingElement, ExecutionTimeCouplesClockDomains) {
+  RunStats stats;
+  stats.simd_cycles = 10;
+  stats.scalar_cycles = 4;
+  stats.memory_cycles = 6;
+  // SIMD at 4 ns (near-threshold), memory at 1 ns: 10*4 + 10*1 = 50 ns.
+  EXPECT_NEAR(ProcessingElement::execution_time(stats, 4e-9, 1e-9), 50e-9,
+              1e-15);
+}
+
+TEST(ProcessingElement, ExecutionTimeRequiresIntegerRatio) {
+  RunStats stats;
+  stats.simd_cycles = 1;
+  EXPECT_THROW(ProcessingElement::execution_time(stats, 2.5e-9, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW(ProcessingElement::execution_time(stats, 0.0, 1e-9),
+               std::invalid_argument);
+}
+
+TEST(ProcessingElement, RunawayLoopHitsInstructionLimit) {
+  ProcessingElement pe(small_config());
+  ProgramBuilder b;
+  b.bind("spin");
+  b.jump("spin");
+  EXPECT_THROW(pe.run(b.build(), 1000), std::runtime_error);
+}
+
+TEST(ProcessingElement, FaultyFuBypassKeepsProgramsCorrect) {
+  PeConfig config = small_config();
+  config.spare_fus = 2;
+  ProcessingElement pe(config);
+  std::vector<std::uint8_t> faulty(10, 0);
+  faulty[3] = faulty[4] = 1;
+  pe.set_faulty_fus(faulty);
+
+  std::vector<std::uint16_t> row(8);
+  std::iota(row.begin(), row.end(), 5);
+  pe.simd_memory().write_row(0, row);
+  ProgramBuilder b;
+  b.li(0, 0).vload(1, 0, 0).vmul(2, 1, 1).vstore(2, 0, 1).halt();
+  pe.run(b.build());
+  std::vector<std::uint16_t> out(8);
+  pe.simd_memory().read_row(1, out);
+  for (int i = 0; i < 8; ++i) {
+    const int v = i + 5;
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], v * v);
+  }
+  // Faulty FUs did no work.
+  EXPECT_EQ(pe.simd().fu_op_counts()[3], 0);
+  EXPECT_EQ(pe.simd().fu_op_counts()[4], 0);
+}
+
+TEST(ProgramBuilder, UnresolvedLabelThrows) {
+  ProgramBuilder b;
+  b.jump("nowhere");
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ProgramBuilder, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.bind("x");
+  EXPECT_THROW(b.bind("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,177 @@
+// Randomized property tests for the SODA PE.
+//
+// Core invariant: spare-lane bypass is functionally invisible. We generate
+// random (but well-formed) SIMD programs and run them twice — on a
+// fault-free PE and on a PE with random faulty FUs bypassed — and require
+// identical architectural state.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "soda/assembler.h"
+#include "soda/kernels.h"
+#include "soda/pe.h"
+#include "stats/rng.h"
+
+namespace ntv::soda {
+namespace {
+
+constexpr int kWidth = 16;
+constexpr int kSpares = 4;
+
+Program random_program(stats::Xoshiro256pp& rng, int length) {
+  ProgramBuilder b;
+  // Seed a few registers deterministically from lane data already loaded.
+  for (int step = 0; step < length; ++step) {
+    const int dst = 1 + static_cast<int>(rng.bounded(7));
+    const int a = static_cast<int>(rng.bounded(8));
+    const int c = static_cast<int>(rng.bounded(8));
+    switch (rng.bounded(10)) {
+      case 0: b.vadd(dst, a, c); break;
+      case 1: b.vsub(dst, a, c); break;
+      case 2: b.vmul(dst, a, c); break;
+      case 3: b.vmac(dst, a, c); break;
+      case 4: b.vxor(dst, a, c); break;
+      case 5: b.vmin(dst, a, c); break;
+      case 6: b.vmax(dst, a, c); break;
+      case 7: b.vsra(dst, a, 1 + static_cast<int>(rng.bounded(4))); break;
+      case 8: b.vsll(dst, a, 1 + static_cast<int>(rng.bounded(4))); break;
+      case 9: b.vshuf(dst, a, 0); break;
+    }
+  }
+  b.vredsum(1);
+  b.racclo(1);
+  b.racchi(2);
+  b.halt();
+  return b.build();
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramTest, BypassIsFunctionallyInvisible) {
+  stats::Xoshiro256pp rng(GetParam());
+
+  PeConfig config;
+  config.width = kWidth;
+  config.spare_fus = kSpares;
+  ProcessingElement clean(config);
+  ProcessingElement repaired(config);
+
+  // Random rotation context 0 (same for both).
+  const int shift = static_cast<int>(rng.bounded(kWidth));
+  clean.program_shuffle(0, rotation_mapping(kWidth, shift));
+  repaired.program_shuffle(0, rotation_mapping(kWidth, shift));
+
+  // Random faults on the repaired PE, within the spare budget.
+  std::vector<std::uint8_t> faulty(kWidth + kSpares, 0);
+  const int n_faults = 1 + static_cast<int>(rng.bounded(kSpares));
+  for (int i = 0; i < n_faults; ++i) {
+    faulty[rng.bounded(faulty.size())] = 1;
+  }
+  repaired.set_faulty_fus(faulty);
+
+  // Identical initial vector state.
+  for (int reg = 0; reg < 8; ++reg) {
+    std::vector<std::uint16_t> data(kWidth);
+    for (auto& v : data) v = static_cast<std::uint16_t>(rng.next());
+    clean.write_vector(reg, data);
+    repaired.write_vector(reg, data);
+  }
+
+  const Program program = random_program(rng, 30);
+  const RunStats s1 = clean.run(program);
+  const RunStats s2 = repaired.run(program);
+
+  EXPECT_EQ(s1.simd_cycles, s2.simd_cycles);  // No re-execution.
+  for (int reg = 0; reg < 8; ++reg) {
+    EXPECT_EQ(clean.read_vector(reg), repaired.read_vector(reg))
+        << "vector register " << reg;
+  }
+  EXPECT_EQ(clean.scalar_reg(1), repaired.scalar_reg(1));
+  EXPECT_EQ(clean.scalar_reg(2), repaired.scalar_reg(2));
+}
+
+TEST_P(RandomProgramTest, DisassembleAssembleRoundTrip) {
+  stats::Xoshiro256pp rng(GetParam() ^ 0xABCD);
+  const Program original = random_program(rng, 25);
+  const Program again = assemble(disassemble(original));
+  ASSERT_EQ(again.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(again[i].op),
+              static_cast<int>(original[i].op)) << i;
+    EXPECT_EQ(again[i].dst, original[i].dst) << i;
+    EXPECT_EQ(again[i].src1, original[i].src1) << i;
+    EXPECT_EQ(again[i].src2, original[i].src2) << i;
+    EXPECT_EQ(again[i].imm, original[i].imm) << i;
+  }
+}
+
+TEST_P(RandomProgramTest, FirMatchesReferenceOnRandomInputs) {
+  stats::Xoshiro256pp rng(GetParam() ^ 0x5151);
+  PeConfig config;
+  config.width = 32;
+  ProcessingElement pe(config);
+
+  FirKernel fir;
+  fir.taps = 1 + static_cast<int>(rng.bounded(7));
+  std::vector<std::int16_t> coefs(static_cast<std::size_t>(fir.taps));
+  for (auto& c : coefs) c = static_cast<std::int16_t>(rng.bounded(200)) - 100;
+  std::vector<std::int16_t> x(32);
+  for (auto& v : x) v = static_cast<std::int16_t>(rng.bounded(4000)) - 2000;
+
+  fir.prepare(pe, coefs);
+  std::vector<std::uint16_t> raw(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(x[i]);
+  pe.simd_memory().write_row(fir.input_row, raw);
+  pe.run(fir.build());
+
+  std::vector<std::uint16_t> got(x.size());
+  pe.simd_memory().read_row(fir.output_row, got);
+  const auto want = FirKernel::reference(x, coefs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int16_t>(got[i]), want[i]) << "lane " << i;
+  }
+}
+
+TEST_P(RandomProgramTest, FftBitExactOnRandomInputs) {
+  stats::Xoshiro256pp rng(GetParam() ^ 0xF0F0);
+  PeConfig config;
+  config.width = 64;
+  ProcessingElement pe(config);
+  FftKernel fft;
+  fft.prepare(pe);
+
+  std::vector<std::int16_t> re(64), im(64);
+  for (auto& v : re) v = static_cast<std::int16_t>(rng.bounded(16000)) - 8000;
+  for (auto& v : im) v = static_cast<std::int16_t>(rng.bounded(16000)) - 8000;
+
+  auto write = [&pe](int row, const std::vector<std::int16_t>& data) {
+    std::vector<std::uint16_t> raw(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      raw[i] = static_cast<std::uint16_t>(data[i]);
+    pe.simd_memory().write_row(row, raw);
+  };
+  write(fft.re_row, re);
+  write(fft.im_row, im);
+  pe.run(fft.build(pe));
+
+  auto want_re = re;
+  auto want_im = im;
+  FftKernel::reference_fixed(want_re, want_im);
+
+  std::vector<std::uint16_t> got_re(64), got_im(64);
+  pe.simd_memory().read_row(fft.out_re_row, got_re);
+  pe.simd_memory().read_row(fft.out_im_row, got_im);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(static_cast<std::int16_t>(got_re[i]), want_re[i]) << i;
+    EXPECT_EQ(static_cast<std::int16_t>(got_im[i]), want_im[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomProgramTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,131 @@
+#include "soda/simd_unit.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace ntv::soda {
+namespace {
+
+std::uint16_t add16(std::uint16_t a, std::uint16_t b) {
+  return as_unsigned(as_signed(a) + as_signed(b));
+}
+
+TEST(SimdUnit, IdentityMapByDefault) {
+  SimdUnit unit(8, 2, 4);
+  EXPECT_EQ(unit.width(), 8);
+  EXPECT_EQ(unit.physical_fus(), 10);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(unit.lane_map()[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimdUnit, BinaryOpIsLaneWise) {
+  SimdUnit unit(4, 0, 4);
+  auto a = unit.reg(0);
+  auto b = unit.reg(1);
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(i);
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(10 * i);
+  }
+  unit.binary(2, 0, 1, add16);
+  const auto d = unit.reg(2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(d[static_cast<std::size_t>(i)], 11 * i);
+  }
+}
+
+TEST(SimdUnit, ArithmeticWrapsAt16Bits) {
+  SimdUnit unit(1, 0, 3);
+  unit.reg(0)[0] = 0x7FFF;
+  unit.reg(1)[0] = 1;
+  unit.binary(2, 0, 1, add16);
+  EXPECT_EQ(unit.reg(2)[0], 0x8000);  // Overflow wraps to -32768.
+}
+
+TEST(SimdUnit, ShiftRightIsArithmetic) {
+  SimdUnit unit(1, 0, 2);
+  unit.reg(0)[0] = static_cast<std::uint16_t>(-8);
+  unit.shift(1, 0, 1, false);
+  EXPECT_EQ(as_signed(unit.reg(1)[0]), -4);
+}
+
+TEST(SimdUnit, MacAccumulates) {
+  SimdUnit unit(2, 0, 3);
+  unit.reg(0)[0] = 3;
+  unit.reg(0)[1] = 4;
+  unit.reg(1)[0] = 5;
+  unit.reg(1)[1] = 6;
+  unit.reg(2)[0] = 100;
+  unit.reg(2)[1] = 200;
+  unit.mac(2, 0, 1);
+  EXPECT_EQ(unit.reg(2)[0], 115);
+  EXPECT_EQ(unit.reg(2)[1], 224);
+}
+
+TEST(SimdUnit, SplatBroadcasts) {
+  SimdUnit unit(4, 0, 1);
+  unit.splat(0, 0xABCD);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(unit.reg(0)[static_cast<std::size_t>(i)], 0xABCD);
+  }
+}
+
+TEST(SimdUnit, SelectUsesSignBit) {
+  SimdUnit unit(2, 0, 3);
+  unit.reg(0)[0] = 1;    // dst
+  unit.reg(0)[1] = 2;
+  unit.reg(1)[0] = 99;   // if_neg
+  unit.reg(1)[1] = 88;
+  unit.reg(2)[0] = 0x8000;  // mask: negative -> take if_neg
+  unit.reg(2)[1] = 0x0000;  // positive -> keep dst
+  unit.select(0, 1, 2);
+  EXPECT_EQ(unit.reg(0)[0], 99);
+  EXPECT_EQ(unit.reg(0)[1], 2);
+}
+
+TEST(SimdUnit, FaultRemapPreservesResults) {
+  SimdUnit unit(4, 2, 4);
+  std::vector<std::uint8_t> faulty(6, 0);
+  faulty[1] = 1;  // Physical FU 1 is bad.
+  unit.set_faulty(faulty);
+  EXPECT_EQ(unit.lane_map(), (std::vector<int>{0, 2, 3, 4}));
+
+  auto a = unit.reg(0);
+  auto b = unit.reg(1);
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(i + 1);
+    b[static_cast<std::size_t>(i)] = 10;
+  }
+  unit.binary(2, 0, 1, add16);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(unit.reg(2)[static_cast<std::size_t>(i)], i + 11);
+  }
+}
+
+TEST(SimdUnit, FaultRemapMovesWorkOffFaultyFu) {
+  SimdUnit unit(4, 2, 4);
+  std::vector<std::uint8_t> faulty(6, 0);
+  faulty[0] = 1;
+  unit.set_faulty(faulty);
+  unit.binary(2, 0, 1, add16);
+  const auto& counts = unit.fu_op_counts();
+  EXPECT_EQ(counts[0], 0);  // Faulty FU did no work.
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[4], 1);  // A spare picked it up.
+  EXPECT_EQ(unit.total_ops(), 4);
+}
+
+TEST(SimdUnit, TooManyFaultsThrow) {
+  SimdUnit unit(4, 1, 2);
+  std::vector<std::uint8_t> faulty(5, 0);
+  faulty[0] = faulty[1] = 1;  // Two faults, one spare.
+  EXPECT_THROW(unit.set_faulty(faulty), std::runtime_error);
+}
+
+TEST(SimdUnit, RejectsBadConstruction) {
+  EXPECT_THROW(SimdUnit(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SimdUnit(4, -1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::soda

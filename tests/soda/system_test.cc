@@ -1,0 +1,123 @@
+#include "soda/system.h"
+
+#include <gtest/gtest.h>
+
+#include "soda/kernels.h"
+
+namespace ntv::soda {
+namespace {
+
+SystemConfig small_system(int pes = 4) {
+  SystemConfig config;
+  config.num_pes = pes;
+  config.pe.width = 8;
+  config.pe.mem_entries = 32;
+  config.t_mem = 1e-9;
+  return config;
+}
+
+/// A job with a fixed SIMD cycle count (n vadds) and trivial setup.
+Job fixed_job(int simd_cycles) {
+  return [simd_cycles](ProcessingElement& pe) {
+    ProgramBuilder b;
+    for (int i = 0; i < simd_cycles; ++i) b.vadd(1, 1, 2);
+    b.halt();
+    return pe.run(b.build());
+  };
+}
+
+TEST(SodaSystem, ValidatesConfiguration) {
+  SystemConfig bad = small_system(0);
+  EXPECT_THROW(SodaSystem{bad}, std::invalid_argument);
+}
+
+TEST(SodaSystem, ClockMustBeMemoryMultiple) {
+  SodaSystem sys(small_system());
+  EXPECT_NO_THROW(sys.set_pe_clock(0, 3e-9));
+  EXPECT_THROW(sys.set_pe_clock(0, 2.5e-9), std::invalid_argument);
+  EXPECT_THROW(sys.set_pe_clock(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(sys.set_pe_clock(9, 1e-9), std::out_of_range);
+}
+
+TEST(SodaSystem, BinClockRoundsUpToMultiple) {
+  SodaSystem sys(small_system());
+  EXPECT_DOUBLE_EQ(sys.bin_clock(0.4e-9), 1e-9);
+  EXPECT_DOUBLE_EQ(sys.bin_clock(1.0e-9), 1e-9);
+  EXPECT_DOUBLE_EQ(sys.bin_clock(1.1e-9), 2e-9);
+  EXPECT_DOUBLE_EQ(sys.bin_clock(3.999999999e-9), 4e-9);
+}
+
+TEST(SodaSystem, UniformClocksBalanceJobs) {
+  SodaSystem sys(small_system(4));
+  for (int p = 0; p < 4; ++p) sys.set_pe_clock(p, 2e-9);
+  std::vector<Job> jobs(8, fixed_job(100));
+  const Schedule s = sys.run_jobs(jobs);
+  // 8 equal jobs on 4 equal PEs: two each, makespan = 2 job durations.
+  const double one = s.placements[0].finish - s.placements[0].start;
+  EXPECT_NEAR(s.makespan, 2.0 * one, 1e-15);
+  for (double b : s.busy) EXPECT_NEAR(b, 2.0 * one, 1e-15);
+}
+
+TEST(SodaSystem, PlacementsAreConsistent) {
+  SodaSystem sys(small_system(2));
+  std::vector<Job> jobs(5, fixed_job(50));
+  const Schedule s = sys.run_jobs(jobs);
+  ASSERT_EQ(s.placements.size(), 5u);
+  for (const auto& p : s.placements) {
+    EXPECT_GE(p.pe, 0);
+    EXPECT_LT(p.pe, 2);
+    EXPECT_LT(p.start, p.finish);
+    EXPECT_LE(p.finish, s.makespan + 1e-15);
+  }
+}
+
+TEST(SodaSystem, SlowPeGetsFewerJobs) {
+  SodaSystem sys(small_system(2));
+  sys.set_pe_clock(0, 1e-9);
+  sys.set_pe_clock(1, 4e-9);  // 4x slower SIMD clock.
+  std::vector<Job> jobs(10, fixed_job(200));
+  const Schedule s = sys.run_jobs(jobs);
+  int on_fast = 0;
+  for (const auto& p : s.placements) on_fast += (p.pe == 0);
+  EXPECT_GT(on_fast, 5);
+}
+
+TEST(SodaSystem, VariationTaxIsPositive) {
+  // One slow bin raises the makespan above the uniform-fastest ideal.
+  SodaSystem sys(small_system(4));
+  sys.set_pe_clock(0, 2e-9);
+  sys.set_pe_clock(1, 2e-9);
+  sys.set_pe_clock(2, 2e-9);
+  sys.set_pe_clock(3, 6e-9);
+  std::vector<Job> jobs(16, fixed_job(100));
+  const Schedule s = sys.run_jobs(jobs);
+  EXPECT_GT(s.makespan, sys.ideal_makespan(s) * 1.05);
+}
+
+TEST(SodaSystem, JobsRunFunctionallyOnTheirPe) {
+  SodaSystem sys(small_system(2));
+  // Job writes a marker into its PE's scalar memory.
+  std::vector<Job> jobs;
+  for (int j = 0; j < 2; ++j) {
+    jobs.push_back([j](ProcessingElement& pe) {
+      ProgramBuilder b;
+      b.li(1, 100 + j).li(2, 10).sstore(2, 1, 0).halt();
+      return pe.run(b.build());
+    });
+  }
+  const Schedule s = sys.run_jobs(jobs);
+  // Greedy places job 0 on PE 0 and job 1 on PE 1.
+  EXPECT_EQ(s.placements[0].pe, 0);
+  EXPECT_EQ(s.placements[1].pe, 1);
+  EXPECT_EQ(sys.pe(0).scalar_memory().read(10), 100);
+  EXPECT_EQ(sys.pe(1).scalar_memory().read(10), 101);
+}
+
+TEST(SodaSystem, EmptyBatchHasZeroMakespan) {
+  SodaSystem sys(small_system());
+  const Schedule s = sys.run_jobs({});
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "soda/assembler.h"
+#include "soda/pe.h"
+
+namespace ntv::soda {
+namespace {
+
+PeConfig tiny() {
+  PeConfig config;
+  config.width = 4;
+  return config;
+}
+
+TEST(Trace, HookSeesEveryExecutedInstruction) {
+  ProcessingElement pe(tiny());
+  std::vector<std::size_t> pcs;
+  std::vector<Opcode> ops;
+  pe.set_trace([&](std::size_t pc, const Instruction& inst) {
+    pcs.push_back(pc);
+    ops.push_back(inst.op);
+  });
+
+  ProgramBuilder b;
+  b.li(1, 2);
+  b.bind("loop");
+  b.saddi(1, 1, -1);
+  b.bnez(1, "loop");
+  b.halt();
+  pe.run(b.build());
+
+  // li, saddi, bnez, saddi, bnez, halt.
+  ASSERT_EQ(pcs.size(), 6u);
+  EXPECT_EQ(pcs, (std::vector<std::size_t>{0, 1, 2, 1, 2, 3}));
+  EXPECT_EQ(ops.front(), Opcode::kLoadImm);
+  EXPECT_EQ(ops.back(), Opcode::kHalt);
+}
+
+TEST(Trace, DisabledByDefaultAndClearable) {
+  ProcessingElement pe(tiny());
+  int calls = 0;
+  pe.set_trace([&](std::size_t, const Instruction&) { ++calls; });
+  ProgramBuilder b;
+  b.li(1, 1).halt();
+  pe.run(b.build());
+  EXPECT_EQ(calls, 2);
+  pe.set_trace({});
+  pe.run(b.build());
+  EXPECT_EQ(calls, 2);  // Hook cleared; no further calls.
+}
+
+TEST(Trace, CombinesWithDisassemblerForReadableTraces) {
+  ProcessingElement pe(tiny());
+  std::string log;
+  pe.set_trace([&](std::size_t pc, const Instruction& inst) {
+    log += std::to_string(pc) + ": " +
+           disassemble(Program{inst});
+  });
+  const Program p = assemble("li r1, 7\nvsplat v0, r1\nhalt\n");
+  pe.run(p);
+  EXPECT_NE(log.find("0: li r1, 7"), std::string::npos);
+  EXPECT_NE(log.find("1: vsplat v0, r1"), std::string::npos);
+  EXPECT_NE(log.find("2: halt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,233 @@
+#include "ssta/timing_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/gate_table.h"
+#include "device/variation.h"
+#include "stats/normal.h"
+#include "stats/percentile.h"
+
+namespace ntv::ssta {
+namespace {
+
+using stats::GridDistribution;
+
+GridDistribution normal_dist(double mean, double sigma, double step) {
+  const double lo = mean - 8.0 * sigma;
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(16.0 * sigma / step)) + 1;
+  std::vector<double> pmf(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    pmf[i] = stats::normal_pdf((x - mean) / sigma);
+  }
+  return GridDistribution(lo, step, std::move(pmf));
+}
+
+TEST(TimingGraph, ChainEqualsConvolutionPower) {
+  // A 5-edge chain must give exactly the 5-fold convolution.
+  TimingGraph graph;
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  auto prev = graph.add_node("src");
+  for (int i = 0; i < 5; ++i) {
+    const auto next = graph.add_node();
+    graph.add_edge(prev, next, d);
+    prev = next;
+  }
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(prev)];
+  ASSERT_TRUE(arrival.has_value());
+  const auto expected = d.sum_of_iid(5);
+  EXPECT_NEAR(arrival->mean(), expected.mean(), 1e-9);
+  EXPECT_NEAR(arrival->stddev(), expected.stddev(), 1e-9);
+  EXPECT_NEAR(arrival->quantile(0.99), expected.quantile(0.99), 1e-6);
+}
+
+TEST(TimingGraph, ParallelPathsEqualMaxOfIndependent) {
+  TimingGraph graph;
+  const auto src = graph.add_node("src");
+  const auto sink = graph.add_node("sink");
+  const auto fast = normal_dist(1.0, 0.05, 0.01);
+  const auto slow = normal_dist(1.2, 0.05, 0.01);
+  graph.add_edge(src, sink, fast);
+  graph.add_edge(src, sink, slow);
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(sink)];
+  ASSERT_TRUE(arrival.has_value());
+  const auto expected = GridDistribution::max_of_independent(fast, slow);
+  EXPECT_NEAR(arrival->mean(), expected.mean(), 1e-9);
+  EXPECT_NEAR(arrival->quantile(0.5), expected.quantile(0.5), 1e-9);
+}
+
+TEST(TimingGraph, SourcesHaveZeroArrival) {
+  TimingGraph graph;
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  graph.add_edge(a, b, normal_dist(1.0, 0.1, 0.01));
+  const auto result = graph.analyze();
+  EXPECT_TRUE(result.is_source[static_cast<std::size_t>(a)]);
+  EXPECT_FALSE(result.arrival[static_cast<std::size_t>(a)].has_value());
+  EXPECT_FALSE(result.is_source[static_cast<std::size_t>(b)]);
+}
+
+TEST(TimingGraph, CycleDetection) {
+  TimingGraph graph;
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  graph.add_edge(a, b, d);
+  graph.add_edge(b, a, d);
+  EXPECT_THROW(graph.analyze(), std::invalid_argument);
+  EXPECT_THROW(graph.monte_carlo_arrival(b, 10), std::invalid_argument);
+}
+
+TEST(TimingGraph, ValidatesEdges) {
+  TimingGraph graph;
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  EXPECT_THROW(graph.add_edge(a, a, d), std::invalid_argument);
+  EXPECT_THROW(graph.add_edge(a, 7, d), std::out_of_range);
+  // Step mismatch.
+  graph.add_edge(a, b, d);
+  EXPECT_THROW(graph.add_edge(a, b, normal_dist(1.0, 0.1, 0.02)),
+               std::invalid_argument);
+}
+
+TEST(TimingGraph, DiamondMatchesMonteCarloClosely) {
+  // Reconvergent fanout: src -> {m1, m2} -> sink. The two sink arrivals
+  // share no edges here, so independence is exact; SSTA must match MC.
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto m1 = graph.add_node();
+  const auto m2 = graph.add_node();
+  const auto sink = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.005);
+  graph.add_edge(src, m1, d);
+  graph.add_edge(src, m2, d);
+  graph.add_edge(m1, sink, d);
+  graph.add_edge(m2, sink, d);
+
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(sink)];
+  ASSERT_TRUE(arrival.has_value());
+  const auto mc = graph.monte_carlo_arrival(sink, 20000);
+  // Shared first edge (src->m1 vs src->m2 are distinct edges), so the two
+  // paths are fully independent: agreement within MC noise.
+  EXPECT_NEAR(arrival->quantile(0.5), stats::percentile(mc, 50.0), 0.01);
+  EXPECT_NEAR(arrival->quantile(0.99), stats::percentile(mc, 99.0), 0.02);
+}
+
+TEST(TimingGraph, SharedSegmentBiasIsBoundedAndConservative) {
+  // True reconvergence: a shared slow first edge feeding two parallel
+  // second stages. SSTA treats the two sink arrivals as independent,
+  // which overestimates the max when they share the dominant term.
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto mid = graph.add_node();
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto sink = graph.add_node();
+  const auto shared = normal_dist(5.0, 0.5, 0.01);   // Dominant shared edge.
+  const auto small = normal_dist(1.0, 0.05, 0.01);
+  graph.add_edge(src, mid, shared);
+  graph.add_edge(mid, a, small);
+  graph.add_edge(mid, b, small);
+  graph.add_edge(a, sink, small);
+  graph.add_edge(b, sink, small);
+
+  const auto result = graph.analyze();
+  const double ssta_p50 =
+      result.arrival[static_cast<std::size_t>(sink)]->quantile(0.5);
+  const auto mc = graph.monte_carlo_arrival(sink, 20000);
+  const double mc_p50 = stats::percentile(mc, 50.0);
+  EXPECT_GE(ssta_p50, mc_p50 - 0.01);           // Conservative direction.
+  EXPECT_LE(ssta_p50, mc_p50 + 3.0 * 0.5);      // And bounded.
+}
+
+TEST(TimingGraph, CriticalityIdentifiesTheSlowBranch) {
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto sink = graph.add_node();
+  graph.add_edge(src, sink, normal_dist(1.0, 0.05, 0.01));  // Edge 0: fast.
+  graph.add_edge(src, sink, normal_dist(1.5, 0.05, 0.01));  // Edge 1: slow.
+  const auto crit = graph.monte_carlo_criticality(sink, 4000);
+  ASSERT_EQ(crit.size(), 2u);
+  EXPECT_LT(crit[0], 0.01);
+  EXPECT_GT(crit[1], 0.99);
+}
+
+TEST(TimingGraph, CriticalityOfBalancedPathsIsHalfEach) {
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto sink = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  graph.add_edge(src, sink, d);
+  graph.add_edge(src, sink, d);
+  const auto crit = graph.monte_carlo_criticality(sink, 8000);
+  EXPECT_NEAR(crit[0], 0.5, 0.05);
+  EXPECT_NEAR(crit[1], 0.5, 0.05);
+  EXPECT_NEAR(crit[0] + crit[1], 1.0, 1e-9);
+}
+
+TEST(TimingGraph, CriticalityOfSeriesEdgesIsOne) {
+  TimingGraph graph;
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto c = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  graph.add_edge(a, b, d);
+  graph.add_edge(b, c, d);
+  const auto crit = graph.monte_carlo_criticality(c, 500);
+  EXPECT_DOUBLE_EQ(crit[0], 1.0);
+  EXPECT_DOUBLE_EQ(crit[1], 1.0);
+}
+
+TEST(TimingGraph, EdgesOffThePathHaveZeroCriticality) {
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto sink = graph.add_node();
+  const auto elsewhere = graph.add_node();
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  graph.add_edge(src, sink, d);       // Edge 0.
+  graph.add_edge(src, elsewhere, d);  // Edge 1: not upstream of sink.
+  const auto crit = graph.monte_carlo_criticality(sink, 500);
+  EXPECT_DOUBLE_EQ(crit[0], 1.0);
+  EXPECT_DOUBLE_EQ(crit[1], 0.0);
+}
+
+TEST(TimingGraph, LaneModelMatchesIidAssumption) {
+  // Model one SIMD lane as a graph of 4 parallel 10-stage chains from the
+  // real 90 nm gate distribution; the sink arrival must equal the iid
+  // formula max_of_iid(4) of the 10-stage chain.
+  const device::VariationModel vm(device::tech_90nm());
+  device::DistributionOptions opt;
+  opt.bins = 512;  // Keep the graph convolutions fast.
+  const auto gate = device::build_gate_distribution(vm, 0.55, opt);
+
+  TimingGraph graph;
+  const auto src = graph.add_node("launch");
+  const auto sink = graph.add_node("capture");
+  for (int path = 0; path < 4; ++path) {
+    auto prev = src;
+    for (int stage = 0; stage < 9; ++stage) {
+      const auto next = graph.add_node();
+      graph.add_edge(prev, next, gate);
+      prev = next;
+    }
+    graph.add_edge(prev, sink, gate);
+  }
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(sink)];
+  ASSERT_TRUE(arrival.has_value());
+
+  const auto chain = gate.sum_of_iid(10);
+  const auto lane = chain.max_of_iid(4);
+  EXPECT_NEAR(arrival->quantile(0.99), lane.quantile(0.99),
+              0.01 * lane.quantile(0.99));
+}
+
+}  // namespace
+}  // namespace ntv::ssta

@@ -1,0 +1,84 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng.normal(10.0, 2.0);
+  return out;
+}
+
+TEST(Bootstrap, PointEstimateIsOriginalStatistic) {
+  const auto sample = normal_sample(500, 1);
+  const auto ci = bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean(s); });
+  EXPECT_DOUBLE_EQ(ci.point, mean(sample));
+}
+
+TEST(Bootstrap, IntervalBracketsPointEstimate) {
+  const auto sample = normal_sample(500, 2);
+  const auto ci = bootstrap_percentile_ci(sample, 99.0);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Bootstrap, MeanCiCoversTruthAtRoughlyNominalRate) {
+  // With n=200 and 95% CIs, the true mean (10) should be covered in the
+  // vast majority of repetitions.
+  int covered = 0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    const auto sample = normal_sample(200, 100 + static_cast<std::uint64_t>(r));
+    const auto ci = bootstrap_ci(
+        sample, [](std::span<const double> s) { return mean(s); }, 0.95,
+        400, 7);
+    if (ci.lo <= 10.0 && 10.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 33);  // ~95% nominal; allow slack for 40 reps.
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  const auto sample = normal_sample(300, 3);
+  const auto narrow = bootstrap_percentile_ci(sample, 50.0, 0.80);
+  const auto wide = bootstrap_percentile_ci(sample, 50.0, 0.99);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, MoreSamplesTightenPercentileCi) {
+  const auto small = normal_sample(100, 4);
+  const auto large = normal_sample(10000, 4);
+  const auto ci_small = bootstrap_percentile_ci(small, 99.0);
+  const auto ci_large = bootstrap_percentile_ci(large, 99.0);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  const auto sample = normal_sample(200, 5);
+  const auto a = bootstrap_percentile_ci(sample, 90.0, 0.95, 200, 42);
+  const auto b = bootstrap_percentile_ci(sample, 90.0, 0.95, 200, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  const std::vector<double> empty;
+  const std::vector<double> ok = {1.0, 2.0};
+  auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap_ci(empty, stat), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(ok, stat, 0.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(ok, stat, 1.0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(ok, stat, 0.95, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,119 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, KnownSmallSample) {
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Summary s(data);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Unbiased sample variance of this classic sample is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, ThreeSigmaOverMuMatchesDefinition) {
+  const std::vector<double> data = {9.0, 10.0, 11.0};
+  Summary s(data);
+  EXPECT_NEAR(s.three_sigma_over_mu_pct(), 100.0 * 3.0 * 1.0 / 10.0, 1e-9);
+}
+
+TEST(Summary, CvIsSigmaOverMu) {
+  const std::vector<double> data = {9.0, 10.0, 11.0};
+  Summary s(data);
+  EXPECT_NEAR(s.cv(), 0.1, 1e-12);
+}
+
+TEST(Summary, MergeEqualsBulk) {
+  Xoshiro256pp rng(1);
+  std::vector<double> all;
+  Summary a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.push_back(x);
+    (i < 400 ? a : b).add(x);
+  }
+  Summary bulk(all);
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-8);
+  EXPECT_NEAR(a.skewness(), bulk.skewness(), 1e-8);
+  EXPECT_NEAR(a.excess_kurtosis(), bulk.excess_kurtosis(), 1e-8);
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary a;
+  a.add(1.0);
+  a.add(2.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Summary, NormalSampleMomentsConverge) {
+  Xoshiro256pp rng(5);
+  Summary s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+  EXPECT_NEAR(s.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(s.excess_kurtosis(), 0.0, 0.1);
+}
+
+TEST(Summary, SkewnessDetectsAsymmetry) {
+  Xoshiro256pp rng(6);
+  Summary s;
+  for (int i = 0; i < 100000; ++i) {
+    const double z = rng.normal();
+    s.add(std::exp(z));  // Lognormal: strongly right-skewed.
+  }
+  EXPECT_GT(s.skewness(), 1.0);
+}
+
+TEST(FreeFunctions, MatchSummary) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(data), 2.5);
+  EXPECT_NEAR(stddev(data), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_GT(three_sigma_over_mu_pct(data), 0.0);
+}
+
+TEST(Summary, StableForTightClusters) {
+  // Delays cluster near 1e-9 with 1e-13 spread; naive two-pass variance
+  // would cancel catastrophically.
+  Summary s;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(1e-9 + 1e-13 * (i % 3));
+  }
+  EXPECT_GT(s.variance(), 0.0);
+  EXPECT_LT(s.stddev(), 1e-12);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,203 @@
+#include "stats/discrete_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/normal.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+GridDistribution make_uniform(double lo, double step, std::size_t bins) {
+  return GridDistribution(lo, step, std::vector<double>(bins, 1.0));
+}
+
+GridDistribution make_discrete_normal(double mean, double sigma,
+                                      std::size_t bins = 2001) {
+  const double lo = mean - 8.0 * sigma;
+  const double step = 16.0 * sigma / static_cast<double>(bins - 1);
+  std::vector<double> pmf(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    pmf[i] = normal_pdf((x - mean) / sigma);
+  }
+  return GridDistribution(lo, step, std::move(pmf));
+}
+
+TEST(GridDistribution, RejectsBadInput) {
+  EXPECT_THROW(GridDistribution(0.0, 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(GridDistribution(0.0, -1.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(GridDistribution(0.0, 1.0, {1.0, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(GridDistribution(0.0, 1.0, {0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(GridDistribution, NormalizesMass) {
+  GridDistribution d(0.0, 1.0, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.pmf()[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.pmf()[1], 0.5);
+}
+
+TEST(GridDistribution, MomentsOfTwoPoint) {
+  GridDistribution d(0.0, 2.0, {0.5, 0.0, 0.5});  // mass at 0 and 4
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(d.skewness(), 0.0);
+}
+
+TEST(GridDistribution, NormalMomentsRecovered) {
+  const auto d = make_discrete_normal(5.0, 0.7);
+  EXPECT_NEAR(d.mean(), 5.0, 1e-6);
+  EXPECT_NEAR(d.stddev(), 0.7, 1e-4);
+  EXPECT_NEAR(d.skewness(), 0.0, 1e-6);
+}
+
+TEST(GridDistribution, CdfQuantileRoundTrip) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  for (double u : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(u)), u, 1e-6) << "u=" << u;
+  }
+}
+
+TEST(GridDistribution, QuantilesMatchNormal) {
+  // Point-mass discretization biases quantiles by up to one grid step
+  // (16 sigma / 2000 bins = 0.008 here).
+  const auto d = make_discrete_normal(0.0, 1.0);
+  const double step = 16.0 / 2000.0;
+  EXPECT_NEAR(d.quantile(0.5), 0.0, step);
+  EXPECT_NEAR(d.quantile(0.99), normal_quantile(0.99), step);
+  EXPECT_NEAR(d.quantile(0.0001), normal_quantile(0.0001), 2e-2);
+}
+
+TEST(GridDistribution, ThreeSigmaOverMu) {
+  const auto d = make_discrete_normal(10.0, 1.0);
+  EXPECT_NEAR(d.three_sigma_over_mu_pct(), 30.0, 0.1);
+}
+
+TEST(GridDistribution, MaxQuantileMatchesPowerLaw) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  // Median of max of 100 ~ quantile(0.5^(1/100)).
+  const double got = d.max_quantile(0.5, 100);
+  const double want = normal_quantile(std::pow(0.5, 0.01));
+  EXPECT_NEAR(got, want, 5e-3);
+}
+
+TEST(GridDistribution, MaxQuantileOfOneIsQuantile) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.max_quantile(0.3, 1), d.quantile(0.3));
+}
+
+TEST(GridDistribution, SumOfIidMeanVarianceScale) {
+  const auto d = make_discrete_normal(2.0, 0.25);
+  const auto sum = d.sum_of_iid(50);
+  EXPECT_NEAR(sum.mean(), 100.0, 1e-4);
+  EXPECT_NEAR(sum.variance(), 50.0 * 0.0625, 1e-3);
+}
+
+TEST(GridDistribution, SumOfIidAveragesOutRelativeSpread) {
+  // The paper's chain-averaging effect: 3sigma/mu shrinks ~ 1/sqrt(N).
+  const auto d = make_discrete_normal(1.0, 0.1);
+  const auto sum = d.sum_of_iid(50);
+  EXPECT_NEAR(sum.three_sigma_over_mu_pct(),
+              d.three_sigma_over_mu_pct() / std::sqrt(50.0), 0.05);
+}
+
+TEST(GridDistribution, ConvolveMatchesIidSum) {
+  const auto d = make_discrete_normal(1.0, 0.2, 501);
+  const auto two_a = d.sum_of_iid(2);
+  const auto two_b = GridDistribution::convolve(d, d);
+  EXPECT_NEAR(two_a.mean(), two_b.mean(), 1e-9);
+  EXPECT_NEAR(two_a.variance(), two_b.variance(), 1e-9);
+}
+
+TEST(GridDistribution, ConvolveRejectsStepMismatch) {
+  const auto a = make_uniform(0.0, 1.0, 4);
+  const auto b = make_uniform(0.0, 2.0, 4);
+  EXPECT_THROW(GridDistribution::convolve(a, b), std::invalid_argument);
+}
+
+TEST(GridDistribution, QuantileSampledMatchesCdf) {
+  const auto d = make_discrete_normal(3.0, 0.5);
+  Xoshiro256pp rng(17);
+  double below = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (d.quantile(rng.uniform()) <= 3.0) below += 1.0;
+  }
+  EXPECT_NEAR(below / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace ntv::stats
+
+namespace ntv::stats {
+namespace {
+
+TEST(OrderStatistics, MaxOfIidMatchesPowScaling) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  const auto m10 = d.max_of_iid(10);
+  // Median of max of 10 = quantile(0.5^(1/10)).
+  EXPECT_NEAR(m10.quantile(0.5), d.quantile(std::pow(0.5, 0.1)), 2e-2);
+  // Mean of max of 100 std normals ~ 2.508 (classic order-statistics).
+  const auto m100 = d.max_of_iid(100);
+  EXPECT_NEAR(m100.mean(), 2.508, 0.02);
+}
+
+TEST(OrderStatistics, MaxOfOneIsIdentity) {
+  const auto d = make_discrete_normal(3.0, 0.5);
+  const auto m = d.max_of_iid(1);
+  EXPECT_DOUBLE_EQ(m.mean(), d.mean());
+}
+
+TEST(OrderStatistics, MinimumIsOrderStatisticOne) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  const auto min4 = d.order_statistic(1, 4);
+  // E[min of 4 std normals] = -E[max of 4] ~ -1.029.
+  EXPECT_NEAR(min4.mean(), -1.029, 0.01);
+}
+
+TEST(OrderStatistics, MedianOfThreeIsUnbiased) {
+  const auto d = make_discrete_normal(5.0, 1.0);
+  const auto med3 = d.order_statistic(2, 3);
+  EXPECT_NEAR(med3.mean(), 5.0, 1e-3);
+  EXPECT_LT(med3.stddev(), d.stddev());  // Median concentrates.
+}
+
+TEST(OrderStatistics, OrderStatisticsAreStochasticallyOrdered) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  const auto r2 = d.order_statistic(2, 5);
+  const auto r4 = d.order_statistic(4, 5);
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_LT(r2.quantile(u), r4.quantile(u)) << "u=" << u;
+  }
+}
+
+TEST(OrderStatistics, RejectsBadRanks) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  EXPECT_THROW(d.order_statistic(0, 4), std::invalid_argument);
+  EXPECT_THROW(d.order_statistic(5, 4), std::invalid_argument);
+  EXPECT_THROW(d.max_of_iid(0), std::invalid_argument);
+}
+
+TEST(OrderStatistics, MaxOfIndependentMatchesIidWhenIdentical) {
+  const auto d = make_discrete_normal(1.0, 0.3, 801);
+  const auto pair_a = d.max_of_iid(2);
+  const auto pair_b = GridDistribution::max_of_independent(d, d);
+  EXPECT_NEAR(pair_a.quantile(0.5), pair_b.quantile(0.5), 1e-6);
+  EXPECT_NEAR(pair_a.mean(), pair_b.mean(), 1e-6);
+}
+
+TEST(OrderStatistics, MaxOfIndependentShiftedOperands) {
+  // max(X, Y) with Y far above X is just Y.
+  const auto x = make_discrete_normal(0.0, 0.1, 401);
+  const auto y = GridDistribution(x.lo() + 10.0, x.step(), x.pmf());
+  const auto m = GridDistribution::max_of_independent(x, y);
+  EXPECT_NEAR(m.mean(), y.mean(), 1e-6);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,67 @@
+#include "stats/ecdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(Ecdf, RejectsEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Ecdf{empty}, std::invalid_argument);
+}
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  const Ecdf f(data);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(9.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInverts) {
+  const std::vector<double> data = {10.0, 20.0, 30.0, 40.0};
+  const Ecdf f(data);
+  EXPECT_DOUBLE_EQ(f.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 40.0);
+}
+
+TEST(Ecdf, QuantileRejectsOutOfRange) {
+  const std::vector<double> data = {1.0};
+  const Ecdf f(data);
+  EXPECT_THROW(f.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(f.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, KsOfIdenticalSamplesIsZero) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const Ecdf a(data), b(data);
+  EXPECT_DOUBLE_EQ(Ecdf::ks_statistic(a, b), 0.0);
+}
+
+TEST(Ecdf, KsOfDisjointSamplesIsOne) {
+  const std::vector<double> lo = {1.0, 2.0};
+  const std::vector<double> hi = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Ecdf::ks_statistic(Ecdf(lo), Ecdf(hi)), 1.0);
+}
+
+TEST(Ecdf, KsDetectsShift) {
+  Xoshiro256pp rng(31);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.5, 1.0));
+  }
+  const double ks = Ecdf::ks_statistic(Ecdf(a), Ecdf(b));
+  // Theoretical max gap between N(0,1) and N(0.5,1) is ~0.197.
+  EXPECT_NEAR(ks, 0.197, 0.03);
+}
+
+}  // namespace
+}  // namespace ntv::stats

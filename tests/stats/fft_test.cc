@@ -1,0 +1,113 @@
+#include "stats/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace ntv::stats {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fft(data, false), std::invalid_argument);
+}
+
+TEST(Fft, ForwardOfImpulseIsFlat) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft(data, false);
+  for (const auto& x : data) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 64; ++i) {
+    data.emplace_back(std::sin(0.3 * i), std::cos(0.11 * i));
+  }
+  auto copy = data;
+  fft(copy, false);
+  fft(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const int n = 16;
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < n; ++i) data.emplace_back(i * 0.5, -i * 0.25);
+  auto got = data;
+  fft(got, false);
+  for (int k = 0; k < n; ++k) {
+    std::complex<double> want = 0.0;
+    for (int t = 0; t < n; ++t) {
+      want += data[t] * std::polar(1.0, -2.0 * M_PI * k * t / n);
+    }
+    EXPECT_NEAR(got[k].real(), want.real(), 1e-9);
+    EXPECT_NEAR(got[k].imag(), want.imag(), 1e-9);
+  }
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(PmfPower, PowerOneIsIdentity) {
+  const std::vector<double> pmf = {0.25, 0.5, 0.25};
+  EXPECT_EQ(pmf_power(pmf, 1), pmf);
+}
+
+TEST(PmfPower, SumOfTwoCoinsIsBinomial) {
+  const std::vector<double> coin = {0.5, 0.5};
+  const auto two = pmf_power(coin, 2);
+  ASSERT_EQ(two.size(), 3u);
+  EXPECT_NEAR(two[0], 0.25, 1e-12);
+  EXPECT_NEAR(two[1], 0.5, 1e-12);
+  EXPECT_NEAR(two[2], 0.25, 1e-12);
+}
+
+TEST(PmfPower, SumOfTenCoinsIsBinomial10) {
+  const std::vector<double> coin = {0.5, 0.5};
+  const auto ten = pmf_power(coin, 10);
+  ASSERT_EQ(ten.size(), 11u);
+  // C(10,5)/2^10 = 252/1024.
+  EXPECT_NEAR(ten[5], 252.0 / 1024.0, 1e-10);
+  EXPECT_NEAR(ten[0], 1.0 / 1024.0, 1e-10);
+}
+
+TEST(PmfPower, PreservesNormalization) {
+  const std::vector<double> pmf = {0.1, 0.2, 0.3, 0.4};
+  const auto p = pmf_power(pmf, 50);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PmfPower, MeanAndVarianceScaleLinearly) {
+  const std::vector<double> pmf = {0.2, 0.5, 0.3};  // over {0,1,2}
+  const double mu = 0.5 + 0.6;
+  const double var = 0.2 * mu * mu + 0.5 * (1 - mu) * (1 - mu) +
+                     0.3 * (2 - mu) * (2 - mu);
+  const int n = 30;
+  const auto p = pmf_power(pmf, n);
+  double m = 0.0, v = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) m += p[i] * static_cast<double>(i);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    v += p[i] * (static_cast<double>(i) - m) * (static_cast<double>(i) - m);
+  }
+  EXPECT_NEAR(m, n * mu, 1e-8);
+  EXPECT_NEAR(v, n * var, 1e-6);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntv::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, CountsIntoCorrectBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TopEdgeBelongsToLastBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(4.0);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, TracksUnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+}
+
+TEST(Histogram, AutoRangeCoversSample) {
+  const std::vector<double> data = {1.0, 2.0, 3.0};
+  const auto h = Histogram::auto_range(data, 10);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, AutoRangeDegenerateSample) {
+  const std::vector<double> data = {2.0, 2.0, 2.0};
+  const auto h = Histogram::auto_range(data, 5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, MaxCount) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(1.5);
+  EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,99 @@
+#include "stats/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(MonteCarlo, ProducesRequestedCount) {
+  const auto out =
+      monte_carlo(1000, [](Xoshiro256pp& rng) { return rng.uniform(); });
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(MonteCarlo, EmptyRun) {
+  const auto out =
+      monte_carlo(0, [](Xoshiro256pp& rng) { return rng.uniform(); });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MonteCarlo, ResultIndependentOfThreadCount) {
+  auto sampler = [](Xoshiro256pp& rng) { return rng.normal(); };
+  MonteCarloOptions one;
+  one.threads = 1;
+  MonteCarloOptions many;
+  many.threads = 8;
+  const auto a = monte_carlo(997, sampler, one);
+  const auto b = monte_carlo(997, sampler, many);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "sample " << i;
+  }
+}
+
+TEST(MonteCarlo, SeedChangesSamples) {
+  MonteCarloOptions s1;
+  s1.seed = 1;
+  MonteCarloOptions s2;
+  s2.seed = 2;
+  auto sampler = [](Xoshiro256pp& rng) { return rng.uniform(); };
+  const auto a = monte_carlo(64, sampler, s1);
+  const auto b = monte_carlo(64, sampler, s2);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]);
+  EXPECT_EQ(same, 0);
+}
+
+TEST(MonteCarlo, NormalSampleHasCorrectMoments) {
+  const auto out = monte_carlo(
+      100000, [](Xoshiro256pp& rng) { return rng.normal(5.0, 2.0); });
+  Summary s(out);
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(MonteCarloRows, RowMajorLayoutAndDeterminism) {
+  MonteCarloOptions opt;
+  opt.threads = 4;
+  const std::size_t n = 100, w = 8;
+  const auto rows = monte_carlo_rows(
+      n, w,
+      [](Xoshiro256pp& rng, std::size_t, double* out) {
+        for (std::size_t i = 0; i < 8; ++i) out[i] = rng.uniform();
+      },
+      opt);
+  EXPECT_EQ(rows.size(), n * w);
+
+  opt.threads = 1;
+  const auto rows1 = monte_carlo_rows(
+      n, w,
+      [](Xoshiro256pp& rng, std::size_t, double* out) {
+        for (std::size_t i = 0; i < 8; ++i) out[i] = rng.uniform();
+      },
+      opt);
+  EXPECT_EQ(rows, rows1);
+}
+
+TEST(MonteCarloRows, RowIndexIsPassedThrough) {
+  const auto rows = monte_carlo_rows(
+      10, 1,
+      [](Xoshiro256pp&, std::size_t row, double* out) {
+        *out = static_cast<double>(row);
+      });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(rows[i], static_cast<double>(i));
+  }
+}
+
+TEST(Substream, DifferentIndicesDiffer) {
+  auto a = substream(42, 0);
+  auto b = substream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,89 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(NormalPdf, PeakValue) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+}
+
+TEST(NormalPdf, Symmetry) {
+  for (double x : {0.5, 1.0, 2.5}) {
+    EXPECT_DOUBLE_EQ(normal_pdf(x), normal_pdf(-x));
+  }
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(2.326347874040841), 0.99, 1e-12);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326347874040841, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.5), std::domain_error);
+}
+
+TEST(FitNormal, RecoversParameters) {
+  Xoshiro256pp rng(8);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) data.push_back(rng.normal(4.0, 0.5));
+  const NormalFit fit = fit_normal(data);
+  EXPECT_NEAR(fit.mean, 4.0, 0.01);
+  EXPECT_NEAR(fit.stddev, 0.5, 0.01);
+}
+
+TEST(ExpectedMaxOfNormals, KnownSmallCases) {
+  EXPECT_NEAR(expected_max_of_normals(1), 0.0, 1e-12);
+  // E[max of 2 std normals] = 1/sqrt(pi).
+  EXPECT_NEAR(expected_max_of_normals(2), 1.0 / std::sqrt(M_PI), 1e-6);
+  // E[max of 3] = 3/(2 sqrt(pi)).
+  EXPECT_NEAR(expected_max_of_normals(3), 1.5 / std::sqrt(M_PI), 1e-6);
+}
+
+TEST(ExpectedMaxOfNormals, GrowsWithN) {
+  double prev = expected_max_of_normals(2);
+  for (int n : {4, 16, 64, 256}) {
+    const double cur = expected_max_of_normals(n);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+  // Max of 100 ~ 2.51 sigma; a classic rule of thumb.
+  EXPECT_NEAR(expected_max_of_normals(100), 2.51, 0.02);
+}
+
+TEST(ExpectedMaxOfNormals, MatchesMonteCarlo) {
+  Xoshiro256pp rng(9);
+  const int trials = 20000, n = 10;
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double worst = -1e300;
+    for (int i = 0; i < n; ++i) worst = std::max(worst, rng.normal());
+    sum += worst;
+  }
+  EXPECT_NEAR(sum / trials, expected_max_of_normals(n), 0.02);
+}
+
+}  // namespace
+}  // namespace ntv::stats

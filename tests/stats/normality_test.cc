@@ -1,0 +1,70 @@
+#include "stats/normality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+std::vector<double> sample(std::size_t n, std::uint64_t seed,
+                           bool lognormal) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) {
+    const double z = rng.normal();
+    x = lognormal ? std::exp(z) : z;
+  }
+  return out;
+}
+
+TEST(AndersonDarling, AcceptsNormalSamples) {
+  int accepted = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto result =
+        anderson_darling_normal(sample(500, seed, false));
+    accepted += result.normal_at_1pct;
+  }
+  EXPECT_GE(accepted, 18);  // ~1% false-positive rate at the 1% level.
+}
+
+TEST(AndersonDarling, RejectsLognormalSamples) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result =
+        anderson_darling_normal(sample(500, seed, true));
+    EXPECT_FALSE(result.normal_at_5pct) << "seed " << seed;
+  }
+}
+
+TEST(AndersonDarling, RejectsUniformSamples) {
+  Xoshiro256pp rng(7);
+  std::vector<double> data(2000);
+  for (auto& x : data) x = rng.uniform();
+  EXPECT_FALSE(anderson_darling_normal(data).normal_at_5pct);
+}
+
+TEST(AndersonDarling, StatisticGrowsWithSkew) {
+  // A mildly skewed mixture scores lower than a hard lognormal.
+  Xoshiro256pp rng(9);
+  std::vector<double> mild(2000), strong(2000);
+  for (std::size_t i = 0; i < mild.size(); ++i) {
+    const double z = rng.normal();
+    mild[i] = z + 0.1 * z * z;
+    strong[i] = std::exp(z);
+  }
+  EXPECT_LT(anderson_darling_normal(mild).a2,
+            anderson_darling_normal(strong).a2);
+}
+
+TEST(AndersonDarling, ValidatesInput) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_THROW(anderson_darling_normal(tiny), std::invalid_argument);
+  const std::vector<double> flat(20, 5.0);
+  EXPECT_THROW(anderson_darling_normal(flat), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::stats

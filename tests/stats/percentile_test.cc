@@ -1,0 +1,90 @@
+#include "stats/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> data = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(data), 2.0);
+}
+
+TEST(Percentile, MedianOfEvenSampleInterpolates) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(data), 2.5);
+}
+
+TEST(Percentile, EndpointsAreMinAndMax) {
+  const std::vector<double> data = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> data = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 99.0), 7.0);
+}
+
+TEST(Percentile, Type7Interpolation) {
+  // R's default (type 7): p99 of 1..100 = 99.01... for 0-based ranks:
+  // rank = 0.99 * 99 = 98.01 -> 99 + 0.01*(100-99) = 99.01.
+  std::vector<double> data;
+  for (int i = 1; i <= 100; ++i) data.push_back(i);
+  EXPECT_NEAR(percentile(data, 99.0), 99.01, 1e-9);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> data = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(data, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 150.0), 2.0);
+}
+
+TEST(Percentiles, BatchMatchesSingle) {
+  Xoshiro256pp rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.uniform());
+  const std::vector<double> ps = {1.0, 50.0, 99.0};
+  const auto batch = percentiles(data, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(data, ps[i]));
+  }
+}
+
+TEST(SmallestK, ReturnsSortedSmallest) {
+  const std::vector<double> data = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const auto k = smallest_k(data, 3);
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_DOUBLE_EQ(k[0], 1.0);
+  EXPECT_DOUBLE_EQ(k[1], 2.0);
+  EXPECT_DOUBLE_EQ(k[2], 3.0);
+}
+
+TEST(SmallestK, KLargerThanSizeReturnsAll) {
+  const std::vector<double> data = {2.0, 1.0};
+  EXPECT_EQ(smallest_k(data, 10).size(), 2u);
+}
+
+TEST(KthSmallest, MatchesSorting) {
+  const std::vector<double> data = {9.0, 7.0, 5.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(kth_smallest(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(kth_smallest(data, 2), 5.0);
+  EXPECT_DOUBLE_EQ(kth_smallest(data, 4), 9.0);
+}
+
+TEST(Percentile, UniformSampleQuantilesAreLinear) {
+  Xoshiro256pp rng(4);
+  std::vector<double> data;
+  for (int i = 0; i < 100000; ++i) data.push_back(rng.uniform());
+  EXPECT_NEAR(percentile(data, 25.0), 0.25, 0.01);
+  EXPECT_NEAR(percentile(data, 75.0), 0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace ntv::stats

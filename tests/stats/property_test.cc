@@ -1,0 +1,151 @@
+// Randomized property tests for the statistics substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/discrete_distribution.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+GridDistribution random_distribution(Xoshiro256pp& rng, std::size_t bins) {
+  std::vector<double> pmf(bins);
+  for (auto& p : pmf) p = rng.uniform() < 0.3 ? 0.0 : rng.uniform();
+  pmf[rng.bounded(bins)] += 1.0;  // Guarantee positive mass.
+  return GridDistribution(rng.uniform(0.5, 2.0), rng.uniform(0.01, 0.1),
+                          std::move(pmf));
+}
+
+TEST_P(SeededTest, QuantileInvertsACdfEverywhere) {
+  Xoshiro256pp rng(GetParam());
+  const auto d = random_distribution(rng, 64);
+  for (int i = 0; i < 50; ++i) {
+    const double u = rng.uniform(0.001, 0.999);
+    const double x = d.quantile(u);
+    // cdf(quantile(u)) >= u and quantile never overshoots the support.
+    EXPECT_GE(d.cdf(x) + 1e-9, u);
+    EXPECT_GE(x, d.lo() - 1e-12);
+    EXPECT_LE(x, d.lo() + d.step() * static_cast<double>(d.size()));
+  }
+}
+
+TEST_P(SeededTest, ConvolutionAddsMeansAndVariances) {
+  Xoshiro256pp rng(GetParam());
+  std::vector<double> pmf_a(32), pmf_b(48);
+  for (auto& p : pmf_a) p = rng.uniform();
+  for (auto& p : pmf_b) p = rng.uniform();
+  const double step = 0.05;
+  const GridDistribution a(1.0, step, pmf_a);
+  const GridDistribution b(2.0, step, pmf_b);
+  const auto sum = GridDistribution::convolve(a, b);
+  EXPECT_NEAR(sum.mean(), a.mean() + b.mean(), 1e-9);
+  EXPECT_NEAR(sum.variance(), a.variance() + b.variance(), 1e-8);
+}
+
+TEST_P(SeededTest, SumOfIidMatchesRepeatedConvolve) {
+  Xoshiro256pp rng(GetParam());
+  const auto d = random_distribution(rng, 24);
+  const auto four_a = d.sum_of_iid(4);
+  const auto four_b = GridDistribution::convolve(
+      GridDistribution::convolve(d, d), GridDistribution::convolve(d, d));
+  EXPECT_NEAR(four_a.mean(), four_b.mean(), 1e-9);
+  EXPECT_NEAR(four_a.stddev(), four_b.stddev(), 1e-9);
+  EXPECT_NEAR(four_a.quantile(0.9), four_b.quantile(0.9), 1e-9);
+}
+
+TEST_P(SeededTest, MaxQuantileDominatesQuantile) {
+  Xoshiro256pp rng(GetParam());
+  const auto d = random_distribution(rng, 64);
+  for (int k : {2, 10, 100}) {
+    for (double u : {0.1, 0.5, 0.9}) {
+      EXPECT_GE(d.max_quantile(u, k) + 1e-12, d.quantile(u))
+          << "k=" << k << " u=" << u;
+    }
+  }
+}
+
+TEST_P(SeededTest, MaxQuantileMatchesEmpiricalMax) {
+  Xoshiro256pp rng(GetParam());
+  const auto d = random_distribution(rng, 64);
+  constexpr int kK = 8;
+  constexpr int kTrials = 4000;
+  std::vector<double> maxima(kTrials);
+  for (auto& m : maxima) {
+    double worst = -1e300;
+    for (int i = 0; i < kK; ++i) {
+      worst = std::max(worst, d.quantile(rng.uniform()));
+    }
+    m = worst;
+  }
+  const double got = percentile(maxima, 50.0);
+  const double want = d.max_quantile(0.5, kK);
+  EXPECT_NEAR(got, want, 0.05 * std::abs(want) + 2.0 * d.step());
+}
+
+TEST_P(SeededTest, SummaryMergeIsAssociative) {
+  Xoshiro256pp rng(GetParam());
+  std::vector<double> data(300);
+  for (auto& x : data) x = rng.normal(5.0, 2.0);
+
+  Summary left_heavy;
+  {
+    Summary a(std::span<const double>(data).subspan(0, 100));
+    Summary b(std::span<const double>(data).subspan(100, 100));
+    Summary c(std::span<const double>(data).subspan(200, 100));
+    a.merge(b);
+    a.merge(c);
+    left_heavy = a;
+  }
+  Summary right_heavy;
+  {
+    Summary a(std::span<const double>(data).subspan(0, 100));
+    Summary b(std::span<const double>(data).subspan(100, 100));
+    Summary c(std::span<const double>(data).subspan(200, 100));
+    b.merge(c);
+    a.merge(b);
+    right_heavy = a;
+  }
+  EXPECT_NEAR(left_heavy.mean(), right_heavy.mean(), 1e-10);
+  EXPECT_NEAR(left_heavy.variance(), right_heavy.variance(), 1e-9);
+  EXPECT_NEAR(left_heavy.skewness(), right_heavy.skewness(), 1e-8);
+}
+
+TEST_P(SeededTest, PercentilesBracketSample) {
+  Xoshiro256pp rng(GetParam());
+  std::vector<double> data(257);
+  for (auto& x : data) x = rng.uniform(-10.0, 10.0);
+  const auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  for (double p : {0.0, 12.5, 50.0, 87.5, 100.0}) {
+    const double q = percentile(data, p);
+    EXPECT_GE(q, *mn);
+    EXPECT_LE(q, *mx);
+  }
+  // Monotone in p.
+  EXPECT_LE(percentile(data, 10.0), percentile(data, 20.0));
+  EXPECT_LE(percentile(data, 20.0), percentile(data, 80.0));
+}
+
+TEST_P(SeededTest, SmallestKIsPrefixOfSorted) {
+  Xoshiro256pp rng(GetParam());
+  std::vector<double> data(64);
+  for (auto& x : data) x = rng.uniform();
+  auto sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const auto k = smallest_k(data, 10);
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    EXPECT_DOUBLE_EQ(k[i], sorted[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,113 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ntv::stats {
+namespace {
+
+TEST(SplitMix64, ProducesKnownGoodDispersion) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro256pp, IsDeterministicForSameSeed) {
+  Xoshiro256pp a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256pp, DiffersAcrossSeeds) {
+  Xoshiro256pp a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256pp, UniformStaysInUnitInterval) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256pp, UniformRangeRespectsBounds) {
+  Xoshiro256pp rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256pp, UniformMeanIsHalf) {
+  Xoshiro256pp rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256pp, NormalMomentsMatchStandardNormal) {
+  Xoshiro256pp rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Xoshiro256pp, NormalScalesMeanAndSigma) {
+  Xoshiro256pp rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Xoshiro256pp, JumpCreatesNonOverlappingStream) {
+  Xoshiro256pp a(99);
+  Xoshiro256pp b(99);
+  b.jump();
+  // The jumped stream must not replay the original's prefix.
+  std::vector<std::uint64_t> head;
+  for (int i = 0; i < 64; ++i) head.push_back(a.next());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(std::count(head.begin(), head.end(), b.next()), 0);
+  }
+}
+
+TEST(Xoshiro256pp, BoundedRespectsBound) {
+  Xoshiro256pp rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256pp, BoundedZeroReturnsZero) {
+  Xoshiro256pp rng(23);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256pp, BoundedCoversAllResidues) {
+  Xoshiro256pp rng(29);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+}  // namespace
+}  // namespace ntv::stats

@@ -1,0 +1,96 @@
+#include "stats/root_find.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntv::stats {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(Bisect, ThrowsWithoutSignChange) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Brent, FindsSqrtTwoFast) {
+  int evals = 0;
+  const auto r = brent(
+      [&evals](double x) {
+        ++evals;
+        return x * x - 2.0;
+      },
+      0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+  EXPECT_LT(evals, 20);
+}
+
+TEST(Brent, HandlesSteepExponential) {
+  const auto r =
+      brent([](double x) { return std::exp(10.0 * x) - 100.0; }, -1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(100.0) / 10.0, 1e-8);
+}
+
+TEST(Brent, ThrowsWithoutSignChange) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(GoldenMin, FindsParabolaMinimum) {
+  RootOptions opt;
+  opt.x_tol = 1e-10;
+  const auto r = golden_min(
+      [](double x) { return (x - 1.5) * (x - 1.5) + 3.0; }, 0.0, 4.0, opt);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+  EXPECT_NEAR(r.f, 3.0, 1e-10);
+}
+
+TEST(GoldenMin, FindsAsymmetricMinimum) {
+  const auto r = golden_min(
+      [](double x) { return std::exp(x) + std::exp(-3.0 * x); }, -2.0, 2.0);
+  // d/dx = e^x - 3 e^{-3x} = 0 -> x = ln(3)/4.
+  EXPECT_NEAR(r.x, std::log(3.0) / 4.0, 1e-5);
+}
+
+TEST(SmallestTrue, FindsThreshold) {
+  EXPECT_EQ(smallest_true([](long n) { return n >= 37; }, 0, 100), 37);
+}
+
+TEST(SmallestTrue, AllTrueReturnsLo) {
+  EXPECT_EQ(smallest_true([](long) { return true; }, 5, 100), 5);
+}
+
+TEST(SmallestTrue, NoneTrueReturnsHiPlusOne) {
+  EXPECT_EQ(smallest_true([](long) { return false; }, 0, 100), 101);
+}
+
+TEST(SmallestTrue, EmptyRange) {
+  EXPECT_EQ(smallest_true([](long) { return true; }, 10, 5), 6);
+}
+
+TEST(SmallestTrue, CallsAreLogarithmic) {
+  int evals = 0;
+  smallest_true(
+      [&evals](long n) {
+        ++evals;
+        return n >= 900;
+      },
+      0, 1 << 20);
+  EXPECT_LT(evals, 25);
+}
+
+}  // namespace
+}  // namespace ntv::stats

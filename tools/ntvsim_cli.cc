@@ -1,0 +1,221 @@
+// ntvsim — command-line front end to the library.
+//
+//   ntvsim nodes
+//   ntvsim study    <node> [vdd]          circuit-level variation point
+//   ntvsim drop     <node> <vdd>          Fig. 4 performance drop
+//   ntvsim spares   <node> <vdd>          Table 1 duplication sizing
+//   ntvsim margin   <node> <vdd>          Table 2 voltage margin
+//   ntvsim combined <node> <vdd>          Table 3 duplication + margin
+//   ntvsim bias     <node> <vdd>          adaptive body bias (extension)
+//   ntvsim yield    <node> <vdd> <t_ns>   parametric yield at a clock
+//   ntvsim energy   <node>                Fig. 9 energy/delay sweep
+//   ntvsim optimize <node> <t_ns>         min-energy operating point
+//
+// <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
+// (quote it). Voltages in volts, clock periods in nanoseconds.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/body_bias.h"
+#include "core/mitigation.h"
+#include "core/operating_point.h"
+#include "core/variation_study.h"
+#include "core/yield.h"
+#include "energy/energy_model.h"
+
+namespace {
+
+using namespace ntv;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ntvsim <command> [...]\n"
+      "  nodes                         list technology nodes\n"
+      "  study    <node> [vdd]         gate/chain delay variation\n"
+      "  drop     <node> <vdd>         128-wide performance drop\n"
+      "  spares   <node> <vdd>         structural duplication sizing\n"
+      "  margin   <node> <vdd>         voltage margin sizing\n"
+      "  combined <node> <vdd>         duplication + margin choices\n"
+      "  bias     <node> <vdd>         adaptive body bias sizing\n"
+      "  yield    <node> <vdd> <t_ns>  parametric yield at a clock\n"
+      "  energy   <node>               energy/delay regions\n"
+      "  optimize <node> <t_ns>        min-energy operating point\n");
+  return 2;
+}
+
+const device::TechNode& node_arg(const char* name) {
+  return device::node_by_name(name);
+}
+
+double vdd_arg(const char* text, const device::TechNode& node) {
+  const double v = std::atof(text);
+  if (v < 0.3 || v > node.nominal_vdd + 1e-9)
+    throw std::invalid_argument("vdd out of range for this node");
+  return v;
+}
+
+int cmd_nodes() {
+  for (const device::TechNode* node : device::all_nodes()) {
+    std::printf("%-12s nominal %.2f V, Vth0 %.3f V\n", node->name.data(),
+                node->nominal_vdd, node->vth0);
+  }
+  return 0;
+}
+
+int cmd_study(const device::TechNode& node, double vdd) {
+  core::VariationStudy study(node);
+  const auto point = study.study_point(vdd);
+  std::printf("%s @ %.2f V\n", node.name.data(), vdd);
+  std::printf("  FO4 delay          %10.1f ps\n", point.fo4_delay * 1e12);
+  std::printf("  50-FO4 chain mean  %10.2f ns\n", point.chain_mean * 1e9);
+  std::printf("  single gate 3s/mu  %10.2f %%\n", point.single_pct);
+  std::printf("  chain 3s/mu        %10.2f %%\n", point.chain_pct);
+  return 0;
+}
+
+int cmd_drop(const device::TechNode& node, double vdd) {
+  core::MitigationStudy study(node);
+  std::printf("performance drop @ %.2f V: %.2f %% (99%% sign-off vs"
+              " %.2f V)\n",
+              vdd, study.performance_drop_pct(vdd), node.nominal_vdd);
+  return 0;
+}
+
+int cmd_spares(const device::TechNode& node, double vdd) {
+  core::MitigationStudy study(node);
+  const auto result = study.required_spares(vdd);
+  if (result.feasible) {
+    std::printf("%d spares (area +%.1f%%, power +%.1f%%)\n", result.spares,
+                result.area_overhead * 100.0,
+                result.power_overhead * 100.0);
+  } else {
+    std::printf(">128 spares required -- use voltage margining\n");
+  }
+  return 0;
+}
+
+int cmd_margin(const device::TechNode& node, double vdd) {
+  core::MitigationStudy study(node);
+  const auto result = study.required_voltage_margin(vdd);
+  std::printf("margin %.2f mV (final supply %.4f V, power +%.2f%%)\n",
+              result.margin * 1e3, vdd + result.margin,
+              result.power_overhead * 100.0);
+  return 0;
+}
+
+int cmd_combined(const device::TechNode& node, double vdd) {
+  core::MitigationStudy study(node);
+  const int alphas[] = {0, 1, 2, 4, 8, 16, 26};
+  std::printf("%8s %12s %10s\n", "spares", "margin [mV]", "power %");
+  for (const auto& choice : study.explore_combined(vdd, alphas)) {
+    std::printf("%8d %12.1f %9.2f%%\n", choice.spares, choice.margin * 1e3,
+                choice.power_overhead * 100.0);
+  }
+  return 0;
+}
+
+int cmd_bias(const device::TechNode& node, double vdd) {
+  core::BodyBiasSolver solver(node);
+  const auto result = solver.required_bias(vdd);
+  if (!result.feasible) {
+    std::printf("no feasible bias below the search cap\n");
+    return 1;
+  }
+  std::printf("forward body bias: dVth -%.2f mV, leakage x%.2f,"
+              " power +%.2f%%\n",
+              result.delta_vth * 1e3, result.leakage_multiplier,
+              result.power_overhead * 100.0);
+  return 0;
+}
+
+int cmd_yield(const device::TechNode& node, double vdd, double t_ns) {
+  core::YieldAnalysis analysis(node);
+  const double t = t_ns * 1e-9;
+  std::printf("yield @ %.2f V, T_clk=%.3f ns:\n", vdd, t_ns);
+  for (int spares : {0, 6, 28}) {
+    std::printf("  %2d spares: %.4f\n", spares,
+                analysis.yield(vdd, t, spares));
+  }
+  std::printf("99%%-yield clock (no spares): %.3f ns\n",
+              analysis.t_clk_for_yield(vdd, 0.99) * 1e9);
+  return 0;
+}
+
+int cmd_energy(const device::TechNode& node) {
+  energy::EnergyModel model(node);
+  std::printf("%-7s %-6s %12s %10s\n", "Vdd[V]", "region", "delay [ns]",
+              "E/op");
+  for (const auto& p : model.sweep(0.25, node.nominal_vdd, 0.05)) {
+    const char* region = p.region == energy::Region::kSubThreshold ? "sub"
+                         : p.region == energy::Region::kNearThreshold
+                             ? "near"
+                             : "super";
+    std::printf("%-7.2f %-6s %12.3f %10.4f\n", p.vdd, region,
+                p.delay * 1e9, p.total_energy);
+  }
+  std::printf("energy minimum at %.3f V\n", model.minimum_energy_vdd());
+  return 0;
+}
+
+int cmd_optimize(const device::TechNode& node, double t_ns) {
+  core::OperatingPointFinder finder(node);
+  const double t = t_ns * 1e-9;
+  const int spares[] = {0, 4, 8};
+  const auto best =
+      finder.optimize(t, 0.45, node.nominal_vdd, 0.01, spares);
+  if (!best.meets_clock) {
+    std::printf("no operating point meets %.3f ns in range\n", t_ns);
+    return 1;
+  }
+  std::printf("minimum-energy point for T_clk=%.3f ns:\n", t_ns);
+  std::printf("  Vdd %.3f V + %.1f mV margin, %d spares\n", best.vdd,
+              best.margin * 1e3, best.spares);
+  std::printf("  energy %.4f (nominal=1), sign-off delay %.3f ns\n",
+              best.energy, best.signoff_delay * 1e9);
+  std::printf("  (variation-naive pick: %.3f V)\n",
+              finder.naive_vdd_for_clock(t));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "nodes") return cmd_nodes();
+    if (argc < 3) return usage();
+    const device::TechNode& node = node_arg(argv[2]);
+    if (command == "study") {
+      return cmd_study(node, argc > 3 ? vdd_arg(argv[3], node) : 0.55);
+    }
+    if (command == "energy") return cmd_energy(node);
+    if (command == "optimize") {
+      if (argc < 4) return usage();
+      return cmd_optimize(node, std::atof(argv[3]));
+    }
+    if (argc < 4) return usage();
+    const double vdd = vdd_arg(argv[3], node);
+    if (command == "drop") return cmd_drop(node, vdd);
+    if (command == "spares") return cmd_spares(node, vdd);
+    if (command == "margin") return cmd_margin(node, vdd);
+    if (command == "combined") return cmd_combined(node, vdd);
+    if (command == "bias") return cmd_bias(node, vdd);
+    if (command == "yield") {
+      if (argc < 5) return usage();
+      return cmd_yield(node, vdd, std::atof(argv[4]));
+    }
+    return usage();
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown node '%s' (run: ntvsim nodes)\n",
+                 argv[2]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
