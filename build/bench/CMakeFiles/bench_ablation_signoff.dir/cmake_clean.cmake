@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_signoff.dir/bench_ablation_signoff.cc.o"
+  "CMakeFiles/bench_ablation_signoff.dir/bench_ablation_signoff.cc.o.d"
+  "bench_ablation_signoff"
+  "bench_ablation_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

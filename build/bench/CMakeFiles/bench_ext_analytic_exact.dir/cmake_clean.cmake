@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_analytic_exact.dir/bench_ext_analytic_exact.cc.o"
+  "CMakeFiles/bench_ext_analytic_exact.dir/bench_ext_analytic_exact.cc.o.d"
+  "bench_ext_analytic_exact"
+  "bench_ext_analytic_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_analytic_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

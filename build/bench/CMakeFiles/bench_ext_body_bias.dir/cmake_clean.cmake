@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_body_bias.dir/bench_ext_body_bias.cc.o"
+  "CMakeFiles/bench_ext_body_bias.dir/bench_ext_body_bias.cc.o.d"
+  "bench_ext_body_bias"
+  "bench_ext_body_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_body_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

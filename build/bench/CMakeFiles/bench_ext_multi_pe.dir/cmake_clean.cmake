@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_pe.dir/bench_ext_multi_pe.cc.o"
+  "CMakeFiles/bench_ext_multi_pe.dir/bench_ext_multi_pe.cc.o.d"
+  "bench_ext_multi_pe"
+  "bench_ext_multi_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spice_mc.dir/bench_ext_spice_mc.cc.o"
+  "CMakeFiles/bench_ext_spice_mc.dir/bench_ext_spice_mc.cc.o.d"
+  "bench_ext_spice_mc"
+  "bench_ext_spice_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spice_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ssta.dir/bench_ext_ssta.cc.o"
+  "CMakeFiles/bench_ext_ssta.dir/bench_ext_ssta.cc.o.d"
+  "bench_ext_ssta"
+  "bench_ext_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

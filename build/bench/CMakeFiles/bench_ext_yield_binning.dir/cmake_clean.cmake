@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_yield_binning.dir/bench_ext_yield_binning.cc.o"
+  "CMakeFiles/bench_ext_yield_binning.dir/bench_ext_yield_binning.cc.o.d"
+  "bench_ext_yield_binning"
+  "bench_ext_yield_binning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_yield_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

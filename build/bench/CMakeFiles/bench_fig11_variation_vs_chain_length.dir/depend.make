@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_variation_vs_chain_length.
+# This may be replaced when dependencies are built.

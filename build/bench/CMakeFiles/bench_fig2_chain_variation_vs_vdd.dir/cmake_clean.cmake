@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_chain_variation_vs_vdd.dir/bench_fig2_chain_variation_vs_vdd.cc.o"
+  "CMakeFiles/bench_fig2_chain_variation_vs_vdd.dir/bench_fig2_chain_variation_vs_vdd.cc.o.d"
+  "bench_fig2_chain_variation_vs_vdd"
+  "bench_fig2_chain_variation_vs_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_chain_variation_vs_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

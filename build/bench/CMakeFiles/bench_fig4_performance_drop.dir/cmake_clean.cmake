@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_performance_drop.dir/bench_fig4_performance_drop.cc.o"
+  "CMakeFiles/bench_fig4_performance_drop.dir/bench_fig4_performance_drop.cc.o.d"
+  "bench_fig4_performance_drop"
+  "bench_fig4_performance_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_performance_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_chip_delay_vs_margin.dir/bench_fig8_chip_delay_vs_margin.cc.o"
+  "CMakeFiles/bench_fig8_chip_delay_vs_margin.dir/bench_fig8_chip_delay_vs_margin.cc.o.d"
+  "bench_fig8_chip_delay_vs_margin"
+  "bench_fig8_chip_delay_vs_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_chip_delay_vs_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_chip_delay_vs_margin.
+# This may be replaced when dependencies are built.

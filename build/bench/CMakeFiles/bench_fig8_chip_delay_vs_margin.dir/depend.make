@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_chip_delay_vs_margin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soda_kernels.dir/bench_soda_kernels.cc.o"
+  "CMakeFiles/bench_soda_kernels.dir/bench_soda_kernels.cc.o.d"
+  "bench_soda_kernels"
+  "bench_soda_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soda_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_spares.dir/bench_table1_spares.cc.o"
+  "CMakeFiles/bench_table1_spares.dir/bench_table1_spares.cc.o.d"
+  "bench_table1_spares"
+  "bench_table1_spares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

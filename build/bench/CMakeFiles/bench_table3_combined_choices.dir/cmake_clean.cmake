@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_combined_choices.dir/bench_table3_combined_choices.cc.o"
+  "CMakeFiles/bench_table3_combined_choices.dir/bench_table3_combined_choices.cc.o.d"
+  "bench_table3_combined_choices"
+  "bench_table3_combined_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_combined_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_frequency_margin.dir/bench_table4_frequency_margin.cc.o"
+  "CMakeFiles/bench_table4_frequency_margin.dir/bench_table4_frequency_margin.cc.o.d"
+  "bench_table4_frequency_margin"
+  "bench_table4_frequency_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_frequency_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

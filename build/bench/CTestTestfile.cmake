@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_gate_chain_distributions_artifact "/root/repo/build/bench/bench_fig1_gate_chain_distributions" "--artifact_only")
+set_tests_properties(bench_fig1_gate_chain_distributions_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig2_chain_variation_vs_vdd_artifact "/root/repo/build/bench/bench_fig2_chain_variation_vs_vdd" "--artifact_only")
+set_tests_properties(bench_fig2_chain_variation_vs_vdd_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_chip_delay_distributions_artifact "/root/repo/build/bench/bench_fig3_chip_delay_distributions" "--artifact_only")
+set_tests_properties(bench_fig3_chip_delay_distributions_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig5_duplication_distributions_artifact "/root/repo/build/bench/bench_fig5_duplication_distributions" "--artifact_only")
+set_tests_properties(bench_fig5_duplication_distributions_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig9_energy_regions_artifact "/root/repo/build/bench/bench_fig9_energy_regions" "--artifact_only")
+set_tests_properties(bench_fig9_energy_regions_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig11_variation_vs_chain_length_artifact "/root/repo/build/bench/bench_fig11_variation_vs_chain_length" "--artifact_only")
+set_tests_properties(bench_fig11_variation_vs_chain_length_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig12_sparing_placement_artifact "/root/repo/build/bench/bench_fig12_sparing_placement" "--artifact_only")
+set_tests_properties(bench_fig12_sparing_placement_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_soda_kernels_artifact "/root/repo/build/bench/bench_soda_kernels" "--artifact_only")
+set_tests_properties(bench_soda_kernels_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_yield_binning_artifact "/root/repo/build/bench/bench_ext_yield_binning" "--artifact_only")
+set_tests_properties(bench_ext_yield_binning_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_multi_pe_artifact "/root/repo/build/bench/bench_ext_multi_pe" "--artifact_only")
+set_tests_properties(bench_ext_multi_pe_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ext_spice_mc_artifact "/root/repo/build/bench/bench_ext_spice_mc" "--artifact_only")
+set_tests_properties(bench_ext_spice_mc_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")

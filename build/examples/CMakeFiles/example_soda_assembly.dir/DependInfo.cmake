@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/soda_assembly.cpp" "examples/CMakeFiles/example_soda_assembly.dir/soda_assembly.cpp.o" "gcc" "examples/CMakeFiles/example_soda_assembly.dir/soda_assembly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ntv_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/soda/CMakeFiles/ntv_soda.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ntv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

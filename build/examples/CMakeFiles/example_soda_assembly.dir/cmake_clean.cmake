@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_soda_assembly.dir/soda_assembly.cpp.o"
+  "CMakeFiles/example_soda_assembly.dir/soda_assembly.cpp.o.d"
+  "example_soda_assembly"
+  "example_soda_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_soda_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_variation_aware_dsp.dir/variation_aware_dsp.cpp.o"
+  "CMakeFiles/example_variation_aware_dsp.dir/variation_aware_dsp.cpp.o.d"
+  "example_variation_aware_dsp"
+  "example_variation_aware_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_variation_aware_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

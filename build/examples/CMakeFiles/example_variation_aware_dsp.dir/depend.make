@@ -1,0 +1,2 @@
+# Empty dependencies file for example_variation_aware_dsp.
+# This may be replaced when dependencies are built.

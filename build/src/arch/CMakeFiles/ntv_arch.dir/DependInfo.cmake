@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/analytic_timing.cc" "src/arch/CMakeFiles/ntv_arch.dir/analytic_timing.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/analytic_timing.cc.o.d"
+  "/root/repo/src/arch/area_power.cc" "src/arch/CMakeFiles/ntv_arch.dir/area_power.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/area_power.cc.o.d"
+  "/root/repo/src/arch/simd_timing.cc" "src/arch/CMakeFiles/ntv_arch.dir/simd_timing.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/simd_timing.cc.o.d"
+  "/root/repo/src/arch/sparing.cc" "src/arch/CMakeFiles/ntv_arch.dir/sparing.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/sparing.cc.o.d"
+  "/root/repo/src/arch/spatial.cc" "src/arch/CMakeFiles/ntv_arch.dir/spatial.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/spatial.cc.o.d"
+  "/root/repo/src/arch/xram.cc" "src/arch/CMakeFiles/ntv_arch.dir/xram.cc.o" "gcc" "src/arch/CMakeFiles/ntv_arch.dir/xram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

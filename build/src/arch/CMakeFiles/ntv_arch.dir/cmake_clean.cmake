@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_arch.dir/analytic_timing.cc.o"
+  "CMakeFiles/ntv_arch.dir/analytic_timing.cc.o.d"
+  "CMakeFiles/ntv_arch.dir/area_power.cc.o"
+  "CMakeFiles/ntv_arch.dir/area_power.cc.o.d"
+  "CMakeFiles/ntv_arch.dir/simd_timing.cc.o"
+  "CMakeFiles/ntv_arch.dir/simd_timing.cc.o.d"
+  "CMakeFiles/ntv_arch.dir/sparing.cc.o"
+  "CMakeFiles/ntv_arch.dir/sparing.cc.o.d"
+  "CMakeFiles/ntv_arch.dir/spatial.cc.o"
+  "CMakeFiles/ntv_arch.dir/spatial.cc.o.d"
+  "CMakeFiles/ntv_arch.dir/xram.cc.o"
+  "CMakeFiles/ntv_arch.dir/xram.cc.o.d"
+  "libntv_arch.a"
+  "libntv_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

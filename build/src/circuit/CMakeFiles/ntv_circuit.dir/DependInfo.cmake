@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/gates.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/gates.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/gates.cc.o.d"
+  "/root/repo/src/circuit/linear.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/linear.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/linear.cc.o.d"
+  "/root/repo/src/circuit/mna.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/mna.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/mna.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/netlist.cc.o.d"
+  "/root/repo/src/circuit/simulator.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/simulator.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/simulator.cc.o.d"
+  "/root/repo/src/circuit/stdcells.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/stdcells.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/stdcells.cc.o.d"
+  "/root/repo/src/circuit/vcd.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/vcd.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/vcd.cc.o.d"
+  "/root/repo/src/circuit/waveform.cc" "src/circuit/CMakeFiles/ntv_circuit.dir/waveform.cc.o" "gcc" "src/circuit/CMakeFiles/ntv_circuit.dir/waveform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_circuit.dir/gates.cc.o"
+  "CMakeFiles/ntv_circuit.dir/gates.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/linear.cc.o"
+  "CMakeFiles/ntv_circuit.dir/linear.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/mna.cc.o"
+  "CMakeFiles/ntv_circuit.dir/mna.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/netlist.cc.o"
+  "CMakeFiles/ntv_circuit.dir/netlist.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/simulator.cc.o"
+  "CMakeFiles/ntv_circuit.dir/simulator.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/stdcells.cc.o"
+  "CMakeFiles/ntv_circuit.dir/stdcells.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/vcd.cc.o"
+  "CMakeFiles/ntv_circuit.dir/vcd.cc.o.d"
+  "CMakeFiles/ntv_circuit.dir/waveform.cc.o"
+  "CMakeFiles/ntv_circuit.dir/waveform.cc.o.d"
+  "libntv_circuit.a"
+  "libntv_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/body_bias.cc" "src/core/CMakeFiles/ntv_core.dir/body_bias.cc.o" "gcc" "src/core/CMakeFiles/ntv_core.dir/body_bias.cc.o.d"
+  "/root/repo/src/core/mitigation.cc" "src/core/CMakeFiles/ntv_core.dir/mitigation.cc.o" "gcc" "src/core/CMakeFiles/ntv_core.dir/mitigation.cc.o.d"
+  "/root/repo/src/core/operating_point.cc" "src/core/CMakeFiles/ntv_core.dir/operating_point.cc.o" "gcc" "src/core/CMakeFiles/ntv_core.dir/operating_point.cc.o.d"
+  "/root/repo/src/core/variation_study.cc" "src/core/CMakeFiles/ntv_core.dir/variation_study.cc.o" "gcc" "src/core/CMakeFiles/ntv_core.dir/variation_study.cc.o.d"
+  "/root/repo/src/core/yield.cc" "src/core/CMakeFiles/ntv_core.dir/yield.cc.o" "gcc" "src/core/CMakeFiles/ntv_core.dir/yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ntv_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_core.dir/body_bias.cc.o"
+  "CMakeFiles/ntv_core.dir/body_bias.cc.o.d"
+  "CMakeFiles/ntv_core.dir/mitigation.cc.o"
+  "CMakeFiles/ntv_core.dir/mitigation.cc.o.d"
+  "CMakeFiles/ntv_core.dir/operating_point.cc.o"
+  "CMakeFiles/ntv_core.dir/operating_point.cc.o.d"
+  "CMakeFiles/ntv_core.dir/variation_study.cc.o"
+  "CMakeFiles/ntv_core.dir/variation_study.cc.o.d"
+  "CMakeFiles/ntv_core.dir/yield.cc.o"
+  "CMakeFiles/ntv_core.dir/yield.cc.o.d"
+  "libntv_core.a"
+  "libntv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

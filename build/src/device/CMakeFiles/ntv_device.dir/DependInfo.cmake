@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cc" "src/device/CMakeFiles/ntv_device.dir/calibration.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/calibration.cc.o.d"
+  "/root/repo/src/device/gate_delay.cc" "src/device/CMakeFiles/ntv_device.dir/gate_delay.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/gate_delay.cc.o.d"
+  "/root/repo/src/device/gate_table.cc" "src/device/CMakeFiles/ntv_device.dir/gate_table.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/gate_table.cc.o.d"
+  "/root/repo/src/device/tech_node.cc" "src/device/CMakeFiles/ntv_device.dir/tech_node.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/tech_node.cc.o.d"
+  "/root/repo/src/device/thermal.cc" "src/device/CMakeFiles/ntv_device.dir/thermal.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/thermal.cc.o.d"
+  "/root/repo/src/device/transistor.cc" "src/device/CMakeFiles/ntv_device.dir/transistor.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/transistor.cc.o.d"
+  "/root/repo/src/device/variation.cc" "src/device/CMakeFiles/ntv_device.dir/variation.cc.o" "gcc" "src/device/CMakeFiles/ntv_device.dir/variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_device.dir/calibration.cc.o"
+  "CMakeFiles/ntv_device.dir/calibration.cc.o.d"
+  "CMakeFiles/ntv_device.dir/gate_delay.cc.o"
+  "CMakeFiles/ntv_device.dir/gate_delay.cc.o.d"
+  "CMakeFiles/ntv_device.dir/gate_table.cc.o"
+  "CMakeFiles/ntv_device.dir/gate_table.cc.o.d"
+  "CMakeFiles/ntv_device.dir/tech_node.cc.o"
+  "CMakeFiles/ntv_device.dir/tech_node.cc.o.d"
+  "CMakeFiles/ntv_device.dir/thermal.cc.o"
+  "CMakeFiles/ntv_device.dir/thermal.cc.o.d"
+  "CMakeFiles/ntv_device.dir/transistor.cc.o"
+  "CMakeFiles/ntv_device.dir/transistor.cc.o.d"
+  "CMakeFiles/ntv_device.dir/variation.cc.o"
+  "CMakeFiles/ntv_device.dir/variation.cc.o.d"
+  "libntv_device.a"
+  "libntv_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_energy.dir/energy_model.cc.o"
+  "CMakeFiles/ntv_energy.dir/energy_model.cc.o.d"
+  "libntv_energy.a"
+  "libntv_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soda/adder_tree.cc" "src/soda/CMakeFiles/ntv_soda.dir/adder_tree.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/adder_tree.cc.o.d"
+  "/root/repo/src/soda/agu.cc" "src/soda/CMakeFiles/ntv_soda.dir/agu.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/agu.cc.o.d"
+  "/root/repo/src/soda/assembler.cc" "src/soda/CMakeFiles/ntv_soda.dir/assembler.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/assembler.cc.o.d"
+  "/root/repo/src/soda/energy_report.cc" "src/soda/CMakeFiles/ntv_soda.dir/energy_report.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/energy_report.cc.o.d"
+  "/root/repo/src/soda/isa.cc" "src/soda/CMakeFiles/ntv_soda.dir/isa.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/isa.cc.o.d"
+  "/root/repo/src/soda/kernels.cc" "src/soda/CMakeFiles/ntv_soda.dir/kernels.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/kernels.cc.o.d"
+  "/root/repo/src/soda/memory.cc" "src/soda/CMakeFiles/ntv_soda.dir/memory.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/memory.cc.o.d"
+  "/root/repo/src/soda/pe.cc" "src/soda/CMakeFiles/ntv_soda.dir/pe.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/pe.cc.o.d"
+  "/root/repo/src/soda/program.cc" "src/soda/CMakeFiles/ntv_soda.dir/program.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/program.cc.o.d"
+  "/root/repo/src/soda/simd_unit.cc" "src/soda/CMakeFiles/ntv_soda.dir/simd_unit.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/simd_unit.cc.o.d"
+  "/root/repo/src/soda/system.cc" "src/soda/CMakeFiles/ntv_soda.dir/system.cc.o" "gcc" "src/soda/CMakeFiles/ntv_soda.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_soda.dir/adder_tree.cc.o"
+  "CMakeFiles/ntv_soda.dir/adder_tree.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/agu.cc.o"
+  "CMakeFiles/ntv_soda.dir/agu.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/assembler.cc.o"
+  "CMakeFiles/ntv_soda.dir/assembler.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/energy_report.cc.o"
+  "CMakeFiles/ntv_soda.dir/energy_report.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/isa.cc.o"
+  "CMakeFiles/ntv_soda.dir/isa.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/kernels.cc.o"
+  "CMakeFiles/ntv_soda.dir/kernels.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/memory.cc.o"
+  "CMakeFiles/ntv_soda.dir/memory.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/pe.cc.o"
+  "CMakeFiles/ntv_soda.dir/pe.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/program.cc.o"
+  "CMakeFiles/ntv_soda.dir/program.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/simd_unit.cc.o"
+  "CMakeFiles/ntv_soda.dir/simd_unit.cc.o.d"
+  "CMakeFiles/ntv_soda.dir/system.cc.o"
+  "CMakeFiles/ntv_soda.dir/system.cc.o.d"
+  "libntv_soda.a"
+  "libntv_soda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_soda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_ssta.dir/timing_graph.cc.o"
+  "CMakeFiles/ntv_ssta.dir/timing_graph.cc.o.d"
+  "libntv_ssta.a"
+  "libntv_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

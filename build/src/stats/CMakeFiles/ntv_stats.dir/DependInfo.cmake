@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/ntv_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ntv_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/discrete_distribution.cc" "src/stats/CMakeFiles/ntv_stats.dir/discrete_distribution.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/discrete_distribution.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/ntv_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/fft.cc" "src/stats/CMakeFiles/ntv_stats.dir/fft.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/fft.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ntv_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/monte_carlo.cc" "src/stats/CMakeFiles/ntv_stats.dir/monte_carlo.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/ntv_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/normality.cc" "src/stats/CMakeFiles/ntv_stats.dir/normality.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/normality.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/stats/CMakeFiles/ntv_stats.dir/percentile.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/percentile.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/stats/CMakeFiles/ntv_stats.dir/rng.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/rng.cc.o.d"
+  "/root/repo/src/stats/root_find.cc" "src/stats/CMakeFiles/ntv_stats.dir/root_find.cc.o" "gcc" "src/stats/CMakeFiles/ntv_stats.dir/root_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/ntv_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ntv_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/discrete_distribution.cc.o"
+  "CMakeFiles/ntv_stats.dir/discrete_distribution.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/ecdf.cc.o"
+  "CMakeFiles/ntv_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/fft.cc.o"
+  "CMakeFiles/ntv_stats.dir/fft.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/histogram.cc.o"
+  "CMakeFiles/ntv_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/monte_carlo.cc.o"
+  "CMakeFiles/ntv_stats.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/normal.cc.o"
+  "CMakeFiles/ntv_stats.dir/normal.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/normality.cc.o"
+  "CMakeFiles/ntv_stats.dir/normality.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/percentile.cc.o"
+  "CMakeFiles/ntv_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/rng.cc.o"
+  "CMakeFiles/ntv_stats.dir/rng.cc.o.d"
+  "CMakeFiles/ntv_stats.dir/root_find.cc.o"
+  "CMakeFiles/ntv_stats.dir/root_find.cc.o.d"
+  "libntv_stats.a"
+  "libntv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

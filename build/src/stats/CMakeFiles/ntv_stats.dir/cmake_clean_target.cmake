@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntv_stats.a"
+)

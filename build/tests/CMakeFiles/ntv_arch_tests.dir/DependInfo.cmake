@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/analytic_timing_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/analytic_timing_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/analytic_timing_test.cc.o.d"
+  "/root/repo/tests/arch/area_power_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/area_power_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/area_power_test.cc.o.d"
+  "/root/repo/tests/arch/property_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/property_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/property_test.cc.o.d"
+  "/root/repo/tests/arch/simd_timing_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/simd_timing_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/simd_timing_test.cc.o.d"
+  "/root/repo/tests/arch/sparing_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/sparing_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/sparing_test.cc.o.d"
+  "/root/repo/tests/arch/spatial_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/spatial_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/spatial_test.cc.o.d"
+  "/root/repo/tests/arch/xram_test.cc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/xram_test.cc.o" "gcc" "tests/CMakeFiles/ntv_arch_tests.dir/arch/xram_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

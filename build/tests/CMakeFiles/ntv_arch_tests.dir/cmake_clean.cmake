@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_arch_tests.dir/arch/analytic_timing_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/analytic_timing_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/area_power_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/area_power_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/property_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/property_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/simd_timing_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/simd_timing_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/sparing_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/sparing_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/spatial_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/spatial_test.cc.o.d"
+  "CMakeFiles/ntv_arch_tests.dir/arch/xram_test.cc.o"
+  "CMakeFiles/ntv_arch_tests.dir/arch/xram_test.cc.o.d"
+  "ntv_arch_tests"
+  "ntv_arch_tests.pdb"
+  "ntv_arch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_arch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/gates_test.cc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/gates_test.cc.o" "gcc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/gates_test.cc.o.d"
+  "/root/repo/tests/circuit/linear_test.cc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/linear_test.cc.o" "gcc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/linear_test.cc.o.d"
+  "/root/repo/tests/circuit/simulator_test.cc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/simulator_test.cc.o" "gcc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/simulator_test.cc.o.d"
+  "/root/repo/tests/circuit/stdcells_test.cc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/stdcells_test.cc.o" "gcc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/stdcells_test.cc.o.d"
+  "/root/repo/tests/circuit/vcd_test.cc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/vcd_test.cc.o" "gcc" "tests/CMakeFiles/ntv_circuit_tests.dir/circuit/vcd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/ntv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/gates_test.cc.o"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/gates_test.cc.o.d"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/linear_test.cc.o"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/linear_test.cc.o.d"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/simulator_test.cc.o"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/simulator_test.cc.o.d"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/stdcells_test.cc.o"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/stdcells_test.cc.o.d"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/vcd_test.cc.o"
+  "CMakeFiles/ntv_circuit_tests.dir/circuit/vcd_test.cc.o.d"
+  "ntv_circuit_tests"
+  "ntv_circuit_tests.pdb"
+  "ntv_circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

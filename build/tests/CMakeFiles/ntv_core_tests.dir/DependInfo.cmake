@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/body_bias_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/body_bias_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/body_bias_test.cc.o.d"
+  "/root/repo/tests/core/mitigation_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/mitigation_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/mitigation_test.cc.o.d"
+  "/root/repo/tests/core/operating_point_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/operating_point_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/operating_point_test.cc.o.d"
+  "/root/repo/tests/core/property_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/property_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/property_test.cc.o.d"
+  "/root/repo/tests/core/variation_study_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/variation_study_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/variation_study_test.cc.o.d"
+  "/root/repo/tests/core/yield_test.cc" "tests/CMakeFiles/ntv_core_tests.dir/core/yield_test.cc.o" "gcc" "tests/CMakeFiles/ntv_core_tests.dir/core/yield_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ntv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ntv_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_core_tests.dir/core/body_bias_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/body_bias_test.cc.o.d"
+  "CMakeFiles/ntv_core_tests.dir/core/mitigation_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/mitigation_test.cc.o.d"
+  "CMakeFiles/ntv_core_tests.dir/core/operating_point_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/operating_point_test.cc.o.d"
+  "CMakeFiles/ntv_core_tests.dir/core/property_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/property_test.cc.o.d"
+  "CMakeFiles/ntv_core_tests.dir/core/variation_study_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/variation_study_test.cc.o.d"
+  "CMakeFiles/ntv_core_tests.dir/core/yield_test.cc.o"
+  "CMakeFiles/ntv_core_tests.dir/core/yield_test.cc.o.d"
+  "ntv_core_tests"
+  "ntv_core_tests.pdb"
+  "ntv_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

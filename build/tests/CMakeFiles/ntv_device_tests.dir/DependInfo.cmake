@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/calibration_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/calibration_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/calibration_test.cc.o.d"
+  "/root/repo/tests/device/gate_delay_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/gate_delay_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/gate_delay_test.cc.o.d"
+  "/root/repo/tests/device/gate_table_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/gate_table_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/gate_table_test.cc.o.d"
+  "/root/repo/tests/device/property_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/property_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/property_test.cc.o.d"
+  "/root/repo/tests/device/tech_node_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/tech_node_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/tech_node_test.cc.o.d"
+  "/root/repo/tests/device/thermal_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/thermal_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/thermal_test.cc.o.d"
+  "/root/repo/tests/device/transistor_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/transistor_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/transistor_test.cc.o.d"
+  "/root/repo/tests/device/variation_test.cc" "tests/CMakeFiles/ntv_device_tests.dir/device/variation_test.cc.o" "gcc" "tests/CMakeFiles/ntv_device_tests.dir/device/variation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

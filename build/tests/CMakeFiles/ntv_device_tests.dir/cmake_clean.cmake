@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_device_tests.dir/device/calibration_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/calibration_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/gate_delay_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/gate_delay_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/gate_table_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/gate_table_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/property_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/property_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/tech_node_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/tech_node_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/thermal_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/thermal_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/transistor_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/transistor_test.cc.o.d"
+  "CMakeFiles/ntv_device_tests.dir/device/variation_test.cc.o"
+  "CMakeFiles/ntv_device_tests.dir/device/variation_test.cc.o.d"
+  "ntv_device_tests"
+  "ntv_device_tests.pdb"
+  "ntv_device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_energy_tests.dir/energy/energy_model_test.cc.o"
+  "CMakeFiles/ntv_energy_tests.dir/energy/energy_model_test.cc.o.d"
+  "ntv_energy_tests"
+  "ntv_energy_tests.pdb"
+  "ntv_energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/ntv_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/ntv_integration_tests.dir/integration/spice_vs_model_test.cc.o"
+  "CMakeFiles/ntv_integration_tests.dir/integration/spice_vs_model_test.cc.o.d"
+  "ntv_integration_tests"
+  "ntv_integration_tests.pdb"
+  "ntv_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soda/adder_tree_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/adder_tree_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/adder_tree_test.cc.o.d"
+  "/root/repo/tests/soda/agu_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/agu_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/agu_test.cc.o.d"
+  "/root/repo/tests/soda/assembler_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/assembler_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/assembler_test.cc.o.d"
+  "/root/repo/tests/soda/energy_report_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/energy_report_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/energy_report_test.cc.o.d"
+  "/root/repo/tests/soda/isa_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/isa_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/isa_test.cc.o.d"
+  "/root/repo/tests/soda/kernels_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/kernels_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/kernels_test.cc.o.d"
+  "/root/repo/tests/soda/matvec_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/matvec_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/matvec_test.cc.o.d"
+  "/root/repo/tests/soda/memory_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/memory_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/memory_test.cc.o.d"
+  "/root/repo/tests/soda/pe_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/pe_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/pe_test.cc.o.d"
+  "/root/repo/tests/soda/property_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/property_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/property_test.cc.o.d"
+  "/root/repo/tests/soda/simd_unit_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/simd_unit_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/simd_unit_test.cc.o.d"
+  "/root/repo/tests/soda/system_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/system_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/system_test.cc.o.d"
+  "/root/repo/tests/soda/trace_test.cc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/trace_test.cc.o" "gcc" "tests/CMakeFiles/ntv_soda_tests.dir/soda/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soda/CMakeFiles/ntv_soda.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ntv_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ntv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

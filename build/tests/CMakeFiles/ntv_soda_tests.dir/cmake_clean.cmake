@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_soda_tests.dir/soda/adder_tree_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/adder_tree_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/agu_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/agu_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/assembler_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/assembler_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/energy_report_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/energy_report_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/isa_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/isa_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/kernels_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/kernels_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/matvec_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/matvec_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/memory_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/memory_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/pe_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/pe_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/property_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/property_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/simd_unit_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/simd_unit_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/system_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/system_test.cc.o.d"
+  "CMakeFiles/ntv_soda_tests.dir/soda/trace_test.cc.o"
+  "CMakeFiles/ntv_soda_tests.dir/soda/trace_test.cc.o.d"
+  "ntv_soda_tests"
+  "ntv_soda_tests.pdb"
+  "ntv_soda_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_soda_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_ssta_tests.dir/ssta/timing_graph_test.cc.o"
+  "CMakeFiles/ntv_ssta_tests.dir/ssta/timing_graph_test.cc.o.d"
+  "ntv_ssta_tests"
+  "ntv_ssta_tests.pdb"
+  "ntv_ssta_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_ssta_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

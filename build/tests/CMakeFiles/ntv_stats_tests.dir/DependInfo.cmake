@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/bootstrap_test.cc.o.d"
+  "/root/repo/tests/stats/descriptive_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/descriptive_test.cc.o.d"
+  "/root/repo/tests/stats/discrete_distribution_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/discrete_distribution_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/discrete_distribution_test.cc.o.d"
+  "/root/repo/tests/stats/ecdf_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/ecdf_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/ecdf_test.cc.o.d"
+  "/root/repo/tests/stats/fft_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/fft_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/fft_test.cc.o.d"
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/monte_carlo_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/monte_carlo_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/monte_carlo_test.cc.o.d"
+  "/root/repo/tests/stats/normal_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/normal_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/normal_test.cc.o.d"
+  "/root/repo/tests/stats/normality_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/normality_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/normality_test.cc.o.d"
+  "/root/repo/tests/stats/percentile_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/percentile_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/percentile_test.cc.o.d"
+  "/root/repo/tests/stats/property_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/property_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/property_test.cc.o.d"
+  "/root/repo/tests/stats/rng_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/rng_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/rng_test.cc.o.d"
+  "/root/repo/tests/stats/root_find_test.cc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/root_find_test.cc.o" "gcc" "tests/CMakeFiles/ntv_stats_tests.dir/stats/root_find_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ntv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

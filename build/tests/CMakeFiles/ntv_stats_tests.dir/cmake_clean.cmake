@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntv_stats_tests.dir/stats/bootstrap_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/bootstrap_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/descriptive_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/descriptive_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/discrete_distribution_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/discrete_distribution_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/ecdf_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/ecdf_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/fft_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/fft_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/histogram_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/histogram_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/monte_carlo_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/monte_carlo_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/normal_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/normal_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/normality_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/normality_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/percentile_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/percentile_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/property_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/property_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/rng_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/rng_test.cc.o.d"
+  "CMakeFiles/ntv_stats_tests.dir/stats/root_find_test.cc.o"
+  "CMakeFiles/ntv_stats_tests.dir/stats/root_find_test.cc.o.d"
+  "ntv_stats_tests"
+  "ntv_stats_tests.pdb"
+  "ntv_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntv_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ntv_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_device_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_circuit_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_arch_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_energy_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_soda_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_ssta_tests[1]_include.cmake")
+include("/root/repo/build/tests/ntv_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntvsim.dir/ntvsim_cli.cc.o"
+  "CMakeFiles/ntvsim.dir/ntvsim_cli.cc.o.d"
+  "ntvsim"
+  "ntvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntvsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ntvsim.
+# This may be replaced when dependencies are built.
