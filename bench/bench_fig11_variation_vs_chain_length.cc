@@ -21,12 +21,18 @@ void print_artifact() {
   for (int n : {1, 2, 5, 10, 20, 50, 100, 150, 200}) {
     char line[160];
     int len = std::snprintf(line, sizeof(line), "%-6d |", n);
+    const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
     for (std::size_t i = 0; i < studies.size(); ++i) {
       const int width = (i < 2) ? 10 : 12;
+      const double pct = studies[i].chain_variation_pct(0.55, n);
       len += std::snprintf(line + len,
                            sizeof(line) - static_cast<std::size_t>(len),
-                           " %*.2f", width,
-                           studies[i].chain_variation_pct(0.55, n));
+                           " %*.2f", width, pct);
+      if (n == 50) {
+        char name[48];
+        std::snprintf(name, sizeof(name), "chain50_pct_%s_0.55V", tags[i]);
+        bench::record(name, pct);
+      }
     }
     std::printf("%s\n", line);
   }

@@ -15,19 +15,23 @@ void print_artifact() {
     studies.emplace_back(*node);
   }
 
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   bench::row("%-6s | %10s %10s %12s %12s", "Vdd[V]", "90nm GP", "45nm GP",
              "32nm PTM HP", "22nm PTM HP");
   for (double v = 0.50; v <= 1.001; v += 0.05) {
     std::string line;
-    char buf[32];
+    char buf[48];
     std::snprintf(buf, sizeof(buf), "%-6.2f |", v);
     line = buf;
     for (std::size_t i = 0; i < studies.size(); ++i) {
       const auto* node = device::all_nodes()[i];
       const int width = (i < 2) ? 10 : 12;
       if (v <= node->nominal_vdd + 1e-9) {
-        std::snprintf(buf, sizeof(buf), " %*.2f", width,
-                      studies[i].chain_variation_pct(v, 50));
+        const double pct = studies[i].chain_variation_pct(v, 50);
+        std::snprintf(buf, sizeof(buf), " %*.2f", width, pct);
+        char name[48];
+        std::snprintf(name, sizeof(name), "chain_pct_%s_%.2fV", tags[i], v);
+        bench::record(name, pct);
       } else {
         std::snprintf(buf, sizeof(buf), " %*s", width, "-");
       }
@@ -41,6 +45,7 @@ void print_artifact() {
   const double r55 = studies[3].chain_variation_pct(0.55, 50) /
                      studies[0].chain_variation_pct(0.55, 50);
   bench::row("measured 22nm/90nm ratio at 0.55V: %.2fx", r55);
+  bench::record("ratio_22nm_over_90nm_0.55V", r55);
 }
 
 void BM_ChainVariationPoint(benchmark::State& state) {

@@ -38,6 +38,9 @@ void print_artifact() {
                stats::percentile(path, 50.0), stats::percentile(path, 99.0));
     bench::row("%-24s median %6.2f  p99 %6.2f", "1-wide @1V",
                stats::percentile(lane, 50.0), stats::percentile(lane, 99.0));
+    bench::record("path_p50_fo4_1.00V", stats::percentile(path, 50.0));
+    bench::record("path_p99_fo4_1.00V", stats::percentile(path, 99.0));
+    bench::record("lane1_p99_fo4_1.00V", stats::percentile(lane, 99.0));
     print_histogram(path, "critical path @1V");
   }
 
@@ -48,6 +51,9 @@ void print_artifact() {
     for (std::size_t i = 0; i < fo4.size(); ++i) fo4[i] = mc.delays[i] / unit;
     bench::row("%-12s @%4.2fV       median %6.2f  p99 %6.2f", "128-wide", v,
                stats::percentile(fo4, 50.0), stats::percentile(fo4, 99.0));
+    char name[48];
+    std::snprintf(name, sizeof(name), "w128_p99_fo4_%.2fV", v);
+    bench::record(name, stats::percentile(fo4, 99.0));
     if (v == 0.5 || v == 1.0) {
       char label[64];
       std::snprintf(label, sizeof(label), "128-wide @%.2fV", v);

@@ -43,6 +43,10 @@ void print_artifact() {
              " (paper: 6-8x for ~2x)",
              at_min.delay / at_ntv.delay,
              at_ntv.total_energy / at_min.total_energy);
+  bench::record("minimum_energy_vdd", v_min);
+  bench::record("energy_ratio_nominal_over_ntv",
+                at_nom.total_energy / at_ntv.total_energy);
+  bench::record("delay_ratio_ntv_over_nominal", at_ntv.delay / at_nom.delay);
 }
 
 void BM_EnergySweep(benchmark::State& state) {

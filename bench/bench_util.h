@@ -2,16 +2,27 @@
 //
 // Every bench binary prints the rows/series of one table or figure of the
 // paper (the "artifact"), then runs its registered google-benchmark micro
-// timings. Use --artifact_only to skip the timings (CI convenience).
+// timings. Flags:
+//   --artifact_only      skip the micro timings (CI convenience)
+//   --report <file.json> emit a machine-readable run report: the numbers
+//                        the artifact reproduced (via bench::record),
+//                        wall-clock per phase, and the metrics registry
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "stats/monte_carlo.h"
 
 namespace ntv::bench {
 
@@ -31,30 +42,107 @@ inline void row(const char* fmt, ...) {
   std::printf("\n");
 }
 
+/// Reproduced paper numbers recorded by the current artifact, keyed by a
+/// stable name (e.g. "chain_pct_90nm_1.00V"). Serialized under
+/// results.values in the --report JSON; CI range-checks them.
+inline std::map<std::string, double>& recorded_values() {
+  static std::map<std::string, double> values;
+  return values;
+}
+
+/// Records one reproduced number for the run report.
+inline void record(const std::string& name, double value) {
+  recorded_values()[name] = value;
+}
+
+/// Writes the BENCH_<name>.json run report.
+inline bool write_bench_report(const std::string& path,
+                               const std::string& tool,
+                               std::int64_t artifact_ns,
+                               std::int64_t benchmark_ns) {
+  obs::RunManifest manifest;
+  manifest.tool = tool;
+  manifest.command = "artifact";
+  manifest.seed = 0;  // Benches use each experiment's fixed default seed.
+  manifest.threads = stats::resolved_thread_count();
+  auto write_results = [&](obs::JsonWriter& w) {
+    w.begin_object();
+    w.key("values").begin_object();
+    for (const auto& [name, value] : recorded_values()) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+    w.key("phases").begin_object();
+    w.key("artifact_ns").value(artifact_ns);
+    w.key("benchmark_ns").value(benchmark_ns);
+    w.end_object();
+    w.end_object();
+  };
+  return obs::write_report_file(path, manifest, write_results,
+                                obs::Registry::global().snapshot());
+}
+
 /// Standard bench main: print the artifact, then run micro benchmarks.
 /// `print_artifact` is supplied by each bench binary. Unless the caller
 /// sets --benchmark_min_time explicitly, a short default keeps the full
 /// suite (24 binaries, several seconds per heavy iteration) tractable.
 inline int run_bench_main(int argc, char** argv,
                           void (*print_artifact)()) {
+  using Clock = std::chrono::steady_clock;
+  auto ns_since = [](Clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start)
+        .count();
+  };
+
   bool artifact_only = false;
   bool has_min_time = false;
-  std::vector<char*> args(argv, argv + argc);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--artifact_only") == 0) artifact_only = true;
-    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+  std::string report_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--artifact_only") == 0) {
+      artifact_only = true;
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+      continue;
+    }
+    if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
       has_min_time = true;
     }
+    args.push_back(argv[i]);
   }
-  print_artifact();
-  if (artifact_only) return 0;
 
-  static char min_time_flag[] = "--benchmark_min_time=0.05s";
-  if (!has_min_time) args.push_back(min_time_flag);
-  int adjusted_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&adjusted_argc, args.data());
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  const char* slash = std::strrchr(argv[0], '/');
+  const std::string tool = slash ? slash + 1 : argv[0];
+
+  const auto artifact_start = Clock::now();
+  {
+    obs::ScopedTimer timer(obs::timer("bench.artifact"));
+    print_artifact();
+  }
+  const std::int64_t artifact_ns = ns_since(artifact_start);
+
+  std::int64_t benchmark_ns = 0;
+  if (!artifact_only) {
+    const auto bench_start = Clock::now();
+    static char min_time_flag[] = "--benchmark_min_time=0.05s";
+    if (!has_min_time) args.push_back(min_time_flag);
+    int adjusted_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&adjusted_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    benchmark_ns = ns_since(bench_start);
+  }
+
+  if (!report_path.empty() &&
+      !write_bench_report(report_path, tool, artifact_ns, benchmark_ns)) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 report_path.c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ntv::circuit {
 
 namespace {
@@ -25,9 +27,17 @@ bool newton_solve(const MnaSystem& sys, double t,
   std::vector<double> cap(dim, opt.damping);
   std::vector<double> last_dx(dim, 0.0);
 
+  // Registry lookups are mutex-guarded; resolve once and bump relaxed
+  // atomics in the iteration loop.
+  static obs::Counter& newton_iters = obs::counter("spice.newton_iters");
+  static obs::Counter& factorizations =
+      obs::counter("solver.factorizations");
+
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    newton_iters.increment();
     sys.assemble(x, t, caps, opt.gmin, g, b);
     x_new = b;
+    factorizations.increment();
     if (!lu_solve(g, x_new)) return false;
 
     double max_dv = 0.0;
@@ -55,6 +65,8 @@ bool newton_solve(const MnaSystem& sys, double t,
 
 DcResult dc_operating_point(const Netlist& netlist, double t,
                             const NewtonOptions& opt) {
+  obs::counter("spice.dc_solves").increment();
+  obs::ScopedTimer timer(obs::timer("spice.dc"));
   MnaSystem sys(netlist);
   DcResult result;
   result.x.assign(sys.dimension(), 0.0);
@@ -75,6 +87,9 @@ DcResult dc_operating_point(const Netlist& netlist, double t,
 }
 
 TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
+  obs::counter("spice.transient_runs").increment();
+  obs::ScopedTimer timer(obs::timer("spice.transient"));
+  static obs::Counter& timesteps = obs::counter("spice.timesteps");
   MnaSystem sys(netlist);
   TransientResult result;
   const std::size_t nodes = netlist.node_count();
@@ -110,6 +125,7 @@ TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
 
   const auto steps = static_cast<std::size_t>(std::ceil(opt.t_stop / opt.dt));
   for (std::size_t s = 1; s <= steps; ++s) {
+    timesteps.increment();
     const double t = opt.dt * static_cast<double>(s);
     for (std::size_t i = 0; i < nc; ++i) {
       const double geq = 2.0 * netlist.capacitors()[i].farads / opt.dt;

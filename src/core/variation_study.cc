@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
 #include "stats/monte_carlo.h"
+#include "stats/percentile.h"
 
 namespace ntv::core {
 
@@ -31,12 +34,14 @@ std::pair<double, double> VariationStudy::with_die(double vdd, double mean,
 }
 
 double VariationStudy::single_gate_variation_pct(double vdd) const {
+  obs::ScopedTimer timer(obs::timer("study.gate_eval"));
   const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
   const auto [m, v] = with_die(vdd, gate.mean(), gate.variance());
   return 300.0 * std::sqrt(v) / m;
 }
 
 double VariationStudy::chain_variation_pct(double vdd, int n_stages) const {
+  obs::ScopedTimer timer(obs::timer("study.chain_eval"));
   const auto chain =
       device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
   const auto [m, v] = with_die(vdd, chain.mean(), chain.variance());
@@ -44,6 +49,8 @@ double VariationStudy::chain_variation_pct(double vdd, int n_stages) const {
 }
 
 VariationPoint VariationStudy::study_point(double vdd, int n_stages) const {
+  obs::counter("study.points").increment();
+  obs::ScopedTimer timer(obs::timer("study.chain_eval"));
   const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
   const auto chain = gate.sum_of_iid(n_stages);
   const auto [gm, gv] = with_die(vdd, gate.mean(), gate.variance());
@@ -59,6 +66,8 @@ VariationPoint VariationStudy::study_point(double vdd, int n_stages) const {
 
 std::vector<double> VariationStudy::mc_single_gate_delays(
     double vdd, std::size_t n, std::uint64_t seed) const {
+  obs::counter("study.mc_points").increment();
+  obs::ScopedTimer timer(obs::timer("study.sampling"));
   const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
   stats::MonteCarloOptions opt;
   opt.seed = seed;
@@ -74,6 +83,8 @@ std::vector<double> VariationStudy::mc_single_gate_delays(
 std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
                                                     std::size_t n,
                                                     std::uint64_t seed) const {
+  obs::counter("study.mc_points").increment();
+  obs::ScopedTimer timer(obs::timer("study.sampling"));
   const auto chain =
       device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
   stats::MonteCarloOptions opt;
@@ -85,6 +96,26 @@ std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
         return model_.die_scale(vdd, die) * chain.quantile(rng.uniform());
       },
       opt);
+}
+
+McChainSummary VariationStudy::mc_chain_summary(double vdd, int n_stages,
+                                                std::size_t n,
+                                                std::uint64_t seed) const {
+  const std::vector<double> delays =
+      mc_chain_delays(vdd, n_stages, n, seed);
+
+  obs::ScopedTimer timer(obs::timer("study.percentiles"));
+  const stats::Summary summary(delays);
+  const double ps[] = {50.0, 99.0};
+  const auto quantiles = stats::percentiles(delays, ps);
+  return McChainSummary{
+      .samples = delays.size(),
+      .mean = summary.mean(),
+      .stddev = summary.stddev(),
+      .p50 = quantiles[0],
+      .p99 = quantiles[1],
+      .three_sigma_over_mu_pct = summary.three_sigma_over_mu_pct(),
+  };
 }
 
 }  // namespace ntv::core

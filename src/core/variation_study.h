@@ -25,6 +25,18 @@ struct VariationPoint {
   double chain_mean = 0.0;   ///< Mean chain delay [s].
 };
 
+/// Monte Carlo cross-check of one chain study point: sample statistics and
+/// the order statistics the paper signs off on. Deterministic given
+/// (vdd, n_stages, n, seed).
+struct McChainSummary {
+  std::size_t samples = 0;   ///< Sample count drawn.
+  double mean = 0.0;         ///< Sample mean chain delay [s].
+  double stddev = 0.0;       ///< Sample standard deviation [s].
+  double p50 = 0.0;          ///< Median chain delay [s].
+  double p99 = 0.0;          ///< 99th-percentile chain delay [s].
+  double three_sigma_over_mu_pct = 0.0;  ///< Sampled 3sigma/mu [%].
+};
+
 /// Variation study of one technology node.
 class VariationStudy {
  public:
@@ -55,6 +67,12 @@ class VariationStudy {
   std::vector<double> mc_chain_delays(double vdd, int n_stages,
                                       std::size_t n,
                                       std::uint64_t seed = 2) const;
+
+  /// Draws `n` chain delays and reduces them to summary + percentile
+  /// statistics; the sampling and percentile-extraction stages are timed
+  /// separately ("study.sampling" / "study.percentiles" metrics).
+  McChainSummary mc_chain_summary(double vdd, int n_stages, std::size_t n,
+                                  std::uint64_t seed = 2) const;
 
  private:
   /// Combines grid moments with the die-systematic factor

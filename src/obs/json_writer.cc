@@ -1,0 +1,183 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ntv::obs {
+
+void JsonWriter::begin_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.scope == Scope::kObject && !key_pending_)
+      throw std::logic_error("JsonWriter: value in object requires key()");
+    if (top.scope == Scope::kArray && top.has_items) out_ += ',';
+    if (top.scope == Scope::kArray) top.has_items = true;
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  stack_.push_back({Scope::kObject});
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  stack_.push_back({Scope::kArray});
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().scope != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject ||
+      key_pending_) {
+    throw std::logic_error("JsonWriter: key() outside object scope");
+  }
+  Frame& top = stack_.back();
+  if (top.has_items) out_ += ',';
+  top.has_items = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  begin_value();
+  out_ += format_double(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(number));
+  out_ += buf;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(number));
+  out_ += buf;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  out_ += flag ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  begin_value();
+  out_ += json;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const noexcept {
+  return done_ && stack_.empty();
+}
+
+const std::string& JsonWriter::str() const {
+  if (!complete())
+    throw std::logic_error("JsonWriter: document incomplete");
+  return out_;
+}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Shortest of %.15g/%.16g/%.17g that round-trips; 17 digits always do.
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+bool write_text_file(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  const bool closed = std::fclose(f) == 0;
+  return ok && closed;
+}
+
+}  // namespace ntv::obs

@@ -1,0 +1,87 @@
+// Dependency-free streaming JSON writer.
+//
+// Run reports (ntvsim --report, bench --report) must be machine-readable
+// without dragging a JSON library into the build, so this is a minimal
+// push-style serializer: begin_object()/key()/value()/end_object() calls
+// append to an internal buffer. It guarantees structurally valid output
+// (commas, nesting, string escaping) and round-trippable doubles; it does
+// NOT try to be a parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntv::obs {
+
+/// Streaming JSON serializer. Calls must describe a single well-formed
+/// value; misuse (e.g. value() at object scope without a key()) throws
+/// std::logic_error so bugs surface in tests rather than as corrupt
+/// reports.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Splices a pre-serialized JSON value verbatim (no validation). Lets a
+  /// results fragment built by one writer be embedded into a report built
+  /// by another without re-parsing.
+  JsonWriter& raw(std::string_view json);
+
+  /// True once exactly one complete top-level value has been written.
+  bool complete() const noexcept;
+
+  /// The serialized document. Throws std::logic_error when !complete().
+  const std::string& str() const;
+
+  /// JSON string escaping (quotes, backslash, control characters as
+  /// \uXXXX); UTF-8 payload bytes pass through untouched.
+  static std::string escape(std::string_view text);
+
+  /// Shortest decimal form of `v` that parses back to the same double;
+  /// non-finite values serialize as "null" (JSON has no NaN/Inf).
+  static std::string format_double(double v);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+  };
+
+  /// Validates that a value may start here and writes any needed comma.
+  void begin_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;  ///< key() emitted, value expected.
+  bool done_ = false;         ///< A complete top-level value exists.
+};
+
+/// Writes `contents` to `path` atomically enough for CI use (truncate +
+/// write + flush). Returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view contents);
+
+}  // namespace ntv::obs

@@ -1,0 +1,34 @@
+#include "obs/manifest.h"
+
+namespace ntv::obs {
+
+#ifndef NTV_VERSION
+#define NTV_VERSION "0.0.0-unversioned"
+#endif
+
+std::string_view RunManifest::version() noexcept { return NTV_VERSION; }
+
+std::string_view RunManifest::build_kind() noexcept {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+void RunManifest::write(JsonWriter& w) const {
+  w.begin_object();
+  w.key("tool").value(tool);
+  w.key("command").value(command);
+  w.key("seed").value(static_cast<std::uint64_t>(seed));
+  w.key("threads").value(threads);
+  w.key("tech_node").value(tech_node);
+  w.key("vdd_grid").begin_array();
+  for (double v : vdd_grid) w.value(v);
+  w.end_array();
+  w.key("build_type").value(build_type);
+  w.key("library_version").value(library_version);
+  w.end_object();
+}
+
+}  // namespace ntv::obs

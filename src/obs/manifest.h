@@ -1,0 +1,40 @@
+// Run manifest: everything needed to reproduce a run's result fields.
+//
+// Reproducibility studies treat the run manifest (seed, node, voltage
+// grid, tool version) as a first-class output: a report whose numbers
+// cannot be regenerated is not evidence. Every JSON report this repo
+// emits therefore starts with one of these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace ntv::obs {
+
+/// Reproduction context of one run. Fields that do not apply to a given
+/// tool (e.g. tech_node for `ntvsim nodes`) stay empty and serialize as
+/// "" / [] so the schema is stable across commands.
+struct RunManifest {
+  std::string tool;             ///< Binary name, e.g. "ntvsim".
+  std::string command;          ///< Subcommand / mode, e.g. "study".
+  std::uint64_t seed = 0;       ///< Monte Carlo base seed of the run.
+  int threads = 0;              ///< Resolved worker thread count.
+  std::string tech_node;        ///< e.g. "90nm GP"; empty if node-less.
+  std::vector<double> vdd_grid; ///< Supply voltages swept [V].
+  std::string build_type = std::string(build_kind());
+  std::string library_version = std::string(version());
+
+  /// Serializes this manifest as one JSON object value on `w`.
+  void write(JsonWriter& w) const;
+
+  /// Library version baked in at configure time (CMake project version).
+  static std::string_view version() noexcept;
+
+  /// "Release" when compiled with NDEBUG, "Debug" otherwise.
+  static std::string_view build_kind() noexcept;
+};
+
+}  // namespace ntv::obs

@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+namespace ntv::obs {
+
+Registry& Registry::global() {
+  // Leaked on purpose: instrumented code may run during static
+  // destruction, and a still-reachable pointer keeps LSan quiet.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, t] : timers_) {
+    snap.timers[name] = TimerStat{t.total_ns(), t.count()};
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, t] : timers_) t.reset();
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::global().gauge(name);
+}
+
+Timer& timer(std::string_view name) {
+  return Registry::global().timer(name);
+}
+
+}  // namespace ntv::obs

@@ -1,0 +1,144 @@
+// Process-wide metrics registry: counters, gauges and wall-clock timers.
+//
+// Every Monte Carlo sweep in this repo used to report its cost only as
+// human-readable stdout; this registry is the machine-readable side. Hot
+// paths (the MC runner, the Newton solver, the SODA interpreter) bump
+// named metrics; report writers snapshot the registry and serialize it.
+//
+// Design constraints:
+//  * Thread-safe accumulation — MC blocks run on up to 16 threads, so
+//    Counter/Gauge/Timer mutate through relaxed atomics only.
+//  * Stable addresses — counter("x") returns a reference that remains
+//    valid for the program lifetime (node-based std::map + leaked global
+//    registry), so hot loops can cache the reference and skip the name
+//    lookup entirely.
+//  * No dependencies — obs sits below every other ntv library.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ntv::obs {
+
+/// Monotonically increasing integer metric (e.g. "mc.samples").
+class Counter {
+ public:
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written floating-point metric (e.g. "mc.threads").
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulating wall-clock timer: total nanoseconds and activation count.
+class Timer {
+ public:
+  void record(std::int64_t ns) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> total_ns_{0};
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// Point-in-time copy of every registered metric, for serialization.
+struct TimerStat {
+  std::int64_t total_ns = 0;
+  std::int64_t count = 0;
+};
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+};
+
+/// Named metric registry. Lookup takes a mutex (cache the returned
+/// reference in hot loops); metric mutation is lock-free.
+class Registry {
+ public:
+  /// The process-wide registry every instrumented subsystem writes to.
+  /// Intentionally leaked so references stay valid during static
+  /// destruction (still reachable, so LeakSanitizer stays quiet).
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (registrations and addresses survive). Used by
+  /// tests and by report writers that want per-run deltas.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Timer, std::less<>> timers_;
+};
+
+/// Shorthands for Registry::global() lookups.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Timer& timer(std::string_view name);
+
+/// RAII wall-clock scope: records elapsed nanoseconds into a Timer on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t) : timer_(&t), start_(Clock::now()) {}
+  explicit ScopedTimer(std::string_view name) : ScopedTimer(timer(name)) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { timer_->record(elapsed_ns()); }
+
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Timer* timer_;
+  Clock::time_point start_;
+};
+
+}  // namespace ntv::obs

@@ -1,0 +1,61 @@
+#include "obs/report.h"
+
+namespace ntv::obs {
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& metrics,
+                   const ReportOptions& opt) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : metrics.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : metrics.gauges) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  if (opt.include_timings) {
+    w.key("timers").begin_object();
+    for (const auto& [name, stat] : metrics.timers) {
+      w.key(name).begin_object();
+      w.key("total_ns").value(stat.total_ns);
+      w.key("count").value(stat.count);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string build_report(
+    const RunManifest& manifest,
+    const std::function<void(JsonWriter&)>& write_results,
+    const MetricsSnapshot& metrics, const ReportOptions& opt) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(kReportSchemaVersion);
+  w.key("manifest");
+  manifest.write(w);
+  w.key("results");
+  if (write_results) {
+    write_results(w);
+  } else {
+    w.null();
+  }
+  w.key("metrics");
+  write_metrics(w, metrics, opt);
+  w.end_object();
+  return w.str();
+}
+
+bool write_report_file(
+    const std::string& path, const RunManifest& manifest,
+    const std::function<void(JsonWriter&)>& write_results,
+    const MetricsSnapshot& metrics, const ReportOptions& opt) {
+  const std::string doc =
+      build_report(manifest, write_results, metrics, opt);
+  return write_text_file(path, doc + "\n");
+}
+
+}  // namespace ntv::obs

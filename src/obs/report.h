@@ -1,0 +1,55 @@
+// JSON run reports: manifest + experiment results + metrics.
+//
+// Schema (version 1, see docs/OBSERVABILITY.md):
+//   {
+//     "schema_version": 1,
+//     "manifest": { tool, command, seed, threads, tech_node, vdd_grid,
+//                   build_type, library_version },
+//     "results":  { ... command-specific, deterministic given the seed },
+//     "metrics":  { "counters": {name: int},
+//                   "gauges":   {name: double},
+//                   "timers":   {name: {total_ns, count}} }   // optional
+//   }
+//
+// The results section must be a pure function of (inputs, seed) — CI
+// diffs it across runs. Wall-clock data lives only under "metrics"
+// (timers) and can be suppressed entirely with include_timings=false,
+// which is how the determinism tests compare whole documents.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace ntv::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+struct ReportOptions {
+  /// When false, the timers section (the only nondeterministic part of a
+  /// report) is omitted.
+  bool include_timings = true;
+};
+
+/// Serializes a metrics snapshot as one JSON object value on `w`.
+void write_metrics(JsonWriter& w, const MetricsSnapshot& metrics,
+                   const ReportOptions& opt = {});
+
+/// Builds a complete report document. `write_results` is invoked with the
+/// writer positioned at the "results" value and must emit exactly one
+/// JSON value (normally an object); pass nullptr for `results: null`.
+std::string build_report(
+    const RunManifest& manifest,
+    const std::function<void(JsonWriter&)>& write_results,
+    const MetricsSnapshot& metrics, const ReportOptions& opt = {});
+
+/// build_report + write_text_file. Returns false on I/O failure.
+bool write_report_file(
+    const std::string& path, const RunManifest& manifest,
+    const std::function<void(JsonWriter&)>& write_results,
+    const MetricsSnapshot& metrics, const ReportOptions& opt = {});
+
+}  // namespace ntv::obs

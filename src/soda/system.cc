@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace ntv::soda {
 
 SodaSystem::SodaSystem(const SystemConfig& config) : config_(config) {
@@ -42,11 +44,16 @@ double SodaSystem::bin_clock(double raw_delay) const {
 }
 
 Schedule SodaSystem::run_jobs(const std::vector<Job>& jobs) {
+  obs::ScopedTimer timer(obs::timer("soda.run_jobs"));
   Schedule schedule;
   schedule.placements.resize(jobs.size());
   schedule.busy.assign(pes_.size(), 0.0);
   std::vector<double> available(pes_.size(), 0.0);
 
+  long instructions = 0;
+  long simd_cycles = 0;
+  long scalar_cycles = 0;
+  long memory_cycles = 0;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     // Greedy: place on the PE that becomes available first; ties go to
     // the faster clock.
@@ -59,6 +66,10 @@ Schedule SodaSystem::run_jobs(const std::vector<Job>& jobs) {
       }
     }
     const RunStats stats = jobs[j](*pes_[best]);
+    instructions += stats.instructions;
+    simd_cycles += stats.simd_cycles;
+    scalar_cycles += stats.scalar_cycles;
+    memory_cycles += stats.memory_cycles;
     const double duration = ProcessingElement::execution_time(
         stats, t_simd_[best], config_.t_mem);
     schedule.placements[j] = {static_cast<int>(best), available[best],
@@ -68,6 +79,11 @@ Schedule SodaSystem::run_jobs(const std::vector<Job>& jobs) {
   }
   schedule.makespan =
       *std::max_element(available.begin(), available.end());
+  obs::counter("soda.jobs").add(static_cast<std::int64_t>(jobs.size()));
+  obs::counter("soda.instructions").add(instructions);
+  obs::counter("soda.simd_cycles").add(simd_cycles);
+  obs::counter("soda.scalar_cycles").add(scalar_cycles);
+  obs::counter("soda.memory_cycles").add(memory_cycles);
   return schedule;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace ntv::stats {
 
 namespace {
@@ -14,6 +16,10 @@ int resolve_threads(int requested) {
 }
 
 }  // namespace
+
+int resolved_thread_count(int requested) {
+  return resolve_threads(requested);
+}
 
 Xoshiro256pp substream(std::uint64_t seed, std::size_t index) {
   // Derive an independent stream per block by mixing the block index into
@@ -48,6 +54,16 @@ std::vector<double> monte_carlo_rows(
   const int threads =
       static_cast<int>(std::min<std::size_t>(resolve_threads(opt.threads),
                                              blocks));
+
+  static obs::Counter& runs_metric = obs::counter("mc.runs");
+  static obs::Counter& samples_metric = obs::counter("mc.samples");
+  static obs::Counter& substreams_metric = obs::counter("mc.substreams");
+  static obs::Timer& wall_metric = obs::timer("mc.wall");
+  runs_metric.increment();
+  samples_metric.add(static_cast<std::int64_t>(n));
+  substreams_metric.add(static_cast<std::int64_t>(blocks));
+  obs::gauge("mc.threads").set(threads);
+  obs::ScopedTimer wall_scope(wall_metric);
 
   auto run_block = [&](std::size_t b) {
     Xoshiro256pp rng = substream(opt.seed, b);

@@ -36,6 +36,11 @@ std::vector<double> monte_carlo_rows(
                              double* /*out*/)>& sampler,
     const MonteCarloOptions& opt = {});
 
+/// Resolves a requested thread count the way the runner does (0 maps to
+/// hardware_concurrency clamped to [1, 16]). Exposed so run manifests can
+/// record the worker count actually used.
+int resolved_thread_count(int requested = 0);
+
 /// Returns the substream RNG for block `index` under the given seed.
 /// Exposed so single-shot callers can reproduce exactly what the threaded
 /// runner would generate.

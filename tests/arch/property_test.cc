@@ -82,8 +82,8 @@ INSTANTIATE_TEST_SUITE_P(
       for (const device::TechNode* n : device::all_nodes()) nodes.push_back(n);
       return nodes;
     }()),
-    [](const ::testing::TestParamInfo<const device::TechNode*>& info) {
-      std::string name(info.param->name);
+    [](const ::testing::TestParamInfo<const device::TechNode*>& param_info) {
+      std::string name(param_info.param->name);
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -1,0 +1,156 @@
+#include "obs/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace ntv::obs {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter o;
+  o.begin_object().end_object();
+  EXPECT_EQ(o.str(), "{}");
+
+  JsonWriter a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("ntvsim");
+  w.key("count").value(42);
+  w.key("ratio").value(0.5);
+  w.key("on").value(true);
+  w.key("off").value(false);
+  w.key("nothing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"ntvsim\",\"count\":42,\"ratio\":0.5,"
+            "\"on\":true,\"off\":false,\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("grid").begin_array().value(0.5).value(0.55).value(0.6).end_array();
+  w.key("inner").begin_object().key("a").value(1).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"grid\":[0.5,0.55,0.6],\"inner\":{\"a\":1}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonWriter::escape("bell\x07"), "bell\\u0007");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("nul\0byte", 8)),
+            "nul\\u0000byte");
+  // UTF-8 payloads pass through byte-for-byte.
+  EXPECT_EQ(JsonWriter::escape("3\xcf\x83/\xce\xbc"), "3\xcf\x83/\xce\xbc");
+}
+
+TEST(JsonWriterTest, EscapedStringRoundTripsThroughValue) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text").value("line1\nline2 \"quoted\" \\slash");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"text\":\"line1\\nline2 \\\"quoted\\\" \\\\slash\"}");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripExactly) {
+  const double cases[] = {0.0,
+                          1.0,
+                          -1.5,
+                          1.0 / 3.0,
+                          5.679623568648578,
+                          1e-300,
+                          1e300,
+                          2.2250738585072014e-308,
+                          std::numeric_limits<double>::max(),
+                          -std::numeric_limits<double>::denorm_min()};
+  for (double v : cases) {
+    const std::string text = JsonWriter::format_double(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonWriter::format_double(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(JsonWriter::format_double(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriterTest, IntegerExtremes) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-9223372036854775807LL - 1});
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[-9223372036854775808,18446744073709551615]");
+}
+
+TEST(JsonWriterTest, RawSplicesFragmentVerbatim) {
+  JsonWriter inner;
+  inner.begin_object().key("x").value(1).end_object();
+  JsonWriter outer;
+  outer.begin_object().key("results").raw(inner.str()).end_object();
+  EXPECT_EQ(outer.str(), "{\"results\":{\"x\":1}}");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // Value without key.
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // Key in array.
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // Mismatched close.
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.str(), std::logic_error);  // Incomplete document.
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), std::logic_error);  // Two top-level values.
+  }
+}
+
+TEST(JsonWriterTest, CompleteFlagTracksTopLevelValue) {
+  JsonWriter w;
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.key("a").begin_array();
+  EXPECT_FALSE(w.complete());
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace ntv::obs

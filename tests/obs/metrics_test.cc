@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ntv::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  Registry registry;
+  Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, LookupReturnsSameInstanceAndStableAddress) {
+  Registry registry;
+  Counter& a = registry.counter("x");
+  // Registering many more metrics must not invalidate `a`.
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(registry.counter("x").value(), 7);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsFromEightThreadsSumExactly) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  Counter& c = registry.counter("mc.samples");
+  Timer& t = registry.timer("mc.wall");
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([&registry, &c, &t] {
+      for (int k = 0; k < kIncrements; ++k) {
+        c.increment();
+        t.record(3);
+        // Concurrent lookups must also be safe, not just mutation.
+        registry.counter("other").add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(c.value(), std::int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(registry.counter("other").value(),
+            std::int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(t.count(), std::int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(t.total_ns(), std::int64_t{kThreads} * kIncrements * 3);
+}
+
+TEST(MetricsTest, GaugeStoresLastValue) {
+  Registry registry;
+  Gauge& g = registry.gauge("mc.threads");
+  g.set(8.0);
+  g.set(16.0);
+  EXPECT_DOUBLE_EQ(g.value(), 16.0);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsElapsedTime) {
+  Registry registry;
+  Timer& t = registry.timer("scope");
+  {
+    ScopedTimer scope(t);
+    // Nothing measurable needed; elapsed must simply be non-negative.
+  }
+  EXPECT_EQ(t.count(), 1);
+  EXPECT_GE(t.total_ns(), 0);
+}
+
+TEST(MetricsTest, SnapshotCapturesAllThreeKinds) {
+  Registry registry;
+  registry.counter("c1").add(5);
+  registry.gauge("g1").set(2.5);
+  registry.timer("t1").record(100);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.count("c1"), 1u);
+  EXPECT_EQ(snap.counters.at("c1"), 5);
+  ASSERT_EQ(snap.gauges.count("g1"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g1"), 2.5);
+  ASSERT_EQ(snap.timers.count("t1"), 1u);
+  EXPECT_EQ(snap.timers.at("t1").total_ns, 100);
+  EXPECT_EQ(snap.timers.at("t1").count, 1);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  Registry registry;
+  Counter& c = registry.counter("c");
+  c.add(9);
+  registry.timer("t").record(50);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(registry.timer("t").total_ns(), 0);
+  // Same address after reset.
+  EXPECT_EQ(&registry.counter("c"), &c);
+}
+
+TEST(MetricsTest, GlobalRegistryIsSharedAndConvenienceFunctionsHitIt) {
+  counter("global.test").increment();
+  EXPECT_GE(Registry::global().counter("global.test").value(), 1);
+}
+
+}  // namespace
+}  // namespace ntv::obs

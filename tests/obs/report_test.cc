@@ -1,0 +1,136 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+
+namespace ntv::obs {
+namespace {
+
+RunManifest example_manifest() {
+  RunManifest m;
+  m.tool = "ntvsim";
+  m.command = "study";
+  m.seed = 0x5EED0FD1EULL;
+  m.threads = 8;
+  m.tech_node = "90nm GP";
+  m.vdd_grid = {0.5, 0.55};
+  return m;
+}
+
+TEST(ReportTest, ManifestSerializesEveryField) {
+  JsonWriter w;
+  example_manifest().write(w);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"tool\":\"ntvsim\""), std::string::npos);
+  EXPECT_NE(doc.find("\"command\":\"study\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\":25481510174"), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\":8"), std::string::npos);
+  EXPECT_NE(doc.find("\"tech_node\":\"90nm GP\""), std::string::npos);
+  EXPECT_NE(doc.find("\"vdd_grid\":[0.5,0.55]"), std::string::npos);
+  EXPECT_NE(doc.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"library_version\":"), std::string::npos);
+}
+
+TEST(ReportTest, BuildTypeMatchesCompilationMode) {
+#ifdef NDEBUG
+  EXPECT_EQ(RunManifest::build_kind(), "Release");
+#else
+  EXPECT_EQ(RunManifest::build_kind(), "Debug");
+#endif
+  EXPECT_FALSE(RunManifest::version().empty());
+}
+
+TEST(ReportTest, ReportContainsSchemaManifestResultsMetrics) {
+  Registry registry;
+  registry.counter("mc.samples").add(1000);
+  registry.gauge("mc.threads").set(4);
+  registry.timer("mc.wall").record(123456);
+
+  const std::string doc = build_report(
+      example_manifest(),
+      [](JsonWriter& w) {
+        w.begin_object();
+        w.key("chain_pct").value(5.68);
+        w.end_object();
+      },
+      registry.snapshot());
+
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"manifest\":{"), std::string::npos);
+  EXPECT_NE(doc.find("\"results\":{\"chain_pct\":5.68}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"counters\":{\"mc.samples\":1000}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"mc.wall\":{\"total_ns\":123456,\"count\":1}"),
+            std::string::npos);
+}
+
+TEST(ReportTest, NullResultsWhenNoCallback) {
+  Registry registry;
+  const std::string doc =
+      build_report(example_manifest(), nullptr, registry.snapshot());
+  EXPECT_NE(doc.find("\"results\":null"), std::string::npos);
+}
+
+// The determinism contract of the acceptance criteria: with timings
+// excluded, two runs that perform the same deterministic work produce
+// byte-identical reports — timers are the ONLY nondeterministic section.
+TEST(ReportTest, SameSeedReportsAreIdenticalModuloTimings) {
+  ReportOptions no_timings;
+  no_timings.include_timings = false;
+
+  auto one_run = [&no_timings] {
+    Registry registry;  // Fresh registry, as a fresh process would have.
+    registry.counter("mc.samples").add(2000);
+    registry.counter("mc.runs").increment();
+    // Wall-clock noise: different every "run".
+    registry.timer("mc.wall").record(
+        static_cast<std::int64_t>(rand() % 100000 + 1));
+    return build_report(
+        example_manifest(),
+        [](JsonWriter& w) {
+          w.begin_object();
+          w.key("chain_pct").value(5.679623568648578);
+          w.end_object();
+        },
+        registry.snapshot(), no_timings);
+  };
+
+  const std::string a = one_run();
+  const std::string b = one_run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("total_ns"), std::string::npos);
+
+  // With timings included the documents still agree everywhere except the
+  // timers section (sanity: both contain the deterministic counter).
+  EXPECT_NE(a.find("\"mc.samples\":2000"), std::string::npos);
+}
+
+TEST(ReportTest, WriteReportFileRoundTrips) {
+  Registry registry;
+  registry.counter("c").add(3);
+  const std::string path =
+      testing::TempDir() + "/ntv_obs_report_test.json";
+  ASSERT_TRUE(write_report_file(path, example_manifest(), nullptr,
+                                registry.snapshot()));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 12, '\0');
+  const std::size_t n = std::fread(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  contents.resize(n);
+  std::remove(path.c_str());
+
+  EXPECT_NE(contents.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(contents.find("\"c\":3"), std::string::npos);
+  EXPECT_EQ(contents.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ntv::obs

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate an ntvsim / bench JSON run report.
+
+Usage:
+  check_report.py REPORT.json [--min-counters N] [--no-schema]
+                  [--range DOTTED.PATH LO HI]...
+
+Checks, in order:
+  1. the file parses as JSON;
+  2. (unless --no-schema) the schema-v1 skeleton is present: manifest with
+     seed/threads/build_type/library_version, a results object, and a
+     metrics.counters map;
+  3. metrics.counters has at least --min-counters distinct entries;
+  4. every --range PATH LO HI triple: the number at the dotted PATH lies
+     in [LO, HI].  PATH is rooted at the document, e.g.
+     "results.mc.chain_pct" or "results.values.chain_pct_90nm_1.00V".
+
+Exits 0 when every check passes, 1 otherwise (one line per failure).
+"""
+import json
+import sys
+
+
+def lookup(doc, path):
+    """Dotted-path lookup that tolerates dots inside key names: tries the
+    longest joined prefix first ("values.chain_pct_90nm_1.00V" resolves
+    even though the leaf key contains a dot)."""
+    def walk(node, parts):
+        if not parts:
+            return node
+        if isinstance(node, dict):
+            for i in range(len(parts), 0, -1):
+                key = ".".join(parts[:i])
+                if key in node:
+                    try:
+                        return walk(node[key], parts[i:])
+                    except KeyError:
+                        continue
+        raise KeyError(path)
+    return walk(doc, path.split("."))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    path, args = argv[1], argv[2:]
+    check_schema, min_counters, ranges = True, 0, []
+    i = 0
+    while i < len(args):
+        if args[i] == "--no-schema":
+            check_schema = False
+            i += 1
+        elif args[i] == "--min-counters":
+            min_counters = int(args[i + 1])
+            i += 2
+        elif args[i] == "--range":
+            ranges.append((args[i + 1], float(args[i + 2]), float(args[i + 3])))
+            i += 4
+        else:
+            print(f"check_report: unknown argument {args[i]!r}")
+            return 2
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL {path}: not readable JSON ({e})")
+        return 1
+
+    errors = []
+    if check_schema:
+        for key in ("manifest.seed", "manifest.threads",
+                    "manifest.build_type", "manifest.library_version",
+                    "results", "metrics.counters"):
+            try:
+                lookup(doc, key)
+            except KeyError:
+                errors.append(f"schema: missing {key}")
+    if min_counters:
+        counters = doc.get("metrics", {}).get("counters", {})
+        if len(counters) < min_counters:
+            errors.append(
+                f"counters: {len(counters)} < required {min_counters}")
+    for dotted, lo, hi in ranges:
+        try:
+            value = lookup(doc, dotted)
+        except KeyError:
+            errors.append(f"range: {dotted} missing")
+            continue
+        if not isinstance(value, (int, float)) or not (lo <= value <= hi):
+            errors.append(f"range: {dotted}={value} outside [{lo}, {hi}]")
+
+    for err in errors:
+        print(f"FAIL {path}: {err}")
+    if not errors:
+        print(f"OK {path}: schema={'on' if check_schema else 'off'}, "
+              f"{len(ranges)} range check(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,13 +11,22 @@
 //   ntvsim energy   <node>                Fig. 9 energy/delay sweep
 //   ntvsim optimize <node> <t_ns>         min-energy operating point
 //
+// Global flags (anywhere on the command line):
+//   --report <file.json>   write a machine-readable run report (manifest,
+//                          results, metrics; see docs/OBSERVABILITY.md)
+//   --quiet                suppress the human-readable stdout
+//   --seed <n>             Monte Carlo base seed (default 0x5EED0FD1E)
+//   --samples <n>          MC cross-check sample count for `study`
+//
 // <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
 // (quote it). Voltages in volts, clock periods in nanoseconds.
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/body_bias.h"
 #include "core/mitigation.h"
@@ -25,15 +34,44 @@
 #include "core/variation_study.h"
 #include "core/yield.h"
 #include "energy/energy_model.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "stats/monte_carlo.h"
 
 namespace {
 
 using namespace ntv;
 
+/// Per-invocation state shared by the subcommands: output suppression,
+/// the results fragment of the JSON report, and reproduction parameters
+/// recorded in the manifest.
+struct Ctx {
+  bool quiet = false;
+  bool want_report = false;
+  obs::JsonWriter results;
+  std::uint64_t seed = 0x5EED0FD1EULL;
+  std::size_t samples = 2000;
+  std::string node_name;
+  std::vector<double> vdd_grid;
+
+  /// Non-null when a report was requested; commands use it to stream
+  /// their result fields.
+  obs::JsonWriter* w() { return want_report ? &results : nullptr; }
+};
+
+void say(const Ctx& ctx, const char* fmt, ...) {
+  if (ctx.quiet) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+}
+
 int usage() {
   std::fprintf(
       stderr,
-      "usage: ntvsim <command> [...]\n"
+      "usage: ntvsim [--report <file.json>] [--quiet] [--seed <n>]\n"
+      "              [--samples <n>] <command> [...]\n"
       "  nodes                         list technology nodes\n"
       "  study    <node> [vdd]         gate/chain delay variation\n"
       "  drop     <node> <vdd>         128-wide performance drop\n"
@@ -47,175 +85,376 @@ int usage() {
   return 2;
 }
 
-const device::TechNode& node_arg(const char* name) {
-  return device::node_by_name(name);
+const device::TechNode& node_arg(Ctx& ctx, const char* name) {
+  const device::TechNode& node = device::node_by_name(name);
+  ctx.node_name = std::string(node.name);
+  return node;
 }
 
-double vdd_arg(const char* text, const device::TechNode& node) {
+double vdd_arg(Ctx& ctx, const char* text, const device::TechNode& node) {
   const double v = std::atof(text);
   if (v < 0.3 || v > node.nominal_vdd + 1e-9)
     throw std::invalid_argument("vdd out of range for this node");
+  ctx.vdd_grid.push_back(v);
   return v;
 }
 
-int cmd_nodes() {
+core::MitigationStudy make_mitigation(const Ctx& ctx,
+                                      const device::TechNode& node) {
+  core::MitigationConfig config;
+  config.seed = ctx.seed;
+  return core::MitigationStudy(node, config);
+}
+
+int cmd_nodes(Ctx& ctx) {
+  if (auto* w = ctx.w()) {
+    w->key("nodes").begin_array();
+  }
   for (const device::TechNode* node : device::all_nodes()) {
-    std::printf("%-12s nominal %.2f V, Vth0 %.3f V\n", node->name.data(),
-                node->nominal_vdd, node->vth0);
+    say(ctx, "%-12s nominal %.2f V, Vth0 %.3f V\n", node->name.data(),
+        node->nominal_vdd, node->vth0);
+    if (auto* w = ctx.w()) {
+      w->begin_object();
+      w->key("name").value(node->name);
+      w->key("nominal_vdd").value(node->nominal_vdd);
+      w->key("vth0").value(node->vth0);
+      w->end_object();
+    }
+  }
+  if (auto* w = ctx.w()) w->end_array();
+  return 0;
+}
+
+int cmd_study(Ctx& ctx, const device::TechNode& node, double vdd) {
+  constexpr int kStages = 50;
+  core::VariationStudy study(node);
+  const auto point = study.study_point(vdd, kStages);
+  const auto mc =
+      study.mc_chain_summary(vdd, kStages, ctx.samples, ctx.seed);
+  say(ctx, "%s @ %.2f V\n", node.name.data(), vdd);
+  say(ctx, "  FO4 delay          %10.1f ps\n", point.fo4_delay * 1e12);
+  say(ctx, "  50-FO4 chain mean  %10.2f ns\n", point.chain_mean * 1e9);
+  say(ctx, "  single gate 3s/mu  %10.2f %%\n", point.single_pct);
+  say(ctx, "  chain 3s/mu        %10.2f %%\n", point.chain_pct);
+  say(ctx, "  MC cross-check (%zu samples, seed %llu):\n", mc.samples,
+      static_cast<unsigned long long>(ctx.seed));
+  say(ctx, "    chain 3s/mu      %10.2f %%\n", mc.three_sigma_over_mu_pct);
+  say(ctx, "    chain p50 / p99  %10.2f / %.2f ns\n", mc.p50 * 1e9,
+      mc.p99 * 1e9);
+  if (auto* w = ctx.w()) {
+    w->key("n_stages").value(kStages);
+    w->key("fo4_delay_ps").value(point.fo4_delay * 1e12);
+    w->key("chain_mean_ns").value(point.chain_mean * 1e9);
+    w->key("single_pct").value(point.single_pct);
+    w->key("chain_pct").value(point.chain_pct);
+    w->key("mc").begin_object();
+    w->key("samples").value(static_cast<std::uint64_t>(mc.samples));
+    w->key("chain_pct").value(mc.three_sigma_over_mu_pct);
+    w->key("mean_ns").value(mc.mean * 1e9);
+    w->key("stddev_ns").value(mc.stddev * 1e9);
+    w->key("p50_ns").value(mc.p50 * 1e9);
+    w->key("p99_ns").value(mc.p99 * 1e9);
+    w->end_object();
   }
   return 0;
 }
 
-int cmd_study(const device::TechNode& node, double vdd) {
-  core::VariationStudy study(node);
-  const auto point = study.study_point(vdd);
-  std::printf("%s @ %.2f V\n", node.name.data(), vdd);
-  std::printf("  FO4 delay          %10.1f ps\n", point.fo4_delay * 1e12);
-  std::printf("  50-FO4 chain mean  %10.2f ns\n", point.chain_mean * 1e9);
-  std::printf("  single gate 3s/mu  %10.2f %%\n", point.single_pct);
-  std::printf("  chain 3s/mu        %10.2f %%\n", point.chain_pct);
+int cmd_drop(Ctx& ctx, const device::TechNode& node, double vdd) {
+  core::MitigationStudy study = make_mitigation(ctx, node);
+  const double drop = study.performance_drop_pct(vdd);
+  say(ctx,
+      "performance drop @ %.2f V: %.2f %% (99%% sign-off vs %.2f V)\n",
+      vdd, drop, node.nominal_vdd);
+  if (auto* w = ctx.w()) {
+    w->key("drop_pct").value(drop);
+    w->key("signoff_percentile").value(99.0);
+  }
   return 0;
 }
 
-int cmd_drop(const device::TechNode& node, double vdd) {
-  core::MitigationStudy study(node);
-  std::printf("performance drop @ %.2f V: %.2f %% (99%% sign-off vs"
-              " %.2f V)\n",
-              vdd, study.performance_drop_pct(vdd), node.nominal_vdd);
-  return 0;
-}
-
-int cmd_spares(const device::TechNode& node, double vdd) {
-  core::MitigationStudy study(node);
+int cmd_spares(Ctx& ctx, const device::TechNode& node, double vdd) {
+  core::MitigationStudy study = make_mitigation(ctx, node);
   const auto result = study.required_spares(vdd);
   if (result.feasible) {
-    std::printf("%d spares (area +%.1f%%, power +%.1f%%)\n", result.spares,
-                result.area_overhead * 100.0,
-                result.power_overhead * 100.0);
+    say(ctx, "%d spares (area +%.1f%%, power +%.1f%%)\n", result.spares,
+        result.area_overhead * 100.0, result.power_overhead * 100.0);
   } else {
-    std::printf(">128 spares required -- use voltage margining\n");
+    say(ctx, ">128 spares required -- use voltage margining\n");
+  }
+  if (auto* w = ctx.w()) {
+    w->key("feasible").value(result.feasible);
+    w->key("spares").value(result.spares);
+    w->key("area_overhead_pct").value(result.area_overhead * 100.0);
+    w->key("power_overhead_pct").value(result.power_overhead * 100.0);
   }
   return 0;
 }
 
-int cmd_margin(const device::TechNode& node, double vdd) {
-  core::MitigationStudy study(node);
+int cmd_margin(Ctx& ctx, const device::TechNode& node, double vdd) {
+  core::MitigationStudy study = make_mitigation(ctx, node);
   const auto result = study.required_voltage_margin(vdd);
-  std::printf("margin %.2f mV (final supply %.4f V, power +%.2f%%)\n",
-              result.margin * 1e3, vdd + result.margin,
-              result.power_overhead * 100.0);
-  return 0;
-}
-
-int cmd_combined(const device::TechNode& node, double vdd) {
-  core::MitigationStudy study(node);
-  const int alphas[] = {0, 1, 2, 4, 8, 16, 26};
-  std::printf("%8s %12s %10s\n", "spares", "margin [mV]", "power %");
-  for (const auto& choice : study.explore_combined(vdd, alphas)) {
-    std::printf("%8d %12.1f %9.2f%%\n", choice.spares, choice.margin * 1e3,
-                choice.power_overhead * 100.0);
+  say(ctx, "margin %.2f mV (final supply %.4f V, power +%.2f%%)\n",
+      result.margin * 1e3, vdd + result.margin,
+      result.power_overhead * 100.0);
+  if (auto* w = ctx.w()) {
+    w->key("feasible").value(result.feasible);
+    w->key("margin_mv").value(result.margin * 1e3);
+    w->key("final_vdd").value(vdd + result.margin);
+    w->key("power_overhead_pct").value(result.power_overhead * 100.0);
   }
   return 0;
 }
 
-int cmd_bias(const device::TechNode& node, double vdd) {
+int cmd_combined(Ctx& ctx, const device::TechNode& node, double vdd) {
+  core::MitigationStudy study = make_mitigation(ctx, node);
+  const int alphas[] = {0, 1, 2, 4, 8, 16, 26};
+  say(ctx, "%8s %12s %10s\n", "spares", "margin [mV]", "power %");
+  if (auto* w = ctx.w()) w->key("choices").begin_array();
+  for (const auto& choice : study.explore_combined(vdd, alphas)) {
+    say(ctx, "%8d %12.1f %9.2f%%\n", choice.spares, choice.margin * 1e3,
+        choice.power_overhead * 100.0);
+    if (auto* w = ctx.w()) {
+      w->begin_object();
+      w->key("spares").value(choice.spares);
+      w->key("margin_mv").value(choice.margin * 1e3);
+      w->key("power_overhead_pct").value(choice.power_overhead * 100.0);
+      w->key("feasible").value(choice.feasible);
+      w->end_object();
+    }
+  }
+  if (auto* w = ctx.w()) w->end_array();
+  return 0;
+}
+
+int cmd_bias(Ctx& ctx, const device::TechNode& node, double vdd) {
   core::BodyBiasSolver solver(node);
   const auto result = solver.required_bias(vdd);
+  if (auto* w = ctx.w()) {
+    w->key("feasible").value(result.feasible);
+    w->key("delta_vth_mv").value(result.delta_vth * 1e3);
+    w->key("leakage_multiplier").value(result.leakage_multiplier);
+    w->key("power_overhead_pct").value(result.power_overhead * 100.0);
+  }
   if (!result.feasible) {
-    std::printf("no feasible bias below the search cap\n");
+    say(ctx, "no feasible bias below the search cap\n");
     return 1;
   }
-  std::printf("forward body bias: dVth -%.2f mV, leakage x%.2f,"
-              " power +%.2f%%\n",
-              result.delta_vth * 1e3, result.leakage_multiplier,
-              result.power_overhead * 100.0);
+  say(ctx,
+      "forward body bias: dVth -%.2f mV, leakage x%.2f, power +%.2f%%\n",
+      result.delta_vth * 1e3, result.leakage_multiplier,
+      result.power_overhead * 100.0);
   return 0;
 }
 
-int cmd_yield(const device::TechNode& node, double vdd, double t_ns) {
+int cmd_yield(Ctx& ctx, const device::TechNode& node, double vdd,
+              double t_ns) {
   core::YieldAnalysis analysis(node);
   const double t = t_ns * 1e-9;
-  std::printf("yield @ %.2f V, T_clk=%.3f ns:\n", vdd, t_ns);
-  for (int spares : {0, 6, 28}) {
-    std::printf("  %2d spares: %.4f\n", spares,
-                analysis.yield(vdd, t, spares));
+  say(ctx, "yield @ %.2f V, T_clk=%.3f ns:\n", vdd, t_ns);
+  if (auto* w = ctx.w()) {
+    w->key("t_clk_ns").value(t_ns);
+    w->key("yield_by_spares").begin_array();
   }
-  std::printf("99%%-yield clock (no spares): %.3f ns\n",
-              analysis.t_clk_for_yield(vdd, 0.99) * 1e9);
+  for (int spares : {0, 6, 28}) {
+    const double y = analysis.yield(vdd, t, spares);
+    say(ctx, "  %2d spares: %.4f\n", spares, y);
+    if (auto* w = ctx.w()) {
+      w->begin_object();
+      w->key("spares").value(spares);
+      w->key("yield").value(y);
+      w->end_object();
+    }
+  }
+  const double t99 = analysis.t_clk_for_yield(vdd, 0.99) * 1e9;
+  say(ctx, "99%%-yield clock (no spares): %.3f ns\n", t99);
+  if (auto* w = ctx.w()) {
+    w->end_array();
+    w->key("t_clk_99pct_yield_ns").value(t99);
+  }
   return 0;
 }
 
-int cmd_energy(const device::TechNode& node) {
+int cmd_energy(Ctx& ctx, const device::TechNode& node) {
   energy::EnergyModel model(node);
-  std::printf("%-7s %-6s %12s %10s\n", "Vdd[V]", "region", "delay [ns]",
-              "E/op");
+  say(ctx, "%-7s %-6s %12s %10s\n", "Vdd[V]", "region", "delay [ns]",
+      "E/op");
+  if (auto* w = ctx.w()) w->key("sweep").begin_array();
   for (const auto& p : model.sweep(0.25, node.nominal_vdd, 0.05)) {
     const char* region = p.region == energy::Region::kSubThreshold ? "sub"
                          : p.region == energy::Region::kNearThreshold
                              ? "near"
                              : "super";
-    std::printf("%-7.2f %-6s %12.3f %10.4f\n", p.vdd, region,
-                p.delay * 1e9, p.total_energy);
+    say(ctx, "%-7.2f %-6s %12.3f %10.4f\n", p.vdd, region, p.delay * 1e9,
+        p.total_energy);
+    ctx.vdd_grid.push_back(p.vdd);
+    if (auto* w = ctx.w()) {
+      w->begin_object();
+      w->key("vdd").value(p.vdd);
+      w->key("region").value(region);
+      w->key("delay_ns").value(p.delay * 1e9);
+      w->key("energy_per_op").value(p.total_energy);
+      w->end_object();
+    }
   }
-  std::printf("energy minimum at %.3f V\n", model.minimum_energy_vdd());
+  const double min_vdd = model.minimum_energy_vdd();
+  say(ctx, "energy minimum at %.3f V\n", min_vdd);
+  if (auto* w = ctx.w()) {
+    w->end_array();
+    w->key("minimum_energy_vdd").value(min_vdd);
+  }
   return 0;
 }
 
-int cmd_optimize(const device::TechNode& node, double t_ns) {
+int cmd_optimize(Ctx& ctx, const device::TechNode& node, double t_ns) {
   core::OperatingPointFinder finder(node);
   const double t = t_ns * 1e-9;
   const int spares[] = {0, 4, 8};
   const auto best =
       finder.optimize(t, 0.45, node.nominal_vdd, 0.01, spares);
+  if (auto* w = ctx.w()) {
+    w->key("t_clk_ns").value(t_ns);
+    w->key("meets_clock").value(best.meets_clock);
+  }
   if (!best.meets_clock) {
-    std::printf("no operating point meets %.3f ns in range\n", t_ns);
+    say(ctx, "no operating point meets %.3f ns in range\n", t_ns);
     return 1;
   }
-  std::printf("minimum-energy point for T_clk=%.3f ns:\n", t_ns);
-  std::printf("  Vdd %.3f V + %.1f mV margin, %d spares\n", best.vdd,
-              best.margin * 1e3, best.spares);
-  std::printf("  energy %.4f (nominal=1), sign-off delay %.3f ns\n",
-              best.energy, best.signoff_delay * 1e9);
-  std::printf("  (variation-naive pick: %.3f V)\n",
-              finder.naive_vdd_for_clock(t));
+  const double naive = finder.naive_vdd_for_clock(t);
+  say(ctx, "minimum-energy point for T_clk=%.3f ns:\n", t_ns);
+  say(ctx, "  Vdd %.3f V + %.1f mV margin, %d spares\n", best.vdd,
+      best.margin * 1e3, best.spares);
+  say(ctx, "  energy %.4f (nominal=1), sign-off delay %.3f ns\n",
+      best.energy, best.signoff_delay * 1e9);
+  say(ctx, "  (variation-naive pick: %.3f V)\n", naive);
+  if (auto* w = ctx.w()) {
+    w->key("vdd").value(best.vdd);
+    w->key("margin_mv").value(best.margin * 1e3);
+    w->key("spares").value(best.spares);
+    w->key("energy").value(best.energy);
+    w->key("signoff_delay_ns").value(best.signoff_delay * 1e9);
+    w->key("naive_vdd").value(naive);
+  }
   return 0;
+}
+
+/// Extracts the global flags from argv (modifying it in place) and
+/// returns false on malformed flag syntax.
+bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
+                        std::string& report_path) {
+  std::vector<char*> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char* a = args[i];
+    auto next_value = [&](const char** out) {
+      if (i + 1 >= args.size()) return false;
+      *out = args[++i];
+      return true;
+    };
+    const char* value = nullptr;
+    if (std::strcmp(a, "--quiet") == 0) {
+      ctx.quiet = true;
+    } else if (std::strcmp(a, "--report") == 0) {
+      if (!next_value(&value)) return false;
+      report_path = value;
+      ctx.want_report = true;
+    } else if (std::strcmp(a, "--seed") == 0) {
+      if (!next_value(&value)) return false;
+      char* end = nullptr;
+      ctx.seed = std::strtoull(value, &end, 0);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "ntvsim: bad --seed value '%s'\n", value);
+        return false;
+      }
+    } else if (std::strcmp(a, "--samples") == 0) {
+      if (!next_value(&value)) return false;
+      char* end = nullptr;
+      const long long n = std::strtoll(value, &end, 0);
+      if (end == value || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "ntvsim: bad --samples value '%s'\n", value);
+        return false;
+      }
+      ctx.samples = static_cast<std::size_t>(n);
+    } else {
+      kept.push_back(args[i]);
+    }
+  }
+  args = std::move(kept);
+  return true;
+}
+
+int dispatch(Ctx& ctx, const std::vector<char*>& args) {
+  if (args.size() < 2) return usage();
+  const std::string command = args[1];
+  obs::counter("cli.commands").increment();
+  if (command == "nodes") return cmd_nodes(ctx);
+  if (args.size() < 3) return usage();
+  const device::TechNode& node = node_arg(ctx, args[2]);
+  if (command == "study") {
+    const double vdd =
+        args.size() > 3 ? vdd_arg(ctx, args[3], node) : 0.55;
+    if (args.size() <= 3) ctx.vdd_grid.push_back(vdd);
+    return cmd_study(ctx, node, vdd);
+  }
+  if (command == "energy") return cmd_energy(ctx, node);
+  if (command == "optimize") {
+    if (args.size() < 4) return usage();
+    return cmd_optimize(ctx, node, std::atof(args[3]));
+  }
+  if (args.size() < 4) return usage();
+  const double vdd = vdd_arg(ctx, args[3], node);
+  if (command == "drop") return cmd_drop(ctx, node, vdd);
+  if (command == "spares") return cmd_spares(ctx, node, vdd);
+  if (command == "margin") return cmd_margin(ctx, node, vdd);
+  if (command == "combined") return cmd_combined(ctx, node, vdd);
+  if (command == "bias") return cmd_bias(ctx, node, vdd);
+  if (command == "yield") {
+    if (args.size() < 5) return usage();
+    return cmd_yield(ctx, node, vdd, std::atof(args[4]));
+  }
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+  Ctx ctx;
+  std::string report_path;
+  std::vector<char*> args(argv, argv + argc);
+  if (!parse_global_flags(args, ctx, report_path)) return usage();
+
+  int rc = 2;
   try {
-    if (command == "nodes") return cmd_nodes();
-    if (argc < 3) return usage();
-    const device::TechNode& node = node_arg(argv[2]);
-    if (command == "study") {
-      return cmd_study(node, argc > 3 ? vdd_arg(argv[3], node) : 0.55);
-    }
-    if (command == "energy") return cmd_energy(node);
-    if (command == "optimize") {
-      if (argc < 4) return usage();
-      return cmd_optimize(node, std::atof(argv[3]));
-    }
-    if (argc < 4) return usage();
-    const double vdd = vdd_arg(argv[3], node);
-    if (command == "drop") return cmd_drop(node, vdd);
-    if (command == "spares") return cmd_spares(node, vdd);
-    if (command == "margin") return cmd_margin(node, vdd);
-    if (command == "combined") return cmd_combined(node, vdd);
-    if (command == "bias") return cmd_bias(node, vdd);
-    if (command == "yield") {
-      if (argc < 5) return usage();
-      return cmd_yield(node, vdd, std::atof(argv[4]));
-    }
-    return usage();
+    if (ctx.want_report) ctx.results.begin_object();
+    rc = dispatch(ctx, args);
   } catch (const std::out_of_range&) {
     std::fprintf(stderr, "unknown node '%s' (run: ntvsim nodes)\n",
-                 argv[2]);
+                 args.size() > 2 ? args[2] : "?");
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+
+  if (ctx.want_report && rc != 2) {
+    ctx.results.key("exit_code").value(rc);
+    ctx.results.end_object();
+    obs::RunManifest manifest;
+    manifest.tool = "ntvsim";
+    manifest.command = args.size() > 1 ? args[1] : "";
+    manifest.seed = ctx.seed;
+    manifest.threads = stats::resolved_thread_count();
+    manifest.tech_node = ctx.node_name;
+    manifest.vdd_grid = ctx.vdd_grid;
+    const std::string& fragment = ctx.results.str();
+    const bool ok = obs::write_report_file(
+        report_path, manifest,
+        [&fragment](obs::JsonWriter& w) { w.raw(fragment); },
+        obs::Registry::global().snapshot());
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   report_path.c_str());
+      return 1;
+    }
+  }
+  return rc;
 }
