@@ -18,13 +18,23 @@ void print_artifact() {
 
   bench::row("%-6s | %10s %10s %12s %12s", "N", "90nm GP", "45nm GP",
              "32nm PTM HP", "22nm PTM HP");
-  for (int n : {1, 2, 5, 10, 20, 50, 100, 150, 200}) {
+
+  // One pooled chain-length sweep per node computes its whole column.
+  const std::vector<int> lengths = {1, 2, 5, 10, 20, 50, 100, 150, 200};
+  std::vector<std::vector<double>> columns;
+  columns.reserve(studies.size());
+  for (auto& study : studies) {
+    columns.push_back(study.chain_variation_sweep(0.55, lengths));
+  }
+
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
+  for (std::size_t ni = 0; ni < lengths.size(); ++ni) {
+    const int n = lengths[ni];
     char line[160];
     int len = std::snprintf(line, sizeof(line), "%-6d |", n);
-    const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
     for (std::size_t i = 0; i < studies.size(); ++i) {
       const int width = (i < 2) ? 10 : 12;
-      const double pct = studies[i].chain_variation_pct(0.55, n);
+      const double pct = columns[i][ni];
       len += std::snprintf(line + len,
                            sizeof(line) - static_cast<std::size_t>(len),
                            " %*.2f", width, pct);
@@ -39,10 +49,16 @@ void print_artifact() {
 
   // The derivative-magnitude claim: d(3s/mu)/dN shrinks with N.
   bench::row("\ndiminishing returns (90nm): delta per added stage");
-  const auto& s90 = studies[0];
-  double prev_n = 1, prev_v = s90.chain_variation_pct(0.55, 1);
+  const std::vector<double>& c90 = columns[0];
+  auto at = [&](int n) {
+    for (std::size_t ni = 0; ni < lengths.size(); ++ni) {
+      if (lengths[ni] == n) return c90[ni];
+    }
+    return 0.0;
+  };
+  double prev_n = 1, prev_v = at(1);
   for (int n : {10, 50, 200}) {
-    const double v = s90.chain_variation_pct(0.55, n);
+    const double v = at(n);
     bench::row("  N %3.0f -> %3d: %+.4f %%/stage", prev_n, n,
                (v - prev_v) / (n - prev_n));
     prev_n = n;

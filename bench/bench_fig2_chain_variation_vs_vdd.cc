@@ -18,16 +18,31 @@ void print_artifact() {
   const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   bench::row("%-6s | %10s %10s %12s %12s", "Vdd[V]", "90nm GP", "45nm GP",
              "32nm PTM HP", "22nm PTM HP");
-  for (double v = 0.50; v <= 1.001; v += 0.05) {
+
+  // Shared voltage grid; each node's eligible prefix is computed as one
+  // pooled study_points sweep.
+  std::vector<double> grid;
+  for (double v = 0.50; v <= 1.001; v += 0.05) grid.push_back(v);
+  std::vector<std::vector<core::VariationPoint>> columns(studies.size());
+  for (std::size_t i = 0; i < studies.size(); ++i) {
+    const auto* node = device::all_nodes()[i];
+    std::vector<double> vdds;
+    for (double v : grid) {
+      if (v <= node->nominal_vdd + 1e-9) vdds.push_back(v);
+    }
+    columns[i] = studies[i].study_points(vdds, 50);
+  }
+
+  for (std::size_t vi = 0; vi < grid.size(); ++vi) {
+    const double v = grid[vi];
     std::string line;
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%-6.2f |", v);
     line = buf;
     for (std::size_t i = 0; i < studies.size(); ++i) {
-      const auto* node = device::all_nodes()[i];
       const int width = (i < 2) ? 10 : 12;
-      if (v <= node->nominal_vdd + 1e-9) {
-        const double pct = studies[i].chain_variation_pct(v, 50);
+      if (vi < columns[i].size()) {
+        const double pct = columns[i][vi].chain_pct;
         std::snprintf(buf, sizeof(buf), " %*.2f", width, pct);
         char name[48];
         std::snprintf(name, sizeof(name), "chain_pct_%s_%.2fV", tags[i], v);

@@ -18,9 +18,14 @@ void print_artifact() {
     bench::row("\n(%c) %s", "abcd"[i], node->name.data());
     bench::row("%-6s | %14s %14s  %s", "Vdd[V]", "duplication %",
                "margining %", "winner");
-    for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
-      const auto dup = study.required_spares(v);
-      const auto vm = study.required_voltage_margin(v);
+    // Both columns for this panel come from pooled whole-grid sweeps.
+    const std::vector<double> vdds = {0.50, 0.55, 0.60, 0.65, 0.70};
+    const auto dups = study.required_spares_sweep(vdds);
+    const auto vms = study.required_voltage_margin_sweep(vdds);
+    for (std::size_t vi = 0; vi < vdds.size(); ++vi) {
+      const double v = vdds[vi];
+      const auto& dup = dups[vi];
+      const auto& vm = vms[vi];
       const double dup_cost =
           dup.feasible ? dup.power_overhead * 100.0 : 1e9;
       const double vm_cost = vm.power_overhead * 100.0;

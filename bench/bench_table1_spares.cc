@@ -25,11 +25,20 @@ void print_artifact() {
     studies.emplace_back(*node);
   }
 
-  for (double v : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+  // One pooled sweep per node computes its whole Table 1 column.
+  const std::vector<double> vdds = {0.50, 0.55, 0.60, 0.65, 0.70};
+  std::vector<std::vector<core::DuplicationResult>> columns;
+  columns.reserve(studies.size());
+  for (auto& study : studies) {
+    columns.push_back(study.required_spares_sweep(vdds));
+  }
+
+  for (std::size_t vi = 0; vi < vdds.size(); ++vi) {
+    const double v = vdds[vi];
     char line[256];
     int n = std::snprintf(line, sizeof(line), "%-6.2f ||", v);
-    for (auto& study : studies) {
-      const auto result = study.required_spares(v);
+    for (std::size_t si = 0; si < studies.size(); ++si) {
+      const auto& result = columns[si][vi];
       if (result.feasible) {
         n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
                            " %6d %7.1f %7.1f |", result.spares,

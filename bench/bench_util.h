@@ -7,6 +7,9 @@
 //   --report <file.json> emit a machine-readable run report: the numbers
 //                        the artifact reproduced (via bench::record),
 //                        wall-clock per phase, and the metrics registry
+//   --threads <n>        size the shared thread pool (0 = $NTV_THREADS or
+//                        all hardware threads); recorded numbers are
+//                        identical for any value
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -15,14 +18,15 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
-#include "stats/monte_carlo.h"
 
 namespace ntv::bench {
 
@@ -59,12 +63,14 @@ inline void record(const std::string& name, double value) {
 inline bool write_bench_report(const std::string& path,
                                const std::string& tool,
                                std::int64_t artifact_ns,
-                               std::int64_t benchmark_ns) {
+                               std::int64_t benchmark_ns,
+                               int threads_requested = 0) {
   obs::RunManifest manifest;
   manifest.tool = tool;
   manifest.command = "artifact";
   manifest.seed = 0;  // Benches use each experiment's fixed default seed.
-  manifest.threads = stats::resolved_thread_count();
+  manifest.threads = exec::ThreadPool::global_thread_count();
+  manifest.threads_requested = threads_requested;
   auto write_results = [&](obs::JsonWriter& w) {
     w.begin_object();
     w.key("values").begin_object();
@@ -97,6 +103,7 @@ inline int run_bench_main(int argc, char** argv,
 
   bool artifact_only = false;
   bool has_min_time = false;
+  int threads_requested = 0;
   std::string report_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -109,11 +116,16 @@ inline int run_bench_main(int argc, char** argv,
       report_path = argv[++i];
       continue;
     }
+    if (i > 0 && std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads_requested = std::atoi(argv[++i]);
+      continue;
+    }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
       has_min_time = true;
     }
     args.push_back(argv[i]);
   }
+  exec::ThreadPool::set_global_thread_count(threads_requested);
 
   const char* slash = std::strrchr(argv[0], '/');
   const std::string tool = slash ? slash + 1 : argv[0];
@@ -138,7 +150,8 @@ inline int run_bench_main(int argc, char** argv,
   }
 
   if (!report_path.empty() &&
-      !write_bench_report(report_path, tool, artifact_ns, benchmark_ns)) {
+      !write_bench_report(report_path, tool, artifact_ns, benchmark_ns,
+                          threads_requested)) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",
                  report_path.c_str());
     return 1;

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "device/gate_table.h"
+#include "device/dist_cache.h"
 #include "stats/root_find.h"
 
 namespace ntv::arch {
@@ -13,10 +13,10 @@ AnalyticChipModel::AnalyticChipModel(
     const device::DistributionOptions& dist_opt)
     : vdd_(vdd),
       config_(config),
-      path_(device::build_total_chain_distribution(model, vdd,
-                                                   config.chain_stages,
-                                                   dist_opt)),
-      lane_(path_.max_of_iid(config.paths_per_lane)),
+      path_(device::cached_total_chain_distribution(model, vdd,
+                                                    config.chain_stages,
+                                                    dist_opt)),
+      lane_(path_->max_of_iid(config.paths_per_lane)),
       fo4_unit_(model.gate_model().fo4_delay(vdd)) {
   if (config.correlation != DieCorrelation::kIndependentPaths)
     throw std::invalid_argument(

@@ -14,6 +14,8 @@
 // am I really signing off at?" without sampling noise.
 #pragma once
 
+#include <memory>
+
 #include "arch/simd_timing.h"
 
 namespace ntv::arch {
@@ -28,7 +30,7 @@ class AnalyticChipModel {
                     const device::DistributionOptions& dist_opt = {});
 
   /// Exact delay distribution of one critical path (total, cross-chip).
-  const stats::GridDistribution& path() const noexcept { return path_; }
+  const stats::GridDistribution& path() const noexcept { return *path_; }
 
   /// Exact delay distribution of one lane (max of paths_per_lane paths).
   const stats::GridDistribution& lane() const noexcept { return lane_; }
@@ -51,7 +53,8 @@ class AnalyticChipModel {
  private:
   double vdd_;
   TimingConfig config_;
-  stats::GridDistribution path_;
+  /// Shared dist-cache entry (device/dist_cache.h).
+  std::shared_ptr<const stats::GridDistribution> path_;
   stats::GridDistribution lane_;
   double fo4_unit_;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "device/dist_cache.h"
+#include "exec/thread_pool.h"
 #include "stats/percentile.h"
 
 namespace ntv::arch {
@@ -14,9 +16,9 @@ ChipDelaySampler::ChipDelaySampler(const device::VariationModel& model,
       vdd_(vdd),
       config_(config),
       chain_(config.correlation == DieCorrelation::kIndependentPaths
-                 ? device::build_total_chain_distribution(
+                 ? device::cached_total_chain_distribution(
                        model, vdd, config.chain_stages, dist_opt)
-                 : device::build_chain_distribution(
+                 : device::cached_chain_distribution(
                        model, vdd, config.chain_stages, dist_opt)),
       fo4_unit_(model.gate_model().fo4_delay(vdd)) {
   if (config.simd_width < 1 || config.paths_per_lane < 1 ||
@@ -32,7 +34,7 @@ void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
     scale = model_->die_scale(vdd_, die);
   }
   for (double& lane : lanes) {
-    lane = scale * chain_.max_quantile(rng.uniform(), config_.paths_per_lane);
+    lane = scale * chain_->max_quantile(rng.uniform(), config_.paths_per_lane);
   }
 }
 
@@ -56,7 +58,7 @@ double ChipDelaySampler::sample_chip_delay(stats::Xoshiro256pp& rng,
   double worst = 0.0;
   for (int i = 0; i < width; ++i) {
     worst = std::max(
-        worst, chain_.max_quantile(rng.uniform(), config_.paths_per_lane));
+        worst, chain_->max_quantile(rng.uniform(), config_.paths_per_lane));
   }
   return scale * worst;
 }
@@ -89,9 +91,9 @@ std::vector<double> ChipDelaySampler::chip_delay_curve(
 double ChipDelaySampler::sample_path_delay(stats::Xoshiro256pp& rng) const {
   if (config_.correlation == DieCorrelation::kSharedDie) {
     const device::DieState die = model_->sample_die(rng);
-    return model_->die_scale(vdd_, die) * chain_.quantile(rng.uniform());
+    return model_->die_scale(vdd_, die) * chain_->quantile(rng.uniform());
   }
-  return chain_.quantile(rng.uniform());
+  return chain_->quantile(rng.uniform());
 }
 
 double ChipMcResult::percentile(double p) const {
@@ -132,18 +134,24 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
   std::vector<ChipMcResult> results(spare_counts.size());
   for (auto& r : results) r.delays.resize(n_chips);
 
-  std::vector<double> scratch(row_width);
-  for (std::size_t chip = 0; chip < n_chips; ++chip) {
-    const double* row = rows.data() + chip * row_width;
-    for (std::size_t k = 0; k < spare_counts.size(); ++k) {
-      const std::size_t n_lanes =
-          static_cast<std::size_t>(width) +
-          static_cast<std::size_t>(spare_counts[k]);
-      std::copy(row, row + n_lanes, scratch.begin());
-      results[k].delays[chip] = ChipDelaySampler::chip_delay_from_lanes(
-          std::span<double>(scratch.data(), n_lanes), width);
-    }
-  }
+  // Per-chip selection is independent (each chip writes its own slots of
+  // every result vector), so it fans out on the shared pool too.
+  exec::ThreadPool::global().parallel_for(
+      0, n_chips,
+      [&](std::size_t chip) {
+        thread_local std::vector<double> scratch;
+        scratch.resize(row_width);
+        const double* row = rows.data() + chip * row_width;
+        for (std::size_t k = 0; k < spare_counts.size(); ++k) {
+          const std::size_t n_lanes =
+              static_cast<std::size_t>(width) +
+              static_cast<std::size_t>(spare_counts[k]);
+          std::copy(row, row + n_lanes, scratch.begin());
+          results[k].delays[chip] = ChipDelaySampler::chip_delay_from_lanes(
+              std::span<double>(scratch.data(), n_lanes), width);
+        }
+      },
+      /*grain=*/256);
   return results;
 }
 

@@ -11,10 +11,13 @@
 //    randomness is independent.
 //
 // The sampler is exact and fast: the i.i.d. chain-delay distribution is
-// built once by convolution (device::build_chain_distribution) and a
-// lane's max-of-k draw is one inverse-CDF evaluation, Q(u^(1/k)).
+// memoized process-wide (device/dist_cache.h) and a lane's max-of-k draw
+// is one inverse-CDF evaluation, Q(u^(1/k)). Samplers at the same
+// (node, Vdd, config) therefore share one immutable distribution instead
+// of re-running the quadrature + FFT build.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -91,7 +94,7 @@ class ChipDelaySampler {
   double vdd() const noexcept { return vdd_; }
   const TimingConfig& config() const noexcept { return config_; }
   const stats::GridDistribution& chain_distribution() const noexcept {
-    return chain_;
+    return *chain_;
   }
   const device::VariationModel& variation_model() const noexcept {
     return *model_;
@@ -101,7 +104,9 @@ class ChipDelaySampler {
   const device::VariationModel* model_;
   double vdd_;
   TimingConfig config_;
-  stats::GridDistribution chain_;
+  /// Shared cache entry (device/dist_cache.h); immutable, so copies of
+  /// the sampler and concurrent readers are free.
+  std::shared_ptr<const stats::GridDistribution> chain_;
   double fo4_unit_;
 };
 

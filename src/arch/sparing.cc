@@ -1,8 +1,10 @@
 #include "arch/sparing.h"
 
 #include <algorithm>
-
+#include <numeric>
 #include <stdexcept>
+
+#include "stats/monte_carlo.h"
 
 namespace ntv::arch {
 
@@ -116,14 +118,20 @@ double mc_coverage(const SparingScheme& scheme, int logical_width,
   if (fault_prob < 0.0 || fault_prob > 1.0)
     throw std::invalid_argument("mc_coverage: fault_prob out of range");
   const int phys = scheme.physical_lanes(logical_width);
-  stats::Xoshiro256pp rng(seed);
-  std::vector<std::uint8_t> faulty(static_cast<std::size_t>(phys));
-  std::size_t covered = 0;
-  for (std::size_t t = 0; t < n_trials; ++t) {
-    for (auto&& f : faulty) f = rng.uniform() < fault_prob;
-    covered += scheme.covers(faulty, logical_width) ? 1 : 0;
-  }
-  return static_cast<double>(covered) / static_cast<double>(n_trials);
+  // Each trial is one Monte Carlo row (1.0 = covered); the runner assigns
+  // trials to substreams by block, so the estimate is byte-identical for
+  // any worker count.
+  const std::vector<double> covered = stats::monte_carlo(
+      n_trials,
+      [&](stats::Xoshiro256pp& rng) {
+        thread_local std::vector<std::uint8_t> faulty;
+        faulty.resize(static_cast<std::size_t>(phys));
+        for (auto&& f : faulty) f = rng.uniform() < fault_prob;
+        return scheme.covers(faulty, logical_width) ? 1.0 : 0.0;
+      },
+      stats::MonteCarloOptions{.seed = seed});
+  return std::reduce(covered.begin(), covered.end()) /
+         static_cast<double>(n_trials);
 }
 
 double mc_coverage_delay(const SparingScheme& scheme,
@@ -143,16 +151,22 @@ double mc_coverage_delay_fn(const SparingScheme& scheme,
                             int logical_width, double t_clk,
                             std::size_t n_trials, std::uint64_t seed) {
   const int phys = scheme.physical_lanes(logical_width);
-  stats::Xoshiro256pp rng(seed);
-  std::vector<double> lanes(static_cast<std::size_t>(phys));
-  std::vector<std::uint8_t> faulty(static_cast<std::size_t>(phys));
-  std::size_t covered = 0;
-  for (std::size_t t = 0; t < n_trials; ++t) {
-    sample_lanes(rng, lanes);
-    for (std::size_t i = 0; i < lanes.size(); ++i) faulty[i] = lanes[i] > t_clk;
-    covered += scheme.covers(faulty, logical_width) ? 1 : 0;
-  }
-  return static_cast<double>(covered) / static_cast<double>(n_trials);
+  const std::vector<double> covered = stats::monte_carlo(
+      n_trials,
+      [&](stats::Xoshiro256pp& rng) {
+        thread_local std::vector<double> lanes;
+        thread_local std::vector<std::uint8_t> faulty;
+        lanes.resize(static_cast<std::size_t>(phys));
+        faulty.resize(static_cast<std::size_t>(phys));
+        sample_lanes(rng, lanes);
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          faulty[i] = lanes[i] > t_clk;
+        }
+        return scheme.covers(faulty, logical_width) ? 1.0 : 0.0;
+      },
+      stats::MonteCarloOptions{.seed = seed});
+  return std::reduce(covered.begin(), covered.end()) /
+         static_cast<double>(n_trials);
 }
 
 }  // namespace ntv::arch

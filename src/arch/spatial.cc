@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "device/gate_table.h"
+#include "device/dist_cache.h"
 
 namespace ntv::arch {
 
@@ -21,7 +21,7 @@ SpatialChipSampler::SpatialChipSampler(
     : model_(&model),
       vdd_(vdd),
       config_(config),
-      chain_(device::build_chain_distribution(
+      chain_(device::cached_chain_distribution(
           model, vdd, config.timing.chain_stages, dist_opt)),
       sensitivity_(model.gate_model().sensitivity(vdd)) {
   if (config.root_fraction < 0.0 || config.root_fraction > 1.0)
@@ -80,7 +80,7 @@ void SpatialChipSampler::sample_lanes(stats::Xoshiro256pp& rng,
       1.0 + rng.normal(0.0, model_->params().sigma_mult_sys);
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     const double scale = mult * std::exp(sensitivity_ * shifts[i]);
-    lanes[i] = scale * chain_.max_quantile(
+    lanes[i] = scale * chain_->max_quantile(
                            rng.uniform(), config_.timing.paths_per_lane);
   }
 }

@@ -15,6 +15,7 @@
 // global pool wins (Appendix D).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -64,7 +65,8 @@ class SpatialChipSampler {
   const device::VariationModel* model_;
   double vdd_;
   SpatialConfig config_;
-  stats::GridDistribution chain_;  ///< Random-only chain distribution.
+  /// Random-only chain distribution (shared dist-cache entry).
+  std::shared_ptr<const stats::GridDistribution> chain_;
   std::vector<double> level_sigma_;  ///< Vth sigma per tree level.
   double sensitivity_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "stats/percentile.h"
 #include "stats/root_find.h"
 
@@ -18,15 +19,9 @@ std::int64_t MitigationStudy::vkey(double vdd) const noexcept {
 }
 
 const arch::ChipDelaySampler& MitigationStudy::sampler(double vdd) const {
-  const auto key = vkey(vdd);
-  auto it = samplers_.find(key);
-  if (it == samplers_.end()) {
-    it = samplers_
-             .emplace(key, arch::ChipDelaySampler(model_, vdd, config_.timing,
-                                                  config_.dist))
-             .first;
-  }
-  return it->second;
+  return samplers_.get_or_build(vkey(vdd), [&] {
+    return arch::ChipDelaySampler(model_, vdd, config_.timing, config_.dist);
+  });
 }
 
 arch::ChipMcResult MitigationStudy::mc_chip(double vdd, int spares) const {
@@ -37,13 +32,9 @@ arch::ChipMcResult MitigationStudy::mc_chip(double vdd, int spares) const {
 }
 
 double MitigationStudy::chip_delay_p99(double vdd, int spares) const {
-  const auto key = std::make_pair(vkey(vdd), spares);
-  auto it = p99_cache_.find(key);
-  if (it != p99_cache_.end()) return it->second;
-  const double p99 =
-      mc_chip(vdd, spares).percentile(config_.signoff_percentile);
-  p99_cache_.emplace(key, p99);
-  return p99;
+  return p99_cache_.get_or_build(std::make_pair(vkey(vdd), spares), [&] {
+    return mc_chip(vdd, spares).percentile(config_.signoff_percentile);
+  });
 }
 
 double MitigationStudy::fo4_chip_delay_p99(double vdd, int spares) const {
@@ -82,18 +73,23 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
       },
       opt);
 
-  // delays_by_alpha[alpha][chip]
+  // delays_by_alpha[alpha][chip]; each chip owns column `chip` of every
+  // row, so the prefix-curve extraction fans out race-free on the pool.
   const std::size_t n_alpha = static_cast<std::size_t>(max_spares) + 1;
   std::vector<std::vector<double>> delays_by_alpha(
       n_alpha, std::vector<double>(config_.chip_samples));
-  for (std::size_t chip = 0; chip < config_.chip_samples; ++chip) {
-    const auto curve = arch::ChipDelaySampler::chip_delay_curve(
-        std::span<const double>(rows.data() + chip * row_width, row_width),
-        width);
-    for (std::size_t a = 0; a < n_alpha; ++a) {
-      delays_by_alpha[a][chip] = curve[a];
-    }
-  }
+  exec::ThreadPool::global().parallel_for(
+      0, config_.chip_samples,
+      [&](std::size_t chip) {
+        const auto curve = arch::ChipDelaySampler::chip_delay_curve(
+            std::span<const double>(rows.data() + chip * row_width,
+                                    row_width),
+            width);
+        for (std::size_t a = 0; a < n_alpha; ++a) {
+          delays_by_alpha[a][chip] = curve[a];
+        }
+      },
+      /*grain=*/64);
 
   const double fo4 = smp.fo4_unit();
   auto meets = [&](long alpha) {
@@ -174,19 +170,69 @@ FrequencyMarginResult MitigationStudy::frequency_margin(double vdd) const {
 
 std::vector<CombinedChoice> MitigationStudy::explore_combined(
     double vdd, std::span<const int> spare_counts, double max_margin) const {
-  std::vector<CombinedChoice> choices;
-  choices.reserve(spare_counts.size());
-  for (int spares : spare_counts) {
-    const auto vm = required_voltage_margin(vdd, spares, max_margin);
-    CombinedChoice choice;
-    choice.spares = spares;
-    choice.margin = vm.margin;
-    choice.feasible = vm.feasible;
-    choice.power_overhead = config_.area_power.combined_power_overhead(
-        spares, vdd, vm.feasible ? vm.margin : max_margin);
-    choices.push_back(choice);
-  }
+  // Prime the shared target once; otherwise every spare-count task would
+  // race to build the nominal baseline (duplicate Monte Carlo work).
+  (void)target_delay(vdd);
+
+  std::vector<CombinedChoice> choices(spare_counts.size());
+  exec::ThreadPool::global().parallel_for(
+      0, spare_counts.size(), [&](std::size_t i) {
+        const int spares = spare_counts[i];
+        const auto vm = required_voltage_margin(vdd, spares, max_margin);
+        CombinedChoice choice;
+        choice.spares = spares;
+        choice.margin = vm.margin;
+        choice.feasible = vm.feasible;
+        choice.power_overhead = config_.area_power.combined_power_overhead(
+            spares, vdd, vm.feasible ? vm.margin : max_margin);
+        choices[i] = choice;
+      });
   return choices;
+}
+
+std::vector<double> MitigationStudy::performance_drop_sweep(
+    std::span<const double> vdds) const {
+  (void)fo4_chip_delay_p99(node().nominal_vdd);
+
+  std::vector<double> drops(vdds.size());
+  exec::ThreadPool::global().parallel_for(0, vdds.size(), [&](std::size_t i) {
+    drops[i] = performance_drop_pct(vdds[i]);
+  });
+  return drops;
+}
+
+std::vector<DuplicationResult> MitigationStudy::required_spares_sweep(
+    std::span<const double> vdds, int max_spares) const {
+  // Shared across every grid point: the nominal-voltage sign-off baseline.
+  (void)fo4_chip_delay_p99(node().nominal_vdd);
+
+  std::vector<DuplicationResult> results(vdds.size());
+  exec::ThreadPool::global().parallel_for(0, vdds.size(), [&](std::size_t i) {
+    results[i] = required_spares(vdds[i], max_spares);
+  });
+  return results;
+}
+
+std::vector<VoltageMarginResult> MitigationStudy::required_voltage_margin_sweep(
+    std::span<const double> vdds, int spares, double max_margin) const {
+  (void)fo4_chip_delay_p99(node().nominal_vdd);
+
+  std::vector<VoltageMarginResult> results(vdds.size());
+  exec::ThreadPool::global().parallel_for(0, vdds.size(), [&](std::size_t i) {
+    results[i] = required_voltage_margin(vdds[i], spares, max_margin);
+  });
+  return results;
+}
+
+std::vector<FrequencyMarginResult> MitigationStudy::frequency_margin_sweep(
+    std::span<const double> vdds) const {
+  (void)fo4_chip_delay_p99(node().nominal_vdd);
+
+  std::vector<FrequencyMarginResult> results(vdds.size());
+  exec::ThreadPool::global().parallel_for(0, vdds.size(), [&](std::size_t i) {
+    results[i] = frequency_margin(vdds[i]);
+  });
+  return results;
 }
 
 }  // namespace ntv::core

@@ -17,14 +17,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "arch/area_power.h"
 #include "arch/simd_timing.h"
 #include "device/tech_node.h"
 #include "device/variation.h"
+#include "exec/cache.h"
 
 namespace ntv::core {
 
@@ -69,8 +70,11 @@ struct CombinedChoice {
 };
 
 /// Architecture-level study of one technology node.
-/// Not thread-safe (internally caches per-voltage samplers); use one
-/// instance per thread.
+/// Thread-safe: the per-voltage sampler and sign-off caches use the
+/// keyed caches from exec/cache.h, so the *_sweep methods fan grid points
+/// out on the shared thread pool against one shared instance. Results are
+/// deterministic for any worker count (common-random-numbers seed plus
+/// substream scheduling).
 class MitigationStudy {
  public:
   explicit MitigationStudy(const device::TechNode& node,
@@ -114,18 +118,38 @@ class MitigationStudy {
   FrequencyMarginResult frequency_margin(double vdd) const;
 
   /// Table 3 / Fig. 8: for each spare count, the margin completing it and
-  /// the combined power overhead.
+  /// the combined power overhead. Spare counts are explored as parallel
+  /// tasks after the shared target is primed once.
   std::vector<CombinedChoice> explore_combined(
       double vdd, std::span<const int> spare_counts,
       double max_margin = 0.1) const;
+
+  /// Whole-column sweeps: element i of each result is the corresponding
+  /// single-point call at vdds[i]. The shared nominal-voltage baseline is
+  /// computed once up front, then grid points fan out as tasks on the
+  /// shared pool; results are byte-identical to the serial loop.
+  std::vector<double> performance_drop_sweep(
+      std::span<const double> vdds) const;
+  std::vector<DuplicationResult> required_spares_sweep(
+      std::span<const double> vdds, int max_spares = 128) const;
+  std::vector<VoltageMarginResult> required_voltage_margin_sweep(
+      std::span<const double> vdds, int spares = 0,
+      double max_margin = 0.1) const;
+  std::vector<FrequencyMarginResult> frequency_margin_sweep(
+      std::span<const double> vdds) const;
 
  private:
   std::int64_t vkey(double vdd) const noexcept;
 
   device::VariationModel model_;
   MitigationConfig config_;
-  mutable std::map<std::int64_t, arch::ChipDelaySampler> samplers_;
-  mutable std::map<std::pair<std::int64_t, int>, double> p99_cache_;
+  /// Sampler construction is serial (dist-cache lookup + scalars), so the
+  /// build-once cache is safe; the p99 factory runs Monte Carlo on the
+  /// pool, which mandates the race cache (see exec/cache.h).
+  mutable exec::KeyedOnceCache<std::int64_t, arch::ChipDelaySampler>
+      samplers_;
+  mutable exec::KeyedRaceCache<std::pair<std::int64_t, int>, double>
+      p99_cache_;
 };
 
 }  // namespace ntv::core

@@ -1,7 +1,9 @@
 #include "core/operating_point.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "exec/thread_pool.h"
 #include "stats/root_find.h"
 
 namespace ntv::core {
@@ -73,15 +75,26 @@ OperatingPoint OperatingPointFinder::optimize(
   static constexpr int kDefaultSpares[] = {0};
   if (spare_options.empty()) spare_options = kDefaultSpares;
 
+  // Materialize the (voltage, spares) grid, evaluate every candidate as a
+  // pool task, then take the argmin serially in grid order — the same
+  // first-strictly-smaller tie-breaking as the original serial scan, so
+  // the chosen point is identical for any worker count.
+  std::vector<std::pair<double, int>> grid;
+  for (double v = v_lo; v <= v_hi + v_step / 2.0; v += v_step) {
+    for (int spares : spare_options) grid.emplace_back(v, spares);
+  }
+
+  std::vector<OperatingPoint> candidates(grid.size());
+  exec::ThreadPool::global().parallel_for(0, grid.size(), [&](std::size_t i) {
+    candidates[i] = evaluate(grid[i].first, t_clk, grid[i].second);
+  });
+
   OperatingPoint best;
   best.meets_clock = false;
   best.energy = 1e300;
-  for (double v = v_lo; v <= v_hi + v_step / 2.0; v += v_step) {
-    for (int spares : spare_options) {
-      const OperatingPoint candidate = evaluate(v, t_clk, spares);
-      if (candidate.meets_clock && candidate.energy < best.energy) {
-        best = candidate;
-      }
+  for (const OperatingPoint& candidate : candidates) {
+    if (candidate.meets_clock && candidate.energy < best.energy) {
+      best = candidate;
     }
   }
   return best;

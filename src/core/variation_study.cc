@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "device/dist_cache.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "stats/descriptive.h"
 #include "stats/monte_carlo.h"
@@ -35,26 +37,27 @@ std::pair<double, double> VariationStudy::with_die(double vdd, double mean,
 
 double VariationStudy::single_gate_variation_pct(double vdd) const {
   obs::ScopedTimer timer(obs::timer("study.gate_eval"));
-  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
-  const auto [m, v] = with_die(vdd, gate.mean(), gate.variance());
+  const auto gate = device::cached_gate_distribution(model_, vdd, dist_opt_);
+  const auto [m, v] = with_die(vdd, gate->mean(), gate->variance());
   return 300.0 * std::sqrt(v) / m;
 }
 
 double VariationStudy::chain_variation_pct(double vdd, int n_stages) const {
   obs::ScopedTimer timer(obs::timer("study.chain_eval"));
   const auto chain =
-      device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
-  const auto [m, v] = with_die(vdd, chain.mean(), chain.variance());
+      device::cached_chain_distribution(model_, vdd, n_stages, dist_opt_);
+  const auto [m, v] = with_die(vdd, chain->mean(), chain->variance());
   return 300.0 * std::sqrt(v) / m;
 }
 
 VariationPoint VariationStudy::study_point(double vdd, int n_stages) const {
   obs::counter("study.points").increment();
   obs::ScopedTimer timer(obs::timer("study.chain_eval"));
-  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
-  const auto chain = gate.sum_of_iid(n_stages);
-  const auto [gm, gv] = with_die(vdd, gate.mean(), gate.variance());
-  const auto [cm, cv] = with_die(vdd, chain.mean(), chain.variance());
+  const auto gate = device::cached_gate_distribution(model_, vdd, dist_opt_);
+  const auto chain =
+      device::cached_chain_distribution(model_, vdd, n_stages, dist_opt_);
+  const auto [gm, gv] = with_die(vdd, gate->mean(), gate->variance());
+  const auto [cm, cv] = with_die(vdd, chain->mean(), chain->variance());
   return VariationPoint{
       .vdd = vdd,
       .fo4_delay = fo4_delay(vdd),
@@ -64,18 +67,37 @@ VariationPoint VariationStudy::study_point(double vdd, int n_stages) const {
   };
 }
 
+std::vector<VariationPoint> VariationStudy::study_points(
+    std::span<const double> vdds, int n_stages) const {
+  std::vector<VariationPoint> points(vdds.size());
+  exec::ThreadPool::global().parallel_for(0, vdds.size(), [&](std::size_t i) {
+    points[i] = study_point(vdds[i], n_stages);
+  });
+  return points;
+}
+
+std::vector<double> VariationStudy::chain_variation_sweep(
+    double vdd, std::span<const int> n_stages) const {
+  std::vector<double> pcts(n_stages.size());
+  exec::ThreadPool::global().parallel_for(
+      0, n_stages.size(), [&](std::size_t i) {
+        pcts[i] = chain_variation_pct(vdd, n_stages[i]);
+      });
+  return pcts;
+}
+
 std::vector<double> VariationStudy::mc_single_gate_delays(
     double vdd, std::size_t n, std::uint64_t seed) const {
   obs::counter("study.mc_points").increment();
   obs::ScopedTimer timer(obs::timer("study.sampling"));
-  const auto gate = device::build_gate_distribution(model_, vdd, dist_opt_);
+  const auto gate = device::cached_gate_distribution(model_, vdd, dist_opt_);
   stats::MonteCarloOptions opt;
   opt.seed = seed;
   return stats::monte_carlo(
       n,
       [&](stats::Xoshiro256pp& rng) {
         const auto die = model_.sample_die(rng);
-        return model_.die_scale(vdd, die) * gate.quantile(rng.uniform());
+        return model_.die_scale(vdd, die) * gate->quantile(rng.uniform());
       },
       opt);
 }
@@ -86,14 +108,14 @@ std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
   obs::counter("study.mc_points").increment();
   obs::ScopedTimer timer(obs::timer("study.sampling"));
   const auto chain =
-      device::build_chain_distribution(model_, vdd, n_stages, dist_opt_);
+      device::cached_chain_distribution(model_, vdd, n_stages, dist_opt_);
   stats::MonteCarloOptions opt;
   opt.seed = seed;
   return stats::monte_carlo(
       n,
       [&](stats::Xoshiro256pp& rng) {
         const auto die = model_.sample_die(rng);
-        return model_.die_scale(vdd, die) * chain.quantile(rng.uniform());
+        return model_.die_scale(vdd, die) * chain->quantile(rng.uniform());
       },
       opt);
 }

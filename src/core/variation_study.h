@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "device/gate_table.h"
@@ -58,6 +59,19 @@ class VariationStudy {
 
   /// Full study row at `vdd` for the standard 50-stage chain.
   VariationPoint study_point(double vdd, int n_stages = 50) const;
+
+  /// Study rows for a whole voltage grid, computed as parallel tasks on
+  /// the shared thread pool. Element i is study_point(vdds[i], n_stages);
+  /// results are identical to the serial loop for any worker count.
+  std::vector<VariationPoint> study_points(std::span<const double> vdds,
+                                           int n_stages = 50) const;
+
+  /// Chain 3sigma/mu [%] for a whole grid of chain lengths at one voltage
+  /// (Fig. 11 columns), fanned out on the shared thread pool. Element i is
+  /// chain_variation_pct(vdd, n_stages[i]).
+  std::vector<double> chain_variation_sweep(double vdd,
+                                            std::span<const int> n_stages)
+      const;
 
   /// Monte Carlo sample of single-gate delays [s] (paper Fig. 1(a)).
   std::vector<double> mc_single_gate_delays(double vdd, std::size_t n,

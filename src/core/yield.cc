@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/thread_pool.h"
+
 namespace ntv::core {
 
 YieldAnalysis::YieldAnalysis(const device::TechNode& node,
@@ -13,12 +15,17 @@ const stats::Ecdf& YieldAnalysis::ecdf(double vdd, int spares) const {
   const auto key =
       std::make_pair(static_cast<std::int64_t>(std::llround(vdd * 1e7)),
                      spares);
-  auto it = ecdfs_.find(key);
-  if (it == ecdfs_.end()) {
-    const auto mc = study_.mc_chip(vdd, spares);
-    it = ecdfs_.emplace(key, stats::Ecdf(mc.delays)).first;
-  }
-  return it->second;
+  return ecdfs_.get_or_build(
+      key, [&] { return stats::Ecdf(study_.mc_chip(vdd, spares).delays); });
+}
+
+void YieldAnalysis::prime(std::span<const double> vdds,
+                          std::span<const int> spares) const {
+  const std::size_t n = vdds.size() * spares.size();
+  exec::ThreadPool::global().parallel_for(0, n, [&](std::size_t i) {
+    (void)ecdf(vdds[i / spares.size()],
+               spares[i % spares.size()]);
+  });
 }
 
 double YieldAnalysis::yield(double vdd, double t_clk, int spares) const {

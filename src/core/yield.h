@@ -22,7 +22,9 @@ struct YieldPoint {
 };
 
 /// Yield analysis of the N-wide SIMD datapath at one technology node.
-/// Not thread-safe (shares the MitigationStudy caches).
+/// Thread-safe: the ECDF cache uses exec::KeyedRaceCache (the factory
+/// runs Monte Carlo on the shared pool), and the underlying
+/// MitigationStudy caches are thread-safe too.
 class YieldAnalysis {
  public:
   explicit YieldAnalysis(const device::TechNode& node,
@@ -51,11 +53,17 @@ class YieldAnalysis {
 
   const MitigationStudy& study() const noexcept { return study_; }
 
+  /// Builds the chip-delay ECDF at each (vdd, spares) pair up front, one
+  /// Monte Carlo run per pair as parallel pool tasks, so later queries
+  /// are cache hits. Duplicate pairs are deduplicated by the cache.
+  void prime(std::span<const double> vdds, std::span<const int> spares) const;
+
  private:
   const stats::Ecdf& ecdf(double vdd, int spares) const;
 
   mutable MitigationStudy study_;
-  mutable std::map<std::pair<std::int64_t, int>, stats::Ecdf> ecdfs_;
+  mutable exec::KeyedRaceCache<std::pair<std::int64_t, int>, stats::Ecdf>
+      ecdfs_;
 };
 
 }  // namespace ntv::core

@@ -1,0 +1,118 @@
+#include "device/dist_cache.h"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "exec/cache.h"
+#include "obs/metrics.h"
+
+namespace ntv::device {
+
+namespace {
+
+/// Everything a builder's output depends on, with doubles compared by bit
+/// pattern (cache keys must never be split or merged by float noise).
+struct DistKey {
+  int kind = 0;  ///< 0 = gate, 1 = chain, 2 = total chain.
+  std::string node_name;
+  std::array<std::uint64_t, 6> node_bits{};    ///< Delay-model fields.
+  std::array<std::uint64_t, 4> sigma_bits{};   ///< Calibrated sigmas.
+  std::uint64_t vdd_bits = 0;
+  int n_stages = 0;
+  std::uint64_t z_span_bits = 0;
+  std::size_t bins = 0;
+  std::size_t vth_points = 0;
+  std::size_t mult_points = 0;
+
+  auto operator<=>(const DistKey&) const = default;
+};
+
+DistKey make_key(int kind, const VariationModel& model, double vdd,
+                 int n_stages, const DistributionOptions& opt) {
+  const TechNode& node = model.node();
+  const VariationParams& p = model.params();
+  DistKey key;
+  key.kind = kind;
+  key.node_name = std::string(node.name);
+  key.node_bits = {
+      std::bit_cast<std::uint64_t>(node.nominal_vdd),
+      std::bit_cast<std::uint64_t>(node.vth0),
+      std::bit_cast<std::uint64_t>(node.n_slope),
+      std::bit_cast<std::uint64_t>(node.alpha),
+      std::bit_cast<std::uint64_t>(node.fo4_ref_delay),
+      std::bit_cast<std::uint64_t>(node.fo4_ref_vdd),
+  };
+  key.sigma_bits = {
+      std::bit_cast<std::uint64_t>(p.sigma_vth_rand),
+      std::bit_cast<std::uint64_t>(p.sigma_mult_rand),
+      std::bit_cast<std::uint64_t>(p.sigma_vth_sys),
+      std::bit_cast<std::uint64_t>(p.sigma_mult_sys),
+  };
+  key.vdd_bits = std::bit_cast<std::uint64_t>(vdd);
+  key.n_stages = n_stages;
+  key.z_span_bits = std::bit_cast<std::uint64_t>(opt.z_span);
+  key.bins = opt.bins;
+  key.vth_points = opt.vth_points;
+  key.mult_points = opt.mult_points;
+  return key;
+}
+
+using DistCache =
+    exec::KeyedOnceCache<DistKey,
+                         std::shared_ptr<const stats::GridDistribution>>;
+
+DistCache& cache() {
+  // Leaked so entries requested during static destruction stay valid.
+  static DistCache* c = new DistCache();
+  return *c;
+}
+
+std::shared_ptr<const stats::GridDistribution> lookup(
+    int kind, const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt) {
+  static obs::Counter& calls = obs::counter("device.dist_cache.calls");
+  static obs::Counter& builds = obs::counter("device.dist_cache.builds");
+  calls.increment();
+  const auto result = cache().get_or_build(
+      make_key(kind, model, vdd, n_stages, opt), [&] {
+        builds.increment();
+        stats::GridDistribution dist =
+            kind == 0   ? build_gate_distribution(model, vdd, opt)
+            : kind == 1 ? build_chain_distribution(model, vdd, n_stages, opt)
+                        : build_total_chain_distribution(model, vdd,
+                                                         n_stages, opt);
+        return std::make_shared<const stats::GridDistribution>(
+            std::move(dist));
+      });
+  obs::gauge("device.dist_cache.entries")
+      .set(static_cast<double>(cache().size()));
+  return result;
+}
+
+}  // namespace
+
+std::shared_ptr<const stats::GridDistribution> cached_gate_distribution(
+    const VariationModel& model, double vdd, const DistributionOptions& opt) {
+  return lookup(0, model, vdd, 1, opt);
+}
+
+std::shared_ptr<const stats::GridDistribution> cached_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt) {
+  return lookup(1, model, vdd, n_stages, opt);
+}
+
+std::shared_ptr<const stats::GridDistribution>
+cached_total_chain_distribution(const VariationModel& model, double vdd,
+                                int n_stages,
+                                const DistributionOptions& opt) {
+  return lookup(2, model, vdd, n_stages, opt);
+}
+
+std::size_t distribution_cache_size() { return cache().size(); }
+
+void clear_distribution_cache() { cache().clear(); }
+
+}  // namespace ntv::device

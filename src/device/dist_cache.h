@@ -1,0 +1,50 @@
+// Process-wide memoization of calibrated delay distributions.
+//
+// Building a gate/chain GridDistribution is the expensive deterministic
+// prefix of every experiment: a 2-D quadrature over (dVth, eps) followed
+// by FFT convolution powers. Sweeps used to recompute it once per study
+// instance per (node, Vdd) — a 4-node x 5-voltage table rebuilt identical
+// distributions dozens of times across benches, solvers and the CLI. This
+// cache keys the three builders on every input that affects the result
+// (node card, calibrated sigmas, Vdd, chain length, grid options) and
+// shares one immutable copy process-wide.
+//
+// Thread-safe: concurrent sweeps on the shared pool may request the same
+// key; it is built exactly once (KeyedOnceCache — the builders are serial,
+// so blocking waiters cannot deadlock the pool). Entries are shared_ptr,
+// so holders (e.g. a ChipDelaySampler) stay valid across clear().
+//
+// Metrics: "device.dist_cache.calls" / "device.dist_cache.builds"
+// counters and a "device.dist_cache.entries" gauge.
+#pragma once
+
+#include <memory>
+
+#include "device/gate_table.h"
+
+namespace ntv::device {
+
+/// Cached build_gate_distribution(model, vdd, opt).
+std::shared_ptr<const stats::GridDistribution> cached_gate_distribution(
+    const VariationModel& model, double vdd,
+    const DistributionOptions& opt = {});
+
+/// Cached build_chain_distribution(model, vdd, n_stages, opt).
+std::shared_ptr<const stats::GridDistribution> cached_chain_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    const DistributionOptions& opt = {});
+
+/// Cached build_total_chain_distribution(model, vdd, n_stages, opt).
+std::shared_ptr<const stats::GridDistribution>
+cached_total_chain_distribution(const VariationModel& model, double vdd,
+                                int n_stages,
+                                const DistributionOptions& opt = {});
+
+/// Number of distributions currently cached.
+std::size_t distribution_cache_size();
+
+/// Drops every cached distribution (outstanding shared_ptr holders keep
+/// their copies alive). For tests and memory-pressure lifecycle points.
+void clear_distribution_cache();
+
+}  // namespace ntv::device

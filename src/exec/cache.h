@@ -1,0 +1,170 @@
+// Keyed memoization caches for the parallel sweep engine.
+//
+// Grid sweeps hit the same expensive intermediates from many pool tasks
+// at once (a calibrated per-(node, Vdd) delay distribution, a per-voltage
+// chip sampler, a sign-off percentile). Two concurrency disciplines are
+// provided, and choosing between them is a correctness decision, not a
+// performance one:
+//
+//  * KeyedOnceCache — each key's value is built exactly once (a
+//    per-slot build-once latch); other threads block until it is ready.
+//    Use ONLY
+//    when the factory never executes pool tasks: a thread that helps the
+//    pool while inside call_once could steal a task that re-enters the
+//    same once_flag and self-deadlock. Right for the quadrature+FFT
+//    distribution builders and sampler construction, which are serial.
+//
+//  * KeyedRaceCache — concurrent misses on the same key may each run the
+//    factory; the first finished insert wins and later duplicates are
+//    discarded. Deadlock-free under fork-join helping, so this is the
+//    one to use when the factory runs Monte Carlo on the shared pool.
+//    Safe for determinism because every factory in this repo is a pure
+//    function of (key, seed): duplicates compute bit-identical values.
+//
+// Both return references that stay valid for the cache's lifetime
+// (node-based std::map; clear() is test-only and invalidates them).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ntv::exec {
+
+/// Build-once keyed cache. Factory must not execute pool tasks (see the
+/// file comment for the deadlock rationale).
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class KeyedOnceCache {
+ public:
+  KeyedOnceCache() = default;
+
+  /// Moves transfer the cached entries but, like any mutex-protected
+  /// container, are only safe while no other thread touches either side
+  /// (setup-time moves, e.g. vector growth of cache owners).
+  KeyedOnceCache(KeyedOnceCache&& other) noexcept {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    map_ = std::move(other.map_);
+  }
+  KeyedOnceCache& operator=(KeyedOnceCache&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lk(mu_, other.mu_);
+      map_ = std::move(other.map_);
+    }
+    return *this;
+  }
+
+  /// Returns the value for `key`, invoking `factory` at most once per key
+  /// process-wide. A throwing factory leaves the key unbuilt (the next
+  /// caller retries). Implemented as an explicit idle/building/ready
+  /// state machine rather than std::call_once: the exceptional-retry
+  /// path of call_once is unreliable under ThreadSanitizer.
+  template <typename Factory>
+  const Value& get_or_build(const Key& key, Factory&& factory) {
+    Slot* slot = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto [it, inserted] = map_.try_emplace(key);
+      if (inserted) it->second = std::make_unique<Slot>();
+      slot = it->second.get();
+    }
+    std::unique_lock<std::mutex> lk(slot->m);
+    while (true) {
+      if (slot->state == Slot::kReady) return *slot->value;
+      if (slot->state == Slot::kIdle) break;
+      slot->cv.wait(lk);  // Another thread is building; block until done.
+    }
+    slot->state = Slot::kBuilding;
+    lk.unlock();
+    try {
+      Value built = factory();
+      lk.lock();
+      slot->value.emplace(std::move(built));
+      slot->state = Slot::kReady;
+      slot->cv.notify_all();
+      return *slot->value;
+    } catch (...) {
+      lk.lock();
+      slot->state = Slot::kIdle;  // Unbuilt again: the next caller retries.
+      slot->cv.notify_all();
+      throw;
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+
+  /// Drops every entry. Invalidates all previously returned references —
+  /// for tests and explicit lifecycle points only, never mid-sweep.
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+  }
+
+ private:
+  struct Slot {
+    enum State { kIdle, kBuilding, kReady };
+    std::mutex m;
+    std::condition_variable cv;
+    State state = kIdle;
+    std::optional<Value> value;
+  };
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Slot>, Compare> map_;
+};
+
+/// First-insert-wins keyed cache; concurrent misses may duplicate the
+/// factory call. Use when the factory itself runs on the thread pool.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class KeyedRaceCache {
+ public:
+  KeyedRaceCache() = default;
+
+  /// See KeyedOnceCache: moves are setup-time only, never concurrent.
+  KeyedRaceCache(KeyedRaceCache&& other) noexcept {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    map_ = std::move(other.map_);
+  }
+  KeyedRaceCache& operator=(KeyedRaceCache&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lk(mu_, other.mu_);
+      map_ = std::move(other.map_);
+    }
+    return *this;
+  }
+
+  template <typename Factory>
+  const Value& get_or_build(const Key& key, Factory&& factory) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = map_.find(key);
+      if (it != map_.end()) return it->second;
+    }
+    Value built = factory();  // Outside the lock: may run pool tasks.
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = map_.try_emplace(key, std::move(built));
+    return it->second;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+  }
+
+  /// Test-only: invalidates all previously returned references.
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, Value, Compare> map_;
+};
+
+}  // namespace ntv::exec

@@ -1,0 +1,242 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/metrics.h"
+
+namespace ntv::exec {
+
+namespace {
+
+obs::Counter& tasks_metric() {
+  static obs::Counter& c = obs::counter("exec.tasks");
+  return c;
+}
+obs::Counter& steals_metric() {
+  static obs::Counter& c = obs::counter("exec.steals");
+  return c;
+}
+obs::Counter& loops_metric() {
+  static obs::Counter& c = obs::counter("exec.loops");
+  return c;
+}
+obs::Timer& busy_metric() {
+  static obs::Timer& t = obs::timer("exec.busy");
+  return t;
+}
+
+}  // namespace
+
+int resolved_worker_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("NTV_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+/// Completion state of one parallel_for call, shared by its chunk tasks.
+/// Lifetime: lives on the caller's stack. The last chunk publishes `done`
+/// under `mu` and touches nothing of this struct after releasing it; the
+/// caller blocks on (mu, cv) until `done` before returning, so the state
+/// can never be destroyed under a notifier.
+struct ThreadPool::LoopState {
+  std::atomic<std::size_t> pending{0};  ///< Chunks not yet finished.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;         ///< pending hit 0 (guarded by mu).
+  std::exception_ptr error;  ///< First body exception (guarded by mu).
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int lanes = std::max(1, threads);
+  queues_.resize(static_cast<std::size_t>(lanes - 1));
+  workers_.reserve(queues_.size());
+  for (std::size_t w = 0; w < queues_.size(); ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  obs::gauge("exec.workers").set(lanes);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  if (queues_.empty()) {
+    // Single-lane pool: execute synchronously on the caller.
+    obs::ScopedTimer busy(busy_metric());
+    fn();
+    tasks_metric().increment();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queues_[next_queue_].push_back(std::move(fn));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    static obs::Gauge& peak = obs::gauge("exec.queue_peak");
+    if (static_cast<double>(queued_) > peak.value()) {
+      peak.set(static_cast<double>(queued_));
+    }
+  }
+  cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::take_locked(std::size_t self) {
+  // Own deque first, newest task (LIFO keeps nested loops cache-warm and
+  // lets a forking task drain its own children before stealing).
+  if (self < queues_.size() && !queues_[self].empty()) {
+    std::function<void()> fn = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    --queued_;
+    return fn;
+  }
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (i == self || queues_[i].empty()) continue;
+    std::function<void()> fn = std::move(queues_[i].front());
+    queues_[i].pop_front();
+    --queued_;
+    if (self < queues_.size()) steals_metric().increment();
+    return fn;
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (std::function<void()> fn = take_locked(self)) {
+      lk.unlock();
+      {
+        obs::ScopedTimer busy(busy_metric());
+        fn();
+      }
+      tasks_metric().increment();
+      lk.lock();
+      continue;
+    }
+    if (stop_) return;
+    cv_.wait(lk);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  loops_metric().increment();
+
+  // Serial fast path: no workers to share with, or a single chunk.
+  if (workers_.empty() || chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  LoopState loop;
+  loop.pending.store(chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      queues_[next_queue_].push_back([&loop, &body, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elk(loop.mu);
+          if (!loop.error) loop.error = std::current_exception();
+        }
+        if (loop.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Completion edge: publish under the loop mutex. This is the
+          // last access to `loop` this task makes (see LoopState).
+          std::lock_guard<std::mutex> dlk(loop.mu);
+          loop.done = true;
+          loop.cv.notify_all();
+        }
+      });
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      ++queued_;
+    }
+    static obs::Gauge& peak = obs::gauge("exec.queue_peak");
+    if (static_cast<double>(queued_) > peak.value()) {
+      peak.set(static_cast<double>(queued_));
+    }
+  }
+  cv_.notify_all();
+
+  // Help: run queued tasks (this loop's chunks or anyone else's) until
+  // this loop completes. Executing foreign tasks while waiting is what
+  // makes nested parallel_for deadlock-free.
+  while (loop.pending.load(std::memory_order_acquire) != 0) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn = take_locked(queues_.size());
+    }
+    if (fn) {
+      {
+        obs::ScopedTimer busy(busy_metric());
+        fn();
+      }
+      tasks_metric().increment();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(loop.mu);
+    loop.cv.wait(lk, [&loop] { return loop.done; });
+  }
+  // Completion fence: even when the pending == 0 exit was taken off the
+  // atomic alone, wait for `done` so the last chunk has released loop.mu
+  // before LoopState leaves scope.
+  {
+    std::unique_lock<std::mutex> lk(loop.mu);
+    loop.cv.wait(lk, [&loop] { return loop.done; });
+  }
+  if (loop.error) std::rethrow_exception(loop.error);
+}
+
+namespace {
+std::mutex g_pool_mu;
+ThreadPool* g_pool = nullptr;  // Leaked: see ThreadPool::global().
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = new ThreadPool(resolved_worker_threads(0));
+  return *g_pool;
+}
+
+void ThreadPool::set_global_thread_count(int threads) {
+  const int resolved = resolved_worker_threads(threads);
+  std::unique_lock<std::mutex> lk(g_pool_mu);
+  if (g_pool && g_pool->thread_count() == resolved) return;
+  ThreadPool* old = g_pool;
+  g_pool = new ThreadPool(resolved);
+  lk.unlock();
+  delete old;  // Joins the old workers (their queues must be drained).
+}
+
+int ThreadPool::global_thread_count() {
+  {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (g_pool) return g_pool->thread_count();
+  }
+  return global().thread_count();
+}
+
+}  // namespace ntv::exec

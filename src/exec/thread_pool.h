@@ -1,0 +1,130 @@
+// Shared work-stealing thread-pool executor.
+//
+// Every experiment in the paper is a Monte Carlo sweep over a node x Vdd
+// grid, and every layer above stats now funnels its parallelism through
+// this one pool instead of spawning (and joining) fresh std::thread
+// vectors per call. Design points:
+//
+//  * One pool per process (`ThreadPool::global()`), sized once at startup
+//    from --threads / $NTV_THREADS / hardware_concurrency. Workers are
+//    per-thread deques; an idle worker steals from the front of a busy
+//    worker's deque (classic work stealing, surfaced as the "exec.steals"
+//    counter).
+//  * Seed-stable scheduling: `parallel_for` hands the body its item index
+//    and nothing else. Work items own their RNG substream (the MC runner
+//    maps block b -> substream(seed, b)), so results are byte-identical
+//    for ANY worker count — the determinism contract behind the JSON
+//    report gates (docs/PARALLELISM.md).
+//  * Fork-join helping: the thread that calls `parallel_for` participates —
+//    it executes queued tasks while its loop is outstanding. Nested
+//    `parallel_for` (a grid-point task running its own Monte Carlo) is
+//    therefore safe and deadlock-free: a waiting thread always drains
+//    runnable tasks instead of blocking on an empty queue.
+//  * Observability: the pool feeds the obs registry (exec.tasks,
+//    exec.steals, exec.loops, exec.workers, exec.queue_peak, exec.busy),
+//    which run reports serialize under metrics.
+//
+// Threads are constructed HERE and nowhere else in src/ (grep-enforceable:
+// `std::thread` construction only in thread_pool.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ntv::exec {
+
+/// Resolves a requested total thread count (workers + participating
+/// caller) the way the runtime does:
+///   requested > 0  -> requested (no silent ceiling; the old Monte Carlo
+///                     runner clamped to 16);
+///   requested == 0 -> $NTV_THREADS when set to a positive integer,
+///                     otherwise hardware_concurrency (at least 1).
+int resolved_worker_threads(int requested = 0);
+
+/// Fork-join thread pool with per-worker deques and work stealing.
+class ThreadPool {
+ public:
+  /// A pool with `threads` total parallelism: `threads - 1` worker
+  /// threads are spawned; the caller of parallel_for/async supplies the
+  /// remaining lane by helping. threads < 1 is clamped to 1 (a pure
+  /// inline executor that spawns nothing).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (worker threads + the participating caller).
+  int thread_count() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs body(i) for every i in [begin, end). Items are packed into
+  /// chunks of `grain` consecutive indices; chunk count (and therefore
+  /// the "exec.tasks" counter) depends only on (end - begin, grain),
+  /// never on the worker count. Blocks until every item completed; the
+  /// calling thread executes chunks too. The first exception thrown by
+  /// the body is rethrown here after the loop drains. Reentrant: the
+  /// body may itself call parallel_for on the same pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Schedules one task and returns its future. Used for heterogeneous
+  /// fan-out (e.g. one future per table cell); prefer parallel_for for
+  /// uniform index spaces.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// The process-wide pool, created on first use with
+  /// resolved_worker_threads(0). Intentionally leaked so tasks queued
+  /// from static destructors cannot outlive it.
+  static ThreadPool& global();
+
+  /// Resizes the global pool to `resolved_worker_threads(threads)`
+  /// lanes. Joins the old workers first, so call it at startup (the
+  /// --threads flag) or between runs — never while tasks are in flight.
+  static void set_global_thread_count(int threads);
+
+  /// Thread count the global pool has (or would be created with) — what
+  /// run manifests record as the resolved worker count.
+  static int global_thread_count();
+
+ private:
+  struct LoopState;
+
+  void worker_loop(std::size_t self);
+  void enqueue(std::function<void()> fn);
+  /// Pops a runnable task: the back of queue `self` first (own work,
+  /// LIFO), else the front of another queue (a steal). `self` ==
+  /// queues_.size() means "external helper thread" (no own queue).
+  /// Requires mu_ held; returns an empty function when nothing is
+  /// runnable.
+  std::function<void()> take_locked(std::size_t self);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;  ///< Round-robin submission cursor.
+  std::size_t queued_ = 0;      ///< Tasks currently queued (for depth gauge).
+  bool stop_ = false;
+};
+
+}  // namespace ntv::exec

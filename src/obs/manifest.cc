@@ -22,6 +22,7 @@ void RunManifest::write(JsonWriter& w) const {
   w.key("command").value(command);
   w.key("seed").value(static_cast<std::uint64_t>(seed));
   w.key("threads").value(threads);
+  w.key("threads_requested").value(threads_requested);
   w.key("tech_node").value(tech_node);
   w.key("vdd_grid").begin_array();
   for (double v : vdd_grid) w.value(v);

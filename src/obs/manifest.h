@@ -22,6 +22,7 @@ struct RunManifest {
   std::string command;          ///< Subcommand / mode, e.g. "study".
   std::uint64_t seed = 0;       ///< Monte Carlo base seed of the run.
   int threads = 0;              ///< Resolved worker thread count.
+  int threads_requested = 0;    ///< --threads value as given (0 = auto).
   std::string tech_node;        ///< e.g. "90nm GP"; empty if node-less.
   std::vector<double> vdd_grid; ///< Supply voltages swept [V].
   std::string build_type = std::string(build_kind());

@@ -6,8 +6,9 @@
 // named metrics; report writers snapshot the registry and serialize it.
 //
 // Design constraints:
-//  * Thread-safe accumulation — MC blocks run on up to 16 threads, so
-//    Counter/Gauge/Timer mutate through relaxed atomics only.
+//  * Thread-safe accumulation — MC blocks run on every worker of the
+//    shared pool, so Counter/Gauge/Timer mutate through relaxed atomics
+//    only.
 //  * Stable addresses — counter("x") returns a reference that remains
 //    valid for the program lifetime (node-based std::map + leaked global
 //    registry), so hot loops can cache the reference and skip the name

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "stats/monte_carlo.h"
 #include "stats/percentile.h"
 #include "stats/rng.h"
 
@@ -23,16 +24,21 @@ ConfidenceInterval bootstrap_ci(
   ConfidenceInterval ci;
   ci.point = statistic(sample);
 
-  Xoshiro256pp rng(seed);
-  std::vector<double> resample(sample.size());
-  std::vector<double> stats;
-  stats.reserve(static_cast<std::size_t>(resamples));
-  for (int r = 0; r < resamples; ++r) {
-    for (auto& x : resample) {
-      x = sample[rng.bounded(sample.size())];
-    }
-    stats.push_back(statistic(resample));
-  }
+  // Each replicate is one Monte Carlo sample: resample with replacement
+  // from its own substream, evaluate the statistic. Running through
+  // monte_carlo gives the replicates the pool's parallelism and the
+  // substream determinism contract (byte-identical for any worker count).
+  std::vector<double> stats = monte_carlo(
+      static_cast<std::size_t>(resamples),
+      [&](Xoshiro256pp& rng) {
+        thread_local std::vector<double> resample;
+        resample.resize(sample.size());
+        for (auto& x : resample) {
+          x = sample[rng.bounded(sample.size())];
+        }
+        return statistic(resample);
+      },
+      MonteCarloOptions{.seed = seed});
   const double alpha = (1.0 - confidence) / 2.0;
   ci.lo = percentile(stats, 100.0 * alpha);
   ci.hi = percentile(stats, 100.0 * (1.0 - alpha));

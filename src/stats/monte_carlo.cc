@@ -1,24 +1,16 @@
 #include "stats/monte_carlo.h"
 
 #include <algorithm>
-#include <thread>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace ntv::stats {
 
-namespace {
-
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 16u));
-}
-
-}  // namespace
-
 int resolved_thread_count(int requested) {
-  return resolve_threads(requested);
+  if (requested == 1) return 1;
+  if (requested > 1) return requested;
+  return exec::ThreadPool::global_thread_count();
 }
 
 Xoshiro256pp substream(std::uint64_t seed, std::size_t index) {
@@ -47,13 +39,11 @@ std::vector<double> monte_carlo_rows(
   std::vector<double> out(n * width);
   if (n == 0) return out;
 
-  // Fixed-size blocks keep sample->substream assignment independent of the
-  // thread count: block b covers rows [b*kBlock, min(n,(b+1)*kBlock)).
+  // Fixed-size blocks keep the sample->substream assignment independent of
+  // the worker count: block b covers rows [b*kBlock, min(n,(b+1)*kBlock)),
+  // and each block re-derives its RNG from (seed, b) alone.
   constexpr std::size_t kBlock = 64;
   const std::size_t blocks = (n + kBlock - 1) / kBlock;
-  const int threads =
-      static_cast<int>(std::min<std::size_t>(resolve_threads(opt.threads),
-                                             blocks));
 
   static obs::Counter& runs_metric = obs::counter("mc.runs");
   static obs::Counter& samples_metric = obs::counter("mc.samples");
@@ -62,7 +52,6 @@ std::vector<double> monte_carlo_rows(
   runs_metric.increment();
   samples_metric.add(static_cast<std::int64_t>(n));
   substreams_metric.add(static_cast<std::int64_t>(blocks));
-  obs::gauge("mc.threads").set(threads);
   obs::ScopedTimer wall_scope(wall_metric);
 
   auto run_block = [&](std::size_t b) {
@@ -74,22 +63,15 @@ std::vector<double> monte_carlo_rows(
     }
   };
 
-  if (threads <= 1) {
+  if (opt.threads == 1) {
+    obs::gauge("mc.threads").set(1);
     for (std::size_t b = 0; b < blocks; ++b) run_block(b);
     return out;
   }
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      for (std::size_t b = static_cast<std::size_t>(t); b < blocks;
-           b += static_cast<std::size_t>(threads)) {
-        run_block(b);
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
+  exec::ThreadPool& pool = exec::ThreadPool::global();
+  obs::gauge("mc.threads").set(pool.thread_count());
+  pool.parallel_for(0, blocks, run_block);
   return out;
 }
 

@@ -1,9 +1,10 @@
-// Threaded Monte Carlo sample generation with reproducible substreams.
+// Pooled Monte Carlo sample generation with reproducible substreams.
 //
 // Every experiment in the paper is a Monte Carlo sweep (1,000 samples for
 // circuit-level figures, 10,000 for chip-level figures). The runner splits
-// one seed into per-thread xoshiro jump-substreams so the generated sample
-// set is independent of the machine's core count.
+// one seed into per-block xoshiro substreams and executes the blocks on
+// the shared exec::ThreadPool, so the generated sample set is independent
+// of the machine's core count AND no per-call threads are spawned.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +18,12 @@ namespace ntv::stats {
 /// Configuration for a Monte Carlo run.
 struct MonteCarloOptions {
   std::uint64_t seed = 0xD1E7C0DE5EED;  ///< Base seed of the run.
-  int threads = 0;  ///< 0 = use hardware_concurrency (capped at 16).
+  /// 1 = run serially inline (never touches the pool); any other value
+  /// (including the default 0) = run the blocks on the shared global
+  /// exec::ThreadPool, whose size is fixed at startup (--threads /
+  /// $NTV_THREADS / hardware_concurrency). Results are byte-identical
+  /// either way.
+  int threads = 0;
 };
 
 /// Draws `n` samples of `sampler(rng)` and returns them in deterministic
@@ -36,9 +42,10 @@ std::vector<double> monte_carlo_rows(
                              double* /*out*/)>& sampler,
     const MonteCarloOptions& opt = {});
 
-/// Resolves a requested thread count the way the runner does (0 maps to
-/// hardware_concurrency clamped to [1, 16]). Exposed so run manifests can
-/// record the worker count actually used.
+/// Thread count a run with MonteCarloOptions{.threads = requested} would
+/// use. Delegates to exec::resolved_worker_threads (requested > 0 wins,
+/// else $NTV_THREADS, else hardware_concurrency — the old [1, 16] clamp is
+/// gone). Exposed so run manifests can record the resolved worker count.
 int resolved_thread_count(int requested = 0);
 
 /// Returns the substream RNG for block `index` under the given seed.

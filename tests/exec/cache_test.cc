@@ -1,0 +1,104 @@
+#include "exec/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "exec/thread_pool.h"
+
+namespace ntv::exec {
+namespace {
+
+TEST(KeyedOnceCache, BuildsEachKeyExactlyOnce) {
+  KeyedOnceCache<int, std::string> cache;
+  std::atomic<int> builds{0};
+  ThreadPool pool(8);
+  pool.parallel_for(0, 256, [&](std::size_t i) {
+    const int key = static_cast<int>(i % 4);
+    const std::string& value = cache.get_or_build(key, [&] {
+      builds.fetch_add(1, std::memory_order_relaxed);
+      return std::to_string(key);
+    });
+    EXPECT_EQ(value, std::to_string(key));
+  });
+  EXPECT_EQ(builds.load(), 4);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(KeyedOnceCache, ReturnsStableReference) {
+  KeyedOnceCache<int, std::string> cache;
+  const std::string& a = cache.get_or_build(1, [] { return "one"; });
+  const std::string& b = cache.get_or_build(1, [] { return "other"; });
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a, "one");
+}
+
+TEST(KeyedOnceCache, ThrowingFactoryLeavesKeyRetryable) {
+  KeyedOnceCache<int, int> cache;
+  EXPECT_THROW(cache.get_or_build(
+                   7, []() -> int { throw std::runtime_error("build"); }),
+               std::runtime_error);
+  EXPECT_EQ(cache.get_or_build(7, [] { return 42; }), 42);
+}
+
+TEST(KeyedOnceCache, MoveTransfersEntries) {
+  KeyedOnceCache<int, int> cache;
+  cache.get_or_build(1, [] { return 10; });
+  KeyedOnceCache<int, int> moved(std::move(cache));
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.get_or_build(1, [] { return -1; }), 10);
+}
+
+TEST(KeyedRaceCache, FirstInsertWinsAndDuplicatesAreDiscarded) {
+  KeyedRaceCache<int, int> cache;
+  std::atomic<int> builds{0};
+  ThreadPool pool(8);
+  pool.parallel_for(0, 256, [&](std::size_t i) {
+    const int key = static_cast<int>(i % 4);
+    // Deterministic value per key: duplicate builds are bit-identical,
+    // mirroring how the p99 / ecdf factories behave in production.
+    const int value = cache.get_or_build(key, [&] {
+      builds.fetch_add(1, std::memory_order_relaxed);
+      return key * 100;
+    });
+    EXPECT_EQ(value, key * 100);
+  });
+  EXPECT_GE(builds.load(), 4);
+  EXPECT_EQ(cache.size(), 4u);
+  // Every later lookup sees the single inserted value.
+  EXPECT_EQ(cache.get_or_build(2, [] { return -1; }), 200);
+}
+
+TEST(KeyedRaceCache, FactoryMayRunPoolTasks) {
+  // The reason this cache exists: a factory that itself fans out on the
+  // pool must not deadlock when several lanes miss the same key.
+  KeyedRaceCache<int, long> cache;
+  ThreadPool pool(4);
+  pool.parallel_for(0, 16, [&](std::size_t) {
+    const long value = cache.get_or_build(0, [&] {
+      std::atomic<long> sum{0};
+      pool.parallel_for(0, 100, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i));
+      });
+      return sum.load();
+    });
+    EXPECT_EQ(value, 100L * 99L / 2L);
+  });
+}
+
+TEST(KeyedRaceCache, PairKeysAndMove) {
+  KeyedRaceCache<std::pair<std::int64_t, int>, double> cache;
+  cache.get_or_build({5, 0}, [] { return 1.5; });
+  cache.get_or_build({5, 1}, [] { return 2.5; });
+  KeyedRaceCache<std::pair<std::int64_t, int>, double> moved;
+  moved = std::move(cache);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_DOUBLE_EQ(moved.get_or_build({5, 1}, [] { return -1.0; }), 2.5);
+}
+
+}  // namespace
+}  // namespace ntv::exec

@@ -1,0 +1,131 @@
+// The determinism contract of the parallel engine: every study result is
+// byte-identical for any worker count. These tests drive the real core
+// studies through the global pool at 1 and 8 lanes and compare doubles
+// bit-for-bit (EXPECT_EQ on double is exact equality).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mitigation.h"
+#include "core/variation_study.h"
+#include "device/dist_cache.h"
+#include "device/tech_node.h"
+#include "exec/thread_pool.h"
+#include "stats/bootstrap.h"
+#include "stats/monte_carlo.h"
+
+namespace ntv {
+namespace {
+
+/// Runs `fn` with the global pool at `threads` lanes, restoring the
+/// previous size afterwards.
+template <typename F>
+auto with_global_threads(int threads, F&& fn) {
+  const int before = exec::ThreadPool::global_thread_count();
+  exec::ThreadPool::set_global_thread_count(threads);
+  auto result = fn();
+  exec::ThreadPool::set_global_thread_count(before);
+  return result;
+}
+
+TEST(Determinism, StudyPointsMatchSerialForAnyWorkerCount) {
+  const std::vector<double> vdds = {0.50, 0.55, 0.60, 0.65, 0.70};
+  auto run = [&] {
+    core::VariationStudy study(device::tech_45nm());
+    return study.study_points(vdds, 50);
+  };
+  const auto serial = with_global_threads(1, run);
+  const auto pooled = with_global_threads(8, run);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].vdd, pooled[i].vdd);
+    EXPECT_EQ(serial[i].fo4_delay, pooled[i].fo4_delay);
+    EXPECT_EQ(serial[i].single_pct, pooled[i].single_pct);
+    EXPECT_EQ(serial[i].chain_pct, pooled[i].chain_pct);
+    EXPECT_EQ(serial[i].chain_mean, pooled[i].chain_mean);
+  }
+  // The sweep agrees with the single-point API it fans out.
+  core::VariationStudy study(device::tech_45nm());
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    const auto point = study.study_point(vdds[i], 50);
+    EXPECT_EQ(serial[i].chain_pct, point.chain_pct);
+  }
+}
+
+TEST(Determinism, ChainVariationSweepMatchesPointwiseCalls) {
+  const std::vector<int> lengths = {1, 5, 20, 50, 200};
+  core::VariationStudy study(device::tech_90nm());
+  const auto swept = study.chain_variation_sweep(0.55, lengths);
+  ASSERT_EQ(swept.size(), lengths.size());
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_EQ(swept[i], study.chain_variation_pct(0.55, lengths[i]));
+  }
+}
+
+TEST(Determinism, MitigationSweepsMatchSerialForAnyWorkerCount) {
+  const std::vector<double> vdds = {0.55, 0.60, 0.65};
+  core::MitigationConfig config;
+  config.chip_samples = 2000;  // Keep the MC cost test-sized.
+
+  auto run = [&] {
+    // Fresh study per run: per-instance caches must not leak results
+    // across thread counts for the comparison to be meaningful.
+    core::MitigationStudy study(device::tech_90nm(), config);
+    struct Out {
+      std::vector<core::DuplicationResult> dup;
+      std::vector<core::VoltageMarginResult> vm;
+      std::vector<core::FrequencyMarginResult> fm;
+      std::vector<double> drop;
+    } out;
+    out.dup = study.required_spares_sweep(vdds, 64);
+    out.vm = study.required_voltage_margin_sweep(vdds);
+    out.fm = study.frequency_margin_sweep(vdds);
+    out.drop = study.performance_drop_sweep(vdds);
+    return out;
+  };
+
+  const auto serial = with_global_threads(1, run);
+  const auto pooled = with_global_threads(8, run);
+
+  for (std::size_t i = 0; i < vdds.size(); ++i) {
+    EXPECT_EQ(serial.dup[i].spares, pooled.dup[i].spares);
+    EXPECT_EQ(serial.dup[i].feasible, pooled.dup[i].feasible);
+    EXPECT_EQ(serial.dup[i].area_overhead, pooled.dup[i].area_overhead);
+    EXPECT_EQ(serial.dup[i].power_overhead, pooled.dup[i].power_overhead);
+    EXPECT_EQ(serial.vm[i].margin, pooled.vm[i].margin);
+    EXPECT_EQ(serial.vm[i].feasible, pooled.vm[i].feasible);
+    EXPECT_EQ(serial.vm[i].power_overhead, pooled.vm[i].power_overhead);
+    EXPECT_EQ(serial.fm[i].t_clk, pooled.fm[i].t_clk);
+    EXPECT_EQ(serial.fm[i].t_va_clk, pooled.fm[i].t_va_clk);
+    EXPECT_EQ(serial.fm[i].drop_pct, pooled.fm[i].drop_pct);
+    EXPECT_EQ(serial.drop[i], pooled.drop[i]);
+  }
+}
+
+TEST(Determinism, BootstrapMatchesSerialForAnyWorkerCount) {
+  std::vector<double> sample(500);
+  auto rng = stats::substream(99, 0);
+  for (double& x : sample) x = rng.normal();
+
+  auto run = [&] {
+    return stats::bootstrap_percentile_ci(sample, 99.0, 0.95, 2000);
+  };
+  const auto serial = with_global_threads(1, run);
+  const auto pooled = with_global_threads(8, run);
+  EXPECT_EQ(serial.lo, pooled.lo);
+  EXPECT_EQ(serial.hi, pooled.hi);
+  EXPECT_EQ(serial.point, pooled.point);
+}
+
+TEST(Determinism, DistCacheDeduplicatesAcrossStudies) {
+  device::VariationModel model(device::tech_32nm());
+  const auto a = device::cached_chain_distribution(model, 0.6, 50, {});
+  const auto b = device::cached_chain_distribution(model, 0.6, 50, {});
+  EXPECT_EQ(a.get(), b.get());  // Same shared object, not a rebuild.
+  const auto c = device::cached_chain_distribution(model, 0.6, 49, {});
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_GE(device::distribution_cache_size(), 2u);
+}
+
+}  // namespace
+}  // namespace ntv

@@ -1,0 +1,131 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ntv::exec {
+namespace {
+
+TEST(ResolvedWorkerThreads, ExplicitRequestWinsWithoutCeiling) {
+  EXPECT_EQ(resolved_worker_threads(1), 1);
+  EXPECT_EQ(resolved_worker_threads(4), 4);
+  // The old Monte Carlo runner clamped to 16; the pool must not.
+  EXPECT_EQ(resolved_worker_threads(33), 33);
+}
+
+TEST(ResolvedWorkerThreads, EnvFallbackThenHardware) {
+  ::setenv("NTV_THREADS", "5", 1);
+  EXPECT_EQ(resolved_worker_threads(0), 5);
+  ::setenv("NTV_THREADS", "not-a-number", 1);
+  EXPECT_GE(resolved_worker_threads(0), 1);
+  ::unsetenv("NTV_THREADS");
+  EXPECT_GE(resolved_worker_threads(0), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, GrainedLoopCoversRaggedTail) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  // 103 items, grain 10 -> 11 chunks with a short tail chunk.
+  pool.parallel_for(
+      0, 103, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); },
+      /*grain=*/10);
+  EXPECT_EQ(sum.load(), 103L * 102L / 2L);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<int> order;
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // Unsynchronized: must be serial.
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  auto future = pool.async([] { return 7; });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesAfterDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, AsyncReturnsValuesFromWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, TaskCountIndependentOfWorkerCount) {
+  // The exec.tasks counter must be a function of (n, grain) only — the
+  // observable face of seed-stable scheduling.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    const std::int64_t before = obs::counter("exec.tasks").value();
+    pool.parallel_for(0, 100, [](std::size_t) {}, /*grain=*/7);
+    return obs::counter("exec.tasks").value() - before;
+  };
+  const std::int64_t with2 = run(2);
+  const std::int64_t with8 = run(8);
+  EXPECT_EQ(with2, with8);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  const int before = ThreadPool::global_thread_count();
+  ThreadPool::set_global_thread_count(3);
+  EXPECT_EQ(ThreadPool::global_thread_count(), 3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3);
+  ThreadPool::set_global_thread_count(before);
+  EXPECT_EQ(ThreadPool::global_thread_count(), before);
+}
+
+}  // namespace
+}  // namespace ntv::exec

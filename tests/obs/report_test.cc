@@ -17,6 +17,7 @@ RunManifest example_manifest() {
   m.command = "study";
   m.seed = 0x5EED0FD1EULL;
   m.threads = 8;
+  m.threads_requested = 2;
   m.tech_node = "90nm GP";
   m.vdd_grid = {0.5, 0.55};
   return m;
@@ -30,6 +31,7 @@ TEST(ReportTest, ManifestSerializesEveryField) {
   EXPECT_NE(doc.find("\"command\":\"study\""), std::string::npos);
   EXPECT_NE(doc.find("\"seed\":25481510174"), std::string::npos);
   EXPECT_NE(doc.find("\"threads\":8"), std::string::npos);
+  EXPECT_NE(doc.find("\"threads_requested\":2"), std::string::npos);
   EXPECT_NE(doc.find("\"tech_node\":\"90nm GP\""), std::string::npos);
   EXPECT_NE(doc.find("\"vdd_grid\":[0.5,0.55]"), std::string::npos);
   EXPECT_NE(doc.find("\"build_type\":"), std::string::npos);

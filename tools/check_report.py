@@ -4,6 +4,7 @@
 Usage:
   check_report.py REPORT.json [--min-counters N] [--no-schema]
                   [--range DOTTED.PATH LO HI]...
+                  [--diff-results OTHER.json]...
 
 Checks, in order:
   1. the file parses as JSON;
@@ -13,7 +14,14 @@ Checks, in order:
   3. metrics.counters has at least --min-counters distinct entries;
   4. every --range PATH LO HI triple: the number at the dotted PATH lies
      in [LO, HI].  PATH is rooted at the document, e.g.
-     "results.mc.chain_pct" or "results.values.chain_pct_90nm_1.00V".
+     "results.mc.chain_pct" or "results.values.chain_pct_90nm_1.00V";
+  5. every --diff-results OTHER.json: the "results" section of OTHER is
+     byte-for-byte equal to this report's.  This is the determinism gate
+     for the parallel engine — reports produced with the same seed at
+     different --threads counts must have identical results (manifests
+     legitimately differ in threads/threads_requested, and metrics in
+     timers, so only "results" is compared; the top-level "phases"
+     subtree of bench reports is wall-clock and is skipped too).
 
 Exits 0 when every check passes, 1 otherwise (one line per failure).
 """
@@ -40,12 +48,37 @@ def lookup(doc, path):
     return walk(doc, path.split("."))
 
 
+def diff_paths(a, b, prefix="results"):
+    """Recursively lists dotted paths where a and b disagree."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        paths = []
+        for key in sorted(set(a) | set(b)):
+            here = f"{prefix}.{key}"
+            if key not in a:
+                paths.append(f"{here} only in second report")
+            elif key not in b:
+                paths.append(f"{here} only in first report")
+            else:
+                paths.extend(diff_paths(a[key], b[key], here))
+        return paths
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return [f"{prefix}: length {len(a)} != {len(b)}"]
+        paths = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            paths.extend(diff_paths(x, y, f"{prefix}[{i}]"))
+        return paths
+    if a != b:
+        return [f"{prefix}: {a!r} != {b!r}"]
+    return []
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
         return 2
     path, args = argv[1], argv[2:]
-    check_schema, min_counters, ranges = True, 0, []
+    check_schema, min_counters, ranges, diff_against = True, 0, [], []
     i = 0
     while i < len(args):
         if args[i] == "--no-schema":
@@ -57,6 +90,9 @@ def main(argv):
         elif args[i] == "--range":
             ranges.append((args[i + 1], float(args[i + 2]), float(args[i + 3])))
             i += 4
+        elif args[i] == "--diff-results":
+            diff_against.append(args[i + 1])
+            i += 2
         else:
             print(f"check_report: unknown argument {args[i]!r}")
             return 2
@@ -90,12 +126,26 @@ def main(argv):
             continue
         if not isinstance(value, (int, float)) or not (lo <= value <= hi):
             errors.append(f"range: {dotted}={value} outside [{lo}, {hi}]")
+    for other_path in diff_against:
+        try:
+            with open(other_path) as f:
+                other = json.load(f)
+        except (OSError, ValueError) as e:
+            errors.append(f"diff: {other_path} not readable JSON ({e})")
+            continue
+        mine, theirs = doc.get("results"), other.get("results")
+        if isinstance(mine, dict) and isinstance(theirs, dict):
+            # results.phases is bench wall clock — timing, not numbers.
+            mine = {k: v for k, v in mine.items() if k != "phases"}
+            theirs = {k: v for k, v in theirs.items() if k != "phases"}
+        for where in diff_paths(mine, theirs):
+            errors.append(f"diff vs {other_path}: {where}")
 
     for err in errors:
         print(f"FAIL {path}: {err}")
     if not errors:
         print(f"OK {path}: schema={'on' if check_schema else 'off'}, "
-              f"{len(ranges)} range check(s)")
+              f"{len(ranges)} range check(s), {len(diff_against)} diff(s)")
     return 1 if errors else 0
 
 

@@ -17,6 +17,9 @@
 //   --quiet                suppress the human-readable stdout
 //   --seed <n>             Monte Carlo base seed (default 0x5EED0FD1E)
 //   --samples <n>          MC cross-check sample count for `study`
+//   --threads <n>          thread-pool size (0 = $NTV_THREADS or all
+//                          hardware threads; results are identical for
+//                          any value — see docs/PARALLELISM.md)
 //
 // <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
 // (quote it). Voltages in volts, clock periods in nanoseconds.
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "core/body_bias.h"
+#include "exec/thread_pool.h"
 #include "core/mitigation.h"
 #include "core/operating_point.h"
 #include "core/variation_study.h"
@@ -36,7 +40,6 @@
 #include "energy/energy_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
-#include "stats/monte_carlo.h"
 
 namespace {
 
@@ -51,6 +54,7 @@ struct Ctx {
   obs::JsonWriter results;
   std::uint64_t seed = 0x5EED0FD1EULL;
   std::size_t samples = 2000;
+  int threads_requested = 0;
   std::string node_name;
   std::vector<double> vdd_grid;
 
@@ -71,7 +75,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: ntvsim [--report <file.json>] [--quiet] [--seed <n>]\n"
-      "              [--samples <n>] <command> [...]\n"
+      "              [--samples <n>] [--threads <n>] <command> [...]\n"
       "  nodes                         list technology nodes\n"
       "  study    <node> [vdd]         gate/chain delay variation\n"
       "  drop     <node> <vdd>         128-wide performance drop\n"
@@ -374,6 +378,15 @@ bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
         return false;
       }
       ctx.samples = static_cast<std::size_t>(n);
+    } else if (std::strcmp(a, "--threads") == 0) {
+      if (!next_value(&value)) return false;
+      char* end = nullptr;
+      const long n = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "ntvsim: bad --threads value '%s'\n", value);
+        return false;
+      }
+      ctx.threads_requested = static_cast<int>(n);
     } else {
       kept.push_back(args[i]);
     }
@@ -421,6 +434,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::vector<char*> args(argv, argv + argc);
   if (!parse_global_flags(args, ctx, report_path)) return usage();
+  exec::ThreadPool::set_global_thread_count(ctx.threads_requested);
 
   int rc = 2;
   try {
@@ -442,7 +456,8 @@ int main(int argc, char** argv) {
     manifest.tool = "ntvsim";
     manifest.command = args.size() > 1 ? args[1] : "";
     manifest.seed = ctx.seed;
-    manifest.threads = stats::resolved_thread_count();
+    manifest.threads = exec::ThreadPool::global_thread_count();
+    manifest.threads_requested = ctx.threads_requested;
     manifest.tech_node = ctx.node_name;
     manifest.vdd_grid = ctx.vdd_grid;
     const std::string& fragment = ctx.results.str();
