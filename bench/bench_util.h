@@ -10,10 +10,14 @@
 //   --threads <n>        size the shared thread pool (0 = $NTV_THREADS or
 //                        all hardware threads); recorded numbers are
 //                        identical for any value
+//   --repeat <n>         run the timed artifact phase n times (default 1)
+//                        and report min/median wall-clock in the manifest;
+//                        use with --report for stable perf comparisons
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdint>
@@ -59,10 +63,13 @@ inline void record(const std::string& name, double value) {
   recorded_values()[name] = value;
 }
 
-/// Writes the BENCH_<name>.json run report.
+/// Writes the BENCH_<name>.json run report. `artifact_rep_ns` holds one
+/// wall-clock measurement per --repeat run of the artifact phase;
+/// results.phases reports the min (as artifact_ns, the number CI
+/// compares) plus the median and the repeat count.
 inline bool write_bench_report(const std::string& path,
                                const std::string& tool,
-                               std::int64_t artifact_ns,
+                               std::vector<std::int64_t> artifact_rep_ns,
                                std::int64_t benchmark_ns,
                                int threads_requested = 0) {
   obs::RunManifest manifest;
@@ -78,8 +85,14 @@ inline bool write_bench_report(const std::string& path,
       w.key(name).value(value);
     }
     w.end_object();
+    std::sort(artifact_rep_ns.begin(), artifact_rep_ns.end());
+    const std::size_t reps = artifact_rep_ns.size();
+    const std::int64_t min_ns = reps ? artifact_rep_ns.front() : 0;
+    const std::int64_t median_ns = reps ? artifact_rep_ns[reps / 2] : 0;
     w.key("phases").begin_object();
-    w.key("artifact_ns").value(artifact_ns);
+    w.key("artifact_ns").value(min_ns);
+    w.key("artifact_median_ns").value(median_ns);
+    w.key("artifact_reps").value(static_cast<std::int64_t>(reps));
     w.key("benchmark_ns").value(benchmark_ns);
     w.end_object();
     w.end_object();
@@ -104,6 +117,7 @@ inline int run_bench_main(int argc, char** argv,
   bool artifact_only = false;
   bool has_min_time = false;
   int threads_requested = 0;
+  int repeat = 1;
   std::string report_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -120,6 +134,10 @@ inline int run_bench_main(int argc, char** argv,
       threads_requested = std::atoi(argv[++i]);
       continue;
     }
+    if (i > 0 && std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[++i]));
+      continue;
+    }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
       has_min_time = true;
     }
@@ -130,12 +148,18 @@ inline int run_bench_main(int argc, char** argv,
   const char* slash = std::strrchr(argv[0], '/');
   const std::string tool = slash ? slash + 1 : argv[0];
 
-  const auto artifact_start = Clock::now();
-  {
-    obs::ScopedTimer timer(obs::timer("bench.artifact"));
-    print_artifact();
+  // Repeats rerun only the timed phase; record() keys are overwritten
+  // with identical values, so results.values are repeat-invariant.
+  std::vector<std::int64_t> artifact_rep_ns;
+  artifact_rep_ns.reserve(static_cast<std::size_t>(repeat));
+  for (int rep = 0; rep < repeat; ++rep) {
+    const auto artifact_start = Clock::now();
+    {
+      obs::ScopedTimer timer(obs::timer("bench.artifact"));
+      print_artifact();
+    }
+    artifact_rep_ns.push_back(ns_since(artifact_start));
   }
-  const std::int64_t artifact_ns = ns_since(artifact_start);
 
   std::int64_t benchmark_ns = 0;
   if (!artifact_only) {
@@ -150,8 +174,8 @@ inline int run_bench_main(int argc, char** argv,
   }
 
   if (!report_path.empty() &&
-      !write_bench_report(report_path, tool, artifact_ns, benchmark_ns,
-                          threads_requested)) {
+      !write_bench_report(report_path, tool, std::move(artifact_rep_ns),
+                          benchmark_ns, threads_requested)) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",
                  report_path.c_str());
     return 1;

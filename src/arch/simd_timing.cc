@@ -26,6 +26,20 @@ ChipDelaySampler::ChipDelaySampler(const device::VariationModel& model,
     throw std::invalid_argument("ChipDelaySampler: invalid TimingConfig");
 }
 
+namespace {
+
+/// Per-thread uniform-draw scratch for the batched sampling kernels. One
+/// buffer per worker, grown once to the widest row ever sampled — no
+/// per-sample (or per-row, after warmup) heap allocation in the MC inner
+/// loops.
+std::vector<double>& uniform_scratch(std::size_t n) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+}  // namespace
+
 void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
                                     std::span<double> lanes) const {
   double scale = 1.0;
@@ -33,8 +47,14 @@ void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
     const device::DieState die = model_->sample_die(rng);
     scale = model_->die_scale(vdd_, die);
   }
-  for (double& lane : lanes) {
-    lane = scale * chain_->max_quantile(rng.uniform(), config_.paths_per_lane);
+  // Draw every lane uniform up front (same RNG order as the old per-lane
+  // round trip), then run one batched inverse-CDF pass over the row.
+  std::vector<double>& u = uniform_scratch(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) u[i] = rng.uniform();
+  chain_->max_quantile_batch(std::span<const double>(u.data(), lanes.size()),
+                             config_.paths_per_lane, lanes);
+  if (scale != 1.0) {
+    for (double& lane : lanes) lane = scale * lane;
   }
 }
 
@@ -55,11 +75,15 @@ double ChipDelaySampler::sample_chip_delay(stats::Xoshiro256pp& rng,
     const device::DieState die = model_->sample_die(rng);
     scale = model_->die_scale(vdd_, die);
   }
+  const auto n = static_cast<std::size_t>(width);
+  std::vector<double>& u = uniform_scratch(2 * n);
+  double* q = u.data() + n;  // Quantile outputs share the scratch buffer.
+  for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform();
+  chain_->max_quantile_batch(std::span<const double>(u.data(), n),
+                             config_.paths_per_lane,
+                             std::span<double>(q, n));
   double worst = 0.0;
-  for (int i = 0; i < width; ++i) {
-    worst = std::max(
-        worst, chain_->max_quantile(rng.uniform(), config_.paths_per_lane));
-  }
+  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, q[i]);
   return scale * worst;
 }
 
@@ -67,25 +91,55 @@ std::vector<double> ChipDelaySampler::chip_delay_curve(
     std::span<const double> lanes, int width) {
   if (width < 1 || static_cast<std::size_t>(width) > lanes.size())
     throw std::invalid_argument("chip_delay_curve: bad width");
+  std::vector<double> curve(lanes.size() - static_cast<std::size_t>(width) +
+                            1);
+  chip_delay_curve_into(lanes, width, curve);
+  return curve;
+}
+
+namespace {
+
+/// Replaces the root of a max-heap with `v` in ONE sift-down pass.
+/// std::pop_heap + push_heap costs two full log-depth passes per
+/// replacement; this is the classic replace-top, and the heap holds the
+/// same SET of values either way, so the curve below is unchanged.
+void heap_replace_top(double* h, std::size_t n, double v) {
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && h[child] < h[child + 1]) ++child;
+    if (h[child] <= v) break;
+    h[i] = h[child];
+    i = child;
+  }
+  h[i] = v;
+}
+
+}  // namespace
+
+void ChipDelaySampler::chip_delay_curve_into(std::span<const double> lanes,
+                                             int width,
+                                             std::span<double> out) {
+  if (width < 1 || static_cast<std::size_t>(width) > lanes.size())
+    throw std::invalid_argument("chip_delay_curve: bad width");
+  const std::size_t w = static_cast<std::size_t>(width);
+  if (out.size() != lanes.size() - w + 1)
+    throw std::invalid_argument("chip_delay_curve_into: bad out size");
+
   // Max-heap of the `width` smallest lane delays seen so far; its top is
   // the chip delay of the current prefix.
-  std::vector<double> heap(lanes.begin(),
-                           lanes.begin() + width);
+  thread_local std::vector<double> heap;
+  heap.assign(lanes.begin(), lanes.begin() + width);
   std::make_heap(heap.begin(), heap.end());
 
-  std::vector<double> curve;
-  curve.reserve(lanes.size() - static_cast<std::size_t>(width) + 1);
-  curve.push_back(heap.front());
-  for (std::size_t i = static_cast<std::size_t>(width); i < lanes.size();
-       ++i) {
+  out[0] = heap.front();
+  for (std::size_t i = w; i < lanes.size(); ++i) {
     if (lanes[i] < heap.front()) {
-      std::pop_heap(heap.begin(), heap.end());
-      heap.back() = lanes[i];
-      std::push_heap(heap.begin(), heap.end());
+      heap_replace_top(heap.data(), w, lanes[i]);
     }
-    curve.push_back(heap.front());
+    out[i - w + 1] = heap.front();
   }
-  return curve;
 }
 
 double ChipDelaySampler::sample_path_delay(stats::Xoshiro256pp& rng) const {

@@ -14,7 +14,11 @@
 // memoized process-wide (device/dist_cache.h) and a lane's max-of-k draw
 // is one inverse-CDF evaluation, Q(u^(1/k)). Samplers at the same
 // (node, Vdd, config) therefore share one immutable distribution instead
-// of re-running the quadrature + FFT build.
+// of re-running the quadrature + FFT build. Row sampling is batched: all
+// lane uniforms are drawn into a per-thread scratch buffer first, then
+// one max_quantile_batch pass (guide-table accelerated, O(1) per lane)
+// fills the row — byte-identical to the old per-lane round trip, with no
+// inner-loop allocation (see docs/PERF.md).
 #pragma once
 
 #include <memory>
@@ -77,6 +81,13 @@ class ChipDelaySampler {
   /// prefix. Runs in O(n log width) with a max-heap over the prefix.
   static std::vector<double> chip_delay_curve(std::span<const double> lanes,
                                               int width);
+
+  /// Allocation-free chip_delay_curve: writes the curve into `out`
+  /// (size lanes.size() - width + 1) using a per-thread heap scratch.
+  /// The per-chip extraction loops call this once per Monte Carlo row,
+  /// so the returning-vector overload would allocate per sample.
+  static void chip_delay_curve_into(std::span<const double> lanes, int width,
+                                    std::span<double> out);
 
   /// One critical-path delay sample (chain of chain_stages), including the
   /// die-systematic factor — the paper's Fig. 1(b)/Fig. 3 "critical path".

@@ -72,16 +72,28 @@ void SpatialChipSampler::sample_lane_shifts(stats::Xoshiro256pp& rng,
 
 void SpatialChipSampler::sample_lanes(stats::Xoshiro256pp& rng,
                                       std::span<double> lanes) const {
-  std::vector<double> shifts(lanes.size());
+  // Per-thread scratch (shifts + uniforms in one buffer): chips are
+  // sampled by the MC row loop, so a per-call allocation here would be a
+  // per-sample allocation there.
+  const std::size_t n = lanes.size();
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < 2 * n) scratch.resize(2 * n);
+  const std::span<double> shifts(scratch.data(), n);
+  double* u = scratch.data() + n;
+
   sample_lane_shifts(rng, shifts);
   // The drive-systematic part has no published spatial structure; keep it
   // die-wide as in the shared-die model.
   const double mult =
       1.0 + rng.normal(0.0, model_->params().sigma_mult_sys);
-  for (std::size_t i = 0; i < lanes.size(); ++i) {
+  // Same RNG order as the old per-lane loop: all uniforms are consumed
+  // lane-by-lane, just hoisted ahead of the batched inverse-CDF pass.
+  for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform();
+  chain_->max_quantile_batch(std::span<const double>(u, n),
+                             config_.timing.paths_per_lane, lanes);
+  for (std::size_t i = 0; i < n; ++i) {
     const double scale = mult * std::exp(sensitivity_ * shifts[i]);
-    lanes[i] = scale * chain_->max_quantile(
-                           rng.uniform(), config_.timing.paths_per_lane);
+    lanes[i] = scale * lanes[i];
   }
 }
 

@@ -17,11 +17,9 @@ bool lu_solve(DenseMatrix& a, std::vector<double>& b) {
   if (a.cols() != n || b.size() != n)
     throw std::invalid_argument("lu_solve: dimension mismatch");
 
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-
   for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivoting.
+    // Partial pivoting. Row swaps are applied to b eagerly, so no
+    // permutation vector needs to be kept.
     std::size_t pivot = k;
     double best = std::abs(a.at(k, k));
     for (std::size_t i = k + 1; i < n; ++i) {

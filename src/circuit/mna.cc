@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ntv::circuit {
 
 namespace {
@@ -64,95 +66,219 @@ double MnaSystem::mosfet_current(const Mosfet& m,
   return sign * m.width * m.drive_mult * drive_scale_ * f * t;
 }
 
-void MnaSystem::assemble(const std::vector<double>& x, double t,
-                         const std::vector<CapCompanion>& caps, double gmin,
-                         DenseMatrix& g, std::vector<double>& b) const {
-  g.clear();
-  for (auto& v : b) v = 0.0;
+void MnaSystem::refresh_base(const std::vector<CapCompanion>& caps,
+                             double gmin) const {
+  // Validity check: same gmin and same companion conductances as the
+  // cached base. geq changes only when the timestep (or the cap set)
+  // changes, so a whole transient re-stamps the linear pattern once.
+  if (base_valid_ && base_gmin_ == gmin &&
+      base_geq_.size() == caps.size()) {
+    bool same = true;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      if (base_geq_[i] != caps[i].geq) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return;
+  }
+  obs::counter("circuit.newton.base_restamps").increment();
 
+  if (base_g_.rows() != dim_) base_g_ = DenseMatrix(dim_, dim_);
+  base_g_.clear();
   auto stamp_g = [&](NodeId a, NodeId nb, double cond) {
-    if (a != kGround) g.at(a - 1, a - 1) += cond;
-    if (nb != kGround) g.at(nb - 1, nb - 1) += cond;
+    if (a != kGround) base_g_.at(a - 1, a - 1) += cond;
+    if (nb != kGround) base_g_.at(nb - 1, nb - 1) += cond;
     if (a != kGround && nb != kGround) {
-      g.at(a - 1, nb - 1) -= cond;
-      g.at(nb - 1, a - 1) -= cond;
+      base_g_.at(a - 1, nb - 1) -= cond;
+      base_g_.at(nb - 1, a - 1) -= cond;
     }
   };
-  auto stamp_i = [&](NodeId into, double amps) {
-    if (into != kGround) b[into - 1] += amps;
-  };
 
-  for (std::size_t n = 0; n < nodes_; ++n) g.at(n, n) += gmin;
-
+  for (std::size_t n = 0; n < nodes_; ++n) base_g_.at(n, n) += gmin;
   for (const auto& r : nl_->resistors()) stamp_g(r.a, r.b, 1.0 / r.ohms);
-
-  // Capacitors: trapezoidal companion (conductance + current source).
   if (!caps.empty()) {
     for (std::size_t i = 0; i < nl_->capacitors().size(); ++i) {
-      const auto& c = nl_->capacitors()[i];
-      const auto& comp = caps[i];
-      stamp_g(c.a, c.b, comp.geq);
-      stamp_i(c.a, comp.ieq);
-      stamp_i(c.b, -comp.ieq);
+      stamp_g(nl_->capacitors()[i].a, nl_->capacitors()[i].b, caps[i].geq);
     }
   }
-
-  // Voltage sources: extra branch-current unknowns.
   for (std::size_t k = 0; k < nl_->vsources().size(); ++k) {
     const auto& src = nl_->vsources()[k];
     const std::size_t row = nodes_ + k;
     if (src.pos != kGround) {
-      g.at(src.pos - 1, row) += 1.0;
-      g.at(row, src.pos - 1) += 1.0;
+      base_g_.at(src.pos - 1, row) += 1.0;
+      base_g_.at(row, src.pos - 1) += 1.0;
     }
     if (src.neg != kGround) {
-      g.at(src.neg - 1, row) -= 1.0;
-      g.at(row, src.neg - 1) -= 1.0;
+      base_g_.at(src.neg - 1, row) -= 1.0;
+      base_g_.at(row, src.neg - 1) -= 1.0;
     }
-    b[row] = src.value(t);
   }
 
-  // MOSFETs: numeric linearization (central differences). The circuits
-  // are tiny, so the extra evaluations are irrelevant and this keeps the
-  // device model trivially consistent with mosfet_current().
+  base_gmin_ = gmin;
+  base_geq_.resize(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) base_geq_[i] = caps[i].geq;
+  base_valid_ = true;
+}
+
+void MnaSystem::stamp_mosfet_analytic(const Mosfet& m,
+                                      const std::vector<double>& x,
+                                      DenseMatrix& g,
+                                      std::vector<double>& b) const {
+  const double vd = volt(x, m.drain);
+  const double vg = volt(x, m.gate);
+  const double vs = volt(x, m.source);
+
+  // Same normalization as mosfet_current(); see there for conventions.
+  double vgs, vds, sign;
+  if (m.type == MosType::kNmos) {
+    vgs = vg - vs;
+    vds = vd - vs;
+    sign = 1.0;
+  } else {
+    vgs = vs - vg;
+    vds = vs - vd;
+    sign = -1.0;
+  }
+
+  const double vth = nl_->tech().vth0 + m.dvth;
+  const double alpha = nl_->tech().alpha;
+  const double c = transistor_.two_n_vt();
+  const double a = (vgs - vth) / c;
+  const double sp = device::softplus(a);
+  const double f = std::pow(sp, alpha);
+  const double t = std::tanh(vds / kVsat);
+  const double k = m.width * m.drive_mult * drive_scale_;
+  const double i0 = sign * k * f * t;
+
+  // Partials wrt the normalized (vgs, vds) pair:
+  //   dI/dvgs = sign*k * alpha*sp^(alpha-1)*sigmoid(a)/c * tanh
+  //   dI/dvds = sign*k * f * (1 - tanh^2)/vsat
+  const double df_dvgs =
+      alpha * std::pow(sp, alpha - 1.0) * device::sigmoid(a) / c;
+  const double di_dvgs = sign * k * df_dvgs * t;
+  const double di_dvds = sign * k * f * (1.0 - t * t) / kVsat;
+
+  // Chain rule back to terminal voltages. For NMOS vgs = Vg - Vs and
+  // vds = Vd - Vs; PMOS flips both signs.
+  const double pol = (m.type == MosType::kNmos) ? 1.0 : -1.0;
+  const double di_dvd_term = pol * di_dvds;
+  const double di_dvg_term = pol * di_dvgs;
+  const double di_dvs_term = -pol * (di_dvgs + di_dvds);
+
+  // Per-NODE conductances, matching the numeric didv(node) semantics:
+  // a node shared by several terminals (diode-connected gate, etc.) sums
+  // the partials of every terminal it backs.
+  auto didv = [&](NodeId node) {
+    if (node == kGround) return 0.0;
+    double d = 0.0;
+    if (node == m.drain) d += di_dvd_term;
+    if (node == m.gate) d += di_dvg_term;
+    if (node == m.source) d += di_dvs_term;
+    return d;
+  };
+  const double gd = didv(m.drain);
+  const double gg = didv(m.gate);
+  const double gs = didv(m.source);
+
+  // Linearized drain current: i(v) = i0 + gd*(Vd-vd) + gg*(Vg-vg) + ...
+  const double ieq = i0 - gd * vd - gg * vg - gs * vs;
+
+  // Current i flows INTO the drain terminal and out of the source.
+  if (m.drain != kGround) {
+    g.at(m.drain - 1, m.drain - 1) += gd;
+    if (m.gate != kGround) g.at(m.drain - 1, m.gate - 1) += gg;
+    if (m.source != kGround) g.at(m.drain - 1, m.source - 1) += gs;
+    b[m.drain - 1] -= ieq;
+  }
+  if (m.source != kGround) {
+    g.at(m.source - 1, m.source - 1) -= gs;
+    if (m.gate != kGround) g.at(m.source - 1, m.gate - 1) -= gg;
+    if (m.drain != kGround) g.at(m.source - 1, m.drain - 1) -= gd;
+    b[m.source - 1] += ieq;
+  }
+}
+
+void MnaSystem::stamp_mosfet_numeric(const Mosfet& m,
+                                     const std::vector<double>& x,
+                                     DenseMatrix& g,
+                                     std::vector<double>& b) const {
   constexpr double kDv = 1e-6;
-  for (const auto& m : nl_->mosfets()) {
-    const double i0 = mosfet_current(m, x);
+  const double i0 = mosfet_current(m, x);
 
-    auto didv = [&](NodeId node) {
-      if (node == kGround) return 0.0;
-      std::vector<double> xp = x;
-      xp[node - 1] += kDv;
-      const double ip = mosfet_current(m, xp);
-      xp[node - 1] -= 2.0 * kDv;
-      const double im = mosfet_current(m, xp);
-      return (ip - im) / (2.0 * kDv);
-    };
+  // Central differences on a persistent scratch copy of the state (the
+  // old implementation copied the whole vector once per terminal).
+  diff_scratch_ = x;
+  auto didv = [&](NodeId node) {
+    if (node == kGround) return 0.0;
+    const double saved = diff_scratch_[node - 1];
+    diff_scratch_[node - 1] = saved + kDv;
+    const double ip = mosfet_current(m, diff_scratch_);
+    diff_scratch_[node - 1] = saved - kDv;
+    const double im = mosfet_current(m, diff_scratch_);
+    diff_scratch_[node - 1] = saved;
+    return (ip - im) / (2.0 * kDv);
+  };
 
-    const double gd = didv(m.drain);
-    const double gg = didv(m.gate);
-    const double gs = didv(m.source);
+  const double gd = didv(m.drain);
+  const double gg = didv(m.gate);
+  const double gs = didv(m.source);
 
-    const double vd = volt(x, m.drain);
-    const double vg = volt(x, m.gate);
-    const double vs = volt(x, m.source);
-    // Linearized drain current: i(v) = i0 + gd*(Vd-vd) + gg*(Vg-vg) + ...
-    const double ieq = i0 - gd * vd - gg * vg - gs * vs;
+  const double vd = volt(x, m.drain);
+  const double vg = volt(x, m.gate);
+  const double vs = volt(x, m.source);
+  // Linearized drain current: i(v) = i0 + gd*(Vd-vd) + gg*(Vg-vg) + ...
+  const double ieq = i0 - gd * vd - gg * vg - gs * vs;
 
-    // Current i flows INTO the drain terminal and out of the source.
-    if (m.drain != kGround) {
-      g.at(m.drain - 1, m.drain - 1) += gd;
-      if (m.gate != kGround) g.at(m.drain - 1, m.gate - 1) += gg;
-      if (m.source != kGround) g.at(m.drain - 1, m.source - 1) += gs;
-      b[m.drain - 1] -= ieq;
-    }
-    if (m.source != kGround) {
-      g.at(m.source - 1, m.source - 1) -= gs;
-      if (m.gate != kGround) g.at(m.source - 1, m.gate - 1) -= gg;
-      if (m.drain != kGround) g.at(m.source - 1, m.drain - 1) -= gd;
-      b[m.source - 1] += ieq;
+  // Current i flows INTO the drain terminal and out of the source.
+  if (m.drain != kGround) {
+    g.at(m.drain - 1, m.drain - 1) += gd;
+    if (m.gate != kGround) g.at(m.drain - 1, m.gate - 1) += gg;
+    if (m.source != kGround) g.at(m.drain - 1, m.source - 1) += gs;
+    b[m.drain - 1] -= ieq;
+  }
+  if (m.source != kGround) {
+    g.at(m.source - 1, m.source - 1) -= gs;
+    if (m.gate != kGround) g.at(m.source - 1, m.gate - 1) -= gg;
+    if (m.drain != kGround) g.at(m.source - 1, m.drain - 1) -= gd;
+    b[m.source - 1] += ieq;
+  }
+}
+
+void MnaSystem::assemble(const std::vector<double>& x, double t,
+                         const std::vector<CapCompanion>& caps, double gmin,
+                         DenseMatrix& g, std::vector<double>& b) const {
+  static obs::Counter& assemble_ns = obs::counter("circuit.newton.assemble_ns");
+  obs::ScopedTimer timer_scope(obs::timer("circuit.newton.assemble"));
+
+  // Linear pattern: copied from the cache, not re-stamped.
+  refresh_base(caps, gmin);
+  g = base_g_;
+  for (auto& v : b) v = 0.0;
+
+  // Time-dependent and state-dependent right-hand side entries.
+  if (!caps.empty()) {
+    for (std::size_t i = 0; i < nl_->capacitors().size(); ++i) {
+      const auto& c = nl_->capacitors()[i];
+      const double ieq = caps[i].ieq;
+      if (c.a != kGround) b[c.a - 1] += ieq;
+      if (c.b != kGround) b[c.b - 1] -= ieq;
     }
   }
+  for (std::size_t k = 0; k < nl_->vsources().size(); ++k) {
+    b[nodes_ + k] = nl_->vsources()[k].value(t);
+  }
+
+  // MOSFETs: the only iterate-dependent matrix stamps.
+  for (const auto& m : nl_->mosfets()) {
+    if (jacobian_ == JacobianMode::kAnalytic) {
+      stamp_mosfet_analytic(m, x, g, b);
+    } else {
+      stamp_mosfet_numeric(m, x, g, b);
+    }
+  }
+
+  assemble_ns.add(timer_scope.elapsed_ns());
 }
 
 }  // namespace ntv::circuit

@@ -20,7 +20,31 @@ struct CapCompanion {
   double ieq = 0.0;  ///< geq*v_prev + i_prev.
 };
 
+/// How the MOSFET stamps are linearized around the Newton iterate.
+enum class JacobianMode {
+  /// Closed-form partial derivatives of the softplus^alpha * tanh device
+  /// model — one current evaluation per device per iteration. The
+  /// default and the fast path.
+  kAnalytic,
+  /// Central differences of mosfet_current() (the original
+  /// implementation, kept as the reference the device-model tests compare
+  /// the analytic stamps against). Uses a persistent scratch vector, not
+  /// a per-terminal copy of the state.
+  kNumeric,
+};
+
 /// Assembles and evaluates the MNA system for one netlist.
+///
+/// The linear, iterate-independent stamps (gmin diagonal, resistors,
+/// voltage-source incidence, capacitor companion conductances) are cached
+/// in a base matrix and re-stamped only when gmin or the companion
+/// conductances change (DC gmin stepping, a new timestep size); each
+/// Newton iteration copies the base and adds only the nonlinear MOSFET
+/// stamps and the time-dependent right-hand side.
+///
+/// Not thread-safe per instance (the stamp cache and numeric-diff scratch
+/// are reused across calls); use one MnaSystem per concurrent solve, as
+/// the simulator does.
 class MnaSystem {
  public:
   explicit MnaSystem(const Netlist& netlist);
@@ -37,6 +61,10 @@ class MnaSystem {
                 const std::vector<CapCompanion>& caps, double gmin,
                 DenseMatrix& g, std::vector<double>& b) const;
 
+  /// Selects the MOSFET linearization (default: analytic).
+  void set_jacobian_mode(JacobianMode mode) noexcept { jacobian_ = mode; }
+  JacobianMode jacobian_mode() const noexcept { return jacobian_; }
+
   /// Drain current flowing into the MOSFET's drain terminal, given node
   /// voltages of the iterate. Exposed for power/leakage queries and tests.
   double mosfet_current(const Mosfet& m, const std::vector<double>& x) const;
@@ -46,11 +74,30 @@ class MnaSystem {
     return n == kGround ? 0.0 : x[n - 1];
   }
 
+  /// Rebuilds base_g_ when gmin or the companion conductances changed.
+  void refresh_base(const std::vector<CapCompanion>& caps, double gmin) const;
+
+  /// Adds one MOSFET's linearized stamps to (g, b).
+  void stamp_mosfet_analytic(const Mosfet& m, const std::vector<double>& x,
+                             DenseMatrix& g, std::vector<double>& b) const;
+  void stamp_mosfet_numeric(const Mosfet& m, const std::vector<double>& x,
+                            DenseMatrix& g, std::vector<double>& b) const;
+
   const Netlist* nl_;
   device::TransistorModel transistor_;
   std::size_t nodes_;
   std::size_t dim_;
   double drive_scale_;  ///< Per-node ampere scale, see mna.cc.
+  JacobianMode jacobian_ = JacobianMode::kAnalytic;
+
+  /// Cached linear stamps: gmin + resistors + vsource incidence + cap
+  /// companion conductances, valid while (base_gmin_, base_geq_) match.
+  mutable DenseMatrix base_g_;
+  mutable double base_gmin_ = -1.0;
+  mutable std::vector<double> base_geq_;
+  mutable bool base_valid_ = false;
+  /// Numeric-diff scratch (replaces the per-terminal state-vector copy).
+  mutable std::vector<double> diff_scratch_;
 };
 
 }  // namespace ntv::circuit

@@ -9,32 +9,56 @@ namespace ntv::circuit {
 
 namespace {
 
+/// Scratch reused across Newton solves: the G matrix, RHS, candidate
+/// solution, and the per-node damping state. Hoisted out of newton_solve
+/// so one allocation set serves every gmin step of a DC solve and every
+/// timestep of a transient.
+struct NewtonWorkspace {
+  DenseMatrix g;
+  std::vector<double> b;
+  std::vector<double> x_new;
+  std::vector<double> cap;
+  std::vector<double> last_dx;
+
+  void prepare(std::size_t dim, double damping) {
+    if (g.rows() != dim) g = DenseMatrix(dim, dim);
+    b.resize(dim);
+    x_new.resize(dim);
+    cap.assign(dim, damping);
+    last_dx.assign(dim, 0.0);
+  }
+};
+
 /// One Newton solve of the (possibly companion-augmented) system at time t.
 /// `x` holds the initial guess on entry and the solution on success.
 bool newton_solve(const MnaSystem& sys, double t,
                   const std::vector<CapCompanion>& caps,
-                  const NewtonOptions& opt, std::vector<double>& x,
-                  int* iterations_out) {
+                  const NewtonOptions& opt, NewtonWorkspace& ws,
+                  std::vector<double>& x, int* iterations_out) {
   const std::size_t dim = sys.dimension();
-  DenseMatrix g(dim, dim);
-  std::vector<double> b(dim);
-  std::vector<double> x_new(dim);
-
   // Per-node step caps with oscillation detection: Newton on saturating
   // device characteristics (tanh output stage) overshoots and would bounce
   // at a fixed damping cap forever, so a node whose update flips sign gets
-  // its cap halved, and consistent directions earn it back.
-  std::vector<double> cap(dim, opt.damping);
-  std::vector<double> last_dx(dim, 0.0);
+  // its cap halved, and consistent directions earn it back. The damping
+  // state is reset per solve; the buffers keep their capacity.
+  ws.prepare(dim, opt.damping);
+  DenseMatrix& g = ws.g;
+  std::vector<double>& b = ws.b;
+  std::vector<double>& x_new = ws.x_new;
+  std::vector<double>& cap = ws.cap;
+  std::vector<double>& last_dx = ws.last_dx;
 
   // Registry lookups are mutex-guarded; resolve once and bump relaxed
   // atomics in the iteration loop.
   static obs::Counter& newton_iters = obs::counter("spice.newton_iters");
+  static obs::Counter& total_iters =
+      obs::counter("circuit.newton.iterations");
   static obs::Counter& factorizations =
       obs::counter("solver.factorizations");
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     newton_iters.increment();
+    total_iters.increment();
     sys.assemble(x, t, caps, opt.gmin, g, b);
     x_new = b;
     factorizations.increment();
@@ -61,13 +85,12 @@ bool newton_solve(const MnaSystem& sys, double t,
   return false;
 }
 
-}  // namespace
-
-DcResult dc_operating_point(const Netlist& netlist, double t,
-                            const NewtonOptions& opt) {
+/// DC solve against an existing system + workspace, so the transient's
+/// DC initialization shares the caller's buffers and stamp cache.
+DcResult dc_solve(const MnaSystem& sys, double t, const NewtonOptions& opt,
+                  NewtonWorkspace& ws) {
   obs::counter("spice.dc_solves").increment();
   obs::ScopedTimer timer(obs::timer("spice.dc"));
-  MnaSystem sys(netlist);
   DcResult result;
   result.x.assign(sys.dimension(), 0.0);
 
@@ -79,11 +102,20 @@ DcResult dc_operating_point(const Netlist& netlist, double t,
     step_opt.gmin = std::max(gmin, opt.gmin);
     int iters = 0;
     result.converged =
-        newton_solve(sys, t, no_caps, step_opt, result.x, &iters);
+        newton_solve(sys, t, no_caps, step_opt, ws, result.x, &iters);
     result.iterations += iters;
     if (!result.converged) return result;
   }
   return result;
+}
+
+}  // namespace
+
+DcResult dc_operating_point(const Netlist& netlist, double t,
+                            const NewtonOptions& opt) {
+  MnaSystem sys(netlist);
+  NewtonWorkspace ws;
+  return dc_solve(sys, t, opt, ws);
 }
 
 TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
@@ -91,12 +123,13 @@ TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
   obs::ScopedTimer timer(obs::timer("spice.transient"));
   static obs::Counter& timesteps = obs::counter("spice.timesteps");
   MnaSystem sys(netlist);
+  NewtonWorkspace ws;
   TransientResult result;
   const std::size_t nodes = netlist.node_count();
 
   std::vector<double> x(sys.dimension(), 0.0);
   if (opt.dc_init) {
-    DcResult dc = dc_operating_point(netlist, 0.0, opt.newton);
+    DcResult dc = dc_solve(sys, 0.0, opt.newton, ws);
     if (!dc.converged) return result;
     x = dc.x;
   } else {
@@ -132,7 +165,7 @@ TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
       caps[i].geq = geq;
       caps[i].ieq = geq * v_prev[i] + i_prev[i];
     }
-    if (!newton_solve(sys, t, caps, opt.newton, x, nullptr)) {
+    if (!newton_solve(sys, t, caps, opt.newton, ws, x, nullptr)) {
       return result;  // ok stays false.
     }
     for (std::size_t i = 0; i < nc; ++i) {

@@ -81,10 +81,12 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
   exec::ThreadPool::global().parallel_for(
       0, config_.chip_samples,
       [&](std::size_t chip) {
-        const auto curve = arch::ChipDelaySampler::chip_delay_curve(
+        thread_local std::vector<double> curve;
+        curve.resize(n_alpha);
+        arch::ChipDelaySampler::chip_delay_curve_into(
             std::span<const double>(rows.data() + chip * row_width,
                                     row_width),
-            width);
+            width, curve);
         for (std::size_t a = 0; a < n_alpha; ++a) {
           delays_by_alpha[a][chip] = curve[a];
         }

@@ -86,20 +86,46 @@ std::vector<double> VariationStudy::chain_variation_sweep(
   return pcts;
 }
 
+namespace {
+
+/// Shared kernel of the gate/chain delay MCs: per block, draw every row's
+/// die state + uniform first (same RNG order as the old one-row-at-a-time
+/// closure), then one batched inverse-CDF pass, then the die scaling.
+/// Scratch is per worker thread, so nothing allocates after warmup.
+std::vector<double> mc_scaled_quantiles(
+    const device::VariationModel& model, double vdd,
+    const stats::GridDistribution& dist, std::size_t n, std::uint64_t seed) {
+  stats::MonteCarloOptions opt;
+  opt.seed = seed;
+  return stats::monte_carlo_blocks(
+      n, 1,
+      [&model, vdd, &dist](stats::Xoshiro256pp& rng, std::size_t lo,
+                           std::size_t hi, double* out) {
+        const std::size_t rows = hi - lo;
+        thread_local std::vector<double> scratch;
+        if (scratch.size() < 2 * rows) scratch.resize(2 * rows);
+        double* scale = scratch.data();
+        double* u = scratch.data() + rows;
+        for (std::size_t i = 0; i < rows; ++i) {
+          const auto die = model.sample_die(rng);
+          scale[i] = model.die_scale(vdd, die);
+          u[i] = rng.uniform();
+        }
+        dist.quantile_batch(std::span<const double>(u, rows),
+                            std::span<double>(out, rows));
+        for (std::size_t i = 0; i < rows; ++i) out[i] = scale[i] * out[i];
+      },
+      opt);
+}
+
+}  // namespace
+
 std::vector<double> VariationStudy::mc_single_gate_delays(
     double vdd, std::size_t n, std::uint64_t seed) const {
   obs::counter("study.mc_points").increment();
   obs::ScopedTimer timer(obs::timer("study.sampling"));
   const auto gate = device::cached_gate_distribution(model_, vdd, dist_opt_);
-  stats::MonteCarloOptions opt;
-  opt.seed = seed;
-  return stats::monte_carlo(
-      n,
-      [&](stats::Xoshiro256pp& rng) {
-        const auto die = model_.sample_die(rng);
-        return model_.die_scale(vdd, die) * gate->quantile(rng.uniform());
-      },
-      opt);
+  return mc_scaled_quantiles(model_, vdd, *gate, n, seed);
 }
 
 std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
@@ -109,15 +135,7 @@ std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
   obs::ScopedTimer timer(obs::timer("study.sampling"));
   const auto chain =
       device::cached_chain_distribution(model_, vdd, n_stages, dist_opt_);
-  stats::MonteCarloOptions opt;
-  opt.seed = seed;
-  return stats::monte_carlo(
-      n,
-      [&](stats::Xoshiro256pp& rng) {
-        const auto die = model_.sample_die(rng);
-        return model_.die_scale(vdd, die) * chain->quantile(rng.uniform());
-      },
-      opt);
+  return mc_scaled_quantiles(model_, vdd, *chain, n, seed);
 }
 
 McChainSummary VariationStudy::mc_chain_summary(double vdd, int n_stages,

@@ -115,19 +115,37 @@ std::vector<double> TimingGraph::monte_carlo_arrival(
   if (order.size() != n)
     throw std::invalid_argument("monte_carlo_arrival: graph has a cycle");
 
+  // Flat edge-visit list in traversal order: one uniform per visit, so a
+  // whole sample's uniforms can be drawn up front (same RNG order as the
+  // old interleaved loop) and turned into delays with the guide-table
+  // quantile kernel before the relaxation pass touches them.
+  std::vector<int> visits;
+  visits.reserve(edges_.size());
+  for (NodeId v : order) {
+    for (int e : in_edges_[static_cast<std::size_t>(v)]) visits.push_back(e);
+  }
+
   stats::Xoshiro256pp rng(seed);
   std::vector<double> arrival(n);
+  std::vector<double> u(visits.size());
+  std::vector<double> delay(visits.size());
   std::vector<double> out(samples);
   for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t j = 0; j < visits.size(); ++j) u[j] = rng.uniform();
+    for (std::size_t j = 0; j < visits.size(); ++j) {
+      delay[j] =
+          edges_[static_cast<std::size_t>(visits[j])].delay.quantile(u[j]);
+    }
     std::fill(arrival.begin(), arrival.end(), 0.0);
+    std::size_t j = 0;
     for (NodeId v : order) {
       const auto vi = static_cast<std::size_t>(v);
       double worst = 0.0;
       for (int e : in_edges_[vi]) {
         const Edge& edge = edges_[static_cast<std::size_t>(e)];
-        const double d = edge.delay.quantile(rng.uniform());
         worst = std::max(
-            worst, arrival[static_cast<std::size_t>(edge.from)] + d);
+            worst, arrival[static_cast<std::size_t>(edge.from)] + delay[j]);
+        ++j;
       }
       arrival[vi] = worst;
     }
@@ -163,21 +181,37 @@ std::vector<double> TimingGraph::monte_carlo_criticality(
   if (order.size() != n)
     throw std::invalid_argument("monte_carlo_criticality: graph has a cycle");
 
+  // Same batched-uniform structure as monte_carlo_arrival: the visit
+  // order (and therefore the RNG draw order) is fixed per sample.
+  std::vector<int> visits;
+  visits.reserve(edges_.size());
+  for (NodeId v : order) {
+    for (int e : in_edges_[static_cast<std::size_t>(v)]) visits.push_back(e);
+  }
+
   stats::Xoshiro256pp rng(seed);
   std::vector<double> arrival(n);
+  std::vector<double> u(visits.size());
+  std::vector<double> delay(visits.size());
   std::vector<int> critical_in(n);  // Winning in-edge per node.
   std::vector<long> hits(edges_.size(), 0);
 
   for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t j = 0; j < visits.size(); ++j) u[j] = rng.uniform();
+    for (std::size_t j = 0; j < visits.size(); ++j) {
+      delay[j] =
+          edges_[static_cast<std::size_t>(visits[j])].delay.quantile(u[j]);
+    }
     std::fill(arrival.begin(), arrival.end(), 0.0);
     std::fill(critical_in.begin(), critical_in.end(), -1);
+    std::size_t j = 0;
     for (NodeId v : order) {
       const auto vi = static_cast<std::size_t>(v);
       for (int e : in_edges_[vi]) {
         const Edge& edge = edges_[static_cast<std::size_t>(e)];
         const double t =
-            arrival[static_cast<std::size_t>(edge.from)] +
-            edge.delay.quantile(rng.uniform());
+            arrival[static_cast<std::size_t>(edge.from)] + delay[j];
+        ++j;
         if (critical_in[vi] < 0 || t > arrival[vi]) {
           arrival[vi] = t;
           critical_in[vi] = e;

@@ -1,9 +1,12 @@
 #include "stats/discrete_distribution.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "stats/fft.h"
 
 namespace ntv::stats {
@@ -45,6 +48,34 @@ GridDistribution::GridDistribution(double lo, double step,
   }
   var_ = m2;
   skew_ = (m2 > 0.0) ? m3 / std::pow(m2, 1.5) : 0.0;
+
+  build_guide();
+}
+
+void GridDistribution::build_guide() {
+  // The guide could be built lazily on first quantile(), but every
+  // distribution that reaches a sampler is queried millions of times and
+  // the build is a single O(n + K) pass over an already-computed CDF, so
+  // eager construction keeps the class trivially immutable (no
+  // synchronization on the read path, copies stay cheap value types).
+  if (pmf_.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("GridDistribution: grid too large");
+  // One bucket per grid point (rounded up to a power of two) keeps the
+  // expected forward scan below one step even for the ~200k-bin chain
+  // convolution grids, whose flat CDF tails pack many indices per bucket
+  // at coarser resolutions. The cap bounds the table at 4 MB of u32 for
+  // pathological grids; the cached distributions stay around 1 MB.
+  const std::size_t buckets =
+      std::bit_ceil(std::min<std::size_t>(pmf_.size(), std::size_t{1} << 20));
+  guide_.resize(buckets + 1);
+  guide_buckets_ = static_cast<double>(buckets);
+  std::size_t i = 0;
+  for (std::size_t j = 0; j <= buckets; ++j) {
+    const double threshold =
+        static_cast<double>(j) / static_cast<double>(buckets);
+    while (i + 1 < cdf_.size() && cdf_[i] < threshold) ++i;
+    guide_[j] = static_cast<std::uint32_t>(i);
+  }
 }
 
 double GridDistribution::stddev() const noexcept { return std::sqrt(var_); }
@@ -60,18 +91,43 @@ double GridDistribution::cdf(double x) const noexcept {
   // cdf() mutually consistent at the origin).
   if (x < lo_) return 0.0;
   const double pos = (x - lo_) / step_;
+  // Compare in double BEFORE truncating: x at or beyond the top grid point
+  // saturates to 1.0, while x inside the final grid step interpolates
+  // cdf_[size-2] -> cdf_[size-1] (== 1.0) like every other step. The old
+  // size_t cast of an unbounded `pos` was undefined for x far above the
+  // grid and collapsed the top-bin handling into the saturation branch.
+  if (pos >= static_cast<double>(pmf_.size() - 1)) return 1.0;
   const auto idx = static_cast<std::size_t>(pos);
-  if (idx >= pmf_.size() - 1) return 1.0;
   const double frac = pos - static_cast<double>(idx);
   const double c0 = cdf_[idx];
   const double c1 = cdf_[idx + 1];
   return c0 + frac * (c1 - c0);
 }
 
-double GridDistribution::quantile(double u) const noexcept {
+std::size_t GridDistribution::quantile_index(double u,
+                                             std::size_t& scans) const
+    noexcept {
+  // Bucket lookup. u <= 1.0, so the raw bucket is at most buckets (the
+  // guide has buckets + 1 entries); the min() also guards the rounding-up
+  // case where u * buckets lands exactly on an integer above u's bucket.
+  const auto raw = static_cast<std::size_t>(u * guide_buckets_);
+  std::size_t idx =
+      guide_[std::min(raw, static_cast<std::size_t>(guide_buckets_))];
+  // The guide start can overshoot only when floating rounding promoted u
+  // into the next bucket; one backward step per promotion restores the
+  // lower_bound contract (first index with cdf_[idx] >= u).
+  while (idx > 0 && cdf_[idx - 1] >= u) --idx;
+  while (cdf_[idx] < u) {
+    ++idx;
+    ++scans;
+  }
+  return idx;
+}
+
+double GridDistribution::quantile_impl(double u, std::size_t& scans) const
+    noexcept {
   u = std::clamp(u, 1e-300, 1.0);
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+  const std::size_t idx = quantile_index(u, scans);
   if (idx == 0) return lo_;
   const double c0 = cdf_[idx - 1];
   const double c1 = cdf_[idx];
@@ -79,10 +135,67 @@ double GridDistribution::quantile(double u) const noexcept {
   return lo_ + step_ * (static_cast<double>(idx - 1) + frac);
 }
 
+double GridDistribution::quantile(double u) const noexcept {
+  std::size_t scans = 0;
+  return quantile_impl(u, scans);
+}
+
 double GridDistribution::max_quantile(double u, int k) const {
   if (k < 1) throw std::invalid_argument("max_quantile: k must be >= 1");
   u = std::clamp(u, 1e-300, 1.0);
   return quantile(std::pow(u, 1.0 / static_cast<double>(k)));
+}
+
+namespace {
+
+/// Hot-path counters resolved once (registry lookups take a mutex).
+obs::Counter& guide_hits_counter() {
+  static obs::Counter& c = obs::counter("stats.quantile.guide_hits");
+  return c;
+}
+obs::Counter& guide_scans_counter() {
+  static obs::Counter& c = obs::counter("stats.quantile.scans");
+  return c;
+}
+
+}  // namespace
+
+void GridDistribution::quantile_batch(std::span<const double> u,
+                                      std::span<double> out) const {
+  if (u.size() != out.size())
+    throw std::invalid_argument("quantile_batch: size mismatch");
+  // Flat loop over raw pointers: `src` is const and `dst` points into a
+  // caller buffer distinct from this object's tables, so there is no
+  // aliasing barrier between iterations and the bucket lookup pipeline
+  // stays ahead of the interpolation.
+  const double* src = u.data();
+  double* dst = out.data();
+  std::size_t scans = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    dst[i] = quantile_impl(src[i], scans);
+  }
+  guide_hits_counter().add(static_cast<std::int64_t>(u.size()));
+  guide_scans_counter().add(static_cast<std::int64_t>(scans));
+}
+
+void GridDistribution::max_quantile_batch(std::span<const double> u, int k,
+                                          std::span<double> out) const {
+  if (k < 1)
+    throw std::invalid_argument("max_quantile_batch: k must be >= 1");
+  if (u.size() != out.size())
+    throw std::invalid_argument("max_quantile_batch: size mismatch");
+  // Hoist the 1/k exponent; the per-sample pow stays (it is what defines
+  // Q_max(u) = Q(u^(1/k)) and must round identically to the scalar path).
+  const double exponent = 1.0 / static_cast<double>(k);
+  const double* src = u.data();
+  double* dst = out.data();
+  std::size_t scans = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double ui = std::clamp(src[i], 1e-300, 1.0);
+    dst[i] = quantile_impl(std::pow(ui, exponent), scans);
+  }
+  guide_hits_counter().add(static_cast<std::int64_t>(u.size()));
+  guide_scans_counter().add(static_cast<std::int64_t>(scans));
 }
 
 GridDistribution GridDistribution::sum_of_iid(int n) const {

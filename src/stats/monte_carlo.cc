@@ -36,6 +36,22 @@ std::vector<double> monte_carlo_rows(
     std::size_t n, std::size_t width,
     const std::function<void(Xoshiro256pp&, std::size_t, double*)>& sampler,
     const MonteCarloOptions& opt) {
+  return monte_carlo_blocks(
+      n, width,
+      [&sampler, width](Xoshiro256pp& rng, std::size_t lo, std::size_t hi,
+                        double* out) {
+        for (std::size_t row = lo; row < hi; ++row) {
+          sampler(rng, row, out + (row - lo) * width);
+        }
+      },
+      opt);
+}
+
+std::vector<double> monte_carlo_blocks(
+    std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t, std::size_t,
+                             double*)>& sampler,
+    const MonteCarloOptions& opt) {
   std::vector<double> out(n * width);
   if (n == 0) return out;
 
@@ -58,9 +74,7 @@ std::vector<double> monte_carlo_rows(
     Xoshiro256pp rng = substream(opt.seed, b);
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(n, lo + kBlock);
-    for (std::size_t row = lo; row < hi; ++row) {
-      sampler(rng, row, out.data() + row * width);
-    }
+    sampler(rng, lo, hi, out.data() + lo * width);
   };
 
   if (opt.threads == 1) {

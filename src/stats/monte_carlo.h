@@ -42,6 +42,21 @@ std::vector<double> monte_carlo_rows(
                              double* /*out*/)>& sampler,
     const MonteCarloOptions& opt = {});
 
+/// Block-level variant for batched sampling kernels: the sampler receives
+/// one whole substream block (rows [lo, hi), `out` pointing at row lo's
+/// storage) and fills all of it with ONE call. A sampler that draws its
+/// random variates in the same order a row-at-a-time loop would — e.g.
+/// all per-row RNG draws first, then a batched inverse-CDF pass over a
+/// scratch buffer — produces byte-identical output to monte_carlo_rows
+/// while amortizing per-sample dispatch over the block. Blocks are the
+/// determinism unit (fixed size, one substream each), so results stay
+/// independent of the worker count.
+std::vector<double> monte_carlo_blocks(
+    std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t /*lo*/,
+                             std::size_t /*hi*/, double* /*out*/)>& sampler,
+    const MonteCarloOptions& opt = {});
+
 /// Thread count a run with MonteCarloOptions{.threads = requested} would
 /// use. Delegates to exec::resolved_worker_threads (requested > 0 wins,
 /// else $NTV_THREADS, else hardware_concurrency — the old [1, 16] clamp is

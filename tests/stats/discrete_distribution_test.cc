@@ -63,6 +63,57 @@ TEST(GridDistribution, CdfQuantileRoundTrip) {
   }
 }
 
+TEST(GridDistribution, CdfQuantileRoundTripAcrossTopBin) {
+  // Regression: the round trip must hold across the LAST grid step too,
+  // where the interpolation runs between cdf[n-2] and 1.0.
+  const auto d = make_discrete_normal(0.0, 1.0, 101);
+  const double top =
+      d.cdf(d.lo() + d.step() * static_cast<double>(d.size() - 2));
+  for (double u : {top + 1e-12, 0.5 * (top + 1.0), 1.0 - 1e-12, 1.0}) {
+    EXPECT_NEAR(d.cdf(d.quantile(u)), u, 1e-9) << "u=" << u;
+  }
+}
+
+TEST(GridDistribution, CdfSaturatesOutsideGrid) {
+  // Regression: x far above the grid used to funnel an enormous double
+  // through a size_t cast before the range check.
+  const auto d = make_discrete_normal(0.0, 1.0, 101);
+  EXPECT_DOUBLE_EQ(d.cdf(d.lo() - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-1e300), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(d.lo() + d.step() * 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1e300), 1.0);
+}
+
+TEST(GridDistribution, QuantileBatchIsByteIdenticalToScalar) {
+  // The batched kernel must be a pure reshaping of the scalar path: the
+  // guide-table lookup has to land on the same index lower_bound does,
+  // and every arithmetic step has to stay in the same order.
+  const auto d = make_discrete_normal(2.0, 0.4);
+  Xoshiro256pp rng(0xBA7C4);
+  std::vector<double> u(10000), batch(u.size());
+  for (double& v : u) v = rng.uniform();
+  u[0] = 0.0;  // Include the clamp edges.
+  u[1] = 1.0;
+  u[2] = 1e-320;
+  d.quantile_batch(u, batch);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(batch[i], d.quantile(u[i])) << "i=" << i;
+  }
+}
+
+TEST(GridDistribution, MaxQuantileBatchIsByteIdenticalToScalar) {
+  const auto d = make_discrete_normal(0.0, 1.0);
+  Xoshiro256pp rng(0xBA7C5);
+  std::vector<double> u(10000), batch(u.size());
+  for (double& v : u) v = rng.uniform();
+  for (int k : {1, 7, 128}) {
+    d.max_quantile_batch(u, k, batch);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      ASSERT_EQ(batch[i], d.max_quantile(u[i], k)) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
 TEST(GridDistribution, QuantilesMatchNormal) {
   // Point-mass discretization biases quantiles by up to one grid step
   // (16 sigma / 2000 bins = 0.008 here).

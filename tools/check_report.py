@@ -5,6 +5,7 @@ Usage:
   check_report.py REPORT.json [--min-counters N] [--no-schema]
                   [--range DOTTED.PATH LO HI]...
                   [--diff-results OTHER.json]...
+  check_report.py --compare-perf BASE.json CUR.json [--max-regress-pct P]
 
 Checks, in order:
   1. the file parses as JSON;
@@ -22,6 +23,13 @@ Checks, in order:
      legitimately differ in threads/threads_requested, and metrics in
      timers, so only "results" is compared; the top-level "phases"
      subtree of bench reports is wall-clock and is skipped too).
+
+The --compare-perf mode compares results.phases.artifact_ns (the min
+wall-clock over --repeat runs) of two bench reports and fails when the
+current report is more than --max-regress-pct percent slower than the
+base (default 10).  Speedups always pass.  Intended as a warn-only CI
+step: shared runners are too noisy for a hard perf gate, but the printed
+delta makes regressions visible in the job log.
 
 Exits 0 when every check passes, 1 otherwise (one line per failure).
 """
@@ -73,10 +81,57 @@ def diff_paths(a, b, prefix="results"):
     return []
 
 
+def compare_perf(args):
+    """--compare-perf BASE.json CUR.json [--max-regress-pct P]."""
+    if len(args) < 2:
+        print("check_report: --compare-perf needs BASE.json CUR.json")
+        return 2
+    base_path, cur_path, rest = args[0], args[1], args[2:]
+    max_regress_pct = 10.0
+    i = 0
+    while i < len(rest):
+        if rest[i] == "--max-regress-pct":
+            max_regress_pct = float(rest[i + 1])
+            i += 2
+        else:
+            print(f"check_report: unknown argument {rest[i]!r}")
+            return 2
+
+    docs = []
+    for p in (base_path, cur_path):
+        try:
+            with open(p) as f:
+                docs.append(json.load(f))
+        except (OSError, ValueError) as e:
+            print(f"FAIL {p}: not readable JSON ({e})")
+            return 1
+    values = []
+    for p, doc in zip((base_path, cur_path), docs):
+        try:
+            ns = lookup(doc, "results.phases.artifact_ns")
+        except KeyError:
+            print(f"FAIL {p}: results.phases.artifact_ns missing")
+            return 1
+        if not isinstance(ns, (int, float)) or ns <= 0:
+            print(f"FAIL {p}: artifact_ns={ns!r} not a positive number")
+            return 1
+        values.append(float(ns))
+
+    base_ns, cur_ns = values
+    delta_pct = 100.0 * (cur_ns - base_ns) / base_ns
+    verdict = "regression" if delta_pct > max_regress_pct else "ok"
+    print(f"{'FAIL' if verdict == 'regression' else 'OK'} perf: "
+          f"artifact_ns {base_ns:.0f} -> {cur_ns:.0f} "
+          f"({delta_pct:+.1f}%, limit +{max_regress_pct:.1f}%)")
+    return 1 if verdict == "regression" else 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
         return 2
+    if argv[1] == "--compare-perf":
+        return compare_perf(argv[2:])
     path, args = argv[1], argv[2:]
     check_schema, min_counters, ranges, diff_against = True, 0, [], []
     i = 0
