@@ -20,12 +20,23 @@ void print_artifact() {
              "V_M[mV]", "power%", "V_M[mV]", "power%", "V_M[mV]", "power%",
              "V_M[mV]", "power%");
 
+  const stats::SamplingPlan& plan = bench::sampling_plan();
+  const std::size_t samples = bench::samples_or(10000);
+  if (!plan.is_naive() || samples != 10000) {
+    bench::row("sampling: %s, %zu chips/point",
+               std::string(stats::to_string(plan.strategy)).c_str(), samples);
+  }
+
   std::vector<core::MitigationStudy> studies;
   for (const device::TechNode* node : device::all_nodes()) {
-    studies.emplace_back(*node);
+    core::MitigationConfig config;
+    config.chip_samples = samples;
+    config.plan = plan;
+    studies.emplace_back(*node, config);
   }
 
   // One pooled sweep per node computes its whole Table 2 column.
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   const std::vector<double> vdds = {0.50, 0.55, 0.60, 0.65, 0.70};
   std::vector<std::vector<core::VoltageMarginResult>> columns;
   columns.reserve(studies.size());
@@ -38,6 +49,10 @@ void print_artifact() {
     int n = std::snprintf(line, sizeof(line), "%-6.2f ||", vdds[vi]);
     for (std::size_t si = 0; si < studies.size(); ++si) {
       const auto& result = columns[si][vi];
+      char key[64];
+      std::snprintf(key, sizeof(key), "margin_mV_%s_%.2fV", tags[si],
+                    vdds[vi]);
+      bench::record(key, result.margin * 1e3);
       n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
                          " %8.2f %8.2f |", result.margin * 1e3,
                          result.power_overhead * 100.0);

@@ -13,6 +13,13 @@
 //   --repeat <n>         run the timed artifact phase n times (default 1)
 //                        and report min/median wall-clock in the manifest;
 //                        use with --report for stable perf comparisons
+//   --sampling <plan>    Monte Carlo sampling strategy: naive (default,
+//                        byte-identical to the historical stream),
+//                        stratified, importance, or qmc (docs/SAMPLING.md)
+//   --samples <n>        override each artifact's Monte Carlo sample
+//                        budget (0 = the bench's default); pairs with
+//                        --sampling importance for the reduced-budget
+//                        convergence gate in CI
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -31,8 +38,29 @@
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "stats/variance_reduction.h"
 
 namespace ntv::bench {
+
+/// Sampling plan selected by --sampling (default: the naive plan, whose
+/// artifacts are byte-identical to the pre-plan benches). Benches that
+/// run Monte Carlo read this when building their study configs.
+inline stats::SamplingPlan& sampling_plan() {
+  static stats::SamplingPlan plan;
+  return plan;
+}
+
+/// --samples override; 0 means "use the bench's default budget".
+inline std::size_t& sample_override() {
+  static std::size_t n = 0;
+  return n;
+}
+
+/// The Monte Carlo budget an artifact should use: the --samples override
+/// when given, else the bench's own default.
+inline std::size_t samples_or(std::size_t default_n) {
+  return sample_override() != 0 ? sample_override() : default_n;
+}
 
 /// Prints a section banner.
 inline void banner(const std::string& title) {
@@ -78,6 +106,7 @@ inline bool write_bench_report(const std::string& path,
   manifest.seed = 0;  // Benches use each experiment's fixed default seed.
   manifest.threads = exec::ThreadPool::global_thread_count();
   manifest.threads_requested = threads_requested;
+  manifest.sampling = std::string(stats::to_string(sampling_plan().strategy));
   auto write_results = [&](obs::JsonWriter& w) {
     w.begin_object();
     w.key("values").begin_object();
@@ -136,6 +165,28 @@ inline int run_bench_main(int argc, char** argv,
     }
     if (i > 0 && std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = std::max(1, std::atoi(argv[++i]));
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--sampling") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      const auto strategy = stats::parse_strategy(name);
+      if (!strategy) {
+        std::fprintf(stderr,
+                     "error: unknown --sampling '%s' (expected naive, "
+                     "stratified, importance, or qmc)\n",
+                     name);
+        return 2;
+      }
+      sampling_plan().strategy = *strategy;
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      const long long n = std::atoll(argv[++i]);
+      if (n < 0) {
+        std::fprintf(stderr, "error: --samples must be >= 0\n");
+        return 2;
+      }
+      sample_override() = static_cast<std::size_t>(n);
       continue;
     }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {

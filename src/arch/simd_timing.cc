@@ -1,6 +1,8 @@
 #include "arch/simd_timing.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 
 #include "device/dist_cache.h"
@@ -56,6 +58,28 @@ void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
   if (scale != 1.0) {
     for (double& lane : lanes) lane = scale * lane;
   }
+}
+
+double ChipDelaySampler::sample_lanes_planned(
+    stats::Xoshiro256pp& rng, const stats::SamplingPlan& plan,
+    std::size_t row, std::size_t n_rows, std::span<double> lanes,
+    const stats::ScrambledSobol* qmc) const {
+  double scale = 1.0;
+  if (config_.correlation == DieCorrelation::kSharedDie) {
+    // Die state first, exactly like sample_lanes: the naive plan must
+    // consume the RNG stream in the historical order.
+    const device::DieState die = model_->sample_die(rng);
+    scale = model_->die_scale(vdd_, die);
+  }
+  std::vector<double>& u = uniform_scratch(lanes.size());
+  const double weight = stats::plan_row_uniforms(
+      plan, rng, row, n_rows, std::span<double>(u.data(), lanes.size()), qmc);
+  chain_->max_quantile_batch(std::span<const double>(u.data(), lanes.size()),
+                             config_.paths_per_lane, lanes);
+  if (scale != 1.0) {
+    for (double& lane : lanes) lane = scale * lane;
+  }
+  return weight;
 }
 
 double ChipDelaySampler::chip_delay_from_lanes(std::span<double> lanes,
@@ -151,21 +175,36 @@ double ChipDelaySampler::sample_path_delay(stats::Xoshiro256pp& rng) const {
 }
 
 double ChipMcResult::percentile(double p) const {
-  return stats::percentile(delays, p);
+  // weighted_percentile delegates to stats::percentile for empty weights,
+  // but go straight there to keep the unweighted path's arithmetic
+  // obviously the historical one.
+  if (weights.empty()) return stats::percentile(delays, p);
+  return stats::weighted_percentile(delays, weights, p);
+}
+
+double ChipMcResult::ess() const {
+  if (weights.empty()) return static_cast<double>(delays.size());
+  return stats::effective_sample_size(weights);
+}
+
+stats::QuantileCi ChipMcResult::percentile_ci(double p, double z) const {
+  return stats::weighted_percentile_ci(delays, weights, p, z);
 }
 
 ChipMcResult mc_chip_delays(const ChipDelaySampler& sampler,
                             std::size_t n_chips, int width, int spares,
-                            const stats::MonteCarloOptions& opt) {
+                            const stats::MonteCarloOptions& opt,
+                            const stats::SamplingPlan& plan) {
   const int counts[] = {spares};
   std::vector<ChipMcResult> sweep =
-      mc_chip_delay_sweep(sampler, n_chips, width, counts, opt);
+      mc_chip_delay_sweep(sampler, n_chips, width, counts, opt, plan);
   return std::move(sweep.front());
 }
 
 std::vector<ChipMcResult> mc_chip_delay_sweep(
     const ChipDelaySampler& sampler, std::size_t n_chips, int width,
-    std::span<const int> spare_counts, const stats::MonteCarloOptions& opt) {
+    std::span<const int> spare_counts, const stats::MonteCarloOptions& opt,
+    const stats::SamplingPlan& plan) {
   if (spare_counts.empty())
     throw std::invalid_argument("mc_chip_delay_sweep: no spare counts");
   int max_spares = 0;
@@ -177,16 +216,39 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
 
   const std::size_t row_width =
       static_cast<std::size_t>(width) + static_cast<std::size_t>(max_spares);
-  const std::vector<double> rows = stats::monte_carlo_rows(
-      n_chips, row_width,
-      [&sampler, row_width](stats::Xoshiro256pp& rng, std::size_t,
-                            double* out) {
-        sampler.sample_lanes(rng, std::span<double>(out, row_width));
-      },
-      opt);
+
+  // The planned path writes per-row weights from pool workers; rows are
+  // disjoint, so a plain vector indexed by row is race-free. Unweighted
+  // plans skip the vector entirely, which keeps the default path's
+  // closure (and artifacts) byte-identical to the pre-plan code.
+  std::vector<double> row_weights;
+  std::optional<stats::ScrambledSobol> sobol;
+  if (plan.strategy == stats::SamplingStrategy::kQmc) sobol.emplace(opt.seed);
+  if (plan.is_weighted()) row_weights.assign(n_chips, 1.0);
+
+  std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
+  if (plan.is_naive()) {
+    fill = [&sampler, row_width](stats::Xoshiro256pp& rng, std::size_t,
+                                 double* out) {
+      sampler.sample_lanes(rng, std::span<double>(out, row_width));
+    };
+  } else {
+    const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+    fill = [&sampler, &plan, &row_weights, qmc, row_width, n_chips](
+               stats::Xoshiro256pp& rng, std::size_t row, double* out) {
+      const double w = sampler.sample_lanes_planned(
+          rng, plan, row, n_chips, std::span<double>(out, row_width), qmc);
+      if (!row_weights.empty()) row_weights[row] = w;
+    };
+  }
+  const std::vector<double> rows =
+      stats::monte_carlo_rows(n_chips, row_width, fill, opt);
 
   std::vector<ChipMcResult> results(spare_counts.size());
-  for (auto& r : results) r.delays.resize(n_chips);
+  for (auto& r : results) {
+    r.delays.resize(n_chips);
+    r.weights = row_weights;  // Shared by every spare count (same chips).
+  }
 
   // Per-chip selection is independent (each chip writes its own slots of
   // every result vector), so it fans out on the shared pool too.

@@ -29,6 +29,7 @@
 #include "device/variation.h"
 #include "stats/discrete_distribution.h"
 #include "stats/monte_carlo.h"
+#include "stats/variance_reduction.h"
 
 namespace ntv::arch {
 
@@ -66,6 +67,20 @@ class ChipDelaySampler {
   /// freshly drawn die state; each lane is the max of paths_per_lane
   /// i.i.d. chain delays.
   void sample_lanes(stats::Xoshiro256pp& rng, std::span<double> lanes) const;
+
+  /// Variance-reduced variant of sample_lanes: the lane uniforms are
+  /// generated under `plan` (see stats/variance_reduction.h) and the
+  /// returned value is the chip's likelihood-ratio weight (1.0 for
+  /// unweighted plans). `row`/`n_rows` identify this chip within its
+  /// Monte Carlo run (stratification and QMC need the sample index);
+  /// `qmc` must be non-null for the qmc plan. The naive plan consumes
+  /// the RNG stream exactly like sample_lanes and fills identical lanes.
+  double sample_lanes_planned(stats::Xoshiro256pp& rng,
+                              const stats::SamplingPlan& plan,
+                              std::size_t row, std::size_t n_rows,
+                              std::span<double> lanes,
+                              const stats::ScrambledSobol* qmc = nullptr)
+      const;
 
   /// Delay of one chip that uses the fastest `width` of the sampled
   /// lanes (structural duplication drops the rest). `lanes` is reordered.
@@ -124,24 +139,42 @@ class ChipDelaySampler {
 /// Monte Carlo chip-delay sample with percentile queries.
 struct ChipMcResult {
   std::vector<double> delays;  ///< One chip delay per Monte Carlo sample [s].
+  /// Likelihood-ratio weight per sample; empty (the unweighted plans and
+  /// the historical API) means unit weights and keeps every query's
+  /// arithmetic byte-identical to the pre-plan code.
+  std::vector<double> weights;
 
   /// p-th percentile of the sample [s]; the paper signs off at p = 99.
+  /// Self-normalized weighted percentile when weights are present.
   double percentile(double p) const;
+
+  /// Kish effective sample size (== delays.size() when unweighted).
+  double ess() const;
+
+  /// Distribution-free CI of the p-th percentile (see
+  /// stats::weighted_percentile_ci for the construction).
+  stats::QuantileCi percentile_ci(double p, double z = 1.959963984540054)
+      const;
 };
 
 /// Samples `n_chips` chips of `width (+ spares)` lanes; each chip keeps its
-/// fastest `width` lanes.
+/// fastest `width` lanes. The optional sampling plan substitutes
+/// variance-reduced lane uniforms; the default (naive) plan is
+/// byte-identical to the historical sampler.
 ChipMcResult mc_chip_delays(const ChipDelaySampler& sampler,
                             std::size_t n_chips, int width, int spares = 0,
-                            const stats::MonteCarloOptions& opt = {});
+                            const stats::MonteCarloOptions& opt = {},
+                            const stats::SamplingPlan& plan = {});
 
 /// Shared-sample sweep over several spare counts: for each chip, lanes are
 /// drawn once for the largest configuration and every spare count alpha
 /// reuses the first (width + alpha) of them — exactly the paper's Fig. 5
-/// construction ("the six slowest SIMD datapaths are dropped").
+/// construction ("the six slowest SIMD datapaths are dropped"). Under a
+/// weighted plan, every ChipMcResult shares the per-chip row weights.
 std::vector<ChipMcResult> mc_chip_delay_sweep(
     const ChipDelaySampler& sampler, std::size_t n_chips, int width,
     std::span<const int> spare_counts,
-    const stats::MonteCarloOptions& opt = {});
+    const stats::MonteCarloOptions& opt = {},
+    const stats::SamplingPlan& plan = {});
 
 }  // namespace ntv::arch

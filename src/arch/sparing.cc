@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "stats/monte_carlo.h"
@@ -167,6 +168,43 @@ double mc_coverage_delay_fn(const SparingScheme& scheme,
       stats::MonteCarloOptions{.seed = seed});
   return std::reduce(covered.begin(), covered.end()) /
          static_cast<double>(n_trials);
+}
+
+CoverageEstimate mc_coverage_delay_planned(
+    const SparingScheme& scheme, const ChipDelaySampler& sampler,
+    int logical_width, double t_clk, std::size_t n_trials,
+    const stats::SamplingPlan& plan, std::uint64_t seed) {
+  const int phys = scheme.physical_lanes(logical_width);
+
+  std::vector<double> weights;
+  if (plan.is_weighted()) weights.assign(n_trials, 1.0);
+  std::optional<stats::ScrambledSobol> sobol;
+  if (plan.strategy == stats::SamplingStrategy::kQmc) sobol.emplace(seed);
+  const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+
+  const std::vector<double> covered = stats::monte_carlo_rows(
+      n_trials, 1,
+      [&](stats::Xoshiro256pp& rng, std::size_t row, double* out) {
+        thread_local std::vector<double> lanes;
+        thread_local std::vector<std::uint8_t> faulty;
+        lanes.resize(static_cast<std::size_t>(phys));
+        faulty.resize(static_cast<std::size_t>(phys));
+        const double w = sampler.sample_lanes_planned(rng, plan, row,
+                                                      n_trials, lanes, qmc);
+        if (!weights.empty()) weights[row] = w;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+          faulty[i] = lanes[i] > t_clk;
+        }
+        out[0] = scheme.covers(faulty, logical_width) ? 1.0 : 0.0;
+      },
+      stats::MonteCarloOptions{.seed = seed});
+
+  CoverageEstimate est;
+  est.coverage = stats::weighted_mean(covered, weights);
+  est.ess = weights.empty() ? static_cast<double>(n_trials)
+                            : stats::effective_sample_size(weights);
+  est.ci_halfwidth = stats::weighted_mean_ci_halfwidth(covered, weights);
+  return est;
 }
 
 }  // namespace ntv::arch

@@ -109,4 +109,21 @@ double mc_coverage_delay_fn(const SparingScheme& scheme,
                             std::size_t n_trials,
                             std::uint64_t seed = 0xC0FFEE);
 
+/// Coverage estimate with convergence diagnostics (the planned variant
+/// below fills them from the likelihood-ratio weights).
+struct CoverageEstimate {
+  double coverage = 0.0;      ///< (Weighted) covered fraction.
+  double ess = 0.0;           ///< Kish effective sample size.
+  double ci_halfwidth = 0.0;  ///< 95 % CI half-width of the coverage.
+};
+
+/// Variance-reduced mc_coverage_delay: lane uniforms come from `plan`
+/// (importance tilting toward slow lanes concentrates trials on the
+/// fault-rich region, where un-covered patterns live). The naive plan
+/// computes exactly mc_coverage_delay's estimate.
+CoverageEstimate mc_coverage_delay_planned(
+    const SparingScheme& scheme, const ChipDelaySampler& sampler,
+    int logical_width, double t_clk, std::size_t n_trials,
+    const stats::SamplingPlan& plan, std::uint64_t seed = 0xC0FFEE);
+
 }  // namespace ntv::arch

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <optional>
+#include <string>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "stats/percentile.h"
 #include "stats/root_find.h"
 
@@ -27,8 +31,19 @@ const arch::ChipDelaySampler& MitigationStudy::sampler(double vdd) const {
 arch::ChipMcResult MitigationStudy::mc_chip(double vdd, int spares) const {
   stats::MonteCarloOptions opt;
   opt.seed = config_.seed;
+  // The nominal-voltage sign-off is the shared REFERENCE of every
+  // mitigation estimate (Tables 1-4 normalize to it), and its decisive
+  // lane quantile (~1 - 1e-4 for a bare max-of-width chip) sits beyond
+  // the importance ladder's steepest knot — a tilt tuned for the NTV
+  // decision band would only add weight noise there, and that noise
+  // would shift every cell of the sweep in lockstep. So the reference
+  // is always estimated with the naive plan; variance-reduced plans
+  // apply to the per-voltage cells they were designed for.
+  const bool reference = vkey(vdd) == vkey(node().nominal_vdd);
   return arch::mc_chip_delays(sampler(vdd), config_.chip_samples,
-                              config_.timing.simd_width, spares, opt);
+                              config_.timing.simd_width, spares, opt,
+                              reference ? stats::SamplingPlan{}
+                                        : config_.plan);
 }
 
 double MitigationStudy::chip_delay_p99(double vdd, int spares) const {
@@ -66,12 +81,35 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
 
   stats::MonteCarloOptions opt;
   opt.seed = config_.seed;
-  const std::vector<double> rows = stats::monte_carlo_rows(
-      config_.chip_samples, row_width,
-      [&smp, row_width](stats::Xoshiro256pp& rng, std::size_t, double* out) {
-        smp.sample_lanes(rng, std::span<double>(out, row_width));
-      },
-      opt);
+
+  // Planned runs carry per-chip likelihood-ratio weights (rows are
+  // disjoint, so workers write `weights` race-free); the naive plan keeps
+  // the historical closure so the default path stays byte-identical.
+  std::vector<double> weights;
+  std::optional<stats::ScrambledSobol> sobol;
+  if (config_.plan.strategy == stats::SamplingStrategy::kQmc)
+    sobol.emplace(config_.seed);
+  if (config_.plan.is_weighted()) weights.assign(config_.chip_samples, 1.0);
+
+  std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
+  if (config_.plan.is_naive()) {
+    fill = [&smp, row_width](stats::Xoshiro256pp& rng, std::size_t,
+                             double* out) {
+      smp.sample_lanes(rng, std::span<double>(out, row_width));
+    };
+  } else {
+    const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+    const std::size_t n_rows = config_.chip_samples;
+    fill = [&smp, this, &weights, qmc, row_width, n_rows](
+               stats::Xoshiro256pp& rng, std::size_t row, double* out) {
+      const double w = smp.sample_lanes_planned(
+          rng, config_.plan, row, n_rows, std::span<double>(out, row_width),
+          qmc);
+      if (!weights.empty()) weights[row] = w;
+    };
+  }
+  const std::vector<double> rows =
+      stats::monte_carlo_rows(config_.chip_samples, row_width, fill, opt);
 
   // delays_by_alpha[alpha][chip]; each chip owns column `chip` of every
   // row, so the prefix-curve extraction fans out race-free on the pool.
@@ -95,14 +133,36 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
 
   const double fo4 = smp.fo4_unit();
   auto meets = [&](long alpha) {
-    const double p99 = stats::percentile(
-        delays_by_alpha[static_cast<std::size_t>(alpha)],
-        config_.signoff_percentile);
+    const std::vector<double>& delays =
+        delays_by_alpha[static_cast<std::size_t>(alpha)];
+    const double p99 =
+        weights.empty()
+            ? stats::percentile(delays, config_.signoff_percentile)
+            : stats::weighted_percentile(delays, weights,
+                                         config_.signoff_percentile);
     return p99 / fo4 <= baseline;
   };
 
   DuplicationResult result;
   const long alpha = stats::smallest_true(meets, 0, max_spares);
+  result.ess = weights.empty()
+                   ? static_cast<double>(config_.chip_samples)
+                   : stats::effective_sample_size(weights);
+  {
+    // Convergence diagnostic at the chosen (or capped) spare count, also
+    // published to the obs registry so run reports carry it per voltage.
+    const std::size_t a =
+        static_cast<std::size_t>(std::min(alpha, static_cast<long>(
+                                                     max_spares)));
+    const stats::QuantileCi ci = stats::weighted_percentile_ci(
+        delays_by_alpha[a], weights, config_.signoff_percentile);
+    result.p99_rel_ci_halfwidth = ci.rel_halfwidth();
+    const std::string mv =
+        std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));
+    obs::gauge("mitigation.ess." + mv + "mV").set(result.ess);
+    obs::gauge("mitigation.p99_rel_ci." + mv + "mV")
+        .set(result.p99_rel_ci_halfwidth);
+  }
   if (alpha > max_spares) {
     result.feasible = false;
     result.spares = max_spares + 1;

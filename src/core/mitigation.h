@@ -37,6 +37,11 @@ struct MitigationConfig {
   std::uint64_t seed = 0x5EED0FD1E;     ///< Common-random-numbers seed.
   arch::AreaPowerModel area_power;      ///< Diet SODA overhead budget.
   device::DistributionOptions dist;     ///< Grid resolution.
+  /// Variance-reduction strategy for every Monte Carlo run of the study.
+  /// The default (naive) plan keeps all results byte-identical to the
+  /// historical sampler; the importance plan reaches the same sign-off
+  /// percentiles with ~1/5 of the samples (docs/SAMPLING.md).
+  stats::SamplingPlan plan;
 };
 
 /// Result of the structural-duplication sizing (one Table 1 cell).
@@ -45,6 +50,11 @@ struct DuplicationResult {
   bool feasible = false;   ///< False when > max_spares are needed.
   double area_overhead = 0.0;   ///< Fraction of PE area.
   double power_overhead = 0.0;  ///< Fraction of PE power.
+  /// Convergence diagnostics of the sizing run: Kish effective sample
+  /// size of the (possibly weighted) chip sample and the relative 95 %
+  /// CI half-width of the sign-off delay at the chosen spare count.
+  double ess = 0.0;
+  double p99_rel_ci_halfwidth = 0.0;
 };
 
 /// Result of the voltage-margin search (one Table 2 cell).

@@ -1,6 +1,7 @@
 #include "core/variation_study.h"
 
 #include <cmath>
+#include <optional>
 
 #include "device/dist_cache.h"
 #include "exec/thread_pool.h"
@@ -118,6 +119,50 @@ std::vector<double> mc_scaled_quantiles(
       opt);
 }
 
+/// Planned variant of mc_scaled_quantiles: die draws stay pseudorandom
+/// (per row, in the same order), the single delay uniform of row i comes
+/// from the plan. Only called for non-naive plans — the naive path keeps
+/// the hand-batched kernel above untouched.
+stats::WeightedSamples mc_scaled_quantiles_planned(
+    const device::VariationModel& model, double vdd,
+    const stats::GridDistribution& dist, std::size_t n, std::uint64_t seed,
+    const stats::SamplingPlan& plan) {
+  stats::MonteCarloOptions opt;
+  opt.seed = seed;
+  std::optional<stats::ScrambledSobol> sobol;
+  if (plan.strategy == stats::SamplingStrategy::kQmc) sobol.emplace(seed);
+  const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+
+  stats::WeightedSamples out;
+  if (plan.is_weighted()) out.weights.assign(n, 1.0);
+  double* weights = out.weights.empty() ? nullptr : out.weights.data();
+  out.values = stats::monte_carlo_blocks(
+      n, 1,
+      [&model, vdd, &dist, &plan, qmc, weights, n](
+          stats::Xoshiro256pp& rng, std::size_t lo, std::size_t hi,
+          double* block_out) {
+        const std::size_t rows = hi - lo;
+        thread_local std::vector<double> scratch;
+        if (scratch.size() < 2 * rows) scratch.resize(2 * rows);
+        double* scale = scratch.data();
+        double* u = scratch.data() + rows;
+        for (std::size_t i = 0; i < rows; ++i) {
+          const auto die = model.sample_die(rng);
+          scale[i] = model.die_scale(vdd, die);
+          const double w = stats::plan_row_uniforms(
+              plan, rng, lo + i, n, std::span<double>(u + i, 1), qmc);
+          if (weights != nullptr) weights[lo + i] = w;
+        }
+        dist.quantile_batch(std::span<const double>(u, rows),
+                            std::span<double>(block_out, rows));
+        for (std::size_t i = 0; i < rows; ++i) {
+          block_out[i] = scale[i] * block_out[i];
+        }
+      },
+      opt);
+  return out;
+}
+
 }  // namespace
 
 std::vector<double> VariationStudy::mc_single_gate_delays(
@@ -138,6 +183,21 @@ std::vector<double> VariationStudy::mc_chain_delays(double vdd, int n_stages,
   return mc_scaled_quantiles(model_, vdd, *chain, n, seed);
 }
 
+stats::WeightedSamples VariationStudy::mc_chain_delays_planned(
+    double vdd, int n_stages, std::size_t n, const stats::SamplingPlan& plan,
+    std::uint64_t seed) const {
+  if (plan.is_naive()) {
+    // Keep the delegation exact: same kernel, same stream, empty weights.
+    return stats::WeightedSamples{
+        .values = mc_chain_delays(vdd, n_stages, n, seed), .weights = {}};
+  }
+  obs::counter("study.mc_points").increment();
+  obs::ScopedTimer timer(obs::timer("study.sampling"));
+  const auto chain =
+      device::cached_chain_distribution(model_, vdd, n_stages, dist_opt_);
+  return mc_scaled_quantiles_planned(model_, vdd, *chain, n, seed, plan);
+}
+
 McChainSummary VariationStudy::mc_chain_summary(double vdd, int n_stages,
                                                 std::size_t n,
                                                 std::uint64_t seed) const {
@@ -148,7 +208,7 @@ McChainSummary VariationStudy::mc_chain_summary(double vdd, int n_stages,
   const stats::Summary summary(delays);
   const double ps[] = {50.0, 99.0};
   const auto quantiles = stats::percentiles(delays, ps);
-  return McChainSummary{
+  McChainSummary result{
       .samples = delays.size(),
       .mean = summary.mean(),
       .stddev = summary.stddev(),
@@ -156,6 +216,54 @@ McChainSummary VariationStudy::mc_chain_summary(double vdd, int n_stages,
       .p99 = quantiles[1],
       .three_sigma_over_mu_pct = summary.three_sigma_over_mu_pct(),
   };
+  result.ess = static_cast<double>(delays.size());
+  if (result.mean != 0.0) {
+    result.mean_rel_ci_halfwidth =
+        stats::weighted_mean_ci_halfwidth(delays, {}) / result.mean;
+  }
+  result.p99_rel_ci_halfwidth =
+      stats::weighted_percentile_ci(delays, {}, 99.0).rel_halfwidth();
+  return result;
+}
+
+McChainSummary VariationStudy::mc_chain_summary(
+    double vdd, int n_stages, std::size_t n, const stats::SamplingPlan& plan,
+    std::uint64_t seed) const {
+  if (plan.is_naive()) return mc_chain_summary(vdd, n_stages, n, seed);
+
+  const stats::WeightedSamples sample =
+      mc_chain_delays_planned(vdd, n_stages, n, plan, seed);
+  const std::vector<double>& x = sample.values;
+  const std::vector<double>& w = sample.weights;
+
+  obs::ScopedTimer timer(obs::timer("study.percentiles"));
+  const double mean = stats::weighted_mean(x, w);
+  // Self-normalized weighted second moment (unit weights when w empty).
+  double sw = 0.0, swd2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    const double d = x[i] - mean;
+    sw += wi;
+    swd2 += wi * d * d;
+  }
+  const double stddev = sw > 0.0 ? std::sqrt(swd2 / sw) : 0.0;
+  McChainSummary result{
+      .samples = x.size(),
+      .mean = mean,
+      .stddev = stddev,
+      .p50 = stats::weighted_percentile(x, w, 50.0),
+      .p99 = stats::weighted_percentile(x, w, 99.0),
+      .three_sigma_over_mu_pct =
+          mean != 0.0 ? 300.0 * stddev / mean : 0.0,
+  };
+  result.ess = sample.ess();
+  if (mean != 0.0) {
+    result.mean_rel_ci_halfwidth =
+        stats::weighted_mean_ci_halfwidth(x, w) / mean;
+  }
+  result.p99_rel_ci_halfwidth =
+      stats::weighted_percentile_ci(x, w, 99.0).rel_halfwidth();
+  return result;
 }
 
 }  // namespace ntv::core

@@ -14,6 +14,7 @@
 
 #include "device/gate_table.h"
 #include "device/variation.h"
+#include "stats/variance_reduction.h"
 
 namespace ntv::core {
 
@@ -36,6 +37,12 @@ struct McChainSummary {
   double p50 = 0.0;          ///< Median chain delay [s].
   double p99 = 0.0;          ///< 99th-percentile chain delay [s].
   double three_sigma_over_mu_pct = 0.0;  ///< Sampled 3sigma/mu [%].
+  /// Convergence diagnostics: Kish effective sample size (== samples for
+  /// unweighted plans) and relative 95 % CI half-widths of the mean and
+  /// the 99th percentile.
+  double ess = 0.0;
+  double mean_rel_ci_halfwidth = 0.0;
+  double p99_rel_ci_halfwidth = 0.0;
 };
 
 /// Variation study of one technology node.
@@ -82,10 +89,23 @@ class VariationStudy {
                                       std::size_t n,
                                       std::uint64_t seed = 2) const;
 
+  /// Variance-reduced chain-delay sample: the delay uniform of row i is
+  /// drawn under `plan` (die-systematic draws stay pseudorandom), and the
+  /// result carries the likelihood-ratio weights for weighted plans. The
+  /// naive plan reproduces mc_chain_delays byte for byte.
+  stats::WeightedSamples mc_chain_delays_planned(
+      double vdd, int n_stages, std::size_t n,
+      const stats::SamplingPlan& plan, std::uint64_t seed = 2) const;
+
   /// Draws `n` chain delays and reduces them to summary + percentile
   /// statistics; the sampling and percentile-extraction stages are timed
-  /// separately ("study.sampling" / "study.percentiles" metrics).
+  /// separately ("study.sampling" / "study.percentiles" metrics). The
+  /// plan-taking overload uses (self-normalized) weighted estimators and
+  /// fills the convergence-diagnostic fields.
   McChainSummary mc_chain_summary(double vdd, int n_stages, std::size_t n,
+                                  std::uint64_t seed = 2) const;
+  McChainSummary mc_chain_summary(double vdd, int n_stages, std::size_t n,
+                                  const stats::SamplingPlan& plan,
                                   std::uint64_t seed = 2) const;
 
  private:

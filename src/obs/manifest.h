@@ -25,6 +25,9 @@ struct RunManifest {
   int threads_requested = 0;    ///< --threads value as given (0 = auto).
   std::string tech_node;        ///< e.g. "90nm GP"; empty if node-less.
   std::vector<double> vdd_grid; ///< Supply voltages swept [V].
+  /// Variance-reduction strategy of the run's Monte Carlo sampling
+  /// ("naive" / "stratified" / "importance" / "qmc").
+  std::string sampling = "naive";
   std::string build_type = std::string(build_kind());
   std::string library_version = std::string(version());
 

@@ -1,6 +1,17 @@
 #include "obs/metrics.h"
 
+#include <thread>
+
 namespace ntv::obs {
+
+std::size_t ShardedCounter::home_shard() noexcept {
+  // One hash per thread lifetime: the thread id is stable, so cache the
+  // shard index in a thread_local instead of re-hashing on every add.
+  thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kShards;
+  return shard;
+}
 
 Registry& Registry::global() {
   // Leaked on purpose: instrumented code may run during static
@@ -36,10 +47,20 @@ Timer& Registry::timer(std::string_view name) {
   return it->second;
 }
 
+ShardedCounter& Registry::sharded_counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    it = sharded_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, c] : sharded_) snap.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
   for (const auto& [name, t] : timers_) {
     snap.timers[name] = TimerStat{t.total_ns(), t.count()};
@@ -50,12 +71,17 @@ MetricsSnapshot Registry::snapshot() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, c] : sharded_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, t] : timers_) t.reset();
 }
 
 Counter& counter(std::string_view name) {
   return Registry::global().counter(name);
+}
+
+ShardedCounter& sharded_counter(std::string_view name) {
+  return Registry::global().sharded_counter(name);
 }
 
 Gauge& gauge(std::string_view name) {

@@ -55,6 +55,40 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Counter sharded across cache lines for write-heavy hot paths. A plain
+/// Counter is race-free (relaxed atomic) but every worker of the thread
+/// pool bumps the SAME cache line, so a counter touched once per Monte
+/// Carlo block becomes a cross-core ping-pong under the pool. Shards
+/// spread the writes: each thread picks a home shard by hashing its id,
+/// value() sums the shards (exact — every add lands in exactly one
+/// atomic), and snapshot()/reset() treat it like any other counter.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::int64_t delta) noexcept {
+    shards_[home_shard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  static std::size_t home_shard() noexcept;
+  Shard shards_[kShards];
+};
+
 /// Accumulating wall-clock timer: total nanoseconds and activation count.
 class Timer {
  public:
@@ -101,6 +135,11 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+  /// Sharded counter: same naming/snapshot contract as counter() (its
+  /// summed value appears in MetricsSnapshot::counters), but writes are
+  /// spread across cache lines. Do not register the same name as both a
+  /// plain and a sharded counter; the sharded value wins in snapshots.
+  ShardedCounter& sharded_counter(std::string_view name);
 
   MetricsSnapshot snapshot() const;
 
@@ -111,12 +150,14 @@ class Registry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, ShardedCounter, std::less<>> sharded_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Timer, std::less<>> timers_;
 };
 
 /// Shorthands for Registry::global() lookups.
 Counter& counter(std::string_view name);
+ShardedCounter& sharded_counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Timer& timer(std::string_view name);
 

@@ -149,12 +149,19 @@ double GridDistribution::max_quantile(double u, int k) const {
 namespace {
 
 /// Hot-path counters resolved once (registry lookups take a mutex).
-obs::Counter& guide_hits_counter() {
-  static obs::Counter& c = obs::counter("stats.quantile.guide_hits");
+/// Sharded: every pool worker bumps these once per sampled block, and a
+/// single relaxed atomic turns that into one cache line ping-ponging
+/// across all cores (PR 4 fix; tests/stats/variance_reduction_test.cc
+/// holds the concurrent-exactness regression test and the TSan job
+/// covers it).
+obs::ShardedCounter& guide_hits_counter() {
+  static obs::ShardedCounter& c =
+      obs::sharded_counter("stats.quantile.guide_hits");
   return c;
 }
-obs::Counter& guide_scans_counter() {
-  static obs::Counter& c = obs::counter("stats.quantile.scans");
+obs::ShardedCounter& guide_scans_counter() {
+  static obs::ShardedCounter& c =
+      obs::sharded_counter("stats.quantile.scans");
   return c;
 }
 

@@ -1,0 +1,411 @@
+#include "stats/variance_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/percentile.h"
+
+namespace ntv::stats {
+
+std::string_view to_string(SamplingStrategy strategy) noexcept {
+  switch (strategy) {
+    case SamplingStrategy::kNaive: return "naive";
+    case SamplingStrategy::kStratified: return "stratified";
+    case SamplingStrategy::kImportance: return "importance";
+    case SamplingStrategy::kQmc: return "qmc";
+  }
+  return "naive";
+}
+
+std::optional<SamplingStrategy> parse_strategy(
+    std::string_view name) noexcept {
+  if (name == "naive") return SamplingStrategy::kNaive;
+  if (name == "stratified") return SamplingStrategy::kStratified;
+  if (name == "importance") return SamplingStrategy::kImportance;
+  if (name == "qmc") return SamplingStrategy::kQmc;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Primitive polynomial + initial direction numbers for Sobol dimensions
+/// 2..12 (dimension 1 is the van der Corput sequence and needs neither),
+/// from the Joe & Kuo "new-joe-kuo-6" table. Every m_i is odd and below
+/// 2^i, which is what guarantees per-dimension base-2 stratification.
+struct SobolDim {
+  int degree;
+  std::uint32_t poly;  ///< Interior coefficients a_1..a_{s-1} as bits.
+  std::uint32_t m[7];  ///< Initial m_1..m_degree.
+};
+constexpr SobolDim kSobolDims[ScrambledSobol::kDims - 1] = {
+    {1, 0, {1}},
+    {2, 1, {1, 3}},
+    {3, 1, {1, 3, 1}},
+    {3, 2, {1, 1, 1}},
+    {4, 1, {1, 1, 3, 3}},
+    {4, 4, {1, 3, 5, 13}},
+    {5, 2, {1, 1, 5, 5, 17}},
+    {5, 4, {1, 1, 5, 5, 5}},
+    {5, 7, {1, 1, 7, 11, 19}},
+    {5, 11, {1, 1, 5, 1, 1}},
+    {5, 13, {1, 1, 1, 3, 11}},
+};
+
+}  // namespace
+
+ScrambledSobol::ScrambledSobol(std::uint64_t seed) {
+  // Dimension 0: van der Corput, V_k = 2^(32-k).
+  for (int k = 0; k < 32; ++k) {
+    direction_[0][k] = 1u << (31 - k);
+  }
+  for (int d = 1; d < kDims; ++d) {
+    const SobolDim& dim = kSobolDims[d - 1];
+    const int s = dim.degree;
+    std::uint32_t m[33];
+    for (int k = 1; k <= s; ++k) m[k] = dim.m[k - 1];
+    // Joe-Kuo recurrence for the remaining direction integers.
+    for (int k = s + 1; k <= 32; ++k) {
+      m[k] = m[k - s] ^ (m[k - s] << s);
+      for (int i = 1; i < s; ++i) {
+        if ((dim.poly >> (s - 1 - i)) & 1u) m[k] ^= m[k - i] << i;
+      }
+    }
+    for (int k = 1; k <= 32; ++k) {
+      direction_[d][k - 1] = m[k] << (32 - k);
+    }
+  }
+  // One digital-shift mask per dimension: XORing a fixed mask into every
+  // point is a measure-preserving bijection of [0,1)^kDims that keeps all
+  // base-2 equidistribution properties, so the scrambled set integrates
+  // means without bias over the random shift.
+  SplitMix64 mixer(seed ^ 0x50B0150B015EEDULL);
+  for (int d = 0; d < kDims; ++d) {
+    shift_[d] = static_cast<std::uint32_t>(mixer.next() >> 32);
+  }
+}
+
+double ScrambledSobol::point(std::uint64_t index, int dim) const noexcept {
+  // Binary-expansion Sobol (XOR of direction numbers over set index
+  // bits). This enumerates the same point set as the Gray-code generator
+  // for any power-of-two prefix, just in a different order, and gives
+  // O(popcount) random access — which is what keeps parallel Monte Carlo
+  // blocks deterministic for any worker count.
+  std::uint32_t x = shift_[dim];
+  const std::uint32_t* v = direction_[dim];
+  std::uint64_t bits = index;
+  for (int b = 0; bits != 0 && b < 32; ++b, bits >>= 1) {
+    if (bits & 1u) x ^= v[b];
+  }
+  return static_cast<double>(x) * 0x1p-32;
+}
+
+double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
+                         std::size_t row, std::size_t n_rows,
+                         std::span<double> u, const ScrambledSobol* qmc) {
+  switch (plan.strategy) {
+    case SamplingStrategy::kNaive: {
+      for (double& x : u) x = rng.uniform();
+      return 1.0;
+    }
+    case SamplingStrategy::kStratified: {
+      // Same number of uniform() calls as naive (substream scheduling is
+      // unchanged); the primary dimension is remapped into this row's
+      // equi-probable stratum [row/n, (row+1)/n).
+      for (double& x : u) x = rng.uniform();
+      if (!u.empty() && n_rows > 0) {
+        u[0] = (static_cast<double>(row) + u[0]) /
+               static_cast<double>(n_rows);
+      }
+      return 1.0;
+    }
+    case SamplingStrategy::kImportance: {
+      // Row-level defensive mixture over a ladder of piecewise-constant
+      // tail tilts, one rung per KNOT. Rung k draws every dimension from
+      // the two-piece density
+      //   g_k(u) = q_k / (1 - c_k)   on [c_k, 1)   (the "slow" piece)
+      //          = (1 - q_k) / c_k   on [0, c_k)   (the "fast" piece)
+      // i.e. it boosts the per-dimension probability of landing above its
+      // knot from q0_k = 1 - c_k to q_k while keeping draws uniform
+      // WITHIN each piece. Two design decisions carry the estimator:
+      //
+      //  1. The row likelihood ratio against the mixture depends on the
+      //     row only through its slow-draw counts m_k = #{u_j >= c_k} —
+      //     the sufficient statistic the sign-off events are made of. A
+      //     chip's delay at alpha spares is its (alpha+1)-th slowest
+      //     lane, so {chip in the p99 tail} == {count of lanes above the
+      //     sign-off threshold >= alpha+1}: weight and event move
+      //     together. Smooth product tilts (Beta(t,1)^d) key their ratio
+      //     to sum_j log u_j instead, whose O(sqrt d) noise is
+      //     independent of the count, so in 130-260 dimensions proposal
+      //     and target barely overlap (docs/SAMPLING.md works both
+      //     calculations).
+      //  2. The knots form a LADDER spanning the decision band. The
+      //     decisive lane quantile is alpha-dependent: the p99 chip at
+      //     alpha spares has ~binomial count >= alpha+1 above u* where
+      //     d*(1-u*) + z99*sqrt(d*(1-u*)*u*) ~ alpha+1, which puts u*
+      //     near 0.70 for alpha ~ 75 and near 0.997 for alpha ~ 2. A
+      //     single-knot tilt serves one alpha band and injects pure
+      //     weight noise everywhere else; geometrically spaced knots
+      //     cover the whole sweep. Each rung's boost is self-tuned from
+      //     the row dimension d so its mean count shifts by tilt_power
+      //     standard deviations — the z-scale of the p99 event itself.
+      //
+      // Weights stay in (0, 1/(1-w)]: bounded above by the defensive
+      // naive component, and decreasing in the counts — exactly the
+      // proper-IS correlation.
+      constexpr int K = SamplingPlan::kTiltLadder;
+      // Tail probabilities geometrically spaced around 1 - tilt_knot,
+      // widest rung first (q0 descending => knots c_k ascending).
+      static constexpr double kKnotSpread[K] = {6.0, 2.4, 1.0, 0.3};
+      const double w_total = std::clamp(plan.tilt_weight, 0.0, 0.95);
+      const double q_center = std::clamp(1.0 - plan.tilt_knot, 1e-4, 0.5);
+      const double z = std::max(plan.tilt_power, 0.0);
+      const double dim = std::max<double>(u.size(), 1);
+      double q0[K];  // Naive probability of the slow piece [c_k, 1).
+      double q[K];   // Tilted probability of the slow piece.
+      double ck[K];  // Knot of rung k.
+      for (int k = 0; k < K; ++k) {
+        q0[k] = std::min(q_center * kKnotSpread[k], 0.45);
+        ck[k] = 1.0 - q0[k];
+        const double rho = 1.0 + z * std::sqrt((1.0 - q0[k]) / (dim * q0[k]));
+        q[k] = std::min(rho * q0[k], 0.5 * (1.0 + q0[k]));
+      }
+      // Deterministic stratified allocation of rows to components: row i
+      // owns selector position s_i = (i + 0.5) / n, components own
+      // consecutive s-intervals (rungs first, the defensive naive block
+      // last). Balance-heuristic weights below use the REALIZED component
+      // fractions, so the estimator is exactly unbiased (multiple
+      // importance sampling with deterministic sample counts) and the
+      // multinomial noise of a randomized selector — which would land in
+      // the denominator of every self-normalized estimate — is gone.
+      const std::size_t nr = std::max<std::size_t>(n_rows, 1);
+      auto below = [nr](double b) {
+        // #{i in [0, nr): (i + 0.5)/nr < b}
+        const double x = b * static_cast<double>(nr) - 0.5;
+        const double cnt = std::ceil(x);
+        return static_cast<double>(
+            std::clamp(cnt, 0.0, static_cast<double>(nr)));
+      };
+      const double s = (static_cast<double>(row) + 0.5) /
+                       static_cast<double>(nr);
+      const int comp =
+          s < w_total && w_total > 0.0
+              ? std::min(static_cast<int>(s / (w_total / K)), K - 1)
+              : -1;
+      if (comp < 0) {
+        for (double& x : u) x = rng.uniform();
+      } else {
+        const double qc = q[comp];
+        const double q0c = q0[comp];
+        const double cc = ck[comp];
+        for (double& x : u) {
+          const double r = rng.uniform();
+          x = r < qc ? cc + q0c * (r / qc) : cc * (r - qc) / (1.0 - qc);
+        }
+      }
+      // Slow-draw counts against every knot (each rung's density of THIS
+      // row is needed for the mixture, whichever rung drew it).
+      std::size_t m[K] = {};
+      for (const double x : u) {
+        for (int k = 0; k < K; ++k) m[k] += x >= ck[k];
+      }
+      // log prod_j g_k(u_j) = m_k log(q_k/q0_k) + (d-m_k) log((1-q_k)/c_k);
+      // exp is clamped so deep-tail rows underflow to weight ~0 instead
+      // of overflowing g (they carry negligible f-mass anyway). g mixes
+      // with the REALIZED per-component row fractions (see above).
+      const double n_total = static_cast<double>(nr);
+      double tilted_rows = 0.0;
+      double g = 0.0;
+      for (int k = 0; k < K; ++k) {
+        const double lo = w_total * static_cast<double>(k) /
+                          static_cast<double>(K);
+        const double hi = w_total * static_cast<double>(k + 1) /
+                          static_cast<double>(K);
+        const double frac = (below(hi) - below(lo)) / n_total;
+        tilted_rows += frac;
+        if (frac <= 0.0) continue;
+        const double md = static_cast<double>(m[k]);
+        const double log_r =
+            md * std::log(q[k] / q0[k]) +
+            (dim - md) * std::log((1.0 - q[k]) / ck[k]);
+        g += frac * std::exp(std::min(log_r, 700.0));
+      }
+      g += 1.0 - tilted_rows;  // The defensive naive block.
+      return 1.0 / g;
+    }
+    case SamplingStrategy::kQmc: {
+      for (std::size_t j = 0; j < u.size(); ++j) {
+        // Hybrid padding: true Sobol coordinates for the first kDims
+        // dimensions, the pseudorandom stream beyond them.
+        u[j] = j < static_cast<std::size_t>(ScrambledSobol::kDims)
+                   ? qmc->point(row, static_cast<int>(j))
+                   : rng.uniform();
+      }
+      return 1.0;
+    }
+  }
+  return 1.0;
+}
+
+WeightedSamples monte_carlo_planned(
+    std::size_t n, std::size_t draws_per_sample, const SamplingPlan& plan,
+    const std::function<double(Xoshiro256pp&, std::span<const double>)>&
+        transform,
+    const MonteCarloOptions& opt) {
+  WeightedSamples out;
+  if (plan.is_weighted()) out.weights.assign(n, 1.0);
+  double* weights = out.weights.empty() ? nullptr : out.weights.data();
+  std::optional<ScrambledSobol> sobol;
+  if (plan.strategy == SamplingStrategy::kQmc) sobol.emplace(opt.seed);
+  const ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+
+  out.values = monte_carlo_rows(
+      n, 1,
+      [&plan, &transform, draws_per_sample, n, weights, qmc](
+          Xoshiro256pp& rng, std::size_t row, double* slot) {
+        thread_local std::vector<double> u;
+        if (u.size() < draws_per_sample) u.resize(draws_per_sample);
+        const double w = plan_row_uniforms(
+            plan, rng, row, n,
+            std::span<double>(u.data(), draws_per_sample), qmc);
+        if (weights != nullptr) weights[row] = w;
+        slot[0] = transform(
+            rng, std::span<const double>(u.data(), draws_per_sample));
+      },
+      opt);
+  return out;
+}
+
+double WeightedSamples::ess() const {
+  if (weights.empty()) return static_cast<double>(values.size());
+  return effective_sample_size(weights);
+}
+
+double effective_sample_size(std::span<const double> weights) {
+  double sum = 0.0, sum2 = 0.0;
+  for (double w : weights) {
+    sum += w;
+    sum2 += w * w;
+  }
+  if (sum2 <= 0.0) return 0.0;
+  return sum * sum / sum2;
+}
+
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) {
+  if (weights.empty()) {
+    const double n = static_cast<double>(values.size());
+    return n > 0.0 ? std::reduce(values.begin(), values.end()) / n : 0.0;
+  }
+  if (weights.size() != values.size())
+    throw std::invalid_argument("weighted_mean: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    num += weights[i] * values[i];
+    den += weights[i];
+  }
+  if (den <= 0.0)
+    throw std::invalid_argument("weighted_mean: non-positive weight sum");
+  return num / den;
+}
+
+double weighted_mean_ci_halfwidth(std::span<const double> values,
+                                  std::span<const double> weights,
+                                  double z) {
+  if (values.empty()) return 0.0;
+  const double mean = weighted_mean(values, weights);
+  double var_num = 0.0, den = 0.0;
+  if (weights.empty()) {
+    for (double x : values) var_num += (x - mean) * (x - mean);
+    den = static_cast<double>(values.size());
+  } else {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      var_num += weights[i] * (values[i] - mean) * (values[i] - mean);
+      den += weights[i];
+    }
+  }
+  const double variance = den > 0.0 ? var_num / den : 0.0;
+  const double ess = weights.empty() ? static_cast<double>(values.size())
+                                     : effective_sample_size(weights);
+  if (ess <= 0.0) return 0.0;
+  return z * std::sqrt(variance / ess);
+}
+
+double weighted_percentile(std::span<const double> values,
+                           std::span<const double> weights, double p) {
+  if (values.empty())
+    throw std::invalid_argument("weighted_percentile: empty sample");
+  if (weights.empty()) return percentile(values, p);
+  if (weights.size() != values.size())
+    throw std::invalid_argument("weighted_percentile: size mismatch");
+  const std::size_t n = values.size();
+  if (n == 1) return values.front();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("weighted_percentile: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument(
+        "weighted_percentile: non-positive weight sum");
+
+  // Sorted element k sits at ECDF position pos_k = S_{k-1} / (W - w_k)
+  // (S_{k-1} = weight mass strictly below it). For equal weights this is
+  // exactly k/(n-1) — the type-7 plotting position of stats::percentile —
+  // and it is non-decreasing for any non-negative weights:
+  //   S_k (W - w_k) - S_{k-1} (W - w_{k+1})
+  //     = w_k (W - S_k) + S_{k-1} w_{k+1} >= 0.
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0;
+  double below = 0.0;       // S_{k-1}
+  double prev_pos = 0.0;
+  double prev_val = values[order[0]];
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = weights[order[k]];
+    const double denom = total - w;
+    const double pos =
+        denom > 0.0 ? std::min(below / denom, 1.0) : (below > 0.0 ? 1.0 : 0.0);
+    const double val = values[order[k]];
+    if (pos >= target) {
+      if (k == 0 || pos <= prev_pos) return val;
+      const double frac = (target - prev_pos) / (pos - prev_pos);
+      return prev_val + frac * (val - prev_val);
+    }
+    prev_pos = pos;
+    prev_val = val;
+    below += w;
+  }
+  return values[order[n - 1]];
+}
+
+QuantileCi weighted_percentile_ci(std::span<const double> values,
+                                  std::span<const double> weights, double p,
+                                  double z) {
+  QuantileCi ci;
+  ci.estimate = weighted_percentile(values, weights, p);
+  const double ess = weights.empty()
+                         ? static_cast<double>(values.size())
+                         : effective_sample_size(weights);
+  if (ess <= 1.0) {
+    ci.lo = ci.hi = ci.estimate;
+    return ci;
+  }
+  const double p01 = std::clamp(p, 0.0, 100.0) / 100.0;
+  const double se = std::sqrt(p01 * (1.0 - p01) / ess);
+  ci.lo = weighted_percentile(values, weights,
+                              100.0 * std::clamp(p01 - z * se, 0.0, 1.0));
+  ci.hi = weighted_percentile(values, weights,
+                              100.0 * std::clamp(p01 + z * se, 0.0, 1.0));
+  return ci;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,218 @@
+// Variance-reduced sampling strategies for the Monte Carlo pipeline.
+//
+// Every estimator the paper reports — chain-delay moments (Fig. 2), the
+// 99 % chip-delay sign-off (Tables 1-4), spare-coverage probabilities
+// (Fig. 12) — is a functional of uniform draws pushed through inverse
+// CDFs. A SamplingPlan changes HOW those uniforms are generated while
+// keeping the transform untouched, so one opt-in layer accelerates every
+// workload:
+//
+//  * naive       — u ~ U(0,1) i.i.d. The default; byte-identical to the
+//                  historical RNG stream (same draws, same order).
+//  * stratified  — the primary dimension of row i is drawn from stratum
+//                  i of n equi-probable strata: u = (i + v) / n. Exact
+//                  (every stratum has probability 1/n and is sampled
+//                  once), unbiased for means AND for the empirical CDF,
+//                  and never worse than naive for monotone integrands.
+//  * importance  — a row-level defensive mixture: a fixed 1-w fraction
+//                  of rows keeps all dimensions U(0,1) (exactly the
+//                  naive draw); the rest are split across a ladder of
+//                  piecewise-constant tail tilts, one rung per knot c_k,
+//                  each boosting the probability of its slow piece
+//                  [c_k, 1). The exact likelihood ratio against the
+//                  mixture is bounded by 1/(1-w) AND depends on the row
+//                  only through its slow-draw counts — the statistic the
+//                  tail events are made of — which is what keeps
+//                  importance sampling effective (not just safe) in
+//                  130-260-dimensional chip rows (docs/SAMPLING.md).
+//  * qmc         — scrambled Sobol points (digital-shift scramble, one
+//                  shift per dimension derived from the run seed);
+//                  dimensions beyond kSobolDims fall back to the
+//                  pseudorandom stream (standard hybrid padding). Best
+//                  for smooth low-dimensional integrands (mean chain
+//                  delay); quantile estimates are consistent but not
+//                  exactly unbiased at finite n.
+//
+// Validity and the estimator math are derived in docs/SAMPLING.md. The
+// weighted-sample helpers (self-normalized percentile, effective sample
+// size, distribution-free quantile CIs) live here too, so workloads can
+// report convergence diagnostics alongside their estimates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/monte_carlo.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+
+/// How a Monte Carlo run draws its uniforms.
+enum class SamplingStrategy { kNaive, kStratified, kImportance, kQmc };
+
+/// "naive" / "stratified" / "importance" / "qmc".
+std::string_view to_string(SamplingStrategy strategy) noexcept;
+
+/// Inverse of to_string; std::nullopt on unknown names.
+std::optional<SamplingStrategy> parse_strategy(std::string_view name) noexcept;
+
+/// An opt-in sampling strategy plus its tuning knobs. The default is the
+/// naive plan, which reproduces the historical RNG stream byte for byte.
+struct SamplingPlan {
+  SamplingStrategy strategy = SamplingStrategy::kNaive;
+
+  /// Aggressiveness of the importance tilt, as a z-score: each ladder
+  /// rung boosts the per-dimension probability of its slow piece
+  /// [c_k, 1) so the row's expected slow-draw count above c_k shifts by
+  /// tilt_power standard deviations of its naive binomial distribution
+  /// (the boost factor is derived from the row dimension at draw time).
+  /// The default aims each rung at the ~99th percentile of its count —
+  /// the exact event the paper's sign-off quantiles are made of.
+  double tilt_power = 2.33;
+
+  /// Total probability that a row is tilted at all (split equally across
+  /// the ladder rungs). The likelihood ratio of every row is bounded by
+  /// 1/(1 - tilt_weight), so the weighted estimators cannot degenerate
+  /// no matter how high-dimensional the row is.
+  double tilt_weight = 0.5;
+
+  /// Center knot of the tilt ladder: rung knots c_k have tail
+  /// probabilities 1-c_k geometrically spaced around 1-tilt_knot (from
+  /// 6x down to 0.3x), and draws stay uniform within each piece. The
+  /// spread covers the sweep's decision band — the lane quantile that
+  /// decides the p99 sign-off moves from ~0.70 at large spare counts to
+  /// ~0.997 at small ones (see plan_row_uniforms).
+  double tilt_knot = 0.95;
+
+  /// Number of rungs in the importance tilt ladder.
+  static constexpr int kTiltLadder = 4;
+
+  bool is_naive() const noexcept {
+    return strategy == SamplingStrategy::kNaive;
+  }
+  /// True when rows carry non-unit likelihood-ratio weights.
+  bool is_weighted() const noexcept {
+    return strategy == SamplingStrategy::kImportance;
+  }
+};
+
+/// Scrambled Sobol sequence with random-access indexing (point i is
+/// computable without generating points 0..i-1, so parallel Monte Carlo
+/// blocks stay deterministic for any worker count). The scramble is a
+/// per-dimension digital shift (XOR of a seed-derived 32-bit mask, i.e.
+/// a base-2 Cranley-Patterson rotation): it preserves every base-2
+/// stratification property of the raw sequence and makes the point set
+/// an unbiased estimator family for means.
+class ScrambledSobol {
+ public:
+  /// Dimensions with true Sobol direction numbers; higher dimensions of
+  /// a point fall back to pseudorandom padding at the call site.
+  static constexpr int kDims = 12;
+
+  explicit ScrambledSobol(std::uint64_t seed);
+
+  /// Coordinate `dim` (in [0, kDims)) of point `index`, in [0, 1).
+  double point(std::uint64_t index, int dim) const noexcept;
+
+ private:
+  std::uint32_t direction_[kDims][32];  ///< V_{dim,bit}, bit 0 = MSB-most.
+  std::uint32_t shift_[kDims];          ///< Digital-shift scramble masks.
+};
+
+/// Fills `u` with sample `row`'s uniform draws under `plan` and returns
+/// the row's likelihood-ratio weight (1.0 for every unweighted plan).
+///
+/// Contract for byte-identity of the default path: the naive plan makes
+/// exactly u.size() rng.uniform() calls, in order — the same stream a
+/// hand-written draw loop would consume. The stratified and importance
+/// plans also make exactly u.size() uniform() calls (the importance
+/// mixture component is a deterministic function of the row index, not a
+/// random draw); qmc consumes uniforms only for dimensions beyond
+/// ScrambledSobol::kDims. Per-row call counts never
+/// affect block/substream scheduling (monte_carlo_rows seeds each block
+/// independently), so every plan stays deterministic for any worker
+/// count. `qmc` must be non-null when plan is kQmc (callers hold one per
+/// run, built from the run seed); `n_rows` is the stratum count for the
+/// stratified plan.
+double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
+                         std::size_t row, std::size_t n_rows,
+                         std::span<double> u,
+                         const ScrambledSobol* qmc = nullptr);
+
+/// A Monte Carlo sample with optional likelihood-ratio weights. An empty
+/// weights vector means every sample has unit weight (the unweighted
+/// plans leave it empty so downstream code keeps its exact historical
+/// arithmetic).
+struct WeightedSamples {
+  std::vector<double> values;
+  std::vector<double> weights;
+
+  bool weighted() const noexcept { return !weights.empty(); }
+  /// Kish effective sample size; values.size() when unweighted.
+  double ess() const;
+};
+
+/// Planned scalar Monte Carlo on top of stats::monte_carlo_rows: row i's
+/// `draws_per_sample` uniforms are generated under `plan` and handed to
+/// `transform(rng, u)`, whose return value is sample i. The transform may
+/// take extra pseudorandom draws from `rng` AFTER the planned uniforms.
+/// Substream scheduling matches the unplanned runners, so the naive plan
+/// with a transform that would have drawn its own uniforms first is
+/// byte-identical to the hand-written monte_carlo closure.
+WeightedSamples monte_carlo_planned(
+    std::size_t n, std::size_t draws_per_sample, const SamplingPlan& plan,
+    const std::function<double(Xoshiro256pp&, std::span<const double>)>&
+        transform,
+    const MonteCarloOptions& opt = {});
+
+/// Kish effective sample size (sum w)^2 / sum w^2 of a weight vector.
+/// n identical weights give exactly n; one dominant weight gives ~1.
+double effective_sample_size(std::span<const double> weights);
+
+/// Self-normalized weighted mean sum(w*x)/sum(w).
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights);
+
+/// Half-width of the normal-approximation CI of the weighted mean:
+/// z * weighted_stddev / sqrt(ESS). Unweighted when weights is empty.
+double weighted_mean_ci_halfwidth(std::span<const double> values,
+                                  std::span<const double> weights,
+                                  double z = 1.959963984540054);
+
+/// p-th percentile (p in [0,100]) of a weighted sample via the weighted
+/// generalization of the type-7 interpolated quantile: sorted element k
+/// sits at ECDF position S_{k-1} / (W - w_k) (which reduces to k/(n-1)
+/// for equal weights, matching stats::percentile exactly), and the value
+/// is interpolated linearly between bracketing positions. An empty
+/// weights span means unit weights. Precondition: values non-empty,
+/// weights empty or the same length with a positive sum.
+double weighted_percentile(std::span<const double> values,
+                           std::span<const double> weights, double p);
+
+/// Distribution-free normal-approximation confidence interval for the
+/// p-th percentile of a weighted sample: the ECDF level p is perturbed
+/// by +-z*sqrt(p*(1-p)/ESS) and the endpoints are the weighted
+/// percentiles at the perturbed levels. For importance-weighted tails
+/// this uses ESS in place of n — an approximation (exact variance needs
+/// the weight/indicator covariance), but a conservative and monotone
+/// one; docs/SAMPLING.md discusses the error term.
+struct QuantileCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double halfwidth() const noexcept { return 0.5 * (hi - lo); }
+  /// Half-width relative to the estimate (0 when the estimate is 0).
+  double rel_halfwidth() const noexcept {
+    return estimate != 0.0 ? halfwidth() / estimate : 0.0;
+  }
+};
+QuantileCi weighted_percentile_ci(std::span<const double> values,
+                                  std::span<const double> weights, double p,
+                                  double z = 1.959963984540054);
+
+}  // namespace ntv::stats

@@ -1,0 +1,97 @@
+// Arch-level contracts of the variance-reduction layer: the default
+// (naive) plan is byte-identical to the historical samplers, and the
+// weighted plans produce estimates consistent with naive at a tolerance
+// their own confidence intervals predict.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/simd_timing.h"
+#include "device/tech_node.h"
+#include "stats/variance_reduction.h"
+
+namespace ntv::arch {
+namespace {
+
+const device::VariationModel& model90() {
+  static const device::VariationModel vm(device::tech_90nm());
+  return vm;
+}
+
+TEST(PlannedSampling, NaivePlanFillsIdenticalLanes) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  stats::Xoshiro256pp a(5), b(5);
+  std::vector<double> legacy(140), planned(140);
+  sampler.sample_lanes(a, legacy);
+  const double w = sampler.sample_lanes_planned(b, stats::SamplingPlan{},
+                                                /*row=*/0, /*n_rows=*/1,
+                                                planned);
+  EXPECT_EQ(w, 1.0);
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(planned[i], legacy[i]) << "lane " << i;
+  }
+  EXPECT_EQ(a.next(), b.next());  // RNG streams stay in lockstep.
+}
+
+TEST(PlannedSampling, DefaultPlanMcMatchesLegacyByteForByte) {
+  const ChipDelaySampler sampler(model90(), 0.6);
+  stats::MonteCarloOptions opt;
+  opt.seed = 77;
+  const auto legacy = mc_chip_delays(sampler, 300, 128, 4, opt);
+  const auto planned =
+      mc_chip_delays(sampler, 300, 128, 4, opt, stats::SamplingPlan{});
+  ASSERT_EQ(planned.delays.size(), legacy.delays.size());
+  EXPECT_TRUE(planned.weights.empty());
+  for (std::size_t i = 0; i < legacy.delays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(planned.delays[i], legacy.delays[i]) << "chip " << i;
+  }
+  EXPECT_DOUBLE_EQ(planned.percentile(99.0), legacy.percentile(99.0));
+  EXPECT_DOUBLE_EQ(planned.ess(), 300.0);
+}
+
+TEST(PlannedSampling, ImportancePlanAgreesWithNaiveWithinItsCi) {
+  // The importance estimate of the p99 chip delay must land within the
+  // union of both plans' 95 % confidence intervals of the naive estimate
+  // (unbiasedness at work), and its ESS must stay a healthy fraction of
+  // the budget (the defensive mixture bounds weights by 1/(1-w)).
+  const ChipDelaySampler sampler(model90(), 0.55);
+  stats::MonteCarloOptions opt;
+  opt.seed = 13;
+  const std::size_t n = 4000;
+  const auto naive = mc_chip_delays(sampler, n, 128, 14, opt);
+  stats::SamplingPlan plan;
+  plan.strategy = stats::SamplingStrategy::kImportance;
+  const auto imp = mc_chip_delays(sampler, n, 128, 14, opt, plan);
+
+  ASSERT_EQ(imp.weights.size(), n);
+  EXPECT_GT(imp.ess(), 0.3 * static_cast<double>(n));
+  EXPECT_LT(imp.ess(), static_cast<double>(n));
+
+  const auto ci_n = naive.percentile_ci(99.0);
+  const auto ci_i = imp.percentile_ci(99.0);
+  const double slack = ci_n.halfwidth() + ci_i.halfwidth();
+  EXPECT_NEAR(imp.percentile(99.0), naive.percentile(99.0), 2.0 * slack);
+}
+
+TEST(PlannedSampling, SweepSharesWeightsAcrossSpareCounts) {
+  const ChipDelaySampler sampler(model90(), 0.55);
+  stats::MonteCarloOptions opt;
+  opt.seed = 21;
+  stats::SamplingPlan plan;
+  plan.strategy = stats::SamplingStrategy::kImportance;
+  const std::vector<int> alphas{0, 4, 8};
+  const auto sweep =
+      mc_chip_delay_sweep(sampler, 500, 128, alphas, opt, plan);
+  ASSERT_EQ(sweep.size(), alphas.size());
+  for (const auto& r : sweep) {
+    ASSERT_EQ(r.weights.size(), 500u);
+    EXPECT_DOUBLE_EQ(r.ess(), sweep[0].ess());  // One row, one weight.
+  }
+  // More spares can only speed the chip up (monotone in alpha).
+  EXPECT_GE(sweep[0].percentile(99.0), sweep[1].percentile(99.0));
+  EXPECT_GE(sweep[1].percentile(99.0), sweep[2].percentile(99.0));
+}
+
+}  // namespace
+}  // namespace ntv::arch

@@ -110,5 +110,37 @@ TEST(MetricsTest, GlobalRegistryIsSharedAndConvenienceFunctionsHitIt) {
   EXPECT_GE(Registry::global().counter("global.test").value(), 1);
 }
 
+TEST(MetricsTest, ShardedCounterSumsExactlyAcrossThreads) {
+  // Regression for the guide-table counter race: hot per-sample counters
+  // are sharded so concurrent increments neither tear (TSan) nor lose
+  // updates, and value() must still be exact.
+  Registry registry;
+  ShardedCounter& c = registry.sharded_counter("stats.test.sharded");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([&c] {
+      for (int k = 0; k < kIncrements; ++k) c.increment();
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c.value(), std::int64_t{kThreads} * kIncrements);
+  // Same instance on re-lookup, snapshot carries the total, reset zeroes.
+  EXPECT_EQ(&registry.sharded_counter("stats.test.sharded"), &c);
+  const auto snap = registry.snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "stats.test.sharded") {
+      found = true;
+      EXPECT_EQ(value, std::int64_t{kThreads} * kIncrements);
+    }
+  }
+  EXPECT_TRUE(found);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
 }  // namespace
 }  // namespace ntv::obs

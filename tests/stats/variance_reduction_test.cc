@@ -1,0 +1,297 @@
+#include "stats/variance_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/monte_carlo.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+
+namespace ntv::stats {
+namespace {
+
+TEST(SamplingStrategy, RoundTripsThroughNames) {
+  for (auto s : {SamplingStrategy::kNaive, SamplingStrategy::kStratified,
+                 SamplingStrategy::kImportance, SamplingStrategy::kQmc}) {
+    const auto parsed = parse_strategy(to_string(s));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_strategy("metropolis").has_value());
+}
+
+TEST(PlanRowUniforms, NaivePlanMatchesRawStreamExactly) {
+  // The byte-identity contract: the naive plan consumes the RNG exactly
+  // like a hand-written draw loop, dimension by dimension.
+  Xoshiro256pp a(123), b(123);
+  std::vector<double> u(37);
+  const double w = plan_row_uniforms(SamplingPlan{}, a, 5, 100, u);
+  EXPECT_EQ(w, 1.0);
+  for (double x : u) EXPECT_DOUBLE_EQ(x, b.uniform());
+  EXPECT_EQ(a.next(), b.next());  // Streams stay in lockstep afterwards.
+}
+
+TEST(PlanRowUniforms, StratifiedConfinesPrimaryDimensionToItsStratum) {
+  SamplingPlan plan;
+  plan.strategy = SamplingStrategy::kStratified;
+  const std::size_t n = 64;
+  Xoshiro256pp rng(7);
+  std::vector<double> u(4);
+  for (std::size_t row = 0; row < n; ++row) {
+    const double w = plan_row_uniforms(plan, rng, row, n, u);
+    EXPECT_EQ(w, 1.0);
+    EXPECT_GE(u[0], static_cast<double>(row) / n);
+    EXPECT_LT(u[0], static_cast<double>(row + 1) / n);
+    for (double x : u) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(PlanRowUniforms, ImportanceWeightsAverageToOne) {
+  // E_g[1/g] = integral of the nominal density = 1: the self-normalizing
+  // denominator is unbiased, so weighted estimators stay calibrated.
+  SamplingPlan plan;
+  plan.strategy = SamplingStrategy::kImportance;
+  const std::size_t n = 20000, d = 96;
+  Xoshiro256pp rng(11);
+  std::vector<double> u(d);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t row = 0; row < n; ++row) {
+    const double w = plan_row_uniforms(plan, rng, row, n, u);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 / (1.0 - plan.tilt_weight) + 1e-12);
+    sum += w;
+    sum_sq += w * w;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  // 5-sigma acceptance band around the exact mean of 1.
+  EXPECT_NEAR(mean, 1.0, 5.0 * std::sqrt(var / static_cast<double>(n)));
+}
+
+TEST(PlanRowUniforms, ImportanceTailProbabilityEstimateIsUnbiased) {
+  // Estimate P(#{u_j >= t} >= a) for a binomial tail event — the exact
+  // shape of the chip sign-off events — and check the weighted estimate
+  // against the analytic binomial sum.
+  SamplingPlan plan;
+  plan.strategy = SamplingStrategy::kImportance;
+  const std::size_t n = 40000, d = 64;
+  const double t = 0.95;
+  const int a = 9;  // P ~ 2e-3: deep enough that naive MC struggles.
+  double analytic = 0.0;
+  {
+    double log_fact[65] = {0.0};
+    for (int i = 1; i <= 64; ++i)
+      log_fact[i] = log_fact[i - 1] + std::log(static_cast<double>(i));
+    for (int k = a; k <= static_cast<int>(d); ++k) {
+      const double log_c = log_fact[d] - log_fact[k] - log_fact[d - k];
+      analytic += std::exp(log_c + k * std::log(0.05) +
+                           (static_cast<double>(d) - k) * std::log(0.95));
+    }
+  }
+  Xoshiro256pp rng(29);
+  std::vector<double> u(d);
+  double hits = 0.0, wsum = 0.0;
+  for (std::size_t row = 0; row < n; ++row) {
+    const double w = plan_row_uniforms(plan, rng, row, n, u);
+    int count = 0;
+    for (double x : u) count += x >= t;
+    if (count >= a) hits += w;
+    wsum += w;
+  }
+  const double est = hits / wsum;
+  EXPECT_NEAR(est, analytic, 0.25 * analytic);
+}
+
+TEST(MonteCarloPlanned, NaivePlanIsByteIdenticalToUnplannedRunner) {
+  // A transform that draws its uniforms itself, run through the legacy
+  // runner, must equal the planned runner handing those uniforms in.
+  const std::size_t n = 500, d = 16;
+  MonteCarloOptions opt;
+  opt.seed = 99;
+  const auto legacy = monte_carlo(
+      n,
+      [](Xoshiro256pp& rng) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j) acc = std::max(acc, rng.uniform());
+        return acc;
+      },
+      opt);
+  const auto planned = monte_carlo_planned(
+      n, d, SamplingPlan{},
+      [](Xoshiro256pp&, std::span<const double> u) {
+        return *std::max_element(u.begin(), u.end());
+      },
+      opt);
+  ASSERT_EQ(planned.values.size(), legacy.size());
+  EXPECT_TRUE(planned.weights.empty());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(planned.values[i], legacy[i]) << "sample " << i;
+  }
+}
+
+TEST(MonteCarloPlanned, ThreadCountInvariantForEveryPlan) {
+  for (auto strategy :
+       {SamplingStrategy::kNaive, SamplingStrategy::kStratified,
+        SamplingStrategy::kImportance, SamplingStrategy::kQmc}) {
+    SamplingPlan plan;
+    plan.strategy = strategy;
+    auto transform = [](Xoshiro256pp&, std::span<const double> u) {
+      return std::accumulate(u.begin(), u.end(), 0.0);
+    };
+    MonteCarloOptions one;
+    one.seed = 3;
+    one.threads = 1;
+    MonteCarloOptions many;
+    many.seed = 3;
+    many.threads = 8;
+    const auto a = monte_carlo_planned(701, 20, plan, transform, one);
+    const auto b = monte_carlo_planned(701, 20, plan, transform, many);
+    ASSERT_EQ(a.values.size(), b.values.size());
+    for (std::size_t i = 0; i < a.values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.values[i], b.values[i])
+          << to_string(strategy) << " sample " << i;
+    }
+    ASSERT_EQ(a.weights.size(), b.weights.size());
+    for (std::size_t i = 0; i < a.weights.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i])
+          << to_string(strategy) << " weight " << i;
+    }
+  }
+}
+
+double run_mean(SamplingStrategy strategy, std::uint64_t seed,
+                std::size_t n, std::size_t d) {
+  SamplingPlan plan;
+  plan.strategy = strategy;
+  MonteCarloOptions opt;
+  opt.seed = seed;
+  const auto out = monte_carlo_planned(
+      n, d, plan,
+      [](Xoshiro256pp&, std::span<const double> u) {
+        // Monotone in the primary dimension — the regime stratification
+        // provably helps — and smooth in all of them (QMC's regime).
+        double acc = 0.0;
+        for (double x : u) acc += x * x;
+        return acc;
+      },
+      opt);
+  return weighted_mean(out.values, out.weights);
+}
+
+TEST(MonteCarloPlanned, StratifiedVarianceNotWorseThanNaive) {
+  // Across independent seeds, the stratified estimator of a monotone
+  // integrand must have at most the naive variance (theory says strictly
+  // less; the margin guards against a lucky naive draw).
+  const std::size_t n = 256, d = 4, reps = 64;
+  const double truth = static_cast<double>(d) / 3.0;
+  double mse_naive = 0.0, mse_strat = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double en = run_mean(SamplingStrategy::kNaive, 1000 + r, n, d);
+    const double es = run_mean(SamplingStrategy::kStratified, 1000 + r, n, d);
+    mse_naive += (en - truth) * (en - truth);
+    mse_strat += (es - truth) * (es - truth);
+  }
+  EXPECT_LE(mse_strat, mse_naive * 1.05);
+}
+
+TEST(MonteCarloPlanned, QmcBeatsNaiveRmseOnSmoothIntegrand) {
+  // Scrambled Sobol on a smooth 4-dimensional integrand (the Fig. 2
+  // mean-delay shape: smooth functional of few uniforms) should converge
+  // clearly faster than pseudorandom sampling at equal budget.
+  const std::size_t n = 512, d = 4, reps = 32;
+  const double truth = static_cast<double>(d) / 3.0;
+  double mse_naive = 0.0, mse_qmc = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double en = run_mean(SamplingStrategy::kNaive, 5000 + r, n, d);
+    const double eq = run_mean(SamplingStrategy::kQmc, 5000 + r, n, d);
+    mse_naive += (en - truth) * (en - truth);
+    mse_qmc += (eq - truth) * (eq - truth);
+  }
+  EXPECT_LT(mse_qmc, 0.5 * mse_naive);
+}
+
+TEST(ScrambledSobol, PointsAreStratifiedPerDimension) {
+  // Any 2^k-point prefix of a digitally shifted Sobol sequence puts
+  // exactly one point in each of the 2^k equal bins of every dimension.
+  ScrambledSobol sobol(17);
+  const std::size_t n = 64;
+  for (int dim = 0; dim < ScrambledSobol::kDims; ++dim) {
+    std::vector<int> bin_count(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = sobol.point(i, dim);
+      ASSERT_GE(x, 0.0);
+      ASSERT_LT(x, 1.0);
+      ++bin_count[static_cast<std::size_t>(x * static_cast<double>(n))];
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(bin_count[b], 1) << "dim " << dim << " bin " << b;
+    }
+  }
+}
+
+TEST(WeightedEstimators, EffectiveSampleSizeBounds) {
+  const std::vector<double> equal(100, 0.25);
+  EXPECT_NEAR(effective_sample_size(equal), 100.0, 1e-9);
+  std::vector<double> spiked(100, 1e-12);
+  spiked[0] = 1.0;
+  EXPECT_NEAR(effective_sample_size(spiked), 1.0, 1e-6);
+  EXPECT_EQ(effective_sample_size({}), 0.0);
+}
+
+TEST(WeightedEstimators, PercentileMatchesUnweightedAtEqualWeights) {
+  Xoshiro256pp rng(41);
+  std::vector<double> values(257);
+  for (double& v : values) v = rng.normal(10.0, 3.0);
+  const std::vector<double> weights(values.size(), 0.7);
+  for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_NEAR(weighted_percentile(values, weights, p),
+                percentile(values, p), 1e-9)
+        << "p=" << p;
+    EXPECT_NEAR(weighted_percentile(values, {}, p), percentile(values, p),
+                1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(WeightedEstimators, MeanAndCiAreSane) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> weights{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(values, weights), 2.5);
+  EXPECT_GT(weighted_mean_ci_halfwidth(values, weights), 0.0);
+  // Down-weighting the large values drags the mean down.
+  const std::vector<double> tilted{1.0, 1.0, 0.1, 0.1};
+  EXPECT_LT(weighted_mean(values, tilted), 2.5);
+}
+
+TEST(WeightedEstimators, QuantileCiBracketsTheEstimate) {
+  Xoshiro256pp rng(53);
+  std::vector<double> values(2000);
+  for (double& v : values) v = rng.uniform();
+  const auto ci = weighted_percentile_ci(values, {}, 99.0);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_LE(ci.estimate, ci.hi);
+  EXPECT_GT(ci.halfwidth(), 0.0);
+  EXPECT_NEAR(ci.estimate, 0.99, 0.02);
+  EXPECT_GT(ci.rel_halfwidth(), 0.0);
+}
+
+TEST(WeightedSamples, EssFallsBackToCountWhenUnweighted) {
+  WeightedSamples s;
+  s.values = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(s.weighted());
+  EXPECT_DOUBLE_EQ(s.ess(), 3.0);
+  s.weights = {1.0, 1.0, 4.0};
+  EXPECT_TRUE(s.weighted());
+  EXPECT_LT(s.ess(), 3.0);
+}
+
+}  // namespace
+}  // namespace ntv::stats

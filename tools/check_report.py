@@ -4,6 +4,7 @@
 Usage:
   check_report.py REPORT.json [--min-counters N] [--no-schema]
                   [--range DOTTED.PATH LO HI]...
+                  [--max-ci-halfwidth PATTERN MAX]...
                   [--diff-results OTHER.json]...
   check_report.py --compare-perf BASE.json CUR.json [--max-regress-pct P]
 
@@ -16,7 +17,12 @@ Checks, in order:
   4. every --range PATH LO HI triple: the number at the dotted PATH lies
      in [LO, HI].  PATH is rooted at the document, e.g.
      "results.mc.chain_pct" or "results.values.chain_pct_90nm_1.00V";
-  5. every --diff-results OTHER.json: the "results" section of OTHER is
+  5. every --max-ci-halfwidth PATTERN MAX pair: the convergence gate for
+     variance-reduced runs.  PATTERN is a dotted path or an fnmatch glob
+     over dotted paths ("results.values.p99_rel_ci_halfwidth_90nm_*");
+     every matching numeric value must be <= MAX, and a glob that matches
+     nothing fails (a gate that silently checks zero keys is no gate);
+  6. every --diff-results OTHER.json: the "results" section of OTHER is
      byte-for-byte equal to this report's.  This is the determinism gate
      for the parallel engine — reports produced with the same seed at
      different --threads counts must have identical results (manifests
@@ -33,6 +39,7 @@ delta makes regressions visible in the job log.
 
 Exits 0 when every check passes, 1 otherwise (one line per failure).
 """
+import fnmatch
 import json
 import sys
 
@@ -54,6 +61,18 @@ def lookup(doc, path):
                         continue
         raise KeyError(path)
     return walk(doc, path.split("."))
+
+
+def flatten(node, prefix=""):
+    """Yields (dotted_path, leaf_value) pairs for every scalar in node."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}[{i}]")
+    else:
+        yield prefix, node
 
 
 def diff_paths(a, b, prefix="results"):
@@ -134,6 +153,7 @@ def main(argv):
         return compare_perf(argv[2:])
     path, args = argv[1], argv[2:]
     check_schema, min_counters, ranges, diff_against = True, 0, [], []
+    ci_limits = []
     i = 0
     while i < len(args):
         if args[i] == "--no-schema":
@@ -145,6 +165,9 @@ def main(argv):
         elif args[i] == "--range":
             ranges.append((args[i + 1], float(args[i + 2]), float(args[i + 3])))
             i += 4
+        elif args[i] == "--max-ci-halfwidth":
+            ci_limits.append((args[i + 1], float(args[i + 2])))
+            i += 3
         elif args[i] == "--diff-results":
             diff_against.append(args[i + 1])
             i += 2
@@ -181,6 +204,18 @@ def main(argv):
             continue
         if not isinstance(value, (int, float)) or not (lo <= value <= hi):
             errors.append(f"range: {dotted}={value} outside [{lo}, {hi}]")
+    if ci_limits:
+        leaves = dict(flatten(doc))
+        for pattern, limit in ci_limits:
+            matches = {p: v for p, v in leaves.items()
+                       if p == pattern or fnmatch.fnmatchcase(p, pattern)}
+            if not matches:
+                errors.append(f"ci-halfwidth: {pattern} matches no key")
+                continue
+            for p, value in sorted(matches.items()):
+                if not isinstance(value, (int, float)) or value > limit:
+                    errors.append(
+                        f"ci-halfwidth: {p}={value} exceeds {limit}")
     for other_path in diff_against:
         try:
             with open(other_path) as f:
@@ -200,7 +235,8 @@ def main(argv):
         print(f"FAIL {path}: {err}")
     if not errors:
         print(f"OK {path}: schema={'on' if check_schema else 'off'}, "
-              f"{len(ranges)} range check(s), {len(diff_against)} diff(s)")
+              f"{len(ranges)} range check(s), {len(ci_limits)} ci gate(s), "
+              f"{len(diff_against)} diff(s)")
     return 1 if errors else 0
 
 

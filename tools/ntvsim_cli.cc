@@ -16,7 +16,14 @@
 //                          results, metrics; see docs/OBSERVABILITY.md)
 //   --quiet                suppress the human-readable stdout
 //   --seed <n>             Monte Carlo base seed (default 0x5EED0FD1E)
-//   --samples <n>          MC cross-check sample count for `study`
+//   --samples <n>          Monte Carlo sample count: the `study`
+//                          cross-check (default 2000) and, when given,
+//                          the chip budget of the mitigation commands
+//                          (default 10000)
+//   --sampling <plan>      variance-reduction strategy: naive (default),
+//                          stratified, importance, qmc. Naive reproduces
+//                          the historical stream byte for byte; see
+//                          docs/SAMPLING.md for when the others pay off
 //   --threads <n>          thread-pool size (0 = $NTV_THREADS or all
 //                          hardware threads; results are identical for
 //                          any value — see docs/PARALLELISM.md)
@@ -40,6 +47,7 @@
 #include "energy/energy_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "stats/variance_reduction.h"
 
 namespace {
 
@@ -54,6 +62,8 @@ struct Ctx {
   obs::JsonWriter results;
   std::uint64_t seed = 0x5EED0FD1EULL;
   std::size_t samples = 2000;
+  bool samples_set = false;
+  stats::SamplingPlan plan;
   int threads_requested = 0;
   std::string node_name;
   std::vector<double> vdd_grid;
@@ -75,7 +85,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: ntvsim [--report <file.json>] [--quiet] [--seed <n>]\n"
-      "              [--samples <n>] [--threads <n>] <command> [...]\n"
+      "              [--samples <n>] [--sampling <plan>] [--threads <n>]\n"
+      "              <command> [...]\n"
       "  nodes                         list technology nodes\n"
       "  study    <node> [vdd]         gate/chain delay variation\n"
       "  drop     <node> <vdd>         128-wide performance drop\n"
@@ -107,6 +118,8 @@ core::MitigationStudy make_mitigation(const Ctx& ctx,
                                       const device::TechNode& node) {
   core::MitigationConfig config;
   config.seed = ctx.seed;
+  config.plan = ctx.plan;
+  if (ctx.samples_set) config.chip_samples = ctx.samples;
   return core::MitigationStudy(node, config);
 }
 
@@ -133,8 +146,8 @@ int cmd_study(Ctx& ctx, const device::TechNode& node, double vdd) {
   constexpr int kStages = 50;
   core::VariationStudy study(node);
   const auto point = study.study_point(vdd, kStages);
-  const auto mc =
-      study.mc_chain_summary(vdd, kStages, ctx.samples, ctx.seed);
+  const auto mc = study.mc_chain_summary(vdd, kStages, ctx.samples,
+                                         ctx.plan, ctx.seed);
   say(ctx, "%s @ %.2f V\n", node.name.data(), vdd);
   say(ctx, "  FO4 delay          %10.1f ps\n", point.fo4_delay * 1e12);
   say(ctx, "  50-FO4 chain mean  %10.2f ns\n", point.chain_mean * 1e9);
@@ -145,6 +158,11 @@ int cmd_study(Ctx& ctx, const device::TechNode& node, double vdd) {
   say(ctx, "    chain 3s/mu      %10.2f %%\n", mc.three_sigma_over_mu_pct);
   say(ctx, "    chain p50 / p99  %10.2f / %.2f ns\n", mc.p50 * 1e9,
       mc.p99 * 1e9);
+  if (!ctx.plan.is_naive()) {
+    say(ctx, "    sampling %s: ESS %.0f, p99 CI +-%.2f %%\n",
+        std::string(stats::to_string(ctx.plan.strategy)).c_str(), mc.ess,
+        mc.p99_rel_ci_halfwidth * 100.0);
+  }
   if (auto* w = ctx.w()) {
     w->key("n_stages").value(kStages);
     w->key("fo4_delay_ps").value(point.fo4_delay * 1e12);
@@ -158,6 +176,9 @@ int cmd_study(Ctx& ctx, const device::TechNode& node, double vdd) {
     w->key("stddev_ns").value(mc.stddev * 1e9);
     w->key("p50_ns").value(mc.p50 * 1e9);
     w->key("p99_ns").value(mc.p99 * 1e9);
+    w->key("ess").value(mc.ess);
+    w->key("mean_rel_ci_halfwidth").value(mc.mean_rel_ci_halfwidth);
+    w->key("p99_rel_ci_halfwidth").value(mc.p99_rel_ci_halfwidth);
     w->end_object();
   }
   return 0;
@@ -190,6 +211,8 @@ int cmd_spares(Ctx& ctx, const device::TechNode& node, double vdd) {
     w->key("spares").value(result.spares);
     w->key("area_overhead_pct").value(result.area_overhead * 100.0);
     w->key("power_overhead_pct").value(result.power_overhead * 100.0);
+    w->key("ess").value(result.ess);
+    w->key("p99_rel_ci_halfwidth").value(result.p99_rel_ci_halfwidth);
   }
   return 0;
 }
@@ -378,6 +401,18 @@ bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
         return false;
       }
       ctx.samples = static_cast<std::size_t>(n);
+      ctx.samples_set = true;
+    } else if (std::strcmp(a, "--sampling") == 0) {
+      if (!next_value(&value)) return false;
+      const auto strategy = stats::parse_strategy(value);
+      if (!strategy) {
+        std::fprintf(stderr,
+                     "ntvsim: unknown --sampling '%s' (expected naive, "
+                     "stratified, importance, or qmc)\n",
+                     value);
+        return false;
+      }
+      ctx.plan.strategy = *strategy;
     } else if (std::strcmp(a, "--threads") == 0) {
       if (!next_value(&value)) return false;
       char* end = nullptr;
@@ -460,6 +495,7 @@ int main(int argc, char** argv) {
     manifest.threads_requested = ctx.threads_requested;
     manifest.tech_node = ctx.node_name;
     manifest.vdd_grid = ctx.vdd_grid;
+    manifest.sampling = std::string(stats::to_string(ctx.plan.strategy));
     const std::string& fragment = ctx.results.str();
     const bool ok = obs::write_report_file(
         report_path, manifest,
