@@ -23,6 +23,8 @@ void print_artifact() {
   const double baseline_fo4 = nominal.signoff_delay(99.0) / nominal.fo4_unit();
   bench::row("baseline fo4chipd99 @1V: analytic %.3f  MC %.3f FO4",
              baseline_fo4, mc_study.fo4_chip_delay_p99(1.0));
+  bench::record("analytic_p99_fo4_1.00V", baseline_fo4);
+  bench::record("mc_p99_fo4_1.00V", mc_study.fo4_chip_delay_p99(1.0));
 
   bench::row("\nperformance drop [%%] (analytic vs 10k-sample MC with"
              " 95%% bootstrap CI):");
@@ -53,6 +55,10 @@ void print_artifact() {
     const int exact =
         m.required_spares(baseline_fo4 * m.fo4_unit(), 99.0);
     const auto mc = mc_study.required_spares(v);
+    if (v == 0.50) {
+      bench::record("analytic_spares_0.50V", exact);
+      if (mc.feasible) bench::record("mc_spares_0.50V", mc.spares);
+    }
     bench::row("%-6.2f | %10d %10s", v, exact,
                mc.feasible ? std::to_string(mc.spares).c_str() : ">128");
   }

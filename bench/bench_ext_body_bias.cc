@@ -18,9 +18,15 @@ void print_artifact() {
     bench::row("\n-- %s --", node->name.data());
     bench::row("%-6s | %12s %12s | %12s %12s", "Vdd[V]", "dVth [mV]",
                "ABB power%", "margin [mV]", "VM power%");
+    const bool is_90nm = node == &device::tech_90nm();
     for (double v : {0.50, 0.55, 0.60, 0.65}) {
       const auto abb = solver.required_bias(v);
       const auto vm = solver.baseline().required_voltage_margin(v);
+      if (is_90nm && v == 0.55) {
+        bench::record("dvth_mV_90nm_0.55V", abb.delta_vth * 1e3);
+        bench::record("abb_power_pct_90nm_0.55V", abb.power_overhead * 100.0);
+        bench::record("vm_power_pct_90nm_0.55V", vm.power_overhead * 100.0);
+      }
       bench::row("%-6.2f | %12.2f %12.2f | %12.2f %12.2f", v,
                  abb.delta_vth * 1e3, abb.power_overhead * 100.0,
                  vm.margin * 1e3, vm.power_overhead * 100.0);

@@ -68,6 +68,11 @@ void print_artifact() {
       tax.add(ratio - 1.0);
       worst = std::max(worst, ratio - 1.0);
     }
+    char name[48];
+    std::snprintf(name, sizeof(name), "mean_tax_pct_%dsp", spares);
+    bench::record(name, 100.0 * tax.mean());
+    std::snprintf(name, sizeof(name), "worst_tax_pct_%dsp", spares);
+    bench::record(name, 100.0 * worst);
     bench::row("%-8d | %11.2f%% %11.2f%% %12.2f", spares,
                100.0 * tax.mean(), 100.0 * worst, multiples.mean());
   }

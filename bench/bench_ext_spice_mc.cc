@@ -58,6 +58,11 @@ void print_artifact() {
     const double rand_only = 300.0 * std::sqrt(
         (g * g * p.sigma_vth_rand * p.sigma_vth_rand +
          p.sigma_mult_rand * p.sigma_mult_rand) / kStages);
+    char name[48];
+    std::snprintf(name, sizeof(name), "spice_3smu_pct_%.2fV", vdd);
+    bench::record(name, spice.three_sigma_over_mu_pct());
+    std::snprintf(name, sizeof(name), "model_3smu_pct_%.2fV", vdd);
+    bench::record(name, rand_only);
     bench::row("%-8.2f | %12.1f ps %12.1f ps | %11.2f%% %11.2f%%", vdd,
                spice.mean() * 1e12 / 1.0, model_mean * 1e12,
                spice.three_sigma_over_mu_pct(), rand_only);

@@ -61,11 +61,19 @@ void print_artifact() {
     const auto& arrival = result.arrival[static_cast<std::size_t>(sink)];
     const double ssta_p99 = arrival->quantile(0.99) / fo4;
     const auto mc = graph.monte_carlo_arrival(sink, 20000);
-    bench::row("%-22d | %12.2f | %12.2f", shared, ssta_p99,
-               stats::percentile(mc, 99.0) / fo4);
+    const double mc_p99 = stats::percentile(mc, 99.0) / fo4;
+    if (shared == 0 || shared == 40) {
+      char name[48];
+      std::snprintf(name, sizeof(name), "ssta_p99_fo4_shared%d", shared);
+      bench::record(name, ssta_p99);
+      std::snprintf(name, sizeof(name), "mc_p99_fo4_shared%d", shared);
+      bench::record(name, mc_p99);
+    }
+    bench::row("%-22d | %12.2f | %12.2f", shared, ssta_p99, mc_p99);
   }
 
   const auto iid = gate.sum_of_iid(50).max_of_iid(kPaths);
+  bench::record("iid_p99_fo4", iid.quantile(0.99) / fo4);
   bench::row("\niid formula (paper's assumption): p99 = %.2f FO4",
              iid.quantile(0.99) / fo4);
   bench::row("reading: the exact MC column tightens as more logic is"

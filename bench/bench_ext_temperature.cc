@@ -29,21 +29,28 @@ void print_artifact() {
   }
 
   bench::row("\ninversion crossover voltage (hot 125C == cold 0C):");
-  for (const device::TechNode* node : device::all_nodes()) {
+  const auto nodes = device::all_nodes();
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const device::TechNode* node = nodes[i];
     const device::ThermalDelayModel m(*node);
-    bench::row("  %-12s %.3f V", node->name.data(),
-               m.inversion_crossover_vdd(273.15, 398.15, 0.35,
-                                         node->nominal_vdd + 0.2));
+    const double crossover = m.inversion_crossover_vdd(
+        273.15, 398.15, 0.35, node->nominal_vdd + 0.2);
+    char name[48];
+    std::snprintf(name, sizeof(name), "crossover_V_%s", tags[i]);
+    bench::record(name, crossover);
+    bench::row("  %-12s %.3f V", node->name.data(), crossover);
   }
 
   // Sign-off consequence: how much extra delay the cold corner adds on
   // top of the typical-temperature numbers the paper reports.
   bench::row("\ncold-corner penalty at NTV (delay(0C)/delay(27C), 90nm):");
   for (double v : {0.45, 0.50, 0.55}) {
-    bench::row("  %.2f V: %.2f%%", v,
-               100.0 * (model.fo4_delay(v, 273.15) /
-                            model.fo4_delay(v, 300.15) -
-                        1.0));
+    const double penalty_pct =
+        100.0 * (model.fo4_delay(v, 273.15) / model.fo4_delay(v, 300.15) -
+                 1.0);
+    if (v == 0.45) bench::record("cold_penalty_pct_0.45V", penalty_pct);
+    bench::row("  %.2f V: %.2f%%", v, penalty_pct);
   }
   bench::row("\nreading: the crossover sits at 0.54-0.60 V -- INSIDE the"
              " paper's 0.50-0.70 V sweep. Below it the cold corner"

@@ -16,6 +16,7 @@ void print_artifact() {
 
   const double t50 = analysis.t_clk_for_yield(vdd, 0.50);
   bench::row("median-yield clock at %.2f V: %.3f ns", vdd, t50 * 1e9);
+  bench::record("median_clock_ns", t50 * 1e9);
 
   bench::row("\nyield vs clock (no spares / 6 / 28 spares):");
   bench::row("%-12s %10s %10s %10s", "T_clk [ns]", "alpha=0", "alpha=6",
@@ -27,11 +28,15 @@ void print_artifact() {
                analysis.yield(vdd, t, 28));
   }
 
+  const double t99_0 = analysis.t_clk_for_yield(vdd, 0.99) * 1e9;
+  const double t99_6 = analysis.t_clk_for_yield(vdd, 0.99, 6) * 1e9;
+  const double t99_28 = analysis.t_clk_for_yield(vdd, 0.99, 28) * 1e9;
+  bench::record("t99_ns_alpha0", t99_0);
+  bench::record("t99_ns_alpha6", t99_6);
+  bench::record("t99_ns_alpha28", t99_28);
   bench::row("\n99%%-yield clocks: alpha=0 %.3f ns, alpha=6 %.3f ns,"
              " alpha=28 %.3f ns",
-             analysis.t_clk_for_yield(vdd, 0.99) * 1e9,
-             analysis.t_clk_for_yield(vdd, 0.99, 6) * 1e9,
-             analysis.t_clk_for_yield(vdd, 0.99, 28) * 1e9);
+             t99_0, t99_6, t99_28);
 
   // Three speed bins around the median clock.
   const double edges[] = {t50 * 0.99, t50 * 1.005, t50 * 1.02};
@@ -41,6 +46,8 @@ void print_artifact() {
              bins[0], bins[1], bins[2], bins[3]);
   bench::row("with 28 spares the same bins:");
   const auto bins28 = analysis.bin_fractions(vdd, edges, 28);
+  bench::record("fast_bin_frac_alpha0", bins[0]);
+  bench::record("fast_bin_frac_alpha28", bins28[0]);
   bench::row("  %.3f / %.3f / %.3f / %.3f  -- duplication upgrades parts"
              " into faster bins", bins28[0], bins28[1], bins28[2], bins28[3]);
 }

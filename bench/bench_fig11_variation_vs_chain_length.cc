@@ -38,9 +38,10 @@ void print_artifact() {
       len += std::snprintf(line + len,
                            sizeof(line) - static_cast<std::size_t>(len),
                            " %*.2f", width, pct);
-      if (n == 50) {
+      if (n == 1 || n == 50 || n == 200) {
         char name[48];
-        std::snprintf(name, sizeof(name), "chain50_pct_%s_0.55V", tags[i]);
+        std::snprintf(name, sizeof(name), "chain%d_pct_%s_0.55V", n,
+                      tags[i]);
         bench::record(name, pct);
       }
     }

@@ -24,12 +24,14 @@ void print_artifact() {
     std::printf("%zu->%d ", l, (*map)[l]);
   }
   std::printf("\n");
+  const bool local_burst = arch::LocalSparing(4, 1).covers(faulty, 8);
+  const bool global_burst = arch::GlobalSparing(2).covers(faulty, 8);
   bench::row("local 1-per-4 on the same burst: %s",
-             arch::LocalSparing(4, 1).covers(faulty, 8) ? "covered"
-                                                        : "NOT covered");
+             local_burst ? "covered" : "NOT covered");
   bench::row("global 2-spare pool:             %s",
-             arch::GlobalSparing(2).covers(faulty, 8) ? "covered"
-                                                      : "NOT covered");
+             global_burst ? "covered" : "NOT covered");
+  bench::record("burst_local_covered", local_burst ? 1.0 : 0.0);
+  bench::record("burst_global_covered", global_burst ? 1.0 : 0.0);
 
   // Coverage probability sweep under i.i.d. lane faults, equal budget
   // (32 spares for 128 lanes).
@@ -37,9 +39,15 @@ void print_artifact() {
              " trials:");
   bench::row("%-12s %14s %14s", "fault prob", "global", "local(1per4)");
   for (double p : {0.01, 0.02, 0.05, 0.10, 0.15, 0.20}) {
-    bench::row("%-12.2f %14.4f %14.4f", p,
-               arch::mc_coverage(arch::GlobalSparing(32), 128, p, 20000),
-               arch::mc_coverage(arch::LocalSparing(4, 1), 128, p, 20000));
+    const double global_cov =
+        arch::mc_coverage(arch::GlobalSparing(32), 128, p, 20000);
+    const double local_cov =
+        arch::mc_coverage(arch::LocalSparing(4, 1), 128, p, 20000);
+    if (p == 0.10) {
+      bench::record("iid_global_cov_p0.10", global_cov);
+      bench::record("iid_local_cov_p0.10", local_cov);
+    }
+    bench::row("%-12.2f %14.4f %14.4f", p, global_cov, local_cov);
   }
 
   // Delay-fault version: lanes slower than the clock are faulty; die
@@ -75,13 +83,21 @@ void print_artifact() {
   const double nominal_path = 50.0 * vm.gate_model().fo4_delay(0.55);
   for (double k : {1.05, 1.06, 1.08}) {
     const double t_clk = nominal_path * k;
-    bench::row("%-26.2f %14.4f %14.4f %14.4f", k,
-               arch::mc_coverage_delay_fn(arch::GlobalSparing(32),
-                                          spatial_lanes, 128, t_clk, 4000),
-               arch::mc_coverage_delay_fn(arch::HybridSparing(8, 1, 16),
-                                          spatial_lanes, 128, t_clk, 4000),
-               arch::mc_coverage_delay_fn(arch::LocalSparing(4, 1),
-                                          spatial_lanes, 128, t_clk, 4000));
+    const double g = arch::mc_coverage_delay_fn(arch::GlobalSparing(32),
+                                                spatial_lanes, 128, t_clk,
+                                                4000);
+    const double h = arch::mc_coverage_delay_fn(arch::HybridSparing(8, 1, 16),
+                                                spatial_lanes, 128, t_clk,
+                                                4000);
+    const double l = arch::mc_coverage_delay_fn(arch::LocalSparing(4, 1),
+                                                spatial_lanes, 128, t_clk,
+                                                4000);
+    if (k == 1.05) {
+      bench::record("spatial_global_cov_k1.05", g);
+      bench::record("spatial_hybrid_cov_k1.05", h);
+      bench::record("spatial_local_cov_k1.05", l);
+    }
+    bench::row("%-26.2f %14.4f %14.4f %14.4f", k, g, h, l);
   }
 
   bench::row("\npaper conclusion: global sparing via the XRAM crossbar"

@@ -27,6 +27,7 @@ void print_artifact() {
     columns.push_back(study.performance_drop_sweep(vdds));
   }
 
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   for (std::size_t vi = 0; vi < vdds.size(); ++vi) {
     char line[160];
     int n = std::snprintf(line, sizeof(line), "%-6.2f |", vdds[vi]);
@@ -34,6 +35,10 @@ void print_artifact() {
       const int width = (i < 2) ? 9 : 12;
       n += std::snprintf(line + n, sizeof(line) - static_cast<std::size_t>(n),
                          " %*.2f", width, columns[i][vi]);
+      char name[48];
+      std::snprintf(name, sizeof(name), "drop_pct_%s_%.2fV", tags[i],
+                    vdds[vi]);
+      bench::record(name, columns[i][vi]);
     }
     std::printf("%s\n", line);
   }

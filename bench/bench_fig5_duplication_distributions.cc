@@ -17,6 +17,7 @@ void print_artifact() {
   core::MitigationStudy study(device::tech_90nm());
   const double baseline = study.fo4_chip_delay_p99(1.0);
   bench::row("baseline: 128-wide @1V p99 = %.2f FO4", baseline);
+  bench::record("baseline_p99_fo4_1.00V", baseline);
 
   const auto& sampler = study.sampler(0.55);
   const int alphas[] = {0, 2, 6, 13, 28, 64};
@@ -33,9 +34,16 @@ void print_artifact() {
       fo4[i] = sweep[k].delays[i] / sampler.fo4_unit();
     }
     const double p99 = stats::percentile(fo4, 99.0);
+    const double p50 = stats::percentile(fo4, 50.0);
+    char name[48];
+    std::snprintf(name, sizeof(name), "p50_fo4_alpha%d", alphas[k]);
+    bench::record(name, p50);
+    std::snprintf(name, sizeof(name), "p99_fo4_alpha%d", alphas[k]);
+    bench::record(name, p99);
+    std::snprintf(name, sizeof(name), "spread_fo4_alpha%d", alphas[k]);
+    bench::record(name, p99 - p50);
     bench::row("128-wide + %3d spares  | %8.2f %8.2f %8s  %s", alphas[k],
-               stats::percentile(fo4, 50.0), p99, "",
-               p99 <= baseline ? "yes" : "no");
+               p50, p99, "", p99 <= baseline ? "yes" : "no");
     if (alphas[k] == 0 || alphas[k] == 28) {
       std::printf("%s",
                   stats::Histogram::auto_range(fo4, 10).render(40).c_str());

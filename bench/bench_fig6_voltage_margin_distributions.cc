@@ -22,6 +22,9 @@ void print_artifact() {
   for (double v : {0.600, 0.605, 0.610, 0.615, 0.620}) {
     const auto mc = study.mc_chip(v, 0);
     const double p99 = mc.percentile(99.0);
+    char name[48];
+    std::snprintf(name, sizeof(name), "p99_ns_%.0fmV", v * 1e3);
+    bench::record(name, p99 * 1e9);
     bench::row("128-wide @%3.0fmV           | %9.3f %9.3f  %s", v * 1e3,
                mc.percentile(50.0) * 1e9, p99 * 1e9,
                p99 <= target ? "yes" : "no");
@@ -36,6 +39,9 @@ void print_artifact() {
   const auto vm = study.required_voltage_margin(0.600);
   bench::row("\nrequired margin at 600 mV: %.1f mV (paper: ~16.2 mV)",
              vm.margin * 1e3);
+  bench::record("target_ns", target * 1e9);
+  bench::record("margin_mV_600mV", vm.margin * 1e3);
+  bench::record("crossover_mV", 600.0 + vm.margin * 1e3);
 }
 
 void BM_VoltageMarginSearch(benchmark::State& state) {

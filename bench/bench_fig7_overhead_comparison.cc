@@ -12,6 +12,7 @@ using namespace ntv;
 void print_artifact() {
   bench::banner("Fig. 7 -- power overhead: duplication vs margining");
   const auto nodes = device::all_nodes();
+  const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const device::TechNode* node = nodes[i];
     core::MitigationStudy study(*node);
@@ -29,6 +30,13 @@ void print_artifact() {
       const double dup_cost =
           dup.feasible ? dup.power_overhead * 100.0 : 1e9;
       const double vm_cost = vm.power_overhead * 100.0;
+      char name[48];
+      if (dup.feasible) {
+        std::snprintf(name, sizeof(name), "dup_pct_%s_%.2fV", tags[i], v);
+        bench::record(name, dup_cost);
+      }
+      std::snprintf(name, sizeof(name), "vm_pct_%s_%.2fV", tags[i], v);
+      bench::record(name, vm_cost);
       char dup_str[24];
       if (dup.feasible) {
         std::snprintf(dup_str, sizeof(dup_str), "%14.2f", dup_cost);

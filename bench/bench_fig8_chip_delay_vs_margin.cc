@@ -13,6 +13,7 @@ void print_artifact() {
   core::MitigationStudy study(device::tech_45nm());
   const double target = study.target_delay(0.600);
   bench::row("target delay: %.3f ns", target * 1e9);
+  bench::record("target_ns", target * 1e9);
 
   bench::row("\nvoltage sweep (no spares):");
   bench::row("%-10s %12s  %s", "Vdd [mV]", "p99 [ns]", "meets target?");
@@ -34,10 +35,16 @@ void print_artifact() {
              " or 8 spares + 5 mV):");
   for (int alpha : {0, 1, 2, 4, 8, 16, 32}) {
     const auto vm = study.required_voltage_margin(0.600, alpha);
+    const double power_pct =
+        study.config().area_power.combined_power_overhead(
+            alpha, 0.600, vm.margin) * 100.0;
+    char name[48];
+    std::snprintf(name, sizeof(name), "combo_margin_mV_%dsp", alpha);
+    bench::record(name, vm.margin * 1e3);
+    std::snprintf(name, sizeof(name), "combo_power_pct_%dsp", alpha);
+    bench::record(name, power_pct);
     bench::row("  %2d spares -> +%.1f mV margin (power %.2f%%)", alpha,
-               vm.margin * 1e3,
-               study.config().area_power.combined_power_overhead(
-                   alpha, 0.600, vm.margin) * 100.0);
+               vm.margin * 1e3, power_pct);
   }
 }
 

@@ -24,6 +24,11 @@ void print_artifact() {
   for (const auto& c : choices) {
     bench::row("%12d %14.1f %13.2f%%", c.spares, c.margin * 1e3,
                c.power_overhead * 100.0);
+    char name[48];
+    std::snprintf(name, sizeof(name), "margin_mV_%dsp", c.spares);
+    bench::record(name, c.margin * 1e3);
+    std::snprintf(name, sizeof(name), "power_pct_%dsp", c.spares);
+    bench::record(name, c.power_overhead * 100.0);
     if (c.feasible && c.power_overhead < best) {
       best = c.power_overhead;
       best_alpha = c.spares;
@@ -32,6 +37,8 @@ void print_artifact() {
   bench::row("\nminimum-power choice: %d spares (%.2f%% overhead);"
              " paper picks 2 spares + 10 mV (1.7%%)",
              best_alpha, best * 100.0);
+  bench::record("best_alpha", best_alpha);
+  bench::record("best_power_pct", best * 100.0);
 }
 
 void BM_CombinedExplore(benchmark::State& state) {

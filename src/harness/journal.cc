@@ -1,0 +1,105 @@
+#include "harness/journal.h"
+
+#include <cstdio>
+
+#include "harness/json.h"
+#include "obs/json_writer.h"
+
+namespace ntv::harness {
+
+std::string_view run_status_name(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::kOk:
+      return "ok";
+    case RunStatus::kTimeout:
+      return "timeout";
+    case RunStatus::kFailed:
+      break;
+  }
+  return "failed";
+}
+
+std::optional<RunStatus> parse_run_status(std::string_view name) noexcept {
+  if (name == "ok") return RunStatus::kOk;
+  if (name == "failed") return RunStatus::kFailed;
+  if (name == "timeout") return RunStatus::kTimeout;
+  return std::nullopt;
+}
+
+std::string JournalEntry::to_json_line() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("experiment").value(id);
+  w.key("status").value(run_status_name(status));
+  w.key("attempts").value(attempts);
+  w.key("exit_code").value(exit_code);
+  w.key("elapsed_ms").value(static_cast<std::int64_t>(elapsed_ms));
+  w.key("report").value(report);
+  w.key("smoke").value(smoke);
+  w.end_object();
+  return w.str();
+}
+
+std::optional<JournalEntry> JournalEntry::from_json_line(
+    std::string_view line) {
+  const auto doc = JsonValue::parse(line);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* id = doc->find("experiment");
+  const JsonValue* status = doc->find("status");
+  if (!id || !id->is_string() || !status || !status->is_string()) {
+    return std::nullopt;
+  }
+  const auto parsed = parse_run_status(status->as_string());
+  if (!parsed) return std::nullopt;
+  JournalEntry entry;
+  entry.id = id->as_string();
+  entry.status = *parsed;
+  if (const JsonValue* v = doc->find("attempts")) {
+    entry.attempts = static_cast<int>(v->as_number());
+  }
+  if (const JsonValue* v = doc->find("exit_code")) {
+    entry.exit_code = static_cast<int>(v->as_number());
+  }
+  if (const JsonValue* v = doc->find("elapsed_ms")) {
+    entry.elapsed_ms = static_cast<std::int64_t>(v->as_number());
+  }
+  if (const JsonValue* v = doc->find("report")) {
+    entry.report = v->as_string();
+  }
+  if (const JsonValue* v = doc->find("smoke")) {
+    entry.smoke = v->as_bool();
+  }
+  return entry;
+}
+
+bool Journal::append(const JournalEntry& entry) const {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (!f) return false;
+  const std::string line = entry.to_json_line();
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+      std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::map<std::string, JournalEntry> Journal::load() const {
+  std::map<std::string, JournalEntry> latest;
+  const auto text = read_text_file(path_);
+  if (!text) return latest;
+  std::size_t start = 0;
+  while (start < text->size()) {
+    std::size_t end = text->find('\n', start);
+    if (end == std::string::npos) end = text->size();
+    const std::string_view line(text->data() + start, end - start);
+    if (!line.empty()) {
+      if (auto entry = JournalEntry::from_json_line(line)) {
+        latest[entry->id] = std::move(*entry);
+      }
+    }
+    start = end + 1;
+  }
+  return latest;
+}
+
+}  // namespace ntv::harness

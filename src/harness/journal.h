@@ -1,0 +1,67 @@
+// JSONL checkpoint journal for the batch runner.
+//
+// A full reproduction sweep is minutes of Monte Carlo across 26 bench
+// binaries; an interrupted or crashed run must resume from the last
+// completed experiment instead of restarting. The journal is the usual
+// crash-safe shape for that: one self-contained JSON object per line,
+// appended and flushed after every experiment, so a kill -9 at any point
+// loses at most the in-flight experiment. On resume the runner replays
+// the file (last entry per experiment wins) and skips every experiment
+// whose latest entry is "ok" and whose report file still exists.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ntv::harness {
+
+/// Terminal states an experiment attempt can reach.
+enum class RunStatus {
+  kOk,       ///< Exited 0 and produced its report.
+  kFailed,   ///< Nonzero exit, signal, or unreadable/missing report.
+  kTimeout,  ///< Killed by the per-experiment watchdog.
+};
+
+std::string_view run_status_name(RunStatus s) noexcept;
+std::optional<RunStatus> parse_run_status(std::string_view name) noexcept;
+
+/// One journal line: the outcome of one experiment's (final) attempt.
+struct JournalEntry {
+  std::string id;                ///< ExperimentSpec::id.
+  RunStatus status = RunStatus::kFailed;
+  int attempts = 0;              ///< Attempts consumed (1 = first try).
+  int exit_code = 0;             ///< Child exit code (or -signal).
+  std::int64_t elapsed_ms = 0;   ///< Wall clock of the final attempt.
+  std::string report;            ///< Path of the bench --report JSON.
+  bool smoke = false;            ///< Run at the reduced smoke budget?
+
+  /// Serializes as one JSONL line (no trailing newline).
+  std::string to_json_line() const;
+
+  /// Parses one journal line; std::nullopt on malformed input (a torn
+  /// final line after a crash is expected and simply ignored).
+  static std::optional<JournalEntry> from_json_line(std::string_view line);
+};
+
+/// Append-only JSONL journal at a fixed path.
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends one entry and flushes. Returns false on I/O failure.
+  bool append(const JournalEntry& entry) const;
+
+  /// Replays the journal: the LAST entry per experiment id wins (a
+  /// retried experiment appears multiple times). Missing file -> empty
+  /// map; torn/malformed lines are skipped.
+  std::map<std::string, JournalEntry> load() const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ntv::harness

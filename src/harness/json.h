@@ -1,0 +1,87 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// The reproduction harness must read back the JSON run reports the bench
+// binaries emit (obs::JsonWriter only writes). This is the counterpart
+// parser: a small immutable DOM covering exactly the JSON the repo
+// produces — objects, arrays, strings, doubles, bools, null — with no
+// external dependency. It is not a general-purpose library: no comments,
+// no trailing commas, no \u surrogate-pair decoding beyond passing the
+// escaped bytes through.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntv::harness {
+
+/// Immutable parsed JSON value. Object member order is not preserved
+/// (members live in a std::map); every consumer in the harness keys by
+/// name, so ordering does not matter.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  ///< null
+
+  /// Parses one complete JSON document. Returns std::nullopt and fills
+  /// `*error` (when non-null) with a "byte N: reason" message on any
+  /// syntax error or trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+
+  /// Value accessors; reading the wrong kind returns a zero value rather
+  /// than throwing (missing/mistyped report fields are ordinary data
+  /// errors the harness reports per-experiment, not logic errors).
+  double as_number(double fallback = 0.0) const noexcept {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  bool as_bool(bool fallback = false) const noexcept {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<JsonValue>& items() const noexcept { return array_; }
+  const std::map<std::string, JsonValue>& members() const noexcept {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Dotted-path lookup ("results.values.chain_pct_90nm_1.00V"): tries
+  /// the longest joined prefix first at each level, so leaf keys that
+  /// themselves contain dots resolve (same rule as check_report.py).
+  const JsonValue* find_path(std::string_view dotted) const;
+
+  // Construction helpers (used by the parser, tests and the manifest
+  // loader).
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_bool(bool v);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+  static JsonValue make_array(std::vector<JsonValue> items);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Reads a whole file; std::nullopt on I/O failure.
+std::optional<std::string> read_text_file(const std::string& path);
+
+}  // namespace ntv::harness

@@ -1,0 +1,183 @@
+#include "harness/manifest.h"
+
+#include <algorithm>
+
+#include "harness/json.h"
+#include "harness/runner.h"
+#include "obs/json_writer.h"
+
+namespace ntv::harness {
+
+Verdict classify(const Checkpoint& cp, double measured) noexcept {
+  if (measured >= cp.lo && measured <= cp.hi) return Verdict::kPass;
+  if (measured >= cp.approx_lo && measured <= cp.approx_hi) {
+    return Verdict::kApprox;
+  }
+  return Verdict::kFail;
+}
+
+namespace {
+
+/// Worst checkpoint verdict; pass when the experiment ran ok and has no
+/// checkpoints (prose-only artifact), fail when it did not run.
+Verdict experiment_verdict(const ExperimentOutcome& outcome) {
+  if (outcome.status != "ok") return Verdict::kFail;
+  Verdict worst = Verdict::kPass;
+  for (const CheckpointResult& cp : outcome.checkpoints) {
+    worst = std::min(worst, cp.verdict);
+  }
+  return worst;
+}
+
+/// Resolves checkpoint results for one experiment from a key->value
+/// lookup function.
+template <typename Lookup>
+void fill_checkpoints(const ExperimentSpec& spec, const Lookup& lookup,
+                      ExperimentOutcome& outcome) {
+  outcome.checkpoints.clear();
+  outcome.checkpoints.reserve(spec.checkpoints.size());
+  for (const Checkpoint& cp : spec.checkpoints) {
+    CheckpointResult result;
+    result.spec = &cp;
+    if (const std::optional<double> v = lookup(cp.key)) {
+      result.present = true;
+      result.measured = *v;
+      result.verdict = classify(cp, *v);
+    }
+    outcome.checkpoints.push_back(result);
+  }
+  outcome.verdict = experiment_verdict(outcome);
+}
+
+}  // namespace
+
+ReproManifest aggregate(const std::vector<ExperimentSpec>& specs,
+                        const std::string& out_dir, bool smoke) {
+  ReproManifest manifest;
+  manifest.smoke = smoke;
+  const auto journal = Journal(journal_path(out_dir)).load();
+
+  for (const ExperimentSpec& spec : specs) {
+    ExperimentOutcome outcome;
+    outcome.id = spec.id;
+
+    const auto entry = journal.find(spec.id);
+    if (entry == journal.end()) {
+      outcome.status = "missing";
+    } else {
+      outcome.status = std::string(run_status_name(entry->second.status));
+      outcome.attempts = entry->second.attempts;
+      outcome.elapsed_ms = entry->second.elapsed_ms;
+    }
+
+    std::optional<JsonValue> report;
+    if (entry != journal.end() &&
+        entry->second.status == RunStatus::kOk) {
+      if (const auto text = read_text_file(entry->second.report)) {
+        report = JsonValue::parse(*text);
+      }
+      if (!report) outcome.status = "failed";  // Report lost since the run.
+    }
+
+    fill_checkpoints(
+        spec,
+        [&](const std::string& key) -> std::optional<double> {
+          if (!report) return std::nullopt;
+          const JsonValue* v = report->find_path("results.values." + key);
+          if (!v || !v->is_number()) return std::nullopt;
+          return v->as_number();
+        },
+        outcome);
+    manifest.experiments.push_back(std::move(outcome));
+  }
+  return manifest;
+}
+
+std::string manifest_to_json(const ReproManifest& manifest) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("kind").value("repro-manifest");
+  w.key("smoke").value(manifest.smoke);
+  w.key("experiments").begin_array();
+  for (const ExperimentOutcome& e : manifest.experiments) {
+    w.begin_object();
+    w.key("id").value(e.id);
+    w.key("status").value(e.status);
+    w.key("attempts").value(e.attempts);
+    w.key("elapsed_ms").value(static_cast<std::int64_t>(e.elapsed_ms));
+    w.key("verdict").value(verdict_name(e.verdict));
+    w.key("values").begin_object();
+    for (const CheckpointResult& cp : e.checkpoints) {
+      if (cp.present) w.key(cp.spec->key).value(cp.measured);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<ReproManifest> manifest_from_json(
+    const std::vector<ExperimentSpec>& specs, std::string_view json,
+    std::string* error) {
+  const auto doc = JsonValue::parse(json, error);
+  if (!doc) return std::nullopt;
+  const JsonValue* kind = doc->find("kind");
+  if (!doc->is_object() || !kind || kind->as_string() != "repro-manifest") {
+    if (error) *error = "not a repro-manifest document";
+    return std::nullopt;
+  }
+  const JsonValue* experiments = doc->find("experiments");
+  if (!experiments || !experiments->is_array()) {
+    if (error) *error = "missing experiments array";
+    return std::nullopt;
+  }
+
+  ReproManifest manifest;
+  if (const JsonValue* smoke = doc->find("smoke")) {
+    manifest.smoke = smoke->as_bool();
+  }
+
+  // Index the stored experiments by id, then walk the registry so the
+  // output keeps registry order and covers every spec.
+  std::map<std::string, const JsonValue*> stored;
+  for (const JsonValue& item : experiments->items()) {
+    if (const JsonValue* id = item.find("id")) {
+      stored[id->as_string()] = &item;
+    }
+  }
+
+  for (const ExperimentSpec& spec : specs) {
+    ExperimentOutcome outcome;
+    outcome.id = spec.id;
+    const auto it = stored.find(spec.id);
+    const JsonValue* item = it == stored.end() ? nullptr : it->second;
+    if (!item) {
+      outcome.status = "missing";
+    } else {
+      const JsonValue* status = item->find("status");
+      outcome.status = status ? status->as_string() : "missing";
+      if (const JsonValue* v = item->find("attempts")) {
+        outcome.attempts = static_cast<int>(v->as_number());
+      }
+      if (const JsonValue* v = item->find("elapsed_ms")) {
+        outcome.elapsed_ms = static_cast<std::int64_t>(v->as_number());
+      }
+    }
+    const JsonValue* values = item ? item->find("values") : nullptr;
+    fill_checkpoints(
+        spec,
+        [&](const std::string& key) -> std::optional<double> {
+          const JsonValue* v = values ? values->find(key) : nullptr;
+          if (!v || !v->is_number()) return std::nullopt;
+          return v->as_number();
+        },
+        outcome);
+    manifest.experiments.push_back(std::move(outcome));
+  }
+  return manifest;
+}
+
+}  // namespace ntv::harness

@@ -1,0 +1,85 @@
+// Aggregated reproduction manifest (EXPERIMENTS.json).
+//
+// The aggregator folds the per-experiment bench --report JSON files (plus
+// the journal's run outcomes) into one machine-readable manifest: for
+// every spec, the measured value of every declared checkpoint and its
+// ✔/≈/✘ classification against the spec's tolerance bands. The manifest
+// is both the CI gate input (drift = any checkpoint outside its band)
+// and the sole data source of the EXPERIMENTS.md generator (render.h) —
+// the committed markdown is a pure function of (registry, manifest).
+//
+// Schema (version 1, docs/REPRODUCTION.md):
+//   {
+//     "schema_version": 1,
+//     "kind": "repro-manifest",
+//     "smoke": false,
+//     "experiments": [
+//       { "id": "fig1", "status": "ok"|"failed"|"timeout"|"missing",
+//         "attempts": 1, "elapsed_ms": 163, "verdict": "pass",
+//         "values": { "<checkpoint key>": <measured number>, ... } }, ... ]
+//   }
+// Only checkpoint keys are copied out of the reports: the manifest pins
+// exactly the numbers the doc renders, nothing incidental.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/journal.h"
+#include "harness/spec.h"
+
+namespace ntv::harness {
+
+/// Measured state of one checkpoint.
+struct CheckpointResult {
+  const Checkpoint* spec = nullptr;  ///< Points into the registry.
+  bool present = false;              ///< Key found in the report/manifest.
+  double measured = 0.0;
+  Verdict verdict = Verdict::kFail;  ///< kFail when absent.
+};
+
+/// Measured state of one experiment.
+struct ExperimentOutcome {
+  std::string id;
+  /// "ok" | "failed" | "timeout" | "missing" (no report/journal entry).
+  std::string status;
+  int attempts = 0;
+  std::int64_t elapsed_ms = 0;
+  std::vector<CheckpointResult> checkpoints;  ///< Registry order.
+  /// Worst checkpoint verdict; kPass for experiments with no
+  /// checkpoints that ran "ok" (prose-only artifacts).
+  Verdict verdict = Verdict::kFail;
+};
+
+/// The whole aggregated suite, in registry order.
+struct ReproManifest {
+  bool smoke = false;
+  std::vector<ExperimentOutcome> experiments;
+};
+
+/// Classifies one measured value against a checkpoint's bands.
+Verdict classify(const Checkpoint& cp, double measured) noexcept;
+
+/// Builds the manifest for `specs` from an out_dir produced by
+/// run_suite(): reads <out_dir>/journal.jsonl and every
+/// <out_dir>/reports/<id>.json. Experiments with no journal entry get
+/// status "missing" (and a kFail verdict if they declare checkpoints).
+ReproManifest aggregate(const std::vector<ExperimentSpec>& specs,
+                        const std::string& out_dir, bool smoke);
+
+/// Serializes the manifest as pretty-stable JSON (sorted keys, fixed
+/// field order) — the EXPERIMENTS.json artifact.
+std::string manifest_to_json(const ReproManifest& manifest);
+
+/// Parses EXPERIMENTS.json back, re-resolving checkpoints and verdicts
+/// against `specs` (the registry stays the source of truth for bands;
+/// stored verdicts are informative only). Returns std::nullopt with
+/// `*error` set on parse/shape errors. Experiments present in specs but
+/// absent from the JSON come back as status "missing".
+std::optional<ReproManifest> manifest_from_json(
+    const std::vector<ExperimentSpec>& specs, std::string_view json,
+    std::string* error = nullptr);
+
+}  // namespace ntv::harness

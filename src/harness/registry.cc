@@ -1,0 +1,626 @@
+// The declarative experiment registry: one ExperimentSpec per paper
+// figure/table plus the extensions and ablations. Paper values, band
+// choices and the prose notes are transcribed from the reproduction
+// analysis that previously lived hand-maintained in EXPERIMENTS.md; the
+// committed doc is now rendered from these specs plus run reports
+// (docs/REPRODUCTION.md). Band rationale in one line: the ✔ band covers
+// the paper's claim plus Monte Carlo noise at the default budget; where
+// the reproduction's documented verdict is ≈ ("right shape, magnitude
+// off"), the ✔ band hugs the paper and the ≈ band is widened to admit
+// the measured value.
+#include "harness/spec.h"
+
+namespace ntv::harness {
+
+namespace {
+
+/// checkpoint() with an explicit ≈ band (for deliberate ≈ verdicts the
+/// default half-span widening cannot express).
+Checkpoint approx_band(Checkpoint cp, double approx_lo, double approx_hi) {
+  cp.approx_lo = approx_lo;
+  cp.approx_hi = approx_hi;
+  return cp;
+}
+
+std::vector<ExperimentSpec> build_registry() {
+  std::vector<ExperimentSpec> specs;
+
+  {
+    ExperimentSpec s;
+    s.id = "fig1";
+    s.title = "Fig. 1 — gate & chain delay distributions (90 nm)";
+    s.binary = "bench_fig1_gate_chain_distributions";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("single_pct_90nm_0.50V", "single 3σ/μ @0.5 V", "35.49 %",
+                   33.0, 37.0, "%", 2, true),
+        checkpoint("single_pct_90nm_1.00V", "single 3σ/μ @1.0 V", "15.58 %",
+                   14.5, 16.5, "%", 2, true),
+        checkpoint("chain_pct_90nm_0.50V", "chain 3σ/μ @0.5 V", "9.43 %",
+                   8.8, 10.0, "%", 2, true),
+        checkpoint("chain_pct_90nm_1.00V", "chain 3σ/μ @1.0 V", "5.76 %",
+                   5.4, 6.1, "%", 2, true),
+    };
+    s.notes =
+        "All twelve tabulated values sit within 7 % relative of the paper "
+        "(the 4-parameter variation model is least-squares fitted to this "
+        "series; it cannot be exact everywhere). Distribution shapes "
+        "reproduce the right-shift and widening at NTV and the right-skew "
+        "of the near-threshold histograms.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig2";
+    s.title = "Fig. 2 — chain 3σ/μ vs Vdd, four nodes";
+    s.binary = "bench_fig2_chain_variation_vs_vdd";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("chain_pct_90nm_0.50V", "90 nm @0.5 V", "9.43 %", 8.7,
+                   10.0, "%", 2, true),
+        checkpoint("chain_pct_22nm_0.80V", "22 nm @0.8 V", "~11 %", 10.0,
+                   12.0, "%", 2, true),
+        checkpoint("chain_pct_22nm_0.50V", "22 nm @0.5 V", "~25 %", 23.0,
+                   27.0, "%", 2, true),
+        checkpoint("ratio_22nm_over_90nm_0.55V", "22 nm / 90 nm @0.55 V",
+                   "~2.5×", 2.2, 3.0, "×", 2, true),
+    };
+    s.notes =
+        "Monotone growth toward low voltage for every node; scaling "
+        "(90→45→32→22) strictly increases variation. 45/32 nm anchors are "
+        "interpolations (the paper publishes no numbers for them); we "
+        "impose the monotone ordering. Note the paper's own Table 2 hints "
+        "45 nm GP may sit *above* 32 nm PTM HP — see the Table 2 notes.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig3";
+    s.title = "Fig. 3 — chip-level delay distributions (90 nm, FO4 units)";
+    s.binary = "bench_fig3_chip_delay_distributions";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("path_p50_fo4_1.00V", "critical path median @1 V",
+                   "50 FO4", 49.5, 50.5, "FO4", 2, true),
+        checkpoint("w128_p50_fo4_1.00V", "128-wide median @1 V",
+                   "~54 FO4 (nominal + 4)", 53.0, 55.0, "FO4", 2, true),
+        checkpoint("w128_p99_fo4_1.00V", "128-wide p99 @1 V", "~55 FO4",
+                   54.0, 55.5, "FO4", 2, true),
+        checkpoint("w128_p50_fo4_0.50V", "128-wide median @0.5 V",
+                   "drifts right of the 1 V curve", 55.5, 57.5, "FO4", 2,
+                   true),
+    };
+    s.notes =
+        "Ordering path < 1-wide < 128-wide at 1 V (the max-of-100 and "
+        "max-of-128 shifts) and the rightward drift + widening at NTV both "
+        "reproduce; the 128-wide @1 V curve sits ~4 FO4 above the nominal "
+        "50, as in the paper.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig4";
+    s.title = "Fig. 4 — performance drop vs Vdd (99 % sign-off)";
+    s.binary = "bench_fig4_performance_drop";
+    s.checkpoints = {
+        approx_band(checkpoint("drop_pct_90nm_0.50V", "90 nm @0.5 V", "5 %",
+                               4.0, 5.5, "%"),
+                    3.0, 7.5),
+        approx_band(checkpoint("drop_pct_90nm_0.55V", "90 nm @0.55 V",
+                               "2.5 %", 2.0, 3.0, "%"),
+                    1.5, 4.5),
+        approx_band(checkpoint("drop_pct_22nm_0.50V", "22 nm @0.5 V",
+                               "~18 %", 15.0, 19.0, "%"),
+                    12.0, 24.0),
+    };
+    s.notes =
+        "Shape exact (monotone in voltage, strongly worsening with "
+        "scaling, 90 nm \"small\", 22 nm ~4× 90 nm); magnitudes run "
+        "1.2–1.5× the paper's. The drop probes the extreme tail (max of "
+        "12,800 paths at p99 ≈ the 0.99994 path quantile), where our "
+        "exactly-convolved right-skewed tail is heavier than whatever "
+        "HSPICE's 10 k empirical samples resolved.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig5";
+    s.title = "Fig. 5 — duplication delay distributions (90 nm, 0.55 V)";
+    s.binary = "bench_fig5_duplication_distributions";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("baseline_p99_fo4_1.00V", "128-wide p99 @1 V baseline",
+                   "~55 FO4", 54.2, 55.0, "FO4", 2, true),
+        checkpoint("spread_fo4_alpha0", "p99 − median, α = 0",
+                   "widest curve", 0.9, 1.5, "FO4", 2, true),
+        checkpoint("spread_fo4_alpha28", "p99 − median, α = 28",
+                   "visibly tightened", 0.05, 0.45, "FO4", 2, true),
+    };
+    s.notes =
+        "Spares shift the 0.55 V distribution left *and* tighten it "
+        "(p99 − median shrinks ~6× from α = 0 to α = 28), exactly the "
+        "paper's visual; ~28 spares match the 1 V baseline at 0.5 V, "
+        "fewer at 0.55 V.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "table1";
+    s.title = "Table 1 — required spares (structural duplication)";
+    s.binary = "bench_table1_spares";
+    s.in_smoke_set = true;
+    s.smoke_args = {"--samples", "2000"};
+    s.checkpoints = {
+        approx_band(checkpoint("spares_90nm_0.50V", "90 nm @0.5 V",
+                               "28 spares", 22.0, 34.0, "", 0),
+                    10.0, 120.0),
+        approx_band(checkpoint("spares_90nm_0.55V", "90 nm @0.55 V",
+                               "6 spares", 4.0, 8.0, "", 0),
+                    2.0, 25.0),
+        approx_band(checkpoint("spares_90nm_0.60V", "90 nm @0.6 V",
+                               "2 spares", 1.0, 3.0, "", 0),
+                    1.0, 8.0),
+        checkpoint("spares_90nm_0.70V", "90 nm @0.7 V", "1 spare", 0.5, 1.5,
+                   "", 0, true),
+        approx_band(checkpoint("spares_22nm_0.70V", "22 nm @0.7 V",
+                               "3 spares", 2.0, 4.0, "", 0),
+                    2.0, 8.0),
+    };
+    s.notes =
+        "Every qualitative feature reproduces: exponential growth as Vdd "
+        "falls, 90 nm an order of magnitude cheaper than scaled nodes, "
+        ">128 blow-ups at low voltage, and the non-monotonicity where "
+        "22 nm needs *fewer* spares than 45/32 nm at 0.65–0.70 V (its "
+        "nominal baseline is only 0.8 V). Magnitudes run ~2–3× the "
+        "paper's at the lowest voltages, consistent with the heavier "
+        "sign-off tail noted under Fig. 4. Area/power overhead columns "
+        "match the paper exactly as functions of the spare count (that "
+        "linear budget was fitted: 0.433 %/lane area, 0.164 %/spare "
+        "power).";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig6";
+    s.title = "Fig. 6 — voltage-margin delay distributions (45 nm, 600 mV)";
+    s.binary = "bench_fig6_voltage_margin_distributions";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("crossover_mV", "p99 crosses the target at",
+                   "610–615 mV", 608.0, 616.0, "mV", 1, true),
+    };
+    s.notes =
+        "At 45 nm/600 mV the p99 crosses the nominal-scaled target "
+        "between 610 and 615 mV — the paper's figure shows exactly the "
+        "615 mV curve clearing the target.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "table2";
+    s.title = "Table 2 — required voltage margin [mV]";
+    s.binary = "bench_table2_voltage_margin";
+    s.checkpoints = {
+        checkpoint("margin_mV_90nm_0.50V", "90 nm @0.5 V", "5.8 mV", 3.5,
+                   7.0, "mV", 1),
+        checkpoint("margin_mV_90nm_0.70V", "90 nm @0.7 V", "1.7 mV", 1.2,
+                   2.8, "mV", 1),
+        checkpoint("margin_mV_22nm_0.50V", "22 nm @0.5 V", "16.4 mV", 14.0,
+                   21.0, "mV", 1),
+        approx_band(checkpoint("margin_mV_45nm_0.60V", "45 nm @0.6 V",
+                               "16.2 mV", 14.0, 18.0, "mV", 1),
+                    8.0, 20.0),
+    };
+    s.notes =
+        "90 nm and 22 nm within ~1–3 mV throughout; margins are "
+        "millivolt-scale everywhere, decreasing with voltage, an order of "
+        "magnitude below the supply — the paper's conclusion. One "
+        "structural deviation (the ≈ row): the paper has 45 nm GP needing "
+        "*larger* margins than 32 nm PTM HP; our monotone variation "
+        "ordering (45 < 32) flips that pair. Reproducing the paper's "
+        "inversion would require assuming the commercial 45 nm card is "
+        "more variable than the predictive 32 nm card — plausible (PTM "
+        "cards are optimistic) but not derivable from any number the "
+        "paper states, so we kept the defensible monotone ordering. "
+        "Power-overhead column matches the paper's formula exactly (DV "
+        "domain = 43 % of PE power, CV² scaling).";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "table3";
+    s.title = "Table 3 — combined duplication + margining (45 nm, 600 mV)";
+    s.binary = "bench_table3_combined_choices";
+    s.checkpoints = {
+        checkpoint("power_pct_26sp", "26 spares + 0 mV", "4.3 %", 4.0, 5.2,
+                   "%"),
+        checkpoint("power_pct_8sp", "8 spares + margin", "2.0 %", 1.6, 2.4,
+                   "%"),
+        checkpoint("power_pct_2sp", "2 spares + margin", "1.7 %", 1.0, 2.0,
+                   "%"),
+        checkpoint("best_alpha", "minimum-power spare count", "2 spares",
+                   1.5, 2.5, "", 0),
+    };
+    s.notes =
+        "The headline result lands exactly: the U-shaped overhead curve "
+        "has its minimum at **2 spares + a small margin**, the paper's "
+        "pick. Our margins are ~2/3 of the paper's (Table 2, 45 nm "
+        "deviation), which scales the whole column but not the ordering "
+        "or the crossover.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig8";
+    s.title = "Fig. 8 — chip delay vs margin and spares (45 nm, 600 mV)";
+    s.binary = "bench_fig8_chip_delay_vs_margin";
+    s.checkpoints = {
+        checkpoint("combo_margin_mV_2sp", "margin needed with 2 spares",
+                   "~10 mV", 4.0, 13.0, "mV", 1),
+        checkpoint("combo_power_pct_2sp", "power overhead at 2 spares",
+                   "1.7 %", 1.0, 2.0, "%"),
+    };
+    s.notes =
+        "The data behind Table 3: the voltage sweep shows where the p99 "
+        "clears the target and the spare sweep shows duplication closing "
+        "the same gap at fixed 600 mV.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "table4";
+    s.title = "Table 4 — frequency margining";
+    s.binary = "bench_table4_frequency_margin";
+    s.checkpoints = {
+        checkpoint("tclk_ns_90nm_0.50V", "T_clk 90 nm @0.5 V",
+                   "22.05 ns (ideal 50 FO4)", 22.5, 25.5, "ns"),
+        checkpoint("fdrop_pct_90nm_0.50V", "drop 90 nm @0.5 V", "≤6 %", 4.0,
+                   6.5, "%"),
+        checkpoint("worst_drop_pct", "worst required margin", "~20 %", 18.0,
+                   23.0, "%"),
+    };
+    s.notes =
+        "Required margins: 90 nm ≤ 6 %, scaled nodes up to ~21 % at "
+        "0.5 V — matching the paper's \"required delay margins reach "
+        "almost 20 %, making frequency margining inappropriate\". The "
+        "drop column equals Fig. 4 by construction, as in the paper; our "
+        "T_clk includes the nominal-voltage sign-off factor on top of the "
+        "ideal 50-FO4 period.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig7";
+    s.title = "Fig. 7 — technique comparison (duplication vs margining)";
+    s.binary = "bench_fig7_overhead_comparison";
+    s.timeout_sec = 600;
+    s.checkpoints = {
+        checkpoint("vm_pct_45nm_0.60V", "margining 45 nm @0.6 V", "2 %",
+                   1.5, 3.0, "%"),
+        approx_band(checkpoint("dup_pct_45nm_0.60V",
+                               "duplication 45 nm @0.6 V", "4 %", 3.0, 6.0,
+                               "%"),
+                    2.0, 20.0),
+    };
+    s.notes =
+        "Both paper claims reproduce: duplication wins in the high-NTV "
+        "range where variation is low (90 nm: duplication cheaper at "
+        "≥0.55 V; paper's 0.6–0.7 V window), and margining takes over as "
+        "voltage drops and nodes scale (45 nm @0.6 V: same winner as the "
+        "paper). The duplication magnitude at 45 nm runs high because our "
+        "45 nm needs more spares (see Table 1) — the ≈ row. Crossovers "
+        "are visible per node (90 nm at ~0.55 V, 45/32/22 nm at "
+        "~0.65–0.70 V).";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig9";
+    s.title = "Fig. 9 — energy/delay regions";
+    s.binary = "bench_fig9_energy_regions";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        approx_band(checkpoint("energy_ratio_nominal_over_ntv",
+                               "energy ↓ nominal→NTV", "~10×", 8.0, 12.0,
+                               "×", 1),
+                    3.0, 14.0),
+        checkpoint("delay_ratio_ntv_over_nominal", "delay ↑ nominal→NTV",
+                   "~10×", 8.0, 12.0, "×", 1, true),
+        checkpoint("minimum_energy_vdd", "min-energy point",
+                   "sub-threshold (< Vth0 = 0.39 V)", 0.30, 0.39, "V", 3,
+                   true),
+    };
+    s.notes =
+        "All qualitative structure present (energy minimum below "
+        "threshold, leakage dominance in deep sub-threshold, NTV as the "
+        "balance point). The 10× energy claim includes system-level "
+        "effects our per-op CV² + leakage model does not capture; ~4× is "
+        "the pure circuit-level figure — the ≈ row.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig11";
+    s.title = "Fig. 11 — variation vs chain length";
+    s.binary = "bench_fig11_variation_vs_chain_length";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("chain1_pct_90nm_0.55V", "90 nm @0.55 V, N = 1",
+                   "single-gate extreme", 25.5, 29.0, "%", 2, true),
+        checkpoint("chain50_pct_90nm_0.55V", "90 nm @0.55 V, N = 50",
+                   "saturating", 7.4, 8.4, "%", 2, true),
+        checkpoint("chain200_pct_90nm_0.55V", "90 nm @0.55 V, N = 200",
+                   "plateau", 6.7, 7.7, "%", 2, true),
+    };
+    s.notes =
+        "3σ/μ falls steeply for the first ~20 stages and saturates; the "
+        "per-stage improvement decays by ~350× from N = 1 to N = 200 — "
+        "the paper's \"a very long chain will not solve the timing "
+        "variation problem\", because the systematic component survives "
+        "averaging.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "fig12";
+    s.title = "Fig. 12 — sparing placement (global vs local)";
+    s.binary = "bench_fig12_sparing_placement";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("burst_global_covered", "global pool repairs the burst",
+                   "covered", 0.5, 1.5, "", 0, true),
+        checkpoint("burst_local_covered", "local 1-per-4 repairs the burst",
+                   "NOT covered", -0.5, 0.5, "", 0, true),
+        checkpoint("iid_global_cov_p0.10", "global coverage, p = 0.10",
+                   ">99.99 %", 0.999, 1.0, "", 4, true),
+        checkpoint("iid_local_cov_p0.10", "local coverage, p = 0.10",
+                   "collapses", 0.0, 0.07, "", 4, true),
+        checkpoint("spatial_global_cov_k1.05", "spatial, global, k = 1.05",
+                   "best", 0.45, 0.65, "", 4),
+        checkpoint("spatial_local_cov_k1.05", "spatial, local, k = 1.05",
+                   "worst", 0.21, 0.41, "", 4),
+    };
+    s.notes =
+        "The Fig. 12(c) example reproduces verbatim (10 FUs, FU-2/FU-3 "
+        "faulty: local 1-per-4 cannot repair, the global XRAM bypass maps "
+        "logical 2→4, 3→5, …). At equal budget (32 spares / 128 lanes) "
+        "global sparing holds >99.99 % coverage to 10 % lane-fault "
+        "probability while local 1-per-4 collapses; under correlated "
+        "(shared-die) and spatially-correlated delay faults global also "
+        "dominates at every clock setting, with a pooled hybrid "
+        "recovering most of the gap.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_analytic_exact";
+    s.title = "Extension — exact order-statistics chip model vs MC";
+    s.binary = "bench_ext_analytic_exact";
+    s.checkpoints = {
+        checkpoint("analytic_p99_fo4_1.00V", "analytic baseline p99 @1 V",
+                   "(= MC)", 54.4, 54.7, "FO4", 3),
+        checkpoint("mc_p99_fo4_1.00V", "MC baseline p99 @1 V", "(= exact)",
+                   54.4, 54.7, "FO4", 3),
+        checkpoint("analytic_spares_0.50V", "exact spares @0.5 V",
+                   "(≈ MC)", 65.0, 80.0, "", 0),
+        checkpoint("mc_spares_0.50V", "MC spares @0.5 V", "(≈ exact)", 65.0,
+                   85.0, "", 0),
+    };
+    s.notes =
+        "The closed-form order-statistics chip model agrees with the "
+        "10k-sample MC engine to ~0.02 FO4 on the baseline and lands "
+        "inside the MC bootstrap CIs on every drop value; Table-1 spare "
+        "counts agree within MC noise at 0.5 V and exactly at ≥0.6 V.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_body_bias";
+    s.title = "Extension — adaptive body bias vs supply margining";
+    s.binary = "bench_ext_body_bias";
+    s.timeout_sec = 600;
+    s.checkpoints = {
+        checkpoint("dvth_mV_90nm_0.55V", "required ΔVth, 90 nm @0.55 V",
+                   "millivolt-scale", 1.5, 4.5, "mV"),
+        checkpoint("abb_power_pct_90nm_0.55V", "ABB power, 90 nm @0.55 V",
+                   "≲ ⅓ of margining", 0.0, 1.0, "%"),
+        checkpoint("vm_power_pct_90nm_0.55V",
+                   "margining power, 90 nm @0.55 V", "(Table 2 column)",
+                   0.5, 2.5, "%"),
+    };
+    s.notes =
+        "Millivolt Vth shifts meet the same targets as Table 2's supply "
+        "margins at roughly a third of the power while leakage is a small "
+        "share; the advantage erodes toward deep NTV as leakage grows — "
+        "consistent with the EVAL work the paper cites.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_yield_binning";
+    s.title = "Extension — parametric yield and speed binning (90 nm)";
+    s.binary = "bench_ext_yield_binning";
+    s.checkpoints = {
+        checkpoint("t99_ns_alpha0", "99 %-yield clock, no spares",
+                   "14.95 ns", 14.7, 15.2, "ns", 3),
+        checkpoint("t99_ns_alpha28", "99 %-yield clock, 28 spares",
+                   "14.33 ns", 14.1, 14.6, "ns", 3),
+        checkpoint("fast_bin_frac_alpha28", "fastest-bin share, 28 spares",
+                   "~100 %", 0.99, 1.0, "", 3),
+    };
+    s.notes =
+        "The manufacturer's dual of the paper's fixed-percentile "
+        "sign-off: the spare budget converts directly into sellable parts "
+        "at a fixed clock — 28 spares move essentially all parts into the "
+        "fastest speed bin.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_multi_pe";
+    s.title = "Extension — 4-PE system throughput under variation";
+    s.binary = "bench_ext_multi_pe";
+    s.checkpoints = {
+        checkpoint("mean_tax_pct_0sp", "mean variation tax, no spares",
+                   "a few percent", 2.0, 3.5, "%"),
+        checkpoint("worst_tax_pct_0sp", "worst tax, no spares", "~6 %", 4.0,
+                   8.0, "%"),
+        checkpoint("mean_tax_pct_6sp", "mean tax, 6 spares", "~0 %", 0.0,
+                   0.5, "%"),
+    };
+    s.notes =
+        "With per-PE clocks binned to memory-clock multiples, an unspared "
+        "4-PE batch pays a measurable throughput tax vs the uniform "
+        "ideal; 6 spares collapse all PEs into one bin and eliminate it — "
+        "the paper's lane-level technique visible at the SoC level.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_ssta";
+    s.title = "Extension — SSTA lane model vs the iid assumption";
+    s.binary = "bench_ext_ssta";
+    s.checkpoints = {
+        checkpoint("iid_p99_fo4", "iid formula p99", "52.27 FO4", 52.1,
+                   52.5, "FO4", 2),
+        checkpoint("mc_p99_fo4_shared0", "exact MC p99, no shared logic",
+                   "≈ iid", 52.0, 52.45, "FO4", 2),
+        checkpoint("mc_p99_fo4_shared40", "exact MC p99, 40/50 shared",
+                   "tightens below iid", 51.8, 52.2, "FO4", 2),
+        checkpoint("ssta_p99_fo4_shared40", "block-SSTA p99, 40/50 shared",
+                   "stays conservative", 52.1, 52.5, "FO4", 2),
+    };
+    s.notes =
+        "Sharing launch logic between paths tightens the exact lane "
+        "maximum while independence-assuming models (the paper's, and "
+        "block-based SSTA) stay at the conservative extreme. The gap is "
+        "the price of the iid assumption — i.e. where the paper is "
+        "conservative.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_spice_mc";
+    s.title = "Extension — transient-simulator Monte Carlo vs the model";
+    s.binary = "bench_ext_spice_mc";
+    s.checkpoints = {
+        checkpoint("spice_3smu_pct_1.00V", "transient 3σ/μ @1.0 V",
+                   "≈ model (6.2 %)", 5.5, 8.0, "%"),
+        checkpoint("spice_3smu_pct_0.50V", "transient 3σ/μ @0.5 V",
+                   "≈ model (14.6 %)", 13.0, 19.0, "%"),
+        checkpoint("model_3smu_pct_0.50V", "analytic 3σ/μ @0.5 V",
+                   "14.57 %", 13.5, 15.5, "%"),
+    };
+    s.notes =
+        "80 full MNA transient solves per voltage agree with the analytic "
+        "chain model on both the mean scaling and the relative spread "
+        "within the ~20 % sampling error of 80 samples — the statistical "
+        "engine stands on simulated circuits, not just fitted formulas.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ext_temperature";
+    s.title = "Extension — temperature inversion at NTV";
+    s.binary = "bench_ext_temperature";
+    s.in_smoke_set = true;
+    s.checkpoints = {
+        checkpoint("crossover_V_90nm", "inversion crossover, 90 nm",
+                   "0.537 V", 0.52, 0.56, "V", 3, true),
+        checkpoint("crossover_V_22nm", "inversion crossover, 22 nm",
+                   "0.597 V", 0.58, 0.61, "V", 3, true),
+        checkpoint("cold_penalty_pct_0.45V", "cold-corner penalty @0.45 V",
+                   "~+39 %", 35.0, 43.0, "%", 1, true),
+    };
+    s.notes =
+        "The hot/cold crossover voltage sits inside the paper's "
+        "0.50–0.70 V sweep for every node. Below it the cold corner "
+        "dominates, so the paper's single-temperature margins under-cover "
+        "around its favourite 0.5–0.55 V operating points — NTV sign-off "
+        "must check both temperature extremes.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ablation_signoff";
+    s.title = "Ablation — sign-off percentile sensitivity";
+    s.binary = "bench_ablation_signoff";
+    s.notes =
+        "Quantifies how the spare counts and performance drops move with "
+        "the sign-off percentile. Direction worth knowing before using "
+        "Table 1 for design: a *tighter* sign-off needs *fewer* spares, "
+        "because duplication tightens the NTV tail faster than the "
+        "baseline tail grows. Prose-only artifact — no gated checkpoints.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ablation_die_correlation";
+    s.title = "Ablation — die-level correlation";
+    s.binary = "bench_ablation_die_correlation";
+    s.notes =
+        "The i.i.d.-path assumption is the paper's own; this ablation "
+        "shows duplication would look far weaker under full die-level "
+        "correlation. Prose-only artifact — no gated checkpoints.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "ablation_path_count";
+    s.title = "Ablation — critical-path count per lane";
+    s.binary = "bench_ablation_path_count";
+    s.notes =
+        "Sensitivity of the lane model to the paper's 100-paths-per-lane "
+        "choice. Prose-only artifact — no gated checkpoints.";
+    specs.push_back(std::move(s));
+  }
+
+  {
+    ExperimentSpec s;
+    s.id = "soda_kernels";
+    s.title = "SODA kernels — functional SIMD substrate";
+    s.binary = "bench_soda_kernels";
+    s.in_smoke_set = true;
+    s.notes =
+        "Functional check that the SODA-style wide-SIMD substrate (FIR, "
+        "correlator kernels on the PE model) executes; the timing results "
+        "feed the multi-PE extension. Prose-only artifact — no gated "
+        "checkpoints.";
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ExperimentSpec>& registry() {
+  static const std::vector<ExperimentSpec> specs = build_registry();
+  return specs;
+}
+
+}  // namespace ntv::harness

@@ -1,0 +1,126 @@
+#include "harness/render.h"
+
+#include <cstdio>
+
+namespace ntv::harness {
+namespace {
+
+constexpr const char* kHeader =
+    "# EXPERIMENTS — paper vs. measured\n"
+    "\n"
+    "<!-- GENERATED FILE — do not edit by hand.\n"
+    "     Regenerate with:  ntvsim_repro run --bin-dir build/bench "
+    "--out-dir repro\n"
+    "                       ntvsim_repro render --manifest "
+    "repro/EXPERIMENTS.json --out EXPERIMENTS.md\n"
+    "     Specs live in src/harness/registry.cc; see "
+    "docs/REPRODUCTION.md. -->\n"
+    "\n"
+    "Every table and figure of the paper, the command that regenerates "
+    "it, and\n"
+    "a paper-vs-measured comparison. \"Measured\" values come from the "
+    "bench\n"
+    "binaries in `bench/` (10,000-sample Monte Carlo where the paper "
+    "uses\n"
+    "10,000; 1,000 where it uses 1,000; fixed seeds, thread-count "
+    "independent).\n"
+    "Absolute silicon numbers are not expected to match — the substrate "
+    "is a\n"
+    "calibrated analytic model, not the authors' HSPICE decks — but the "
+    "shape\n"
+    "(who wins, by what factor, where crossovers fall) is the "
+    "reproduction\n"
+    "target, per DESIGN.md §4.\n"
+    "\n"
+    "Legend: ✔ inside the spec's strict band · ≈ right shape, magnitude "
+    "off\n"
+    "(inside the loose band) · ✘ deviation or missing value. Bands are\n"
+    "declared per checkpoint in `src/harness/registry.cc`; the CI\n"
+    "`repro-smoke` job re-runs a reduced-budget subset and fails when "
+    "any\n"
+    "smoke-gated checkpoint leaves its band or this file stops matching "
+    "its\n"
+    "regeneration.\n";
+
+const ExperimentOutcome* find_outcome(const ReproManifest& manifest,
+                                      const std::string& id) {
+  for (const ExperimentOutcome& e : manifest.experiments) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string format_measured(const Checkpoint& cp, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", cp.precision, value);
+  std::string out(buf);
+  if (!cp.unit.empty()) {
+    if (cp.unit != "×") out += ' ';  // "2.77×", but "5.97 %" / "4.7 mV".
+    out += cp.unit;
+  }
+  return out;
+}
+
+std::string render_markdown(const std::vector<ExperimentSpec>& specs,
+                            const ReproManifest& manifest) {
+  std::string md(kHeader);
+
+  for (const ExperimentSpec& spec : specs) {
+    const ExperimentOutcome* outcome = find_outcome(manifest, spec.id);
+
+    md += "\n## ";
+    md += spec.title;
+    md += "\n\n`./build/bench/";
+    md += spec.binary;
+    md += " --artifact_only";
+    for (const std::string& arg : spec.args) {
+      md += ' ';
+      md += arg;
+    }
+    md += "`\n";
+
+    if (!spec.checkpoints.empty()) {
+      md += "\n| checkpoint | paper | measured | |\n";
+      md += "|---|---:|---:|:-:|\n";
+      for (std::size_t i = 0; i < spec.checkpoints.size(); ++i) {
+        const Checkpoint& cp = spec.checkpoints[i];
+        const CheckpointResult* result =
+            outcome && i < outcome->checkpoints.size()
+                ? &outcome->checkpoints[i]
+                : nullptr;
+        md += "| ";
+        md += cp.label;
+        md += " | ";
+        md += cp.paper;
+        md += " | ";
+        if (result && result->present) {
+          md += format_measured(cp, result->measured);
+          md += " | ";
+          md += verdict_glyph(result->verdict);
+        } else {
+          md += "— | ✘";
+        }
+        md += " |\n";
+      }
+    }
+
+    // Status line for experiments that did not complete, so a rendered
+    // doc from a partial manifest is visibly partial.
+    if (!outcome || outcome->status != "ok") {
+      md += "\n*Run status: ";
+      md += outcome ? outcome->status : "missing";
+      md += " — measured values unavailable.*\n";
+    }
+
+    if (!spec.notes.empty()) {
+      md += '\n';
+      md += spec.notes;
+      if (spec.notes.back() != '\n') md += '\n';
+    }
+  }
+  return md;
+}
+
+}  // namespace ntv::harness

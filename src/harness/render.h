@@ -1,0 +1,31 @@
+// EXPERIMENTS.md generator.
+//
+// Renders the paper-vs-measured document from (registry, manifest) — no
+// other inputs, no timestamps, no environment reads — so the same
+// manifest always renders the same bytes. That byte-determinism is what
+// lets CI regenerate the doc and fail on any diff against the committed
+// file (the repro-smoke job), turning EXPERIMENTS.md from a
+// hand-maintained claim into a checked build artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/manifest.h"
+#include "harness/spec.h"
+
+namespace ntv::harness {
+
+/// Renders the full EXPERIMENTS.md markdown (trailing newline included).
+/// Experiments appear in registry order; each section shows the
+/// regenerate command, the checkpoint table (paper | measured | verdict)
+/// and the spec's prose notes. Measured cells of experiments that did
+/// not run render as "—" with a ✘ verdict.
+std::string render_markdown(const std::vector<ExperimentSpec>& specs,
+                            const ReproManifest& manifest);
+
+/// Formats a measured value with a checkpoint's precision and unit
+/// (exposed for the golden tests).
+std::string format_measured(const Checkpoint& cp, double value);
+
+}  // namespace ntv::harness

@@ -1,0 +1,232 @@
+#include "harness/runner.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "harness/json.h"
+
+namespace ntv::harness {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// waitpid with a deadline: polls the child every 50 ms, SIGKILLs it (and
+/// reaps the zombie) once the deadline passes. Returns true when the
+/// child exited by itself, false on timeout. A plain blocking waitpid
+/// with SIGALRM would race with retries; the poll loop is simple and the
+/// 50 ms granularity is irrelevant next to multi-second experiments.
+bool wait_with_deadline(pid_t pid, Clock::time_point deadline,
+                        int* wait_status) {
+  while (true) {
+    const pid_t done = waitpid(pid, wait_status, WNOHANG);
+    if (done == pid) return true;
+    if (done < 0 && errno != EINTR) {
+      *wait_status = 0;
+      return true;  // Child vanished; treat as exited.
+    }
+    if (Clock::now() >= deadline) {
+      kill(pid, SIGKILL);
+      waitpid(pid, wait_status, 0);
+      return false;
+    }
+    struct timespec nap = {0, 50 * 1000 * 1000};
+    nanosleep(&nap, nullptr);
+  }
+}
+
+/// Spawns `argv` with stdout+stderr redirected to `log_file`. Returns the
+/// child pid, or -1 on fork/exec failure.
+pid_t spawn(const std::vector<std::string>& argv,
+            const std::string& log_file) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+
+  // Child: redirect output, detach from the parent's stdin, exec.
+  const int fd = open(log_file.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    dup2(fd, STDOUT_FILENO);
+    dup2(fd, STDERR_FILENO);
+    close(fd);
+  }
+  execv(cargv[0], cargv.data());
+  // exec failed: exit with the conventional 127 so the parent sees it.
+  _exit(127);
+}
+
+void progress(std::FILE* log, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(log ? log : stdout, fmt, args);
+  va_end(args);
+  std::fflush(log ? log : stdout);
+}
+
+}  // namespace
+
+bool ensure_directory(const std::string& path) {
+  if (path.empty()) return false;
+  // Create each prefix in turn (mkdir -p).
+  for (std::size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') continue;
+    const std::string prefix = path.substr(0, i);
+    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::string journal_path(const std::string& out_dir) {
+  return out_dir + "/journal.jsonl";
+}
+
+std::string report_path(const std::string& out_dir, const std::string& id) {
+  return out_dir + "/reports/" + id + ".json";
+}
+
+std::string log_path(const std::string& out_dir, const std::string& id) {
+  return out_dir + "/logs/" + id + ".log";
+}
+
+std::string manifest_path(const std::string& out_dir) {
+  return out_dir + "/EXPERIMENTS.json";
+}
+
+JournalEntry run_experiment(const ExperimentSpec& spec,
+                            const RunOptions& opt) {
+  JournalEntry entry;
+  entry.id = spec.id;
+  entry.smoke = opt.smoke;
+  entry.report = report_path(opt.out_dir, spec.id);
+
+  const int timeout_sec = opt.timeout_sec_override > 0
+                              ? opt.timeout_sec_override
+                              : spec.timeout_sec;
+  const int max_attempts = std::max(
+      1, opt.max_attempts_override > 0 ? opt.max_attempts_override
+                                       : spec.max_attempts);
+
+  std::vector<std::string> argv;
+  argv.push_back(opt.bin_dir + "/" + spec.binary);
+  argv.push_back("--artifact_only");
+  argv.push_back("--report");
+  argv.push_back(entry.report);
+  argv.insert(argv.end(), spec.args.begin(), spec.args.end());
+  if (opt.smoke) {
+    argv.insert(argv.end(), spec.smoke_args.begin(), spec.smoke_args.end());
+  }
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    entry.attempts = attempt;
+    // A stale report from a previous (crashed) attempt must not be
+    // mistaken for this attempt's output.
+    std::remove(entry.report.c_str());
+
+    const auto start = Clock::now();
+    const pid_t pid = spawn(argv, log_path(opt.out_dir, spec.id));
+    if (pid < 0) {
+      entry.status = RunStatus::kFailed;
+      entry.exit_code = -1;
+      continue;
+    }
+    int wait_status = 0;
+    const bool exited = wait_with_deadline(
+        pid, start + std::chrono::seconds(timeout_sec), &wait_status);
+    entry.elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - start)
+                           .count();
+    if (!exited) {
+      entry.status = RunStatus::kTimeout;
+      entry.exit_code = -SIGKILL;
+      continue;
+    }
+    entry.exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
+                      : WIFSIGNALED(wait_status)
+                          ? -WTERMSIG(wait_status)
+                          : -1;
+    if (entry.exit_code != 0) {
+      entry.status = RunStatus::kFailed;
+      continue;
+    }
+    // Exit 0 without a parseable report is still a failure: the report
+    // IS the experiment's output.
+    const auto text = read_text_file(entry.report);
+    if (!text || !JsonValue::parse(*text)) {
+      entry.status = RunStatus::kFailed;
+      continue;
+    }
+    entry.status = RunStatus::kOk;
+    return entry;
+  }
+  return entry;
+}
+
+SuiteRun run_suite(const std::vector<ExperimentSpec>& specs,
+                   const RunOptions& opt) {
+  SuiteRun suite;
+  ensure_directory(opt.out_dir + "/reports");
+  ensure_directory(opt.out_dir + "/logs");
+  const Journal journal(journal_path(opt.out_dir));
+  const auto completed = opt.resume
+                             ? journal.load()
+                             : std::map<std::string, JournalEntry>();
+
+  for (const ExperimentSpec& spec : specs) {
+    if (!opt.only.empty() &&
+        std::find(opt.only.begin(), opt.only.end(), spec.id) ==
+            opt.only.end()) {
+      continue;
+    }
+    if (opt.smoke && !spec.in_smoke_set) continue;
+
+    ExperimentRun run;
+    run.spec = &spec;
+
+    const auto prior = completed.find(spec.id);
+    if (prior != completed.end() && prior->second.status == RunStatus::kOk &&
+        prior->second.smoke == opt.smoke &&
+        read_text_file(prior->second.report)) {
+      run.entry = prior->second;
+      run.resumed = true;
+      ++suite.resumed;
+      progress(opt.log, "[repro]   skip %-10s (journal: ok, %lld ms)\n",
+               spec.id.c_str(),
+               static_cast<long long>(run.entry.elapsed_ms));
+      suite.experiments.push_back(std::move(run));
+      continue;
+    }
+
+    progress(opt.log, "[repro]   run  %-10s %s ...\n", spec.id.c_str(),
+             spec.binary.c_str());
+    run.entry = run_experiment(spec, opt);
+    if (run.entry.status != RunStatus::kOk) ++suite.failed;
+    ++suite.ran;
+    journal.append(run.entry);
+    progress(opt.log, "[repro]   %-4s %-10s attempts=%d %lld ms\n",
+             std::string(run_status_name(run.entry.status)).c_str(),
+             spec.id.c_str(), run.entry.attempts,
+             static_cast<long long>(run.entry.elapsed_ms));
+    suite.experiments.push_back(std::move(run));
+  }
+  return suite;
+}
+
+}  // namespace ntv::harness

@@ -1,0 +1,75 @@
+// Supervised batch runner for the reproduction suite.
+//
+// Executes each registered experiment's bench binary as a child process
+// (`<bin_dir>/<binary> --artifact_only --report <out_dir>/reports/<id>.json
+// <args...>`), with a per-experiment watchdog timeout (the child is
+// SIGKILLed past its deadline), bounded retries, per-experiment stdout
+// logs under <out_dir>/logs/, and the JSONL checkpoint journal
+// (journal.h) so an interrupted sweep resumes from the last completed
+// experiment. Linux/POSIX only, like the rest of the toolchain.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/journal.h"
+#include "harness/spec.h"
+
+namespace ntv::harness {
+
+/// Options of one `ntvsim_repro run` invocation.
+struct RunOptions {
+  std::string bin_dir;  ///< Directory holding the bench binaries.
+  std::string out_dir;  ///< Reports, logs and journal root (created).
+  /// Reduced-budget mode: only specs with in_smoke_set run, each with its
+  /// smoke_args appended, and verdicts gate only smoke checkpoints.
+  bool smoke = false;
+  /// Replay the journal and skip experiments already completed "ok" with
+  /// an existing report file. Off -> every experiment reruns.
+  bool resume = true;
+  /// When non-empty, run only these experiment ids (still subject to the
+  /// smoke filter).
+  std::vector<std::string> only;
+  int timeout_sec_override = 0;   ///< >0 replaces every spec's timeout.
+  int max_attempts_override = 0;  ///< >0 replaces every spec's retries.
+  std::FILE* log = nullptr;       ///< Progress stream; nullptr = stdout.
+};
+
+/// Outcome of one experiment within a suite run.
+struct ExperimentRun {
+  const ExperimentSpec* spec = nullptr;
+  JournalEntry entry;
+  bool resumed = false;  ///< Skipped because the journal had it "ok".
+};
+
+/// Outcome of a whole suite run.
+struct SuiteRun {
+  std::vector<ExperimentRun> experiments;
+  int ran = 0;      ///< Executed this invocation.
+  int resumed = 0;  ///< Skipped via the journal.
+  int failed = 0;   ///< status != ok after all retries.
+};
+
+/// Derived paths inside an out_dir (shared by runner and aggregator).
+std::string journal_path(const std::string& out_dir);
+std::string report_path(const std::string& out_dir, const std::string& id);
+std::string log_path(const std::string& out_dir, const std::string& id);
+std::string manifest_path(const std::string& out_dir);
+
+/// Runs one experiment attempt-loop (no journal interaction): spawns the
+/// child, enforces the timeout, retries up to the attempt budget. The
+/// returned entry's report path is filled even on failure.
+JournalEntry run_experiment(const ExperimentSpec& spec,
+                            const RunOptions& opt);
+
+/// Runs `specs` in order under the options above, appending a journal
+/// line per completed experiment. Creates out_dir (and reports/ logs/
+/// subdirectories) if needed.
+SuiteRun run_suite(const std::vector<ExperimentSpec>& specs,
+                   const RunOptions& opt);
+
+/// mkdir -p equivalent; true when the directory exists afterwards.
+bool ensure_directory(const std::string& path);
+
+}  // namespace ntv::harness

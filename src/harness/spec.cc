@@ -1,0 +1,60 @@
+#include "harness/spec.h"
+
+#include <algorithm>
+
+namespace ntv::harness {
+
+std::string_view verdict_glyph(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kPass:
+      return "✔";  // ✔
+    case Verdict::kApprox:
+      return "≈";  // ≈
+    case Verdict::kFail:
+      break;
+  }
+  return "✘";  // ✘
+}
+
+std::string_view verdict_name(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kPass:
+      return "pass";
+    case Verdict::kApprox:
+      return "approx";
+    case Verdict::kFail:
+      break;
+  }
+  return "fail";
+}
+
+Checkpoint checkpoint(std::string key, std::string label, std::string paper,
+                      double lo, double hi, std::string unit, int precision,
+                      bool smoke) {
+  Checkpoint cp;
+  cp.key = std::move(key);
+  cp.label = std::move(label);
+  cp.paper = std::move(paper);
+  cp.lo = lo;
+  cp.hi = hi;
+  // Default ≈ band: half a span beyond the ✔ band on each side. Specs
+  // with a deliberate "right shape, magnitude off" classification widen
+  // it explicitly instead.
+  const double slack = 0.5 * (hi - lo);
+  cp.approx_lo = lo - slack;
+  cp.approx_hi = hi + slack;
+  cp.unit = std::move(unit);
+  cp.precision = precision;
+  cp.smoke = smoke;
+  return cp;
+}
+
+const ExperimentSpec* find_spec(std::string_view id) {
+  const auto& specs = registry();
+  const auto it = std::find_if(
+      specs.begin(), specs.end(),
+      [&](const ExperimentSpec& s) { return s.id == id; });
+  return it == specs.end() ? nullptr : &*it;
+}
+
+}  // namespace ntv::harness

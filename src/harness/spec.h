@@ -1,0 +1,92 @@
+// Declarative experiment registry: one spec per paper figure/table.
+//
+// The reproduction's deliverable is the paper-vs-measured comparison in
+// EXPERIMENTS.md. Each ExperimentSpec declares, for one bench binary,
+// everything needed to (a) run it under supervision (binary, args,
+// timeout, retry budget, reduced smoke budget), (b) pull its reproduced
+// numbers out of the --report JSON (checkpoint keys), and (c) classify
+// them against the paper (tolerance bands -> a ✔/≈/✘ verdict). The
+// registry is the single source of truth: the batch runner executes it,
+// the aggregator scores it, and the EXPERIMENTS.md generator renders it —
+// the committed doc is a build artifact of these specs plus run reports
+// (docs/REPRODUCTION.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntv::harness {
+
+/// Paper-vs-measured classification of a checkpoint or an experiment.
+/// Ordered worst-to-best so "worst over checkpoints" is std::min.
+enum class Verdict {
+  kFail = 0,    ///< ✘ — outside even the loose band; deviation, discussed.
+  kApprox = 1,  ///< ≈ — right shape, magnitude off (inside the loose band).
+  kPass = 2,    ///< ✔ — inside the strict band.
+};
+
+/// Rendered glyph for a verdict (✔ / ≈ / ✘).
+std::string_view verdict_glyph(Verdict v) noexcept;
+
+/// Manifest-stable name for a verdict ("pass" / "approx" / "fail").
+std::string_view verdict_name(Verdict v) noexcept;
+
+/// One machine-checked number of an experiment: where to find it in the
+/// bench report (`results.values.<key>`), what the paper says, and the
+/// tolerance bands that classify the measured value.
+///
+/// Band semantics (docs/REPRODUCTION.md): value in [lo, hi] -> ✔; else in
+/// [approx_lo, approx_hi] -> ≈; else ✘. A missing key is always ✘ (a
+/// checkpoint that cannot be read is a broken reproduction, not a pass).
+/// Bands are chosen wide enough to absorb Monte Carlo noise at the
+/// default budget; `smoke` marks the checkpoints that stay inside their
+/// bands at the reduced CI budget too and are therefore gated on every
+/// pull request.
+struct Checkpoint {
+  std::string key;    ///< Key under results.values in the bench report.
+  std::string label;  ///< Row label in the rendered table.
+  std::string paper;  ///< Paper's value as prose, e.g. "35.49 %" or "~18 %".
+  double lo = 0.0;    ///< ✔ band, inclusive.
+  double hi = 0.0;
+  double approx_lo = 0.0;  ///< ≈ band, inclusive; must contain [lo, hi].
+  double approx_hi = 0.0;
+  std::string unit;   ///< Unit suffix rendered after the measured value.
+  int precision = 2;  ///< Decimals when rendering the measured value.
+  bool smoke = false; ///< Gated in reduced-budget (--smoke) runs too.
+};
+
+/// Builder shorthand: a checkpoint whose ≈ band widens the ✔ band by the
+/// given factor on each side (relative to the band's span).
+Checkpoint checkpoint(std::string key, std::string label, std::string paper,
+                      double lo, double hi, std::string unit = "",
+                      int precision = 2, bool smoke = false);
+
+/// One figure/table/extension experiment of the reproduction suite.
+struct ExperimentSpec {
+  std::string id;      ///< Stable short name, e.g. "fig1", "table2".
+  std::string title;   ///< Section heading in EXPERIMENTS.md.
+  std::string binary;  ///< Bench executable under the --bin-dir.
+  /// Extra argv after `--artifact_only --report <path>` for full runs.
+  std::vector<std::string> args;
+  /// Extra argv appended in --smoke runs (typically a reduced --samples
+  /// budget); empty means the full-run arguments are already cheap.
+  std::vector<std::string> smoke_args;
+  /// Member of the reduced CI suite (repro-smoke job)?
+  bool in_smoke_set = false;
+  int timeout_sec = 300;  ///< Watchdog: the subprocess is killed after this.
+  int max_attempts = 2;   ///< Bounded retries (crash/timeout -> rerun).
+  std::vector<Checkpoint> checkpoints;
+  /// Markdown prose rendered after the checkpoint table: the shape
+  /// discussion, deviations, and reconstruction notes. May be empty.
+  std::string notes;
+};
+
+/// The full experiment suite, in EXPERIMENTS.md render order. Specs are
+/// constructed once on first use and never mutated.
+const std::vector<ExperimentSpec>& registry();
+
+/// Lookup by id; nullptr when unknown.
+const ExperimentSpec* find_spec(std::string_view id);
+
+}  // namespace ntv::harness

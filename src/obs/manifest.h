@@ -3,7 +3,12 @@
 // Reproducibility studies treat the run manifest (seed, node, voltage
 // grid, tool version) as a first-class output: a report whose numbers
 // cannot be regenerated is not evidence. Every JSON report this repo
-// emits therefore starts with one of these.
+// emits therefore starts with one of these, serialized under the
+// top-level "manifest" key of the schema-v1 report
+// (docs/OBSERVABILITY.md). Downstream consumers: tools/check_report.py
+// asserts the skeleton fields exist, and the reproduction harness
+// (src/harness, docs/REPRODUCTION.md) reads the surrounding report's
+// results.values when aggregating EXPERIMENTS.json.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +25,23 @@ namespace ntv::obs {
 struct RunManifest {
   std::string tool;             ///< Binary name, e.g. "ntvsim".
   std::string command;          ///< Subcommand / mode, e.g. "study".
-  std::uint64_t seed = 0;       ///< Monte Carlo base seed of the run.
+  /// Monte Carlo base seed. Together with `sampling` and the sample
+  /// budget this pins the byte-identity contract: same (seed, plan,
+  /// budget) => identical results at any thread count (docs/PERF.md).
+  std::uint64_t seed = 0;
   int threads = 0;              ///< Resolved worker thread count.
   int threads_requested = 0;    ///< --threads value as given (0 = auto).
   std::string tech_node;        ///< e.g. "90nm GP"; empty if node-less.
   std::vector<double> vdd_grid; ///< Supply voltages swept [V].
   /// Variance-reduction strategy of the run's Monte Carlo sampling
-  /// ("naive" / "stratified" / "importance" / "qmc").
+  /// ("naive" / "stratified" / "importance" / "qmc"); non-naive plans
+  /// are gated by tolerance windows, not byte identity
+  /// (docs/SAMPLING.md).
   std::string sampling = "naive";
+  /// "Release"/"Debug" of the producing binary — reports from different
+  /// build types are comparable in values but not in timings.
   std::string build_type = std::string(build_kind());
-  std::string library_version = std::string(version());
+  std::string library_version = std::string(version());  ///< CMake version.
 
   /// Serializes this manifest as one JSON object value on `w`.
   void write(JsonWriter& w) const;

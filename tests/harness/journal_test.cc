@@ -1,0 +1,113 @@
+#include "harness/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ntv::harness {
+namespace {
+
+std::string temp_journal_path(const char* name) {
+  return testing::TempDir() + "ntv_journal_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+TEST(JournalEntry, JsonLineRoundtrip) {
+  JournalEntry entry;
+  entry.id = "fig1";
+  entry.status = RunStatus::kTimeout;
+  entry.attempts = 2;
+  entry.exit_code = -9;
+  entry.elapsed_ms = 1234;
+  entry.report = "out/reports/fig1.json";
+  entry.smoke = true;
+
+  const auto parsed = JournalEntry::from_json_line(entry.to_json_line());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->id, "fig1");
+  EXPECT_EQ(parsed->status, RunStatus::kTimeout);
+  EXPECT_EQ(parsed->attempts, 2);
+  EXPECT_EQ(parsed->exit_code, -9);
+  EXPECT_EQ(parsed->elapsed_ms, 1234);
+  EXPECT_EQ(parsed->report, "out/reports/fig1.json");
+  EXPECT_TRUE(parsed->smoke);
+}
+
+TEST(JournalEntry, MalformedLinesRejected) {
+  EXPECT_FALSE(JournalEntry::from_json_line(""));
+  EXPECT_FALSE(JournalEntry::from_json_line("{\"experiment\": \"fi"));
+  EXPECT_FALSE(JournalEntry::from_json_line("{\"status\": \"ok\"}"));
+}
+
+TEST(RunStatusNames, Roundtrip) {
+  for (RunStatus s :
+       {RunStatus::kOk, RunStatus::kFailed, RunStatus::kTimeout}) {
+    const auto parsed = parse_run_status(run_status_name(s));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_run_status("exploded"));
+}
+
+TEST(Journal, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(Journal("/nonexistent/journal.jsonl").load().empty());
+}
+
+TEST(Journal, AppendLoadLastEntryWins) {
+  const std::string path = temp_journal_path("lastwins");
+  std::remove(path.c_str());
+  const Journal journal(path);
+
+  JournalEntry first;
+  first.id = "fig1";
+  first.status = RunStatus::kFailed;
+  first.attempts = 2;
+  ASSERT_TRUE(journal.append(first));
+
+  JournalEntry second;
+  second.id = "fig2";
+  second.status = RunStatus::kOk;
+  second.report = "r2.json";
+  ASSERT_TRUE(journal.append(second));
+
+  // fig1 retried later and succeeded: the retry must shadow the failure.
+  first.status = RunStatus::kOk;
+  first.attempts = 3;
+  ASSERT_TRUE(journal.append(first));
+
+  const auto entries = journal.load();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("fig1").status, RunStatus::kOk);
+  EXPECT_EQ(entries.at("fig1").attempts, 3);
+  EXPECT_EQ(entries.at("fig2").report, "r2.json");
+  std::remove(path.c_str());
+}
+
+// A kill -9 mid-append leaves a torn final line; replay must keep every
+// complete line and drop only the torn one.
+TEST(Journal, TornFinalLineIsIgnored) {
+  const std::string path = temp_journal_path("torn");
+  std::remove(path.c_str());
+  const Journal journal(path);
+
+  JournalEntry entry;
+  entry.id = "fig1";
+  entry.status = RunStatus::kOk;
+  ASSERT_TRUE(journal.append(entry));
+
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"experiment\": \"fig2\", \"status\": \"o";
+  }
+
+  const auto entries = journal.load();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries.count("fig1"), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ntv::harness

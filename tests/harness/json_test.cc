@@ -1,0 +1,86 @@
+#include "harness/json.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::harness {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2")->as_number(), -1250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const auto v = JsonValue::parse(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = JsonValue::parse(
+      R"({"results": {"values": {"x": 1.5, "y": 2}}, "list": [1, 2, 3]})");
+  ASSERT_TRUE(v);
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* values = v->find_path("results.values");
+  ASSERT_NE(values, nullptr);
+  EXPECT_EQ(values->members().size(), 2u);
+  EXPECT_DOUBLE_EQ(v->find_path("results.values.x")->as_number(), 1.5);
+  const JsonValue* list = v->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(list->items()[2].as_number(), 3.0);
+}
+
+// Bench report keys contain dots ("chain_pct_90nm_1.00V"); the dotted
+// path resolver must try the longest joined prefix first, matching
+// tools/check_report.py.
+TEST(JsonParse, DottedLeafKeysResolve) {
+  const auto v = JsonValue::parse(
+      R"({"results": {"values": {"chain_pct_90nm_1.00V": 5.79}}})");
+  ASSERT_TRUE(v);
+  const JsonValue* leaf =
+      v->find_path("results.values.chain_pct_90nm_1.00V");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->as_number(), 5.79);
+  EXPECT_EQ(v->find_path("results.values.absent_key"), nullptr);
+  EXPECT_EQ(v->find_path("no.such.path"), nullptr);
+}
+
+TEST(JsonParse, ErrorsAreReported) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("{", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(JsonValue::parse("[1, 2,]"));
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing"));
+  EXPECT_FALSE(JsonValue::parse(""));
+  EXPECT_FALSE(JsonValue::parse("{'single': 1}"));
+}
+
+TEST(JsonParse, WrongKindAccessorsFallBack) {
+  const auto v = JsonValue::parse(R"({"s": "text"})");
+  ASSERT_TRUE(v);
+  EXPECT_DOUBLE_EQ(v->find("s")->as_number(7.0), 7.0);
+  EXPECT_TRUE(v->find("s")->items().empty());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonFactories, BuildDocuments) {
+  std::map<std::string, JsonValue> members;
+  members["n"] = JsonValue::make_number(4.0);
+  members["s"] = JsonValue::make_string("str");
+  members["b"] = JsonValue::make_bool(true);
+  const JsonValue obj = JsonValue::make_object(std::move(members));
+  EXPECT_DOUBLE_EQ(obj.find("n")->as_number(), 4.0);
+  EXPECT_EQ(obj.find("s")->as_string(), "str");
+  EXPECT_TRUE(obj.find("b")->as_bool());
+}
+
+TEST(ReadTextFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_text_file("/nonexistent/path/report.json"));
+}
+
+}  // namespace
+}  // namespace ntv::harness

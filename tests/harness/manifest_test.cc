@@ -1,0 +1,124 @@
+#include "harness/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ntv::harness {
+namespace {
+
+TEST(Classify, StrictApproxAndFailBands) {
+  // Strict [10, 12], default loose band widens by half the span: [9, 13].
+  const Checkpoint cp = checkpoint("k", "l", "p", 10.0, 12.0);
+  EXPECT_EQ(classify(cp, 10.0), Verdict::kPass);
+  EXPECT_EQ(classify(cp, 12.0), Verdict::kPass);
+  EXPECT_EQ(classify(cp, 9.5), Verdict::kApprox);
+  EXPECT_EQ(classify(cp, 12.9), Verdict::kApprox);
+  EXPECT_EQ(classify(cp, 8.9), Verdict::kFail);
+  EXPECT_EQ(classify(cp, 13.1), Verdict::kFail);
+}
+
+TEST(Verdicts, GlyphsAndNames) {
+  EXPECT_EQ(verdict_glyph(Verdict::kPass), "✔");
+  EXPECT_EQ(verdict_glyph(Verdict::kApprox), "≈");
+  EXPECT_EQ(verdict_glyph(Verdict::kFail), "✘");
+  EXPECT_EQ(verdict_name(Verdict::kPass), "pass");
+  EXPECT_EQ(verdict_name(Verdict::kApprox), "approx");
+  EXPECT_EQ(verdict_name(Verdict::kFail), "fail");
+}
+
+std::vector<ExperimentSpec> two_specs() {
+  ExperimentSpec a;
+  a.id = "a";
+  a.title = "A";
+  a.binary = "bench_a";
+  a.checkpoints = {checkpoint("x", "x", "~1", 0.5, 1.5),
+                   checkpoint("y", "y", "~2", 1.5, 2.5)};
+  ExperimentSpec b;
+  b.id = "b";
+  b.title = "B";
+  b.binary = "bench_b";
+  return {a, b};
+}
+
+TEST(ManifestJson, RoundtripPreservesValuesAndStatus) {
+  const auto specs = two_specs();
+  ReproManifest manifest;
+  manifest.smoke = true;
+  ExperimentOutcome a;
+  a.id = "a";
+  a.status = "ok";
+  a.attempts = 2;
+  a.elapsed_ms = 321;
+  a.checkpoints.push_back(
+      {&specs[0].checkpoints[0], true, 1.25, Verdict::kPass});
+  a.checkpoints.push_back(
+      {&specs[0].checkpoints[1], false, 0.0, Verdict::kFail});
+  a.verdict = Verdict::kFail;
+  manifest.experiments.push_back(a);
+  ExperimentOutcome b;
+  b.id = "b";
+  b.status = "timeout";
+  b.attempts = 1;
+  manifest.experiments.push_back(b);
+
+  std::string error;
+  const auto parsed =
+      manifest_from_json(specs, manifest_to_json(manifest), &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_TRUE(parsed->smoke);
+  ASSERT_EQ(parsed->experiments.size(), 2u);
+
+  const ExperimentOutcome& pa = parsed->experiments[0];
+  EXPECT_EQ(pa.id, "a");
+  EXPECT_EQ(pa.status, "ok");
+  EXPECT_EQ(pa.attempts, 2);
+  EXPECT_EQ(pa.elapsed_ms, 321);
+  ASSERT_EQ(pa.checkpoints.size(), 2u);
+  EXPECT_TRUE(pa.checkpoints[0].present);
+  EXPECT_DOUBLE_EQ(pa.checkpoints[0].measured, 1.25);
+  // Verdicts are re-derived from the registry bands, not trusted from
+  // the stored JSON.
+  EXPECT_EQ(pa.checkpoints[0].verdict, Verdict::kPass);
+  EXPECT_FALSE(pa.checkpoints[1].present);
+  EXPECT_EQ(pa.checkpoints[1].verdict, Verdict::kFail);
+  EXPECT_EQ(pa.verdict, Verdict::kFail);
+  EXPECT_EQ(parsed->experiments[1].status, "timeout");
+}
+
+TEST(ManifestJson, SpecsAbsentFromJsonComeBackMissing) {
+  const auto specs = two_specs();
+  const char* json = R"({"schema_version": 1, "kind": "repro-manifest",
+    "smoke": false, "experiments": [
+      {"id": "a", "status": "ok", "attempts": 1, "elapsed_ms": 1,
+       "verdict": "pass", "values": {"x": 1.0, "y": 2.0}}]})";
+  const auto parsed = manifest_from_json(specs, json);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->experiments.size(), 2u);
+  EXPECT_EQ(parsed->experiments[1].id, "b");
+  EXPECT_EQ(parsed->experiments[1].status, "missing");
+}
+
+TEST(ManifestJson, MalformedInputReportsError) {
+  const auto specs = two_specs();
+  std::string error;
+  EXPECT_FALSE(manifest_from_json(specs, "{ not json", &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(manifest_from_json(specs, "[1, 2, 3]", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestJson, SerializationIsStable) {
+  const auto specs = two_specs();
+  ReproManifest manifest;
+  ExperimentOutcome a;
+  a.id = "a";
+  a.status = "ok";
+  manifest.experiments.push_back(a);
+  EXPECT_EQ(manifest_to_json(manifest), manifest_to_json(manifest));
+}
+
+}  // namespace
+}  // namespace ntv::harness

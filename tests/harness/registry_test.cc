@@ -1,0 +1,84 @@
+// Invariants over the declarative experiment registry: the registry is
+// the single source of truth for EXPERIMENTS.md and the CI gate, so its
+// shape errors (duplicate ids, inverted bands, empty smoke set) must be
+// caught here rather than as confusing rendering/gating behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "harness/spec.h"
+
+namespace ntv::harness {
+namespace {
+
+TEST(Registry, CoversTheFullSuiteWithUniqueIds) {
+  const auto& specs = registry();
+  EXPECT_EQ(specs.size(), 26u);  // One spec per bench binary.
+  std::set<std::string> ids, binaries;
+  for (const ExperimentSpec& spec : specs) {
+    EXPECT_TRUE(ids.insert(spec.id).second) << "duplicate id " << spec.id;
+    EXPECT_TRUE(binaries.insert(spec.binary).second)
+        << "duplicate binary " << spec.binary;
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_TRUE(spec.binary.rfind("bench_", 0) == 0) << spec.binary;
+    EXPECT_GT(spec.timeout_sec, 0) << spec.id;
+    EXPECT_GT(spec.max_attempts, 0) << spec.id;
+  }
+}
+
+TEST(Registry, BandsAreSaneAndKeysUniquePerExperiment) {
+  for (const ExperimentSpec& spec : registry()) {
+    std::set<std::string> keys;
+    for (const Checkpoint& cp : spec.checkpoints) {
+      SCOPED_TRACE(spec.id + "/" + cp.key);
+      EXPECT_TRUE(keys.insert(cp.key).second);
+      EXPECT_FALSE(cp.label.empty());
+      EXPECT_FALSE(cp.paper.empty());
+      EXPECT_LE(cp.lo, cp.hi);
+      // The loose band must contain the strict band, or ≈ could be
+      // stricter than ✔.
+      EXPECT_LE(cp.approx_lo, cp.lo);
+      EXPECT_GE(cp.approx_hi, cp.hi);
+      EXPECT_GE(cp.precision, 0);
+    }
+  }
+}
+
+TEST(Registry, SmokeSubsetIsUsable) {
+  int smoke_specs = 0, smoke_checkpoints = 0;
+  for (const ExperimentSpec& spec : registry()) {
+    if (!spec.in_smoke_set) {
+      // smoke_args on a spec outside the smoke set would never be used.
+      EXPECT_TRUE(spec.smoke_args.empty()) << spec.id;
+      continue;
+    }
+    ++smoke_specs;
+    for (const Checkpoint& cp : spec.checkpoints) {
+      if (cp.smoke) ++smoke_checkpoints;
+    }
+  }
+  // The CI repro-smoke job needs a real subset: small enough to be
+  // cheap, non-empty so the gate gates something.
+  EXPECT_GE(smoke_specs, 5);
+  EXPECT_LT(smoke_specs, 26);
+  EXPECT_GE(smoke_checkpoints, 10);
+}
+
+TEST(Registry, FindSpecResolvesIds) {
+  const ExperimentSpec* fig1 = find_spec("fig1");
+  ASSERT_NE(fig1, nullptr);
+  EXPECT_EQ(fig1->id, "fig1");
+  EXPECT_EQ(find_spec("no_such_experiment"), nullptr);
+}
+
+TEST(CheckpointBuilder, DefaultLooseBandWidensByHalfSpan) {
+  const Checkpoint cp = checkpoint("k", "l", "p", 10.0, 14.0);
+  EXPECT_DOUBLE_EQ(cp.approx_lo, 8.0);
+  EXPECT_DOUBLE_EQ(cp.approx_hi, 16.0);
+  EXPECT_EQ(cp.precision, 2);
+  EXPECT_FALSE(cp.smoke);
+}
+
+}  // namespace
+}  // namespace ntv::harness

@@ -1,0 +1,125 @@
+// Golden-file test for the EXPERIMENTS.md generator: a fixture registry
+// plus a fixture manifest must render to exactly these bytes. The
+// committed EXPERIMENTS.md is CI-gated on byte identity (`ntvsim_repro
+// render --check`), so any formatting drift must show up here first.
+#include "harness/render.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/manifest.h"
+
+namespace ntv::harness {
+namespace {
+
+std::vector<ExperimentSpec> fixture_specs() {
+  ExperimentSpec fig;
+  fig.id = "figx";
+  fig.title = "Figure X — demo distribution";
+  fig.binary = "bench_demo";
+  fig.args = {"--samples", "100"};
+  fig.checkpoints = {
+      checkpoint("a", "metric a", "~10 %", 9.0, 11.0, "%"),
+      checkpoint("b", "metric b", "~20 %", 19.0, 21.0, "%"),
+      checkpoint("c", "metric c", "3×", 2.5, 3.5, "×"),
+      checkpoint("d", "metric d", "42", 40.0, 44.0),
+  };
+  fig.notes = "Demo prose about the figure.";
+
+  ExperimentSpec prose;
+  prose.id = "prose";
+  prose.title = "Prose-only artifact";
+  prose.binary = "bench_prose";
+  prose.notes = "No numeric checkpoints; the artifact is the plot.";
+
+  ExperimentSpec missing;
+  missing.id = "absent";
+  missing.title = "Not yet run";
+  missing.binary = "bench_absent";
+  return {fig, prose, missing};
+}
+
+constexpr const char* kFixtureManifest = R"({
+  "schema_version": 1,
+  "kind": "repro-manifest",
+  "smoke": false,
+  "experiments": [
+    { "id": "figx", "status": "ok", "attempts": 1, "elapsed_ms": 163,
+      "verdict": "fail",
+      "values": { "a": 10.5, "b": 22.0, "c": 9.0 } },
+    { "id": "prose", "status": "failed", "attempts": 2, "elapsed_ms": 40,
+      "verdict": "fail", "values": {} }
+  ]
+})";
+
+// Everything below the fixed kHeader preamble, byte for byte:
+//  - metric a inside [9,11] -> ✔; metric b at 22 is outside [19,21] but
+//    inside the default loose band [18,22] -> ≈; metric c outside both
+//    bands -> ✘; metric d absent from values -> em-dash + ✘.
+//  - "×" binds without a space, other units get one.
+//  - non-ok / missing experiments carry a visible status line.
+constexpr const char* kGoldenBody =
+    "\n## Figure X — demo distribution\n"
+    "\n"
+    "`./build/bench/bench_demo --artifact_only --samples 100`\n"
+    "\n"
+    "| checkpoint | paper | measured | |\n"
+    "|---|---:|---:|:-:|\n"
+    "| metric a | ~10 % | 10.50 % | ✔ |\n"
+    "| metric b | ~20 % | 22.00 % | ≈ |\n"
+    "| metric c | 3× | 9.00× | ✘ |\n"
+    "| metric d | 42 | — | ✘ |\n"
+    "\n"
+    "Demo prose about the figure.\n"
+    "\n## Prose-only artifact\n"
+    "\n"
+    "`./build/bench/bench_prose --artifact_only`\n"
+    "\n"
+    "*Run status: failed — measured values unavailable.*\n"
+    "\n"
+    "No numeric checkpoints; the artifact is the plot.\n"
+    "\n## Not yet run\n"
+    "\n"
+    "`./build/bench/bench_absent --artifact_only`\n"
+    "\n"
+    "*Run status: missing — measured values unavailable.*\n";
+
+TEST(RenderMarkdown, GoldenByteCompare) {
+  const auto specs = fixture_specs();
+  std::string error;
+  const auto manifest = manifest_from_json(specs, kFixtureManifest, &error);
+  ASSERT_TRUE(manifest) << error;
+
+  const std::string md = render_markdown(specs, *manifest);
+  ASSERT_TRUE(md.rfind("# EXPERIMENTS — paper vs. measured\n", 0) == 0);
+  EXPECT_NE(md.find("GENERATED FILE — do not edit by hand"),
+            std::string::npos);
+
+  const auto body_start = md.find("\n## ");
+  ASSERT_NE(body_start, std::string::npos);
+  EXPECT_EQ(md.substr(body_start), kGoldenBody);
+}
+
+TEST(RenderMarkdown, ByteDeterministic) {
+  const auto specs = fixture_specs();
+  const auto manifest = manifest_from_json(specs, kFixtureManifest);
+  ASSERT_TRUE(manifest);
+  EXPECT_EQ(render_markdown(specs, *manifest),
+            render_markdown(specs, *manifest));
+}
+
+TEST(FormatMeasured, PrecisionAndUnitSpacing) {
+  const auto pct = checkpoint("k", "l", "p", 0, 1, "%");
+  EXPECT_EQ(format_measured(pct, 5.9717), "5.97 %");
+  const auto ratio = checkpoint("k", "l", "p", 0, 1, "×");
+  EXPECT_EQ(format_measured(ratio, 2.767), "2.77×");
+  const auto mv = checkpoint("k", "l", "p", 0, 1, "mV", 1);
+  EXPECT_EQ(format_measured(mv, 4.742), "4.7 mV");
+  const auto bare = checkpoint("k", "l", "p", 0, 1, "", 0);
+  EXPECT_EQ(format_measured(bare, 75.2), "75");
+}
+
+}  // namespace
+}  // namespace ntv::harness

@@ -1,0 +1,262 @@
+// Batch-runner tests against fake bench binaries (shell scripts in a
+// temp bin dir): success, retry-on-failure, watchdog timeout, journal
+// resume, and the crash-recovery contract — a runner SIGKILLed mid-suite
+// must, on rerun, skip every journaled experiment and run the rest.
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "harness/json.h"
+#include "harness/manifest.h"
+
+namespace ntv::harness {
+namespace {
+
+class RunnerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ntv_runner_XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    root_ = tmpl;
+    bin_dir_ = root_ + "/bin";
+    out_dir_ = root_ + "/out";
+    ASSERT_TRUE(ensure_directory(bin_dir_));
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup; temp dirs are also reaped by the OS.
+    const std::string cmd = "rm -rf " + root_;
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  /// Installs an executable fake bench. The script finds its --report
+  /// argument and runs `body` with $report bound to it.
+  void write_bench(const std::string& name, const std::string& body) {
+    const std::string path = bin_dir_ + "/" + name;
+    {
+      std::ofstream f(path);
+      f << "#!/bin/sh\n"
+        << "report=\"\"\nprev=\"\"\n"
+        << "for a in \"$@\"; do\n"
+        << "  if [ \"$prev\" = \"--report\" ]; then report=\"$a\"; fi\n"
+        << "  prev=\"$a\"\n"
+        << "done\n"
+        << body << "\n";
+    }
+    ASSERT_EQ(chmod(path.c_str(), 0755), 0);
+  }
+
+  static ExperimentSpec spec(const std::string& id,
+                             const std::string& binary) {
+    ExperimentSpec s;
+    s.id = id;
+    s.title = id;
+    s.binary = binary;
+    s.timeout_sec = 10;
+    s.max_attempts = 2;
+    return s;
+  }
+
+  RunOptions options() {
+    RunOptions opt;
+    opt.bin_dir = bin_dir_;
+    opt.out_dir = out_dir_;
+    opt.log = devnull_();
+    return opt;
+  }
+
+  std::string root_, bin_dir_, out_dir_;
+
+ private:
+  static std::FILE* devnull_() {
+    static std::FILE* f = std::fopen("/dev/null", "w");
+    return f;
+  }
+};
+
+constexpr const char* kGoodBody =
+    "echo '{\"results\": {\"values\": {\"x\": 1.5}}}' > \"$report\"";
+
+TEST_F(RunnerTest, SuccessfulRunJournalsOkAndWritesReport) {
+  write_bench("bench_good", kGoodBody);
+  const std::vector<ExperimentSpec> specs = {spec("good", "bench_good")};
+  const auto suite = run_suite(specs, options());
+  ASSERT_EQ(suite.experiments.size(), 1u);
+  EXPECT_EQ(suite.ran, 1);
+  EXPECT_EQ(suite.failed, 0);
+  const JournalEntry& entry = suite.experiments[0].entry;
+  EXPECT_EQ(entry.status, RunStatus::kOk);
+  EXPECT_EQ(entry.attempts, 1);
+
+  const auto text = read_text_file(report_path(out_dir_, "good"));
+  ASSERT_TRUE(text);
+  const auto doc = JsonValue::parse(*text);
+  ASSERT_TRUE(doc);
+  EXPECT_DOUBLE_EQ(doc->find_path("results.values.x")->as_number(), 1.5);
+
+  const auto journal = Journal(journal_path(out_dir_)).load();
+  ASSERT_EQ(journal.count("good"), 1u);
+  EXPECT_EQ(journal.at("good").status, RunStatus::kOk);
+}
+
+TEST_F(RunnerTest, NonzeroExitRetriesThenFails) {
+  write_bench("bench_bad", "exit 3");
+  const std::vector<ExperimentSpec> specs = {spec("bad", "bench_bad")};
+  const auto suite = run_suite(specs, options());
+  EXPECT_EQ(suite.failed, 1);
+  const JournalEntry& entry = suite.experiments[0].entry;
+  EXPECT_EQ(entry.status, RunStatus::kFailed);
+  EXPECT_EQ(entry.attempts, 2);  // max_attempts consumed.
+  EXPECT_EQ(entry.exit_code, 3);
+}
+
+TEST_F(RunnerTest, ExitZeroWithoutReportIsFailure) {
+  write_bench("bench_silent", "exit 0");
+  const std::vector<ExperimentSpec> specs = {spec("silent", "bench_silent")};
+  const auto suite = run_suite(specs, options());
+  EXPECT_EQ(suite.failed, 1);
+  EXPECT_EQ(suite.experiments[0].entry.status, RunStatus::kFailed);
+}
+
+TEST_F(RunnerTest, WatchdogKillsHungExperiment) {
+  write_bench("bench_hang", "sleep 30");
+  const std::vector<ExperimentSpec> specs = {spec("hang", "bench_hang")};
+  auto opt = options();
+  opt.timeout_sec_override = 1;
+  opt.max_attempts_override = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const auto suite = run_suite(specs, opt);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(suite.failed, 1);
+  EXPECT_EQ(suite.experiments[0].entry.status, RunStatus::kTimeout);
+  EXPECT_EQ(suite.experiments[0].entry.exit_code, -SIGKILL);
+  EXPECT_LT(elapsed, std::chrono::seconds(8));  // Killed, not waited out.
+}
+
+TEST_F(RunnerTest, ResumeSkipsCompletedAndRerunsFailed) {
+  write_bench("bench_good", kGoodBody);
+  write_bench("bench_flaky", "exit 1");
+  const std::vector<ExperimentSpec> specs = {
+      spec("good", "bench_good"), spec("flaky", "bench_flaky")};
+  auto opt = options();
+  const auto first = run_suite(specs, opt);
+  EXPECT_EQ(first.ran, 2);
+  EXPECT_EQ(first.failed, 1);
+
+  // The flaky binary is fixed; a resumed run must skip "good" (journal
+  // ok + report present) and rerun only "flaky".
+  write_bench("bench_flaky", kGoodBody);
+  const auto second = run_suite(specs, opt);
+  EXPECT_EQ(second.resumed, 1);
+  EXPECT_EQ(second.ran, 1);
+  EXPECT_EQ(second.failed, 0);
+  EXPECT_TRUE(second.experiments[0].resumed);
+  EXPECT_EQ(second.experiments[1].entry.status, RunStatus::kOk);
+
+  // --no-resume reruns everything.
+  opt.resume = false;
+  const auto third = run_suite(specs, opt);
+  EXPECT_EQ(third.resumed, 0);
+  EXPECT_EQ(third.ran, 2);
+}
+
+TEST_F(RunnerTest, ResumeRerunsWhenReportDeleted) {
+  write_bench("bench_good", kGoodBody);
+  const std::vector<ExperimentSpec> specs = {spec("good", "bench_good")};
+  const auto first = run_suite(specs, options());
+  EXPECT_EQ(first.ran, 1);
+  // Journal says ok, but the report vanished: resume must not trust it.
+  std::remove(report_path(out_dir_, "good").c_str());
+  const auto second = run_suite(specs, options());
+  EXPECT_EQ(second.resumed, 0);
+  EXPECT_EQ(second.ran, 1);
+}
+
+// The crash-recovery contract behind `ntvsim_repro run`: SIGKILL the
+// whole runner mid-suite (after experiment A completed, while B is
+// running), then rerun — A must resume from the journal, B must run.
+TEST_F(RunnerTest, KilledMidSuiteResumesFromJournal) {
+  write_bench("bench_a", kGoodBody);
+  write_bench("bench_b", "sleep 30");
+  const std::vector<ExperimentSpec> specs = {spec("a", "bench_a"),
+                                             spec("b", "bench_b")};
+
+  const pid_t runner = fork();
+  ASSERT_GE(runner, 0);
+  if (runner == 0) {
+    // Child: run the suite; it will be killed while B sleeps.
+    RunOptions opt;
+    opt.bin_dir = bin_dir_;
+    opt.out_dir = out_dir_;
+    opt.log = std::fopen("/dev/null", "w");
+    run_suite(specs, opt);
+    _exit(0);
+  }
+
+  // Parent: wait until A's journal line lands, then kill the runner.
+  const Journal journal(journal_path(out_dir_));
+  bool a_done = false;
+  for (int i = 0; i < 200 && !a_done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const auto entries = journal.load();
+    const auto it = entries.find("a");
+    a_done = it != entries.end() && it->second.status == RunStatus::kOk;
+  }
+  ASSERT_TRUE(a_done) << "experiment A never completed";
+  kill(runner, SIGKILL);
+  int status = 0;
+  waitpid(runner, &status, 0);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  // B's child process may still be sleeping; it holds no lock on the out
+  // dir, so the rerun can proceed immediately. Fix B and rerun.
+  write_bench("bench_b", kGoodBody);
+  const auto rerun = run_suite(specs, options());
+  EXPECT_EQ(rerun.resumed, 1);  // A skipped via the journal.
+  EXPECT_EQ(rerun.ran, 1);      // B executed.
+  EXPECT_EQ(rerun.failed, 0);
+  EXPECT_TRUE(rerun.experiments[0].resumed);
+  EXPECT_EQ(rerun.experiments[0].spec->id, "a");
+  EXPECT_EQ(rerun.experiments[1].entry.status, RunStatus::kOk);
+
+  // The aggregated manifest sees both experiments as ok.
+  const auto manifest = aggregate(specs, out_dir_, false);
+  ASSERT_EQ(manifest.experiments.size(), 2u);
+  EXPECT_EQ(manifest.experiments[0].status, "ok");
+  EXPECT_EQ(manifest.experiments[1].status, "ok");
+}
+
+TEST_F(RunnerTest, SmokeFilterAndOnlyFilter) {
+  write_bench("bench_a", kGoodBody);
+  write_bench("bench_b", kGoodBody);
+  std::vector<ExperimentSpec> specs = {spec("a", "bench_a"),
+                                       spec("b", "bench_b")};
+  specs[0].in_smoke_set = true;
+
+  auto opt = options();
+  opt.smoke = true;
+  const auto smoke_suite = run_suite(specs, opt);
+  ASSERT_EQ(smoke_suite.experiments.size(), 1u);
+  EXPECT_EQ(smoke_suite.experiments[0].spec->id, "a");
+  EXPECT_TRUE(smoke_suite.experiments[0].entry.smoke);
+
+  auto only_opt = options();
+  only_opt.only = {"b"};
+  const auto only_suite = run_suite(specs, only_opt);
+  ASSERT_EQ(only_suite.experiments.size(), 1u);
+  EXPECT_EQ(only_suite.experiments[0].spec->id, "b");
+}
+
+}  // namespace
+}  // namespace ntv::harness

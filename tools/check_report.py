@@ -224,10 +224,23 @@ def main(argv):
             errors.append(f"diff: {other_path} not readable JSON ({e})")
             continue
         mine, theirs = doc.get("results"), other.get("results")
-        if isinstance(mine, dict) and isinstance(theirs, dict):
-            # results.phases is bench wall clock — timing, not numbers.
-            mine = {k: v for k, v in mine.items() if k != "phases"}
-            theirs = {k: v for k, v in theirs.items() if k != "phases"}
+        # A gated section that is absent is a hard failure, not a vacuous
+        # pass: diff_paths(None, None) would report zero differences and
+        # let two broken reports "agree".
+        absent = False
+        if not isinstance(mine, dict):
+            errors.append(f"diff vs {other_path}: results section missing "
+                          f"or not an object in {path}")
+            absent = True
+        if not isinstance(theirs, dict):
+            errors.append(f"diff vs {other_path}: results section missing "
+                          f"or not an object in {other_path}")
+            absent = True
+        if absent:
+            continue
+        # results.phases is bench wall clock — timing, not numbers.
+        mine = {k: v for k, v in mine.items() if k != "phases"}
+        theirs = {k: v for k, v in theirs.items() if k != "phases"}
         for where in diff_paths(mine, theirs):
             errors.append(f"diff vs {other_path}: {where}")
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regression tests for check_report.py, run as a ctest.
+
+The load-bearing case: --diff-results used to exit 0 when a gated
+"results" section was absent from both reports (diff_paths(None, None)
+reports zero differences), so a pair of broken reports passed the
+determinism gate. An absent section must now be a hard failure.
+"""
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_report  # noqa: E402
+
+
+def run_main(*argv):
+    """Invokes check_report.main, returning (exit_code, stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = check_report.main(["check_report.py", *argv])
+    return code, out.getvalue()
+
+
+class CheckReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    @staticmethod
+    def report(values):
+        return {
+            "manifest": {"seed": 1, "threads": 1, "build_type": "Release",
+                         "library_version": "test"},
+            "results": {"values": values},
+            "metrics": {"counters": {"c": 1}},
+        }
+
+    def test_identical_results_pass(self):
+        a = self.write("a.json", self.report({"x": 1.5}))
+        b = self.write("b.json", self.report({"x": 1.5}))
+        code, out = run_main(a, "--diff-results", b)
+        self.assertEqual(code, 0, out)
+
+    def test_differing_results_fail(self):
+        a = self.write("a.json", self.report({"x": 1.5}))
+        b = self.write("b.json", self.report({"x": 2.5}))
+        code, out = run_main(a, "--diff-results", b)
+        self.assertEqual(code, 1)
+        self.assertIn("results.values.x", out)
+
+    def test_missing_results_in_both_reports_is_hard_failure(self):
+        # The original bug: neither report has "results", diff sees two
+        # Nones, zero differences, exit 0. Schema checking is off, as in
+        # the bench determinism CI step before the fix.
+        a = self.write("a.json", {"metrics": {"counters": {}}})
+        b = self.write("b.json", {"metrics": {"counters": {}}})
+        code, out = run_main(a, "--no-schema", "--diff-results", b)
+        self.assertEqual(code, 1, "absent gated section must not pass")
+        self.assertIn("results section missing", out)
+
+    def test_missing_results_in_one_report_is_hard_failure(self):
+        a = self.write("a.json", self.report({"x": 1.5}))
+        b = self.write("b.json", {"metrics": {"counters": {}}})
+        code, out = run_main(a, "--no-schema", "--diff-results", b)
+        self.assertEqual(code, 1)
+        self.assertIn("results section missing", out)
+        self.assertIn("b.json", out)
+
+    def test_non_object_results_is_hard_failure(self):
+        a = self.write("a.json", self.report({"x": 1.5}))
+        b = dict(self.report({}))
+        b["results"] = "not an object"
+        bp = self.write("b.json", b)
+        code, out = run_main(a, "--no-schema", "--diff-results", bp)
+        self.assertEqual(code, 1)
+
+    def test_phases_subtree_still_ignored(self):
+        da = self.report({"x": 1.5})
+        db = self.report({"x": 1.5})
+        da["results"]["phases"] = {"artifact_ns": 100}
+        db["results"]["phases"] = {"artifact_ns": 999}
+        a = self.write("a.json", da)
+        b = self.write("b.json", db)
+        code, out = run_main(a, "--diff-results", b)
+        self.assertEqual(code, 0, out)
+
+    def test_range_and_missing_range_path(self):
+        a = self.write("a.json", self.report({"x": 1.5}))
+        code, _ = run_main(a, "--range", "results.values.x", "1", "2")
+        self.assertEqual(code, 0)
+        code, out = run_main(a, "--range", "results.values.y", "1", "2")
+        self.assertEqual(code, 1)
+        self.assertIn("missing", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,278 @@
+// ntvsim_repro — reproduction harness driver.
+//
+// Front end of src/harness: runs the declarative experiment registry as a
+// supervised batch (checkpoint journal, per-experiment timeouts, bounded
+// retries), aggregates the bench --report JSONs into EXPERIMENTS.json,
+// and renders the committed EXPERIMENTS.md from that manifest. CI runs
+// `run --smoke` on every pull request and `render --check` to fail on
+// drift between the registry, the manifest and the committed doc
+// (docs/REPRODUCTION.md).
+//
+// Usage:
+//   ntvsim_repro list
+//   ntvsim_repro run    [--bin-dir D] [--out-dir D] [--smoke]
+//                       [--only id,id,...] [--no-resume]
+//                       [--timeout SEC] [--retries N]
+//   ntvsim_repro render [--manifest F] [--out F] [--check F]
+//   ntvsim_repro --render            (alias for `render`)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+#include "harness/manifest.h"
+#include "harness/render.h"
+#include "harness/runner.h"
+#include "harness/spec.h"
+#include "obs/json_writer.h"
+
+namespace {
+
+using namespace ntv;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ntvsim_repro <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                     print the experiment registry\n"
+      "  run [options]            run the suite, write EXPERIMENTS.json\n"
+      "    --bin-dir <dir>        bench binaries (default: build/bench)\n"
+      "    --out-dir <dir>        reports/logs/journal (default:\n"
+      "                           build/repro)\n"
+      "    --smoke                reduced-budget subset (CI gate)\n"
+      "    --only <id,id,...>     run only these experiments\n"
+      "    --no-resume            ignore the checkpoint journal\n"
+      "    --timeout <sec>        override every spec's timeout\n"
+      "    --retries <n>          override every spec's attempt budget\n"
+      "  render [options]         render EXPERIMENTS.md from a manifest\n"
+      "    --manifest <file>      input (default: EXPERIMENTS.json)\n"
+      "    --out <file>           output (default: EXPERIMENTS.md)\n"
+      "    --check <file>         compare instead of writing; exit 1 on\n"
+      "                           any byte difference\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_list() {
+  const auto& specs = harness::registry();
+  std::printf("%-24s %-42s %6s %6s\n", "id", "binary", "checks", "smoke");
+  for (const auto& spec : specs) {
+    std::printf("%-24s %-42s %6zu %6s\n", spec.id.c_str(),
+                spec.binary.c_str(), spec.checkpoints.size(),
+                spec.in_smoke_set ? "yes" : "-");
+  }
+  std::printf("%zu experiments\n", specs.size());
+  return 0;
+}
+
+/// Counts the gate failures of a manifest: experiments that did not run
+/// "ok", and checkpoints classified ✘. Smoke manifests gate only the
+/// smoke-flagged checkpoints (the ones stable at the reduced budget).
+int gate_failures(const harness::ReproManifest& manifest, bool verbose) {
+  int failures = 0;
+  for (const auto& outcome : manifest.experiments) {
+    if (manifest.smoke) {
+      const harness::ExperimentSpec* spec = harness::find_spec(outcome.id);
+      if (spec && !spec->in_smoke_set) continue;
+    }
+    if (outcome.status != "ok") {
+      ++failures;
+      if (verbose) {
+        std::fprintf(stderr, "FAIL %s: status %s\n", outcome.id.c_str(),
+                     outcome.status.c_str());
+      }
+      continue;
+    }
+    for (const auto& cp : outcome.checkpoints) {
+      if (manifest.smoke && !cp.spec->smoke) continue;
+      if (cp.verdict != harness::Verdict::kFail) continue;
+      ++failures;
+      if (verbose) {
+        if (cp.present) {
+          std::fprintf(stderr,
+                       "FAIL %s: %s = %.6g outside [%g, %g] "
+                       "(approx [%g, %g])\n",
+                       outcome.id.c_str(), cp.spec->key.c_str(), cp.measured,
+                       cp.spec->lo, cp.spec->hi, cp.spec->approx_lo,
+                       cp.spec->approx_hi);
+        } else {
+          std::fprintf(stderr, "FAIL %s: %s missing from report\n",
+                       outcome.id.c_str(), cp.spec->key.c_str());
+        }
+      }
+    }
+  }
+  return failures;
+}
+
+int cmd_run(int argc, char** argv) {
+  harness::RunOptions opt;
+  opt.bin_dir = "build/bench";
+  opt.out_dir = "build/repro";
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--bin-dir") == 0) {
+      if (const char* v = next()) opt.bin_dir = v;
+    } else if (std::strcmp(arg, "--out-dir") == 0) {
+      if (const char* v = next()) opt.out_dir = v;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(arg, "--only") == 0) {
+      if (const char* v = next()) opt.only = split_csv(v);
+    } else if (std::strcmp(arg, "--no-resume") == 0) {
+      opt.resume = false;
+    } else if (std::strcmp(arg, "--timeout") == 0) {
+      if (const char* v = next()) opt.timeout_sec_override = std::atoi(v);
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      if (const char* v = next()) opt.max_attempts_override = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "error: unknown run option '%s'\n", arg);
+      return usage();
+    }
+  }
+
+  for (const std::string& id : opt.only) {
+    if (!harness::find_spec(id)) {
+      std::fprintf(stderr, "error: unknown experiment id '%s'\n", id.c_str());
+      return 2;
+    }
+  }
+
+  const auto& specs = harness::registry();
+  const harness::SuiteRun suite = harness::run_suite(specs, opt);
+  std::printf("\nran %d, resumed %d, failed %d\n", suite.ran, suite.resumed,
+              suite.failed);
+
+  const harness::ReproManifest manifest =
+      harness::aggregate(specs, opt.out_dir, opt.smoke);
+  const std::string manifest_file = harness::manifest_path(opt.out_dir);
+  if (!obs::write_text_file(manifest_file,
+                            harness::manifest_to_json(manifest) + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", manifest_file.c_str());
+    return 1;
+  }
+  std::printf("manifest: %s\n", manifest_file.c_str());
+
+  // A partial run (--only) gates only what it ran; a full or smoke run
+  // gates the whole (sub)suite, including experiments it never reached.
+  harness::ReproManifest gated = manifest;
+  if (!opt.only.empty()) {
+    std::vector<harness::ExperimentOutcome> kept;
+    for (auto& outcome : gated.experiments) {
+      for (const std::string& id : opt.only) {
+        if (outcome.id == id) {
+          kept.push_back(std::move(outcome));
+          break;
+        }
+      }
+    }
+    gated.experiments = std::move(kept);
+  }
+  const int failures = gate_failures(gated, /*verbose=*/true);
+  if (failures > 0) {
+    std::fprintf(stderr, "%d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}
+
+int cmd_render(int argc, char** argv) {
+  std::string manifest_file = "EXPERIMENTS.json";
+  std::string out_file = "EXPERIMENTS.md";
+  std::string check_file;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--manifest") == 0) {
+      if (const char* v = next()) manifest_file = v;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (const char* v = next()) out_file = v;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      if (const char* v = next()) check_file = v;
+    } else {
+      std::fprintf(stderr, "error: unknown render option '%s'\n", arg);
+      return usage();
+    }
+  }
+
+  const auto text = harness::read_text_file(manifest_file);
+  if (!text) {
+    std::fprintf(stderr, "error: cannot read %s\n", manifest_file.c_str());
+    return 1;
+  }
+  std::string error;
+  const auto manifest =
+      harness::manifest_from_json(harness::registry(), *text, &error);
+  if (!manifest) {
+    std::fprintf(stderr, "error: %s: %s\n", manifest_file.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const std::string markdown =
+      harness::render_markdown(harness::registry(), *manifest);
+
+  if (!check_file.empty()) {
+    const auto committed = harness::read_text_file(check_file);
+    if (!committed) {
+      std::fprintf(stderr, "error: cannot read %s\n", check_file.c_str());
+      return 1;
+    }
+    if (*committed != markdown) {
+      std::fprintf(stderr,
+                   "error: %s is stale (rendered %zu bytes != committed "
+                   "%zu bytes).\nRegenerate with: ntvsim_repro render "
+                   "--manifest %s --out %s\n",
+                   check_file.c_str(), markdown.size(), committed->size(),
+                   manifest_file.c_str(), check_file.c_str());
+      return 1;
+    }
+    std::printf("%s is up to date with %s\n", check_file.c_str(),
+                manifest_file.c_str());
+    return 0;
+  }
+
+  if (!obs::write_text_file(out_file, markdown)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_file.c_str());
+    return 1;
+  }
+  std::printf("rendered %s (%zu bytes) from %s\n", out_file.c_str(),
+              markdown.size(), manifest_file.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  if (cmd == "render" || cmd == "--render") {
+    return cmd_render(argc - 2, argv + 2);
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
