@@ -20,6 +20,9 @@
 //                        budget (0 = the bench's default); pairs with
 //                        --sampling importance for the reduced-budget
 //                        convergence gate in CI
+//   --simd <backend>     force the SIMD dispatch backend (scalar, avx2,
+//                        neon, auto); every backend is byte-identical
+//                        (docs/SIMD.md), so this only moves timings
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -38,6 +41,7 @@
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "simd/simd.h"
 #include "stats/variance_reduction.h"
 
 namespace ntv::bench {
@@ -107,6 +111,7 @@ inline bool write_bench_report(const std::string& path,
   manifest.threads = exec::ThreadPool::global_thread_count();
   manifest.threads_requested = threads_requested;
   manifest.sampling = std::string(stats::to_string(sampling_plan().strategy));
+  manifest.simd = std::string(simd::to_string(simd::active_backend()));
   auto write_results = [&](obs::JsonWriter& w) {
     w.begin_object();
     w.key("values").begin_object();
@@ -187,6 +192,26 @@ inline int run_bench_main(int argc, char** argv,
         return 2;
       }
       sample_override() = static_cast<std::size_t>(n);
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (std::strcmp(name, "auto") != 0) {
+        const auto backend = simd::parse_backend(name);
+        if (!backend) {
+          std::fprintf(stderr,
+                       "error: unknown --simd '%s' (expected scalar, "
+                       "avx2, neon, or auto)\n",
+                       name);
+          return 2;
+        }
+        if (!simd::force_backend(*backend)) {
+          std::fprintf(stderr,
+                       "error: --simd %s is not usable on this build/CPU\n",
+                       name);
+          return 2;
+        }
+      }
       continue;
     }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {

@@ -1,12 +1,16 @@
 #include "arch/simd_timing.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
 #include "device/dist_cache.h"
 #include "exec/thread_pool.h"
+#include "simd/simd.h"
 #include "stats/percentile.h"
 
 namespace ntv::arch {
@@ -26,6 +30,9 @@ ChipDelaySampler::ChipDelaySampler(const device::VariationModel& model,
   if (config.simd_width < 1 || config.paths_per_lane < 1 ||
       config.chain_stages < 1)
     throw std::invalid_argument("ChipDelaySampler: invalid TimingConfig");
+  lane_ = device::cached_lane_distribution(
+      model, vdd, config.chain_stages, config.paths_per_lane,
+      config.correlation == DieCorrelation::kIndependentPaths, dist_opt);
 }
 
 namespace {
@@ -50,13 +57,14 @@ void ChipDelaySampler::sample_lanes(stats::Xoshiro256pp& rng,
     scale = model_->die_scale(vdd_, die);
   }
   // Draw every lane uniform up front (same RNG order as the old per-lane
-  // round trip), then run one batched inverse-CDF pass over the row.
+  // round trip), then ONE inverse-CDF pass over the row from the
+  // precomputed lane distribution (F^paths_per_lane).
   std::vector<double>& u = uniform_scratch(lanes.size());
   for (std::size_t i = 0; i < lanes.size(); ++i) u[i] = rng.uniform();
-  chain_->max_quantile_batch(std::span<const double>(u.data(), lanes.size()),
-                             config_.paths_per_lane, lanes);
+  lane_->quantile_batch(std::span<const double>(u.data(), lanes.size()),
+                        lanes);
   if (scale != 1.0) {
-    for (double& lane : lanes) lane = scale * lane;
+    simd::kernels().scale(lanes.data(), lanes.size(), scale);
   }
 }
 
@@ -74,12 +82,29 @@ double ChipDelaySampler::sample_lanes_planned(
   std::vector<double>& u = uniform_scratch(lanes.size());
   const double weight = stats::plan_row_uniforms(
       plan, rng, row, n_rows, std::span<double>(u.data(), lanes.size()), qmc);
-  chain_->max_quantile_batch(std::span<const double>(u.data(), lanes.size()),
-                             config_.paths_per_lane, lanes);
+  lane_->quantile_batch(std::span<const double>(u.data(), lanes.size()),
+                        lanes);
   if (scale != 1.0) {
-    for (double& lane : lanes) lane = scale * lane;
+    simd::kernels().scale(lanes.data(), lanes.size(), scale);
   }
   return weight;
+}
+
+void ChipDelaySampler::sample_lane_block(
+    stats::Xoshiro256ppX4& rng, const stats::SamplingPlan& plan,
+    std::size_t lo, std::size_t hi, std::size_t n_rows,
+    std::size_t row_width, double* out, double* weights,
+    const stats::ScrambledSobol* qmc) const {
+  if (config_.correlation != DieCorrelation::kIndependentPaths)
+    throw std::invalid_argument(
+        "sample_lane_block: kSharedDie draws per-row die states; use the "
+        "row-at-a-time samplers");
+  thread_local std::vector<double> u;
+  stats::plan_block_uniforms(plan, rng, lo, hi, n_rows, row_width, u,
+                             weights, qmc);
+  const std::size_t total = (hi - lo) * row_width;
+  lane_->quantile_batch(std::span<const double>(u.data(), total),
+                        std::span<double>(out, total));
 }
 
 double ChipDelaySampler::chip_delay_from_lanes(std::span<double> lanes,
@@ -103,12 +128,11 @@ double ChipDelaySampler::sample_chip_delay(stats::Xoshiro256pp& rng,
   std::vector<double>& u = uniform_scratch(2 * n);
   double* q = u.data() + n;  // Quantile outputs share the scratch buffer.
   for (std::size_t i = 0; i < n; ++i) u[i] = rng.uniform();
-  chain_->max_quantile_batch(std::span<const double>(u.data(), n),
-                             config_.paths_per_lane,
-                             std::span<double>(q, n));
-  double worst = 0.0;
-  for (std::size_t i = 0; i < n; ++i) worst = std::max(worst, q[i]);
-  return scale * worst;
+  lane_->quantile_batch(std::span<const double>(u.data(), n),
+                        std::span<double>(q, n));
+  // Lane delays are positive, so the kernel's -inf-seeded max equals the
+  // historical 0-seeded scan.
+  return scale * simd::kernels().max_reduce(q, n);
 }
 
 std::vector<double> ChipDelaySampler::chip_delay_curve(
@@ -123,22 +147,50 @@ std::vector<double> ChipDelaySampler::chip_delay_curve(
 
 namespace {
 
-/// Replaces the root of a max-heap with `v` in ONE sift-down pass.
-/// std::pop_heap + push_heap costs two full log-depth passes per
-/// replacement; this is the classic replace-top, and the heap holds the
-/// same SET of values either way, so the curve below is unchanged.
-void heap_replace_top(double* h, std::size_t n, double v) {
-  std::size_t i = 0;
-  for (;;) {
-    std::size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && h[child] < h[child + 1]) ++child;
-    if (h[child] <= v) break;
-    h[i] = h[child];
-    i = child;
+/// Winner tree (tournament max-tree) over the `width` smallest lane
+/// delays seen so far. Node 1 is the root, leaves live at [p, 2p) for
+/// p = bit_ceil(width), and every internal node caches the max of its
+/// subtree plus the leaf that holds it. Replacing the current maximum
+/// rewrites exactly one leaf-to-root path with branch-free selects.
+///
+/// On near-threshold rows most candidate lanes DO beat the running top
+/// (the hit probability is width/i, i.e. 0.5..1 for a one-spare-per-lane
+/// row), so replace cost dominates; the fixed, data-independent update
+/// path here beats a binary heap's data-dependent sift-down. The tree
+/// holds the same multiset as the heap it replaced — remove one copy of
+/// the max, insert the new lane — so the emitted curve is bit-identical.
+struct WinnerTree {
+  std::vector<double> val;
+  std::vector<std::uint32_t> leaf;
+
+  void build(const double* lanes, std::size_t w) {
+    const std::size_t p = std::bit_ceil(w);
+    val.assign(2 * p, -std::numeric_limits<double>::infinity());
+    leaf.resize(2 * p);
+    for (std::size_t j = 0; j < w; ++j) val[p + j] = lanes[j];
+    for (std::size_t j = 0; j < p; ++j)
+      leaf[p + j] = static_cast<std::uint32_t>(p + j);
+    for (std::size_t k = p; k-- > 1;) {
+      const std::size_t c = 2 * k + (val[2 * k + 1] > val[2 * k] ? 1 : 0);
+      val[k] = val[c];
+      leaf[k] = leaf[c];
+    }
   }
-  h[i] = v;
-}
+
+  double top() const { return val[1]; }
+
+  void replace_top(double v) {
+    std::size_t node = leaf[1];
+    val[node] = v;
+    while (node > 1) {
+      node >>= 1;
+      const std::size_t c =
+          2 * node + (val[2 * node + 1] > val[2 * node] ? 1 : 0);
+      val[node] = val[c];
+      leaf[node] = leaf[c];
+    }
+  }
+};
 
 }  // namespace
 
@@ -151,18 +203,66 @@ void ChipDelaySampler::chip_delay_curve_into(std::span<const double> lanes,
   if (out.size() != lanes.size() - w + 1)
     throw std::invalid_argument("chip_delay_curve_into: bad out size");
 
-  // Max-heap of the `width` smallest lane delays seen so far; its top is
-  // the chip delay of the current prefix.
-  thread_local std::vector<double> heap;
-  heap.assign(lanes.begin(), lanes.begin() + width);
-  std::make_heap(heap.begin(), heap.end());
+  // The `width` smallest lane delays seen so far; the tree top is the
+  // chip delay of the current prefix.
+  thread_local WinnerTree tree;
+  tree.build(lanes.data(), w);
 
-  out[0] = heap.front();
+  double top = tree.top();
+  out[0] = top;
   for (std::size_t i = w; i < lanes.size(); ++i) {
-    if (lanes[i] < heap.front()) {
-      heap_replace_top(heap.data(), w, lanes[i]);
+    if (lanes[i] < top) {
+      tree.replace_top(lanes[i]);
+      top = tree.top();
     }
-    out[i - w + 1] = heap.front();
+    out[i - w + 1] = top;
+  }
+}
+
+void ChipDelaySampler::chip_delay_curves_block(const double* rows,
+                                               std::size_t n_chips,
+                                               std::size_t row_width,
+                                               int width, double* out,
+                                               std::size_t out_stride) {
+  if (width < 1 || static_cast<std::size_t>(width) > row_width)
+    throw std::invalid_argument("chip_delay_curves_block: bad width");
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t n_alpha = row_width - w + 1;
+  if (out_stride < n_alpha)
+    throw std::invalid_argument("chip_delay_curves_block: bad out stride");
+
+  // Four chips in flight: each replace is a serial store-to-load chain
+  // up one tree path, so independent chains are interleaved to keep the
+  // core busy (~2x over one-at-a-time). The unconditional min-replace
+  // swaps the max for itself when the lane loses — the multiset (and
+  // hence the curve) is unchanged, and all four trees do the same
+  // branch-free work per lane index.
+  thread_local WinnerTree trees[4];
+  std::size_t c = 0;
+  for (; c + 4 <= n_chips; c += 4) {
+    const double* lanes[4];
+    double* curve[4];
+    double top[4];
+    for (int t = 0; t < 4; ++t) {
+      lanes[t] = rows + (c + static_cast<std::size_t>(t)) * row_width;
+      curve[t] = out + (c + static_cast<std::size_t>(t)) * out_stride;
+      trees[t].build(lanes[t], w);
+      top[t] = trees[t].top();
+      curve[t][0] = top[t];
+    }
+    for (std::size_t i = w; i < row_width; ++i) {
+      const std::size_t o = i - w + 1;
+      for (int t = 0; t < 4; ++t) {
+        trees[t].replace_top(std::min(lanes[t][i], top[t]));
+        top[t] = trees[t].top();
+        curve[t][o] = top[t];
+      }
+    }
+  }
+  for (; c < n_chips; ++c) {
+    chip_delay_curve_into(
+        std::span<const double>(rows + c * row_width, row_width), width,
+        std::span<double>(out + c * out_stride, n_alpha));
   }
 }
 
@@ -226,23 +326,47 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
   if (plan.strategy == stats::SamplingStrategy::kQmc) sobol.emplace(opt.seed);
   if (plan.is_weighted()) row_weights.assign(n_chips, 1.0);
 
-  std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
-  if (plan.is_naive()) {
-    fill = [&sampler, row_width](stats::Xoshiro256pp& rng, std::size_t,
-                                 double* out) {
-      sampler.sample_lanes(rng, std::span<double>(out, row_width));
-    };
+  std::vector<double> rows;
+  const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+  if (sampler.config().correlation == DieCorrelation::kIndependentPaths) {
+    // SoA block path: per-block four-lane substreams feed one flat
+    // quantile pass per block through the SIMD kernels. Block b's draws
+    // are a function of (seed, b) alone, so results are independent of
+    // worker count and dispatch backend (the kernels are byte-identical
+    // across backends by contract).
+    const std::uint64_t seed = opt.seed;
+    double* weights = row_weights.empty() ? nullptr : row_weights.data();
+    rows = stats::monte_carlo_blocks(
+        n_chips, row_width,
+        [&sampler, &plan, weights, qmc, row_width, n_chips, seed](
+            stats::Xoshiro256pp&, std::size_t lo, std::size_t hi,
+            double* out) {
+          stats::Xoshiro256ppX4 rng4 =
+              stats::substream4(seed, lo / stats::kMonteCarloBlock);
+          sampler.sample_lane_block(
+              rng4, plan, lo, hi, n_chips, row_width, out,
+              weights == nullptr ? nullptr : weights + lo, qmc);
+        },
+        opt);
   } else {
-    const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
-    fill = [&sampler, &plan, &row_weights, qmc, row_width, n_chips](
-               stats::Xoshiro256pp& rng, std::size_t row, double* out) {
-      const double w = sampler.sample_lanes_planned(
-          rng, plan, row, n_chips, std::span<double>(out, row_width), qmc);
-      if (!row_weights.empty()) row_weights[row] = w;
-    };
+    // kSharedDie draws a per-row die state from the scalar substream and
+    // keeps the historical row-at-a-time path.
+    std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
+    if (plan.is_naive()) {
+      fill = [&sampler, row_width](stats::Xoshiro256pp& rng, std::size_t,
+                                   double* out) {
+        sampler.sample_lanes(rng, std::span<double>(out, row_width));
+      };
+    } else {
+      fill = [&sampler, &plan, &row_weights, qmc, row_width, n_chips](
+                 stats::Xoshiro256pp& rng, std::size_t row, double* out) {
+        const double w = sampler.sample_lanes_planned(
+            rng, plan, row, n_chips, std::span<double>(out, row_width), qmc);
+        if (!row_weights.empty()) row_weights[row] = w;
+      };
+    }
+    rows = stats::monte_carlo_rows(n_chips, row_width, fill, opt);
   }
-  const std::vector<double> rows =
-      stats::monte_carlo_rows(n_chips, row_width, fill, opt);
 
   std::vector<ChipMcResult> results(spare_counts.size());
   for (auto& r : results) {

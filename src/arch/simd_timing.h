@@ -82,6 +82,19 @@ class ChipDelaySampler {
                               const stats::ScrambledSobol* qmc = nullptr)
       const;
 
+  /// SoA block fill for the Monte Carlo sweep: lane delays of rows
+  /// [lo, hi) (row r at out[(r-lo)*row_width)), uniforms from the
+  /// four-lane `rng` via plan_block_uniforms, one flat quantile pass over
+  /// the whole block through the SIMD kernels. Writes each row's
+  /// likelihood-ratio weight to weights[r-lo] (null for unweighted
+  /// plans). Only valid for kIndependentPaths (kSharedDie draws per-row
+  /// die states and keeps the row-at-a-time path); throws otherwise.
+  void sample_lane_block(stats::Xoshiro256ppX4& rng,
+                         const stats::SamplingPlan& plan, std::size_t lo,
+                         std::size_t hi, std::size_t n_rows,
+                         std::size_t row_width, double* out, double* weights,
+                         const stats::ScrambledSobol* qmc = nullptr) const;
+
   /// Delay of one chip that uses the fastest `width` of the sampled
   /// lanes (structural duplication drops the rest). `lanes` is reordered.
   /// Precondition: width >= 1 and width <= lanes.size().
@@ -104,6 +117,16 @@ class ChipDelaySampler {
   static void chip_delay_curve_into(std::span<const double> lanes, int width,
                                     std::span<double> out);
 
+  /// Batched chip_delay_curve_into over `n_chips` consecutive rows of
+  /// `row_width` lanes each: chip c's curve (row_width - width + 1
+  /// values) is written at out + c * out_stride. Interleaves four
+  /// winner trees so their serial replace chains overlap — the per-chip
+  /// loop is latency-bound, not throughput-bound — and emits values
+  /// bit-identical to per-chip chip_delay_curve_into calls.
+  static void chip_delay_curves_block(const double* rows, std::size_t n_chips,
+                                      std::size_t row_width, int width,
+                                      double* out, std::size_t out_stride);
+
   /// One critical-path delay sample (chain of chain_stages), including the
   /// die-systematic factor — the paper's Fig. 1(b)/Fig. 3 "critical path".
   double sample_path_delay(stats::Xoshiro256pp& rng) const;
@@ -122,6 +145,13 @@ class ChipDelaySampler {
   const stats::GridDistribution& chain_distribution() const noexcept {
     return *chain_;
   }
+  /// The exact per-lane delay law: max_of_iid(paths_per_lane) over the
+  /// chain distribution, memoized process-wide. One lane sample is ONE
+  /// inverse-CDF draw from this (the per-sample u^(1/k) pow of
+  /// max_quantile is paid once, at build time).
+  const stats::GridDistribution& lane_distribution() const noexcept {
+    return *lane_;
+  }
   const device::VariationModel& variation_model() const noexcept {
     return *model_;
   }
@@ -130,9 +160,10 @@ class ChipDelaySampler {
   const device::VariationModel* model_;
   double vdd_;
   TimingConfig config_;
-  /// Shared cache entry (device/dist_cache.h); immutable, so copies of
+  /// Shared cache entries (device/dist_cache.h); immutable, so copies of
   /// the sampler and concurrent readers are free.
   std::shared_ptr<const stats::GridDistribution> chain_;
+  std::shared_ptr<const stats::GridDistribution> lane_;
   double fo4_unit_;
 };
 

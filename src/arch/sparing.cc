@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/monte_carlo.h"
 
 namespace ntv::arch {
@@ -160,9 +161,8 @@ double mc_coverage_delay_fn(const SparingScheme& scheme,
         lanes.resize(static_cast<std::size_t>(phys));
         faulty.resize(static_cast<std::size_t>(phys));
         sample_lanes(rng, lanes);
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
-          faulty[i] = lanes[i] > t_clk;
-        }
+        simd::kernels().greater_mask(lanes.data(), lanes.size(), t_clk,
+                                     faulty.data());
         return scheme.covers(faulty, logical_width) ? 1.0 : 0.0;
       },
       stats::MonteCarloOptions{.seed = seed});
@@ -192,9 +192,8 @@ CoverageEstimate mc_coverage_delay_planned(
         const double w = sampler.sample_lanes_planned(rng, plan, row,
                                                       n_trials, lanes, qmc);
         if (!weights.empty()) weights[row] = w;
-        for (std::size_t i = 0; i < lanes.size(); ++i) {
-          faulty[i] = lanes[i] > t_clk;
-        }
+        simd::kernels().greater_mask(lanes.data(), lanes.size(), t_clk,
+                                     faulty.data());
         out[0] = scheme.covers(faulty, logical_width) ? 1.0 : 0.0;
       },
       stats::MonteCarloOptions{.seed = seed});

@@ -77,9 +77,12 @@ class MnaSystem {
   /// Rebuilds base_g_ when gmin or the companion conductances changed.
   void refresh_base(const std::vector<CapCompanion>& caps, double gmin) const;
 
-  /// Adds one MOSFET's linearized stamps to (g, b).
-  void stamp_mosfet_analytic(const Mosfet& m, const std::vector<double>& x,
-                             DenseMatrix& g, std::vector<double>& b) const;
+  /// Adds every MOSFET's linearized stamps to (g, b), batching the
+  /// transcendental evaluations (exp/log) across devices through the
+  /// SIMD kernel layer. Same linearization as the old per-device path;
+  /// values agree with the numeric Jacobian to solver tolerance.
+  void stamp_mosfets_analytic(const std::vector<double>& x, DenseMatrix& g,
+                              std::vector<double>& b) const;
   void stamp_mosfet_numeric(const Mosfet& m, const std::vector<double>& x,
                             DenseMatrix& g, std::vector<double>& b) const;
 

@@ -89,8 +89,10 @@ bool newton_solve(const MnaSystem& sys, double t,
 /// DC initialization shares the caller's buffers and stamp cache.
 DcResult dc_solve(const MnaSystem& sys, double t, const NewtonOptions& opt,
                   NewtonWorkspace& ws) {
-  obs::counter("spice.dc_solves").increment();
-  obs::ScopedTimer timer(obs::timer("spice.dc"));
+  static obs::Counter& dc_solves = obs::counter("spice.dc_solves");
+  static obs::Timer& dc_timer = obs::timer("spice.dc");
+  dc_solves.increment();
+  obs::ScopedTimer timer(dc_timer);
   DcResult result;
   result.x.assign(sys.dimension(), 0.0);
 
@@ -119,9 +121,11 @@ DcResult dc_operating_point(const Netlist& netlist, double t,
 }
 
 TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
-  obs::counter("spice.transient_runs").increment();
-  obs::ScopedTimer timer(obs::timer("spice.transient"));
+  static obs::Counter& transient_runs = obs::counter("spice.transient_runs");
+  static obs::Timer& transient_timer = obs::timer("spice.transient");
   static obs::Counter& timesteps = obs::counter("spice.timesteps");
+  transient_runs.increment();
+  obs::ScopedTimer timer(transient_timer);
   MnaSystem sys(netlist);
   NewtonWorkspace ws;
   TransientResult result;
@@ -157,6 +161,13 @@ TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
   }
 
   const auto steps = static_cast<std::size_t>(std::ceil(opt.t_stop / opt.dt));
+  // Linear predictor state: the previous accepted solution. Seeding each
+  // Newton solve with the extrapolation x + (x - x_prev) instead of the
+  // raw previous solution tracks the waveform slope, cutting iterations
+  // on the smooth segments that dominate a transient. Newton converges to
+  // the same abs_tol fixed point either way; only the start point moves.
+  std::vector<double> x_step_prev = x;
+  std::vector<double> x_step_prev2 = x;
   for (std::size_t s = 1; s <= steps; ++s) {
     timesteps.increment();
     const double t = opt.dt * static_cast<double>(s);
@@ -164,6 +175,22 @@ TransientResult transient(const Netlist& netlist, const TransientOptions& opt) {
       const double geq = 2.0 * netlist.capacitors()[i].farads / opt.dt;
       caps[i].geq = geq;
       caps[i].ieq = geq * v_prev[i] + i_prev[i];
+    }
+    if (s >= 3) {
+      // Quadratic extrapolation through the last three accepted points.
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double xi = x[i];
+        x[i] = 3.0 * xi - 3.0 * x_step_prev[i] + x_step_prev2[i];
+        x_step_prev2[i] = x_step_prev[i];
+        x_step_prev[i] = xi;
+      }
+    } else if (s == 2) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double xi = x[i];
+        x[i] = xi + (xi - x_step_prev[i]);
+        x_step_prev2[i] = x_step_prev[i];
+        x_step_prev[i] = xi;
+      }
     }
     if (!newton_solve(sys, t, caps, opt.newton, ws, x, nullptr)) {
       return result;  // ok stays false.

@@ -83,58 +83,107 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
   opt.seed = config_.seed;
 
   // Planned runs carry per-chip likelihood-ratio weights (rows are
-  // disjoint, so workers write `weights` race-free); the naive plan keeps
-  // the historical closure so the default path stays byte-identical.
+  // disjoint, so workers write `weights` race-free).
   std::vector<double> weights;
   std::optional<stats::ScrambledSobol> sobol;
   if (config_.plan.strategy == stats::SamplingStrategy::kQmc)
     sobol.emplace(config_.seed);
   if (config_.plan.is_weighted()) weights.assign(config_.chip_samples, 1.0);
+  const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
 
-  std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
-  if (config_.plan.is_naive()) {
-    fill = [&smp, row_width](stats::Xoshiro256pp& rng, std::size_t,
-                             double* out) {
-      smp.sample_lanes(rng, std::span<double>(out, row_width));
-    };
-  } else {
-    const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
+  // Phase timers: fill (Monte Carlo rows), curves (prefix extraction +
+  // transpose), search (percentile bisection + CI). Published so run
+  // reports break the sweep's wall time down without a profiler.
+  static obs::Timer& fill_timer = obs::timer("mitigation.fill.wall");
+  static obs::Timer& curves_timer = obs::timer("mitigation.curves.wall");
+  static obs::Timer& search_timer = obs::timer("mitigation.search.wall");
+
+  std::vector<double> rows;
+  {
+  obs::ScopedTimer fill_scope(fill_timer);
+  if (config_.timing.correlation == arch::DieCorrelation::kIndependentPaths) {
+    // SoA block path (mirrors arch::mc_chip_delay_sweep): one four-lane
+    // substream per block, one flat quantile pass through the SIMD
+    // kernels per block. Deterministic in (seed, block) alone.
+    const std::uint64_t seed = config_.seed;
     const std::size_t n_rows = config_.chip_samples;
-    fill = [&smp, this, &weights, qmc, row_width, n_rows](
-               stats::Xoshiro256pp& rng, std::size_t row, double* out) {
-      const double w = smp.sample_lanes_planned(
-          rng, config_.plan, row, n_rows, std::span<double>(out, row_width),
-          qmc);
-      if (!weights.empty()) weights[row] = w;
-    };
+    double* w = weights.empty() ? nullptr : weights.data();
+    rows = stats::monte_carlo_blocks(
+        config_.chip_samples, row_width,
+        [&smp, this, w, qmc, row_width, n_rows, seed](
+            stats::Xoshiro256pp&, std::size_t lo, std::size_t hi,
+            double* out) {
+          stats::Xoshiro256ppX4 rng4 =
+              stats::substream4(seed, lo / stats::kMonteCarloBlock);
+          smp.sample_lane_block(rng4, config_.plan, lo, hi, n_rows,
+                                row_width, out, w == nullptr ? nullptr : w + lo,
+                                qmc);
+        },
+        opt);
+  } else {
+    std::function<void(stats::Xoshiro256pp&, std::size_t, double*)> fill;
+    if (config_.plan.is_naive()) {
+      fill = [&smp, row_width](stats::Xoshiro256pp& rng, std::size_t,
+                               double* out) {
+        smp.sample_lanes(rng, std::span<double>(out, row_width));
+      };
+    } else {
+      const std::size_t n_rows = config_.chip_samples;
+      fill = [&smp, this, &weights, qmc, row_width, n_rows](
+                 stats::Xoshiro256pp& rng, std::size_t row, double* out) {
+        const double w = smp.sample_lanes_planned(
+            rng, config_.plan, row, n_rows, std::span<double>(out, row_width),
+            qmc);
+        if (!weights.empty()) weights[row] = w;
+      };
+    }
+    rows = stats::monte_carlo_rows(config_.chip_samples, row_width, fill, opt);
   }
-  const std::vector<double> rows =
-      stats::monte_carlo_rows(config_.chip_samples, row_width, fill, opt);
+  }
 
-  // delays_by_alpha[alpha][chip]; each chip owns column `chip` of every
-  // row, so the prefix-curve extraction fans out race-free on the pool.
+  // Flat alpha-major curve store: spare count a occupies
+  // [a*n_chips, (a+1)*n_chips). Chips extract their prefix curves in
+  // TILES: each tile writes its curves chip-major into a thread-local
+  // scratch, then transposes tile-sequentially into the store. The
+  // per-chip direct write (n_alpha scattered stores, one cache line each,
+  // per chip) dominated this function's non-MC wall time; the tiled
+  // transpose touches each destination line once per tile instead.
   const std::size_t n_alpha = static_cast<std::size_t>(max_spares) + 1;
-  std::vector<std::vector<double>> delays_by_alpha(
-      n_alpha, std::vector<double>(config_.chip_samples));
+  const std::size_t n_chips = config_.chip_samples;
+  std::vector<double> delays_by_alpha(n_alpha * n_chips);
+  constexpr std::size_t kTile = 128;
+  const std::size_t n_tiles = (n_chips + kTile - 1) / kTile;
+  {
+  obs::ScopedTimer curves_scope(curves_timer);
   exec::ThreadPool::global().parallel_for(
-      0, config_.chip_samples,
-      [&](std::size_t chip) {
-        thread_local std::vector<double> curve;
-        curve.resize(n_alpha);
-        arch::ChipDelaySampler::chip_delay_curve_into(
-            std::span<const double>(rows.data() + chip * row_width,
-                                    row_width),
-            width, curve);
+      0, n_tiles,
+      [&](std::size_t tile) {
+        const std::size_t chip0 = tile * kTile;
+        const std::size_t chips = std::min(kTile, n_chips - chip0);
+        thread_local std::vector<double> curves;
+        curves.resize(kTile * n_alpha);
+        arch::ChipDelaySampler::chip_delay_curves_block(
+            rows.data() + chip0 * row_width, chips, row_width, width,
+            curves.data(), n_alpha);
         for (std::size_t a = 0; a < n_alpha; ++a) {
-          delays_by_alpha[a][chip] = curve[a];
+          double* dst = delays_by_alpha.data() + a * n_chips + chip0;
+          const double* src = curves.data() + a;
+          for (std::size_t c = 0; c < chips; ++c) {
+            dst[c] = src[c * n_alpha];
+          }
         }
       },
-      /*grain=*/64);
+      /*grain=*/1);
+  }
 
+  const auto alpha_delays = [&](std::size_t a) {
+    return std::span<const double>(delays_by_alpha.data() + a * n_chips,
+                                   n_chips);
+  };
   const double fo4 = smp.fo4_unit();
   auto meets = [&](long alpha) {
-    const std::vector<double>& delays =
-        delays_by_alpha[static_cast<std::size_t>(alpha)];
+    const std::span<const double> delays =
+        alpha_delays(static_cast<std::size_t>(alpha));
     const double p99 =
         weights.empty()
             ? stats::percentile(delays, config_.signoff_percentile)
@@ -144,6 +193,7 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
   };
 
   DuplicationResult result;
+  obs::ScopedTimer search_scope(search_timer);
   const long alpha = stats::smallest_true(meets, 0, max_spares);
   result.ess = weights.empty()
                    ? static_cast<double>(config_.chip_samples)
@@ -155,7 +205,7 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
         static_cast<std::size_t>(std::min(alpha, static_cast<long>(
                                                      max_spares)));
     const stats::QuantileCi ci = stats::weighted_percentile_ci(
-        delays_by_alpha[a], weights, config_.signoff_percentile);
+        alpha_delays(a), weights, config_.signoff_percentile);
     result.p99_rel_ci_halfwidth = ci.rel_halfwidth();
     const std::string mv =
         std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));

@@ -15,7 +15,10 @@ namespace {
 /// Everything a builder's output depends on, with doubles compared by bit
 /// pattern (cache keys must never be split or merged by float noise).
 struct DistKey {
-  int kind = 0;  ///< 0 = gate, 1 = chain, 2 = total chain.
+  /// 0 = gate, 1 = chain, 2 = total chain, 3 = lane over total chain,
+  /// 4 = lane over chain (no systematic component).
+  int kind = 0;
+  int order = 1;  ///< max_of_iid order for the lane kinds, else 1.
   std::string node_name;
   std::array<std::uint64_t, 6> node_bits{};    ///< Delay-model fields.
   std::array<std::uint64_t, 4> sigma_bits{};   ///< Calibrated sigmas.
@@ -71,21 +74,27 @@ DistCache& cache() {
 
 std::shared_ptr<const stats::GridDistribution> lookup(
     int kind, const VariationModel& model, double vdd, int n_stages,
-    const DistributionOptions& opt) {
+    const DistributionOptions& opt, int order = 1) {
   static obs::Counter& calls = obs::counter("device.dist_cache.calls");
   static obs::Counter& builds = obs::counter("device.dist_cache.builds");
   calls.increment();
-  const auto result = cache().get_or_build(
-      make_key(kind, model, vdd, n_stages, opt), [&] {
-        builds.increment();
-        stats::GridDistribution dist =
-            kind == 0   ? build_gate_distribution(model, vdd, opt)
-            : kind == 1 ? build_chain_distribution(model, vdd, n_stages, opt)
-                        : build_total_chain_distribution(model, vdd,
-                                                         n_stages, opt);
-        return std::make_shared<const stats::GridDistribution>(
-            std::move(dist));
-      });
+  DistKey key = make_key(kind, model, vdd, n_stages, opt);
+  key.order = order;
+  const auto result = cache().get_or_build(std::move(key), [&] {
+    builds.increment();
+    stats::GridDistribution dist =
+        kind == 0   ? build_gate_distribution(model, vdd, opt)
+        : kind == 1 ? build_chain_distribution(model, vdd, n_stages, opt)
+        : kind == 2 ? build_total_chain_distribution(model, vdd, n_stages,
+                                                     opt)
+        : kind == 3
+            ? cached_total_chain_distribution(model, vdd, n_stages, opt)
+                  ->max_of_iid(order)
+            : cached_chain_distribution(model, vdd, n_stages, opt)
+                  ->max_of_iid(order);
+    return std::make_shared<const stats::GridDistribution>(
+        std::move(dist));
+  });
   obs::gauge("device.dist_cache.entries")
       .set(static_cast<double>(cache().size()));
   return result;
@@ -109,6 +118,14 @@ cached_total_chain_distribution(const VariationModel& model, double vdd,
                                 int n_stages,
                                 const DistributionOptions& opt) {
   return lookup(2, model, vdd, n_stages, opt);
+}
+
+std::shared_ptr<const stats::GridDistribution> cached_lane_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    int paths_per_lane, bool include_systematic,
+    const DistributionOptions& opt) {
+  return lookup(include_systematic ? 3 : 4, model, vdd, n_stages, opt,
+                paths_per_lane);
 }
 
 std::size_t distribution_cache_size() { return cache().size(); }

@@ -40,6 +40,19 @@ cached_total_chain_distribution(const VariationModel& model, double vdd,
                                 int n_stages,
                                 const DistributionOptions& opt = {});
 
+/// Cached lane-delay distribution: max_of_iid(paths_per_lane) over the
+/// cached total-chain (include_systematic == true) or chain
+/// (include_systematic == false) distribution. Sampling one lane is one
+/// inverse-CDF draw from this distribution — the per-sample
+/// u^(1/paths) pow of max_quantile is paid ONCE here, at build time, as
+/// the F^k convolution of the CDF. Quantile values differ from
+/// max_quantile only by interpolating the F^k grid directly (same grid
+/// index, sub-cell interpolation), well inside the sweep tolerances.
+std::shared_ptr<const stats::GridDistribution> cached_lane_distribution(
+    const VariationModel& model, double vdd, int n_stages,
+    int paths_per_lane, bool include_systematic,
+    const DistributionOptions& opt = {});
+
 /// Number of distributions currently cached.
 std::size_t distribution_cache_size();
 

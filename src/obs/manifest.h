@@ -38,6 +38,10 @@ struct RunManifest {
   /// are gated by tolerance windows, not byte identity
   /// (docs/SAMPLING.md).
   std::string sampling = "naive";
+  /// Active SIMD dispatch backend ("scalar" / "avx2" / "neon"). Purely
+  /// informational: every backend is byte-identical by contract
+  /// (docs/SIMD.md), so reports are comparable across values.
+  std::string simd = "scalar";
   /// "Release"/"Debug" of the producing binary — reports from different
   /// build types are comparable in values but not in timings.
   std::string build_type = std::string(build_kind());

@@ -1,0 +1,139 @@
+// Internal: per-backend kernel table constructors. Each TU defines one
+// backend; simd.cc owns dispatch. The scalar TU also exports the scalar
+// reference implementations so wide backends can delegate tails (and the
+// NEON backend can delegate kernels it does not specialize) without
+// duplicating the reference algorithm.
+#pragma once
+
+#include "simd/simd.h"
+
+namespace ntv::simd::detail {
+
+const Kernels& scalar_kernels() noexcept;
+#if defined(__x86_64__) || defined(_M_X64)
+const Kernels& avx2_kernels() noexcept;
+#endif
+#if defined(__aarch64__)
+const Kernels& neon_kernels() noexcept;
+#endif
+
+// Scalar reference bodies, shared by the wide backends for remainders.
+namespace scalar {
+void fill_uniform4(std::uint64_t* state, double* out, std::size_t n);
+void quantile(const QuantileGrid& g, const double* u, double* out,
+              std::size_t n, std::size_t* scans);
+double max_reduce(const double* x, std::size_t n);
+std::size_t find_below(const double* x, std::size_t n, double threshold);
+void greater_mask(const double* x, std::size_t n, double threshold,
+                  std::uint8_t* mask);
+void count_ge4(const double* x, std::size_t n, const double* knots,
+               std::size_t* counts);
+void scale(double* x, std::size_t n, double s);
+void weighted_sums(const double* v, const double* w, std::size_t n,
+                   double* sums);
+void fft_stage(double* reim, const double* tw, std::size_t n,
+               std::size_t len);
+void exp_batch(const double* x, std::size_t n, double* out);
+void log_batch(const double* x, std::size_t n, double* out);
+
+/// One element of the quantile kernel (also the tail path of the wide
+/// backends). Kept inline in this header so every backend agrees on the
+/// exact operation sequence.
+inline double quantile_one(const QuantileGrid& g, double u,
+                           std::size_t& scans) noexcept {
+  u = u < 1e-300 ? 1e-300 : (u > 1.0 ? 1.0 : u);
+  const auto raw = static_cast<std::size_t>(u * g.buckets);
+  const auto cap = static_cast<std::size_t>(g.buckets);
+  std::size_t idx = g.guide[raw < cap ? raw : cap];
+  while (idx > 0 && g.cdf[idx - 1] >= u) --idx;
+  while (g.cdf[idx] < u) {
+    ++idx;
+    ++scans;
+  }
+  if (idx == 0) return g.lo;
+  const double c0 = g.cdf[idx - 1];
+  const double c1 = g.cdf[idx];
+  const double frac = (c1 > c0) ? (u - c0) / (c1 - c0) : 0.0;
+  return g.lo + g.step * (static_cast<double>(idx - 1) + frac);
+}
+
+/// One element of exp_batch: cephes-style rational approximation with
+/// the exact operation order every backend mirrors. Max observed error
+/// vs the true value is ~2 ulp over the double range.
+inline double exp_one(double x) noexcept {
+  constexpr double kLog2e = 1.4426950408889634073599;
+  constexpr double kLn2Hi = 6.93145751953125e-1;
+  constexpr double kLn2Lo = 1.42860682030941723212e-6;
+  constexpr double kMax = 709.43;   // Above: overflow to +inf.
+  constexpr double kMin = -708.39;  // Below: underflow to 0.
+  // Clamps first: they keep k inside [-1022, 1023], so the int cast and
+  // exponent construction below stay defined. The wide backends compute
+  // the full pipeline and blend these cases in at the end — same result.
+  if (x > kMax) return __builtin_inf();
+  if (x < kMin) return 0.0;
+  const double k = __builtin_floor(kLog2e * x + 0.5);
+  double r = x - k * kLn2Hi;
+  r = r - k * kLn2Lo;
+  const double xx = r * r;
+  double px = 1.26177193074810590878e-4;
+  px = px * xx + 3.02994407707441961300e-2;
+  px = px * xx + 9.99999999999999999910e-1;
+  px = px * r;
+  double qx = 3.00198505138664455042e-6;
+  qx = qx * xx + 2.52448340349684104192e-3;
+  qx = qx * xx + 2.27265548208155028766e-1;
+  qx = qx * xx + 2.00000000000000000005e0;
+  double e = 1.0 + 2.0 * px / (qx - px);
+  // 2^k by direct exponent construction; k is in [-1022, 1023] once x
+  // is inside the clamp window.
+  const auto ki = static_cast<std::int64_t>(k);
+  double scale;
+  const std::uint64_t bits = static_cast<std::uint64_t>(ki + 1023) << 52;
+  __builtin_memcpy(&scale, &bits, sizeof scale);
+  e = e * scale;
+  return e;
+}
+
+/// One element of log_batch: cephes-style rational approximation (same
+/// cross-backend contract as exp_one). ~1 ulp for normal positive x.
+inline double log_one(double x) noexcept {
+  if (x <= 0.0)
+    return x == 0.0 ? -__builtin_inf() : __builtin_nan("");
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &x, sizeof bits);
+  std::int64_t e = static_cast<std::int64_t>((bits >> 52) & 0x7ff) - 1022;
+  double m;
+  const std::uint64_t mbits =
+      (bits & 0xfffffffffffffULL) | (0x3feULL << 52);
+  __builtin_memcpy(&m, &mbits, sizeof m);
+  constexpr double kSqrtHalf = 0.70710678118654752440;
+  if (m < kSqrtHalf) {
+    e -= 1;
+    m = m + m;
+  }
+  const double y = m - 1.0;
+  const double z = y * y;
+  double p = 1.01875663804580931796e-4;
+  p = p * y + 4.97494994976747001425e-1;
+  p = p * y + 4.70579119878881725854e0;
+  p = p * y + 1.44989225341610930846e1;
+  p = p * y + 1.79368678507819816313e1;
+  p = p * y + 7.70838733755885391666e0;
+  double q = 1.0;
+  q = q * y + 1.12873587189167450590e1;
+  q = q * y + 4.52279145837532221105e1;
+  q = q * y + 8.29875266912776603211e1;
+  q = q * y + 7.11544750618563894466e1;
+  q = q * y + 2.31251620126765340583e1;
+  double w = y * z * (p / q);
+  w = w - 0.5 * z;
+  const double fe = static_cast<double>(e);
+  double res = y + w;
+  res = res - fe * 2.121944400546905827679e-4;
+  res = res + fe * 0.693359375;
+  return res;
+}
+
+}  // namespace scalar
+
+}  // namespace ntv::simd::detail

@@ -1,0 +1,461 @@
+// AVX2 kernels. Compiled with -mavx2 -ffp-contract=off (see
+// CMakeLists.txt) and ONLY in this TU, so the rest of the binary runs on
+// baseline x86-64; dispatch guarantees these are never called unless the
+// CPU reports AVX2.
+//
+// Byte-identity notes (the contract is defined by kernels_scalar.cc):
+//  * no FMA intrinsics anywhere — every product and sum is a separately
+//    rounded IEEE op, matching the scalar reference exactly;
+//  * the uint64 -> double uniform conversion splits the 53-bit value
+//    into exact 32/21-bit halves, so the only rounded operation is the
+//    final * 2^-53 — the same single rounding as the scalar cast;
+//  * quantile keeps the data-dependent guide corrections scalar (they
+//    are one or two compares in the common case) and vectorizes the
+//    bucket math and interpolation around them, so the scan counter and
+//    every output bit match the reference;
+//  * reductions realize the scalar reference's four accumulator lanes
+//    as the four vector elements and combine them in the same order.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "simd/kernels.h"
+
+namespace ntv::simd::detail {
+
+namespace {
+
+namespace avx2 {
+
+void fill_uniform4(std::uint64_t* state, double* out, std::size_t n) {
+  __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state));
+  __m256i s1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + 4));
+  __m256i s2 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + 8));
+  __m256i s3 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state + 12));
+  const __m256i lo32 = _mm256_set1_epi64x(0xFFFFFFFFLL);
+  const __m256i magic = _mm256_set1_epi64x(0x4330000000000000LL);  // 2^52
+  const __m256d two52 = _mm256_set1_pd(0x1.0p52);
+  const __m256d two32 = _mm256_set1_pd(0x1.0p32);
+  const __m256d scale53 = _mm256_set1_pd(0x1.0p-53);
+  for (std::size_t t = 0; t < n / 4; ++t) {
+    // result = rotl(s0 + s3, 23) + s0
+    const __m256i sum = _mm256_add_epi64(s0, s3);
+    const __m256i rot = _mm256_or_si256(_mm256_slli_epi64(sum, 23),
+                                        _mm256_srli_epi64(sum, 64 - 23));
+    const __m256i result = _mm256_add_epi64(rot, s0);
+    const __m256i tmp = _mm256_slli_epi64(s1, 17);
+    s2 = _mm256_xor_si256(s2, s0);
+    s3 = _mm256_xor_si256(s3, s1);
+    s1 = _mm256_xor_si256(s1, s2);
+    s0 = _mm256_xor_si256(s0, s3);
+    s2 = _mm256_xor_si256(s2, tmp);
+    s3 = _mm256_or_si256(_mm256_slli_epi64(s3, 45),
+                         _mm256_srli_epi64(s3, 64 - 45));
+    // (result >> 11) * 2^-53, with the 53-bit integer rebuilt from two
+    // exactly-converted halves (hi < 2^21, lo < 2^32): hi*2^32 + lo is
+    // exact, so the final multiply is the only rounded op.
+    const __m256i v = _mm256_srli_epi64(result, 11);
+    const __m256i hi = _mm256_srli_epi64(v, 32);
+    const __m256i lo = _mm256_and_si256(v, lo32);
+    const __m256d dhi = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(hi, magic)), two52);
+    const __m256d dlo = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(lo, magic)), two52);
+    const __m256d d = _mm256_add_pd(_mm256_mul_pd(dhi, two32), dlo);
+    _mm256_storeu_pd(out + 4 * t, _mm256_mul_pd(d, scale53));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state), s0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + 4), s1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + 8), s2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(state + 12), s3);
+}
+
+void quantile(const QuantileGrid& g, const double* u, double* out,
+              std::size_t n, std::size_t* scans) {
+  std::size_t local = 0;
+  const double* cdf = g.cdf;
+  const auto cap32 = static_cast<int>(g.buckets);
+  const __m256d u_lo = _mm256_set1_pd(1e-300);
+  const __m256d u_hi = _mm256_set1_pd(1.0);
+  const __m256d bucketsv = _mm256_set1_pd(g.buckets);
+  const __m128i capv = _mm_set1_epi32(cap32);
+  const __m256d lov = _mm256_set1_pd(g.lo);
+  const __m256d stepv = _mm256_set1_pd(g.step);
+  const __m128i one32 = _mm_set1_epi32(1);
+  const __m128i zero32 = _mm_setzero_si128();
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d uu = _mm256_min_pd(
+        _mm256_max_pd(_mm256_loadu_pd(u + i), u_lo), u_hi);
+    // Bucket lookup (truncating cast, min-clamped like the scalar path).
+    const __m128i raw =
+        _mm_min_epi32(_mm256_cvttpd_epi32(_mm256_mul_pd(uu, bucketsv)),
+                      capv);
+    __m128i idx = _mm_i32gather_epi32(
+        reinterpret_cast<const int*>(g.guide), raw, 4);
+    // Guide corrections are data-dependent short walks (usually zero or
+    // one step); run them scalar per lane against the shared CDF so the
+    // scan count is exactly the reference's.
+    alignas(16) int idx_arr[4];
+    alignas(32) double u_arr[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(idx_arr), idx);
+    _mm256_store_pd(u_arr, uu);
+    for (int l = 0; l < 4; ++l) {
+      std::size_t ix = static_cast<unsigned>(idx_arr[l]);
+      const double ul = u_arr[l];
+      while (ix > 0 && cdf[ix - 1] >= ul) --ix;
+      while (cdf[ix] < ul) {
+        ++ix;
+        ++local;
+      }
+      idx_arr[l] = static_cast<int>(ix);
+    }
+    idx = _mm_load_si128(reinterpret_cast<const __m128i*>(idx_arr));
+    // Interpolation, fully vectorized: c0 = cdf[idx-1] (idx==0 lanes are
+    // blended to `lo` afterwards, so the clamped gather index is safe).
+    const __m128i idxm1 = _mm_max_epi32(_mm_sub_epi32(idx, one32), zero32);
+    const __m256d c0 = _mm256_i32gather_pd(cdf, idxm1, 8);
+    const __m256d c1 = _mm256_i32gather_pd(cdf, idx, 8);
+    const __m256d gt = _mm256_cmp_pd(c1, c0, _CMP_GT_OQ);
+    const __m256d frac = _mm256_and_pd(
+        _mm256_div_pd(_mm256_sub_pd(uu, c0), _mm256_sub_pd(c1, c0)), gt);
+    const __m256d didx = _mm256_cvtepi32_pd(idxm1);
+    __m256d r = _mm256_add_pd(
+        lov, _mm256_mul_pd(stepv, _mm256_add_pd(didx, frac)));
+    const __m256d is_zero = _mm256_castsi256_pd(
+        _mm256_cvtepi32_epi64(_mm_cmpeq_epi32(idx, zero32)));
+    r = _mm256_blendv_pd(r, lov, is_zero);
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) {
+    out[i] = scalar::quantile_one(g, u[i], local);
+  }
+  *scans += local;
+}
+
+double max_reduce(const double* x, std::size_t n) {
+  // max() is exact for any association, so a plain vector max + tail is
+  // bit-identical to the scalar scan.
+  double worst = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_loadu_pd(x);
+    for (i = 4; i + 4 <= n; i += 4) {
+      acc = _mm256_max_pd(acc, _mm256_loadu_pd(x + i));
+    }
+    const __m128d hi128 = _mm256_extractf128_pd(acc, 1);
+    __m128d m = _mm_max_pd(_mm256_castpd256_pd128(acc), hi128);
+    m = _mm_max_sd(m, _mm_unpackhi_pd(m, m));
+    worst = _mm_cvtsd_f64(m);
+  }
+  for (; i < n; ++i) {
+    if (x[i] > worst) worst = x[i];
+  }
+  return worst;
+}
+
+std::size_t find_below(const double* x, std::size_t n, double threshold) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(x + i), thr, _CMP_LT_OQ));
+    if (m != 0) return i + static_cast<std::size_t>(__builtin_ctz(m));
+  }
+  for (; i < n; ++i) {
+    if (x[i] < threshold) return i;
+  }
+  return n;
+}
+
+void greater_mask(const double* x, std::size_t n, double threshold,
+                  std::uint8_t* mask) {
+  const __m256d thr = _mm256_set1_pd(threshold);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int m = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_loadu_pd(x + i), thr, _CMP_GT_OQ));
+    mask[i] = static_cast<std::uint8_t>(m & 1);
+    mask[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+    mask[i + 2] = static_cast<std::uint8_t>((m >> 2) & 1);
+    mask[i + 3] = static_cast<std::uint8_t>((m >> 3) & 1);
+  }
+  for (; i < n; ++i) {
+    mask[i] = x[i] > threshold ? 1 : 0;
+  }
+}
+
+void count_ge4(const double* x, std::size_t n, const double* knots,
+               std::size_t* counts) {
+  const __m256d k0 = _mm256_set1_pd(knots[0]);
+  const __m256d k1 = _mm256_set1_pd(knots[1]);
+  const __m256d k2 = _mm256_set1_pd(knots[2]);
+  const __m256d k3 = _mm256_set1_pd(knots[3]);
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    c0 += static_cast<unsigned>(__builtin_popcount(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, k0, _CMP_GE_OQ))));
+    c1 += static_cast<unsigned>(__builtin_popcount(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, k1, _CMP_GE_OQ))));
+    c2 += static_cast<unsigned>(__builtin_popcount(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, k2, _CMP_GE_OQ))));
+    c3 += static_cast<unsigned>(__builtin_popcount(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, k3, _CMP_GE_OQ))));
+  }
+  for (; i < n; ++i) {
+    const double v = x[i];
+    c0 += v >= knots[0];
+    c1 += v >= knots[1];
+    c2 += v >= knots[2];
+    c3 += v >= knots[3];
+  }
+  counts[0] += c0;
+  counts[1] += c1;
+  counts[2] += c2;
+  counts[3] += c3;
+}
+
+void scale(double* x, std::size_t n, double s) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), sv));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void weighted_sums(const double* v, const double* w, std::size_t n,
+                   double* sums) {
+  // The vector elements ARE the scalar reference's four accumulator
+  // lanes (element i lands in lane i % 4), and the tail folds into lane
+  // (i % 4) exactly like the reference.
+  __m256d acc_w = _mm256_setzero_pd();
+  __m256d acc_w2 = _mm256_setzero_pd();
+  __m256d acc_wv = _mm256_setzero_pd();
+  std::size_t i = 0;
+  if (v != nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      const __m256d wv = _mm256_loadu_pd(w + i);
+      acc_w = _mm256_add_pd(acc_w, wv);
+      acc_w2 = _mm256_add_pd(acc_w2, _mm256_mul_pd(wv, wv));
+      acc_wv = _mm256_add_pd(acc_wv,
+                             _mm256_mul_pd(wv, _mm256_loadu_pd(v + i)));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      const __m256d wv = _mm256_loadu_pd(w + i);
+      acc_w = _mm256_add_pd(acc_w, wv);
+      acc_w2 = _mm256_add_pd(acc_w2, _mm256_mul_pd(wv, wv));
+    }
+  }
+  alignas(32) double sw[4], sw2[4], swv[4];
+  _mm256_store_pd(sw, acc_w);
+  _mm256_store_pd(sw2, acc_w2);
+  _mm256_store_pd(swv, acc_wv);
+  for (; i < n; ++i) {
+    const std::size_t l = i % 4;
+    const double wi = w[i];
+    sw[l] += wi;
+    sw2[l] += wi * wi;
+    if (v != nullptr) swv[l] += wi * v[i];
+  }
+  sums[0] += (sw[0] + sw[1]) + (sw[2] + sw[3]);
+  sums[1] += (sw2[0] + sw2[1]) + (sw2[2] + sw2[3]);
+  if (v != nullptr) sums[2] += (swv[0] + swv[1]) + (swv[2] + swv[3]);
+}
+
+void fft_stage(double* reim, const double* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  if (half < 2) {
+    scalar::fft_stage(reim, tw, n, len);
+    return;
+  }
+  const std::size_t half2 = half & ~std::size_t{1};
+  for (std::size_t i = 0; i < n; i += len) {
+    double* blk = reim + 2 * i;
+    double* base_lo = blk;
+    double* base_hi = blk + 2 * half;
+    std::size_t k = 0;
+    for (; k < half2; k += 2) {
+      // Two complex butterflies per vector; the complex product is the
+      // textbook (ac-bd, ad+bc) with separately rounded ops (addsub),
+      // matching the scalar formula term for term.
+      const __m256d h = _mm256_loadu_pd(base_hi + 2 * k);
+      const __m256d wv = _mm256_loadu_pd(tw + 2 * k);
+      const __m256d wr = _mm256_movedup_pd(wv);
+      const __m256d wi = _mm256_permute_pd(wv, 0xF);
+      const __m256d t1 = _mm256_mul_pd(h, wr);
+      const __m256d hs = _mm256_permute_pd(h, 0x5);
+      const __m256d t2 = _mm256_mul_pd(hs, wi);
+      const __m256d vv = _mm256_addsub_pd(t1, t2);
+      const __m256d uu = _mm256_loadu_pd(base_lo + 2 * k);
+      _mm256_storeu_pd(base_lo + 2 * k, _mm256_add_pd(uu, vv));
+      _mm256_storeu_pd(base_hi + 2 * k, _mm256_sub_pd(uu, vv));
+    }
+    for (; k < half; ++k) {
+      const double wr = tw[2 * k];
+      const double wi = tw[2 * k + 1];
+      double* lo = base_lo + 2 * k;
+      double* hi = base_hi + 2 * k;
+      const double ur = lo[0];
+      const double ui = lo[1];
+      const double vr = hi[0] * wr - hi[1] * wi;
+      const double vi = hi[0] * wi + hi[1] * wr;
+      lo[0] = ur + vr;
+      lo[1] = ui + vi;
+      hi[0] = ur - vr;
+      hi[1] = ui - vi;
+    }
+  }
+}
+
+// exp/log: 4-wide mirrors of scalar::exp_one / scalar::log_one. Every
+// arithmetic step is the same separately-rounded IEEE op in the same
+// order (floor == _mm256_floor_pd, the 2^k exponent construction is
+// exact integer math), so outputs are bit-identical to the reference.
+void exp_batch(const double* x, std::size_t n, double* out) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    const __m256d k =
+        _mm256_floor_pd(_mm256_add_pd(_mm256_mul_pd(log2e, v), half));
+    __m256d r = _mm256_sub_pd(v, _mm256_mul_pd(k, ln2_hi));
+    r = _mm256_sub_pd(r, _mm256_mul_pd(k, ln2_lo));
+    const __m256d xx = _mm256_mul_pd(r, r);
+    __m256d px = _mm256_set1_pd(1.26177193074810590878e-4);
+    px = _mm256_add_pd(_mm256_mul_pd(px, xx),
+                       _mm256_set1_pd(3.02994407707441961300e-2));
+    px = _mm256_add_pd(_mm256_mul_pd(px, xx),
+                       _mm256_set1_pd(9.99999999999999999910e-1));
+    px = _mm256_mul_pd(px, r);
+    __m256d qx = _mm256_set1_pd(3.00198505138664455042e-6);
+    qx = _mm256_add_pd(_mm256_mul_pd(qx, xx),
+                       _mm256_set1_pd(2.52448340349684104192e-3));
+    qx = _mm256_add_pd(_mm256_mul_pd(qx, xx),
+                       _mm256_set1_pd(2.27265548208155028766e-1));
+    qx = _mm256_add_pd(_mm256_mul_pd(qx, xx),
+                       _mm256_set1_pd(2.00000000000000000005e0));
+    __m256d e = _mm256_add_pd(
+        one, _mm256_div_pd(_mm256_mul_pd(two, px), _mm256_sub_pd(qx, px)));
+    // 2^k: k is integral and within int32 range inside the clamp window.
+    const __m128i ki32 = _mm256_cvtpd_epi32(k);
+    const __m256i ki64 = _mm256_cvtepi32_epi64(ki32);
+    const __m256i bits = _mm256_slli_epi64(
+        _mm256_add_epi64(ki64, _mm256_set1_epi64x(1023)), 52);
+    e = _mm256_mul_pd(e, _mm256_castsi256_pd(bits));
+    const __m256d inf =
+        _mm256_set1_pd(std::numeric_limits<double>::infinity());
+    e = _mm256_blendv_pd(
+        e, inf, _mm256_cmp_pd(v, _mm256_set1_pd(709.43), _CMP_GT_OQ));
+    e = _mm256_blendv_pd(
+        e, _mm256_setzero_pd(),
+        _mm256_cmp_pd(v, _mm256_set1_pd(-708.39), _CMP_LT_OQ));
+    _mm256_storeu_pd(out + i, e);
+  }
+  for (; i < n; ++i) out[i] = scalar::exp_one(x[i]);
+}
+
+void log_batch(const double* x, std::size_t n, double* out) {
+  const __m256i mant_mask = _mm256_set1_epi64x(0xfffffffffffffLL);
+  const __m256i half_exp = _mm256_set1_epi64x(0x3feLL << 52);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sqrt_half = _mm256_set1_pd(0.70710678118654752440);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    const __m256i bits = _mm256_castpd_si256(v);
+    // Unbiased-ish exponent e = biased - 1022 (frexp convention).
+    const __m256i raw_exp =
+        _mm256_srli_epi64(_mm256_slli_epi64(bits, 1), 53);
+    __m256i e64 = _mm256_sub_epi64(raw_exp, _mm256_set1_epi64x(1022));
+    __m256d m = _mm256_castsi256_pd(
+        _mm256_or_si256(_mm256_and_si256(bits, mant_mask), half_exp));
+    // frexp branch: m < sqrt(1/2) -> e -= 1, m *= 2.
+    const __m256d small = _mm256_cmp_pd(m, sqrt_half, _CMP_LT_OQ);
+    e64 = _mm256_sub_epi64(
+        e64, _mm256_and_si256(_mm256_castpd_si256(small),
+                              _mm256_set1_epi64x(1)));
+    m = _mm256_blendv_pd(m, _mm256_add_pd(m, m), small);
+    const __m256d y = _mm256_sub_pd(m, one);
+    const __m256d z = _mm256_mul_pd(y, y);
+    __m256d p = _mm256_set1_pd(1.01875663804580931796e-4);
+    p = _mm256_add_pd(_mm256_mul_pd(p, y),
+                      _mm256_set1_pd(4.97494994976747001425e-1));
+    p = _mm256_add_pd(_mm256_mul_pd(p, y),
+                      _mm256_set1_pd(4.70579119878881725854e0));
+    p = _mm256_add_pd(_mm256_mul_pd(p, y),
+                      _mm256_set1_pd(1.44989225341610930846e1));
+    p = _mm256_add_pd(_mm256_mul_pd(p, y),
+                      _mm256_set1_pd(1.79368678507819816313e1));
+    p = _mm256_add_pd(_mm256_mul_pd(p, y),
+                      _mm256_set1_pd(7.70838733755885391666e0));
+    __m256d q = one;
+    q = _mm256_add_pd(_mm256_mul_pd(q, y),
+                      _mm256_set1_pd(1.12873587189167450590e1));
+    q = _mm256_add_pd(_mm256_mul_pd(q, y),
+                      _mm256_set1_pd(4.52279145837532221105e1));
+    q = _mm256_add_pd(_mm256_mul_pd(q, y),
+                      _mm256_set1_pd(8.29875266912776603211e1));
+    q = _mm256_add_pd(_mm256_mul_pd(q, y),
+                      _mm256_set1_pd(7.11544750618563894466e1));
+    q = _mm256_add_pd(_mm256_mul_pd(q, y),
+                      _mm256_set1_pd(2.31251620126765340583e1));
+    __m256d w =
+        _mm256_mul_pd(_mm256_mul_pd(y, z), _mm256_div_pd(p, q));
+    w = _mm256_sub_pd(w, _mm256_mul_pd(_mm256_set1_pd(0.5), z));
+    // int64 -> double: e is tiny (|e| <= ~1100), so the int32 cvt is
+    // exact. Pack the low halves of each 64-bit lane.
+    const __m128i e_lo = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(e64, _mm256_setr_epi32(0, 2, 4, 6,
+                                                           0, 0, 0, 0)));
+    const __m256d fe = _mm256_cvtepi32_pd(e_lo);
+    __m256d res = _mm256_add_pd(y, w);
+    res = _mm256_sub_pd(
+        res, _mm256_mul_pd(fe, _mm256_set1_pd(2.121944400546905827679e-4)));
+    res = _mm256_add_pd(res,
+                        _mm256_mul_pd(fe, _mm256_set1_pd(0.693359375)));
+    // x <= 0: -inf at exactly 0, NaN below (the scalar contract).
+    const __m256d zero = _mm256_setzero_pd();
+    res = _mm256_blendv_pd(
+        res, _mm256_set1_pd(-std::numeric_limits<double>::infinity()),
+        _mm256_cmp_pd(v, zero, _CMP_EQ_OQ));
+    res = _mm256_blendv_pd(
+        res, _mm256_set1_pd(std::numeric_limits<double>::quiet_NaN()),
+        _mm256_cmp_pd(v, zero, _CMP_LT_OQ));
+    _mm256_storeu_pd(out + i, res);
+  }
+  for (; i < n; ++i) out[i] = scalar::log_one(x[i]);
+}
+
+}  // namespace avx2
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept {
+  static const Kernels k = {
+      Backend::kAvx2,       avx2::fill_uniform4, avx2::quantile,
+      avx2::max_reduce,     avx2::find_below,    avx2::greater_mask,
+      avx2::count_ge4,      avx2::scale,         avx2::weighted_sums,
+      avx2::fft_stage,      avx2::exp_batch,     avx2::log_batch,
+  };
+  return k;
+}
+
+}  // namespace ntv::simd::detail
+
+#endif  // x86-64

@@ -1,0 +1,107 @@
+// NEON kernels (aarch64). 128-bit lanes (2 doubles), so the wide paths
+// are 2-wide; kernels without a profitable 2-wide form delegate to the
+// scalar reference. Compiled with -ffp-contract=off and no FMA
+// intrinsics, so every op rounds exactly like the scalar reference.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+#include "simd/kernels.h"
+
+namespace ntv::simd::detail {
+
+namespace {
+
+namespace neon {
+
+double max_reduce(const double* x, std::size_t n) {
+  double worst = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  if (n >= 2) {
+    float64x2_t acc = vld1q_f64(x);
+    for (i = 2; i + 2 <= n; i += 2) {
+      acc = vmaxq_f64(acc, vld1q_f64(x + i));
+    }
+    worst = vmaxvq_f64(acc);
+  }
+  for (; i < n; ++i) {
+    if (x[i] > worst) worst = x[i];
+  }
+  return worst;
+}
+
+void scale(double* x, std::size_t n, double s) {
+  const float64x2_t sv = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(x + i, vmulq_f64(vld1q_f64(x + i), sv));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void greater_mask(const double* x, std::size_t n, double threshold,
+                  std::uint8_t* mask) {
+  const float64x2_t thr = vdupq_n_f64(threshold);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t m = vcgtq_f64(vld1q_f64(x + i), thr);
+    mask[i] = static_cast<std::uint8_t>(vgetq_lane_u64(m, 0) & 1);
+    mask[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(m, 1) & 1);
+  }
+  for (; i < n; ++i) {
+    mask[i] = x[i] > threshold ? 1 : 0;
+  }
+}
+
+void count_ge4(const double* x, std::size_t n, const double* knots,
+               std::size_t* counts) {
+  const float64x2_t k0 = vdupq_n_f64(knots[0]);
+  const float64x2_t k1 = vdupq_n_f64(knots[1]);
+  const float64x2_t k2 = vdupq_n_f64(knots[2]);
+  const float64x2_t k3 = vdupq_n_f64(knots[3]);
+  uint64x2_t a0 = vdupq_n_u64(0), a1 = vdupq_n_u64(0);
+  uint64x2_t a2 = vdupq_n_u64(0), a3 = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t v = vld1q_f64(x + i);
+    a0 = vsubq_u64(a0, vcgeq_f64(v, k0));  // mask is all-ones == -1
+    a1 = vsubq_u64(a1, vcgeq_f64(v, k1));
+    a2 = vsubq_u64(a2, vcgeq_f64(v, k2));
+    a3 = vsubq_u64(a3, vcgeq_f64(v, k3));
+  }
+  std::size_t c0 = vgetq_lane_u64(a0, 0) + vgetq_lane_u64(a0, 1);
+  std::size_t c1 = vgetq_lane_u64(a1, 0) + vgetq_lane_u64(a1, 1);
+  std::size_t c2 = vgetq_lane_u64(a2, 0) + vgetq_lane_u64(a2, 1);
+  std::size_t c3 = vgetq_lane_u64(a3, 0) + vgetq_lane_u64(a3, 1);
+  for (; i < n; ++i) {
+    const double v = x[i];
+    c0 += v >= knots[0];
+    c1 += v >= knots[1];
+    c2 += v >= knots[2];
+    c3 += v >= knots[3];
+  }
+  counts[0] += c0;
+  counts[1] += c1;
+  counts[2] += c2;
+  counts[3] += c3;
+}
+
+}  // namespace neon
+
+}  // namespace
+
+const Kernels& neon_kernels() noexcept {
+  static const Kernels k = {
+      Backend::kNeon,        scalar::fill_uniform4, scalar::quantile,
+      neon::max_reduce,      scalar::find_below,    neon::greater_mask,
+      neon::count_ge4,       neon::scale,           scalar::weighted_sums,
+      scalar::fft_stage,     scalar::exp_batch,     scalar::log_batch,
+  };
+  return k;
+}
+
+}  // namespace ntv::simd::detail
+
+#endif  // __aarch64__

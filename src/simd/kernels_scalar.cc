@@ -1,0 +1,161 @@
+// Scalar reference kernels: the byte-identity contract is defined HERE.
+// Every wide backend must reproduce these outputs bit for bit, including
+// reduction association (four accumulator lanes combined (a0+a1)+(a2+a3))
+// and the forward-scan count of the quantile kernel.
+#include "simd/kernels.h"
+
+#include <limits>
+
+namespace ntv::simd::detail {
+
+namespace scalar {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void fill_uniform4(std::uint64_t* state, double* out, std::size_t n) {
+  // Four xoshiro256++ generators in lockstep, state[word*4 + lane]. The
+  // update mirrors Xoshiro256pp::next() word for word; the uniform map is
+  // (next >> 11) * 2^-53, identical to Xoshiro256pp::uniform().
+  for (std::size_t t = 0; t < n / 4; ++t) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      std::uint64_t s0 = state[0 * 4 + l];
+      std::uint64_t s1 = state[1 * 4 + l];
+      std::uint64_t s2 = state[2 * 4 + l];
+      std::uint64_t s3 = state[3 * 4 + l];
+      const std::uint64_t result = rotl64(s0 + s3, 23) + s0;
+      const std::uint64_t tmp = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= tmp;
+      s3 = rotl64(s3, 45);
+      state[0 * 4 + l] = s0;
+      state[1 * 4 + l] = s1;
+      state[2 * 4 + l] = s2;
+      state[3 * 4 + l] = s3;
+      out[4 * t + l] = static_cast<double>(result >> 11) * 0x1.0p-53;
+    }
+  }
+}
+
+void quantile(const QuantileGrid& g, const double* u, double* out,
+              std::size_t n, std::size_t* scans) {
+  std::size_t local = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = quantile_one(g, u[i], local);
+  }
+  *scans += local;
+}
+
+double max_reduce(const double* x, std::size_t n) {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > worst) worst = x[i];
+  }
+  return worst;
+}
+
+std::size_t find_below(const double* x, std::size_t n, double threshold) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] < threshold) return i;
+  }
+  return n;
+}
+
+void greater_mask(const double* x, std::size_t n, double threshold,
+                  std::uint8_t* mask) {
+  for (std::size_t i = 0; i < n; ++i) {
+    mask[i] = x[i] > threshold ? 1 : 0;
+  }
+}
+
+void count_ge4(const double* x, std::size_t n, const double* knots,
+               std::size_t* counts) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    c0 += v >= knots[0];
+    c1 += v >= knots[1];
+    c2 += v >= knots[2];
+    c3 += v >= knots[3];
+  }
+  counts[0] += c0;
+  counts[1] += c1;
+  counts[2] += c2;
+  counts[3] += c3;
+}
+
+void scale(double* x, std::size_t n, double s) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+void weighted_sums(const double* v, const double* w, std::size_t n,
+                   double* sums) {
+  // Canonical association: element i goes to accumulator lane i % 4;
+  // lanes combine (a0+a1)+(a2+a3). The AVX2/NEON variants realize the
+  // same lanes as vector elements, so their results are bit-identical.
+  double sw[4] = {0.0, 0.0, 0.0, 0.0};
+  double sw2[4] = {0.0, 0.0, 0.0, 0.0};
+  double swv[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t l = i % 4;
+    const double wi = w[i];
+    sw[l] += wi;
+    sw2[l] += wi * wi;
+    if (v != nullptr) swv[l] += wi * v[i];
+  }
+  sums[0] += (sw[0] + sw[1]) + (sw[2] + sw[3]);
+  sums[1] += (sw2[0] + sw2[1]) + (sw2[2] + sw2[3]);
+  if (v != nullptr) sums[2] += (swv[0] + swv[1]) + (swv[2] + swv[3]);
+}
+
+void fft_stage(double* reim, const double* tw, std::size_t n,
+               std::size_t len) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    double* blk = reim + 2 * i;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double wr = tw[2 * k];
+      const double wi = tw[2 * k + 1];
+      double* lo = blk + 2 * k;
+      double* hi = blk + 2 * (k + half);
+      const double ur = lo[0];
+      const double ui = lo[1];
+      const double vr = hi[0] * wr - hi[1] * wi;
+      const double vi = hi[0] * wi + hi[1] * wr;
+      lo[0] = ur + vr;
+      lo[1] = ui + vi;
+      hi[0] = ur - vr;
+      hi[1] = ui - vi;
+    }
+  }
+}
+
+void exp_batch(const double* x, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_one(x[i]);
+}
+
+void log_batch(const double* x, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = log_one(x[i]);
+}
+
+}  // namespace scalar
+
+const Kernels& scalar_kernels() noexcept {
+  static const Kernels k = {
+      Backend::kScalar,       scalar::fill_uniform4, scalar::quantile,
+      scalar::max_reduce,     scalar::find_below,    scalar::greater_mask,
+      scalar::count_ge4,      scalar::scale,         scalar::weighted_sums,
+      scalar::fft_stage,      scalar::exp_batch,     scalar::log_batch,
+  };
+  return k;
+}
+
+}  // namespace ntv::simd::detail

@@ -1,0 +1,146 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace ntv::simd {
+
+namespace {
+
+const Kernels* table_for(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar:
+      return &detail::scalar_kernels();
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return &detail::avx2_kernels();
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#if defined(__aarch64__)
+      return &detail::neon_kernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+unsigned usable_mask() noexcept {
+  return compiled_mask() & supported_mask();
+}
+
+/// Resolves the startup backend: $NTV_SIMD wins (hard error when it names
+/// a backend this build/CPU cannot run — CI forces backends and must
+/// never silently fall back to a different one), else widest usable.
+const Kernels* resolve_initial() noexcept {
+  const char* env = std::getenv("NTV_SIMD");
+  if (env != nullptr && *env != '\0' &&
+      std::strcmp(env, "auto") != 0) {
+    const auto parsed = parse_backend(env);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "ntv: NTV_SIMD=%s is not a known backend "
+                   "(scalar|avx2|neon|auto)\n",
+                   env);
+      std::exit(2);
+    }
+    const Kernels* t =
+        (mask_of(*parsed) & usable_mask()) != 0 ? table_for(*parsed)
+                                                : nullptr;
+    if (t == nullptr) {
+      std::fprintf(stderr,
+                   "ntv: NTV_SIMD=%s requests a backend this %s\n", env,
+                   (mask_of(*parsed) & compiled_mask()) == 0
+                       ? "binary was not built with"
+                       : "CPU does not support");
+      std::exit(2);
+    }
+    return t;
+  }
+  return table_for(select_backend(usable_mask()));
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* active_table() noexcept {
+  const Kernels* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: every thread resolves the same table.
+    t = resolve_initial();
+    g_active.store(t, std::memory_order_release);
+  }
+  return t;
+}
+
+}  // namespace
+
+std::string_view to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "neon") return Backend::kNeon;
+  return std::nullopt;
+}
+
+unsigned compiled_mask() noexcept {
+  unsigned mask = mask_of(Backend::kScalar);
+#if defined(__x86_64__) || defined(_M_X64)
+  mask |= mask_of(Backend::kAvx2);
+#endif
+#if defined(__aarch64__)
+  mask |= mask_of(Backend::kNeon);
+#endif
+  return mask;
+}
+
+unsigned supported_mask() noexcept {
+  unsigned mask = mask_of(Backend::kScalar);
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) mask |= mask_of(Backend::kAvx2);
+#endif
+#if defined(__aarch64__)
+  // NEON is mandatory in AArch64.
+  mask |= mask_of(Backend::kNeon);
+#endif
+  return mask;
+}
+
+Backend select_backend(unsigned mask) noexcept {
+  if ((mask & mask_of(Backend::kAvx2)) != 0) return Backend::kAvx2;
+  if ((mask & mask_of(Backend::kNeon)) != 0) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+Backend active_backend() noexcept { return active_table()->backend; }
+
+bool force_backend(Backend backend) noexcept {
+  if ((mask_of(backend) & usable_mask()) == 0) return false;
+  g_active.store(table_for(backend), std::memory_order_release);
+  return true;
+}
+
+const Kernels& kernels() noexcept { return *active_table(); }
+
+const Kernels* kernels_for(Backend backend) noexcept {
+  if ((mask_of(backend) & compiled_mask()) == 0) return nullptr;
+  return table_for(backend);
+}
+
+}  // namespace ntv::simd

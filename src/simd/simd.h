@@ -1,0 +1,172 @@
+// Portable SIMD kernel layer with runtime dispatch.
+//
+// The Monte Carlo hot loops — xoshiro substream generation, guide-table
+// inverse-CDF lookups, max-reductions and weighted accumulation — are
+// structure-of-arrays passes over contiguous doubles: exactly the shape
+// the simulated SIMD machine itself exploits. This layer provides one
+// kernel table per backend (scalar reference, AVX2, NEON) and resolves
+// the widest supported one once at startup.
+//
+// The non-negotiable contract is BYTE-IDENTITY: every backend must
+// produce bit-identical output to the scalar reference for every kernel
+// (tests/simd enforces it per kernel and end-to-end). Three rules make
+// that tractable:
+//
+//  1. Elementwise IEEE arithmetic (mul/add/sub/div/min/max/compare) is
+//     identical per lane on every backend, so kernels are free to
+//     vectorize any elementwise chain. FMA contraction would break this
+//     (one rounding instead of two), so every TU in this directory is
+//     compiled with -ffp-contract=off and the AVX2 kernels use only
+//     non-FMA intrinsics.
+//  2. libm stays SCALAR everywhere (no vector exp/log/pow — their
+//     rounding is library-specific); callers do libm passes outside the
+//     kernels.
+//  3. Reductions fix ONE association order — four parallel accumulators
+//     combined as (a0+a1)+(a2+a3) — defined by the scalar reference and
+//     reproduced exactly by the wide backends.
+//
+// Dispatch: resolved once from $NTV_SIMD ("scalar" / "avx2" / "neon" /
+// "auto", default auto = widest supported) or forced programmatically
+// via force_backend() (the --simd flag of the bench/CLI binaries).
+// Forcing a backend the CPU cannot run is a hard error at the CLI
+// boundary and a soft failure (returns false) in force_backend, so tests
+// can probe the fallback chain. -march flags are confined to the kernel
+// TUs (simd_avx2.cc), so the binary still runs on baseline hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ntv::simd {
+
+/// Instruction-set backends, narrowest first. kScalar is always
+/// available and is the reference all other backends must match bit for
+/// bit.
+enum class Backend { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// "scalar" / "avx2" / "neon".
+std::string_view to_string(Backend backend) noexcept;
+
+/// Inverse of to_string ("auto" and unknown names yield std::nullopt).
+std::optional<Backend> parse_backend(std::string_view name) noexcept;
+
+/// Bit for Backend b in the support/compiled masks below.
+constexpr unsigned mask_of(Backend b) noexcept {
+  return 1u << static_cast<unsigned>(b);
+}
+
+/// Backends whose kernel TUs were compiled into this binary.
+unsigned compiled_mask() noexcept;
+
+/// Backends this CPU can execute (runtime CPUID probe; always includes
+/// kScalar). Intersect with compiled_mask() for usable backends.
+unsigned supported_mask() noexcept;
+
+/// The fallback-chain policy, as a pure function of an availability mask
+/// (unit-testable without touching CPUID): picks the widest backend
+/// present in `mask`, scalar when nothing wider is available.
+Backend select_backend(unsigned mask) noexcept;
+
+/// The backend the kernel table currently dispatches to. Resolved once
+/// on first use: $NTV_SIMD if set (a hard process error when it names a
+/// backend this build/CPU cannot run — CI forces backends and must never
+/// silently test the wrong one), else select_backend(compiled & supported).
+Backend active_backend() noexcept;
+
+/// Forces the active backend. Returns false (and changes nothing) when
+/// `backend` is not compiled in or not supported by this CPU. Callers
+/// own the error handling — the CLI treats false as a fatal flag error,
+/// tests use it to probe each compiled-in backend.
+bool force_backend(Backend backend) noexcept;
+
+/// Raw view over a GridDistribution's quantile tables (CDF + guide).
+/// The kernel contract mirrors GridDistribution::quantile_index exactly:
+/// bucket start, one backward step per float-rounding promotion, forward
+/// scan counting probe steps.
+struct QuantileGrid {
+  const double* cdf = nullptr;          ///< cdf[i], size n, cdf[n-1] == 1.
+  std::size_t n = 0;
+  const std::uint32_t* guide = nullptr; ///< guide[j], j in [0, buckets].
+  double buckets = 0.0;                 ///< Bucket count as a double.
+  double lo = 0.0;
+  double step = 0.0;
+};
+
+/// One function-pointer table per backend. All kernels are pure
+/// (no hidden state) and byte-identical across backends.
+struct Kernels {
+  Backend backend = Backend::kScalar;
+
+  /// Four interleaved xoshiro256++ lanes: `state` is 16 words laid out
+  /// state[word*4 + lane]; writes out[4*t + lane] = lane's t-th uniform
+  /// in [0,1) (the same (next() >> 11) * 2^-53 mapping as
+  /// Xoshiro256pp::uniform). n must be a multiple of 4.
+  void (*fill_uniform4)(std::uint64_t* state, double* out, std::size_t n);
+
+  /// out[i] = inverse CDF of u[i] with linear interpolation (the
+  /// GridDistribution::quantile_impl algorithm, including the
+  /// [1e-300, 1] clamp). *scans accumulates forward probe steps — the
+  /// count must match the scalar reference exactly (it feeds the
+  /// stats.quantile.scans counter).
+  void (*quantile)(const QuantileGrid& g, const double* u, double* out,
+                   std::size_t n, std::size_t* scans);
+
+  /// max(x[0..n)); -inf for n == 0. Exact for any association.
+  double (*max_reduce)(const double* x, std::size_t n);
+
+  /// Index of the first element with x[i] < threshold, or n.
+  std::size_t (*find_below)(const double* x, std::size_t n, double threshold);
+
+  /// mask[i] = (x[i] > threshold) ? 1 : 0.
+  void (*greater_mask)(const double* x, std::size_t n, double threshold,
+                       std::uint8_t* mask);
+
+  /// counts[k] += #{ i : x[i] >= knots[k] } for k in [0,4) — the
+  /// importance-ladder slow-draw counts.
+  void (*count_ge4)(const double* x, std::size_t n, const double* knots,
+                    std::size_t* counts);
+
+  /// x[i] *= s.
+  void (*scale)(double* x, std::size_t n, double s);
+
+  /// Weighted accumulation in the canonical 4-lane association:
+  /// sums[0] += sum w, sums[1] += sum w*w, sums[2] += sum w*v
+  /// (v may be null when only weight moments are needed). All backends
+  /// use four accumulators per sum, combined (a0+a1)+(a2+a3), with the
+  /// scalar tail folded into lane (i % 4).
+  void (*weighted_sums)(const double* v, const double* w, std::size_t n,
+                        double* sums);
+
+  /// One radix-2 FFT stage of size `len` over n interleaved (re,im)
+  /// pairs: for every block of len complex values, butterflies against
+  /// the len/2 twiddle pairs in `tw` (interleaved re,im). Elementwise
+  /// per butterfly, so vector variants are bit-identical.
+  void (*fft_stage)(double* reim, const double* tw, std::size_t n,
+                    std::size_t len);
+
+  /// out[i] = exp(x[i]) via a fixed cephes-style rational polynomial —
+  /// deliberately NOT libm (libm has no wide form and its rounding can
+  /// differ across libc builds). Every backend evaluates the identical
+  /// operation sequence, so results stay bit-identical across dispatch;
+  /// accuracy is ~2 ulp of the true value. Consumers are
+  /// tolerance-grade paths (the SPICE Newton stamps); the byte-gated
+  /// sampling artifacts keep calling scalar libm and never see this.
+  /// Precondition: x[i] is not NaN (+-inf map to inf / 0).
+  void (*exp_batch)(const double* x, std::size_t n, double* out);
+
+  /// out[i] = log(x[i]); contract as exp_batch. Precondition: x[i] is
+  /// finite and >= 0 (0 maps to -inf, negatives to NaN; denormal
+  /// inputs lose the usual gradual-underflow accuracy).
+  void (*log_batch)(const double* x, std::size_t n, double* out);
+};
+
+/// The kernel table of the active backend.
+const Kernels& kernels() noexcept;
+
+/// Kernel tables of specific backends, for cross-backend identity tests.
+/// Returns null when the backend is not compiled into this binary.
+const Kernels* kernels_for(Backend backend) noexcept;
+
+}  // namespace ntv::simd

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "simd/simd.h"
 #include "stats/fft.h"
 
 namespace ntv::stats {
@@ -167,23 +168,36 @@ obs::ShardedCounter& guide_scans_counter() {
 
 }  // namespace
 
+simd::QuantileGrid GridDistribution::grid_view() const noexcept {
+  return simd::QuantileGrid{cdf_.data(),          cdf_.size(),
+                            guide_.data(),        guide_buckets_,
+                            lo_,                  step_};
+}
+
 void GridDistribution::quantile_batch(std::span<const double> u,
                                       std::span<double> out) const {
   if (u.size() != out.size())
     throw std::invalid_argument("quantile_batch: size mismatch");
-  // Flat loop over raw pointers: `src` is const and `dst` points into a
-  // caller buffer distinct from this object's tables, so there is no
-  // aliasing barrier between iterations and the bucket lookup pipeline
-  // stays ahead of the interpolation.
-  const double* src = u.data();
-  double* dst = out.data();
+  // SoA pass through the SIMD kernel layer: the active backend (scalar /
+  // AVX2 / NEON) is byte-identical to the per-call quantile() — the
+  // scalar kernel IS quantile_impl, and the wide ones are bit-exact
+  // against it by the kernel-layer contract.
   std::size_t scans = 0;
-  for (std::size_t i = 0; i < u.size(); ++i) {
-    dst[i] = quantile_impl(src[i], scans);
-  }
+  simd::kernels().quantile(grid_view(), u.data(), out.data(), u.size(),
+                           &scans);
   guide_hits_counter().add(static_cast<std::int64_t>(u.size()));
   guide_scans_counter().add(static_cast<std::int64_t>(scans));
 }
+
+namespace {
+
+/// Per-thread staging buffer for max_quantile_batch's u^(1/k) pass.
+std::vector<double>& pow_scratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace
 
 void GridDistribution::max_quantile_batch(std::span<const double> u, int k,
                                           std::span<double> out) const {
@@ -193,14 +207,20 @@ void GridDistribution::max_quantile_batch(std::span<const double> u, int k,
     throw std::invalid_argument("max_quantile_batch: size mismatch");
   // Hoist the 1/k exponent; the per-sample pow stays (it is what defines
   // Q_max(u) = Q(u^(1/k)) and must round identically to the scalar path).
+  // libm pow is kept OUT of the kernel layer (byte-identity rule 2): the
+  // clamp+pow pass runs scalar into a staging buffer, then the shared
+  // quantile kernel consumes it — value-identical to the fused loop and
+  // bit-identical across backends.
   const double exponent = 1.0 / static_cast<double>(k);
   const double* src = u.data();
-  double* dst = out.data();
-  std::size_t scans = 0;
+  std::vector<double>& scratch = pow_scratch();
+  scratch.resize(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) {
-    const double ui = std::clamp(src[i], 1e-300, 1.0);
-    dst[i] = quantile_impl(std::pow(ui, exponent), scans);
+    scratch[i] = std::pow(std::clamp(src[i], 1e-300, 1.0), exponent);
   }
+  std::size_t scans = 0;
+  simd::kernels().quantile(grid_view(), scratch.data(), out.data(),
+                           u.size(), &scans);
   guide_hits_counter().add(static_cast<std::int64_t>(u.size()));
   guide_scans_counter().add(static_cast<std::int64_t>(scans));
 }

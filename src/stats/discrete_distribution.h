@@ -18,6 +18,10 @@
 #include <span>
 #include <vector>
 
+namespace ntv::simd {
+struct QuantileGrid;
+}
+
 namespace ntv::stats {
 
 /// Immutable discretized distribution over [lo, lo + (bins-1)*step].
@@ -96,6 +100,9 @@ class GridDistribution {
 
   /// Shared scalar kernel behind quantile()/quantile_batch().
   double quantile_impl(double u, std::size_t& scans) const noexcept;
+
+  /// Raw view over the CDF + guide tables for the SIMD kernel layer.
+  simd::QuantileGrid grid_view() const noexcept;
 
   /// Builds the u-bucket -> CDF-index guide table (called once, from the
   /// constructor, right after the CDF is finalized).

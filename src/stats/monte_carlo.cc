@@ -21,6 +21,10 @@ Xoshiro256pp substream(std::uint64_t seed, std::size_t index) {
   return Xoshiro256pp(mixer.next());
 }
 
+Xoshiro256ppX4 substream4(std::uint64_t seed, std::size_t index) {
+  return Xoshiro256ppX4(seed ^ (0xA24BAED4963EE407ULL * (index + 1)));
+}
+
 std::vector<double> monte_carlo(
     std::size_t n, const std::function<double(Xoshiro256pp&)>& sampler,
     const MonteCarloOptions& opt) {
@@ -58,7 +62,7 @@ std::vector<double> monte_carlo_blocks(
   // Fixed-size blocks keep the sample->substream assignment independent of
   // the worker count: block b covers rows [b*kBlock, min(n,(b+1)*kBlock)),
   // and each block re-derives its RNG from (seed, b) alone.
-  constexpr std::size_t kBlock = 64;
+  constexpr std::size_t kBlock = kMonteCarloBlock;
   const std::size_t blocks = (n + kBlock - 1) / kBlock;
 
   static obs::Counter& runs_metric = obs::counter("mc.runs");

@@ -68,4 +68,18 @@ int resolved_thread_count(int requested = 0);
 /// runner would generate.
 Xoshiro256pp substream(std::uint64_t seed, std::size_t index);
 
+/// Block size of monte_carlo_blocks: block b covers rows
+/// [b*kMonteCarloBlock, (b+1)*kMonteCarloBlock). Exposed so SoA block
+/// samplers can size per-block scratch buffers once.
+inline constexpr std::size_t kMonteCarloBlock = 64;
+
+/// Four-lane SIMD substream for block `index`: lane 0 is seeded exactly
+/// like substream(seed, index) (the same SplitMix64 mixer, first draw),
+/// lanes 1-3 from the mixer's next three draws. Block samplers that fill
+/// their uniforms through this generator consume a DIFFERENT stream than
+/// a row-at-a-time substream() loop — the wide layout is part of the
+/// sampling contract (fixed per block, so results remain independent of
+/// thread count and dispatch backend).
+Xoshiro256ppX4 substream4(std::uint64_t seed, std::size_t index);
+
 }  // namespace ntv::stats

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
+
 namespace ntv::stats {
 
 namespace {
@@ -84,6 +86,20 @@ double Xoshiro256pp::normal() noexcept {
 
 double Xoshiro256pp::normal(double mean, double stddev) noexcept {
   return mean + stddev * normal();
+}
+
+Xoshiro256ppX4::Xoshiro256ppX4(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    SplitMix64 sm(mixer.next());
+    for (std::size_t word = 0; word < 4; ++word) {
+      state_[word * 4 + lane] = sm.next();
+    }
+  }
+}
+
+void Xoshiro256ppX4::fill_uniform(double* out, std::size_t n) noexcept {
+  simd::kernels().fill_uniform4(state_.data(), out, n);
 }
 
 std::uint64_t Xoshiro256pp::bounded(std::uint64_t bound) noexcept {

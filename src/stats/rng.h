@@ -70,4 +70,26 @@ class Xoshiro256pp {
   bool has_cached_normal_ = false;
 };
 
+/// Four xoshiro256++ generators in lockstep, seeded from one 64-bit seed
+/// the same way four consecutive Xoshiro256pp instances would be: lane l
+/// is Xoshiro256pp(mixer.next()'s l-th draw). Generates uniforms four at
+/// a time through the SIMD kernel layer in interleaved order
+/// out[4*t + lane], which is the SoA layout the block samplers consume.
+class Xoshiro256ppX4 {
+ public:
+  /// Seeds lane l from the l-th draw of SplitMix64(seed), then expands
+  /// each lane's 256-bit state via SplitMix64 exactly like the
+  /// Xoshiro256pp constructor; lane 0 therefore equals
+  /// Xoshiro256pp(SplitMix64(seed).next()).
+  explicit Xoshiro256ppX4(std::uint64_t seed) noexcept;
+
+  /// Fills out[0..n) with uniforms in [0,1), n a multiple of 4, in
+  /// lane-interleaved order: out[4*t + l] is lane l's t-th draw.
+  void fill_uniform(double* out, std::size_t n) noexcept;
+
+ private:
+  // state_[word*4 + lane] — the layout the fill_uniform4 kernel expects.
+  std::array<std::uint64_t, 16> state_{};
+};
+
 }  // namespace ntv::stats

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "simd/simd.h"
 #include "stats/percentile.h"
 
 namespace ntv::stats {
@@ -101,6 +102,93 @@ double ScrambledSobol::point(std::uint64_t index, int dim) const noexcept {
   return static_cast<double>(x) * 0x1p-32;
 }
 
+namespace {
+
+constexpr int kLadder = SamplingPlan::kTiltLadder;
+static_assert(kLadder == 4,
+              "the count_ge4 SIMD kernel counts against exactly 4 knots");
+
+/// Rung knots and tilted slow-piece probabilities for a row of dimension
+/// `dim`. Shared by the row and block planners so both apply bit-equal
+/// transforms; the estimator math is documented at the kImportance branch
+/// of plan_row_uniforms.
+struct TiltLadder {
+  double w_total = 0.0;
+  double q0[kLadder];  ///< Naive probability of the slow piece [c_k, 1).
+  double q[kLadder];   ///< Tilted probability of the slow piece.
+  double ck[kLadder];  ///< Knot of rung k.
+};
+
+TiltLadder make_tilt_ladder(const SamplingPlan& plan, double dim) {
+  // Tail probabilities geometrically spaced around 1 - tilt_knot, widest
+  // rung first (q0 descending => knots c_k ascending).
+  static constexpr double kKnotSpread[kLadder] = {6.0, 2.4, 1.0, 0.3};
+  TiltLadder t;
+  t.w_total = std::clamp(plan.tilt_weight, 0.0, 0.95);
+  const double q_center = std::clamp(1.0 - plan.tilt_knot, 1e-4, 0.5);
+  const double z = std::max(plan.tilt_power, 0.0);
+  for (int k = 0; k < kLadder; ++k) {
+    t.q0[k] = std::min(q_center * kKnotSpread[k], 0.45);
+    t.ck[k] = 1.0 - t.q0[k];
+    const double rho =
+        1.0 + z * std::sqrt((1.0 - t.q0[k]) / (dim * t.q0[k]));
+    t.q[k] = std::min(rho * t.q0[k], 0.5 * (1.0 + t.q0[k]));
+  }
+  return t;
+}
+
+/// Deterministic stratified allocation of rows to mixture components:
+/// row i owns selector position s_i = (i + 0.5)/n, components own
+/// consecutive s-intervals (rungs first, the defensive naive block
+/// last). Returns the rung index, or -1 for the naive block.
+int tilt_component(double w_total, std::size_t row, std::size_t nr) {
+  const double s =
+      (static_cast<double>(row) + 0.5) / static_cast<double>(nr);
+  if (s < w_total && w_total > 0.0) {
+    return std::min(static_cast<int>(s / (w_total / kLadder)),
+                    kLadder - 1);
+  }
+  return -1;
+}
+
+/// Balance-heuristic likelihood-ratio weight of a row from its slow-draw
+/// counts m_k = #{u_j >= c_k} (the sufficient statistic of every rung's
+/// density). Uses the REALIZED per-component row fractions, so the
+/// estimator is exactly unbiased with deterministic sample counts.
+double tilt_row_weight(const TiltLadder& t, const std::size_t m[kLadder],
+                       double dim, std::size_t nr) {
+  const double n_total = static_cast<double>(nr);
+  auto below = [nr](double b) {
+    // #{i in [0, nr): (i + 0.5)/nr < b}
+    const double x = b * static_cast<double>(nr) - 0.5;
+    const double cnt = std::ceil(x);
+    return static_cast<double>(
+        std::clamp(cnt, 0.0, static_cast<double>(nr)));
+  };
+  // log prod_j g_k(u_j) = m_k log(q_k/q0_k) + (d-m_k) log((1-q_k)/c_k);
+  // exp is clamped so deep-tail rows underflow to weight ~0 instead of
+  // overflowing g (they carry negligible f-mass anyway).
+  double tilted_rows = 0.0;
+  double g = 0.0;
+  for (int k = 0; k < kLadder; ++k) {
+    const double lo =
+        t.w_total * static_cast<double>(k) / static_cast<double>(kLadder);
+    const double hi = t.w_total * static_cast<double>(k + 1) /
+                      static_cast<double>(kLadder);
+    const double frac = (below(hi) - below(lo)) / n_total;
+    tilted_rows += frac;
+    if (frac <= 0.0) continue;
+    const double md = static_cast<double>(m[k]);
+    const double log_r = md * std::log(t.q[k] / t.q0[k]) +
+                         (dim - md) * std::log((1.0 - t.q[k]) / t.ck[k]);
+    g += frac * std::exp(std::min(log_r, 700.0));
+  }
+  g += 1.0 - tilted_rows;  // The defensive naive block.
+  return 1.0 / g;
+}
+
+}  // namespace
+
 double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
                          std::size_t row, std::size_t n_rows,
                          std::span<double> u, const ScrambledSobol* qmc) {
@@ -155,51 +243,16 @@ double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
       // Weights stay in (0, 1/(1-w)]: bounded above by the defensive
       // naive component, and decreasing in the counts — exactly the
       // proper-IS correlation.
-      constexpr int K = SamplingPlan::kTiltLadder;
-      // Tail probabilities geometrically spaced around 1 - tilt_knot,
-      // widest rung first (q0 descending => knots c_k ascending).
-      static constexpr double kKnotSpread[K] = {6.0, 2.4, 1.0, 0.3};
-      const double w_total = std::clamp(plan.tilt_weight, 0.0, 0.95);
-      const double q_center = std::clamp(1.0 - plan.tilt_knot, 1e-4, 0.5);
-      const double z = std::max(plan.tilt_power, 0.0);
       const double dim = std::max<double>(u.size(), 1);
-      double q0[K];  // Naive probability of the slow piece [c_k, 1).
-      double q[K];   // Tilted probability of the slow piece.
-      double ck[K];  // Knot of rung k.
-      for (int k = 0; k < K; ++k) {
-        q0[k] = std::min(q_center * kKnotSpread[k], 0.45);
-        ck[k] = 1.0 - q0[k];
-        const double rho = 1.0 + z * std::sqrt((1.0 - q0[k]) / (dim * q0[k]));
-        q[k] = std::min(rho * q0[k], 0.5 * (1.0 + q0[k]));
-      }
-      // Deterministic stratified allocation of rows to components: row i
-      // owns selector position s_i = (i + 0.5) / n, components own
-      // consecutive s-intervals (rungs first, the defensive naive block
-      // last). Balance-heuristic weights below use the REALIZED component
-      // fractions, so the estimator is exactly unbiased (multiple
-      // importance sampling with deterministic sample counts) and the
-      // multinomial noise of a randomized selector — which would land in
-      // the denominator of every self-normalized estimate — is gone.
+      const TiltLadder t = make_tilt_ladder(plan, dim);
       const std::size_t nr = std::max<std::size_t>(n_rows, 1);
-      auto below = [nr](double b) {
-        // #{i in [0, nr): (i + 0.5)/nr < b}
-        const double x = b * static_cast<double>(nr) - 0.5;
-        const double cnt = std::ceil(x);
-        return static_cast<double>(
-            std::clamp(cnt, 0.0, static_cast<double>(nr)));
-      };
-      const double s = (static_cast<double>(row) + 0.5) /
-                       static_cast<double>(nr);
-      const int comp =
-          s < w_total && w_total > 0.0
-              ? std::min(static_cast<int>(s / (w_total / K)), K - 1)
-              : -1;
+      const int comp = tilt_component(t.w_total, row, nr);
       if (comp < 0) {
         for (double& x : u) x = rng.uniform();
       } else {
-        const double qc = q[comp];
-        const double q0c = q0[comp];
-        const double cc = ck[comp];
+        const double qc = t.q[comp];
+        const double q0c = t.q0[comp];
+        const double cc = t.ck[comp];
         for (double& x : u) {
           const double r = rng.uniform();
           x = r < qc ? cc + q0c * (r / qc) : cc * (r - qc) / (1.0 - qc);
@@ -207,33 +260,11 @@ double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
       }
       // Slow-draw counts against every knot (each rung's density of THIS
       // row is needed for the mixture, whichever rung drew it).
-      std::size_t m[K] = {};
+      std::size_t m[kLadder] = {};
       for (const double x : u) {
-        for (int k = 0; k < K; ++k) m[k] += x >= ck[k];
+        for (int k = 0; k < kLadder; ++k) m[k] += x >= t.ck[k];
       }
-      // log prod_j g_k(u_j) = m_k log(q_k/q0_k) + (d-m_k) log((1-q_k)/c_k);
-      // exp is clamped so deep-tail rows underflow to weight ~0 instead
-      // of overflowing g (they carry negligible f-mass anyway). g mixes
-      // with the REALIZED per-component row fractions (see above).
-      const double n_total = static_cast<double>(nr);
-      double tilted_rows = 0.0;
-      double g = 0.0;
-      for (int k = 0; k < K; ++k) {
-        const double lo = w_total * static_cast<double>(k) /
-                          static_cast<double>(K);
-        const double hi = w_total * static_cast<double>(k + 1) /
-                          static_cast<double>(K);
-        const double frac = (below(hi) - below(lo)) / n_total;
-        tilted_rows += frac;
-        if (frac <= 0.0) continue;
-        const double md = static_cast<double>(m[k]);
-        const double log_r =
-            md * std::log(q[k] / q0[k]) +
-            (dim - md) * std::log((1.0 - q[k]) / ck[k]);
-        g += frac * std::exp(std::min(log_r, 700.0));
-      }
-      g += 1.0 - tilted_rows;  // The defensive naive block.
-      return 1.0 / g;
+      return tilt_row_weight(t, m, dim, nr);
     }
     case SamplingStrategy::kQmc: {
       for (std::size_t j = 0; j < u.size(); ++j) {
@@ -247,6 +278,72 @@ double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
     }
   }
   return 1.0;
+}
+
+void plan_block_uniforms(const SamplingPlan& plan, Xoshiro256ppX4& rng,
+                         std::size_t lo, std::size_t hi, std::size_t n_rows,
+                         std::size_t width, std::vector<double>& u,
+                         double* weights, const ScrambledSobol* qmc) {
+  const std::size_t rows = hi - lo;
+  const std::size_t total = rows * width;
+  // fill_uniform4 produces four lanes per step; the (deterministic) pad
+  // draws beyond `total` are part of the block's stream contract.
+  const std::size_t padded = (total + 3) & ~std::size_t{3};
+  if (u.size() < padded) u.resize(padded);
+  rng.fill_uniform(u.data(), padded);
+  if (weights != nullptr) std::fill(weights, weights + rows, 1.0);
+  switch (plan.strategy) {
+    case SamplingStrategy::kNaive:
+      break;
+    case SamplingStrategy::kStratified: {
+      if (width == 0 || n_rows == 0) break;
+      for (std::size_t r = lo; r < hi; ++r) {
+        double& u0 = u[(r - lo) * width];
+        u0 = (static_cast<double>(r) + u0) / static_cast<double>(n_rows);
+      }
+      break;
+    }
+    case SamplingStrategy::kImportance: {
+      const double dim = std::max<double>(width, 1);
+      const TiltLadder t = make_tilt_ladder(plan, dim);
+      const std::size_t nr = std::max<std::size_t>(n_rows, 1);
+      for (std::size_t r = lo; r < hi; ++r) {
+        double* row_u = u.data() + (r - lo) * width;
+        const int comp = tilt_component(t.w_total, r, nr);
+        if (comp >= 0) {
+          const double qc = t.q[comp];
+          const double q0c = t.q0[comp];
+          const double cc = t.ck[comp];
+          for (std::size_t j = 0; j < width; ++j) {
+            const double rr = row_u[j];
+            row_u[j] = rr < qc ? cc + q0c * (rr / qc)
+                               : cc * (rr - qc) / (1.0 - qc);
+          }
+        }
+        if (weights != nullptr) {
+          // Slow-draw counts against the full knot ladder, via the wide
+          // kernel (comparisons are exact, so backends agree bit for bit).
+          std::size_t m[kLadder] = {};
+          simd::kernels().count_ge4(row_u, width, t.ck, m);
+          weights[r - lo] = tilt_row_weight(t, m, dim, nr);
+        }
+      }
+      break;
+    }
+    case SamplingStrategy::kQmc: {
+      // Positional overwrite of the Sobol dimensions (the displaced X4
+      // draws are deterministic, so the stream contract holds).
+      const std::size_t dims =
+          std::min<std::size_t>(ScrambledSobol::kDims, width);
+      for (std::size_t r = lo; r < hi; ++r) {
+        double* row_u = u.data() + (r - lo) * width;
+        for (std::size_t j = 0; j < dims; ++j) {
+          row_u[j] = qmc->point(r, static_cast<int>(j));
+        }
+      }
+      break;
+    }
+  }
 }
 
 WeightedSamples monte_carlo_planned(
@@ -284,13 +381,13 @@ double WeightedSamples::ess() const {
 }
 
 double effective_sample_size(std::span<const double> weights) {
-  double sum = 0.0, sum2 = 0.0;
-  for (double w : weights) {
-    sum += w;
-    sum2 += w * w;
-  }
-  if (sum2 <= 0.0) return 0.0;
-  return sum * sum / sum2;
+  // Four-lane kernel accumulation: the (a0+a1)+(a2+a3) association is
+  // the canonical one, identical on every backend.
+  double sums[3] = {0.0, 0.0, 0.0};
+  simd::kernels().weighted_sums(nullptr, weights.data(), weights.size(),
+                                sums);
+  if (sums[1] <= 0.0) return 0.0;
+  return sums[0] * sums[0] / sums[1];
 }
 
 double weighted_mean(std::span<const double> values,
@@ -301,14 +398,12 @@ double weighted_mean(std::span<const double> values,
   }
   if (weights.size() != values.size())
     throw std::invalid_argument("weighted_mean: size mismatch");
-  double num = 0.0, den = 0.0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    num += weights[i] * values[i];
-    den += weights[i];
-  }
-  if (den <= 0.0)
+  double sums[3] = {0.0, 0.0, 0.0};
+  simd::kernels().weighted_sums(values.data(), weights.data(),
+                                values.size(), sums);
+  if (sums[0] <= 0.0)
     throw std::invalid_argument("weighted_mean: non-positive weight sum");
-  return num / den;
+  return sums[2] / sums[0];
 }
 
 double weighted_mean_ci_halfwidth(std::span<const double> values,

@@ -144,6 +144,26 @@ double plan_row_uniforms(const SamplingPlan& plan, Xoshiro256pp& rng,
                          std::span<double> u,
                          const ScrambledSobol* qmc = nullptr);
 
+/// SoA block variant of plan_row_uniforms, feeding the SIMD kernels
+/// directly: fills the uniforms of rows [lo, hi) into the flat buffer
+/// `u` (row r occupies u[(r-lo)*width, (r-lo+1)*width)) from a four-lane
+/// substream4 generator, then applies the plan's per-row transform in
+/// place and writes each row's likelihood-ratio weight to
+/// weights[r - lo] (weights may be null for unweighted plans).
+///
+/// The uniform stream is the X4 generator's interleaved output consumed
+/// contiguously — a DIFFERENT stream than hi-lo plan_row_uniforms calls
+/// on a scalar substream, but a deterministic function of (seed, block)
+/// alone, so results are independent of thread count and dispatch
+/// backend (the fill_uniform4 kernel is byte-identical across backends).
+/// `u` is resized internally (the fill pads to a multiple of four; the
+/// pad draws are part of the stream contract).
+void plan_block_uniforms(const SamplingPlan& plan, Xoshiro256ppX4& rng,
+                         std::size_t lo, std::size_t hi, std::size_t n_rows,
+                         std::size_t width, std::vector<double>& u,
+                         double* weights,
+                         const ScrambledSobol* qmc = nullptr);
+
 /// A Monte Carlo sample with optional likelihood-ratio weights. An empty
 /// weights vector means every sample has unit weight (the unweighted
 /// plans leave it empty so downstream code keeps its exact historical

@@ -58,6 +58,34 @@ TEST(ChipDelaySampler, ChipDelayCurveMatchesDirectComputation) {
   }
 }
 
+TEST(ChipDelaySampler, CurvesBlockMatchesPerChipCalls) {
+  // The 4-way interleaved block extraction must be bit-identical to the
+  // one-chip-at-a-time path for any chip count (odd counts exercise the
+  // remainder loop).
+  const ChipDelaySampler sampler(model90(), 0.6);
+  stats::Xoshiro256pp rng(7);
+  const int width = 128;
+  const std::size_t row_width = 128 + 32;
+  const std::size_t n_alpha = row_width - width + 1;
+  for (std::size_t n_chips : {1u, 3u, 4u, 5u, 7u, 11u}) {
+    std::vector<double> rows(n_chips * row_width);
+    sampler.sample_lanes(rng, rows);
+    std::vector<double> block(n_chips * n_alpha);
+    ChipDelaySampler::chip_delay_curves_block(rows.data(), n_chips,
+                                              row_width, width,
+                                              block.data(), n_alpha);
+    std::vector<double> single(n_alpha);
+    for (std::size_t c = 0; c < n_chips; ++c) {
+      ChipDelaySampler::chip_delay_curve_into(
+          {rows.data() + c * row_width, row_width}, width, single);
+      for (std::size_t a = 0; a < n_alpha; ++a) {
+        ASSERT_EQ(block[c * n_alpha + a], single[a])
+            << "chips=" << n_chips << " chip=" << c << " alpha=" << a;
+      }
+    }
+  }
+}
+
 TEST(ChipDelaySampler, CurveIsNonIncreasing) {
   const ChipDelaySampler sampler(model90(), 0.55);
   stats::Xoshiro256pp rng(2);

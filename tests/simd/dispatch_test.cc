@@ -1,0 +1,110 @@
+#include "simd/simd.h"
+
+#include <gtest/gtest.h>
+
+namespace ntv::simd {
+namespace {
+
+/// Restores the dispatch table the fixture found, so force_backend tests
+/// cannot leak a narrower backend into later tests of this binary.
+class BackendRestorer {
+ public:
+  BackendRestorer() : saved_(active_backend()) {}
+  ~BackendRestorer() { force_backend(saved_); }
+
+ private:
+  Backend saved_;
+};
+
+TEST(Dispatch, ToStringParseRoundTrip) {
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    const auto parsed = parse_backend(to_string(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(Dispatch, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_backend("auto").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("AVX2").has_value());
+  EXPECT_FALSE(parse_backend("sse2").has_value());
+}
+
+TEST(Dispatch, MasksAlwaysIncludeScalar) {
+  EXPECT_NE(compiled_mask() & mask_of(Backend::kScalar), 0u);
+  EXPECT_NE(supported_mask() & mask_of(Backend::kScalar), 0u);
+}
+
+TEST(Dispatch, SelectBackendPrefersWidestAvailable) {
+  const unsigned scalar = mask_of(Backend::kScalar);
+  const unsigned avx2 = mask_of(Backend::kAvx2);
+  const unsigned neon = mask_of(Backend::kNeon);
+  EXPECT_EQ(select_backend(scalar | avx2 | neon), Backend::kAvx2);
+  EXPECT_EQ(select_backend(scalar | avx2), Backend::kAvx2);
+  EXPECT_EQ(select_backend(scalar | neon), Backend::kNeon);
+  EXPECT_EQ(select_backend(scalar), Backend::kScalar);
+}
+
+TEST(Dispatch, SelectBackendFallsBackToScalarWhenWideMasked) {
+  // The CPUID-fallback contract: with AVX2 (and NEON) masked out of the
+  // availability mask, dispatch lands on the scalar reference — never on
+  // an unusable wide table.
+  EXPECT_EQ(select_backend(0u), Backend::kScalar);
+  EXPECT_EQ(select_backend(mask_of(Backend::kScalar)), Backend::kScalar);
+}
+
+TEST(Dispatch, ScalarTableAlwaysPresent) {
+  const Kernels* t = kernels_for(Backend::kScalar);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->backend, Backend::kScalar);
+}
+
+TEST(Dispatch, TablesExistExactlyForCompiledBackends) {
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    const Kernels* t = kernels_for(b);
+    if ((compiled_mask() & mask_of(b)) != 0) {
+      ASSERT_NE(t, nullptr) << to_string(b);
+      EXPECT_EQ(t->backend, b);
+    } else {
+      EXPECT_EQ(t, nullptr) << to_string(b);
+    }
+  }
+}
+
+TEST(Dispatch, ActiveBackendIsUsable) {
+  const unsigned usable = compiled_mask() & supported_mask();
+  EXPECT_NE(mask_of(active_backend()) & usable, 0u);
+  EXPECT_EQ(kernels().backend, active_backend());
+}
+
+TEST(Dispatch, ForceBackendScalarSwitchesTheTable) {
+  BackendRestorer restore;
+  ASSERT_TRUE(force_backend(Backend::kScalar));
+  EXPECT_EQ(active_backend(), Backend::kScalar);
+  EXPECT_EQ(kernels().backend, Backend::kScalar);
+}
+
+TEST(Dispatch, ForceBackendRefusesUnusableBackends) {
+  BackendRestorer restore;
+  const Backend before = active_backend();
+  const unsigned usable = compiled_mask() & supported_mask();
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if ((usable & mask_of(b)) != 0) continue;
+    EXPECT_FALSE(force_backend(b)) << to_string(b);
+    EXPECT_EQ(active_backend(), before) << to_string(b);
+  }
+}
+
+TEST(Dispatch, ForceBackendAcceptsEveryUsableBackend) {
+  BackendRestorer restore;
+  const unsigned usable = compiled_mask() & supported_mask();
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    if ((usable & mask_of(b)) == 0) continue;
+    EXPECT_TRUE(force_backend(b)) << to_string(b);
+    EXPECT_EQ(active_backend(), b) << to_string(b);
+  }
+}
+
+}  // namespace
+}  // namespace ntv::simd

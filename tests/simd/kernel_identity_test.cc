@@ -1,0 +1,441 @@
+// Byte-identity property tests: every compiled-in backend must reproduce
+// the scalar reference bit for bit, kernel by kernel and end to end
+// (docs/SIMD.md). Comparisons are on bit patterns, never on EXPECT_DOUBLE
+// tolerances — the contract is identity, not closeness.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "arch/simd_timing.h"
+#include "device/dist_cache.h"
+#include "device/tech_node.h"
+#include "device/variation.h"
+#include "simd/simd.h"
+#include "stats/rng.h"
+
+namespace ntv::simd {
+namespace {
+
+std::vector<Backend> wide_backends() {
+  std::vector<Backend> out;
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (kernels_for(b) != nullptr) out.push_back(b);
+  }
+  return out;
+}
+
+void expect_same_bits(const std::vector<double>& a,
+                      const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << " diverges at element " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed,
+                                   double lo = 0.0, double hi = 1.0) {
+  stats::Xoshiro256pp rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = lo + (hi - lo) * rng.uniform();
+  return out;
+}
+
+TEST(KernelIdentity, FillUniform4) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {4u, 8u, 12u, 64u, 1020u}) {
+      // Identical (arbitrary nonzero) xoshiro states for both backends.
+      std::uint64_t state_a[16], state_b[16];
+      for (int i = 0; i < 16; ++i) {
+        state_a[i] = 0x9E3779B97F4A7C15ULL * (i + 1) ^ 0xD1E7C0DE5EEDULL;
+        state_b[i] = state_a[i];
+      }
+      std::vector<double> out_a(n), out_b(n);
+      ref.fill_uniform4(state_a, out_a.data(), n);
+      wide.fill_uniform4(state_b, out_b.data(), n);
+      expect_same_bits(out_a, out_b, to_string(b).data());
+      // The advanced generator state must agree too, or the NEXT block
+      // would diverge.
+      EXPECT_EQ(std::memcmp(state_a, state_b, sizeof(state_a)), 0);
+    }
+  }
+}
+
+/// Hand-built quantile grid exercising the guide-walk correction paths.
+struct TestGrid {
+  std::vector<double> cdf;
+  std::vector<std::uint32_t> guide;
+  QuantileGrid view;
+
+  explicit TestGrid(std::size_t n, std::size_t buckets) {
+    cdf.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i + 1) / static_cast<double>(n);
+      cdf[i] = (1.0 - std::exp(-3.0 * t)) / (1.0 - std::exp(-3.0));
+    }
+    cdf.back() = 1.0;
+    guide.resize(buckets + 1);
+    for (std::size_t j = 0; j <= buckets; ++j) {
+      const double u =
+          static_cast<double>(j) / static_cast<double>(buckets);
+      std::size_t idx = 0;
+      while (idx + 1 < n && cdf[idx] < u) ++idx;
+      guide[j] = static_cast<std::uint32_t>(idx);
+    }
+    view = QuantileGrid{cdf.data(),
+                        n,
+                        guide.data(),
+                        static_cast<double>(buckets),
+                        2.0,
+                        0.25};
+  }
+};
+
+TEST(KernelIdentity, QuantileValuesAndScanCounts) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  const TestGrid grid(257, 64);
+
+  std::vector<double> u = random_doubles(4099, 7);
+  // Edge cases: the clamp boundaries, exact knots (>= vs > in the walks),
+  // and values straddling bucket boundaries.
+  u.insert(u.end(), {0.0, 1e-320, 1e-300, 0.5, 1.0, 1.0 - 1e-16});
+  for (std::size_t i = 0; i < grid.cdf.size(); i += 17) u.push_back(grid.cdf[i]);
+
+  std::vector<double> out_ref(u.size());
+  std::size_t scans_ref = 0;
+  ref.quantile(grid.view, u.data(), out_ref.data(), u.size(), &scans_ref);
+
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    std::vector<double> out(u.size());
+    std::size_t scans = 0;
+    wide.quantile(grid.view, u.data(), out.data(), u.size(), &scans);
+    expect_same_bits(out_ref, out, to_string(b).data());
+    EXPECT_EQ(scans, scans_ref) << to_string(b);
+  }
+}
+
+TEST(KernelIdentity, MaxReduce) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n = 0; n < 70; ++n) {
+      const std::vector<double> x = random_doubles(n, 100 + n, -5.0, 5.0);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.max_reduce(x.data(), n)),
+                std::bit_cast<std::uint64_t>(wide.max_reduce(x.data(), n)))
+          << to_string(b) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelIdentity, FindBelow) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n = 0; n < 70; ++n) {
+      std::vector<double> x = random_doubles(n, 200 + n, 0.0, 1.0);
+      for (double threshold : {-1.0, 0.25, 0.5, 0.99, 2.0}) {
+        EXPECT_EQ(ref.find_below(x.data(), n, threshold),
+                  wide.find_below(x.data(), n, threshold))
+            << to_string(b) << " n=" << n << " t=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, GreaterMask) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+      const std::vector<double> x = random_doubles(n, 300 + n);
+      std::vector<std::uint8_t> m_ref(n, 0xAA), m_wide(n, 0x55);
+      ref.greater_mask(x.data(), n, 0.5, m_ref.data());
+      wide.greater_mask(x.data(), n, 0.5, m_wide.data());
+      EXPECT_EQ(m_ref, m_wide) << to_string(b) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelIdentity, CountGe4) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  const double knots[4] = {0.2, 0.5, 0.8, 0.95};
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 5u, 64u, 255u}) {
+      const std::vector<double> x = random_doubles(n, 400 + n);
+      std::size_t c_ref[4] = {1, 2, 3, 4};  // Accumulates on top.
+      std::size_t c_wide[4] = {1, 2, 3, 4};
+      ref.count_ge4(x.data(), n, knots, c_ref);
+      wide.count_ge4(x.data(), n, knots, c_wide);
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_EQ(c_ref[k], c_wide[k])
+            << to_string(b) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, Scale) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 9u, 128u}) {
+      std::vector<double> x_ref = random_doubles(n, 500 + n, -2.0, 2.0);
+      std::vector<double> x_wide = x_ref;
+      const double s = 1.0000001234567;  // Not a power of two: real rounding.
+      ref.scale(x_ref.data(), n, s);
+      wide.scale(x_wide.data(), n, s);
+      expect_same_bits(x_ref, x_wide, to_string(b).data());
+    }
+  }
+}
+
+TEST(KernelIdentity, WeightedSums) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 63u, 64u, 1000u}) {
+      const std::vector<double> v = random_doubles(n, 600 + n, -1.0, 3.0);
+      const std::vector<double> w = random_doubles(n, 700 + n, 0.0, 2.0);
+      double s_ref[3] = {1.5, 2.5, 3.5};  // Accumulates on top.
+      double s_wide[3] = {1.5, 2.5, 3.5};
+      ref.weighted_sums(v.data(), w.data(), n, s_ref);
+      wide.weighted_sums(v.data(), w.data(), n, s_wide);
+      for (int k = 0; k < 3; ++k) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(s_ref[k]),
+                  std::bit_cast<std::uint64_t>(s_wide[k]))
+            << to_string(b) << " n=" << n << " sum=" << k;
+      }
+      // Weight-only variant (v == nullptr) used by effective_sample_size.
+      double m_ref[3] = {0.0, 0.0, 0.0};
+      double m_wide[3] = {0.0, 0.0, 0.0};
+      ref.weighted_sums(nullptr, w.data(), n, m_ref);
+      wide.weighted_sums(nullptr, w.data(), n, m_wide);
+      for (int k = 0; k < 2; ++k) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(m_ref[k]),
+                  std::bit_cast<std::uint64_t>(m_wide[k]))
+            << to_string(b) << " n=" << n << " moment=" << k;
+      }
+    }
+  }
+}
+
+TEST(KernelIdentity, ExpBatch) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 1001u}) {
+      std::vector<double> x = random_doubles(n, 800 + n, -700.0, 700.0);
+      if (n >= 7) {
+        // Edge cases: clamp boundaries, zero, and huge magnitudes.
+        x[0] = 0.0;
+        x[1] = 709.42;
+        x[2] = 710.0;
+        x[3] = -708.38;
+        x[4] = -709.0;
+        x[5] = 1e30;
+        x[6] = -1e30;
+      }
+      std::vector<double> out_ref(n), out_wide(n);
+      ref.exp_batch(x.data(), n, out_ref.data());
+      wide.exp_batch(x.data(), n, out_wide.data());
+      expect_same_bits(out_ref, out_wide, to_string(b).data());
+    }
+  }
+}
+
+TEST(KernelIdentity, LogBatch) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 1001u}) {
+      std::vector<double> x = random_doubles(n, 900 + n, 1e-12, 10.0);
+      if (n >= 7) {
+        // Edge cases: exact powers of two (frexp boundary), 1.0, the
+        // sqrt(1/2) mantissa split, zero, and a huge magnitude.
+        x[0] = 1.0;
+        x[1] = 2.0;
+        x[2] = 0.5;
+        x[3] = 0.70710678118654752440;
+        x[4] = 0.0;
+        x[5] = 1e300;
+        x[6] = 1e-300;
+      }
+      std::vector<double> out_ref(n), out_wide(n);
+      ref.log_batch(x.data(), n, out_ref.data());
+      wide.log_batch(x.data(), n, out_wide.data());
+      expect_same_bits(out_ref, out_wide, to_string(b).data());
+    }
+  }
+}
+
+TEST(KernelAccuracy, ExpBatchTracksLibm) {
+  // exp_batch is a fixed polynomial, deliberately NOT libm — but its
+  // consumers (the SPICE Newton stamps) need it within a few ulp of the
+  // true exponential. Compare against libm with a loose relative bound.
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  const std::vector<double> x = random_doubles(20000, 31, -700.0, 700.0);
+  std::vector<double> out(x.size());
+  ref.exp_batch(x.data(), x.size(), out.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double want = std::exp(x[i]);
+    ASSERT_LE(std::abs(out[i] - want), 5e-15 * want) << "x=" << x[i];
+  }
+  // Saturation behavior at the clamp boundaries.
+  const double edges[3] = {800.0, -800.0, 0.0};
+  double out_e[3];
+  ref.exp_batch(edges, 3, out_e);
+  EXPECT_TRUE(std::isinf(out_e[0]) && out_e[0] > 0.0);
+  EXPECT_EQ(out_e[1], 0.0);
+  EXPECT_EQ(out_e[2], 1.0);
+}
+
+TEST(KernelAccuracy, LogBatchTracksLibm) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  std::vector<double> x = random_doubles(10000, 33, 1e-6, 4.0);
+  const std::vector<double> wide_range =
+      random_doubles(10000, 35, -280.0, 280.0);
+  for (double e : wide_range) x.push_back(std::exp2(e));
+  std::vector<double> out(x.size());
+  ref.log_batch(x.data(), x.size(), out.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double want = std::log(x[i]);
+    // Absolute term covers x near 1 where log crosses zero.
+    ASSERT_LE(std::abs(out[i] - want), 5e-15 * std::abs(want) + 1e-15)
+        << "x=" << x[i];
+  }
+  const double edges[2] = {0.0, -1.0};
+  double out_e[2];
+  ref.log_batch(edges, 2, out_e);
+  EXPECT_TRUE(std::isinf(out_e[0]) && out_e[0] < 0.0);
+  EXPECT_TRUE(std::isnan(out_e[1]));
+}
+
+TEST(KernelIdentity, FftStage) {
+  const Kernels& ref = *kernels_for(Backend::kScalar);
+  const std::size_t n = 64;  // Complex values per backend buffer.
+  for (Backend b : wide_backends()) {
+    const Kernels& wide = *kernels_for(b);
+    std::vector<double> reim_ref = random_doubles(2 * n, 42, -1.0, 1.0);
+    std::vector<double> reim_wide = reim_ref;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      std::vector<double> tw(len);  // len/2 interleaved (re, im) pairs.
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        constexpr double kPi = 3.14159265358979323846;
+        const double ang =
+            -2.0 * kPi * static_cast<double>(k) / static_cast<double>(len);
+        tw[2 * k] = std::cos(ang);
+        tw[2 * k + 1] = std::sin(ang);
+      }
+      ref.fft_stage(reim_ref.data(), tw.data(), n, len);
+      wide.fft_stage(reim_wide.data(), tw.data(), n, len);
+      expect_same_bits(reim_ref, reim_wide, to_string(b).data());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end identity through the dispatched high-level APIs.
+
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(Backend b) : saved_(active_backend()) {
+    ok_ = force_backend(b);
+  }
+  ~ForcedBackend() { force_backend(saved_); }
+  bool ok() const { return ok_; }
+
+ private:
+  Backend saved_;
+  bool ok_ = false;
+};
+
+const device::VariationModel& model90() {
+  static const device::VariationModel vm(device::tech_90nm());
+  return vm;
+}
+
+TEST(EndToEndIdentity, QuantileBatchAcrossBackends) {
+  // Build the distribution before forcing backends so every pass reads
+  // the same cached grid.
+  const auto dist =
+      device::cached_chain_distribution(model90(), 0.6, 50);
+  const std::vector<double> u = random_doubles(4099, 11);
+  std::vector<double> ref(u.size());
+  {
+    ForcedBackend f(Backend::kScalar);
+    ASSERT_TRUE(f.ok());
+    dist->quantile_batch(u, ref);
+  }
+  for (Backend b : wide_backends()) {
+    ForcedBackend f(b);
+    ASSERT_TRUE(f.ok()) << to_string(b);
+    std::vector<double> out(u.size());
+    dist->quantile_batch(u, out);
+    expect_same_bits(ref, out, to_string(b).data());
+  }
+}
+
+TEST(EndToEndIdentity, MaxQuantileBatchAcrossBackends) {
+  const auto dist =
+      device::cached_chain_distribution(model90(), 0.6, 50);
+  const std::vector<double> u = random_doubles(2053, 13);
+  std::vector<double> ref(u.size());
+  {
+    ForcedBackend f(Backend::kScalar);
+    ASSERT_TRUE(f.ok());
+    dist->max_quantile_batch(u, 100, ref);
+  }
+  for (Backend b : wide_backends()) {
+    ForcedBackend f(b);
+    ASSERT_TRUE(f.ok()) << to_string(b);
+    std::vector<double> out(u.size());
+    dist->max_quantile_batch(u, 100, out);
+    expect_same_bits(ref, out, to_string(b).data());
+  }
+}
+
+TEST(EndToEndIdentity, ChipDelayReductionAcrossBackends) {
+  const arch::ChipDelaySampler sampler(model90(), 0.6);
+  auto run = [&](Backend b, std::size_t n) {
+    ForcedBackend f(b);
+    EXPECT_TRUE(f.ok()) << to_string(b);
+    stats::Xoshiro256pp rng(17);
+    std::vector<double> out(n);
+    for (double& d : out) d = sampler.sample_chip_delay(rng, 64);
+    return out;
+  };
+  const std::vector<double> ref = run(Backend::kScalar, 200);
+  for (Backend b : wide_backends()) {
+    expect_same_bits(ref, run(b, 200), to_string(b).data());
+  }
+}
+
+TEST(EndToEndIdentity, McChipDelaysAcrossBackends) {
+  const arch::ChipDelaySampler sampler(model90(), 0.55);
+  auto run = [&](Backend b) {
+    ForcedBackend f(b);
+    EXPECT_TRUE(f.ok()) << to_string(b);
+    return arch::mc_chip_delays(sampler, 500, 128, 4);
+  };
+  arch::ChipMcResult ref;
+  {
+    ref = run(Backend::kScalar);
+  }
+  for (Backend b : wide_backends()) {
+    const arch::ChipMcResult got = run(b);
+    expect_same_bits(ref.delays, got.delays, to_string(b).data());
+  }
+}
+
+}  // namespace
+}  // namespace ntv::simd

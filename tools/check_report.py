@@ -110,7 +110,18 @@ def compare_perf(args):
     i = 0
     while i < len(rest):
         if rest[i] == "--max-regress-pct":
-            max_regress_pct = float(rest[i + 1])
+            if i + 1 >= len(rest):
+                print("check_report: --max-regress-pct needs a value")
+                return 2
+            try:
+                max_regress_pct = float(rest[i + 1])
+            except ValueError:
+                print(f"check_report: --max-regress-pct {rest[i + 1]!r} "
+                      "is not a number")
+                return 2
+            if max_regress_pct < 0:
+                print("check_report: --max-regress-pct must be >= 0")
+                return 2
             i += 2
         else:
             print(f"check_report: unknown argument {rest[i]!r}")

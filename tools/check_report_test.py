@@ -103,6 +103,87 @@ class CheckReportTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("missing", out)
 
+    # ------------------------------------------------------------------
+    # --compare-perf: the gating bench job depends on these exit codes.
+
+    def bench_report(self, name, artifact_ns):
+        doc = self.report({})
+        doc["results"]["phases"] = {"artifact_ns": artifact_ns}
+        return self.write(name, doc)
+
+    def test_compare_perf_within_threshold_passes(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_050_000)  # +5%
+        code, out = run_main("--compare-perf", base, cur,
+                             "--max-regress-pct", "10")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK perf", out)
+
+    def test_compare_perf_regression_fails(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_300_000)  # +30%
+        code, out = run_main("--compare-perf", base, cur,
+                             "--max-regress-pct", "10")
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL perf", out)
+
+    def test_compare_perf_speedup_always_passes(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 400_000)
+        code, out = run_main("--compare-perf", base, cur,
+                             "--max-regress-pct", "0")
+        self.assertEqual(code, 0, out)
+
+    def test_compare_perf_threshold_missing_value_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur,
+                             "--max-regress-pct")
+        self.assertEqual(code, 2, "dangling flag must be a usage error, "
+                         "not a crash")
+        self.assertIn("--max-regress-pct", out)
+
+    def test_compare_perf_threshold_non_numeric_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur,
+                             "--max-regress-pct", "ten")
+        self.assertEqual(code, 2)
+        self.assertIn("not a number", out)
+
+    def test_compare_perf_negative_threshold_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, _ = run_main("--compare-perf", base, cur,
+                           "--max-regress-pct", "-5")
+        self.assertEqual(code, 2)
+
+    def test_compare_perf_unknown_argument_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, _ = run_main("--compare-perf", base, cur, "--bogus")
+        self.assertEqual(code, 2)
+
+    def test_compare_perf_missing_phases_section_fails(self):
+        # A report without results.phases.artifact_ns (e.g. a non-bench
+        # report passed by mistake) must fail loudly, not divide by zero.
+        base = self.write("base.json", self.report({"x": 1.0}))
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("artifact_ns missing", out)
+
+    def test_compare_perf_nonpositive_artifact_ns_fails(self):
+        base = self.bench_report("base.json", 0)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("not a positive number", out)
+
+    def test_compare_perf_missing_operands_is_usage_error(self):
+        code, _ = run_main("--compare-perf")
+        self.assertEqual(code, 2)
+
 
 if __name__ == "__main__":
     unittest.main()

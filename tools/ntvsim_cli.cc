@@ -27,6 +27,10 @@
 //   --threads <n>          thread-pool size (0 = $NTV_THREADS or all
 //                          hardware threads; results are identical for
 //                          any value — see docs/PARALLELISM.md)
+//   --simd <backend>       force the SIMD dispatch backend: scalar, avx2,
+//                          neon, or auto (default). Every backend is
+//                          byte-identical (docs/SIMD.md); forcing one the
+//                          CPU or build cannot run is a flag error
 //
 // <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
 // (quote it). Voltages in volts, clock periods in nanoseconds.
@@ -47,6 +51,7 @@
 #include "energy/energy_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "simd/simd.h"
 #include "stats/variance_reduction.h"
 
 namespace {
@@ -86,7 +91,7 @@ int usage() {
       stderr,
       "usage: ntvsim [--report <file.json>] [--quiet] [--seed <n>]\n"
       "              [--samples <n>] [--sampling <plan>] [--threads <n>]\n"
-      "              <command> [...]\n"
+      "              [--simd <scalar|avx2|neon|auto>] <command> [...]\n"
       "  nodes                         list technology nodes\n"
       "  study    <node> [vdd]         gate/chain delay variation\n"
       "  drop     <node> <vdd>         128-wide performance drop\n"
@@ -413,6 +418,25 @@ bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
         return false;
       }
       ctx.plan.strategy = *strategy;
+    } else if (std::strcmp(a, "--simd") == 0) {
+      if (!next_value(&value)) return false;
+      if (std::strcmp(value, "auto") != 0) {
+        const auto backend = simd::parse_backend(value);
+        if (!backend) {
+          std::fprintf(stderr,
+                       "ntvsim: unknown --simd '%s' (expected scalar, "
+                       "avx2, neon, or auto)\n",
+                       value);
+          return false;
+        }
+        if (!simd::force_backend(*backend)) {
+          std::fprintf(stderr,
+                       "ntvsim: --simd %s is not usable on this "
+                       "build/CPU\n",
+                       value);
+          return false;
+        }
+      }
     } else if (std::strcmp(a, "--threads") == 0) {
       if (!next_value(&value)) return false;
       char* end = nullptr;
@@ -496,6 +520,7 @@ int main(int argc, char** argv) {
     manifest.tech_node = ctx.node_name;
     manifest.vdd_grid = ctx.vdd_grid;
     manifest.sampling = std::string(stats::to_string(ctx.plan.strategy));
+    manifest.simd = std::string(simd::to_string(simd::active_backend()));
     const std::string& fragment = ctx.results.str();
     const bool ok = obs::write_report_file(
         report_path, manifest,
