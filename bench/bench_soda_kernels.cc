@@ -23,6 +23,22 @@ soda::ProcessingElement make_pe(int spares, int n_faulty) {
   return pe;
 }
 
+// Prints one table row and records the cycle pools under `key_*` for the
+// --report JSON. The recorded values are engine-invariant (the fabric
+// reproduces legacy cycle counts exactly), which is what the CI
+// engine-differential job diffs across NTV_SODA_ENGINE settings.
+void report_kernel(const char* label, const char* key,
+                   const soda::RunStats& stats) {
+  bench::row("%-18s %14ld %14ld %14ld", label, stats.simd_cycles,
+             stats.memory_cycles, stats.scalar_cycles);
+  bench::record(std::string(key) + "_simd_cycles",
+                static_cast<double>(stats.simd_cycles));
+  bench::record(std::string(key) + "_memory_cycles",
+                static_cast<double>(stats.memory_cycles));
+  bench::record(std::string(key) + "_scalar_cycles",
+                static_cast<double>(stats.scalar_cycles));
+}
+
 void print_artifact() {
   bench::banner("Diet SODA PE -- kernel cycle counts (128 lanes)");
   bench::row("%-18s %14s %14s %14s", "kernel", "SIMD cycles",
@@ -33,17 +49,13 @@ void print_artifact() {
     soda::FirKernel fir;
     fir.taps = 8;
     fir.prepare(pe, std::vector<std::int16_t>(8, 1));
-    const auto stats = pe.run(fir.build());
-    bench::row("%-18s %14ld %14ld %14ld", "FIR-8", stats.simd_cycles,
-               stats.memory_cycles, stats.scalar_cycles);
+    report_kernel("FIR-8", "fir8", pe.run(fir.build()));
   }
   {
     auto pe = make_pe(0, 0);
     soda::FftKernel fft;
     fft.prepare(pe);
-    const auto stats = pe.run(fft.build(pe));
-    bench::row("%-18s %14ld %14ld %14ld", "FFT-128", stats.simd_cycles,
-               stats.memory_cycles, stats.scalar_cycles);
+    report_kernel("FFT-128", "fft128", pe.run(fft.build(pe)));
   }
   {
     auto pe = make_pe(0, 0);
@@ -51,16 +63,34 @@ void print_artifact() {
     conv.height = 16;
     const std::vector<std::int16_t> k = {1, 2, 1, 2, 4, 2, 1, 2, 1};
     conv.prepare(pe, k);
-    const auto stats = pe.run(conv.build());
-    bench::row("%-18s %14ld %14ld %14ld", "conv2d 3x3 (16r)",
-               stats.simd_cycles, stats.memory_cycles, stats.scalar_cycles);
+    report_kernel("conv2d 3x3 (16r)", "conv2d16", pe.run(conv.build()));
   }
   {
     auto pe = make_pe(0, 0);
     soda::DotKernel dot;
-    const auto stats = pe.run(dot.build());
-    bench::row("%-18s %14ld %14ld %14ld", "dot-128", stats.simd_cycles,
-               stats.memory_cycles, stats.scalar_cycles);
+    report_kernel("dot-128", "dot128", pe.run(dot.build()));
+  }
+  {
+    auto pe = make_pe(0, 0);
+    soda::GemmKernel gemm;
+    gemm.prepare(pe,
+                 std::vector<std::int16_t>(
+                     static_cast<std::size_t>(gemm.m * gemm.k), 2),
+                 std::vector<std::int16_t>(
+                     static_cast<std::size_t>(gemm.k * 128), 3));
+    report_kernel("gemm 8x8x128", "gemm", pe.run(gemm.build()));
+  }
+  {
+    auto pe = make_pe(0, 0);
+    soda::StencilKernel stencil;
+    stencil.prepare(pe, std::vector<std::int16_t>{4, 1, 1, 1, 1});
+    report_kernel("stencil 5pt (8r)", "stencil", pe.run(stencil.build()));
+  }
+  {
+    auto pe = make_pe(0, 0);
+    soda::BitonicSortKernel sort;
+    sort.prepare(pe);
+    report_kernel("bitonic-128", "bitonic", pe.run(sort.build(pe)));
   }
   bench::row("\nspare-lane bypass adds zero cycles (work is remapped, not"
              " re-executed) -- see the micro benches below.");

@@ -1,0 +1,306 @@
+// System-level SODA bench on the event fabric: the PR 7 workloads (tiled
+// GEMM, 5-point stencil, bitonic sort) under banked memory timing, a
+// mid-kernel spare-lane bypass, and a multi-PE mixed-workload run that
+// sweeps the bank count to expose shared-controller contention.
+//
+// All recorded values are simulated-cycle/tick counters, so reports are
+// byte-identical across hosts, thread counts and --repeat settings.
+//
+// Extra flag (stripped before the common bench flags are parsed):
+//   --workload gemm|stencil|sort|banks|all   (default: all)
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "soda/kernels.h"
+#include "soda/system.h"
+
+namespace {
+
+using namespace ntv;
+
+std::string g_workload = "all";
+
+bool selected(const char* name) {
+  return g_workload == "all" || g_workload == name;
+}
+
+std::vector<std::int16_t> read_row(soda::ProcessingElement& pe, int row) {
+  std::vector<std::uint16_t> raw(static_cast<std::size_t>(pe.config().width));
+  pe.simd_memory().read_row(row, raw);
+  std::vector<std::int16_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out[i] = static_cast<std::int16_t>(raw[i]);
+  return out;
+}
+
+void write_row(soda::ProcessingElement& pe, int row,
+               const std::vector<std::int16_t>& data) {
+  std::vector<std::uint16_t> raw(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(data[i]);
+  pe.simd_memory().write_row(row, raw);
+}
+
+std::vector<std::int16_t> pattern_i16(int n, int scale, int offset) {
+  std::vector<std::int16_t> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::int16_t>(((i * scale + offset) % 401) - 200);
+  }
+  return out;
+}
+
+soda::ProcessingElement make_banked_pe(int spares) {
+  soda::PeConfig config;
+  config.width = 128;
+  config.spare_fus = spares;
+  soda::ProcessingElement pe(config);
+  pe.set_engine(soda::ProcessingElement::Engine::kFabric);
+  pe.set_mem_timing(soda::MemTimingConfig::banked(4, 1, 4));
+  return pe;
+}
+
+void record_fabric(const std::string& key, const soda::RunStats& stats,
+                   const soda::FabricCounters& fc) {
+  bench::record(key + "_simd_cycles", static_cast<double>(stats.simd_cycles));
+  bench::record(key + "_memory_cycles",
+                static_cast<double>(stats.memory_cycles));
+  bench::record(key + "_mem_stall_cycles",
+                static_cast<double>(fc.mem_stall_cycles));
+  bench::record(key + "_row_hits", static_cast<double>(fc.row_hits));
+  bench::record(key + "_row_misses", static_cast<double>(fc.row_misses));
+  bench::record(key + "_bank_conflicts",
+                static_cast<double>(fc.bank_conflicts));
+}
+
+// Tiled GEMM on a banked-memory PE with two variation-slowed FUs and six
+// spares: the fabric detects the slow word and remaps mid-kernel, so the
+// recorded bypass/stall counters document the fault path end-to-end.
+void run_gemm() {
+  auto pe = make_banked_pe(/*spares=*/6);
+  soda::LaneTimingConfig lt;
+  lt.fu_slowdown.assign(static_cast<std::size_t>(pe.simd().physical_fus()), 1);
+  lt.fu_slowdown[17] = 3;
+  lt.fu_slowdown[90] = 2;
+  lt.detect_after = 8;
+  pe.set_lane_timing(lt);
+
+  const soda::GemmKernel kernel;
+  const int width = pe.config().width;
+  const auto a = pattern_i16(kernel.m * kernel.k, 7, 3);
+  const auto b = pattern_i16(kernel.k * width, 5, 11);
+  kernel.prepare(pe, a, b);
+  const auto stats = pe.run(kernel.build());
+  const auto& fc = pe.fabric_counters();
+
+  const auto want =
+      soda::GemmKernel::reference(a, b, kernel.m, kernel.k, width);
+  bool ok = stats.halted;
+  for (int r = 0; ok && r < kernel.m; ++r) {
+    const auto got = read_row(pe, kernel.c_row0 + r);
+    ok = std::equal(got.begin(), got.end(), want.begin() + r * width);
+  }
+  bench::row("%-22s %10ld %10ld %12ld %10ld  %s", "gemm 8x8x128",
+             stats.simd_cycles, stats.memory_cycles,
+             static_cast<long>(fc.mem_stall_cycles),
+             static_cast<long>(fc.bypass_activations),
+             ok ? "ok" : "MISMATCH");
+  record_fabric("gemm", stats, fc);
+  bench::record("gemm_lane_stall_cycles",
+                static_cast<double>(fc.lane_stall_cycles));
+  bench::record("gemm_bypass_activations",
+                static_cast<double>(fc.bypass_activations));
+  bench::record("gemm_ok", ok ? 1.0 : 0.0);
+}
+
+// 5-point stencil: streaming row access over a banked scratchpad, no
+// faults. Row-buffer hits/misses characterize the access pattern.
+void run_stencil() {
+  auto pe = make_banked_pe(0);
+  const soda::StencilKernel kernel;
+  const int width = pe.config().width;
+  const std::vector<std::int16_t> coef = {4, 1, 1, 1, 1};
+  std::vector<std::int16_t> image;
+  for (int r = 0; r < kernel.height; ++r) {
+    const auto row = pattern_i16(width, 3, 17 * r);
+    write_row(pe, kernel.image_row0 + r, row);
+    image.insert(image.end(), row.begin(), row.end());
+  }
+  kernel.prepare(pe, coef);
+  const auto stats = pe.run(kernel.build());
+  const auto& fc = pe.fabric_counters();
+
+  const auto want =
+      soda::StencilKernel::reference(image, kernel.height, width, coef);
+  bool ok = stats.halted;
+  for (int r = 0; ok && r < kernel.height; ++r) {
+    const auto got = read_row(pe, kernel.output_row0 + r);
+    ok = std::equal(got.begin(), got.end(), want.begin() + r * width);
+  }
+  bench::row("%-22s %10ld %10ld %12ld %10ld  %s", "stencil 5pt (8r)",
+             stats.simd_cycles, stats.memory_cycles,
+             static_cast<long>(fc.mem_stall_cycles), 0L,
+             ok ? "ok" : "MISMATCH");
+  record_fabric("stencil", stats, fc);
+  bench::record("stencil_ok", ok ? 1.0 : 0.0);
+}
+
+// Bitonic sort: SIMD-dominated (shuffle/min/max network), light memory
+// traffic.
+void run_sort() {
+  auto pe = make_banked_pe(0);
+  const soda::BitonicSortKernel kernel;
+  const auto values = pattern_i16(pe.config().width, 37, 5);
+  kernel.prepare(pe);
+  write_row(pe, kernel.input_row, values);
+  const auto stats = pe.run(kernel.build(pe));
+  const auto& fc = pe.fabric_counters();
+
+  const bool ok = stats.halted &&
+                  read_row(pe, kernel.output_row) ==
+                      soda::BitonicSortKernel::reference(values);
+  bench::row("%-22s %10ld %10ld %12ld %10ld  %s", "bitonic-128",
+             stats.simd_cycles, stats.memory_cycles,
+             static_cast<long>(fc.mem_stall_cycles), 0L,
+             ok ? "ok" : "MISMATCH");
+  record_fabric("sort", stats, fc);
+  bench::record("sort_ok", ok ? 1.0 : 0.0);
+}
+
+// Four heterogeneously binned PEs run a mixed workload (GEMM, stencil,
+// sort, FIR) concurrently against ONE shared memory controller; the bank
+// count sweeps 1..8. Fewer banks => more conflicts => longer makespan.
+void run_banks_sweep() {
+  soda::SystemConfig config;
+  config.num_pes = 4;
+  config.pe.width = 128;
+  soda::SodaSystem system(config);
+  // Variation bins: PEs 1 and 3 drew slow critical paths.
+  system.set_pe_clock(0, 1 * config.t_mem);
+  system.set_pe_clock(1, 2 * config.t_mem);
+  system.set_pe_clock(2, 1 * config.t_mem);
+  system.set_pe_clock(3, 3 * config.t_mem);
+
+  std::vector<std::vector<soda::Program>> queues(4);
+  {
+    soda::GemmKernel kernel;
+    kernel.prepare(system.pe(0), pattern_i16(kernel.m * kernel.k, 7, 3),
+                   pattern_i16(kernel.k * 128, 5, 11));
+    queues[0].push_back(kernel.build());
+  }
+  {
+    soda::StencilKernel kernel;
+    for (int r = 0; r < kernel.height; ++r)
+      write_row(system.pe(1), kernel.image_row0 + r, pattern_i16(128, 3, r));
+    const std::vector<std::int16_t> coef = {4, 1, 1, 1, 1};
+    kernel.prepare(system.pe(1), coef);
+    queues[1].push_back(kernel.build());
+  }
+  {
+    soda::BitonicSortKernel kernel;
+    kernel.prepare(system.pe(2));
+    write_row(system.pe(2), kernel.input_row, pattern_i16(128, 37, 5));
+    queues[2].push_back(kernel.build(system.pe(2)));
+  }
+  {
+    soda::FirKernel kernel;
+    kernel.taps = 8;
+    kernel.prepare(system.pe(3), std::vector<std::int16_t>(8, 1));
+    queues[3].push_back(kernel.build());
+  }
+
+  bench::row("\n%-8s %14s %14s %16s", "banks", "conflicts", "makespan",
+             "mem stalls");
+  for (const int banks : {1, 2, 4, 8}) {
+    const auto outcome = system.run_concurrent(
+        queues, soda::MemTimingConfig::banked(banks, 1, 4));
+    long stalls = 0;
+    for (const auto& pe : outcome.pes)
+      stalls += pe.counters.mem_stall_cycles;
+    bench::row("%-8d %14ld %14ld %16ld", banks,
+               static_cast<long>(outcome.mem.bank_conflicts),
+               static_cast<long>(outcome.makespan_ticks), stalls);
+    const std::string key = "banks" + std::to_string(banks);
+    bench::record(key + "_bank_conflicts",
+                  static_cast<double>(outcome.mem.bank_conflicts));
+    bench::record(key + "_makespan_ticks",
+                  static_cast<double>(outcome.makespan_ticks));
+    bench::record(key + "_mem_stall_cycles", static_cast<double>(stalls));
+    bench::record(key + "_events", static_cast<double>(outcome.events));
+  }
+}
+
+void print_artifact() {
+  bench::banner("SODA system on the event fabric -- banked memory, "
+                "4 banks (hit 1 / miss 4 ticks)");
+  if (selected("gemm") || selected("stencil") || selected("sort")) {
+    bench::row("%-22s %10s %10s %12s %10s", "workload", "SIMD cyc",
+               "mem cyc", "mem stalls", "bypasses");
+  }
+  if (selected("gemm")) run_gemm();
+  if (selected("stencil")) run_stencil();
+  if (selected("sort")) run_sort();
+  if (selected("banks")) run_banks_sweep();
+}
+
+void BM_FabricGemmBanked(benchmark::State& state) {
+  auto pe = make_banked_pe(0);
+  soda::GemmKernel kernel;
+  kernel.prepare(pe, pattern_i16(kernel.m * kernel.k, 7, 3),
+                 pattern_i16(kernel.k * 128, 5, 11));
+  const auto program = kernel.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.run(program));
+  }
+}
+BENCHMARK(BM_FabricGemmBanked)->Unit(benchmark::kMicrosecond);
+
+void BM_FabricBitonicSort(benchmark::State& state) {
+  auto pe = make_banked_pe(0);
+  soda::BitonicSortKernel kernel;
+  kernel.prepare(pe);
+  write_row(pe, kernel.input_row, pattern_i16(128, 37, 5));
+  const auto program = kernel.build(pe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.run(program));
+  }
+}
+BENCHMARK(BM_FabricBitonicSort)->Unit(benchmark::kMicrosecond);
+
+void BM_ConcurrentMixed4Pe(benchmark::State& state) {
+  soda::SystemConfig config;
+  config.num_pes = 4;
+  config.pe.width = 128;
+  soda::SodaSystem system(config);
+  std::vector<std::vector<soda::Program>> queues(4);
+  for (int p = 0; p < 4; ++p) {
+    soda::FirKernel kernel;
+    kernel.taps = 8;
+    kernel.prepare(system.pe(p), std::vector<std::int16_t>(8, 1));
+    queues[static_cast<std::size_t>(p)].push_back(kernel.build());
+  }
+  const auto mem = soda::MemTimingConfig::banked(4, 1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run_concurrent(queues, mem));
+  }
+}
+BENCHMARK(BM_ConcurrentMixed4Pe)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      g_workload = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  return ntv::bench::run_bench_main(static_cast<int>(args.size()),
+                                    args.data(), &print_artifact);
+}

@@ -1,0 +1,113 @@
+#include "soda/event.h"
+
+#include <stdexcept>
+
+namespace ntv::soda {
+
+void Connection::send(const Message& msg, SimTime now) {
+  ++stats_.sent;
+  if (credits_ > 0) {
+    --credits_;
+    fabric_->push_deliver(*this, msg, now + latency_);
+  } else {
+    ++stats_.blocked;
+    pending_.push_back(msg);
+  }
+}
+
+void Connection::release(SimTime now) {
+  // The credit travels back instantaneously on the return wire; queued
+  // messages still pay the forward latency when they depart.
+  fabric_->push_credit(*this, now);
+}
+
+void Connection::deliver(const Message& msg, SimTime now) {
+  ++stats_.delivered;
+  to_->handle(msg, now, this);
+}
+
+void Connection::on_credit(SimTime now) {
+  ++stats_.released;
+  if (!pending_.empty()) {
+    const Message msg = pending_.front();
+    pending_.pop_front();
+    fabric_->push_deliver(*this, msg, now + latency_);
+  } else {
+    ++credits_;
+  }
+}
+
+void Fabric::add(Component& component) {
+  if (component.fabric_ != nullptr)
+    throw std::logic_error("Fabric::add: component already registered");
+  component.id_ = static_cast<std::uint32_t>(components_.size());
+  component.fabric_ = this;
+  components_.push_back(&component);
+}
+
+Connection& Fabric::connect(Component& from, Component& to, SimTime latency,
+                            int credits) {
+  if (from.fabric_ != this || to.fabric_ != this)
+    throw std::logic_error("Fabric::connect: components not registered here");
+  if (credits < 1)
+    throw std::invalid_argument("Fabric::connect: credits must be >= 1");
+  connections_.push_back(std::unique_ptr<Connection>(
+      new Connection(*this, from, to, latency, credits)));
+  connection_ptrs_.push_back(connections_.back().get());
+  return *connections_.back();
+}
+
+void Fabric::schedule(Component& target, const Message& msg, SimTime when) {
+  if (target.fabric_ != this)
+    throw std::logic_error("Fabric::schedule: component not registered here");
+  if (when < now_)
+    throw std::logic_error("Fabric::schedule: time travels backward");
+  EventScheduler::Entry entry;
+  entry.key = {when, target.id(), scheduler_.next_seq()};
+  entry.type = EventScheduler::Entry::Type::kSelf;
+  entry.target = &target;
+  entry.msg = msg;
+  scheduler_.push(std::move(entry));
+}
+
+void Fabric::push_deliver(Connection& conn, const Message& msg, SimTime when) {
+  EventScheduler::Entry entry;
+  entry.key = {when, conn.to().id(), scheduler_.next_seq()};
+  entry.type = EventScheduler::Entry::Type::kDeliver;
+  entry.conn = &conn;
+  entry.msg = msg;
+  scheduler_.push(std::move(entry));
+}
+
+void Fabric::push_credit(Connection& conn, SimTime when) {
+  // Credit events tie-break on the *sender* — the component the credit
+  // wakes up — keeping the total order a pure function of the keys.
+  EventScheduler::Entry entry;
+  entry.key = {when, conn.from().id(), scheduler_.next_seq()};
+  entry.type = EventScheduler::Entry::Type::kCredit;
+  entry.conn = &conn;
+  scheduler_.push(std::move(entry));
+}
+
+void Fabric::run(long max_events) {
+  while (!scheduler_.empty()) {
+    if (events_ >= max_events)
+      throw std::runtime_error("Fabric::run: event limit exceeded");
+    EventScheduler::Entry entry = scheduler_.pop();
+    now_ = entry.key.time;
+    ++events_;
+    switch (entry.type) {
+      case EventScheduler::Entry::Type::kDeliver:
+        entry.conn->deliver(entry.msg, now_);
+        break;
+      case EventScheduler::Entry::Type::kCredit:
+        entry.conn->on_credit(now_);
+        break;
+      case EventScheduler::Entry::Type::kSelf:
+        entry.target->handle(entry.msg, now_, nullptr);
+        break;
+    }
+  }
+}
+
+}  // namespace ntv::soda

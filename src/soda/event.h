@@ -1,0 +1,225 @@
+// Event-driven simulation core of the SODA fabric.
+//
+// ROADMAP item 3 (cf. NDP-SIM's port/component/connection fabric): all
+// state changes of the simulated machine are coordinated through one
+// global-timestamp scheduler. Determinism is a hard contract, not a
+// best effort:
+//
+//  * Events are totally ordered by (timestamp, target component id,
+//    sequence number). Component ids are dense and assigned in fabric
+//    construction order, sequence numbers increase monotonically per
+//    scheduler, so two runs of the same configuration pop the exact
+//    same event order — byte-reproducible across hosts and thread
+//    counts (the fabric itself is single-threaded; the exec pool only
+//    ever parallelizes *across* independent fabrics).
+//  * The heap is stable with respect to the key: the pop order of a set
+//    of events is a function of their keys alone, never of the order
+//    they were pushed (tests/soda/event_test.cc holds this invariant).
+//
+// Components exchange Messages over Connections. A Connection is a
+// point-to-point transport with a delivery latency and a credit budget:
+// the sender consumes one credit per message, the receiver returns the
+// credit when it has *processed* (not merely received) the message, and
+// messages sent without a credit wait in the sender-side queue — that
+// is the credit-based back-pressure that lets a slow consumer stall a
+// fast producer without ever losing or duplicating a transfer
+// (conservation is also property-tested).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ntv::soda {
+
+/// Global simulation time in ticks of the full-voltage (memory) clock.
+using SimTime = std::uint64_t;
+
+/// Total order of events: earliest time first; ties broken by the target
+/// component's id, then by the scheduler-assigned sequence number.
+struct EventKey {
+  SimTime time = 0;
+  std::uint32_t component = 0;  ///< Target component id (tie-break 1).
+  std::uint64_t seq = 0;        ///< Schedule-order sequence (tie-break 2).
+
+  friend bool operator<(const EventKey& a, const EventKey& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.component != b.component) return a.component < b.component;
+    return a.seq < b.seq;
+  }
+};
+
+/// Payload of one event. Components interpret `kind` and the integer
+/// arguments themselves; keeping the payload POD keeps scheduling
+/// allocation-free and trivially reproducible.
+struct Message {
+  int kind = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+class Connection;
+class Fabric;
+
+/// One functional island on the fabric: a named unit of state that only
+/// changes in handle() calls dispatched by the scheduler.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Dense id assigned at fabric registration (deterministic: the n-th
+  /// registered component gets id n). Used as the event tie-break.
+  std::uint32_t id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Processes one event. `from` is the delivering connection, or
+  /// nullptr for self-scheduled events.
+  virtual void handle(const Message& msg, SimTime now, Connection* from) = 0;
+
+ protected:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  Fabric* fabric() const noexcept { return fabric_; }
+
+ private:
+  friend class Fabric;
+  std::string name_;
+  std::uint32_t id_ = 0;
+  Fabric* fabric_ = nullptr;
+};
+
+/// The event priority queue, separated from the fabric so the ordering
+/// contract is testable in isolation. pop order depends only on keys.
+class EventScheduler {
+ public:
+  struct Entry {
+    EventKey key;
+    enum class Type { kDeliver, kCredit, kSelf } type = Type::kSelf;
+    Connection* conn = nullptr;
+    Component* target = nullptr;
+    Message msg;
+  };
+
+  void push(Entry entry) { heap_.push(std::move(entry)); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  Entry pop() {
+    Entry top = heap_.top();
+    heap_.pop();
+    return top;
+  }
+  const Entry& peek() const { return heap_.top(); }
+
+  /// Next unused sequence number (monotone per scheduler).
+  std::uint64_t next_seq() noexcept { return seq_++; }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return b.key < a.key;  // min-heap on EventKey
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Point-to-point transport between two components with latency and a
+/// credit budget (the back-pressure window).
+class Connection {
+ public:
+  /// Lifetime counters (conservation invariants: after a drained run,
+  /// sent == delivered == released + unreleased-in-receiver).
+  struct Stats {
+    long sent = 0;       ///< Messages accepted by send().
+    long delivered = 0;  ///< Messages handed to the receiver.
+    long released = 0;   ///< Credits returned by the receiver.
+    long blocked = 0;    ///< Sends that found no credit and queued.
+  };
+
+  Component& from() const noexcept { return *from_; }
+  Component& to() const noexcept { return *to_; }
+  SimTime latency() const noexcept { return latency_; }
+  int credits_available() const noexcept { return credits_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Sends a message toward the receiver. With a credit in hand the
+  /// delivery event is scheduled at now + latency; otherwise the message
+  /// queues sender-side and departs when a credit is released (FIFO).
+  void send(const Message& msg, SimTime now);
+
+  /// Receiver-side: returns one credit to the sender, releasing the
+  /// oldest queued message (if any) at `now`. Call when the message's
+  /// processing is complete — that is what makes the window meaningful.
+  void release(SimTime now);
+
+ private:
+  friend class Fabric;
+  Connection(Fabric& fabric, Component& from, Component& to, SimTime latency,
+             int credits)
+      : fabric_(&fabric),
+        from_(&from),
+        to_(&to),
+        latency_(latency),
+        credits_(credits) {}
+
+  void deliver(const Message& msg, SimTime now);  // dispatched by Fabric
+  void on_credit(SimTime now);                    // dispatched by Fabric
+
+  Fabric* fabric_;
+  Component* from_;
+  Component* to_;
+  SimTime latency_;
+  int credits_;
+  std::deque<Message> pending_;
+  Stats stats_;
+};
+
+/// The fabric: owns the scheduler, the component registry and the
+/// connections, and runs the event loop to quiescence.
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers a component (not owned) and assigns its dense id.
+  void add(Component& component);
+
+  /// Creates a connection from -> to. Both components must already be
+  /// registered. `credits` >= 1 is the back-pressure window.
+  Connection& connect(Component& from, Component& to, SimTime latency = 0,
+                      int credits = 1);
+
+  /// Schedules a self event for `target` at absolute time `when`.
+  void schedule(Component& target, const Message& msg, SimTime when);
+
+  SimTime now() const noexcept { return now_; }
+  long events_processed() const noexcept { return events_; }
+  const std::vector<Component*>& components() const noexcept {
+    return components_;
+  }
+  const std::vector<Connection*>& connections() const noexcept {
+    return connection_ptrs_;
+  }
+
+  /// Runs until no events remain (or `max_events` dispatches, a runaway
+  /// guard; throws std::runtime_error when exceeded).
+  void run(long max_events = 200'000'000);
+
+ private:
+  friend class Connection;
+  void push_deliver(Connection& conn, const Message& msg, SimTime when);
+  void push_credit(Connection& conn, SimTime when);
+
+  EventScheduler scheduler_;
+  std::vector<Component*> components_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<Connection*> connection_ptrs_;
+  SimTime now_ = 0;
+  long events_ = 0;
+};
+
+}  // namespace ntv::soda

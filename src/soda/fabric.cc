@@ -1,0 +1,436 @@
+#include "soda/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "soda/isa.h"
+
+namespace ntv::soda {
+
+namespace {
+
+// Message kinds on the fabric.
+constexpr int kMsgIssue = 1;       // self: control issues the next instruction
+constexpr int kMsgMemReq = 2;      // ctrl -> agu -> controller (a = pc | row)
+constexpr int kMsgMemDone = 3;     // controller -> ctrl (a = pc)
+constexpr int kMsgSimdExec = 4;    // ctrl -> simd (a = pc)
+constexpr int kMsgSimdDone = 5;    // simd -> ctrl (a = next pc, b = halted)
+constexpr int kMsgReduceExec = 6;  // ctrl -> adder tree (a = pc)
+constexpr int kMsgReduceDone = 7;  // adder tree -> ctrl (a = next pc)
+
+/// Shared per-PE bookkeeping the four components of one PE island edit.
+struct PeNode {
+  ProcessingElement* pe = nullptr;
+  std::size_t pe_index = 0;
+  std::span<const Program> queue;
+  long max_instructions = 0;
+  int simd_ratio = 1;
+
+  std::size_t program_index = 0;
+  std::size_t pc = 0;
+  RunStats stats;           // current program (legacy-identical accounting)
+  SimTime issue_tick = 0;   // when the in-flight mem/SIMD op issued
+  bool done = false;
+
+  PeOutcome out;
+  SimTime finish_tick = 0;
+
+  // Lane-timing state. Slowdown is per *physical* FU; the lane map
+  // decides which FUs an instruction actually touches, so a successful
+  // bypass makes the stalls vanish without any special-casing here.
+  long slow_ops_seen = 0;
+  bool bypass_attempted = false;
+
+  const Program& program() const { return queue[program_index]; }
+};
+
+class ControlComponent final : public Component {
+ public:
+  explicit ControlComponent(PeNode& node)
+      : Component("ctrl" + std::to_string(node.pe_index)), node_(node) {}
+
+  Connection* to_agu = nullptr;
+  Connection* to_simd = nullptr;
+  Connection* to_adder = nullptr;
+
+  void handle(const Message& msg, SimTime now, Connection* from) override {
+    switch (msg.kind) {
+      case kMsgIssue:
+        issue(now);
+        break;
+      case kMsgMemDone: {
+        from->release(now);
+        // Functional execution at burst completion (the PE blocks on the
+        // response, so program order — and therefore architectural state
+        // — is identical to the legacy interpreter's).
+        const auto result = node_.pe->step(node_.program(), node_.pc,
+                                           node_.stats);
+        node_.out.counters.mem_stall_cycles +=
+            static_cast<long>(now - node_.issue_tick) - 1;
+        node_.pc = result.next_pc;
+        issue(now);
+        break;
+      }
+      case kMsgSimdDone:
+      case kMsgReduceDone:
+        from->release(now);
+        node_.pc = static_cast<std::size_t>(msg.a);
+        if (msg.b != 0) {
+          finish_program(now);
+        } else {
+          issue(now);
+        }
+        break;
+      default:
+        throw std::logic_error("ControlComponent: unexpected message");
+    }
+  }
+
+ private:
+  /// Fetches, classifies and dispatches the instruction at pc. Scalar
+  /// and control work executes here (1 tick); vector memory and SIMD
+  /// work is messaged to the AGU / SIMD / adder-tree components.
+  void issue(SimTime now) {
+    const Program& program = node_.program();
+    if (node_.pc >= program.size()) {
+      finish_program(now);
+      return;
+    }
+    if (node_.stats.instructions >= node_.max_instructions)
+      throw std::runtime_error("ProcessingElement::run: instruction limit");
+    const Instruction& inst = program[node_.pc];
+    node_.pe->notify_trace(node_.pc, inst);
+    node_.issue_tick = now;
+
+    if (inst.op == Opcode::kVLoad || inst.op == Opcode::kVStore) {
+      to_agu->send({kMsgMemReq, static_cast<std::int64_t>(node_.pc)}, now);
+      return;
+    }
+    if (inst.op == Opcode::kVReduceSum) {
+      to_adder->send({kMsgReduceExec, static_cast<std::int64_t>(node_.pc)},
+                     now);
+      return;
+    }
+    if (is_simd_op(inst.op)) {
+      to_simd->send({kMsgSimdExec, static_cast<std::int64_t>(node_.pc)}, now);
+      return;
+    }
+
+    const auto result = node_.pe->step(program, node_.pc, node_.stats);
+    if (result.halted) {
+      finish_program(now);  // kHalt costs no cycle and no tick (legacy)
+      return;
+    }
+    node_.pc = result.next_pc;
+    fabric()->schedule(*this, {kMsgIssue}, now + 1);
+  }
+
+  /// Retires the current program (kHalt or fell off the end) and starts
+  /// the next queued one, or marks the PE finished.
+  void finish_program(SimTime now) {
+    RunStats& total = node_.out.stats;
+    const bool first = node_.out.programs_completed == 0;
+    total.halted = (first || total.halted) && node_.stats.halted;
+    total.instructions += node_.stats.instructions;
+    total.simd_cycles += node_.stats.simd_cycles;
+    total.scalar_cycles += node_.stats.scalar_cycles;
+    total.memory_cycles += node_.stats.memory_cycles;
+    ++node_.out.programs_completed;
+    node_.stats = {};
+    node_.pc = 0;
+    if (++node_.program_index < node_.queue.size()) {
+      issue(now);
+    } else {
+      node_.done = true;
+      node_.finish_tick = now;
+    }
+  }
+
+  PeNode& node_;
+};
+
+/// Address generation: resolves the scalar-register-relative row of a
+/// vector load/store and forwards the request to the memory controller.
+/// Pipelined — it releases the control credit immediately.
+class AguComponent final : public Component {
+ public:
+  explicit AguComponent(PeNode& node)
+      : Component("agu" + std::to_string(node.pe_index)), node_(node) {}
+
+  Connection* to_controller = nullptr;
+
+  void handle(const Message& msg, SimTime now, Connection* from) override {
+    const auto pc = static_cast<std::size_t>(msg.a);
+    const Instruction& inst = node_.program()[pc];
+    const int row =
+        as_signed(node_.pe->scalar_reg(inst.src1)) + inst.imm;
+    to_controller->send({kMsgMemReq, static_cast<std::int64_t>(pc), row,
+                         static_cast<std::int64_t>(node_.pe_index)},
+                        now);
+    from->release(now);
+  }
+
+ private:
+  PeNode& node_;
+};
+
+/// The shared memory controller: one banked timing model servicing every
+/// PE. Each PE's scratchpad occupies its own row slab, so PE i row r
+/// maps to global row i*rows_per_pe + r — concurrent PEs hit the same
+/// banks and contend. The AGU→controller credit is held until the burst
+/// drains (bank busy = back-pressure).
+class MemControllerComponent final : public Component {
+ public:
+  MemControllerComponent(const MemTimingConfig& config,
+                         std::int64_t rows_per_pe)
+      : Component("memctl"), timing_(config), rows_per_pe_(rows_per_pe) {}
+
+  std::vector<Connection*> to_ctrl;  // per PE
+  std::vector<PeNode*> nodes;        // per PE
+
+  void handle(const Message& msg, SimTime now, Connection* from) override {
+    const auto pe = static_cast<std::size_t>(msg.c);
+    // Out-of-range rows are a program bug; the functional step() at
+    // completion raises the same error the legacy interpreter would, so
+    // the timing model just needs a well-formed key here.
+    const std::int64_t row = std::max<std::int64_t>(msg.b, 0);
+    const MemTimingStats before = timing_.stats();
+    const SimTime completion =
+        timing_.access(rows_per_pe_ * static_cast<std::int64_t>(pe) + row,
+                       now);
+    const MemTimingStats& after = timing_.stats();
+    FabricCounters& c = nodes[pe]->out.counters;
+    c.row_hits += after.row_hits - before.row_hits;
+    c.row_misses += after.row_misses - before.row_misses;
+    c.bank_conflicts += after.bank_conflicts - before.bank_conflicts;
+    to_ctrl[pe]->send({kMsgMemDone, msg.a}, completion);
+    from->release(completion);
+  }
+
+  const MemTimingStats& stats() const noexcept { return timing_.stats(); }
+
+ private:
+  BankedMemTiming timing_;
+  std::int64_t rows_per_pe_;
+};
+
+/// The SIMD pipeline: executes the instruction functionally (via the
+/// shared step()) and models its latency — simd_ratio ticks, times the
+/// slowdown of the slowest active lane. Detection and mid-kernel spare
+/// bypass live here (docs/SODA.md).
+class SimdComponent final : public Component {
+ public:
+  explicit SimdComponent(PeNode& node)
+      : Component("simd" + std::to_string(node.pe_index)), node_(node) {}
+
+  Connection* to_ctrl = nullptr;
+
+  void handle(const Message& msg, SimTime now, Connection* from) override {
+    const auto pc = static_cast<std::size_t>(msg.a);
+    const auto result = node_.pe->step(node_.program(), pc, node_.stats);
+    const int k = active_slowdown();
+    const auto latency =
+        static_cast<SimTime>(node_.simd_ratio) * static_cast<SimTime>(k);
+    if (k > 1) {
+      ++node_.out.counters.slow_simd_ops;
+      node_.out.counters.lane_stall_cycles +=
+          static_cast<long>(node_.simd_ratio) * (k - 1);
+      maybe_bypass();
+    }
+    to_ctrl->send({kMsgSimdDone, static_cast<std::int64_t>(result.next_pc),
+                   result.halted ? 1 : 0},
+                  now + latency);
+    from->release(now + latency);
+  }
+
+ private:
+  /// Slowdown multiple of the slowest physical FU the lane map currently
+  /// touches (1 = full speed). A successful bypass remaps the lanes away
+  /// from slow FUs, so this drops back to 1 by construction.
+  int active_slowdown() const {
+    const auto& slowdown = node_.pe->lane_timing().fu_slowdown;
+    if (slowdown.empty()) return 1;
+    int k = 1;
+    for (const int fu : node_.pe->simd().lane_map())
+      k = std::max(k, slowdown[static_cast<std::size_t>(fu)]);
+    return k;
+  }
+
+  /// After detect_after stalled instructions, union the slow FUs with
+  /// any already-faulty ones and flip the XRAM bypass if enough healthy
+  /// FUs remain. One attempt only — an uncoverable PE keeps stalling.
+  void maybe_bypass() {
+    const LaneTimingConfig& lt = node_.pe->lane_timing();
+    if (++node_.slow_ops_seen < lt.detect_after || !lt.auto_bypass ||
+        node_.bypass_attempted)
+      return;
+    node_.bypass_attempted = true;
+    const auto physical = static_cast<std::size_t>(
+        node_.pe->simd().physical_fus());
+    std::vector<std::uint8_t> faulty(physical, 0);
+    const auto declared = node_.pe->faulty_fus();
+    for (std::size_t i = 0; i < declared.size(); ++i) faulty[i] = declared[i];
+    long healthy = 0;
+    for (std::size_t i = 0; i < physical; ++i) {
+      if (lt.fu_slowdown[i] > 1) faulty[i] = 1;
+      if (faulty[i] == 0) ++healthy;
+    }
+    if (healthy < node_.pe->simd().width()) return;  // spares can't cover
+    node_.pe->set_faulty_fus(faulty);
+    ++node_.out.counters.bypass_activations;
+  }
+
+  PeNode& node_;
+};
+
+/// The adder tree: kVReduceSum executes here (one SIMD cycle, as in the
+/// legacy interpreter; the tree is pipelined full-width hardware, so
+/// lane slowdowns don't apply).
+class AdderTreeComponent final : public Component {
+ public:
+  explicit AdderTreeComponent(PeNode& node)
+      : Component("adder" + std::to_string(node.pe_index)), node_(node) {}
+
+  Connection* to_ctrl = nullptr;
+
+  void handle(const Message& msg, SimTime now, Connection* from) override {
+    const auto pc = static_cast<std::size_t>(msg.a);
+    const auto result = node_.pe->step(node_.program(), pc, node_.stats);
+    const auto latency = static_cast<SimTime>(node_.simd_ratio);
+    to_ctrl->send(
+        {kMsgReduceDone, static_cast<std::int64_t>(result.next_pc), 0},
+        now + latency);
+    from->release(now + latency);
+  }
+
+ private:
+  PeNode& node_;
+};
+
+}  // namespace
+
+FabricOutcome run_on_fabric(std::span<ProcessingElement* const> pes,
+                            std::span<const std::vector<Program>> queues,
+                            const FabricRunConfig& config) {
+  if (pes.size() != queues.size())
+    throw std::invalid_argument("run_on_fabric: pes/queues size mismatch");
+  if (pes.empty()) throw std::invalid_argument("run_on_fabric: no PEs");
+  if (!config.simd_ratio.empty() && config.simd_ratio.size() != pes.size())
+    throw std::invalid_argument(
+        "run_on_fabric: simd_ratio must be empty or one entry per PE");
+
+  // Each PE's scratchpad rows occupy one contiguous slab of the global
+  // row space the shared controller times.
+  std::int64_t rows_per_pe = 1;
+  for (const ProcessingElement* pe : pes) {
+    rows_per_pe = std::max<std::int64_t>(rows_per_pe,
+                                         pe->config().mem_entries);
+  }
+
+  std::vector<PeNode> nodes(pes.size());
+  std::vector<ControlComponent> ctrls;
+  std::vector<AguComponent> agus;
+  std::vector<SimdComponent> simds;
+  std::vector<AdderTreeComponent> adders;
+  ctrls.reserve(pes.size());
+  agus.reserve(pes.size());
+  simds.reserve(pes.size());
+  adders.reserve(pes.size());
+
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    PeNode& node = nodes[i];
+    node.pe = pes[i];
+    node.pe_index = i;
+    node.queue = queues[i];
+    node.max_instructions = config.max_instructions;
+    node.simd_ratio = config.simd_ratio.empty()
+                          ? 1
+                          : std::max(1, config.simd_ratio[i]);
+    ctrls.emplace_back(node);
+    agus.emplace_back(node);
+    simds.emplace_back(node);
+    adders.emplace_back(node);
+  }
+
+  MemControllerComponent controller(config.mem, rows_per_pe);
+
+  // Registration order fixes the deterministic component ids: the four
+  // islands of PE 0, then PE 1, ..., then the shared controller.
+  Fabric fabric;
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    fabric.add(ctrls[i]);
+    fabric.add(agus[i]);
+    fabric.add(simds[i]);
+    fabric.add(adders[i]);
+  }
+  fabric.add(controller);
+
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    ctrls[i].to_agu = &fabric.connect(ctrls[i], agus[i], 0, 1);
+    ctrls[i].to_simd = &fabric.connect(ctrls[i], simds[i], 0, 1);
+    ctrls[i].to_adder = &fabric.connect(ctrls[i], adders[i], 0, 1);
+    agus[i].to_controller = &fabric.connect(agus[i], controller, 0, 1);
+    simds[i].to_ctrl = &fabric.connect(simds[i], ctrls[i], 0, 1);
+    adders[i].to_ctrl = &fabric.connect(adders[i], ctrls[i], 0, 1);
+    controller.to_ctrl.push_back(&fabric.connect(controller, ctrls[i], 0, 1));
+    controller.nodes.push_back(&nodes[i]);
+    if (!queues[i].empty()) fabric.schedule(ctrls[i], {kMsgIssue}, 0);
+    else {
+      nodes[i].done = true;
+    }
+  }
+
+  fabric.run(config.max_events);
+
+  FabricOutcome outcome;
+  outcome.events = fabric.events_processed();
+  for (const Connection* conn : fabric.connections())
+    outcome.messages += conn->stats().sent;
+  outcome.mem = controller.stats();
+  outcome.pes.reserve(nodes.size());
+  for (PeNode& node : nodes) {
+    if (!node.done)
+      throw std::logic_error("run_on_fabric: PE deadlocked (fabric drained "
+                             "with work outstanding)");
+    node.out.counters.events = outcome.events;
+    node.out.counters.messages = outcome.messages;
+    node.out.counters.ticks = node.finish_tick;
+    outcome.makespan_ticks = std::max(outcome.makespan_ticks,
+                                      node.finish_tick);
+    outcome.pes.push_back(std::move(node.out));
+  }
+
+  obs::counter("soda.fabric.runs").increment();
+  obs::counter("soda.fabric.events").add(outcome.events);
+  obs::counter("soda.fabric.messages").add(outcome.messages);
+  obs::counter("soda.mem.accesses").add(outcome.mem.accesses);
+  obs::counter("soda.mem.row_hits").add(outcome.mem.row_hits);
+  obs::counter("soda.mem.row_misses").add(outcome.mem.row_misses);
+  obs::counter("soda.mem.bank_conflicts").add(outcome.mem.bank_conflicts);
+  for (const PeOutcome& pe : outcome.pes) {
+    obs::counter("soda.fabric.mem_stall_cycles")
+        .add(pe.counters.mem_stall_cycles);
+    obs::counter("soda.fabric.lane_stall_cycles")
+        .add(pe.counters.lane_stall_cycles);
+    obs::counter("soda.fabric.bypass_activations")
+        .add(pe.counters.bypass_activations);
+  }
+  return outcome;
+}
+
+RunStats ProcessingElement::run_fabric(const Program& program,
+                                       long max_instructions) {
+  FabricRunConfig config;
+  config.mem = mem_timing_;
+  config.max_instructions = max_instructions;
+  ProcessingElement* self = this;
+  const std::vector<Program> queue{program};
+  const FabricOutcome outcome =
+      run_on_fabric({&self, 1}, {&queue, 1}, config);
+  fabric_counters_ = outcome.pes[0].counters;
+  return outcome.pes[0].stats;
+}
+
+}  // namespace ntv::soda

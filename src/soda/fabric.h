@@ -1,0 +1,87 @@
+// The SODA machine expressed as components on the event fabric.
+//
+// ROADMAP item 3's tentpole: the PE's subsystems become Components on
+// soda/event.h's deterministic scheduler —
+//
+//   Control ──req──▶ AGU ──req──▶ MemController   (kVLoad / kVStore)
+//      ▲◀────────────done───────────────┘
+//   Control ──exec──▶ SimdUnit component           (SIMD arithmetic)
+//   Control ──exec──▶ AdderTree component          (kVReduceSum)
+//
+// Each PE gets its own Control/AGU/SIMD/AdderTree island; all PEs share
+// ONE memory controller wrapping the banked timing model
+// (soda/mem_timing.h), so concurrent PEs contend for banks. Every edge
+// is a credit-based Connection: a busy bank holds the AGU→controller
+// credit until the burst drains, which back-pressures the AGU and in
+// turn the control unit — no transfer is ever lost or duplicated
+// (property-tested in tests/soda/event_test.cc).
+//
+// Timing contract (docs/SODA.md):
+//  * ticks are FV (memory-clock) periods; a scalar/control instruction
+//    takes 1 tick, a SIMD instruction `simd_ratio * k` ticks where k is
+//    the slowdown of its slowest active lane, a vector load/store takes
+//    whatever the memory controller says (exactly 1 in kIdeal mode);
+//  * the architectural RunStats cycle pools are bumped by the SAME
+//    ProcessingElement::step() the legacy interpreter uses, so in the
+//    ideal/no-fault configuration the fabric reproduces legacy cycle
+//    counts EXACTLY (tests/soda/fabric_diff_test.cc) — stalls, bank
+//    conflicts and lane slowdowns only ever appear in FabricCounters.
+//
+// Variation hook: LaneTimingConfig (soda/pe.h) marks physical FUs slow
+// by an integer multiple of the SIMD clock; the whole SIMD word waits
+// for its slowest active lane. After `detect_after` stalled
+// instructions the SIMD component unions the slow FUs with any already
+// declared faulty ones and — when spares cover them — flips the XRAM
+// bypass mid-kernel (SimdUnit::set_faulty), after which the lane map
+// avoids the slow FUs and the stalls stop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "soda/event.h"
+#include "soda/mem_timing.h"
+#include "soda/pe.h"
+#include "soda/program.h"
+
+namespace ntv::soda {
+
+/// One fabric run over one or more PEs with a shared memory controller.
+struct FabricRunConfig {
+  MemTimingConfig mem;                  ///< Shared controller timing model.
+  /// Per-PE SIMD-to-memory clock ratio (ticks per SIMD cycle, >= 1).
+  /// Empty = every PE at 1 (full-voltage SIMD clock).
+  std::vector<int> simd_ratio;
+  long max_instructions = 10'000'000;   ///< Per program (legacy semantics).
+  long max_events = 200'000'000;        ///< Scheduler runaway guard.
+};
+
+/// Per-PE result of a fabric run.
+struct PeOutcome {
+  /// Architectural counters, summed over the PE's program queue
+  /// (`halted` = every program reached kHalt).
+  RunStats stats;
+  /// Fabric-side counters for this PE (events/messages are whole-run).
+  FabricCounters counters;
+  long programs_completed = 0;
+};
+
+/// Whole-run result.
+struct FabricOutcome {
+  std::vector<PeOutcome> pes;
+  SimTime makespan_ticks = 0;   ///< Latest PE finish tick.
+  long events = 0;              ///< Scheduler dispatches.
+  long messages = 0;            ///< Connection messages sent.
+  MemTimingStats mem;           ///< Shared-controller counters.
+};
+
+/// Runs each PE's program queue to completion on one shared fabric.
+/// `pes` and `queues` must have equal size; PE i executes queues[i] in
+/// order (each program with fresh RunStats, exactly like repeated
+/// ProcessingElement::run calls). Deterministic: identical inputs give
+/// identical outcomes, event-for-event, on any host or thread count.
+FabricOutcome run_on_fabric(std::span<ProcessingElement* const> pes,
+                            std::span<const std::vector<Program>> queues,
+                            const FabricRunConfig& config);
+
+}  // namespace ntv::soda

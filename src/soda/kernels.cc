@@ -1,5 +1,6 @@
 #include "soda/kernels.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -387,6 +388,266 @@ std::vector<std::int16_t> MatVecKernel::reference(
         static_cast<std::int16_t>(sum & 0xFFFF);
   }
   return y;
+}
+
+// ---- GemmKernel ------------------------------------------------------------
+
+void GemmKernel::prepare(ProcessingElement& pe,
+                         std::span<const std::int16_t> a,
+                         std::span<const std::int16_t> b) const {
+  const int width = pe.config().width;
+  if (static_cast<int>(a.size()) != m * k)
+    throw std::invalid_argument("GemmKernel::prepare: A must be m*k");
+  if (static_cast<int>(b.size()) != k * width)
+    throw std::invalid_argument("GemmKernel::prepare: B must be k*width");
+  for (int i = 0; i < m * k; ++i) {
+    pe.scalar_memory().write(
+        a_addr + i,
+        static_cast<std::uint16_t>(a[static_cast<std::size_t>(i)]));
+  }
+  for (int r = 0; r < k; ++r) {
+    write_row_i16(pe, b_row0 + r,
+                  b.subspan(static_cast<std::size_t>(r * width),
+                            static_cast<std::size_t>(width)));
+  }
+}
+
+Program GemmKernel::build() const {
+  if (m < 1 || k < 1 || tile_m < 1 || tile_k < 1 || m % tile_m != 0 ||
+      k % tile_k != 0)
+    throw std::invalid_argument("GemmKernel::build: bad tiling");
+  // The B slab and the accumulators live in the upper register file
+  // (v16+), clear of the scratch registers the helper enums use.
+  const int b_base = 16;
+  const int acc_base = b_base + tile_k;
+  if (acc_base + tile_m > kVectorRegs)
+    throw std::invalid_argument(
+        "GemmKernel::build: tile does not fit the register file");
+
+  ProgramBuilder b;
+  b.li(R0, 0);
+  for (int mt = 0; mt < m; mt += tile_m) {
+    for (int i = 0; i < tile_m; ++i) {
+      b.vxor(acc_base + i, acc_base + i, acc_base + i);
+    }
+    for (int kt = 0; kt < k; kt += tile_k) {
+      // One tile_k slab of B feeds tile_m accumulator rows.
+      for (int j = 0; j < tile_k; ++j) {
+        b.vload(b_base + j, R0, b_row0 + kt + j);
+      }
+      for (int i = 0; i < tile_m; ++i) {
+        for (int j = 0; j < tile_k; ++j) {
+          b.sload(R2, R0, a_addr + (mt + i) * k + (kt + j));
+          b.vsplat(V_T1, R2);
+          b.vmac(acc_base + i, V_T1, b_base + j);
+        }
+      }
+    }
+    for (int i = 0; i < tile_m; ++i) {
+      b.vstore(acc_base + i, R0, c_row0 + mt + i);
+    }
+  }
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> GemmKernel::reference(
+    std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+    int m, int k, int width) {
+  if (static_cast<int>(a.size()) != m * k ||
+      static_cast<int>(b.size()) != k * width)
+    throw std::invalid_argument("GemmKernel::reference: size mismatch");
+  std::vector<std::int16_t> c(static_cast<std::size_t>(m * width), 0);
+  for (int r = 0; r < m; ++r) {
+    for (int lane = 0; lane < width; ++lane) {
+      std::int16_t acc = 0;
+      for (int t = 0; t < k; ++t) {
+        // Wrapping product and accumulation (vmac); wrap-add is
+        // associative, so any tiling order gives this exact result.
+        const std::int16_t prod = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(a[static_cast<std::size_t>(r * k + t)]) *
+            b[static_cast<std::size_t>(t * width + lane)]);
+        acc = wrap_add(acc, prod);
+      }
+      c[static_cast<std::size_t>(r * width + lane)] = acc;
+    }
+  }
+  return c;
+}
+
+// ---- StencilKernel ---------------------------------------------------------
+
+void StencilKernel::prepare(
+    ProcessingElement& pe,
+    std::span<const std::int16_t> coefficients_5) const {
+  if (coefficients_5.size() != 5)
+    throw std::invalid_argument(
+        "StencilKernel::prepare: need 5 coefficients (C, N, S, W, E)");
+  for (int i = 0; i < 5; ++i) {
+    pe.scalar_memory().write(
+        coef_addr + i,
+        static_cast<std::uint16_t>(
+            coefficients_5[static_cast<std::size_t>(i)]));
+  }
+  for (int dx = -1; dx <= 1; ++dx) {
+    pe.program_shuffle(ctx0 + dx + 1,
+                       rotation_mapping(pe.config().width, dx));
+  }
+  // Circular row-index table, exactly as in Conv2dKernel: row (r + dy)
+  // for dy in {-1, 0, 1} is T[r + dy + 1].
+  for (int i = 0; i <= height + 1; ++i) {
+    const int wrapped = ((i - 1) % height + height) % height;
+    pe.scalar_memory().write(coef_addr + 16 + i,
+                             static_cast<std::uint16_t>(image_row0 + wrapped));
+  }
+}
+
+Program StencilKernel::build() const {
+  // R1 = output row index r (counts up), R8 = remaining rows.
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.li(R1, 0);
+  b.li(R8, height);
+  b.bind("row_loop");
+  // Center row feeds the C, W and E taps.
+  b.sload(R4, R1, coef_addr + 16 + 1);
+  b.vload(V_IN, R4, 0);
+  b.vxor(V_ACC, V_ACC, V_ACC);
+  b.sload(R2, R0, coef_addr + 0);  // C
+  b.vsplat(V_T1, R2);
+  b.vmac(V_ACC, V_T1, V_IN);
+  b.vshuf(V_T2, V_IN, ctx0 + 0);  // img(r, c-1)
+  b.sload(R2, R0, coef_addr + 3);  // W
+  b.vsplat(V_T1, R2);
+  b.vmac(V_ACC, V_T1, V_T2);
+  b.vshuf(V_T2, V_IN, ctx0 + 2);  // img(r, c+1)
+  b.sload(R2, R0, coef_addr + 4);  // E
+  b.vsplat(V_T1, R2);
+  b.vmac(V_ACC, V_T1, V_T2);
+  // North and south rows feed their single center tap.
+  b.sload(R4, R1, coef_addr + 16 + 0);
+  b.vload(V_IN, R4, 0);
+  b.sload(R2, R0, coef_addr + 1);  // N
+  b.vsplat(V_T1, R2);
+  b.vmac(V_ACC, V_T1, V_IN);
+  b.sload(R4, R1, coef_addr + 16 + 2);
+  b.vload(V_IN, R4, 0);
+  b.sload(R2, R0, coef_addr + 2);  // S
+  b.vsplat(V_T1, R2);
+  b.vmac(V_ACC, V_T1, V_IN);
+  b.vstore(V_ACC, R1, output_row0);
+  b.saddi(R1, R1, 1);
+  b.saddi(R8, R8, -1);
+  b.bnez(R8, "row_loop");
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> StencilKernel::reference(
+    std::span<const std::int16_t> image, int height, int width,
+    std::span<const std::int16_t> coefficients_5) {
+  if (static_cast<int>(image.size()) != height * width ||
+      coefficients_5.size() != 5)
+    throw std::invalid_argument("StencilKernel::reference: size mismatch");
+  const auto at = [&](int r, int c) {
+    const int rr = (r % height + height) % height;
+    const int cc = (c % width + width) % width;
+    return image[static_cast<std::size_t>(rr * width + cc)];
+  };
+  std::vector<std::int16_t> out(image.size(), 0);
+  for (int r = 0; r < height; ++r) {
+    for (int c = 0; c < width; ++c) {
+      // Tap order matches the program (C, W, E, N, S); wrap-add is
+      // associative so the order is immaterial anyway.
+      std::int16_t acc = 0;
+      const std::int16_t taps[5][3] = {{coefficients_5[0], 0, 0},
+                                       {coefficients_5[3], 0, -1},
+                                       {coefficients_5[4], 0, 1},
+                                       {coefficients_5[1], -1, 0},
+                                       {coefficients_5[2], 1, 0}};
+      for (const auto& tap : taps) {
+        const std::int16_t prod = static_cast<std::int16_t>(
+            static_cast<std::int32_t>(tap[0]) * at(r + tap[1], c + tap[2]));
+        acc = wrap_add(acc, prod);
+      }
+      out[static_cast<std::size_t>(r * width + c)] = acc;
+    }
+  }
+  return out;
+}
+
+// ---- BitonicSortKernel -----------------------------------------------------
+
+int BitonicSortKernel::steps(int width) {
+  if (!is_pow2(width))
+    throw std::invalid_argument("BitonicSortKernel: width not power of 2");
+  const int stages = ilog2(width);
+  return stages * (stages + 1) / 2;
+}
+
+void BitonicSortKernel::prepare(ProcessingElement& pe) const {
+  const int width = pe.config().width;
+  const int bits = ilog2(width);
+  if (!is_pow2(width))
+    throw std::invalid_argument("BitonicSortKernel: width not power of 2");
+
+  // XOR-partner contexts: ctx0 + b swaps across distance 2^b.
+  for (int b = 0; b < bits; ++b) {
+    std::vector<int> map(static_cast<std::size_t>(width));
+    for (int o = 0; o < width; ++o) {
+      map[static_cast<std::size_t>(o)] = o ^ (1 << b);
+    }
+    pe.program_shuffle(ctx0 + b, map);
+  }
+
+  // Per-step take-max masks (sign bit drives vselect). Lane o of the
+  // compare-exchange at block size kk, distance j keeps the max iff it
+  // is the upper end of an ascending pair or the lower end of a
+  // descending one.
+  int step = 0;
+  for (int kk = 2; kk <= width; kk <<= 1) {
+    for (int j = kk >> 1; j >= 1; j >>= 1, ++step) {
+      std::vector<std::int16_t> mask(static_cast<std::size_t>(width));
+      for (int o = 0; o < width; ++o) {
+        const bool ascending = (o & kk) == 0;
+        const bool take_max = ascending ? (o & j) != 0 : (o & j) == 0;
+        mask[static_cast<std::size_t>(o)] =
+            take_max ? std::int16_t{-32768} : std::int16_t{0};
+      }
+      write_row_i16(pe, mask_row0 + step, mask);
+    }
+  }
+}
+
+Program BitonicSortKernel::build(const ProcessingElement& pe) const {
+  const int width = pe.config().width;
+  if (!is_pow2(width))
+    throw std::invalid_argument("BitonicSortKernel: width not power of 2");
+
+  // X = XR (working row), partner in AR, maxes in BR, mask in TR.
+  ProgramBuilder b;
+  b.li(R0, 0);
+  b.vload(XR, R0, input_row);
+  int step = 0;
+  for (int kk = 2; kk <= width; kk <<= 1) {
+    for (int j = kk >> 1; j >= 1; j >>= 1, ++step) {
+      b.vshuf(AR, XR, ctx0 + ilog2(j));
+      b.vmax(BR, XR, AR);
+      b.vmin(XR, XR, AR);
+      b.vload(TR, R0, mask_row0 + step);
+      b.vsel(XR, BR, TR);
+    }
+  }
+  b.vstore(XR, R0, output_row);
+  b.halt();
+  return b.build();
+}
+
+std::vector<std::int16_t> BitonicSortKernel::reference(
+    std::span<const std::int16_t> values) {
+  std::vector<std::int16_t> out(values.begin(), values.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // ---- DotKernel -------------------------------------------------------------

@@ -127,6 +127,85 @@ struct MatVecKernel {
       std::span<const std::int16_t> x);
 };
 
+// ---- register-tiled GEMM --------------------------------------------------
+
+/// C = A * B for an (m x k) int16 matrix A (scalar memory, row-major)
+/// and a (k x width) matrix B (one row per SIMD memory row). Register
+/// blocking: a tile_k x width slab of B is loaded into vector registers
+/// once and reused by tile_m accumulator rows, so each B element is
+/// fetched k/tile_k times less than the naive loop. Lane arithmetic is
+/// the PE's wrapping vmac (product wraps at 16 bits, accumulation wraps
+/// at 16 bits), so the tiled order gives bit-identical results to the
+/// naive order.
+struct GemmKernel {
+  int b_row0 = 0;     ///< First row of B in SIMD memory (k rows).
+  int c_row0 = 16;    ///< First row of C in SIMD memory (m rows).
+  int a_addr = 0;     ///< Scalar-memory address of A (row-major, m*k).
+  int m = 8;          ///< Rows of A / C.
+  int k = 8;          ///< Columns of A = rows of B.
+  int tile_m = 4;     ///< Accumulator rows per tile (must divide m).
+  int tile_k = 4;     ///< B rows resident per tile (must divide k).
+
+  /// Writes A to scalar memory and B to SIMD memory rows.
+  void prepare(ProcessingElement& pe, std::span<const std::int16_t> a,
+               std::span<const std::int16_t> b) const;
+
+  /// Builds the fully unrolled tiled program.
+  Program build() const;
+
+  /// Bit-exact reference (same wrapping arithmetic as vmac).
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+      int m, int k, int width);
+};
+
+// ---- 5-point (cross) stencil ---------------------------------------------
+
+/// out(r, c) = cC*img(r,c) + cN*img(r-1,c) + cS*img(r+1,c)
+///           + cW*img(r,c-1) + cE*img(r,c+1), circular in both axes.
+/// One image row per SIMD memory row; dx via rotation shuffles, dy via a
+/// circular row-index table in scalar memory (as in Conv2dKernel).
+struct StencilKernel {
+  int image_row0 = 0;    ///< First image row in SIMD memory.
+  int height = 8;        ///< Image rows.
+  int output_row0 = 64;  ///< First output row.
+  int coef_addr = 32;    ///< Scalar memory: 5 coefficients C,N,S,W,E.
+  int ctx0 = 0;          ///< Three rotation contexts (dx = -1, 0, +1).
+
+  void prepare(ProcessingElement& pe,
+               std::span<const std::int16_t> coefficients_5) const;
+  Program build() const;
+
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> image, int height, int width,
+      std::span<const std::int16_t> coefficients_5);
+};
+
+// ---- bitonic sort ---------------------------------------------------------
+
+/// Sorts one SIMD row of int16 ascending with the full width-lane
+/// bitonic network: every compare-exchange step is one XOR-partner
+/// shuffle, a vmin/vmax pair and a mask-row vselect, so the whole sort
+/// is branch-free SIMD code. Width must be a power of two; the network
+/// has sum_{s=1..log2 w} s steps (28 for width 128).
+struct BitonicSortKernel {
+  int input_row = 0;   ///< Row holding the unsorted values.
+  int output_row = 1;  ///< Row receiving the sorted values.
+  int mask_row0 = 32;  ///< One take-max mask row per network step.
+  int ctx0 = 0;        ///< log2(width) XOR-partner shuffle contexts.
+
+  /// Network steps for a given width.
+  static int steps(int width);
+
+  /// Programs the partner contexts and writes the per-step mask rows.
+  void prepare(ProcessingElement& pe) const;
+  Program build(const ProcessingElement& pe) const;
+
+  /// Reference: ascending signed sort.
+  static std::vector<std::int16_t> reference(
+      std::span<const std::int16_t> values);
+};
+
 // ---- dot product via the adder tree --------------------------------------
 
 /// dot = sum_l a[l] * b[l] (32-bit), left in scalar regs (lo, hi) and

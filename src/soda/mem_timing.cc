@@ -1,0 +1,54 @@
+#include "soda/mem_timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntv::soda {
+
+BankedMemTiming::BankedMemTiming(const MemTimingConfig& config)
+    : config_(config) {
+  if (config.banks < 1 || config.t_row_hit < 1 ||
+      config.t_row_miss < config.t_row_hit)
+    throw std::invalid_argument("BankedMemTiming: bad configuration");
+  reset_state();
+}
+
+void BankedMemTiming::reset_state() {
+  open_row_.assign(static_cast<std::size_t>(config_.banks), -1);
+  bank_free_.assign(static_cast<std::size_t>(config_.banks), 0);
+}
+
+SimTime BankedMemTiming::access(std::int64_t global_row, SimTime now) {
+  ++stats_.accesses;
+  if (config_.mode == MemTimingConfig::Mode::kIdeal) {
+    stats_.service_ticks += 1;
+    ++stats_.row_hits;
+    return now + 1;
+  }
+  if (global_row < 0)
+    throw std::invalid_argument("BankedMemTiming::access: negative row");
+  const auto bank =
+      static_cast<std::size_t>(global_row % config_.banks);
+  const std::int64_t buffer_row = global_row / config_.banks;
+
+  SimTime start = now;
+  if (bank_free_[bank] > now) {
+    ++stats_.bank_conflicts;
+    stats_.conflict_ticks += bank_free_[bank] - now;
+    start = bank_free_[bank];
+  }
+  SimTime burst;
+  if (open_row_[bank] == buffer_row) {
+    ++stats_.row_hits;
+    burst = static_cast<SimTime>(config_.t_row_hit);
+  } else {
+    ++stats_.row_misses;
+    open_row_[bank] = buffer_row;
+    burst = static_cast<SimTime>(config_.t_row_miss);
+  }
+  stats_.service_ticks += burst;
+  bank_free_[bank] = start + burst;
+  return bank_free_[bank];
+}
+
+}  // namespace ntv::soda

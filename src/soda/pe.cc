@@ -1,6 +1,8 @@
 #include "soda/pe.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 namespace ntv::soda {
@@ -70,6 +72,35 @@ void ProcessingElement::program_shuffle(int context,
 void ProcessingElement::set_faulty_fus(
     std::span<const std::uint8_t> faulty) {
   simd_.set_faulty(faulty);
+  faulty_fus_.assign(faulty.begin(), faulty.end());
+}
+
+void ProcessingElement::set_lane_timing(LaneTimingConfig config) {
+  if (!config.fu_slowdown.empty() &&
+      config.fu_slowdown.size() !=
+          static_cast<std::size_t>(simd_.physical_fus()))
+    throw std::invalid_argument(
+        "set_lane_timing: fu_slowdown must have one entry per physical FU");
+  for (const int s : config.fu_slowdown)
+    if (s < 1)
+      throw std::invalid_argument(
+          "set_lane_timing: slowdown multiples must be >= 1");
+  if (config.detect_after < 1)
+    throw std::invalid_argument("set_lane_timing: detect_after must be >= 1");
+  lane_timing_ = std::move(config);
+}
+
+ProcessingElement::Engine ProcessingElement::default_engine() {
+  static const Engine engine = [] {
+    const char* env = std::getenv("NTV_SODA_ENGINE");
+    if (env != nullptr && std::strcmp(env, "legacy") == 0)
+      return Engine::kLegacy;
+    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "fabric") != 0)
+      throw std::invalid_argument(
+          "NTV_SODA_ENGINE must be 'fabric' or 'legacy'");
+    return Engine::kFabric;
+  }();
+  return engine;
 }
 
 std::uint16_t ProcessingElement::scalar_reg(int r) const {
@@ -132,104 +163,117 @@ void ProcessingElement::exec_simd(const Instruction& inst) {
 
 RunStats ProcessingElement::run(const Program& program,
                                 long max_instructions) {
+  return engine_ == Engine::kLegacy ? run_legacy(program, max_instructions)
+                                    : run_fabric(program, max_instructions);
+}
+
+RunStats ProcessingElement::run_legacy(const Program& program,
+                                       long max_instructions) {
+  fabric_counters_ = {};
   RunStats stats;
   std::size_t pc = 0;
   while (pc < program.size()) {
     if (stats.instructions >= max_instructions)
       throw std::runtime_error("ProcessingElement::run: instruction limit");
-    const Instruction& inst = program[pc];
-    if (trace_) trace_(pc, inst);
-    ++stats.instructions;
-    std::size_t next = pc + 1;
-
-    switch (inst.op) {
-      case Opcode::kNop:
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kHalt:
-        stats.halted = true;
-        return stats;
-
-      case Opcode::kLoadImm:
-        sregs_[inst.dst] = static_cast<std::uint16_t>(inst.imm);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSAdd:
-        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) +
-                                       as_signed(sregs_[inst.src2]));
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSSub:
-        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) -
-                                       as_signed(sregs_[inst.src2]));
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSMul:
-        sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) *
-                                       as_signed(sregs_[inst.src2]));
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSAddImm:
-        sregs_[inst.dst] =
-            as_unsigned(as_signed(sregs_[inst.src1]) + inst.imm);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSLoad:
-        sregs_[inst.dst] =
-            scalar_mem_.read(as_signed(sregs_[inst.src1]) + inst.imm);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kSStore:
-        scalar_mem_.write(as_signed(sregs_[inst.src1]) + inst.imm,
-                          sregs_[inst.src2]);
-        ++stats.scalar_cycles;
-        break;
-
-      case Opcode::kJump:
-        next = static_cast<std::size_t>(inst.imm);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kBranchNZ:
-        if (sregs_[inst.src1] != 0) next = static_cast<std::size_t>(inst.imm);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kBranchZ:
-        if (sregs_[inst.src1] == 0) next = static_cast<std::size_t>(inst.imm);
-        ++stats.scalar_cycles;
-        break;
-
-      case Opcode::kVLoad: {
-        const int row = as_signed(sregs_[inst.src1]) + inst.imm;
-        auto dst = simd_.reg(inst.dst);
-        simd_mem_.read_row(row, dst);
-        ++stats.memory_cycles;
-        break;
-      }
-      case Opcode::kVStore: {
-        const int row = as_signed(sregs_[inst.src1]) + inst.imm;
-        simd_mem_.write_row(row, simd_.reg(inst.src2));
-        ++stats.memory_cycles;
-        break;
-      }
-
-      case Opcode::kReadAccLo:
-        sregs_[inst.dst] = static_cast<std::uint16_t>(acc32_ & 0xFFFF);
-        ++stats.scalar_cycles;
-        break;
-      case Opcode::kReadAccHi:
-        sregs_[inst.dst] =
-            static_cast<std::uint16_t>((acc32_ >> 16) & 0xFFFF);
-        ++stats.scalar_cycles;
-        break;
-
-      default:
-        exec_simd(inst);
-        ++stats.simd_cycles;
-        break;
-    }
-    pc = next;
+    notify_trace(pc, program[pc]);
+    const StepResult result = step(program, pc, stats);
+    if (result.halted) return stats;
+    pc = result.next_pc;
   }
   return stats;
+}
+
+ProcessingElement::StepResult ProcessingElement::step(const Program& program,
+                                                      std::size_t pc,
+                                                      RunStats& stats) {
+  const Instruction& inst = program[pc];
+  ++stats.instructions;
+  std::size_t next = pc + 1;
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kHalt:
+      stats.halted = true;
+      return {next, true};
+
+    case Opcode::kLoadImm:
+      sregs_[inst.dst] = static_cast<std::uint16_t>(inst.imm);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSAdd:
+      sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) +
+                                     as_signed(sregs_[inst.src2]));
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSSub:
+      sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) -
+                                     as_signed(sregs_[inst.src2]));
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSMul:
+      sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) *
+                                     as_signed(sregs_[inst.src2]));
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSAddImm:
+      sregs_[inst.dst] = as_unsigned(as_signed(sregs_[inst.src1]) + inst.imm);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSLoad:
+      sregs_[inst.dst] =
+          scalar_mem_.read(as_signed(sregs_[inst.src1]) + inst.imm);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kSStore:
+      scalar_mem_.write(as_signed(sregs_[inst.src1]) + inst.imm,
+                        sregs_[inst.src2]);
+      ++stats.scalar_cycles;
+      break;
+
+    case Opcode::kJump:
+      next = static_cast<std::size_t>(inst.imm);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kBranchNZ:
+      if (sregs_[inst.src1] != 0) next = static_cast<std::size_t>(inst.imm);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kBranchZ:
+      if (sregs_[inst.src1] == 0) next = static_cast<std::size_t>(inst.imm);
+      ++stats.scalar_cycles;
+      break;
+
+    case Opcode::kVLoad: {
+      const int row = as_signed(sregs_[inst.src1]) + inst.imm;
+      auto dst = simd_.reg(inst.dst);
+      simd_mem_.read_row(row, dst);
+      ++stats.memory_cycles;
+      break;
+    }
+    case Opcode::kVStore: {
+      const int row = as_signed(sregs_[inst.src1]) + inst.imm;
+      simd_mem_.write_row(row, simd_.reg(inst.src2));
+      ++stats.memory_cycles;
+      break;
+    }
+
+    case Opcode::kReadAccLo:
+      sregs_[inst.dst] = static_cast<std::uint16_t>(acc32_ & 0xFFFF);
+      ++stats.scalar_cycles;
+      break;
+    case Opcode::kReadAccHi:
+      sregs_[inst.dst] = static_cast<std::uint16_t>((acc32_ >> 16) & 0xFFFF);
+      ++stats.scalar_cycles;
+      break;
+
+    default:
+      exec_simd(inst);
+      ++stats.simd_cycles;
+      break;
+  }
+  return {next, false};
 }
 
 double ProcessingElement::execution_time(const RunStats& stats, double t_simd,

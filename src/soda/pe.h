@@ -1,13 +1,24 @@
-// The Diet SODA processing element: interpreter + subsystems.
+// The Diet SODA processing element: subsystems + two execution engines.
 //
 // Ties together the pieces of Appendix B — multi-banked SIMD memory,
 // scalar memory, prefetcher, SIMD pipeline with shuffle network and adder
-// tree, and the scalar pipeline — under a simple sequential interpreter
-// with per-domain cycle accounting. The PE runs in two clock domains: the
+// tree, and the scalar pipeline. The PE runs in two clock domains: the
 // memory/scalar side at full voltage, the SIMD side at either full or
 // near-threshold voltage; `execution_time` converts the cycle counts into
 // wall-clock time for given clock periods (Section 4.3's constraint that
 // the SIMD period be a multiple of the memory period is asserted there).
+//
+// Two engines execute programs (docs/SODA.md):
+//  * kFabric (default): the event-driven port/component/connection
+//    fabric (soda/fabric.h) — Control, AGU, SIMD unit, adder tree and a
+//    memory controller exchange messages through the deterministic
+//    scheduler. This is the path that models banked memory timing,
+//    per-lane variation-induced stalls and mid-kernel spare bypass.
+//  * kLegacy: the original hand-rolled sequential interpreter, kept for
+//    one PR as the differential-test oracle (tests/soda/fabric_diff) —
+//    both engines produce byte-identical RunStats and functional state
+//    on every kernel; the ideal-timing fabric matches it cycle-exact.
+// `NTV_SODA_ENGINE=legacy|fabric` overrides the process default.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +29,8 @@
 #include "arch/xram.h"
 #include "soda/adder_tree.h"
 #include "soda/agu.h"
+#include "soda/event.h"
+#include "soda/mem_timing.h"
 #include "soda/memory.h"
 #include "soda/program.h"
 #include "soda/simd_unit.h"
@@ -43,9 +56,45 @@ struct RunStats {
   long memory_cycles = 0;    ///< FV-domain cycles (vector loads/stores).
 };
 
+/// Per-lane variation-induced timing faults (docs/SODA.md). Lane delays
+/// sampled by the variation study translate to integer slowdown
+/// multiples of the SIMD clock: a slow physical FU makes every SIMD
+/// instruction whose lane map touches it take `slowdown` cycles instead
+/// of one (the whole SIMD word waits for its slowest active lane). After
+/// `detect_after` stalled instructions the built-in test logic flags the
+/// slow FUs and — when spares cover them — remaps through the XRAM
+/// bypass mid-kernel, after which the stalls stop.
+struct LaneTimingConfig {
+  /// Per *physical* FU slowdown multiple (>= 1). Empty = every FU at 1.
+  std::vector<int> fu_slowdown;
+  /// Stalled SIMD instructions observed before bypass is attempted.
+  int detect_after = 32;
+  /// Attempt the spare-lane bypass at detection (needs enough healthy
+  /// FUs; otherwise the PE keeps stalling).
+  bool auto_bypass = true;
+};
+
+/// Fabric-run observability: what the event engine did beyond the
+/// architectural RunStats. Zero-filled after legacy runs.
+struct FabricCounters {
+  long events = 0;             ///< Scheduler dispatches (whole fabric).
+  long messages = 0;           ///< Connection messages sent (whole fabric).
+  SimTime ticks = 0;           ///< Finish tick of this PE (FV clock).
+  long mem_stall_cycles = 0;   ///< Extra ticks waiting on memory > 1/access.
+  long lane_stall_cycles = 0;  ///< Extra SIMD ticks from slow lanes.
+  long slow_simd_ops = 0;      ///< SIMD instructions that saw a slow lane.
+  long bypass_activations = 0; ///< Mid-kernel spare-bypass events.
+  long row_hits = 0;           ///< Memory controller row-buffer hits.
+  long row_misses = 0;         ///< Memory controller row-buffer misses.
+  long bank_conflicts = 0;     ///< Requests that found their bank busy.
+};
+
 /// One processing element.
 class ProcessingElement {
  public:
+  /// Program execution engine (docs/SODA.md).
+  enum class Engine { kFabric, kLegacy };
+
   explicit ProcessingElement(const PeConfig& config = {});
 
   const PeConfig& config() const noexcept { return config_; }
@@ -68,6 +117,12 @@ class ProcessingElement {
   /// bypass. Throws when too few healthy FUs remain.
   void set_faulty_fus(std::span<const std::uint8_t> faulty);
 
+  /// Faulty FUs currently declared (empty = none declared yet). The
+  /// fabric's auto-bypass unions its slow-lane faults with these.
+  std::span<const std::uint8_t> faulty_fus() const noexcept {
+    return faulty_fus_;
+  }
+
   // Scalar register access.
   std::uint16_t scalar_reg(int r) const;
   void set_scalar_reg(int r, std::uint16_t value);
@@ -80,11 +135,62 @@ class ProcessingElement {
   /// (pc, instruction). Empty function disables tracing (the default).
   using TraceHook = std::function<void(std::size_t, const Instruction&)>;
   void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+  /// Invokes the trace hook (if any). Engines call this, in program
+  /// order, before executing each instruction.
+  void notify_trace(std::size_t pc, const Instruction& inst) const {
+    if (trace_) trace_(pc, inst);
+  }
+
+  // ---- engine selection and fabric timing models ----
+
+  /// Process-wide default engine: kFabric, unless NTV_SODA_ENGINE=legacy.
+  static Engine default_engine();
+  void set_engine(Engine engine) noexcept { engine_ = engine; }
+  Engine engine() const noexcept { return engine_; }
+
+  /// Memory timing model used by fabric runs of this PE (ideal default —
+  /// the legacy-parity configuration).
+  void set_mem_timing(const MemTimingConfig& config) { mem_timing_ = config; }
+  const MemTimingConfig& mem_timing() const noexcept { return mem_timing_; }
+
+  /// Per-lane variation-induced timing faults for fabric runs.
+  void set_lane_timing(LaneTimingConfig config);
+  const LaneTimingConfig& lane_timing() const noexcept {
+    return lane_timing_;
+  }
+
+  /// Counters of the most recent fabric run (zeroed by legacy runs).
+  const FabricCounters& fabric_counters() const noexcept {
+    return fabric_counters_;
+  }
+  FabricCounters& mutable_fabric_counters() noexcept {
+    return fabric_counters_;
+  }
 
   /// Executes the program from pc=0 until kHalt, the end of the program,
   /// or `max_instructions` (safety net; throws std::runtime_error when
-  /// exceeded — a runaway loop is a program bug).
+  /// exceeded — a runaway loop is a program bug). Dispatches to the
+  /// selected engine; both produce identical RunStats and final state.
   RunStats run(const Program& program, long max_instructions = 10'000'000);
+
+  /// The legacy sequential interpreter (differential oracle).
+  RunStats run_legacy(const Program& program,
+                      long max_instructions = 10'000'000);
+
+  /// The event-driven fabric engine (soda/fabric.h).
+  RunStats run_fabric(const Program& program,
+                      long max_instructions = 10'000'000);
+
+  /// Executes exactly one instruction at `pc`, mutating architectural
+  /// state and cycle counters exactly as the legacy interpreter does
+  /// (this IS the legacy interpreter body; both engines share it).
+  /// Returns the next pc and whether kHalt was reached. The caller owns
+  /// the instruction-limit check and the trace hook.
+  struct StepResult {
+    std::size_t next_pc = 0;
+    bool halted = false;
+  };
+  StepResult step(const Program& program, std::size_t pc, RunStats& stats);
 
   /// Wall-clock execution time for the given clock periods [s].
   /// `t_simd` must be an integer multiple of `t_mem` within 1 ppm
@@ -105,6 +211,11 @@ class ProcessingElement {
   std::vector<std::uint16_t> sregs_;
   std::int32_t acc32_ = 0;
   TraceHook trace_;
+  std::vector<std::uint8_t> faulty_fus_;
+  Engine engine_ = default_engine();
+  MemTimingConfig mem_timing_;
+  LaneTimingConfig lane_timing_;
+  FabricCounters fabric_counters_;
 };
 
 }  // namespace ntv::soda

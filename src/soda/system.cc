@@ -87,6 +87,25 @@ Schedule SodaSystem::run_jobs(const std::vector<Job>& jobs) {
   return schedule;
 }
 
+FabricOutcome SodaSystem::run_concurrent(
+    const std::vector<std::vector<Program>>& queues,
+    const MemTimingConfig& mem) {
+  if (queues.size() != pes_.size())
+    throw std::invalid_argument("run_concurrent: one queue per PE required");
+  obs::ScopedTimer timer(obs::timer("soda.run_concurrent"));
+  FabricRunConfig config;
+  config.mem = mem;
+  config.simd_ratio.reserve(pes_.size());
+  for (std::size_t p = 0; p < pes_.size(); ++p) {
+    config.simd_ratio.push_back(
+        static_cast<int>(std::lround(t_simd_[p] / config_.t_mem)));
+  }
+  std::vector<ProcessingElement*> pes;
+  pes.reserve(pes_.size());
+  for (const auto& pe : pes_) pes.push_back(pe.get());
+  return run_on_fabric(pes, queues, config);
+}
+
 double SodaSystem::ideal_makespan(const Schedule& schedule) const {
   const double fastest =
       *std::min_element(t_simd_.begin(), t_simd_.end());

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "soda/fabric.h"
 #include "soda/pe.h"
 
 namespace ntv::soda {
@@ -67,6 +68,16 @@ class SodaSystem {
   /// Makespan lower bound if every PE ran at the fastest PE's clock —
   /// the uniform ideal the variation tax is measured against.
   double ideal_makespan(const Schedule& schedule) const;
+
+  /// Runs per-PE program queues CONCURRENTLY on one event fabric with a
+  /// shared memory controller (soda/fabric.h): all PEs advance in the
+  /// same simulated time and contend for memory banks. Each PE's
+  /// SIMD-to-memory clock ratio comes from its binned clock
+  /// (set_pe_clock). `queues.size()` must equal num_pes(); pass {} rows
+  /// for idle PEs. Deterministic across hosts and thread counts.
+  FabricOutcome run_concurrent(
+      const std::vector<std::vector<Program>>& queues,
+      const MemTimingConfig& mem = MemTimingConfig::ideal());
 
  private:
   SystemConfig config_;

@@ -1,0 +1,378 @@
+// Differential tests: the event fabric vs the legacy interpreter.
+//
+// The PR 7 contract (ROADMAP item 3): on every kernel the fabric engine
+// must reproduce the legacy loop's RunStats EXACTLY — same instruction
+// count, same cycle pools, same architectural state — in the default
+// ideal-timing, no-fault configuration. Fabric-only effects (memory
+// stalls, lane stalls, bank conflicts) live in FabricCounters and must
+// be zero in that configuration.
+#include "soda/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "soda/kernels.h"
+#include "soda/system.h"
+#include "stats/rng.h"
+
+namespace ntv::soda {
+namespace {
+
+std::vector<std::int16_t> random_i16(int n, int bound, std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  std::vector<std::int16_t> out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    v = static_cast<std::int16_t>(
+        static_cast<long>(rng.bounded(static_cast<std::uint64_t>(2 * bound))) -
+        bound);
+  }
+  return out;
+}
+
+void write_row(ProcessingElement& pe, int row,
+               std::span<const std::int16_t> data) {
+  std::vector<std::uint16_t> raw(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(data[i]);
+  pe.simd_memory().write_row(row, raw);
+}
+
+/// A prepared workload: setup writes inputs/contexts, program runs.
+struct Workload {
+  const char* name;
+  void (*setup)(ProcessingElement&);
+  Program (*program)(const ProcessingElement&);
+};
+
+// Every pre-existing kernel plus the three new ones, as uniform setup /
+// program factories over a width-128 PE.
+const Workload kWorkloads[] = {
+    {"fir",
+     [](ProcessingElement& pe) {
+       const FirKernel kernel;
+       const auto h = random_i16(kernel.taps, 100, 11);
+       const auto x = random_i16(pe.config().width, 1000, 12);
+       kernel.prepare(pe, h);
+       write_row(pe, kernel.input_row, x);
+     },
+     [](const ProcessingElement&) { return FirKernel{}.build(); }},
+    {"fft",
+     [](ProcessingElement& pe) {
+       const FftKernel kernel;
+       kernel.prepare(pe);
+       write_row(pe, kernel.re_row, random_i16(pe.config().width, 16000, 21));
+       write_row(pe, kernel.im_row, random_i16(pe.config().width, 16000, 22));
+     },
+     [](const ProcessingElement& pe) { return FftKernel{}.build(pe); }},
+    {"conv2d",
+     [](ProcessingElement& pe) {
+       const Conv2dKernel kernel;
+       const auto coef = random_i16(9, 8, 31);
+       kernel.prepare(pe, coef);
+       for (int r = 0; r < kernel.height; ++r) {
+         write_row(pe, kernel.image_row0 + r,
+                   random_i16(pe.config().width, 500,
+                              32 + static_cast<std::uint64_t>(r)));
+       }
+     },
+     [](const ProcessingElement&) { return Conv2dKernel{}.build(); }},
+    {"matvec",
+     [](ProcessingElement& pe) {
+       const MatVecKernel kernel;
+       for (int r = 0; r < kernel.rows; ++r) {
+         write_row(pe, kernel.matrix_row0 + r,
+                   random_i16(pe.config().width, 300,
+                              41 + static_cast<std::uint64_t>(r)));
+       }
+       write_row(pe, kernel.x_row, random_i16(pe.config().width, 300, 49));
+     },
+     [](const ProcessingElement&) { return MatVecKernel{}.build(); }},
+    {"dot",
+     [](ProcessingElement& pe) {
+       const DotKernel kernel;
+       write_row(pe, kernel.a_row, random_i16(pe.config().width, 1000, 51));
+       write_row(pe, kernel.b_row, random_i16(pe.config().width, 1000, 52));
+     },
+     [](const ProcessingElement&) { return DotKernel{}.build(); }},
+    {"gemm",
+     [](ProcessingElement& pe) {
+       const GemmKernel kernel;
+       kernel.prepare(
+           pe, random_i16(kernel.m * kernel.k, 200, 61),
+           random_i16(kernel.k * pe.config().width, 200, 62));
+     },
+     [](const ProcessingElement&) { return GemmKernel{}.build(); }},
+    {"stencil",
+     [](ProcessingElement& pe) {
+       const StencilKernel kernel;
+       const auto coef = random_i16(5, 8, 71);
+       kernel.prepare(pe, coef);
+       for (int r = 0; r < kernel.height; ++r) {
+         write_row(pe, kernel.image_row0 + r,
+                   random_i16(pe.config().width, 500,
+                              72 + static_cast<std::uint64_t>(r)));
+       }
+     },
+     [](const ProcessingElement&) { return StencilKernel{}.build(); }},
+    {"bitonic",
+     [](ProcessingElement& pe) {
+       const BitonicSortKernel kernel;
+       kernel.prepare(pe);
+       write_row(pe, kernel.input_row,
+                 random_i16(pe.config().width, 30000, 81));
+     },
+     [](const ProcessingElement& pe) {
+       return BitonicSortKernel{}.build(pe);
+     }},
+};
+
+/// Full architectural state snapshot for byte-exact comparison.
+struct Snapshot {
+  RunStats stats;
+  std::vector<std::vector<std::uint16_t>> vregs;
+  std::vector<std::uint16_t> sregs;
+  std::vector<std::uint16_t> mem_rows;
+
+  bool operator==(const Snapshot& other) const {
+    return stats.halted == other.stats.halted &&
+           stats.instructions == other.stats.instructions &&
+           stats.simd_cycles == other.stats.simd_cycles &&
+           stats.scalar_cycles == other.stats.scalar_cycles &&
+           stats.memory_cycles == other.stats.memory_cycles &&
+           vregs == other.vregs && sregs == other.sregs &&
+           mem_rows == other.mem_rows;
+  }
+};
+
+Snapshot run_engine(const Workload& workload, ProcessingElement::Engine engine,
+                    const MemTimingConfig& mem = MemTimingConfig::ideal()) {
+  ProcessingElement pe;
+  pe.set_engine(engine);
+  pe.set_mem_timing(mem);
+  workload.setup(pe);
+  const Program program = workload.program(pe);
+
+  Snapshot snap;
+  snap.stats = pe.run(program);
+  for (int r = 0; r < kVectorRegs; ++r) {
+    const auto reg = pe.simd().reg(r);
+    snap.vregs.emplace_back(reg.begin(), reg.end());
+  }
+  for (int r = 0; r < kScalarRegs; ++r) snap.sregs.push_back(pe.scalar_reg(r));
+  const int rows = pe.simd_memory().entries();
+  std::vector<std::uint16_t> row(static_cast<std::size_t>(pe.config().width));
+  for (int r = 0; r < rows && r < 128; ++r) {
+    pe.simd_memory().read_row(r, row);
+    snap.mem_rows.insert(snap.mem_rows.end(), row.begin(), row.end());
+  }
+  return snap;
+}
+
+class FabricDiffTest : public ::testing::TestWithParam<Workload> {};
+
+// The central parity gate: cycle counts AND full architectural state
+// match exactly between the two engines.
+TEST_P(FabricDiffTest, FabricMatchesLegacyExactly) {
+  const auto legacy = run_engine(GetParam(), ProcessingElement::Engine::kLegacy);
+  const auto fabric = run_engine(GetParam(), ProcessingElement::Engine::kFabric);
+  EXPECT_EQ(legacy.stats.instructions, fabric.stats.instructions);
+  EXPECT_EQ(legacy.stats.simd_cycles, fabric.stats.simd_cycles);
+  EXPECT_EQ(legacy.stats.scalar_cycles, fabric.stats.scalar_cycles);
+  EXPECT_EQ(legacy.stats.memory_cycles, fabric.stats.memory_cycles);
+  EXPECT_EQ(legacy.stats.halted, fabric.stats.halted);
+  EXPECT_TRUE(legacy == fabric) << "architectural state diverged";
+}
+
+// Ideal timing + no faults => the fabric adds no stalls of any kind.
+TEST_P(FabricDiffTest, IdealFabricHasZeroStalls) {
+  ProcessingElement pe;
+  pe.set_engine(ProcessingElement::Engine::kFabric);
+  GetParam().setup(pe);
+  pe.run(GetParam().program(pe));
+  const FabricCounters& c = pe.fabric_counters();
+  EXPECT_GT(c.events, 0);
+  EXPECT_GT(c.messages, 0);
+  EXPECT_EQ(c.mem_stall_cycles, 0);
+  EXPECT_EQ(c.lane_stall_cycles, 0);
+  EXPECT_EQ(c.bank_conflicts, 0);
+  EXPECT_EQ(c.bypass_activations, 0);
+}
+
+// Banked timing changes the clock, never the answer.
+TEST_P(FabricDiffTest, BankedTimingPreservesFunctionalState) {
+  const auto ideal = run_engine(GetParam(), ProcessingElement::Engine::kFabric);
+  const auto banked =
+      run_engine(GetParam(), ProcessingElement::Engine::kFabric,
+                 MemTimingConfig::banked(/*banks=*/2, /*t_hit=*/2,
+                                         /*t_miss=*/7));
+  EXPECT_TRUE(ideal == banked) << "banked timing altered results";
+}
+
+// Two fabric runs are byte-identical (determinism smoke; the scheduler
+// property tests live in event_test.cc).
+TEST_P(FabricDiffTest, FabricRunsAreReproducible) {
+  const auto a = run_engine(GetParam(), ProcessingElement::Engine::kFabric);
+  const auto b = run_engine(GetParam(), ProcessingElement::Engine::kFabric);
+  EXPECT_TRUE(a == b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, FabricDiffTest,
+                         ::testing::ValuesIn(kWorkloads),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---- engine plumbing -------------------------------------------------------
+
+TEST(EngineDispatch, DefaultIsFabric) {
+  ProcessingElement pe;
+  EXPECT_EQ(pe.engine(), ProcessingElement::default_engine());
+}
+
+TEST(EngineDispatch, InstructionLimitMatchesLegacyBehavior) {
+  ProgramBuilder b;
+  b.li(0, 1);
+  b.bind("spin");
+  b.jump("spin");
+  const Program program = b.build();
+  for (const auto engine : {ProcessingElement::Engine::kLegacy,
+                            ProcessingElement::Engine::kFabric}) {
+    ProcessingElement pe;
+    pe.set_engine(engine);
+    EXPECT_THROW(pe.run(program, /*max_instructions=*/1000),
+                 std::runtime_error);
+  }
+}
+
+// ---- lane timing faults + spare bypass -------------------------------------
+
+TEST(LaneTiming, SlowLaneStallsWholeSimdWord) {
+  ProcessingElement pe(PeConfig{.width = 128, .spare_fus = 0});
+  pe.set_engine(ProcessingElement::Engine::kFabric);
+  LaneTimingConfig lt;
+  lt.fu_slowdown.assign(static_cast<std::size_t>(pe.simd().physical_fus()), 1);
+  lt.fu_slowdown[17] = 3;  // one slow FU, no spares: nothing to bypass to
+  lt.detect_after = 4;
+  pe.set_lane_timing(lt);
+
+  const FirKernel kernel;
+  kernel.prepare(pe, random_i16(kernel.taps, 100, 91));
+  write_row(pe, kernel.input_row, random_i16(pe.config().width, 1000, 92));
+  const RunStats stats = pe.run(kernel.build());
+
+  const FabricCounters& c = pe.fabric_counters();
+  // Every SIMD instruction touches FU 17, so every one stalls 2 extra
+  // cycles — and with zero spares the bypass can never engage.
+  EXPECT_EQ(c.slow_simd_ops, stats.simd_cycles);
+  EXPECT_EQ(c.lane_stall_cycles, 2 * stats.simd_cycles);
+  EXPECT_EQ(c.bypass_activations, 0);
+}
+
+TEST(LaneTiming, SpareBypassStopsTheStallsMidKernel) {
+  ProcessingElement pe(PeConfig{.width = 128, .spare_fus = 6});
+  pe.set_engine(ProcessingElement::Engine::kFabric);
+  LaneTimingConfig lt;
+  lt.fu_slowdown.assign(static_cast<std::size_t>(pe.simd().physical_fus()), 1);
+  lt.fu_slowdown[17] = 3;
+  lt.fu_slowdown[90] = 2;
+  lt.detect_after = 4;
+  pe.set_lane_timing(lt);
+
+  // Legacy oracle for the functional answer.
+  ProcessingElement oracle;
+  oracle.set_engine(ProcessingElement::Engine::kLegacy);
+
+  const Conv2dKernel kernel;
+  const auto coef = random_i16(9, 8, 93);
+  std::vector<std::vector<std::int16_t>> image;
+  for (int r = 0; r < kernel.height; ++r) {
+    image.push_back(random_i16(pe.config().width, 500,
+                               94 + static_cast<std::uint64_t>(r)));
+  }
+  for (ProcessingElement* p : {&pe, &oracle}) {
+    kernel.prepare(*p, coef);
+    for (int r = 0; r < kernel.height; ++r)
+      write_row(*p, kernel.image_row0 + r, image[static_cast<std::size_t>(r)]);
+  }
+  const RunStats stats = pe.run(kernel.build());
+  const RunStats want = oracle.run(kernel.build());
+
+  const FabricCounters& c = pe.fabric_counters();
+  EXPECT_EQ(c.bypass_activations, 1);
+  // Exactly detect_after instructions stalled before the bypass engaged;
+  // afterwards the lane map avoids the slow FUs entirely.
+  EXPECT_EQ(c.slow_simd_ops, 4);
+  EXPECT_LT(c.slow_simd_ops, stats.simd_cycles);
+  // Bypass is functionally free: cycle pools and results match legacy.
+  EXPECT_EQ(stats.simd_cycles, want.simd_cycles);
+  EXPECT_EQ(stats.memory_cycles, want.memory_cycles);
+  for (int r = 0; r < kernel.height; ++r) {
+    std::vector<std::uint16_t> got(static_cast<std::size_t>(pe.config().width));
+    std::vector<std::uint16_t> ref(got.size());
+    pe.simd_memory().read_row(kernel.output_row0 + r, got);
+    oracle.simd_memory().read_row(kernel.output_row0 + r, ref);
+    EXPECT_EQ(got, ref) << "row " << r;
+  }
+}
+
+// ---- multi-PE concurrent fabric --------------------------------------------
+
+TEST(RunConcurrent, MatchesSequentialRunsAndReportsContention) {
+  SystemConfig config;
+  config.num_pes = 3;
+  SodaSystem system(config);
+
+  // Per-PE queues: FIR on PE 0, dot on PE 1 (twice), idle PE 2.
+  const FirKernel fir;
+  const DotKernel dot;
+  std::vector<std::vector<Program>> queues(3);
+  fir.prepare(system.pe(0), random_i16(fir.taps, 100, 101));
+  write_row(system.pe(0), fir.input_row, random_i16(128, 1000, 102));
+  queues[0] = {fir.build()};
+  write_row(system.pe(1), dot.a_row, random_i16(128, 1000, 103));
+  write_row(system.pe(1), dot.b_row, random_i16(128, 1000, 104));
+  queues[1] = {dot.build(), dot.build()};
+
+  const FabricOutcome outcome = system.run_concurrent(queues);
+  ASSERT_EQ(outcome.pes.size(), 3u);
+  EXPECT_TRUE(outcome.pes[0].stats.halted);
+  EXPECT_EQ(outcome.pes[0].programs_completed, 1);
+  EXPECT_EQ(outcome.pes[1].programs_completed, 2);
+  EXPECT_EQ(outcome.pes[2].programs_completed, 0);
+  EXPECT_GT(outcome.makespan_ticks, SimTime{0});
+
+  // Same work sequentially on a fresh PE gives the same cycle pools.
+  ProcessingElement solo;
+  solo.set_engine(ProcessingElement::Engine::kLegacy);
+  fir.prepare(solo, random_i16(fir.taps, 100, 101));
+  write_row(solo, fir.input_row, random_i16(128, 1000, 102));
+  const RunStats want = solo.run(fir.build());
+  EXPECT_EQ(outcome.pes[0].stats.instructions, want.instructions);
+  EXPECT_EQ(outcome.pes[0].stats.simd_cycles, want.simd_cycles);
+  EXPECT_EQ(outcome.pes[0].stats.memory_cycles, want.memory_cycles);
+}
+
+TEST(RunConcurrent, BankedContentionAppearsOnlyUnderSharing) {
+  SystemConfig config;
+  config.num_pes = 2;
+  SodaSystem system(config);
+  const DotKernel dot;
+  std::vector<std::vector<Program>> queues(2);
+  for (int p = 0; p < 2; ++p) {
+    write_row(system.pe(p), dot.a_row, random_i16(128, 1000, 111));
+    write_row(system.pe(p), dot.b_row, random_i16(128, 1000, 112));
+    queues[static_cast<std::size_t>(p)] = {dot.build()};
+  }
+  // Both PEs stream the same row numbers; with a single bank every
+  // access serializes behind the other PE's bursts.
+  const FabricOutcome shared = system.run_concurrent(
+      queues, MemTimingConfig::banked(/*banks=*/1, /*t_hit=*/2, /*t_miss=*/6));
+  EXPECT_GT(shared.mem.bank_conflicts, 0);
+  EXPECT_GT(shared.pes[0].counters.mem_stall_cycles +
+                shared.pes[1].counters.mem_stall_cycles,
+            0);
+}
+
+}  // namespace
+}  // namespace ntv::soda

@@ -1,0 +1,199 @@
+// Functional tests for the PR 7 workloads: tiled GEMM, 5-point stencil,
+// bitonic sort. Each runs on both engines against its bit-exact
+// reference.
+#include "soda/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace ntv::soda {
+namespace {
+
+std::vector<std::int16_t> random_i16(int n, int bound, std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  std::vector<std::int16_t> out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    v = static_cast<std::int16_t>(
+        static_cast<long>(rng.bounded(static_cast<std::uint64_t>(2 * bound))) -
+        bound);
+  }
+  return out;
+}
+
+std::vector<std::int16_t> read_row(ProcessingElement& pe, int row) {
+  std::vector<std::uint16_t> raw(static_cast<std::size_t>(pe.config().width));
+  pe.simd_memory().read_row(row, raw);
+  std::vector<std::int16_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    out[i] = static_cast<std::int16_t>(raw[i]);
+  return out;
+}
+
+void write_row(ProcessingElement& pe, int row,
+               std::span<const std::int16_t> data) {
+  std::vector<std::uint16_t> raw(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    raw[i] = static_cast<std::uint16_t>(data[i]);
+  pe.simd_memory().write_row(row, raw);
+}
+
+class EngineTest
+    : public ::testing::TestWithParam<ProcessingElement::Engine> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothEngines, EngineTest,
+    ::testing::Values(ProcessingElement::Engine::kLegacy,
+                      ProcessingElement::Engine::kFabric),
+    [](const auto& info) {
+      return info.param == ProcessingElement::Engine::kLegacy ? "legacy"
+                                                              : "fabric";
+    });
+
+// ---- GEMM ------------------------------------------------------------------
+
+TEST_P(EngineTest, GemmMatchesReference) {
+  ProcessingElement pe;
+  pe.set_engine(GetParam());
+  const GemmKernel kernel;
+  const int width = pe.config().width;
+  const auto a = random_i16(kernel.m * kernel.k, 300, 201);
+  const auto b = random_i16(kernel.k * width, 300, 202);
+  kernel.prepare(pe, a, b);
+  const RunStats stats = pe.run(kernel.build());
+  ASSERT_TRUE(stats.halted);
+
+  const auto want = GemmKernel::reference(a, b, kernel.m, kernel.k, width);
+  for (int r = 0; r < kernel.m; ++r) {
+    const auto got = read_row(pe, kernel.c_row0 + r);
+    const std::vector<std::int16_t> ref(
+        want.begin() + r * width, want.begin() + (r + 1) * width);
+    EXPECT_EQ(got, ref) << "C row " << r;
+  }
+}
+
+TEST(Gemm, TilingOrderDoesNotChangeResults) {
+  // Wrap-mod-2^16 accumulation is associative, so any register tiling
+  // produces bit-identical C.
+  const int width = 128;
+  const auto a = random_i16(8 * 8, 300, 211);
+  const auto b = random_i16(8 * width, 300, 212);
+  std::vector<std::vector<std::int16_t>> results;
+  for (const auto [tm, tk] : {std::pair{1, 1}, {2, 4}, {4, 2}, {4, 4}}) {
+    GemmKernel kernel;
+    kernel.tile_m = tm;
+    kernel.tile_k = tk;
+    ProcessingElement pe;
+    kernel.prepare(pe, a, b);
+    pe.run(kernel.build());
+    std::vector<std::int16_t> c;
+    for (int r = 0; r < kernel.m; ++r) {
+      const auto row = read_row(pe, kernel.c_row0 + r);
+      c.insert(c.end(), row.begin(), row.end());
+    }
+    results.push_back(std::move(c));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "tiling variant " << i;
+  }
+}
+
+TEST(Gemm, ValidatesTiling) {
+  GemmKernel kernel;
+  kernel.tile_m = 3;  // does not divide m = 8
+  EXPECT_THROW(kernel.build(), std::invalid_argument);
+  kernel = {};
+  kernel.tile_m = 8;
+  kernel.tile_k = 16;  // 8 + 16 registers > the 16 free ones
+  EXPECT_THROW(kernel.build(), std::invalid_argument);
+}
+
+// ---- stencil ---------------------------------------------------------------
+
+TEST_P(EngineTest, StencilMatchesReference) {
+  ProcessingElement pe;
+  pe.set_engine(GetParam());
+  const StencilKernel kernel;
+  const int width = pe.config().width;
+  const auto coef = random_i16(5, 10, 221);
+  std::vector<std::int16_t> image;
+  for (int r = 0; r < kernel.height; ++r) {
+    const auto row =
+        random_i16(width, 500, 222 + static_cast<std::uint64_t>(r));
+    write_row(pe, kernel.image_row0 + r, row);
+    image.insert(image.end(), row.begin(), row.end());
+  }
+  kernel.prepare(pe, coef);
+  const RunStats stats = pe.run(kernel.build());
+  ASSERT_TRUE(stats.halted);
+
+  const auto want =
+      StencilKernel::reference(image, kernel.height, width, coef);
+  for (int r = 0; r < kernel.height; ++r) {
+    const auto got = read_row(pe, kernel.output_row0 + r);
+    const std::vector<std::int16_t> ref(
+        want.begin() + r * width, want.begin() + (r + 1) * width);
+    EXPECT_EQ(got, ref) << "output row " << r;
+  }
+}
+
+TEST(Stencil, IdentityKernelCopiesImage) {
+  ProcessingElement pe;
+  const StencilKernel kernel;
+  const std::vector<std::int16_t> coef = {1, 0, 0, 0, 0};  // C only
+  std::vector<std::vector<std::int16_t>> rows;
+  for (int r = 0; r < kernel.height; ++r) {
+    rows.push_back(random_i16(pe.config().width, 1000,
+                              231 + static_cast<std::uint64_t>(r)));
+    write_row(pe, kernel.image_row0 + r, rows.back());
+  }
+  kernel.prepare(pe, coef);
+  pe.run(kernel.build());
+  for (int r = 0; r < kernel.height; ++r) {
+    EXPECT_EQ(read_row(pe, kernel.output_row0 + r),
+              rows[static_cast<std::size_t>(r)]);
+  }
+}
+
+// ---- bitonic sort ----------------------------------------------------------
+
+TEST_P(EngineTest, BitonicSortMatchesReference) {
+  ProcessingElement pe;
+  pe.set_engine(GetParam());
+  const BitonicSortKernel kernel;
+  const auto values = random_i16(pe.config().width, 30000, 241);
+  kernel.prepare(pe);
+  write_row(pe, kernel.input_row, values);
+  const RunStats stats = pe.run(kernel.build(pe));
+  ASSERT_TRUE(stats.halted);
+  EXPECT_EQ(read_row(pe, kernel.output_row),
+            BitonicSortKernel::reference(values));
+}
+
+TEST(BitonicSort, HandlesDuplicatesAndExtremes) {
+  ProcessingElement pe;
+  const BitonicSortKernel kernel;
+  std::vector<std::int16_t> values(
+      static_cast<std::size_t>(pe.config().width), 7);
+  values[0] = -32768;
+  values[1] = 32767;
+  values[10] = -32768;
+  values[77] = 0;
+  kernel.prepare(pe);
+  write_row(pe, kernel.input_row, values);
+  pe.run(kernel.build(pe));
+  EXPECT_EQ(read_row(pe, kernel.output_row),
+            BitonicSortKernel::reference(values));
+}
+
+TEST(BitonicSort, StepCountIsTriangular) {
+  EXPECT_EQ(BitonicSortKernel::steps(2), 1);
+  EXPECT_EQ(BitonicSortKernel::steps(8), 6);
+  EXPECT_EQ(BitonicSortKernel::steps(128), 28);
+  EXPECT_THROW(BitonicSortKernel::steps(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::soda

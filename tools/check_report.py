@@ -3,6 +3,7 @@
 
 Usage:
   check_report.py REPORT.json [--min-counters N] [--no-schema]
+                  [--min-counter NAME MIN]...
                   [--range DOTTED.PATH LO HI]...
                   [--max-ci-halfwidth PATTERN MAX]...
                   [--diff-results OTHER.json]...
@@ -14,6 +15,12 @@ Checks, in order:
      seed/threads/build_type/library_version, a results object, and a
      metrics.counters map;
   3. metrics.counters has at least --min-counters distinct entries;
+  3b. every --min-counter NAME MIN pair: the named counter exists in
+     metrics.counters and its value is >= MIN.  This is the
+     liveness gate for instrumented subsystems (e.g. the SODA event
+     fabric must have processed events: --min-counter
+     soda.fabric.events 1) — a run whose counter is absent or zero
+     means the instrumented path never executed;
   4. every --range PATH LO HI triple: the number at the dotted PATH lies
      in [LO, HI].  PATH is rooted at the document, e.g.
      "results.mc.chain_pct" or "results.values.chain_pct_90nm_1.00V";
@@ -165,6 +172,7 @@ def main(argv):
     path, args = argv[1], argv[2:]
     check_schema, min_counters, ranges, diff_against = True, 0, [], []
     ci_limits = []
+    counter_floors = []
     i = 0
     while i < len(args):
         if args[i] == "--no-schema":
@@ -173,6 +181,9 @@ def main(argv):
         elif args[i] == "--min-counters":
             min_counters = int(args[i + 1])
             i += 2
+        elif args[i] == "--min-counter":
+            counter_floors.append((args[i + 1], float(args[i + 2])))
+            i += 3
         elif args[i] == "--range":
             ranges.append((args[i + 1], float(args[i + 2]), float(args[i + 3])))
             i += 4
@@ -207,6 +218,14 @@ def main(argv):
         if len(counters) < min_counters:
             errors.append(
                 f"counters: {len(counters)} < required {min_counters}")
+    for name, floor in counter_floors:
+        counters = doc.get("metrics", {}).get("counters", {})
+        if name not in counters:
+            errors.append(f"counter: {name} missing")
+            continue
+        value = counters[name]
+        if not isinstance(value, (int, float)) or value < floor:
+            errors.append(f"counter: {name}={value} below minimum {floor}")
     for dotted, lo, hi in ranges:
         try:
             value = lookup(doc, dotted)
@@ -259,7 +278,9 @@ def main(argv):
         print(f"FAIL {path}: {err}")
     if not errors:
         print(f"OK {path}: schema={'on' if check_schema else 'off'}, "
-              f"{len(ranges)} range check(s), {len(ci_limits)} ci gate(s), "
+              f"{len(ranges)} range check(s), "
+              f"{len(counter_floors)} counter floor(s), "
+              f"{len(ci_limits)} ci gate(s), "
               f"{len(diff_against)} diff(s)")
     return 1 if errors else 0
 

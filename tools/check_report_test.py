@@ -104,6 +104,52 @@ class CheckReportTest(unittest.TestCase):
         self.assertIn("missing", out)
 
     # ------------------------------------------------------------------
+    # --min-counter: the liveness gate for instrumented subsystems
+    # (e.g. soda.fabric.events >= 1 in the SODA scenario smoke step).
+
+    def counter_report(self, name, counters):
+        doc = self.report({})
+        doc["metrics"]["counters"] = counters
+        return self.write(name, doc)
+
+    def test_min_counter_at_or_above_floor_passes(self):
+        a = self.counter_report("a.json", {"soda.fabric.events": 2206})
+        code, out = run_main(a, "--min-counter", "soda.fabric.events", "1")
+        self.assertEqual(code, 0, out)
+        code, _ = run_main(a, "--min-counter", "soda.fabric.events", "2206")
+        self.assertEqual(code, 0)
+
+    def test_min_counter_below_floor_fails(self):
+        a = self.counter_report("a.json", {"soda.fabric.events": 0})
+        code, out = run_main(a, "--min-counter", "soda.fabric.events", "1")
+        self.assertEqual(code, 1)
+        self.assertIn("below minimum", out)
+
+    def test_min_counter_missing_counter_fails(self):
+        # An absent counter means the instrumented path never ran — that
+        # must be a failure, not a vacuous pass.
+        a = self.counter_report("a.json", {"other": 5})
+        code, out = run_main(a, "--min-counter", "soda.fabric.events", "1")
+        self.assertEqual(code, 1)
+        self.assertIn("missing", out)
+
+    def test_min_counter_non_numeric_value_fails(self):
+        a = self.counter_report("a.json", {"soda.fabric.events": "lots"})
+        code, _ = run_main(a, "--min-counter", "soda.fabric.events", "1")
+        self.assertEqual(code, 1)
+
+    def test_min_counter_repeats_and_composes_with_min_counters(self):
+        a = self.counter_report(
+            "a.json", {"soda.fabric.events": 10, "soda.mem.accesses": 4})
+        code, out = run_main(
+            a, "--min-counters", "2",
+            "--min-counter", "soda.fabric.events", "1",
+            "--min-counter", "soda.mem.accesses", "5")
+        self.assertEqual(code, 1)
+        self.assertIn("soda.mem.accesses=4", out)
+        self.assertNotIn("soda.fabric.events", out)
+
+    # ------------------------------------------------------------------
     # --compare-perf: the gating bench job depends on these exit codes.
 
     def bench_report(self, name, artifact_ns):
