@@ -11,7 +11,9 @@ using namespace ntv;
 
 void print_artifact() {
   bench::banner("Extension -- parametric yield / speed binning (90nm)");
-  core::YieldAnalysis analysis(device::tech_90nm());
+  core::MitigationConfig config;
+  config.backend = bench::backend();
+  core::YieldAnalysis analysis(device::tech_90nm(), config);
   const double vdd = 0.55;
 
   const double t50 = analysis.t_clk_for_yield(vdd, 0.50);
@@ -54,6 +56,7 @@ void print_artifact() {
 
 void BM_YieldCurve(benchmark::State& state) {
   core::MitigationConfig config;
+  config.backend = bench::backend();
   config.chip_samples = 3000;
   for (auto _ : state) {
     core::YieldAnalysis analysis(device::tech_90nm(), config);

@@ -10,9 +10,11 @@ using namespace ntv;
 
 void print_artifact() {
   bench::banner("Fig. 4 -- performance drop [%] vs Vdd, 128-wide SIMD");
+  core::MitigationConfig config;
+  config.backend = bench::backend();
   std::vector<core::MitigationStudy> studies;
   for (const device::TechNode* node : device::all_nodes()) {
-    studies.emplace_back(*node);
+    studies.emplace_back(*node, config);
   }
 
   bench::row("%-6s | %9s %9s %12s %12s", "Vdd[V]", "90nm GP", "45nm GP",
@@ -51,6 +53,7 @@ void print_artifact() {
 void BM_PerformanceDropPoint(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_90nm(), config);
     benchmark::DoNotOptimize(study.performance_drop_pct(0.5));

@@ -13,7 +13,9 @@ using namespace ntv;
 void print_artifact() {
   bench::banner(
       "Fig. 6 -- voltage margining vs duplication @600mV, 45nm GP, 10k");
-  core::MitigationStudy study(device::tech_45nm());
+  core::MitigationConfig config;
+  config.backend = bench::backend();
+  core::MitigationStudy study(device::tech_45nm(), config);
   const double target = study.target_delay(0.600);
   bench::row("target delay (nominal-scaled): %.3f ns", target * 1e9);
 
@@ -47,6 +49,7 @@ void print_artifact() {
 void BM_VoltageMarginSearch(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_45nm(), config);
     benchmark::DoNotOptimize(study.required_voltage_margin(0.6));

@@ -15,7 +15,9 @@ void print_artifact() {
   const char* tags[] = {"90nm", "45nm", "32nm", "22nm"};
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const device::TechNode* node = nodes[i];
-    core::MitigationStudy study(*node);
+    core::MitigationConfig config;
+    config.backend = bench::backend();
+    core::MitigationStudy study(*node, config);
     bench::row("\n(%c) %s", "abcd"[i], node->name.data());
     bench::row("%-6s | %14s %14s  %s", "Vdd[V]", "duplication %",
                "margining %", "winner");
@@ -54,6 +56,7 @@ void print_artifact() {
 void BM_OverheadPair(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_45nm(), config);
     benchmark::DoNotOptimize(study.required_spares(0.6));

@@ -10,7 +10,9 @@ using namespace ntv;
 
 void print_artifact() {
   bench::banner("Fig. 8 -- p99 chip delay vs margin/spares, 45nm @600mV");
-  core::MitigationStudy study(device::tech_45nm());
+  core::MitigationConfig config;
+  config.backend = bench::backend();
+  core::MitigationStudy study(device::tech_45nm(), config);
   const double target = study.target_delay(0.600);
   bench::row("target delay: %.3f ns", target * 1e9);
   bench::record("target_ns", target * 1e9);
@@ -50,6 +52,7 @@ void print_artifact() {
 
 void BM_ChipDelayP99(benchmark::State& state) {
   core::MitigationConfig config;
+  config.backend = bench::backend();
   config.chip_samples = 2000;
   core::MitigationStudy study(device::tech_45nm(), config);
   double v = 0.600;

@@ -24,9 +24,9 @@ soda::ProcessingElement make_pe(int spares, int n_faulty) {
 }
 
 // Prints one table row and records the cycle pools under `key_*` for the
-// --report JSON. The recorded values are engine-invariant (the fabric
-// reproduces legacy cycle counts exactly), which is what the CI
-// engine-differential job diffs across NTV_SODA_ENGINE settings.
+// --report JSON. The ideal-timing cycle pools are pinned by the golden
+// RunStats in tests/soda/fabric_diff_test.cc, which is what the CI
+// smoke job's --diff-results gate leans on.
 void report_kernel(const char* label, const char* key,
                    const soda::RunStats& stats) {
   bench::row("%-18s %14ld %14ld %14ld", label, stats.simd_cycles,

@@ -58,7 +58,6 @@ soda::ProcessingElement make_banked_pe(int spares) {
   config.width = 128;
   config.spare_fus = spares;
   soda::ProcessingElement pe(config);
-  pe.set_engine(soda::ProcessingElement::Engine::kFabric);
   pe.set_mem_timing(soda::MemTimingConfig::banked(4, 1, 4));
   return pe;
 }

@@ -31,6 +31,7 @@ void print_artifact() {
   std::vector<core::MitigationStudy> studies;
   for (const device::TechNode* node : device::all_nodes()) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = samples;
     config.plan = plan;
     studies.emplace_back(*node, config);
@@ -77,6 +78,7 @@ void print_artifact() {
 void BM_RequiredSpares(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_90nm(), config);
     benchmark::DoNotOptimize(study.required_spares(0.55));

@@ -30,6 +30,7 @@ void print_artifact() {
   std::vector<core::MitigationStudy> studies;
   for (const device::TechNode* node : device::all_nodes()) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = samples;
     config.plan = plan;
     studies.emplace_back(*node, config);
@@ -64,6 +65,7 @@ void print_artifact() {
 void BM_MarginCell(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_32nm(), config);
     benchmark::DoNotOptimize(study.required_voltage_margin(0.55));

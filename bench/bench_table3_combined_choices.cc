@@ -12,7 +12,9 @@ void print_artifact() {
   bench::banner("Table 3 -- combined choices, 128-wide @600mV, 45nm GP");
   bench::row("paper: 26+0mV 4.3%% | 8+5mV 2.0%% | 2+10mV 1.7%% |"
              " 1+15mV 2.3%% | 0+17mV 2.4%%");
-  core::MitigationStudy study(device::tech_45nm());
+  core::MitigationConfig config;
+  config.backend = bench::backend();
+  core::MitigationStudy study(device::tech_45nm(), config);
 
   const int alphas[] = {0, 1, 2, 4, 8, 16, 26};
   const auto choices = study.explore_combined(0.600, alphas);
@@ -44,6 +46,7 @@ void print_artifact() {
 void BM_CombinedExplore(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_45nm(), config);
     const int alphas[] = {0, 2, 8};

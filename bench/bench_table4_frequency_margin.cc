@@ -20,7 +20,9 @@ void print_artifact() {
 
   std::vector<core::MitigationStudy> studies;
   for (const device::TechNode* node : device::all_nodes()) {
-    studies.emplace_back(*node);
+    core::MitigationConfig config;
+    config.backend = bench::backend();
+    studies.emplace_back(*node, config);
   }
 
   // One pooled sweep per node computes its whole Table 4 column.
@@ -63,6 +65,7 @@ void print_artifact() {
 void BM_FrequencyMarginCell(benchmark::State& state) {
   for (auto _ : state) {
     core::MitigationConfig config;
+    config.backend = bench::backend();
     config.chip_samples = 2000;
     core::MitigationStudy study(device::tech_22nm(), config);
     benchmark::DoNotOptimize(study.frequency_margin(0.5));

@@ -23,6 +23,11 @@
 //   --simd <backend>     force the SIMD dispatch backend (scalar, avx2,
 //                        neon, auto); every backend is byte-identical
 //                        (docs/SIMD.md), so this only moves timings
+//   --backend <name>     evaluation backend: mc (default, sampled Monte
+//                        Carlo, byte-identical to the historical
+//                        artifacts) or analytic (closed-form SSTA,
+//                        docs/SSTA.md; gated against the mc twin by
+//                        tolerance bands, not byte identity)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -42,6 +47,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "simd/simd.h"
+#include "ssta/backend.h"
 #include "stats/variance_reduction.h"
 
 namespace ntv::bench {
@@ -52,6 +58,15 @@ namespace ntv::bench {
 inline stats::SamplingPlan& sampling_plan() {
   static stats::SamplingPlan plan;
   return plan;
+}
+
+/// Evaluation backend selected by --backend (default: Monte Carlo).
+/// Benches that size mitigation/yield studies read this into their
+/// MitigationConfig; pure-sampling artifacts (figure ECDFs, SODA system
+/// benches) ignore it.
+inline ssta::Backend& backend() {
+  static ssta::Backend b = ssta::Backend::kMonteCarlo;
+  return b;
 }
 
 /// --samples override; 0 means "use the bench's default budget".
@@ -111,6 +126,7 @@ inline bool write_bench_report(const std::string& path,
   manifest.threads = exec::ThreadPool::global_thread_count();
   manifest.threads_requested = threads_requested;
   manifest.sampling = std::string(stats::to_string(sampling_plan().strategy));
+  manifest.backend = std::string(ssta::to_string(backend()));
   manifest.simd = std::string(simd::to_string(simd::active_backend()));
   auto write_results = [&](obs::JsonWriter& w) {
     w.begin_object();
@@ -212,6 +228,19 @@ inline int run_bench_main(int argc, char** argv,
           return 2;
         }
       }
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      const auto parsed = ssta::parse_backend(name);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "error: unknown --backend '%s' (expected mc or "
+                     "analytic)\n",
+                     name);
+        return 2;
+      }
+      backend() = *parsed;
       continue;
     }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {

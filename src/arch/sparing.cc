@@ -1,14 +1,31 @@
 #include "arch/sparing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
 
 #include "simd/simd.h"
+#include "stats/discrete_distribution.h"
 #include "stats/monte_carlo.h"
 
 namespace ntv::arch {
+
+namespace {
+
+// P(Binomial(n, p) = k) via stable survival-function differences.
+double binomial_pmf(int k, int n, double p) {
+  return stats::binomial_sf(k, n, p) - stats::binomial_sf(k + 1, n, p);
+}
+
+void check_fault_prob(double fault_prob) {
+  if (!(fault_prob >= 0.0) || fault_prob > 1.0)
+    throw std::invalid_argument(
+        "analytic_coverage: fault_prob out of range");
+}
+
+}  // namespace
 
 GlobalSparing::GlobalSparing(int spares) : spares_(spares) {
   if (spares < 0) throw std::invalid_argument("GlobalSparing: spares < 0");
@@ -25,6 +42,14 @@ bool GlobalSparing::covers(std::span<const std::uint8_t> faulty,
   int faults = 0;
   for (bool f : faulty) faults += f ? 1 : 0;
   return faults <= spares_;
+}
+
+double GlobalSparing::analytic_coverage(int logical_width,
+                                        double fault_prob) const {
+  check_fault_prob(fault_prob);
+  // Covered iff at most `spares_` of the w + s physical lanes fault.
+  return 1.0 - stats::binomial_sf(spares_ + 1, physical_lanes(logical_width),
+                                  fault_prob);
 }
 
 std::string GlobalSparing::name() const {
@@ -59,6 +84,20 @@ bool LocalSparing::covers(std::span<const std::uint8_t> faulty,
     if (faults > spares_per_cluster_) return false;
   }
   return true;
+}
+
+double LocalSparing::analytic_coverage(int logical_width,
+                                       double fault_prob) const {
+  check_fault_prob(fault_prob);
+  const int clusters = logical_width / cluster_size_;
+  (void)physical_lanes(logical_width);  // Validates divisibility.
+  // Clusters fault independently; each must keep its faults within its
+  // own spares.
+  const double per_cluster_ok =
+      1.0 - stats::binomial_sf(spares_per_cluster_ + 1,
+                               cluster_size_ + spares_per_cluster_,
+                               fault_prob);
+  return std::pow(per_cluster_ok, clusters);
 }
 
 std::string LocalSparing::name() const {
@@ -106,6 +145,55 @@ bool HybridSparing::covers(std::span<const std::uint8_t> faulty,
         faulty[static_cast<std::size_t>(clusters * per_cluster + i)] ? 1 : 0;
   }
   return overflow <= global_spares_ - pool_faults;
+}
+
+double HybridSparing::analytic_coverage(int logical_width,
+                                        double fault_prob) const {
+  check_fault_prob(fault_prob);
+  const int clusters = logical_width / cluster_size_;
+  (void)physical_lanes(logical_width);  // Validates divisibility.
+  const int per_cluster = cluster_size_ + spares_per_cluster_;
+
+  // Covered iff sum of per-cluster overflows plus the pool's own faults
+  // fits in the pool: sum_c max(0, F_c - spc) + F_pool <= g. Exact by
+  // convolving the cluster-overflow pmf `clusters` times with the pool
+  // fault pmf (supports are tiny: <= cluster_size per cluster).
+  std::vector<double> overflow_pmf(
+      static_cast<std::size_t>(cluster_size_) + 1, 0.0);
+  overflow_pmf[0] =
+      1.0 - stats::binomial_sf(spares_per_cluster_ + 1, per_cluster,
+                               fault_prob);
+  for (int j = 1; j <= cluster_size_; ++j) {
+    overflow_pmf[static_cast<std::size_t>(j)] =
+        binomial_pmf(spares_per_cluster_ + j, per_cluster, fault_prob);
+  }
+
+  std::vector<double> total{1.0};
+  for (int c = 0; c < clusters; ++c) {
+    std::vector<double> next(
+        std::min(total.size() + overflow_pmf.size() - 1,
+                 static_cast<std::size_t>(global_spares_) + 2),
+        0.0);
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      for (std::size_t j = 0; j < overflow_pmf.size(); ++j) {
+        // Everything past the pool budget is a miss whatever follows;
+        // lump it into the last (absorbing) bin.
+        const std::size_t k = std::min(i + j, next.size() - 1);
+        next[k] += total[i] * overflow_pmf[j];
+      }
+    }
+    total.swap(next);
+  }
+
+  double covered = 0.0;
+  for (int pool_faults = 0; pool_faults <= global_spares_; ++pool_faults) {
+    const int budget = global_spares_ - pool_faults;
+    double cum = 0.0;
+    for (int k = 0; k <= budget && k < static_cast<int>(total.size()); ++k)
+      cum += total[static_cast<std::size_t>(k)];
+    covered += binomial_pmf(pool_faults, global_spares_, fault_prob) * cum;
+  }
+  return covered;
 }
 
 std::string HybridSparing::name() const {

@@ -32,6 +32,14 @@ class SparingScheme {
   virtual bool covers(std::span<const std::uint8_t> faulty,
                       int logical_width) const = 0;
 
+  /// Exact coverage probability under the independent-Bernoulli fault
+  /// model (each physical lane faulty with probability `fault_prob`) —
+  /// the closed-form twin of mc_coverage, used by the analytic backend.
+  /// Takes a plain probability so callers decide where it comes from
+  /// (a measured defect rate, or a delay-fault tail from the SSTA law).
+  virtual double analytic_coverage(int logical_width,
+                                   double fault_prob) const = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -41,6 +49,7 @@ class GlobalSparing final : public SparingScheme {
   explicit GlobalSparing(int spares);
   int physical_lanes(int logical_width) const override;
   bool covers(std::span<const std::uint8_t> faulty, int logical_width) const override;
+  double analytic_coverage(int logical_width, double fault_prob) const override;
   std::string name() const override;
   int spares() const noexcept { return spares_; }
 
@@ -56,6 +65,7 @@ class LocalSparing final : public SparingScheme {
   LocalSparing(int cluster_size, int spares_per_cluster);
   int physical_lanes(int logical_width) const override;
   bool covers(std::span<const std::uint8_t> faulty, int logical_width) const override;
+  double analytic_coverage(int logical_width, double fault_prob) const override;
   std::string name() const override;
   int cluster_size() const noexcept { return cluster_size_; }
   int spares_per_cluster() const noexcept { return spares_per_cluster_; }
@@ -75,6 +85,7 @@ class HybridSparing final : public SparingScheme {
   int physical_lanes(int logical_width) const override;
   bool covers(std::span<const std::uint8_t> faulty,
               int logical_width) const override;
+  double analytic_coverage(int logical_width, double fault_prob) const override;
   std::string name() const override;
 
  private:

@@ -15,7 +15,13 @@ namespace ntv::core {
 
 MitigationStudy::MitigationStudy(const device::TechNode& node,
                                  MitigationConfig config)
-    : model_(node), config_(config) {}
+    : model_(node), config_(config) {
+  // Building the closed-form evaluator up front (rather than lazily)
+  // makes an invalid backend/correlation combination fail at construction
+  // instead of deep inside a sweep.
+  if (config_.backend == ssta::Backend::kAnalytic)
+    analytic_.emplace(model_, config_.timing);
+}
 
 std::int64_t MitigationStudy::vkey(double vdd) const noexcept {
   // Quantize to 0.1 uV so float noise cannot split cache entries.
@@ -48,12 +54,24 @@ arch::ChipMcResult MitigationStudy::mc_chip(double vdd, int spares) const {
 
 double MitigationStudy::chip_delay_p99(double vdd, int spares) const {
   return p99_cache_.get_or_build(std::make_pair(vkey(vdd), spares), [&] {
+    if (analytic_) {
+      const std::string mv =
+          std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));
+      obs::gauge("analytic.err." + mv + "mV")
+          .set(analytic_->analytic_error(vdd));
+      return analytic_->signoff_delay(vdd, config_.signoff_percentile,
+                                      spares);
+    }
     return mc_chip(vdd, spares).percentile(config_.signoff_percentile);
   });
 }
 
+double MitigationStudy::fo4_unit(double vdd) const {
+  return analytic_ ? analytic_->fo4_unit(vdd) : sampler(vdd).fo4_unit();
+}
+
 double MitigationStudy::fo4_chip_delay_p99(double vdd, int spares) const {
-  return chip_delay_p99(vdd, spares) / sampler(vdd).fo4_unit();
+  return chip_delay_p99(vdd, spares) / fo4_unit(vdd);
 }
 
 double MitigationStudy::performance_drop_pct(double vdd) const {
@@ -65,12 +83,32 @@ double MitigationStudy::performance_drop_pct(double vdd) const {
 double MitigationStudy::target_delay(double vdd) const {
   // The normalized sign-off delay of the nominal-voltage system, expressed
   // in absolute time at `vdd` (Section 4.2's scaled baseline).
-  return fo4_chip_delay_p99(node().nominal_vdd) * sampler(vdd).fo4_unit();
+  return fo4_chip_delay_p99(node().nominal_vdd) * fo4_unit(vdd);
 }
 
 DuplicationResult MitigationStudy::required_spares(double vdd,
                                                    int max_spares) const {
   const double baseline = fo4_chip_delay_p99(node().nominal_vdd);
+
+  if (analytic_) {
+    // Closed-form sizing: one pointwise chip-CDF probe per candidate
+    // spare count, no sampling, so the ESS/CI diagnostics of the Monte
+    // Carlo path are vacuous (reported as zero).
+    const double target = baseline * fo4_unit(vdd);
+    const int alpha = analytic_->required_spares(
+        vdd, target, config_.signoff_percentile, max_spares);
+    DuplicationResult result;
+    result.feasible = alpha <= max_spares;
+    result.spares = alpha;
+    result.area_overhead = config_.area_power.duplication_area_overhead(alpha);
+    result.power_overhead =
+        config_.area_power.duplication_power_overhead(alpha);
+    const std::string mv =
+        std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));
+    obs::gauge("analytic.err." + mv + "mV")
+        .set(analytic_->analytic_error(vdd));
+    return result;
+  }
 
   // One Monte Carlo run with width + max_spares lanes yields the sign-off
   // delay for EVERY spare count via per-chip prefix curves.

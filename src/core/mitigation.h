@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -26,6 +27,9 @@
 #include "device/tech_node.h"
 #include "device/variation.h"
 #include "exec/cache.h"
+#include "ssta/analytic_backend.h"
+#include "ssta/backend.h"
+#include "ssta/isle.h"
 
 namespace ntv::core {
 
@@ -42,6 +46,16 @@ struct MitigationConfig {
   /// historical sampler; the importance plan reaches the same sign-off
   /// percentiles with ~1/5 of the samples (docs/SAMPLING.md).
   stats::SamplingPlan plan;
+  /// Evaluation backend. kMonteCarlo (default) samples chip delays and
+  /// keeps every historical result byte-identical; kAnalytic answers the
+  /// same sign-off questions from the closed-form SSTA chip law
+  /// (ssta/analytic_backend.h) — no sampling, orders of magnitude faster,
+  /// with the fit residual published per cell as the `analytic.err` gauge.
+  /// Only valid for DieCorrelation::kIndependentPaths.
+  ssta::Backend backend = ssta::Backend::kMonteCarlo;
+  /// Importance-sampler knobs for the analytic backend's shared-die
+  /// deep-tail path (used by core::YieldAnalysis::tail_fail).
+  ssta::IsleOptions isle;
 };
 
 /// Result of the structural-duplication sizing (one Table 1 cell).
@@ -98,7 +112,15 @@ class MitigationStudy {
   const arch::ChipDelaySampler& sampler(double vdd) const;
 
   /// Monte Carlo chip-delay sample at `vdd` with `spares` spare lanes.
+  /// Always samples, regardless of the configured backend (callers that
+  /// want the whole empirical distribution, e.g. figure benches, opt in
+  /// explicitly).
   arch::ChipMcResult mc_chip(double vdd, int spares = 0) const;
+
+  /// The closed-form evaluator when backend == kAnalytic, else nullptr.
+  const ssta::AnalyticChipStudy* analytic() const noexcept {
+    return analytic_ ? &*analytic_ : nullptr;
+  }
 
   /// Sign-off (99 %) chip delay [s].
   double chip_delay_p99(double vdd, int spares = 0) const;
@@ -150,9 +172,14 @@ class MitigationStudy {
 
  private:
   std::int64_t vkey(double vdd) const noexcept;
+  /// FO4 unit at `vdd` without forcing a sampler build under the analytic
+  /// backend (the sampler's grid construction is the cost the backend
+  /// exists to avoid).
+  double fo4_unit(double vdd) const;
 
   device::VariationModel model_;
   MitigationConfig config_;
+  std::optional<ssta::AnalyticChipStudy> analytic_;
   /// Sampler construction is serial (dist-cache lookup + scalars), so the
   /// build-once cache is safe; the p99 factory runs Monte Carlo on the
   /// pool, which mandates the race cache (see exec/cache.h).

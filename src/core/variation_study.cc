@@ -5,6 +5,7 @@
 
 #include "device/dist_cache.h"
 #include "exec/thread_pool.h"
+#include "ssta/analytic_backend.h"
 #include "obs/metrics.h"
 #include "stats/descriptive.h"
 #include "stats/monte_carlo.h"
@@ -263,6 +264,25 @@ McChainSummary VariationStudy::mc_chain_summary(
   }
   result.p99_rel_ci_halfwidth =
       stats::weighted_percentile_ci(x, w, 99.0).rel_halfwidth();
+  return result;
+}
+
+AnalyticChainSummary VariationStudy::analytic_chain_summary(
+    double vdd, int n_stages) const {
+  // An ephemeral evaluator sized to the requested chain: construction is
+  // grid-free and the one path-law build is a single 1-D quadrature.
+  arch::TimingConfig config;
+  config.chain_stages = n_stages;
+  const ssta::AnalyticChipStudy study(model_, config);
+  const ssta::PathLaw& path = study.path_law(vdd);
+
+  AnalyticChainSummary result;
+  result.mean = path.law.mean();
+  result.stddev = std::sqrt(path.law.variance());
+  result.p50 = path.law.quantile(0.5);
+  result.p99 = path.law.quantile(0.99);
+  result.three_sigma_over_mu_pct = 300.0 * result.stddev / result.mean;
+  result.analytic_error = path.analytic_error;
   return result;
 }
 

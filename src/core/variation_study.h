@@ -45,6 +45,20 @@ struct McChainSummary {
   double p99_rel_ci_halfwidth = 0.0;
 };
 
+/// Closed-form counterpart of McChainSummary: the same chain-delay
+/// statistics read off the moment-matched shifted-lognormal path law
+/// (ssta/analytic_backend.h) instead of a Monte Carlo sample. Exact in
+/// mean and stddev, quantiles carry the three-moment fit residual
+/// (reported as analytic_error).
+struct AnalyticChainSummary {
+  double mean = 0.0;         ///< Chain-delay mean [s].
+  double stddev = 0.0;       ///< Chain-delay standard deviation [s].
+  double p50 = 0.0;          ///< Median chain delay [s].
+  double p99 = 0.0;          ///< 99th-percentile chain delay [s].
+  double three_sigma_over_mu_pct = 0.0;  ///< 3sigma/mu [%].
+  double analytic_error = 0.0;  ///< Relative 4th-moment fit mismatch.
+};
+
 /// Variation study of one technology node.
 class VariationStudy {
  public:
@@ -107,6 +121,13 @@ class VariationStudy {
   McChainSummary mc_chain_summary(double vdd, int n_stages, std::size_t n,
                                   const stats::SamplingPlan& plan,
                                   std::uint64_t seed = 2) const;
+
+  /// Monte-Carlo-free chain summary from the analytic backend's path law
+  /// — the `--backend analytic` twin of mc_chain_summary. Microseconds
+  /// per call; cross-validated against the sampled path by the ssta
+  /// validation experiments.
+  AnalyticChainSummary analytic_chain_summary(double vdd,
+                                              int n_stages = 50) const;
 
  private:
   /// Combines grid moments with the die-systematic factor

@@ -7,9 +7,23 @@
 
 namespace ntv::core {
 
+namespace {
+
+// The closed-form chip law only exists for independent paths; under the
+// shared-die correlation the inner study runs Monte Carlo and the
+// analytic request is honoured by the ISLE tail sampler instead.
+MitigationConfig inner_config(MitigationConfig config) {
+  if (config.backend == ssta::Backend::kAnalytic &&
+      config.timing.correlation == arch::DieCorrelation::kSharedDie)
+    config.backend = ssta::Backend::kMonteCarlo;
+  return config;
+}
+
+}  // namespace
+
 YieldAnalysis::YieldAnalysis(const device::TechNode& node,
                              MitigationConfig config)
-    : study_(node, config) {}
+    : requested_backend_(config.backend), study_(node, inner_config(config)) {}
 
 const stats::Ecdf& YieldAnalysis::ecdf(double vdd, int spares) const {
   const auto key =
@@ -31,6 +45,8 @@ void YieldAnalysis::prime(std::span<const double> vdds,
 double YieldAnalysis::yield(double vdd, double t_clk, int spares) const {
   if (t_clk <= 0.0)
     throw std::invalid_argument("YieldAnalysis::yield: t_clk must be > 0");
+  if (const auto* analytic = study_.analytic())
+    return analytic->chip_cdf(vdd, spares, t_clk);
   return ecdf(vdd, spares)(t_clk);
 }
 
@@ -39,7 +55,36 @@ double YieldAnalysis::t_clk_for_yield(double vdd, double target_yield,
   if (!(target_yield > 0.0) || target_yield > 1.0)
     throw std::invalid_argument(
         "YieldAnalysis::t_clk_for_yield: target in (0, 1] required");
+  if (const auto* analytic = study_.analytic())
+    return analytic->signoff_delay(vdd, 100.0 * target_yield, spares);
   return ecdf(vdd, spares).quantile(target_yield);
+}
+
+ssta::TailYieldEstimate YieldAnalysis::tail_fail(double vdd, double t_clk,
+                                                 int spares) const {
+  if (t_clk <= 0.0)
+    throw std::invalid_argument(
+        "YieldAnalysis::tail_fail: t_clk must be > 0");
+  if (const auto* analytic = study_.analytic()) {
+    ssta::TailYieldEstimate est;
+    est.fail_prob = analytic->tail_fail_prob(vdd, t_clk, spares);
+    est.ess = 0.0;
+    est.ci_halfwidth = 0.0;
+    return est;
+  }
+  const MitigationConfig& config = study_.config();
+  if (requested_backend_ == ssta::Backend::kAnalytic) {
+    // Shared-die regime: importance-sample the die factor (ssta/isle.h).
+    return ssta::isle_tail_yield(study_.model(), vdd, config.timing, t_clk,
+                                 spares, config.isle);
+  }
+  ssta::TailYieldEstimate est;
+  const double p = 1.0 - ecdf(vdd, spares)(t_clk);
+  const auto n = static_cast<double>(config.chip_samples);
+  est.fail_prob = p;
+  est.ess = n;
+  est.ci_halfwidth = 1.959963984540054 * std::sqrt(p * (1.0 - p) / n);
+  return est;
 }
 
 std::vector<YieldPoint> YieldAnalysis::curve(double vdd, double t_lo,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mitigation.h"
+#include "ssta/isle.h"
 #include "stats/ecdf.h"
 
 namespace ntv::core {
@@ -31,8 +32,21 @@ class YieldAnalysis {
                          MitigationConfig config = {});
 
   /// Fraction of manufactured chips whose (duplication-repaired) delay
-  /// meets `t_clk` at supply `vdd`.
+  /// meets `t_clk` at supply `vdd`. Under the analytic backend this is
+  /// the closed-form chip CDF (no Monte Carlo, no ECDF build).
   double yield(double vdd, double t_clk, int spares = 0) const;
+
+  /// Deep-tail timing loss P(chip delay > t_clk), estimated with the
+  /// backend-appropriate machinery:
+  ///  * analytic + independent paths: the exact closed-form binomial
+  ///    tail (ess/ci reported as zero — the estimate is deterministic);
+  ///  * analytic + shared die: the ISLE importance sampler of
+  ///    ssta/isle.h, which resolves tails far beyond ECDF reach and
+  ///    reports its effective sample size and 95 % CI half-width;
+  ///  * Monte Carlo backend: the empirical exceedance fraction with a
+  ///    normal-approximation CI (resolution floor ~1/chip_samples).
+  ssta::TailYieldEstimate tail_fail(double vdd, double t_clk,
+                                    int spares = 0) const;
 
   /// Smallest clock period achieving `target_yield` (in (0, 1]).
   double t_clk_for_yield(double vdd, double target_yield,
@@ -61,6 +75,11 @@ class YieldAnalysis {
  private:
   const stats::Ecdf& ecdf(double vdd, int spares) const;
 
+  /// What the caller asked for. The inner study is constructed with the
+  /// backend demoted to Monte Carlo when the analytic closed form does
+  /// not exist (shared-die correlation); tail_fail still honours the
+  /// request there through the ISLE sampler.
+  ssta::Backend requested_backend_ = ssta::Backend::kMonteCarlo;
   mutable MitigationStudy study_;
   mutable exec::KeyedRaceCache<std::pair<std::int64_t, int>, stats::Ecdf>
       ecdfs_;

@@ -28,6 +28,7 @@ void RunManifest::write(JsonWriter& w) const {
   for (double v : vdd_grid) w.value(v);
   w.end_array();
   w.key("sampling").value(sampling);
+  w.key("backend").value(backend);
   w.key("simd").value(simd);
   w.key("build_type").value(build_type);
   w.key("library_version").value(library_version);

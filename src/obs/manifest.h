@@ -38,6 +38,11 @@ struct RunManifest {
   /// are gated by tolerance windows, not byte identity
   /// (docs/SAMPLING.md).
   std::string sampling = "naive";
+  /// Evaluation backend of the run ("mc" = sampled Monte Carlo,
+  /// "analytic" = closed-form SSTA; docs/SSTA.md). Analytic runs are
+  /// deterministic, so `seed`/`sampling` do not affect their results;
+  /// they are gated against the mc twin by tolerance bands.
+  std::string backend = "mc";
   /// Active SIMD dispatch backend ("scalar" / "avx2" / "neon"). Purely
   /// informational: every backend is byte-identical by contract
   /// (docs/SIMD.md), so reports are comparable across values.

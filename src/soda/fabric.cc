@@ -30,7 +30,7 @@ struct PeNode {
 
   std::size_t program_index = 0;
   std::size_t pc = 0;
-  RunStats stats;           // current program (legacy-identical accounting)
+  RunStats stats;           // current program (architectural accounting)
   SimTime issue_tick = 0;   // when the in-flight mem/SIMD op issued
   bool done = false;
 
@@ -63,8 +63,8 @@ class ControlComponent final : public Component {
       case kMsgMemDone: {
         from->release(now);
         // Functional execution at burst completion (the PE blocks on the
-        // response, so program order — and therefore architectural state
-        // — is identical to the legacy interpreter's).
+        // response, so program order — and therefore architectural
+        // state — is sequential).
         const auto result = node_.pe->step(node_.program(), node_.pc,
                                            node_.stats);
         node_.out.counters.mem_stall_cycles +=
@@ -120,7 +120,7 @@ class ControlComponent final : public Component {
 
     const auto result = node_.pe->step(program, node_.pc, node_.stats);
     if (result.halted) {
-      finish_program(now);  // kHalt costs no cycle and no tick (legacy)
+      finish_program(now);  // kHalt costs no cycle and no tick
       return;
     }
     node_.pc = result.next_pc;
@@ -193,8 +193,8 @@ class MemControllerComponent final : public Component {
   void handle(const Message& msg, SimTime now, Connection* from) override {
     const auto pe = static_cast<std::size_t>(msg.c);
     // Out-of-range rows are a program bug; the functional step() at
-    // completion raises the same error the legacy interpreter would, so
-    // the timing model just needs a well-formed key here.
+    // completion raises the error, so the timing model just needs a
+    // well-formed key here.
     const std::int64_t row = std::max<std::int64_t>(msg.b, 0);
     const MemTimingStats before = timing_.stats();
     const SimTime completion =
@@ -285,9 +285,8 @@ class SimdComponent final : public Component {
   PeNode& node_;
 };
 
-/// The adder tree: kVReduceSum executes here (one SIMD cycle, as in the
-/// legacy interpreter; the tree is pipelined full-width hardware, so
-/// lane slowdowns don't apply).
+/// The adder tree: kVReduceSum executes here (one SIMD cycle; the tree
+/// is pipelined full-width hardware, so lane slowdowns don't apply).
 class AdderTreeComponent final : public Component {
  public:
   explicit AdderTreeComponent(PeNode& node)

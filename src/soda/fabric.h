@@ -21,11 +21,11 @@
 //    takes 1 tick, a SIMD instruction `simd_ratio * k` ticks where k is
 //    the slowdown of its slowest active lane, a vector load/store takes
 //    whatever the memory controller says (exactly 1 in kIdeal mode);
-//  * the architectural RunStats cycle pools are bumped by the SAME
-//    ProcessingElement::step() the legacy interpreter uses, so in the
-//    ideal/no-fault configuration the fabric reproduces legacy cycle
-//    counts EXACTLY (tests/soda/fabric_diff_test.cc) — stalls, bank
-//    conflicts and lane slowdowns only ever appear in FabricCounters.
+//  * the architectural RunStats cycle pools are bumped by the shared
+//    ProcessingElement::step(), so in the ideal/no-fault configuration
+//    the cycle counts match the committed golden RunStats EXACTLY
+//    (tests/soda/fabric_diff_test.cc) — stalls, bank conflicts and
+//    lane slowdowns only ever appear in FabricCounters.
 //
 // Variation hook: LaneTimingConfig (soda/pe.h) marks physical FUs slow
 // by an integer multiple of the SIMD clock; the whole SIMD word waits
@@ -52,7 +52,7 @@ struct FabricRunConfig {
   /// Per-PE SIMD-to-memory clock ratio (ticks per SIMD cycle, >= 1).
   /// Empty = every PE at 1 (full-voltage SIMD clock).
   std::vector<int> simd_ratio;
-  long max_instructions = 10'000'000;   ///< Per program (legacy semantics).
+  long max_instructions = 10'000'000;   ///< Per program (runaway guard).
   long max_events = 200'000'000;        ///< Scheduler runaway guard.
 };
 

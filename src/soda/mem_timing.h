@@ -16,8 +16,8 @@
 // Single sequential client streaming consecutive rows therefore runs
 // conflict-free (rows interleave across banks); several PEs sharing the
 // controller, or one PE ping-ponging between distant rows, pay misses
-// and conflicts. kIdeal reproduces the legacy flat model exactly (1 tick
-// per access, no state) and is the differential-parity default.
+// and conflicts. kIdeal is a flat model (1 tick per access, no state)
+// and is the default that the golden RunStats are pinned against.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +30,7 @@ namespace ntv::soda {
 /// Static configuration of the memory timing model.
 struct MemTimingConfig {
   enum class Mode {
-    kIdeal,   ///< Flat 1-tick service; byte-identical to the legacy loop.
+    kIdeal,   ///< Flat 1-tick service; the golden-RunStats default.
     kBanked,  ///< Banked row-buffer timing (the fields below).
   };
   Mode mode = Mode::kIdeal;

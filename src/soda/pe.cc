@@ -1,8 +1,6 @@
 #include "soda/pe.h"
 
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 
 namespace ntv::soda {
@@ -90,19 +88,6 @@ void ProcessingElement::set_lane_timing(LaneTimingConfig config) {
   lane_timing_ = std::move(config);
 }
 
-ProcessingElement::Engine ProcessingElement::default_engine() {
-  static const Engine engine = [] {
-    const char* env = std::getenv("NTV_SODA_ENGINE");
-    if (env != nullptr && std::strcmp(env, "legacy") == 0)
-      return Engine::kLegacy;
-    if (env != nullptr && env[0] != '\0' && std::strcmp(env, "fabric") != 0)
-      throw std::invalid_argument(
-          "NTV_SODA_ENGINE must be 'fabric' or 'legacy'");
-    return Engine::kFabric;
-  }();
-  return engine;
-}
-
 std::uint16_t ProcessingElement::scalar_reg(int r) const {
   return sregs_.at(static_cast<std::size_t>(r));
 }
@@ -163,24 +148,7 @@ void ProcessingElement::exec_simd(const Instruction& inst) {
 
 RunStats ProcessingElement::run(const Program& program,
                                 long max_instructions) {
-  return engine_ == Engine::kLegacy ? run_legacy(program, max_instructions)
-                                    : run_fabric(program, max_instructions);
-}
-
-RunStats ProcessingElement::run_legacy(const Program& program,
-                                       long max_instructions) {
-  fabric_counters_ = {};
-  RunStats stats;
-  std::size_t pc = 0;
-  while (pc < program.size()) {
-    if (stats.instructions >= max_instructions)
-      throw std::runtime_error("ProcessingElement::run: instruction limit");
-    notify_trace(pc, program[pc]);
-    const StepResult result = step(program, pc, stats);
-    if (result.halted) return stats;
-    pc = result.next_pc;
-  }
-  return stats;
+  return run_fabric(program, max_instructions);
 }
 
 ProcessingElement::StepResult ProcessingElement::step(const Program& program,

@@ -1,4 +1,4 @@
-// The Diet SODA processing element: subsystems + two execution engines.
+// The Diet SODA processing element: subsystems + the fabric engine.
 //
 // Ties together the pieces of Appendix B — multi-banked SIMD memory,
 // scalar memory, prefetcher, SIMD pipeline with shuffle network and adder
@@ -8,17 +8,13 @@
 // wall-clock time for given clock periods (Section 4.3's constraint that
 // the SIMD period be a multiple of the memory period is asserted there).
 //
-// Two engines execute programs (docs/SODA.md):
-//  * kFabric (default): the event-driven port/component/connection
-//    fabric (soda/fabric.h) — Control, AGU, SIMD unit, adder tree and a
-//    memory controller exchange messages through the deterministic
-//    scheduler. This is the path that models banked memory timing,
-//    per-lane variation-induced stalls and mid-kernel spare bypass.
-//  * kLegacy: the original hand-rolled sequential interpreter, kept for
-//    one PR as the differential-test oracle (tests/soda/fabric_diff) —
-//    both engines produce byte-identical RunStats and functional state
-//    on every kernel; the ideal-timing fabric matches it cycle-exact.
-// `NTV_SODA_ENGINE=legacy|fabric` overrides the process default.
+// Programs execute on the event-driven port/component/connection fabric
+// (soda/fabric.h, docs/SODA.md) — Control, AGU, SIMD unit, adder tree and
+// a memory controller exchange messages through the deterministic
+// scheduler. This is the path that models banked memory timing, per-lane
+// variation-induced stalls and mid-kernel spare bypass. Under ideal
+// memory timing the cycle counts are pinned by the committed golden
+// RunStats in tests/soda/fabric_diff_test.cc.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +71,7 @@ struct LaneTimingConfig {
 };
 
 /// Fabric-run observability: what the event engine did beyond the
-/// architectural RunStats. Zero-filled after legacy runs.
+/// architectural RunStats.
 struct FabricCounters {
   long events = 0;             ///< Scheduler dispatches (whole fabric).
   long messages = 0;           ///< Connection messages sent (whole fabric).
@@ -92,9 +88,6 @@ struct FabricCounters {
 /// One processing element.
 class ProcessingElement {
  public:
-  /// Program execution engine (docs/SODA.md).
-  enum class Engine { kFabric, kLegacy };
-
   explicit ProcessingElement(const PeConfig& config = {});
 
   const PeConfig& config() const noexcept { return config_; }
@@ -141,15 +134,9 @@ class ProcessingElement {
     if (trace_) trace_(pc, inst);
   }
 
-  // ---- engine selection and fabric timing models ----
+  // ---- fabric timing models ----
 
-  /// Process-wide default engine: kFabric, unless NTV_SODA_ENGINE=legacy.
-  static Engine default_engine();
-  void set_engine(Engine engine) noexcept { engine_ = engine; }
-  Engine engine() const noexcept { return engine_; }
-
-  /// Memory timing model used by fabric runs of this PE (ideal default —
-  /// the legacy-parity configuration).
+  /// Memory timing model used by runs of this PE (ideal default).
   void set_mem_timing(const MemTimingConfig& config) { mem_timing_ = config; }
   const MemTimingConfig& mem_timing() const noexcept { return mem_timing_; }
 
@@ -159,7 +146,7 @@ class ProcessingElement {
     return lane_timing_;
   }
 
-  /// Counters of the most recent fabric run (zeroed by legacy runs).
+  /// Counters of the most recent run.
   const FabricCounters& fabric_counters() const noexcept {
     return fabric_counters_;
   }
@@ -169,23 +156,19 @@ class ProcessingElement {
 
   /// Executes the program from pc=0 until kHalt, the end of the program,
   /// or `max_instructions` (safety net; throws std::runtime_error when
-  /// exceeded — a runaway loop is a program bug). Dispatches to the
-  /// selected engine; both produce identical RunStats and final state.
+  /// exceeded — a runaway loop is a program bug). Runs on the
+  /// event-driven fabric engine (soda/fabric.h).
   RunStats run(const Program& program, long max_instructions = 10'000'000);
 
-  /// The legacy sequential interpreter (differential oracle).
-  RunStats run_legacy(const Program& program,
-                      long max_instructions = 10'000'000);
-
-  /// The event-driven fabric engine (soda/fabric.h).
+  /// Alias for run(); kept so fabric internals and tests can name the
+  /// engine explicitly.
   RunStats run_fabric(const Program& program,
                       long max_instructions = 10'000'000);
 
   /// Executes exactly one instruction at `pc`, mutating architectural
-  /// state and cycle counters exactly as the legacy interpreter does
-  /// (this IS the legacy interpreter body; both engines share it).
-  /// Returns the next pc and whether kHalt was reached. The caller owns
-  /// the instruction-limit check and the trace hook.
+  /// state and cycle counters. Returns the next pc and whether kHalt was
+  /// reached. The caller owns the instruction-limit check and the trace
+  /// hook.
   struct StepResult {
     std::size_t next_pc = 0;
     bool halted = false;
@@ -212,7 +195,6 @@ class ProcessingElement {
   std::int32_t acc32_ = 0;
   TraceHook trace_;
   std::vector<std::uint8_t> faulty_fus_;
-  Engine engine_ = default_engine();
   MemTimingConfig mem_timing_;
   LaneTimingConfig lane_timing_;
   FabricCounters fabric_counters_;

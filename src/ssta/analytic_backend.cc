@@ -1,0 +1,241 @@
+#include "ssta/analytic_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/normal.h"
+#include "stats/root_find.h"
+
+namespace ntv::ssta {
+
+namespace {
+
+/// Raw moments E[X^k], k = 1..4, of f(Z) for Z ~ N(0, 1) truncated to
+/// +-z_span, by the same trapezoid quadrature the grid builder uses
+/// (device/gate_table.cc), so both backends share one variation model.
+struct RawMoments {
+  double m1 = 0.0, m2 = 0.0, m3 = 0.0, m4 = 0.0;
+};
+
+template <typename F>
+RawMoments quadrature_moments(const F& f, std::size_t points, double z_span) {
+  const double h = 2.0 * z_span / static_cast<double>(points - 1);
+  RawMoments m;
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double z = -z_span + h * static_cast<double>(i);
+    const double w =
+        stats::normal_pdf(z) * ((i == 0 || i == points - 1) ? 0.5 : 1.0);
+    const double x = f(z);
+    const double x2 = x * x;
+    m.m1 += w * x;
+    m.m2 += w * x2;
+    m.m3 += w * x2 * x;
+    m.m4 += w * x2 * x2;
+    wsum += w;
+  }
+  m.m1 /= wsum;
+  m.m2 /= wsum;
+  m.m3 /= wsum;
+  m.m4 /= wsum;
+  return m;
+}
+
+/// Cumulants kappa_1..4 from raw moments.
+ChainCumulants to_cumulants(const RawMoments& m) {
+  ChainCumulants k;
+  k.k1 = m.m1;
+  k.k2 = m.m2 - m.m1 * m.m1;
+  k.k3 = m.m3 - 3.0 * m.m1 * m.m2 + 2.0 * m.m1 * m.m1 * m.m1;
+  k.k4 = m.m4 - 4.0 * m.m1 * m.m3 - 3.0 * m.m2 * m.m2 +
+         12.0 * m.m1 * m.m1 * m.m2 - 6.0 * m.m1 * m.m1 * m.m1 * m.m1;
+  return k;
+}
+
+}  // namespace
+
+ChainCumulants conditional_chain_cumulants(
+    const device::VariationModel& model, double vdd, int n_stages,
+    const device::DistributionOptions& quad) {
+  const auto& p = model.params();
+  const auto& gm = model.gate_model();
+
+  // Gate delay G = B(dVth) * (1 + eps) with independent truncated normals
+  // (exactly the density the grid builder integrates).
+  const double sv = p.sigma_vth_rand;
+  const double sm = p.sigma_mult_rand;
+  const RawMoments base = quadrature_moments(
+      [&](double z) { return gm.delay(vdd, z * sv, 0.0); }, quad.vth_points,
+      quad.z_span);
+  const RawMoments eps = quadrature_moments(
+      [&](double z) { return 1.0 + z * sm; }, quad.mult_points, quad.z_span);
+
+  RawMoments gate;
+  gate.m1 = base.m1 * eps.m1;
+  gate.m2 = base.m2 * eps.m2;
+  gate.m3 = base.m3 * eps.m3;
+  gate.m4 = base.m4 * eps.m4;
+
+  // Chain C = sum of n i.i.d. gates: cumulants scale linearly.
+  const ChainCumulants kg = to_cumulants(gate);
+  const double n = static_cast<double>(n_stages);
+  return ChainCumulants{n * kg.k1, n * kg.k2, n * kg.k3, n * kg.k4};
+}
+
+AnalyticChipStudy::AnalyticChipStudy(const device::VariationModel& model,
+                                     arch::TimingConfig config)
+    : model_(model), config_(config) {
+  if (config.correlation != arch::DieCorrelation::kIndependentPaths)
+    throw std::invalid_argument(
+        "AnalyticChipStudy: lanes are not independent in shared-die mode; "
+        "use ssta::isle_tail_yield for that regime");
+  if (config.simd_width < 1 || config.paths_per_lane < 1 ||
+      config.chain_stages < 1)
+    throw std::invalid_argument("AnalyticChipStudy: bad TimingConfig");
+}
+
+std::int64_t AnalyticChipStudy::vkey(double vdd) const noexcept {
+  // Same 0.1 uV quantization as core/mitigation, so float noise cannot
+  // split cache entries between the backends.
+  return static_cast<std::int64_t>(std::llround(vdd * 1e7));
+}
+
+PathLaw AnalyticChipStudy::build_law(double vdd) const {
+  const auto& p = model_.params();
+  const auto& gm = model_.gate_model();
+  const ChainCumulants kc = conditional_chain_cumulants(
+      model_, vdd, config_.chain_stages, quad_);
+
+  // Additive die-systematic Gaussian K (device/gate_table.cc): the die
+  // factor S = exp(g Z)(1 + W) enters first order as
+  // C * S ~ C + mu_C (S - 1).
+  const double g = gm.sensitivity(vdd);
+  const double a = g * p.sigma_vth_sys;
+  const double es = std::exp(0.5 * a * a);
+  const double es2 =
+      std::exp(2.0 * a * a) * (1.0 + p.sigma_mult_sys * p.sigma_mult_sys);
+  const double sd_s = std::sqrt(std::max(es2 - es * es, 0.0));
+  const double mean_k = kc.k1 * (es - 1.0);
+  const double sigma_k = kc.k1 * sd_s;
+
+  const ChainCumulants kt{kc.k1 + mean_k, kc.k2 + sigma_k * sigma_k, kc.k3,
+                          kc.k4};
+
+  PathLaw law;
+  law.law = ShiftedLognormal::fit(kt.k1, kt.k2,
+                                  kt.k3 / std::pow(kt.k2, 1.5));
+  law.fo4_unit = gm.fo4_delay(vdd);
+  const double m4_exact = kt.k4 + 3.0 * kt.k2 * kt.k2;
+  const double m4_fit = law.law.fourth_central_moment();
+  law.analytic_error = std::abs(m4_fit - m4_exact) / m4_exact;
+  return law;
+}
+
+const PathLaw& AnalyticChipStudy::path_law(double vdd) const {
+  return laws_.get_or_build(vkey(vdd), [&] { return build_law(vdd); });
+}
+
+double AnalyticChipStudy::lane_cdf(double vdd, double x) const {
+  const PathLaw& pl = path_law(vdd);
+  return std::pow(pl.law.cdf(x), config_.paths_per_lane);
+}
+
+double AnalyticChipStudy::chip_cdf(double vdd, int spares, double x) const {
+  if (spares < 0)
+    throw std::invalid_argument("AnalyticChipStudy::chip_cdf: spares < 0");
+  // P(at least w of w + spares lanes are <= x): the w-th order statistic.
+  return stats::binomial_sf(config_.simd_width,
+                            config_.simd_width + spares, lane_cdf(vdd, x));
+}
+
+double AnalyticChipStudy::tail_fail_prob(double vdd, double t_clk,
+                                         int spares) const {
+  if (spares < 0)
+    throw std::invalid_argument(
+        "AnalyticChipStudy::tail_fail_prob: spares < 0");
+  // The chip misses t_clk iff more than `spares` lanes do. Going through
+  // the lane *survival* side keeps deep tails exact where 1 - chip_cdf
+  // would cancel: q_lane = 1 - (1 - q_path)^paths via expm1/log1p.
+  const PathLaw& pl = path_law(vdd);
+  const double q_path = pl.law.sf(t_clk);
+  const double q_lane =
+      -std::expm1(static_cast<double>(config_.paths_per_lane) *
+                  std::log1p(-q_path));
+  return stats::binomial_sf(spares + 1, config_.simd_width + spares,
+                            q_lane);
+}
+
+double AnalyticChipStudy::signoff_delay(double vdd, double percentile,
+                                        int spares) const {
+  if (!(percentile > 0.0) || !(percentile < 100.0))
+    throw std::invalid_argument(
+        "AnalyticChipStudy::signoff_delay: percentile in (0, 100)");
+  if (spares < 0)
+    throw std::invalid_argument(
+        "AnalyticChipStudy::signoff_delay: spares < 0");
+  const double p = percentile / 100.0;
+  const int w = config_.simd_width;
+  const int lanes = w + spares;
+
+  // Two exact monotone steps instead of bracketing in delay space:
+  // solve P(Binomial(lanes, theta) >= w) = p for the lane-CDF level
+  // theta, then pull theta back through the closed-form quantile chain
+  // x = Q_path(theta^(1/paths)).
+  stats::RootOptions opt;
+  opt.x_tol = 1e-14;
+  const auto root = stats::brent(
+      [&](double theta) {
+        return stats::binomial_sf(w, lanes, theta) - p;
+      },
+      1e-15, 1.0 - 1e-15, opt);
+  const double theta = std::clamp(root.x, 1e-15, 1.0 - 1e-15);
+  const double f_path = std::pow(
+      theta, 1.0 / static_cast<double>(config_.paths_per_lane));
+  return path_law(vdd).law.quantile(f_path);
+}
+
+int AnalyticChipStudy::required_spares(double vdd, double target,
+                                       double percentile,
+                                       int max_spares) const {
+  const double p = percentile / 100.0;
+  const long alpha = stats::smallest_true(
+      [&](long a) {
+        return chip_cdf(vdd, static_cast<int>(a), target) >= p;
+      },
+      0, max_spares);
+  return static_cast<int>(alpha);
+}
+
+double AnalyticChipStudy::analytic_error(double vdd) const {
+  return path_law(vdd).analytic_error;
+}
+
+double AnalyticChipStudy::fo4_unit(double vdd) const {
+  return path_law(vdd).fo4_unit;
+}
+
+stats::GridDistribution AnalyticChipStudy::chip_grid(double vdd, int spares,
+                                                     std::size_t bins,
+                                                     double lo_p,
+                                                     double hi_p) const {
+  if (bins < 8)
+    throw std::invalid_argument("AnalyticChipStudy::chip_grid: bins < 8");
+  if (!(lo_p > 0.0) || !(hi_p < 1.0) || !(lo_p < hi_p))
+    throw std::invalid_argument(
+        "AnalyticChipStudy::chip_grid: need 0 < lo_p < hi_p < 1");
+  const double lo = signoff_delay(vdd, lo_p * 100.0, spares);
+  const double hi = signoff_delay(vdd, hi_p * 100.0, spares);
+  const double step = (hi - lo) / static_cast<double>(bins - 1);
+  std::vector<double> pmf(bins);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double cur = chip_cdf(vdd, spares, x);
+    pmf[i] = std::max(cur - prev, 0.0);
+    prev = cur;
+  }
+  return stats::GridDistribution(lo, step, std::move(pmf));
+}
+
+}  // namespace ntv::ssta

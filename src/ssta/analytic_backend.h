@@ -1,0 +1,117 @@
+// Closed-form analytic SSTA backend (docs/SSTA.md).
+//
+// Answers the chip-delay questions of core/mitigation and core/yield
+// without Monte Carlo and without materializing delay grids:
+//
+//   path:  T = C + K, where C is the N-fold self-convolution of the gate
+//          delay law (cumulants scale linearly: kappa_i(C) = N kappa_i(G),
+//          with the gate moments from a 1-D quadrature over dVth and the
+//          closed-form (1 + eps) factor) and K is the additive
+//          die-systematic Gaussian of device/gate_table.cc. T is
+//          moment-matched to a shifted lognormal (ssta/lognormal.h) —
+//          "log-domain moment matching".
+//   lane:  CDF_lane(x) = CDF_T(x)^paths_per_lane          (max of paths)
+//   chip:  the keep-fastest-w-of-(w + alpha) sparing mitigation is the
+//          w-th order statistic of w + alpha i.i.d. lanes:
+//          CDF_chip(x) = P(Binomial(w + alpha, CDF_lane(x)) >= w)
+//                      = stats::binomial_sf — one pointwise evaluation,
+//          no grids, so sign-off quantiles invert by Brent in ~1 us.
+//
+// Valid for DieCorrelation::kIndependentPaths (the paper's methodology);
+// the shared-die regime, where lanes are NOT independent, is served by
+// the ISLE importance sampler in ssta/isle.h instead. The residual
+// model error of the three-moment fit is tracked per operating point as
+// the relative mismatch of the fourth central moment (analytic_error()),
+// which consumers publish as the per-cell `analytic.err` gauge.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/simd_timing.h"
+#include "device/variation.h"
+#include "exec/cache.h"
+#include "ssta/lognormal.h"
+
+namespace ntv::ssta {
+
+/// Cumulants kappa_1..4 of the conditional (within-die random only)
+/// N-stage chain delay at `vdd`: gate moments from the same truncated
+/// quadrature the grid builder integrates, scaled linearly to the chain.
+/// The moment bridge shared by AnalyticChipStudy and the ISLE sampler.
+struct ChainCumulants {
+  double k1 = 0.0, k2 = 0.0, k3 = 0.0, k4 = 0.0;
+};
+ChainCumulants conditional_chain_cumulants(
+    const device::VariationModel& model, double vdd, int n_stages,
+    const device::DistributionOptions& quad = {});
+
+/// The moment-matched law of one critical path at one (node, Vdd) point.
+struct PathLaw {
+  ShiftedLognormal law;        ///< Total (cross-chip) path-delay law [s].
+  double fo4_unit = 0.0;       ///< Nominal FO4 delay at this Vdd [s].
+  double analytic_error = 0.0; ///< Relative 4th-central-moment mismatch.
+};
+
+/// Closed-form chip-delay evaluator for one technology node. Thread-safe:
+/// per-voltage path laws build once in a keyed cache, every query after
+/// that is pure arithmetic. Throws std::invalid_argument when constructed
+/// for the shared-die correlation mode (no closed form; see ssta/isle.h).
+class AnalyticChipStudy {
+ public:
+  AnalyticChipStudy(const device::VariationModel& model,
+                    arch::TimingConfig config = {});
+
+  const arch::TimingConfig& config() const noexcept { return config_; }
+  const device::VariationModel& model() const noexcept { return model_; }
+
+  /// The cached moment-matched path law at `vdd`.
+  const PathLaw& path_law(double vdd) const;
+
+  /// CDF of one lane's delay (max of paths_per_lane i.i.d. paths).
+  double lane_cdf(double vdd, double x) const;
+
+  /// CDF of the chip delay with `spares` spare lanes (w-th order
+  /// statistic of w + spares i.i.d. lanes).
+  double chip_cdf(double vdd, int spares, double x) const;
+
+  /// P(chip delay > t_clk): the timing-yield tail, evaluated through the
+  /// stable binomial survival function (accurate for deep tails where
+  /// 1 - chip_cdf would cancel).
+  double tail_fail_prob(double vdd, double t_clk, int spares) const;
+
+  /// Sign-off delay: the `percentile` point of the chip law [s],
+  /// inverted from the pointwise CDF by bracketed Brent.
+  double signoff_delay(double vdd, double percentile, int spares) const;
+
+  /// Fewest spares whose sign-off delay meets `target` [s]; returns
+  /// max_spares + 1 when none do. One pointwise chip-CDF evaluation per
+  /// probed spare count (no quantile inversion needed).
+  int required_spares(double vdd, double target, double percentile,
+                      int max_spares = 128) const;
+
+  /// Relative fourth-central-moment mismatch of the path fit at `vdd` —
+  /// the per-cell analytic_error gauge value.
+  double analytic_error(double vdd) const;
+
+  /// Nominal FO4 delay at `vdd` [s] (matches ChipDelaySampler::fo4_unit).
+  double fo4_unit(double vdd) const;
+
+  /// Materializes the chip law on a `bins`-point uniform grid spanning
+  /// [q(lo_p), q(hi_p)] — for distribution plots and yield curves that
+  /// want a whole-law view. Costs `bins` pointwise CDF evaluations.
+  stats::GridDistribution chip_grid(double vdd, int spares,
+                                    std::size_t bins = 512,
+                                    double lo_p = 1e-6,
+                                    double hi_p = 1.0 - 1e-9) const;
+
+ private:
+  std::int64_t vkey(double vdd) const noexcept;
+  PathLaw build_law(double vdd) const;
+
+  device::VariationModel model_;
+  arch::TimingConfig config_;
+  device::DistributionOptions quad_;  ///< Quadrature resolution knobs.
+  mutable exec::KeyedOnceCache<std::int64_t, PathLaw> laws_;
+};
+
+}  // namespace ntv::ssta

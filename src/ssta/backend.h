@@ -1,0 +1,42 @@
+// Evaluation backend selection: sampled Monte Carlo vs analytic SSTA.
+//
+// Every consumer of the chip-delay machinery (core/mitigation, core/yield,
+// the CLI and the benches) takes one of these. The Monte Carlo backend is
+// the byte-identity reference (docs/SAMPLING.md); the analytic backend
+// answers the same Table 1-4 / Fig 3-8 questions from the closed-form
+// order-statistics law in ssta/analytic_backend.h, orders of magnitude
+// faster and free of sampling noise, within the documented validity
+// envelope (docs/SSTA.md).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace ntv::ssta {
+
+/// How chip-delay questions are answered.
+enum class Backend {
+  kMonteCarlo,  ///< Sampled Monte Carlo (naive/stratified/importance/qmc).
+  kAnalytic,    ///< Closed-form moment-matched order statistics + ISLE.
+};
+
+/// "mc" / "analytic".
+constexpr std::string_view to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kAnalytic:
+      return "analytic";
+    case Backend::kMonteCarlo:
+    default:
+      return "mc";
+  }
+}
+
+/// Parses a --backend flag value; accepts "mc", "montecarlo", "analytic".
+inline std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "mc" || name == "montecarlo" || name == "monte-carlo")
+    return Backend::kMonteCarlo;
+  if (name == "analytic") return Backend::kAnalytic;
+  return std::nullopt;
+}
+
+}  // namespace ntv::ssta

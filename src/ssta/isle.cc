@@ -1,0 +1,99 @@
+#include "ssta/isle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ssta/analytic_backend.h"
+#include "ssta/lognormal.h"
+#include "stats/discrete_distribution.h"
+#include "stats/normal.h"
+#include "stats/rng.h"
+#include "stats/root_find.h"
+#include "stats/variance_reduction.h"
+
+namespace ntv::ssta {
+
+TailYieldEstimate isle_tail_yield(const device::VariationModel& model,
+                                  double vdd,
+                                  const arch::TimingConfig& config,
+                                  double t_clk, int spares,
+                                  const IsleOptions& options) {
+  if (spares < 0 || config.simd_width < 1 || config.paths_per_lane < 1)
+    throw std::invalid_argument("isle_tail_yield: bad config/spares");
+  if (options.samples < 2)
+    throw std::invalid_argument("isle_tail_yield: need >= 2 samples");
+  if (!(options.tilt_weight >= 0.0) || !(options.tilt_weight < 1.0))
+    throw std::invalid_argument("isle_tail_yield: tilt_weight in [0, 1)");
+
+  // Conditional (within-die) path law, moment-matched once.
+  const ChainCumulants kc =
+      conditional_chain_cumulants(model, vdd, config.chain_stages);
+  const ShiftedLognormal cond = ShiftedLognormal::fit(
+      kc.k1, kc.k2, kc.k3 / std::pow(kc.k2, 1.5));
+
+  const int w = config.simd_width;
+  const int lanes = w + spares;
+  const double paths = static_cast<double>(config.paths_per_lane);
+
+  // Conditional chip failure probability at clock t for die factor s:
+  // lanes are i.i.d. given the die, so the lane draws integrate out into
+  // one binomial survival evaluation (Rao-Blackwellization).
+  auto cond_fail = [&](double s) {
+    const double q_path = cond.sf(t_clk / s);
+    const double q_lane = -std::expm1(paths * std::log1p(-q_path));
+    return stats::binomial_sf(spares + 1, lanes, q_lane);
+  };
+
+  // Failure-boundary shift of the systematic-Vth axis: the z* whose die
+  // factor drags the conditional median chip delay onto t_clk. The
+  // conditional median is the w-th order statistic's 50 % point,
+  // inverted through the closed-form quantile chain.
+  const auto& p = model.params();
+  const double g = model.gate_model().sensitivity(vdd);
+  const double a = g * p.sigma_vth_sys;
+  double z_star = 0.0;
+  if (a > 0.0) {
+    stats::RootOptions ropt;
+    ropt.x_tol = 1e-14;
+    const auto theta = stats::brent(
+        [&](double th) { return stats::binomial_sf(w, lanes, th) - 0.5; },
+        1e-15, 1.0 - 1e-15, ropt);
+    const double median =
+        cond.quantile(std::pow(std::clamp(theta.x, 1e-15, 1.0 - 1e-15),
+                               1.0 / paths));
+    // exp(a z*) * median = t_clk, clamped to the +-8 sigma band the
+    // device quadrature itself integrates over.
+    z_star = std::clamp(std::log(t_clk / median) / a, 0.0, 8.0);
+  }
+
+  // Defensive normal mixture on Z: nominal N(0,1) with mass 1 - tw keeps
+  // the likelihood ratio bounded by 1/(1 - tw); the tilted component
+  // N(z*, 1) concentrates draws where chips actually fail.
+  const double tw = options.tilt_weight;
+  std::vector<double> values(options.samples);
+  std::vector<double> weights(options.samples);
+  stats::Xoshiro256pp rng(options.seed);
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    const double pick = rng.uniform();
+    double z = rng.normal(0.0, 1.0);
+    if (pick < tw) z += z_star;
+    const double num = stats::normal_pdf(z);
+    const double den =
+        (1.0 - tw) * num + tw * stats::normal_pdf(z - z_star);
+    const double weight = den > 0.0 ? num / den : 0.0;
+    const double eps_sys = rng.normal(0.0, p.sigma_mult_sys);
+    const double s = std::exp(a * z) * (1.0 + eps_sys);
+    values[i] = s > 0.0 ? cond_fail(s) : 1.0;
+    weights[i] = weight;
+  }
+
+  TailYieldEstimate estimate;
+  estimate.fail_prob = stats::weighted_mean(values, weights);
+  estimate.ess = stats::effective_sample_size(weights);
+  estimate.ci_halfwidth = stats::weighted_mean_ci_halfwidth(values, weights);
+  return estimate;
+}
+
+}  // namespace ntv::ssta

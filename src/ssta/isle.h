@@ -1,0 +1,59 @@
+// ISLE-style importance sampling for deep timing-yield tails.
+//
+// In the shared-die regime every lane of a chip is scaled by one common
+// die factor S = exp(g * Z)(1 + W), so lanes are NOT independent and the
+// closed-form order-statistics law of ssta/analytic_backend.h does not
+// apply. Conditioned on the die state, however, lanes ARE i.i.d. again
+// and the k-of-N sparing failure probability is one stats::binomial_sf
+// evaluation. The estimator therefore Rao-Blackwellizes the lane draws
+// away entirely and Monte-Carlo-integrates only the 2-D die state —
+// with the dominant axis (the Vth-systematic Z, which enters the delay
+// exponentially) drawn from a defensive normal mixture shifted to the
+// failure boundary, exactly the stochastic-logical-effort move of
+// Bayrakci et al. (PAPERS.md: "Fast Monte Carlo Estimation of Timing
+// Yield"). Deep tails (fail probabilities ~1e-6..1e-12) resolve at a few
+// thousand draws where the plain sampler would need billions.
+//
+// Weights and diagnostics reuse the PR 4 machinery: likelihood-ratio
+// weighted mean, Kish ESS and normal-approximation CI half-width
+// (stats/variance_reduction.h).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/simd_timing.h"
+#include "device/variation.h"
+
+namespace ntv::ssta {
+
+/// Knobs of the ISLE tail estimator.
+struct IsleOptions {
+  std::size_t samples = 4096;        ///< Die-state draws.
+  std::uint64_t seed = 0x15E5EED;    ///< Deterministic stream seed.
+  /// Defensive-mixture mass on the boundary-shifted component; the
+  /// nominal component keeps likelihood ratios bounded by
+  /// 1/(1 - tilt_weight) (same role as SamplingPlan::tilt_weight).
+  double tilt_weight = 0.5;
+};
+
+/// A deep-tail timing-yield estimate with convergence diagnostics.
+struct TailYieldEstimate {
+  double fail_prob = 0.0;     ///< P(chip delay > t_clk).
+  double ess = 0.0;           ///< Kish effective sample size.
+  double ci_halfwidth = 0.0;  ///< 95 % CI half-width of fail_prob.
+  double yield() const noexcept { return 1.0 - fail_prob; }
+};
+
+/// P(chip delay > t_clk) for a `config`-shaped chip at `vdd` with
+/// `spares` spare lanes under the shared-die correlation model.
+/// Deterministic in (model, vdd, config, t_clk, spares, options).
+/// Valid for any correlation setting (independent mode simply has a
+/// degenerate die factor), but the closed form in AnalyticChipStudy is
+/// exact and cheaper there.
+TailYieldEstimate isle_tail_yield(const device::VariationModel& model,
+                                  double vdd,
+                                  const arch::TimingConfig& config,
+                                  double t_clk, int spares,
+                                  const IsleOptions& options = {});
+
+}  // namespace ntv::ssta

@@ -1,0 +1,78 @@
+#include "ssta/lognormal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/normal.h"
+
+namespace ntv::ssta {
+
+ShiftedLognormal ShiftedLognormal::fit(double mean, double variance,
+                                       double skewness) {
+  if (!std::isfinite(mean) || !std::isfinite(variance) ||
+      !std::isfinite(skewness) || variance <= 0.0)
+    throw std::invalid_argument(
+        "ShiftedLognormal::fit: need finite moments with variance > 0");
+
+  ShiftedLognormal law;
+  law.mean_ = mean;
+  law.variance_ = variance;
+
+  // Sums of near-symmetric terms can carry a vanishing (or, from
+  // quadrature round-off, slightly negative) third cumulant; the
+  // lognormal solve below degenerates there, so match a normal instead.
+  constexpr double kMinSkew = 1e-8;
+  if (skewness < kMinSkew) {
+    law.lognormal_ = false;
+    law.sigma_ = std::sqrt(variance);
+    law.skewness_ = 0.0;
+    return law;
+  }
+
+  // Lognormal skewness is (omega + 2) * sqrt(omega - 1) with
+  // omega = exp(sigma^2). Substituting t = sqrt(omega - 1) gives the
+  // depressed cubic t^3 + 3t - skew = 0, whose single real root has the
+  // closed (hyperbolic) form below.
+  const double s = skewness;
+  const double half = 0.5 * s;
+  const double disc = std::sqrt(half * half + 1.0);
+  const double t = std::cbrt(half + disc) + std::cbrt(half - disc);
+  const double omega = 1.0 + t * t;
+
+  law.lognormal_ = true;
+  law.skewness_ = skewness;
+  law.sigma_ = std::sqrt(std::log(omega));
+  // Var = exp(2 mu) * omega * (omega - 1)  and  E - shift = exp(mu) sqrt(omega).
+  law.mu_ = 0.5 * std::log(variance / (omega * (omega - 1.0)));
+  law.shift_ = mean - std::exp(law.mu_) * std::sqrt(omega);
+  return law;
+}
+
+double ShiftedLognormal::cdf(double x) const noexcept {
+  if (!lognormal_) return stats::normal_cdf((x - mean_) / sigma_);
+  if (x <= shift_) return 0.0;
+  return stats::normal_cdf((std::log(x - shift_) - mu_) / sigma_);
+}
+
+double ShiftedLognormal::sf(double x) const noexcept {
+  if (!lognormal_) return stats::normal_cdf(-(x - mean_) / sigma_);
+  if (x <= shift_) return 1.0;
+  return stats::normal_cdf(-(std::log(x - shift_) - mu_) / sigma_);
+}
+
+double ShiftedLognormal::quantile(double p) const {
+  const double z = stats::normal_quantile(p);
+  if (!lognormal_) return mean_ + sigma_ * z;
+  return shift_ + std::exp(mu_ + sigma_ * z);
+}
+
+double ShiftedLognormal::fourth_central_moment() const noexcept {
+  if (!lognormal_) return 3.0 * variance_ * variance_;
+  const double omega = std::exp(sigma_ * sigma_);
+  const double o2 = omega * omega;
+  // Lognormal kurtosis (non-excess): omega^4 + 2 omega^3 + 3 omega^2 - 3.
+  const double kurtosis = o2 * o2 + 2.0 * o2 * omega + 3.0 * o2 - 3.0;
+  return kurtosis * variance_ * variance_;
+}
+
+}  // namespace ntv::ssta

@@ -1,0 +1,62 @@
+// Shifted (three-parameter) lognormal law for log-domain moment matching.
+//
+// The analytic backend approximates the total path delay — an N-fold
+// self-convolution of the gate law plus the additive die-systematic term —
+// by matching its first three cumulants to a shifted lognormal
+//
+//     X = shift + exp(mu + sigma * Z),   Z ~ N(0, 1).
+//
+// This is the classic SSTA log-domain fit: exact in mean, variance and
+// skewness, with the heavy right tail that a sum of positively skewed
+// gate delays actually has (a plain normal CLT fit underestimates the
+// deep quantiles the max-over-lanes probes). When the requested skewness
+// is non-positive the fit degrades gracefully to the matching normal.
+#pragma once
+
+namespace ntv::ssta {
+
+/// A shifted lognormal (or, for non-positive skew, plain normal) law with
+/// closed-form CDF and quantile. Immutable and trivially copyable.
+class ShiftedLognormal {
+ public:
+  /// Default: a degenerate point mass at zero; use fit() to build a
+  /// usable law (the default exists so aggregates stay movable).
+  ShiftedLognormal() = default;
+
+  /// Moment-matching fit: mean, variance (> 0) and skewness.
+  /// Throws std::invalid_argument for a non-finite or non-positive
+  /// variance.
+  static ShiftedLognormal fit(double mean, double variance, double skewness);
+
+  double cdf(double x) const noexcept;   ///< P(X <= x).
+  /// P(X > x), exact in the deep right tail (erfc-based; 1 - cdf(x)
+  /// would cancel to zero there).
+  double sf(double x) const noexcept;
+  double quantile(double p) const;       ///< Inverse CDF, p in (0, 1).
+
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return variance_; }
+  double skewness() const noexcept { return skewness_; }
+
+  /// Fourth central moment implied by the fit (exact for the normal
+  /// branch; the lognormal's kurtosis follows from omega = exp(sigma^2)).
+  /// The analytic backend compares this against the exact fourth cumulant
+  /// of the convolution to bound the fit error (the analytic_error gauge).
+  double fourth_central_moment() const noexcept;
+
+  bool is_lognormal() const noexcept { return lognormal_; }
+  double shift() const noexcept { return shift_; }
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  bool lognormal_ = false;
+  double shift_ = 0.0;   ///< Location (lognormal branch).
+  double mu_ = 0.0;      ///< Log-scale (lognormal branch).
+  double sigma_ = 0.0;   ///< Log-sd (lognormal) or sd (normal branch).
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  double skewness_ = 0.0;
+};
+
+}  // namespace ntv::ssta

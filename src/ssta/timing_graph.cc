@@ -31,6 +31,14 @@ void TimingGraph::add_edge(NodeId from, NodeId to,
     if (std::abs(delay.step() - ref) > 1e-9 * ref)
       throw std::invalid_argument(
           "TimingGraph::add_edge: grid step mismatch");
+    // Same step is not enough: convolution and max assume every edge
+    // lives on ONE lattice, so the origins must differ by a whole
+    // number of steps, or arrival grids silently shear by the phase.
+    const double offset =
+        (delay.lo() - edges_.front().delay.lo()) / ref;
+    if (std::abs(offset - std::round(offset)) > 1e-6)
+      throw std::invalid_argument(
+          "TimingGraph::add_edge: grid origin mismatch");
   }
   const int index = static_cast<int>(edges_.size());
   edges_.push_back({from, to, std::move(delay)});

@@ -34,8 +34,9 @@ class TimingGraph {
   const std::string& node_name(NodeId node) const;
 
   /// Adds a directed timing arc with the given delay distribution. All
-  /// edge distributions in one graph must share the same grid step
-  /// (within 1e-9 relative; throws otherwise).
+  /// edge distributions in one graph must live on one lattice: the same
+  /// grid step (within 1e-9 relative) AND origins differing by an
+  /// integer number of steps (within 1e-6 of a step); throws otherwise.
   void add_edge(NodeId from, NodeId to, stats::GridDistribution delay);
 
   int edge_count() const noexcept { return static_cast<int>(edges_.size()); }

@@ -265,6 +265,8 @@ double binomial_sf_small_tail(int r, int n, double p) {
   return std::min(sum, 1.0);
 }
 
+}  // namespace
+
 /// P(Binomial(n, p) >= r), accurate in both tails. When p is above the
 /// mode the direct sum's leading term underflows (it sits deep in the
 /// lower tail), so reflect: P(X >= r) = 1 - P(n - X >= n - r + 1) with
@@ -279,8 +281,6 @@ double binomial_sf(int r, int n, double p) {
   }
   return binomial_sf_small_tail(r, n, p);
 }
-
-}  // namespace
 
 GridDistribution GridDistribution::order_statistic(int r, int n) const {
   if (n < 1 || r < 1 || r > n)

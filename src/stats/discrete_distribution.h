@@ -123,4 +123,10 @@ class GridDistribution {
   double skew_ = 0.0;
 };
 
+/// P(Binomial(n, p) >= r), accurate in both tails (lgamma leading term
+/// plus a stable term recurrence, reflected when p sits above the mode).
+/// This is the k-of-N sparing law shared by GridDistribution::
+/// order_statistic and the ssta analytic backend's pointwise chip CDF.
+double binomial_sf(int r, int n, double p);
+
 }  // namespace ntv::stats

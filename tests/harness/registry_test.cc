@@ -14,7 +14,7 @@ namespace {
 
 TEST(Registry, CoversTheFullSuiteWithUniqueIds) {
   const auto& specs = registry();
-  EXPECT_EQ(specs.size(), 30u);
+  EXPECT_EQ(specs.size(), 39u);
   // A binary may back several experiments (bench_soda_system serves the
   // per-workload SODA scenarios), but only with distinct arguments —
   // two specs running the identical command would be the same
@@ -76,6 +76,42 @@ TEST(Registry, FindSpecResolvesIds) {
   ASSERT_NE(fig1, nullptr);
   EXPECT_EQ(fig1->id, "fig1");
   EXPECT_EQ(find_spec("no_such_experiment"), nullptr);
+}
+
+TEST(Registry, AnalyticTwinsMirrorTheirBaseBands) {
+  // Every *_analytic spec must be an exact band-for-band twin of its
+  // base experiment, differing only by the --backend analytic argv:
+  // the twin IS the cross-validation, so a drifted band would let the
+  // backends diverge silently.
+  int twins = 0;
+  for (const ExperimentSpec& twin : registry()) {
+    const std::string suffix = "_analytic";
+    if (twin.id.size() <= suffix.size() ||
+        twin.id.compare(twin.id.size() - suffix.size(), suffix.size(),
+                        suffix) != 0) {
+      continue;
+    }
+    ++twins;
+    const ExperimentSpec* base =
+        find_spec(twin.id.substr(0, twin.id.size() - suffix.size()));
+    ASSERT_NE(base, nullptr) << twin.id;
+    EXPECT_EQ(twin.binary, base->binary) << twin.id;
+    EXPECT_FALSE(twin.in_smoke_set) << twin.id;
+    ASSERT_GE(twin.args.size(), 2u) << twin.id;
+    EXPECT_EQ(twin.args[twin.args.size() - 2], "--backend") << twin.id;
+    EXPECT_EQ(twin.args.back(), "analytic") << twin.id;
+    ASSERT_EQ(twin.checkpoints.size(), base->checkpoints.size()) << twin.id;
+    for (std::size_t i = 0; i < twin.checkpoints.size(); ++i) {
+      const Checkpoint& a = twin.checkpoints[i];
+      const Checkpoint& b = base->checkpoints[i];
+      EXPECT_EQ(a.key, b.key) << twin.id;
+      EXPECT_DOUBLE_EQ(a.lo, b.lo) << twin.id << "/" << a.key;
+      EXPECT_DOUBLE_EQ(a.hi, b.hi) << twin.id << "/" << a.key;
+      EXPECT_DOUBLE_EQ(a.approx_lo, b.approx_lo) << twin.id << "/" << a.key;
+      EXPECT_DOUBLE_EQ(a.approx_hi, b.approx_hi) << twin.id << "/" << a.key;
+    }
+  }
+  EXPECT_EQ(twins, 9);
 }
 
 TEST(CheckpointBuilder, DefaultLooseBandWidensByHalfSpan) {

@@ -1,6 +1,5 @@
 // Functional tests for the PR 7 workloads: tiled GEMM, 5-point stencil,
-// bitonic sort. Each runs on both engines against its bit-exact
-// reference.
+// bitonic sort. Each runs against its bit-exact reference.
 #include "soda/kernels.h"
 
 #include <gtest/gtest.h>
@@ -40,23 +39,10 @@ void write_row(ProcessingElement& pe, int row,
   pe.simd_memory().write_row(row, raw);
 }
 
-class EngineTest
-    : public ::testing::TestWithParam<ProcessingElement::Engine> {};
-
-INSTANTIATE_TEST_SUITE_P(
-    BothEngines, EngineTest,
-    ::testing::Values(ProcessingElement::Engine::kLegacy,
-                      ProcessingElement::Engine::kFabric),
-    [](const auto& info) {
-      return info.param == ProcessingElement::Engine::kLegacy ? "legacy"
-                                                              : "fabric";
-    });
-
 // ---- GEMM ------------------------------------------------------------------
 
-TEST_P(EngineTest, GemmMatchesReference) {
+TEST(Gemm, MatchesReference) {
   ProcessingElement pe;
-  pe.set_engine(GetParam());
   const GemmKernel kernel;
   const int width = pe.config().width;
   const auto a = random_i16(kernel.m * kernel.k, 300, 201);
@@ -112,9 +98,8 @@ TEST(Gemm, ValidatesTiling) {
 
 // ---- stencil ---------------------------------------------------------------
 
-TEST_P(EngineTest, StencilMatchesReference) {
+TEST(Stencil, MatchesReference) {
   ProcessingElement pe;
-  pe.set_engine(GetParam());
   const StencilKernel kernel;
   const int width = pe.config().width;
   const auto coef = random_i16(5, 10, 221);
@@ -159,9 +144,8 @@ TEST(Stencil, IdentityKernelCopiesImage) {
 
 // ---- bitonic sort ----------------------------------------------------------
 
-TEST_P(EngineTest, BitonicSortMatchesReference) {
+TEST(BitonicSort, MatchesReference) {
   ProcessingElement pe;
-  pe.set_engine(GetParam());
   const BitonicSortKernel kernel;
   const auto values = random_i16(pe.config().width, 30000, 241);
   kernel.prepare(pe);

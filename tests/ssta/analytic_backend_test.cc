@@ -1,0 +1,122 @@
+// Cross-validation of the moment-matched analytic backend against the
+// exact FFT-grid order-statistics model (arch/analytic_timing.h): the
+// two share the closed-form lane/chip law and differ only in the path
+// representation (shifted lognormal vs exact grid), so agreement here
+// bounds the log-domain moment-matching error.
+#include "ssta/analytic_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/analytic_timing.h"
+#include "device/gate_table.h"
+#include "device/tech_node.h"
+
+namespace ntv::ssta {
+namespace {
+
+TEST(AnalyticChipStudy, SignoffMatchesExactGridModelWithinHalfPercent) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  for (double vdd : {0.50, 0.60, 0.70, 1.00}) {
+    const arch::AnalyticChipModel exact(model, vdd);
+    for (int spares : {0, 4, 26}) {
+      const double a = study.signoff_delay(vdd, 99.0, spares);
+      const double e = exact.signoff_delay(99.0, spares);
+      EXPECT_NEAR(a / e, 1.0, 5e-3)
+          << "vdd=" << vdd << " spares=" << spares;
+    }
+  }
+}
+
+TEST(AnalyticChipStudy, RequiredSparesMatchesExactGridModel) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  const arch::AnalyticChipModel nominal(model, 1.00);
+  const double base_fo4 = nominal.signoff_delay(99.0, 0) / nominal.fo4_unit();
+  for (double vdd : {0.50, 0.55, 0.60, 0.65, 0.70}) {
+    const arch::AnalyticChipModel exact(model, vdd);
+    const double target = base_fo4 * exact.fo4_unit();
+    const int a = study.required_spares(vdd, target, 99.0, 128);
+    const int e = exact.required_spares(target, 99.0, 128);
+    // Identical up to one spare of grid-vs-fit resolution.
+    EXPECT_NEAR(a, e, 1) << "vdd=" << vdd;
+  }
+}
+
+TEST(AnalyticChipStudy, ChipCdfIsMonotoneAndSpareOrdered) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  const double p50 = study.signoff_delay(0.6, 50.0, 2);
+  const double p99 = study.signoff_delay(0.6, 99.0, 2);
+  EXPECT_LT(p50, p99);
+  EXPECT_NEAR(study.chip_cdf(0.6, 2, p99), 0.99, 1e-9);
+  // More spares can only speed the chip up (stochastic dominance).
+  EXPECT_GE(study.chip_cdf(0.6, 8, p50), study.chip_cdf(0.6, 2, p50));
+  EXPECT_LE(study.signoff_delay(0.6, 99.0, 8), p99);
+}
+
+TEST(AnalyticChipStudy, TailFailProbComplementsCdf) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  const double x = study.signoff_delay(0.6, 99.0, 4);
+  EXPECT_NEAR(study.tail_fail_prob(0.6, x, 4), 0.01, 1e-6);
+  // Deep tail: strictly positive, strictly decreasing, no cancellation.
+  const double deep1 = study.tail_fail_prob(0.6, x * 1.05, 4);
+  const double deep2 = study.tail_fail_prob(0.6, x * 1.10, 4);
+  EXPECT_GT(deep1, 0.0);
+  EXPECT_GT(deep2, 0.0);
+  EXPECT_LT(deep2, deep1);
+  EXPECT_LT(deep1, 1e-3);
+}
+
+TEST(AnalyticChipStudy, ChipGridMatchesPointwiseQuantiles) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  const stats::GridDistribution grid = study.chip_grid(0.6, 2, 1024);
+  for (double p : {0.10, 0.50, 0.99}) {
+    EXPECT_NEAR(grid.quantile(p) / study.signoff_delay(0.6, p * 100.0, 2),
+                1.0, 2e-3)
+        << "p=" << p;
+  }
+}
+
+TEST(AnalyticChipStudy, AnalyticErrorIsSmallAndPublished) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  // The three-moment fit leaves only a fourth-moment residual; at 50
+  // stages the CLT has already crushed it.
+  EXPECT_GT(study.analytic_error(0.5), 0.0);
+  EXPECT_LT(study.analytic_error(0.5), 1e-3);
+  // Nominal voltage is even more Gaussian (smaller sensitivity).
+  EXPECT_LT(study.analytic_error(1.0), study.analytic_error(0.5));
+}
+
+TEST(AnalyticChipStudy, Fo4UnitMatchesGateModel) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy study(model);
+  EXPECT_DOUBLE_EQ(study.fo4_unit(0.6),
+                   model.gate_model().fo4_delay(0.6));
+}
+
+TEST(AnalyticChipStudy, SharedDieModeThrows) {
+  const device::VariationModel model(device::tech_90nm());
+  arch::TimingConfig config;
+  config.correlation = arch::DieCorrelation::kSharedDie;
+  EXPECT_THROW(AnalyticChipStudy(model, config), std::invalid_argument);
+}
+
+TEST(AnalyticChipStudy, ConditionalCumulantsMatchGridChain) {
+  // The moment bridge against the exact quadrature + FFT chain grid.
+  const device::VariationModel model(device::tech_90nm());
+  const ChainCumulants k = conditional_chain_cumulants(model, 0.6, 50);
+  const auto grid = device::build_chain_distribution(model, 0.6, 50);
+  EXPECT_NEAR(k.k1 / grid.mean(), 1.0, 1e-4);
+  EXPECT_NEAR(k.k2 / grid.variance(), 1.0, 1e-3);
+  EXPECT_NEAR(k.k3 / std::pow(k.k2, 1.5), grid.skewness(), 5e-3);
+}
+
+}  // namespace
+}  // namespace ntv::ssta

@@ -1,0 +1,107 @@
+#include "ssta/isle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arch/simd_timing.h"
+#include "device/tech_node.h"
+#include "ssta/analytic_backend.h"
+#include "stats/monte_carlo.h"
+
+namespace ntv::ssta {
+namespace {
+
+arch::TimingConfig shared_die_config() {
+  arch::TimingConfig config;
+  config.correlation = arch::DieCorrelation::kSharedDie;
+  return config;
+}
+
+TEST(IsleTailYield, DeterministicForFixedSeed) {
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy ref(model);
+  const double t = ref.signoff_delay(0.6, 99.0, 2);
+  const auto a = isle_tail_yield(model, 0.6, shared_die_config(), t, 2);
+  const auto b = isle_tail_yield(model, 0.6, shared_die_config(), t, 2);
+  EXPECT_EQ(a.fail_prob, b.fail_prob);
+  EXPECT_EQ(a.ess, b.ess);
+  EXPECT_EQ(a.ci_halfwidth, b.ci_halfwidth);
+}
+
+TEST(IsleTailYield, DegenerateDieFactorMatchesClosedForm) {
+  // With the systematic sigmas zeroed, shared-die IS independent mode,
+  // and the estimator must collapse onto the closed-form tail for every
+  // draw (the integrand is constant, so no Monte Carlo noise survives).
+  device::VariationParams params =
+      device::VariationModel(device::tech_90nm()).params();
+  params.sigma_vth_sys = 0.0;
+  params.sigma_mult_sys = 0.0;
+  const device::VariationModel degenerate(device::tech_90nm(), params);
+  const AnalyticChipStudy closed(degenerate);
+  const double t = closed.signoff_delay(0.6, 99.9, 2);
+  const auto est =
+      isle_tail_yield(degenerate, 0.6, shared_die_config(), t, 2);
+  EXPECT_NEAR(est.fail_prob / closed.tail_fail_prob(0.6, t, 2), 1.0, 1e-9);
+  EXPECT_NEAR(est.ci_halfwidth, 0.0, 1e-15);
+}
+
+TEST(IsleTailYield, MatchesPlainMonteCarloAtReachableTail) {
+  // At a tail the plain sampler can still resolve (~1e-2), the ISLE
+  // estimate must agree within the combined confidence intervals.
+  const device::VariationModel model(device::tech_90nm());
+  const arch::TimingConfig config = shared_die_config();
+  const arch::ChipDelaySampler sampler(model, 0.6, config);
+  const AnalyticChipStudy ref(model);
+  const double t = ref.signoff_delay(0.6, 98.0, 0);
+
+  stats::MonteCarloOptions opt;
+  opt.seed = 0xDEADBEEF;
+  const auto mc = arch::mc_chip_delays(sampler, 20000, config.simd_width, 0,
+                                       opt);
+  double exceed = 0.0;
+  for (double d : mc.delays) exceed += d > t ? 1.0 : 0.0;
+  const double mc_fail = exceed / static_cast<double>(mc.delays.size());
+
+  const auto est = isle_tail_yield(model, 0.6, config, t, 0);
+  EXPECT_GT(est.fail_prob, 0.0);
+  EXPECT_NEAR(est.fail_prob, mc_fail,
+              3.0 * est.ci_halfwidth + 3.0 *
+                  std::sqrt(mc_fail * (1.0 - mc_fail) / 20000.0));
+  EXPECT_GT(est.ess, 1000.0);
+}
+
+TEST(IsleTailYield, DeepTailResolvesWithTightRelativeCi) {
+  // Far beyond plain Monte Carlo reach the estimator still returns a
+  // positive probability with a useful relative CI.
+  const device::VariationModel model(device::tech_90nm());
+  const AnalyticChipStudy ref(model);
+  const double t = ref.signoff_delay(0.5, 99.0, 8);
+  const auto est =
+      isle_tail_yield(model, 0.5, shared_die_config(), t * 1.02, 8);
+  EXPECT_GT(est.fail_prob, 0.0);
+  EXPECT_LT(est.fail_prob, 1e-2);
+  EXPECT_LT(est.ci_halfwidth, est.fail_prob)
+      << "importance tilt should resolve the tail it was aimed at";
+}
+
+TEST(IsleTailYield, RejectsBadArguments) {
+  const device::VariationModel model(device::tech_90nm());
+  IsleOptions opt;
+  opt.samples = 1;
+  EXPECT_THROW(
+      isle_tail_yield(model, 0.6, shared_die_config(), 1e-8, 0, opt),
+      std::invalid_argument);
+  opt.samples = 16;
+  opt.tilt_weight = 1.0;
+  EXPECT_THROW(
+      isle_tail_yield(model, 0.6, shared_die_config(), 1e-8, 0, opt),
+      std::invalid_argument);
+  EXPECT_THROW(
+      isle_tail_yield(model, 0.6, shared_die_config(), 1e-8, -1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::ssta

@@ -1,0 +1,64 @@
+#include "ssta/lognormal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ntv::ssta {
+namespace {
+
+TEST(ShiftedLognormal, FitReproducesRequestedMoments) {
+  const ShiftedLognormal law = ShiftedLognormal::fit(2.0e-8, 1.0e-18, 0.3);
+  EXPECT_NEAR(law.mean(), 2.0e-8, 1e-15);
+  EXPECT_NEAR(law.variance(), 1.0e-18, 1e-24);
+  EXPECT_NEAR(law.skewness(), 0.3, 1e-12);
+  EXPECT_TRUE(law.is_lognormal());
+
+  // Closed-form lognormal moments from the fitted parameters round-trip.
+  const double omega = std::exp(law.sigma() * law.sigma());
+  const double mean =
+      law.shift() + std::exp(law.mu() + 0.5 * law.sigma() * law.sigma());
+  const double var =
+      std::exp(2.0 * law.mu()) * omega * (omega - 1.0);
+  EXPECT_NEAR(mean, 2.0e-8, 1e-22);
+  EXPECT_NEAR(var, 1.0e-18, 1e-30);
+}
+
+TEST(ShiftedLognormal, QuantileInvertsCdf) {
+  const ShiftedLognormal law = ShiftedLognormal::fit(1.0, 0.04, 0.5);
+  for (double p : {0.001, 0.01, 0.5, 0.9, 0.99, 0.99999}) {
+    const double x = law.quantile(p);
+    EXPECT_NEAR(law.cdf(x), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(ShiftedLognormal, SurvivalIsExactInDeepTail) {
+  const ShiftedLognormal law = ShiftedLognormal::fit(1.0, 0.04, 0.5);
+  const double x = law.quantile(1.0 - 1e-13);
+  // 1 - cdf(x) would be pure cancellation noise here; sf keeps digits.
+  EXPECT_NEAR(law.sf(x) / 1e-13, 1.0, 1e-2);
+  EXPECT_GT(law.sf(law.quantile(0.5)), 0.49);
+}
+
+TEST(ShiftedLognormal, NonPositiveSkewFallsBackToNormal) {
+  const ShiftedLognormal law = ShiftedLognormal::fit(5.0, 4.0, 0.0);
+  EXPECT_FALSE(law.is_lognormal());
+  EXPECT_NEAR(law.quantile(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(law.cdf(5.0 + 2.0 * 1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(law.fourth_central_moment(), 3.0 * 16.0, 1e-9);
+}
+
+TEST(ShiftedLognormal, SkewnessMatchesOmegaIdentity) {
+  const ShiftedLognormal law = ShiftedLognormal::fit(0.0, 1.0, 1.25);
+  const double omega = std::exp(law.sigma() * law.sigma());
+  EXPECT_NEAR((omega + 2.0) * std::sqrt(omega - 1.0), 1.25, 1e-10);
+}
+
+TEST(ShiftedLognormal, RejectsBadVariance) {
+  EXPECT_THROW(ShiftedLognormal::fit(0.0, 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormal::fit(0.0, -1.0, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntv::ssta

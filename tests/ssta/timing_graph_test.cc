@@ -96,6 +96,25 @@ TEST(TimingGraph, ValidatesEdges) {
                std::invalid_argument);
 }
 
+TEST(TimingGraph, RejectsMismatchedGridOrigins) {
+  // Same step but a fractional-step origin offset means the two pmfs
+  // live on different lattices; convolution/max silently shear unless
+  // add_edge rejects the edge.
+  TimingGraph graph;
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto c = graph.add_node();
+  const GridDistribution base(1.0, 0.01, {0.25, 0.5, 0.25});
+  graph.add_edge(a, b, base);
+  // Off-lattice by 0.4 steps: rejected.
+  EXPECT_THROW(
+      graph.add_edge(b, c, GridDistribution(1.004, 0.01, {0.25, 0.5, 0.25})),
+      std::invalid_argument);
+  // A whole number of steps away stays on the lattice: accepted.
+  graph.add_edge(b, c, GridDistribution(1.03, 0.01, {0.25, 0.5, 0.25}));
+  EXPECT_EQ(graph.edge_count(), 2);
+}
+
 TEST(TimingGraph, DiamondMatchesMonteCarloClosely) {
   // Reconvergent fanout: src -> {m1, m2} -> sink. The two sink arrivals
   // share no edges here, so independence is exact; SSTA must match MC.
@@ -145,6 +164,98 @@ TEST(TimingGraph, SharedSegmentBiasIsBoundedAndConservative) {
   const double mc_p50 = stats::percentile(mc, 50.0);
   EXPECT_GE(ssta_p50, mc_p50 - 0.01);           // Conservative direction.
   EXPECT_LE(ssta_p50, mc_p50 + 3.0 * 0.5);      // And bounded.
+}
+
+TEST(TimingGraph, LadderTracksMonteCarloWithinReconvergenceBias) {
+  // A 4-rung ladder: two rails of chained edges with a cross edge at
+  // every rung reconverging on the far rail. Heavily shared structure —
+  // the independence approximation must stay conservative at the median
+  // and inside a small absolute envelope of brute-force MC.
+  TimingGraph graph;
+  const auto d = normal_dist(1.0, 0.1, 0.01);
+  auto left = graph.add_node("l0");
+  auto right = graph.add_node("r0");
+  for (int rung = 1; rung <= 4; ++rung) {
+    const auto nl = graph.add_node();
+    const auto nr = graph.add_node();
+    graph.add_edge(left, nl, d);    // Left rail.
+    graph.add_edge(right, nr, d);   // Right rail.
+    graph.add_edge(left, nr, d);    // Cross edge: reconverges at nr.
+    left = nl;
+    right = nr;
+  }
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(right)];
+  ASSERT_TRUE(arrival.has_value());
+  const auto mc = graph.monte_carlo_arrival(right, 20000);
+  const double mc_p50 = stats::percentile(mc, 50.0);
+  const double mc_p99 = stats::percentile(mc, 99.0);
+  EXPECT_GE(arrival->quantile(0.5), mc_p50 - 0.01);  // Conservative.
+  EXPECT_LE(arrival->quantile(0.5), mc_p50 + 0.10);  // Bias bounded.
+  EXPECT_GE(arrival->quantile(0.99), mc_p99 - 0.02);
+  EXPECT_LE(arrival->quantile(0.99), mc_p99 + 0.15);
+}
+
+TEST(TimingGraph, SharedSegmentMeanIsConservative) {
+  // The documented direction of the independence approximation: on the
+  // shared-segment graph the SSTA *mean* upper-bounds the MC mean.
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto mid = graph.add_node();
+  const auto a = graph.add_node();
+  const auto b = graph.add_node();
+  const auto sink = graph.add_node();
+  const auto shared = normal_dist(5.0, 0.5, 0.01);
+  const auto small = normal_dist(1.0, 0.05, 0.01);
+  graph.add_edge(src, mid, shared);
+  graph.add_edge(mid, a, small);
+  graph.add_edge(mid, b, small);
+  graph.add_edge(a, sink, small);
+  graph.add_edge(b, sink, small);
+  const auto result = graph.analyze();
+  const auto mc = graph.monte_carlo_arrival(sink, 20000);
+  double mc_mean = 0.0;
+  for (const double x : mc) mc_mean += x;
+  mc_mean /= static_cast<double>(mc.size());
+  const double ssta_mean =
+      result.arrival[static_cast<std::size_t>(sink)]->mean();
+  EXPECT_GE(ssta_mean, mc_mean - 3.0 * 0.5 / std::sqrt(20000.0));
+}
+
+TEST(TimingGraph, ZeroProbabilityBinsPropagate) {
+  // A bimodal delay with an empty interior bin (hold-fixed cell vs slow
+  // variant) must survive convolution and max without NaNs and match MC.
+  TimingGraph graph;
+  const auto src = graph.add_node();
+  const auto mid = graph.add_node();
+  const auto sink = graph.add_node();
+  const GridDistribution bimodal(1.0, 0.5, {0.5, 0.0, 0.5});
+  graph.add_edge(src, mid, bimodal);
+  graph.add_edge(mid, sink, bimodal);
+  const auto result = graph.analyze();
+  const auto& arrival = result.arrival[static_cast<std::size_t>(sink)];
+  ASSERT_TRUE(arrival.has_value());
+  // Sum of two iid {1, 2} coin flips: mean 3, P(sum <= 2.1) = 0.25.
+  EXPECT_NEAR(arrival->mean(), 3.0, 1e-9);
+  EXPECT_NEAR(arrival->cdf(2.1), 0.25, 1e-9);
+  const auto mc = graph.monte_carlo_arrival(sink, 20000);
+  const double mc_p50 = stats::percentile(mc, 50.0);
+  EXPECT_GE(mc_p50, 2.0 - 1e-9);
+  EXPECT_LE(mc_p50, 4.0 + 1e-9);
+}
+
+TEST(TimingGraph, SingleNodeGraphIsATrivialSource) {
+  TimingGraph graph;
+  const auto only = graph.add_node("only");
+  const auto result = graph.analyze();
+  ASSERT_EQ(result.arrival.size(), 1u);
+  EXPECT_TRUE(result.is_source[0]);
+  EXPECT_FALSE(result.arrival[0].has_value());
+  // MC agrees: a pure source arrives at exactly zero.
+  const auto mc = graph.monte_carlo_arrival(only, 16);
+  for (const double x : mc) EXPECT_DOUBLE_EQ(x, 0.0);
+  const auto crit = graph.monte_carlo_criticality(only, 16);
+  EXPECT_TRUE(crit.empty());
 }
 
 TEST(TimingGraph, CriticalityIdentifiesTheSlowBranch) {

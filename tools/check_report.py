@@ -8,6 +8,7 @@ Usage:
                   [--max-ci-halfwidth PATTERN MAX]...
                   [--diff-results OTHER.json]...
   check_report.py --compare-perf BASE.json CUR.json [--max-regress-pct P]
+                  [--min-speedup S]
 
 Checks, in order:
   1. the file parses as JSON;
@@ -43,6 +44,15 @@ current report is more than --max-regress-pct percent slower than the
 base (default 10).  Speedups always pass.  Intended as a warn-only CI
 step: shared runners are too noisy for a hard perf gate, but the printed
 delta makes regressions visible in the job log.
+
+With --min-speedup S the mode becomes a hard floor in the other
+direction: CUR must be at least S times FASTER than BASE
+(base_ns / cur_ns >= S) or the check fails.  This gates order-of-
+magnitude claims — e.g. the analytic SSTA backend must beat the
+sampled-MC baseline by >= 50x — which ARE robust to runner noise
+precisely because the required margin is so large.  --min-speedup
+replaces the regression check (a run that must be 50x faster cannot
+meaningfully also be "at most 10% slower").
 
 Exits 0 when every check passes, 1 otherwise (one line per failure).
 """
@@ -108,12 +118,14 @@ def diff_paths(a, b, prefix="results"):
 
 
 def compare_perf(args):
-    """--compare-perf BASE.json CUR.json [--max-regress-pct P]."""
+    """--compare-perf BASE.json CUR.json [--max-regress-pct P]
+    [--min-speedup S]."""
     if len(args) < 2:
         print("check_report: --compare-perf needs BASE.json CUR.json")
         return 2
     base_path, cur_path, rest = args[0], args[1], args[2:]
     max_regress_pct = 10.0
+    min_speedup = None
     i = 0
     while i < len(rest):
         if rest[i] == "--max-regress-pct":
@@ -128,6 +140,20 @@ def compare_perf(args):
                 return 2
             if max_regress_pct < 0:
                 print("check_report: --max-regress-pct must be >= 0")
+                return 2
+            i += 2
+        elif rest[i] == "--min-speedup":
+            if i + 1 >= len(rest):
+                print("check_report: --min-speedup needs a value")
+                return 2
+            try:
+                min_speedup = float(rest[i + 1])
+            except ValueError:
+                print(f"check_report: --min-speedup {rest[i + 1]!r} "
+                      "is not a number")
+                return 2
+            if min_speedup <= 0:
+                print("check_report: --min-speedup must be > 0")
                 return 2
             i += 2
         else:
@@ -155,12 +181,24 @@ def compare_perf(args):
         values.append(float(ns))
 
     base_ns, cur_ns = values
-    delta_pct = 100.0 * (cur_ns - base_ns) / base_ns
-    verdict = "regression" if delta_pct > max_regress_pct else "ok"
-    print(f"{'FAIL' if verdict == 'regression' else 'OK'} perf: "
-          f"artifact_ns {base_ns:.0f} -> {cur_ns:.0f} "
-          f"({delta_pct:+.1f}%, limit +{max_regress_pct:.1f}%)")
-    return 1 if verdict == "regression" else 0
+    failures = 0
+    if min_speedup is not None:
+        speedup = base_ns / cur_ns
+        ok = speedup >= min_speedup
+        print(f"{'OK' if ok else 'FAIL'} perf: speedup "
+              f"{speedup:.1f}x (floor {min_speedup:.1f}x, "
+              f"artifact_ns {base_ns:.0f} -> {cur_ns:.0f})")
+        if not ok:
+            failures += 1
+    else:
+        delta_pct = 100.0 * (cur_ns - base_ns) / base_ns
+        verdict = "regression" if delta_pct > max_regress_pct else "ok"
+        print(f"{'FAIL' if verdict == 'regression' else 'OK'} perf: "
+              f"artifact_ns {base_ns:.0f} -> {cur_ns:.0f} "
+              f"({delta_pct:+.1f}%, limit +{max_regress_pct:.1f}%)")
+        if verdict == "regression":
+            failures += 1
+    return 1 if failures else 0
 
 
 def main(argv):

@@ -230,6 +230,63 @@ class CheckReportTest(unittest.TestCase):
         code, _ = run_main("--compare-perf")
         self.assertEqual(code, 2)
 
+    # --min-speedup: the analytic-vs-MC >= 50x floor depends on these.
+
+    def test_min_speedup_met_passes(self):
+        base = self.bench_report("base.json", 100_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)  # 100x faster
+        code, out = run_main("--compare-perf", base, cur,
+                             "--min-speedup", "50")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK perf: speedup", out)
+
+    def test_min_speedup_exactly_at_floor_passes(self):
+        base = self.bench_report("base.json", 50_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)  # exactly 50x
+        code, out = run_main("--compare-perf", base, cur,
+                             "--min-speedup", "50")
+        self.assertEqual(code, 0, out)
+
+    def test_min_speedup_not_met_fails(self):
+        base = self.bench_report("base.json", 10_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)  # only 10x
+        code, out = run_main("--compare-perf", base, cur,
+                             "--min-speedup", "50")
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL perf: speedup", out)
+
+    def test_min_speedup_replaces_regression_check(self):
+        # A 100x speedup trivially satisfies the floor even with a zero
+        # regression allowance on the books: only the floor is applied.
+        base = self.bench_report("base.json", 100_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur,
+                             "--min-speedup", "50",
+                             "--max-regress-pct", "0")
+        self.assertEqual(code, 0, out)
+
+    def test_min_speedup_missing_value_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur, "--min-speedup")
+        self.assertEqual(code, 2)
+        self.assertIn("--min-speedup", out)
+
+    def test_min_speedup_non_numeric_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, out = run_main("--compare-perf", base, cur,
+                             "--min-speedup", "fifty")
+        self.assertEqual(code, 2)
+        self.assertIn("not a number", out)
+
+    def test_min_speedup_nonpositive_is_usage_error(self):
+        base = self.bench_report("base.json", 1_000_000)
+        cur = self.bench_report("cur.json", 1_000_000)
+        code, _ = run_main("--compare-perf", base, cur,
+                           "--min-speedup", "0")
+        self.assertEqual(code, 2)
+
 
 if __name__ == "__main__":
     unittest.main()

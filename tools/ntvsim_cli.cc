@@ -31,6 +31,11 @@
 //                          neon, or auto (default). Every backend is
 //                          byte-identical (docs/SIMD.md); forcing one the
 //                          CPU or build cannot run is a flag error
+//   --backend <name>       evaluation backend: mc (default, sampled Monte
+//                          Carlo) or analytic (closed-form SSTA; see
+//                          docs/SSTA.md). Applies to the mitigation and
+//                          yield commands; `study` reports an analytic
+//                          chain summary in place of the MC cross-check
 //
 // <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
 // (quote it). Voltages in volts, clock periods in nanoseconds.
@@ -52,6 +57,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "simd/simd.h"
+#include "ssta/backend.h"
 #include "stats/variance_reduction.h"
 
 namespace {
@@ -69,6 +75,7 @@ struct Ctx {
   std::size_t samples = 2000;
   bool samples_set = false;
   stats::SamplingPlan plan;
+  ssta::Backend backend = ssta::Backend::kMonteCarlo;
   int threads_requested = 0;
   std::string node_name;
   std::vector<double> vdd_grid;
@@ -91,7 +98,8 @@ int usage() {
       stderr,
       "usage: ntvsim [--report <file.json>] [--quiet] [--seed <n>]\n"
       "              [--samples <n>] [--sampling <plan>] [--threads <n>]\n"
-      "              [--simd <scalar|avx2|neon|auto>] <command> [...]\n"
+      "              [--simd <scalar|avx2|neon|auto>]\n"
+      "              [--backend <mc|analytic>] <command> [...]\n"
       "  nodes                         list technology nodes\n"
       "  study    <node> [vdd]         gate/chain delay variation\n"
       "  drop     <node> <vdd>         128-wide performance drop\n"
@@ -124,6 +132,7 @@ core::MitigationStudy make_mitigation(const Ctx& ctx,
   core::MitigationConfig config;
   config.seed = ctx.seed;
   config.plan = ctx.plan;
+  config.backend = ctx.backend;
   if (ctx.samples_set) config.chip_samples = ctx.samples;
   return core::MitigationStudy(node, config);
 }
@@ -151,6 +160,36 @@ int cmd_study(Ctx& ctx, const device::TechNode& node, double vdd) {
   constexpr int kStages = 50;
   core::VariationStudy study(node);
   const auto point = study.study_point(vdd, kStages);
+  if (ctx.backend == ssta::Backend::kAnalytic) {
+    const auto an = study.analytic_chain_summary(vdd, kStages);
+    say(ctx, "%s @ %.2f V\n", node.name.data(), vdd);
+    say(ctx, "  FO4 delay          %10.1f ps\n", point.fo4_delay * 1e12);
+    say(ctx, "  50-FO4 chain mean  %10.2f ns\n", point.chain_mean * 1e9);
+    say(ctx, "  single gate 3s/mu  %10.2f %%\n", point.single_pct);
+    say(ctx, "  chain 3s/mu        %10.2f %%\n", point.chain_pct);
+    say(ctx, "  analytic law (no sampling):\n");
+    say(ctx, "    chain 3s/mu      %10.2f %%\n",
+        an.three_sigma_over_mu_pct);
+    say(ctx, "    chain p50 / p99  %10.2f / %.2f ns\n", an.p50 * 1e9,
+        an.p99 * 1e9);
+    say(ctx, "    fit residual     %10.2e\n", an.analytic_error);
+    if (auto* w = ctx.w()) {
+      w->key("n_stages").value(kStages);
+      w->key("fo4_delay_ps").value(point.fo4_delay * 1e12);
+      w->key("chain_mean_ns").value(point.chain_mean * 1e9);
+      w->key("single_pct").value(point.single_pct);
+      w->key("chain_pct").value(point.chain_pct);
+      w->key("analytic").begin_object();
+      w->key("chain_pct").value(an.three_sigma_over_mu_pct);
+      w->key("mean_ns").value(an.mean * 1e9);
+      w->key("stddev_ns").value(an.stddev * 1e9);
+      w->key("p50_ns").value(an.p50 * 1e9);
+      w->key("p99_ns").value(an.p99 * 1e9);
+      w->key("analytic_error").value(an.analytic_error);
+      w->end_object();
+    }
+    return 0;
+  }
   const auto mc = study.mc_chain_summary(vdd, kStages, ctx.samples,
                                          ctx.plan, ctx.seed);
   say(ctx, "%s @ %.2f V\n", node.name.data(), vdd);
@@ -280,7 +319,12 @@ int cmd_bias(Ctx& ctx, const device::TechNode& node, double vdd) {
 
 int cmd_yield(Ctx& ctx, const device::TechNode& node, double vdd,
               double t_ns) {
-  core::YieldAnalysis analysis(node);
+  core::MitigationConfig config;
+  config.seed = ctx.seed;
+  config.plan = ctx.plan;
+  config.backend = ctx.backend;
+  if (ctx.samples_set) config.chip_samples = ctx.samples;
+  core::YieldAnalysis analysis(node, config);
   const double t = t_ns * 1e-9;
   say(ctx, "yield @ %.2f V, T_clk=%.3f ns:\n", vdd, t_ns);
   if (auto* w = ctx.w()) {
@@ -437,6 +481,17 @@ bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
           return false;
         }
       }
+    } else if (std::strcmp(a, "--backend") == 0) {
+      if (!next_value(&value)) return false;
+      const auto backend = ssta::parse_backend(value);
+      if (!backend) {
+        std::fprintf(stderr,
+                     "ntvsim: unknown --backend '%s' (expected mc or "
+                     "analytic)\n",
+                     value);
+        return false;
+      }
+      ctx.backend = *backend;
     } else if (std::strcmp(a, "--threads") == 0) {
       if (!next_value(&value)) return false;
       char* end = nullptr;
@@ -520,6 +575,7 @@ int main(int argc, char** argv) {
     manifest.tech_node = ctx.node_name;
     manifest.vdd_grid = ctx.vdd_grid;
     manifest.sampling = std::string(stats::to_string(ctx.plan.strategy));
+    manifest.backend = std::string(ssta::to_string(ctx.backend));
     manifest.simd = std::string(simd::to_string(simd::active_backend()));
     const std::string& fragment = ctx.results.str();
     const bool ok = obs::write_report_file(
