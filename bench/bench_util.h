@@ -171,73 +171,108 @@ inline int run_bench_main(int argc, char** argv,
   std::string report_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
+  // Flag-parsing contract: every recognized flag hard-errors on a
+  // missing or malformed value. A bench flag must never fall through to
+  // google-benchmark (where --artifact_only silently discards it) or be
+  // atoi-coerced to a default — a typo that changes the sample budget or
+  // thread count would otherwise change what CI measures without a
+  // trace (the pre-PR-9 behavior; check_report_test.py pins the error
+  // paths).
+  int i = 0;
+  auto flag_value = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  auto parse_count = [](const char* flag, const char* text, long long min,
+                        long long* out) {
+    char* end = nullptr;
+    *out = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || *out < min) {
+      std::fprintf(stderr, "error: bad %s value '%s'\n", flag, text);
+      return false;
+    }
+    return true;
+  };
+  for (i = 0; i < argc; ++i) {
+    long long n = 0;
+    const char* value = nullptr;
     if (i > 0 && std::strcmp(argv[i], "--artifact_only") == 0) {
       artifact_only = true;
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
+    if (i > 0 && std::strcmp(argv[i], "--report") == 0) {
+      if (!(value = flag_value("--report"))) return 2;
+      report_path = value;
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads_requested = std::atoi(argv[++i]);
+    if (i > 0 && std::strcmp(argv[i], "--threads") == 0) {
+      if (!(value = flag_value("--threads")) ||
+          !parse_count("--threads", value, 0, &n)) {
+        return 2;
+      }
+      threads_requested = static_cast<int>(n);
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
-      repeat = std::max(1, std::atoi(argv[++i]));
+    if (i > 0 && std::strcmp(argv[i], "--repeat") == 0) {
+      if (!(value = flag_value("--repeat")) ||
+          !parse_count("--repeat", value, 1, &n)) {
+        return 2;
+      }
+      repeat = static_cast<int>(n);
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--sampling") == 0 && i + 1 < argc) {
-      const char* name = argv[++i];
-      const auto strategy = stats::parse_strategy(name);
+    if (i > 0 && std::strcmp(argv[i], "--sampling") == 0) {
+      if (!(value = flag_value("--sampling"))) return 2;
+      const auto strategy = stats::parse_strategy(value);
       if (!strategy) {
         std::fprintf(stderr,
                      "error: unknown --sampling '%s' (expected naive, "
                      "stratified, importance, or qmc)\n",
-                     name);
+                     value);
         return 2;
       }
       sampling_plan().strategy = *strategy;
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
-      const long long n = std::atoll(argv[++i]);
-      if (n < 0) {
-        std::fprintf(stderr, "error: --samples must be >= 0\n");
+    if (i > 0 && std::strcmp(argv[i], "--samples") == 0) {
+      if (!(value = flag_value("--samples")) ||
+          !parse_count("--samples", value, 0, &n)) {
         return 2;
       }
       sample_override() = static_cast<std::size_t>(n);
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--simd") == 0 && i + 1 < argc) {
-      const char* name = argv[++i];
-      if (std::strcmp(name, "auto") != 0) {
-        const auto backend = simd::parse_backend(name);
+    if (i > 0 && std::strcmp(argv[i], "--simd") == 0) {
+      if (!(value = flag_value("--simd"))) return 2;
+      if (std::strcmp(value, "auto") != 0) {
+        const auto backend = simd::parse_backend(value);
         if (!backend) {
           std::fprintf(stderr,
                        "error: unknown --simd '%s' (expected scalar, "
                        "avx2, neon, or auto)\n",
-                       name);
+                       value);
           return 2;
         }
         if (!simd::force_backend(*backend)) {
           std::fprintf(stderr,
                        "error: --simd %s is not usable on this build/CPU\n",
-                       name);
+                       value);
           return 2;
         }
       }
       continue;
     }
-    if (i > 0 && std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
-      const char* name = argv[++i];
-      const auto parsed = ssta::parse_backend(name);
+    if (i > 0 && std::strcmp(argv[i], "--backend") == 0) {
+      if (!(value = flag_value("--backend"))) return 2;
+      const auto parsed = ssta::parse_backend(value);
       if (!parsed) {
         std::fprintf(stderr,
                      "error: unknown --backend '%s' (expected mc or "
                      "analytic)\n",
-                     name);
+                     value);
         return 2;
       }
       backend() = *parsed;

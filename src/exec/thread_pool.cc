@@ -27,6 +27,10 @@ obs::Timer& busy_metric() {
   static obs::Timer& t = obs::timer("exec.busy");
   return t;
 }
+obs::Counter& interactive_metric() {
+  static obs::Counter& c = obs::counter("exec.interactive_tasks");
+  return c;
+}
 
 }  // namespace
 
@@ -73,7 +77,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::enqueue(std::function<void()> fn) {
+void ThreadPool::enqueue(std::function<void()> fn, Priority priority) {
+  if (priority == Priority::kInteractive) interactive_metric().increment();
   if (queues_.empty()) {
     // Single-lane pool: execute synchronously on the caller.
     obs::ScopedTimer busy(busy_metric());
@@ -83,8 +88,14 @@ void ThreadPool::enqueue(std::function<void()> fn) {
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
-    queues_[next_queue_].push_back(std::move(fn));
-    next_queue_ = (next_queue_ + 1) % queues_.size();
+    if (priority == Priority::kInteractive) {
+      // FIFO within the tier: arrival order is the fairness contract
+      // for interactive requests (docs/SERVICE.md).
+      interactive_.push_back(std::move(fn));
+    } else {
+      queues_[next_queue_].push_back(std::move(fn));
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
     ++queued_;
     static obs::Gauge& peak = obs::gauge("exec.queue_peak");
     if (static_cast<double>(queued_) > peak.value()) {
@@ -95,6 +106,14 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 std::function<void()> ThreadPool::take_locked(std::size_t self) {
+  // Interactive tier first: any lane that comes looking for work serves
+  // the central priority queue before its own batch deque.
+  if (!interactive_.empty()) {
+    std::function<void()> fn = std::move(interactive_.front());
+    interactive_.pop_front();
+    --queued_;
+    return fn;
+  }
   // Own deque first, newest task (LIFO keeps nested loops cache-warm and
   // lets a forking task drain its own children before stealing).
   if (self < queues_.size() && !queues_[self].empty()) {
@@ -237,6 +256,10 @@ int ThreadPool::global_thread_count() {
     if (g_pool) return g_pool->thread_count();
   }
   return global().thread_count();
+}
+
+std::thread spawn_thread(std::function<void()> fn) {
+  return std::thread(std::move(fn));
 }
 
 }  // namespace ntv::exec

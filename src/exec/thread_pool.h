@@ -25,7 +25,11 @@
 //    which run reports serialize under metrics.
 //
 // Threads are constructed HERE and nowhere else in src/ (grep-enforceable:
-// `std::thread` construction only in thread_pool.cc).
+// `std::thread` construction only in thread_pool.cc). Subsystems that
+// need a dedicated long-lived thread — the service layer's socket
+// accept/connection loops, which block on I/O and therefore must never
+// occupy a pool lane — obtain it through exec::spawn_thread() below,
+// keeping the contract auditable.
 #pragma once
 
 #include <condition_variable>
@@ -53,6 +57,18 @@ int resolved_worker_threads(int requested = 0);
 /// Fork-join thread pool with per-worker deques and work stealing.
 class ThreadPool {
  public:
+  /// Scheduling class of an async task. The pool runs two tiers:
+  /// interactive tasks live in a dedicated central queue that every
+  /// lane checks BEFORE its own deque, so they overtake all queued
+  /// batch work (running tasks are never preempted — the tier decides
+  /// dispatch order, not execution). parallel_for chunks always run at
+  /// batch priority; the interactive tier exists for the service
+  /// layer's low-latency analytic requests (docs/SERVICE.md).
+  enum class Priority {
+    kBatch,        ///< Default: per-worker deques, work stealing.
+    kInteractive,  ///< Central priority queue, dispatched first.
+  };
+
   /// A pool with `threads` total parallelism: `threads - 1` worker
   /// threads are spawned; the caller of parallel_for/async supplies the
   /// remaining lane by helping. threads < 1 is clamped to 1 (a pure
@@ -81,14 +97,17 @@ class ThreadPool {
 
   /// Schedules one task and returns its future. Used for heterogeneous
   /// fan-out (e.g. one future per table cell); prefer parallel_for for
-  /// uniform index spaces.
+  /// uniform index spaces. `priority` selects the dispatch tier (see
+  /// Priority); the "exec.interactive_tasks" counter tracks the
+  /// interactive submissions.
   template <typename F>
-  auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto async(F&& fn, Priority priority = Priority::kBatch)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(
         std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    enqueue([task] { (*task)(); });
+    enqueue([task] { (*task)(); }, priority);
     return future;
   }
 
@@ -110,21 +129,31 @@ class ThreadPool {
   struct LoopState;
 
   void worker_loop(std::size_t self);
-  void enqueue(std::function<void()> fn);
-  /// Pops a runnable task: the back of queue `self` first (own work,
-  /// LIFO), else the front of another queue (a steal). `self` ==
-  /// queues_.size() means "external helper thread" (no own queue).
-  /// Requires mu_ held; returns an empty function when nothing is
-  /// runnable.
+  void enqueue(std::function<void()> fn,
+               Priority priority = Priority::kBatch);
+  /// Pops a runnable task: the interactive queue first (priority
+  /// dispatch), then the back of queue `self` (own work, LIFO), else
+  /// the front of another queue (a steal). `self` == queues_.size()
+  /// means "external helper thread" (no own queue). Requires mu_ held;
+  /// returns an empty function when nothing is runnable.
   std::function<void()> take_locked(std::size_t self);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::deque<std::function<void()>> interactive_;  ///< Priority tier.
   std::vector<std::deque<std::function<void()>>> queues_;
   std::vector<std::thread> workers_;
   std::size_t next_queue_ = 0;  ///< Round-robin submission cursor.
   std::size_t queued_ = 0;      ///< Tasks currently queued (for depth gauge).
   bool stop_ = false;
 };
+
+/// The ONLY sanctioned way for code outside this translation unit to
+/// obtain a dedicated OS thread (the repo contract is that std::thread
+/// is constructed in thread_pool.cc and nowhere else in src/). Meant for
+/// long-lived loops that block on I/O — e.g. the service layer's socket
+/// accept and per-connection reader threads — which must never occupy a
+/// pool lane. The caller owns the returned thread and must join it.
+std::thread spawn_thread(std::function<void()> fn);
 
 }  // namespace ntv::exec

@@ -1,0 +1,148 @@
+#include "service/artifact_cache.h"
+
+#include <utility>
+
+#include "harness/json.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+namespace {
+
+obs::Counter& hits_metric() {
+  static obs::Counter& c = obs::counter("service.cache.hits");
+  return c;
+}
+obs::Counter& misses_metric() {
+  static obs::Counter& c = obs::counter("service.cache.misses");
+  return c;
+}
+obs::Counter& evictions_metric() {
+  static obs::Counter& c = obs::counter("service.cache.evictions");
+  return c;
+}
+obs::Counter& spills_metric() {
+  static obs::Counter& c = obs::counter("service.cache.spills");
+  return c;
+}
+obs::Counter& spill_hits_metric() {
+  static obs::Counter& c = obs::counter("service.cache.spill_hits");
+  return c;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(Options options)
+    : options_(std::move(options)) {
+  publish_gauges_locked();  // Registry entries exist from the start.
+}
+
+void ArtifactCache::publish_gauges_locked() const {
+  obs::gauge("service.cache.entries")
+      .set(static_cast<double>(lru_.size()));
+  obs::gauge("service.cache.bytes").set(static_cast<double>(bytes_));
+}
+
+std::string ArtifactCache::spill_path(const std::string& hex) const {
+  return options_.spill_dir + "/" + hex + ".json";
+}
+
+void ArtifactCache::spill(const Entry& entry) {
+  if (options_.spill_dir.empty()) return;
+  // First line = canonical key, rest = payload: the reader verifies the
+  // key so a hash-colliding request can never resurrect this artifact.
+  std::string contents;
+  contents.reserve(entry.canonical.size() + entry.payload.size() + 1);
+  contents += entry.canonical;
+  contents += '\n';
+  contents += entry.payload;
+  if (obs::write_text_file(spill_path(entry.hex), contents)) {
+    spills_metric().increment();
+  }
+}
+
+std::optional<std::string> ArtifactCache::unspill(const RequestKey& key) {
+  if (options_.spill_dir.empty()) return std::nullopt;
+  const auto contents = harness::read_text_file(spill_path(key.hex));
+  if (!contents) return std::nullopt;
+  const std::size_t newline = contents->find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  if (contents->compare(0, newline, key.canonical) != 0) {
+    return std::nullopt;  // Hash collision: file belongs to another key.
+  }
+  return contents->substr(newline + 1);
+}
+
+std::optional<std::string> ArtifactCache::get(const RequestKey& key) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(key.canonical);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // Refresh LRU.
+      hits_metric().increment();
+      return it->second->payload;
+    }
+  }
+  // Miss in memory: try the spill directory (outside the lock — file
+  // I/O must not serialize concurrent hits).
+  if (auto payload = unspill(key)) {
+    spill_hits_metric().increment();
+    hits_metric().increment();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (index_.find(key.canonical) == index_.end()) {
+      insert_locked(key, *payload);
+    }
+    return payload;
+  }
+  misses_metric().increment();
+  return std::nullopt;
+}
+
+void ArtifactCache::insert_locked(const RequestKey& key,
+                                  const std::string& payload) {
+  lru_.push_front(Entry{key.canonical, key.hex, payload});
+  index_[key.canonical] = lru_.begin();
+  bytes_ += payload.size();
+  evict_locked();
+  publish_gauges_locked();
+}
+
+void ArtifactCache::evict_locked() {
+  while (!lru_.empty() && (lru_.size() > options_.max_entries ||
+                           bytes_ > options_.max_bytes)) {
+    Entry victim = std::move(lru_.back());
+    index_.erase(victim.canonical);
+    bytes_ -= victim.payload.size();
+    lru_.pop_back();
+    evictions_metric().increment();
+    spill(victim);
+  }
+}
+
+void ArtifactCache::put(const RequestKey& key, const std::string& payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key.canonical);
+  if (it != index_.end()) {
+    bytes_ -= it->second->payload.size();
+    bytes_ += payload.size();
+    it->second->payload = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_locked();
+    publish_gauges_locked();
+    return;
+  }
+  insert_locked(key, payload);
+}
+
+std::size_t ArtifactCache::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+std::size_t ArtifactCache::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+}  // namespace ntv::service

@@ -1,0 +1,83 @@
+// Bounded LRU store of completed response artifacts, with disk spill.
+//
+// Completed analysis responses are pure functions of their canonical
+// request (docs/SERVICE.md), so the daemon never has to compute the same
+// sweep twice: finished JSON payloads live in an in-memory LRU bounded
+// by entry count AND total bytes, and evicted entries can optionally
+// spill to a directory where a later miss picks them up again.
+//
+// Keys are the full canonical request text — not the hash — so a hash
+// collision can never serve the wrong artifact. The 16-hex-digit content
+// hash only names spill files; a spilled file stores its canonical key
+// as its first line and is ignored (counted as a miss) unless that line
+// matches the request being looked up.
+//
+// Thread-safe; feeds the service.cache.* counters and gauges
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "service/request.h"
+
+namespace ntv::service {
+
+class ArtifactCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 256;            ///< LRU entry bound.
+    std::size_t max_bytes = 64 * 1024 * 1024; ///< LRU payload-byte bound.
+    /// When non-empty, evicted artifacts are written to
+    /// `<spill_dir>/<hex>.json` and reloaded on a later miss. The
+    /// directory must exist; write failures drop the artifact (the
+    /// cache is an accelerator, never a correctness dependency).
+    std::string spill_dir;
+  };
+
+  explicit ArtifactCache(Options options);
+
+  /// The payload stored for `key`, refreshing its LRU position; checks
+  /// the spill directory on a memory miss. std::nullopt on a true miss.
+  std::optional<std::string> get(const RequestKey& key);
+
+  /// Inserts (or refreshes) `payload` under `key`, evicting
+  /// least-recently-used entries until both bounds hold. A payload
+  /// larger than max_bytes is spilled (when configured) but not kept in
+  /// memory.
+  void put(const RequestKey& key, const std::string& payload);
+
+  std::size_t entries() const;
+  std::size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string canonical;  ///< Full request text (the true key).
+    std::string hex;        ///< Content hash (spill file name).
+    std::string payload;
+  };
+
+  /// Requires mu_ held. Evicts from the LRU tail until bounds hold.
+  void evict_locked();
+  /// Requires mu_ held. Inserts at the LRU head and updates gauges.
+  void insert_locked(const RequestKey& key, const std::string& payload);
+  void publish_gauges_locked() const;
+  std::string spill_path(const std::string& hex) const;
+  /// Writes an evicted entry to its spill file (best-effort).
+  void spill(const Entry& entry);
+  /// Reads the spill file for `key` back, verifying the canonical-key
+  /// line; std::nullopt when absent or owned by a colliding request.
+  std::optional<std::string> unspill(const RequestKey& key);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;  ///< Payload bytes currently in memory.
+};
+
+}  // namespace ntv::service

@@ -1,0 +1,54 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/server.h"
+
+namespace ntv::service {
+
+BlockingClient::~BlockingClient() { close(); }
+
+bool BlockingClient::connect(int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close();
+    return false;
+  }
+  const int one = 1;  // Small frames must not wait out Nagle.
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+std::optional<std::string> BlockingClient::call(
+    const std::string& request) {
+  if (fd_ < 0) return std::nullopt;
+  if (!write_frame(fd_, request)) {
+    close();
+    return std::nullopt;
+  }
+  std::string response;
+  if (read_frame(fd_, &response) != FrameRead::kOk) {
+    close();
+    return std::nullopt;
+  }
+  return response;
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ntv::service

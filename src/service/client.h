@@ -1,0 +1,36 @@
+// Minimal blocking client for the daemon's frame protocol.
+//
+// One connection, strict request/response alternation — exactly the
+// contract docs/SERVICE.md specifies for a single client. Used by the
+// bench load generator (bench_service_load) and the service smoke
+// tests; operators normally script tools/ntvsim_client.py instead.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ntv::service {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to 127.0.0.1:<port>. False on failure.
+  bool connect(int port);
+
+  /// Sends one request document and blocks for its response.
+  /// std::nullopt on transport failure (the connection is then dead).
+  std::optional<std::string> call(const std::string& request);
+
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ntv::service

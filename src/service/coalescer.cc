@@ -1,0 +1,45 @@
+#include "service/coalescer.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+Coalescer::Ticket Coalescer::join(const std::string& canonical_key) {
+  static obs::Counter& joins = obs::counter("service.coalesced_joins");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = entries_[canonical_key];
+  Ticket ticket;
+  if (!slot) {
+    slot = std::make_shared<Entry>();
+    slot->future = slot->promise.get_future().share();
+    ticket.leader = true;
+  } else {
+    joins.increment();
+  }
+  ticket.result = slot->future;
+  return ticket;
+}
+
+void Coalescer::complete(const std::string& canonical_key,
+                         JobResult result) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(canonical_key);
+    if (it == entries_.end()) return;
+    entry = it->second;
+    entries_.erase(it);
+  }
+  // Fulfill outside the lock: set_value wakes every joiner, and they
+  // must not contend with new join() calls for mu_.
+  entry->promise.set_value(std::move(result));
+}
+
+std::size_t Coalescer::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace ntv::service

@@ -1,0 +1,65 @@
+// In-flight request coalescing: N identical concurrent requests, one
+// computation.
+//
+// When a request misses the artifact cache, the service joins it against
+// the table of sweeps already being computed. The first arrival for a
+// canonical key becomes the *leader* (it runs the computation); every
+// concurrent duplicate becomes a *joiner* that blocks on the leader's
+// shared_future and receives the exact same payload bytes — the
+// byte-identity half of the acceptance contract (docs/SERVICE.md).
+//
+// Ordering contract for leaders: publish the finished artifact to the
+// cache BEFORE calling complete(). complete() erases the in-flight
+// entry, so a duplicate arriving after the erase must find the artifact
+// in the cache — put-then-complete guarantees no request can miss both.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ntv::service {
+
+/// Outcome of one scheduled computation, shared verbatim by the leader
+/// and every joiner. `payload` is the complete response document for
+/// both success and failure.
+struct JobResult {
+  bool ok = false;
+  std::string payload;
+};
+
+class Coalescer {
+ public:
+  /// What join() hands back: leadership plus the future every party
+  /// (leader included) reads the result from.
+  struct Ticket {
+    bool leader = false;
+    std::shared_future<JobResult> result;
+  };
+
+  /// Joins the in-flight computation for `canonical_key`, creating it
+  /// (leader = true) when none exists. Joiners are counted on the
+  /// service.coalesced_joins counter.
+  Ticket join(const std::string& canonical_key);
+
+  /// Leader-only: publishes the result to every waiter and retires the
+  /// in-flight entry. The artifact must already be in the cache (see
+  /// the ordering contract above).
+  void complete(const std::string& canonical_key, JobResult result);
+
+  /// In-flight computations (for tests and the drain loop).
+  std::size_t in_flight() const;
+
+ private:
+  struct Entry {
+    std::promise<JobResult> promise;
+    std::shared_future<JobResult> future;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace ntv::service

@@ -1,0 +1,224 @@
+#include "service/engine.h"
+
+#include <exception>
+#include <span>
+
+#include "core/mitigation.h"
+#include "core/variation_study.h"
+#include "core/yield.h"
+#include "device/tech_node.h"
+#include "energy/energy_model.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+namespace {
+
+core::MitigationConfig mitigation_config(const AnalysisRequest& req) {
+  core::MitigationConfig config;
+  config.seed = req.seed;
+  config.plan = req.plan;
+  config.backend = req.backend;
+  config.chip_samples = req.samples;
+  return config;
+}
+
+void run_study(const AnalysisRequest& req, const device::TechNode& node,
+               obs::JsonWriter& w) {
+  constexpr int kStages = 50;
+  core::VariationStudy study(node);
+  w.key("points").begin_array();
+  for (const double vdd : req.vdd_grid) {
+    const auto point = study.study_point(vdd, kStages);
+    w.begin_object();
+    w.key("vdd").value(vdd);
+    w.key("n_stages").value(kStages);
+    w.key("fo4_delay_ps").value(point.fo4_delay * 1e12);
+    w.key("chain_mean_ns").value(point.chain_mean * 1e9);
+    w.key("single_pct").value(point.single_pct);
+    w.key("chain_pct").value(point.chain_pct);
+    if (req.backend == ssta::Backend::kAnalytic) {
+      const auto an = study.analytic_chain_summary(vdd, kStages);
+      w.key("analytic").begin_object();
+      w.key("chain_pct").value(an.three_sigma_over_mu_pct);
+      w.key("mean_ns").value(an.mean * 1e9);
+      w.key("stddev_ns").value(an.stddev * 1e9);
+      w.key("p50_ns").value(an.p50 * 1e9);
+      w.key("p99_ns").value(an.p99 * 1e9);
+      w.key("analytic_error").value(an.analytic_error);
+      w.end_object();
+    } else {
+      const auto mc = study.mc_chain_summary(vdd, kStages, req.samples,
+                                             req.plan, req.seed);
+      w.key("mc").begin_object();
+      w.key("samples").value(static_cast<std::uint64_t>(mc.samples));
+      w.key("chain_pct").value(mc.three_sigma_over_mu_pct);
+      w.key("mean_ns").value(mc.mean * 1e9);
+      w.key("stddev_ns").value(mc.stddev * 1e9);
+      w.key("p50_ns").value(mc.p50 * 1e9);
+      w.key("p99_ns").value(mc.p99 * 1e9);
+      w.key("ess").value(mc.ess);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_drop(const AnalysisRequest& req, const device::TechNode& node,
+              obs::JsonWriter& w) {
+  const core::MitigationStudy study(node, mitigation_config(req));
+  const auto drops = study.performance_drop_sweep(req.vdd_grid);
+  w.key("signoff_percentile").value(99.0);
+  w.key("points").begin_array();
+  for (std::size_t i = 0; i < req.vdd_grid.size(); ++i) {
+    w.begin_object();
+    w.key("vdd").value(req.vdd_grid[i]);
+    w.key("drop_pct").value(drops[i]);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_spares(const AnalysisRequest& req, const device::TechNode& node,
+                obs::JsonWriter& w) {
+  const core::MitigationStudy study(node, mitigation_config(req));
+  const auto sized = study.required_spares_sweep(req.vdd_grid);
+  w.key("points").begin_array();
+  for (std::size_t i = 0; i < req.vdd_grid.size(); ++i) {
+    const auto& r = sized[i];
+    w.begin_object();
+    w.key("vdd").value(req.vdd_grid[i]);
+    w.key("feasible").value(r.feasible);
+    w.key("spares").value(r.spares);
+    w.key("area_overhead_pct").value(r.area_overhead * 100.0);
+    w.key("power_overhead_pct").value(r.power_overhead * 100.0);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_margin(const AnalysisRequest& req, const device::TechNode& node,
+                obs::JsonWriter& w) {
+  const core::MitigationStudy study(node, mitigation_config(req));
+  const auto margins = study.required_voltage_margin_sweep(req.vdd_grid);
+  w.key("points").begin_array();
+  for (std::size_t i = 0; i < req.vdd_grid.size(); ++i) {
+    const auto& r = margins[i];
+    w.begin_object();
+    w.key("vdd").value(req.vdd_grid[i]);
+    w.key("feasible").value(r.feasible);
+    w.key("margin_mv").value(r.margin * 1e3);
+    w.key("final_vdd").value(req.vdd_grid[i] + r.margin);
+    w.key("power_overhead_pct").value(r.power_overhead * 100.0);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_combined(const AnalysisRequest& req, const device::TechNode& node,
+                  obs::JsonWriter& w) {
+  const core::MitigationStudy study(node, mitigation_config(req));
+  const int alphas[] = {0, 1, 2, 4, 8, 16, 26};
+  w.key("points").begin_array();
+  for (const double vdd : req.vdd_grid) {
+    w.begin_object();
+    w.key("vdd").value(vdd);
+    w.key("choices").begin_array();
+    for (const auto& choice : study.explore_combined(vdd, alphas)) {
+      w.begin_object();
+      w.key("spares").value(choice.spares);
+      w.key("margin_mv").value(choice.margin * 1e3);
+      w.key("power_overhead_pct").value(choice.power_overhead * 100.0);
+      w.key("feasible").value(choice.feasible);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_yield(const AnalysisRequest& req, const device::TechNode& node,
+               obs::JsonWriter& w) {
+  const core::YieldAnalysis analysis(node, mitigation_config(req));
+  const double t = req.t_clk_ns * 1e-9;
+  w.key("t_clk_ns").value(req.t_clk_ns);
+  w.key("spares").value(req.spares);
+  w.key("points").begin_array();
+  for (const double vdd : req.vdd_grid) {
+    w.begin_object();
+    w.key("vdd").value(vdd);
+    w.key("yield").value(analysis.yield(vdd, t, req.spares));
+    w.key("t_clk_99pct_yield_ns")
+        .value(analysis.t_clk_for_yield(vdd, 0.99, req.spares) * 1e9);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void run_energy(const AnalysisRequest&, const device::TechNode& node,
+                obs::JsonWriter& w) {
+  energy::EnergyModel model(node);
+  w.key("sweep").begin_array();
+  for (const auto& p : model.sweep(0.25, node.nominal_vdd, 0.05)) {
+    const char* region = p.region == energy::Region::kSubThreshold ? "sub"
+                         : p.region == energy::Region::kNearThreshold
+                             ? "near"
+                             : "super";
+    w.begin_object();
+    w.key("vdd").value(p.vdd);
+    w.key("region").value(region);
+    w.key("delay_ns").value(p.delay * 1e9);
+    w.key("energy_per_op").value(p.total_energy);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("minimum_energy_vdd").value(model.minimum_energy_vdd());
+}
+
+}  // namespace
+
+EngineResult evaluate(const AnalysisRequest& request) {
+  static obs::Counter& computed = obs::counter("service.computed");
+  EngineResult result;
+  try {
+    const auto& node = device::node_by_name(request.node);
+    obs::JsonWriter w;
+    w.begin_object();
+    switch (request.command) {
+      case Command::kStudy:
+        run_study(request, node, w);
+        break;
+      case Command::kDrop:
+        run_drop(request, node, w);
+        break;
+      case Command::kSpares:
+        run_spares(request, node, w);
+        break;
+      case Command::kMargin:
+        run_margin(request, node, w);
+        break;
+      case Command::kCombined:
+        run_combined(request, node, w);
+        break;
+      case Command::kYield:
+        run_yield(request, node, w);
+        break;
+      case Command::kEnergy:
+        run_energy(request, node, w);
+        break;
+    }
+    w.end_object();
+    computed.increment();
+    result.ok = true;
+    result.results = w.str();
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace ntv::service

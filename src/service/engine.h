@@ -1,0 +1,34 @@
+// Request evaluation: maps a validated AnalysisRequest onto the study
+// engines (core/ssta/energy) and serializes the deterministic results
+// fragment of the response.
+//
+// The engine is the ONLY place a request's reproduction knobs (seed,
+// sampling plan, sample budget, backend) are translated into study
+// Options, so the service answers exactly what the CLI would for the
+// same inputs. The returned fragment contains no identifiers, wall-clock
+// data or metrics: it is a pure function of the canonical request, which
+// is what lets the coalescer hand byte-identical responses to every
+// joiner and the cache replay them forever (docs/SERVICE.md).
+#pragma once
+
+#include <string>
+
+#include "service/request.h"
+
+namespace ntv::service {
+
+/// Evaluation outcome: on success `results` holds one JSON object value
+/// (the response's "results" member); on failure `error` is a
+/// deterministic human-readable reason (wire code "internal").
+struct EngineResult {
+  bool ok = false;
+  std::string results;
+  std::string error;
+};
+
+/// Runs the analysis synchronously on the calling thread; Monte Carlo
+/// sweeps fan out on the shared exec pool internally. Exceptions from
+/// the study engines are caught and reported as EngineResult errors.
+EngineResult evaluate(const AnalysisRequest& request);
+
+}  // namespace ntv::service

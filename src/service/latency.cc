@@ -1,0 +1,99 @@
+#include "service/latency.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+namespace {
+
+std::string bound_label(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "le_%ds", static_cast<int>(ms / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "le_%dms", static_cast<int>(ms));
+  }
+  return buf;
+}
+
+/// One cached obs counter per bucket (le_inf last).
+std::vector<obs::Counter*>& bucket_counters() {
+  static std::vector<obs::Counter*>& counters =
+      *new std::vector<obs::Counter*>([] {
+        std::vector<obs::Counter*> c;
+        for (const double ms : LatencyHistogram::kBoundsMs) {
+          c.push_back(&obs::counter("service.latency." + bound_label(ms)));
+        }
+        c.push_back(&obs::counter("service.latency.le_inf"));
+        return c;
+      }());
+  return counters;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { bucket_counters(); }
+
+void LatencyHistogram::record(std::uint64_t nanos) {
+  const double ms = static_cast<double>(nanos) / 1e6;
+  auto& counters = bucket_counters();
+  double p50 = 0.0;
+  double p99 = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t bucket = kBoundsMs.size();  // +inf by default.
+    for (std::size_t i = 0; i < kBoundsMs.size(); ++i) {
+      if (ms <= kBoundsMs[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    ++counts_[bucket];
+    ++total_;
+    // Cumulative export: every bucket whose bound covers the sample.
+    for (std::size_t i = bucket; i < counters.size(); ++i) {
+      counters[i]->increment();
+    }
+    p50 = quantile_ms_locked(0.50);
+    p99 = quantile_ms_locked(0.99);
+  }
+  static obs::Gauge& p50_gauge = obs::gauge("service.latency.p50_ms");
+  static obs::Gauge& p99_gauge = obs::gauge("service.latency.p99_ms");
+  p50_gauge.set(p50);
+  p99_gauge.set(p99);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+double LatencyHistogram::quantile_ms_locked(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = i == 0 ? 0.0 : kBoundsMs[i - 1];
+    if (i >= kBoundsMs.size()) return lo;  // +inf bucket: lower bound.
+    const double hi = kBoundsMs[i];
+    const double frac = (target - static_cast<double>(before)) /
+                        static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return kBoundsMs.back();
+}
+
+double LatencyHistogram::quantile_ms(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quantile_ms_locked(q);
+}
+
+}  // namespace ntv::service

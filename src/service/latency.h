@@ -1,0 +1,54 @@
+// Service-latency histogram feeding the service.latency.* metrics.
+//
+// Every request the daemon answers records its wall-clock service time
+// here. The histogram is exported in the Prometheus cumulative style
+// through the ordinary metrics registry, so it rides the existing report
+// schema unchanged (docs/OBSERVABILITY.md):
+//
+//   service.latency.le_1ms .. le_5s, le_inf   counters: requests whose
+//                                             latency was <= the bound
+//   service.latency.p50_ms / p99_ms           gauges: quantile estimates
+//                                             (linear interpolation
+//                                             inside the bucket)
+//
+// Bounds are log-spaced 1-2-5 from 1 ms to 5 s: a cache hit lands in
+// le_1ms, an analytic sweep in the low milliseconds, and a full Monte
+// Carlo sweep in the hundreds — one decade of resolution everywhere the
+// two tiers actually operate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+namespace ntv::service {
+
+class LatencyHistogram {
+ public:
+  /// Bucket upper bounds [ms]; one extra +inf bucket follows.
+  static constexpr std::array<double, 12> kBoundsMs = {
+      1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+
+  LatencyHistogram();
+
+  /// Records one request's service time and republishes the cumulative
+  /// bucket counters and the p50/p99 gauges.
+  void record(std::uint64_t nanos);
+
+  /// Samples recorded so far.
+  std::uint64_t count() const;
+
+  /// Quantile estimate [ms] for q in (0, 1): the bucket containing the
+  /// q-th sample, linearly interpolated; the +inf bucket reports its
+  /// lower bound. 0 when empty.
+  double quantile_ms(double q) const;
+
+ private:
+  double quantile_ms_locked(double q) const;
+
+  mutable std::mutex mu_;
+  std::array<std::uint64_t, kBoundsMs.size() + 1> counts_{};  ///< Per bucket.
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ntv::service

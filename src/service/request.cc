@@ -1,0 +1,242 @@
+#include "service/request.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "device/tech_node.h"
+#include "harness/json.h"
+#include "obs/json_writer.h"
+
+namespace ntv::service {
+
+namespace {
+
+/// Bounds that keep a single request's work finite (docs/SERVICE.md).
+constexpr std::size_t kMaxVddPoints = 32;
+constexpr std::size_t kMaxSamples = 1000000;
+constexpr int kMaxSpares = 128;
+constexpr double kMaxTclkNs = 1000.0;
+
+ParseResult fail(std::string_view code, std::string message) {
+  ParseResult r;
+  r.ok = false;
+  r.error_code = std::string(code);
+  r.message = std::move(message);
+  return r;
+}
+
+/// Default Monte Carlo budget per command: the `study` cross-check draws
+/// 2000 chains; the chip-level commands sample 10000 chips (the CLI
+/// defaults, docs/OBSERVABILITY.md).
+std::size_t default_samples(Command command) {
+  return command == Command::kStudy ? 2000 : 10000;
+}
+
+}  // namespace
+
+std::string_view to_string(Command command) noexcept {
+  switch (command) {
+    case Command::kStudy:
+      return "study";
+    case Command::kDrop:
+      return "drop";
+    case Command::kSpares:
+      return "spares";
+    case Command::kMargin:
+      return "margin";
+    case Command::kCombined:
+      return "combined";
+    case Command::kYield:
+      return "yield";
+    case Command::kEnergy:
+      return "energy";
+  }
+  return "study";
+}
+
+std::optional<Command> parse_command(std::string_view name) noexcept {
+  if (name == "study") return Command::kStudy;
+  if (name == "drop") return Command::kDrop;
+  if (name == "spares") return Command::kSpares;
+  if (name == "margin") return Command::kMargin;
+  if (name == "combined") return Command::kCombined;
+  if (name == "yield") return Command::kYield;
+  if (name == "energy") return Command::kEnergy;
+  return std::nullopt;
+}
+
+bool AnalysisRequest::interactive() const noexcept {
+  return backend == ssta::Backend::kAnalytic || command == Command::kEnergy;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+RequestKey canonical_key(const AnalysisRequest& request) {
+  // Knobs the command ignores are pinned so equivalent requests share a
+  // key: deterministic runs (analytic backend, the energy sweep) do not
+  // consume the seed / sampling plan / sample budget, and only yield
+  // reads t_clk_ns / spares.
+  const bool sampled = !request.interactive();
+  const bool is_yield = request.command == Command::kYield;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("backend").value(ssta::to_string(request.backend));
+  w.key("command").value(to_string(request.command));
+  w.key("node").value(request.node);
+  w.key("samples").value(
+      static_cast<std::uint64_t>(sampled ? request.samples : 0));
+  w.key("sampling")
+      .value(sampled ? stats::to_string(request.plan.strategy) : "naive");
+  w.key("seed").value(sampled ? request.seed : 0);
+  w.key("spares").value(is_yield ? request.spares : 0);
+  w.key("t_clk_ns").value(is_yield ? request.t_clk_ns : 0.0);
+  w.key("vdd_grid").begin_array();
+  for (const double v : request.vdd_grid) w.value(v);
+  w.end_array();
+  w.end_object();
+
+  RequestKey key;
+  key.canonical = w.str();
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key.canonical)));
+  key.hex = hex;
+  return key;
+}
+
+ParseResult parse_request(std::string_view text) {
+  std::string error;
+  const auto doc = harness::JsonValue::parse(text, &error);
+  if (!doc) return fail("bad_json", "invalid JSON: " + error);
+  if (!doc->is_object()) {
+    return fail("bad_json", "request must be a JSON object");
+  }
+
+  AnalysisRequest req;
+  bool samples_set = false;
+  bool have_command = false;
+  for (const auto& [name, value] : doc->members()) {
+    if (name == "command") {
+      const auto command = parse_command(value.as_string());
+      if (!value.is_string() || !command) {
+        return fail("bad_request",
+                    "unknown command '" + value.as_string() +
+                        "' (expected study, drop, spares, margin, "
+                        "combined, yield, or energy)");
+      }
+      req.command = *command;
+      have_command = true;
+    } else if (name == "node") {
+      if (!value.is_string()) {
+        return fail("bad_request", "node must be a string");
+      }
+      req.node = value.as_string();
+    } else if (name == "vdd_grid") {
+      if (!value.is_array() || value.items().empty()) {
+        return fail("bad_request", "vdd_grid must be a non-empty array");
+      }
+      if (value.items().size() > kMaxVddPoints) {
+        return fail("bad_request", "vdd_grid exceeds 32 points");
+      }
+      for (const auto& item : value.items()) {
+        if (!item.is_number()) {
+          return fail("bad_request", "vdd_grid entries must be numbers");
+        }
+        req.vdd_grid.push_back(item.as_number());
+      }
+    } else if (name == "t_clk_ns") {
+      if (!value.is_number() || value.as_number() <= 0.0 ||
+          value.as_number() > kMaxTclkNs) {
+        return fail("bad_request", "t_clk_ns must be in (0, 1000] ns");
+      }
+      req.t_clk_ns = value.as_number();
+    } else if (name == "spares") {
+      const double n = value.as_number(-1.0);
+      if (!value.is_number() || n < 0 || n > kMaxSpares ||
+          n != std::floor(n)) {
+        return fail("bad_request", "spares must be an integer in [0, 128]");
+      }
+      req.spares = static_cast<int>(n);
+    } else if (name == "backend") {
+      const auto backend = ssta::parse_backend(value.as_string());
+      if (!value.is_string() || !backend) {
+        return fail("bad_request", "unknown backend '" + value.as_string() +
+                                       "' (expected mc or analytic)");
+      }
+      req.backend = *backend;
+    } else if (name == "sampling") {
+      const auto strategy = stats::parse_strategy(value.as_string());
+      if (!value.is_string() || !strategy) {
+        return fail("bad_request",
+                    "unknown sampling '" + value.as_string() +
+                        "' (expected naive, stratified, importance, "
+                        "or qmc)");
+      }
+      req.plan.strategy = *strategy;
+    } else if (name == "seed") {
+      const double n = value.as_number(-1.0);
+      if (!value.is_number() || n < 0 || n != std::floor(n) ||
+          n > 9007199254740992.0) {
+        return fail("bad_request",
+                    "seed must be a non-negative integer <= 2^53");
+      }
+      req.seed = static_cast<std::uint64_t>(n);
+    } else if (name == "samples") {
+      const double n = value.as_number(0.0);
+      if (!value.is_number() || n < 1 ||
+          n > static_cast<double>(kMaxSamples) || n != std::floor(n)) {
+        return fail("bad_request",
+                    "samples must be an integer in [1, 1000000]");
+      }
+      req.samples = static_cast<std::size_t>(n);
+      samples_set = true;
+    } else {
+      // A typo must not silently select a default.
+      return fail("bad_request", "unknown field '" + name + "'");
+    }
+  }
+
+  if (!have_command) return fail("bad_request", "missing field 'command'");
+  if (req.node.empty()) return fail("bad_request", "missing field 'node'");
+  double nominal_vdd = 0.0;
+  try {
+    const auto& node = device::node_by_name(req.node);
+    req.node = std::string(node.name);  // Canonical spelling.
+    nominal_vdd = node.nominal_vdd;
+  } catch (const std::out_of_range&) {
+    return fail("bad_request", "unknown node '" + req.node + "'");
+  }
+  if (req.command == Command::kEnergy) {
+    req.vdd_grid.clear();  // The sweep spans the node's full range.
+  } else {
+    if (req.vdd_grid.empty()) {
+      return fail("bad_request", "missing field 'vdd_grid'");
+    }
+    for (const double v : req.vdd_grid) {
+      if (v < 0.3 || v > nominal_vdd + 1e-9) {
+        return fail("bad_request", "vdd out of [0.3, nominal] for node");
+      }
+    }
+  }
+  if (req.command == Command::kYield && req.t_clk_ns <= 0.0) {
+    return fail("bad_request", "yield requires t_clk_ns");
+  }
+  if (!samples_set) req.samples = default_samples(req.command);
+
+  ParseResult result;
+  result.ok = true;
+  result.request = std::move(req);
+  result.key = canonical_key(result.request);
+  return result;
+}
+
+}  // namespace ntv::service

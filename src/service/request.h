@@ -1,0 +1,97 @@
+// Service request parsing, validation and content-addressing.
+//
+// The daemon (docs/SERVICE.md) answers variation-analysis requests that
+// arrive as JSON documents. This module turns one request text into
+//
+//  1. a validated AnalysisRequest — command, tech node, Vdd grid and the
+//     reproduction knobs (backend, sampling plan, seed, sample budget) —
+//     with every omitted field materialized to its documented default,
+//     and
+//  2. a RequestKey: a canonical re-serialization (fixed field order,
+//     shortest-round-trip doubles, irrelevant knobs normalized away) plus
+//     its FNV-1a 64-bit content hash.
+//
+// Two requests that mean the same computation — regardless of field
+// order, float spelling ("0.50" vs "0.5"), or knobs the command ignores
+// (a seed on an analytic run) — canonicalize to the same key, which is
+// what makes the artifact cache and the in-flight coalescer effective.
+// The in-memory cache keys on the full canonical text (collision-proof);
+// the hex hash names spill files and appears in responses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ssta/backend.h"
+#include "stats/variance_reduction.h"
+
+namespace ntv::service {
+
+/// Analysis the daemon can run; mirrors the CLI subcommands that are
+/// pure functions of (inputs, seed) — docs/SERVICE.md#requests.
+enum class Command {
+  kStudy,     ///< Gate/chain variation point(s) (Figs. 1-2).
+  kDrop,      ///< 128-wide performance drop (Fig. 4).
+  kSpares,    ///< Structural duplication sizing (Table 1).
+  kMargin,    ///< Voltage-margin sizing (Table 2).
+  kCombined,  ///< Duplication + margin choices (Table 3).
+  kYield,     ///< Parametric yield at a clock (Section 5).
+  kEnergy,    ///< Energy/delay region sweep (Fig. 9).
+};
+
+std::string_view to_string(Command command) noexcept;
+std::optional<Command> parse_command(std::string_view name) noexcept;
+
+/// One validated request with every default materialized.
+struct AnalysisRequest {
+  Command command = Command::kStudy;
+  std::string node;              ///< Canonical tech-node name.
+  std::vector<double> vdd_grid;  ///< Non-empty except for energy.
+  double t_clk_ns = 0.0;         ///< Yield only: clock period [ns].
+  int spares = 0;                ///< Yield only: spare lanes.
+  ssta::Backend backend = ssta::Backend::kMonteCarlo;
+  stats::SamplingPlan plan;
+  std::uint64_t seed = 0x5EED0FD1EULL;
+  std::size_t samples = 0;  ///< Resolved per-command default when omitted.
+
+  /// True when the request is answered from closed forms (analytic
+  /// backend, or the sampling-free energy sweep) — the scheduler's
+  /// interactive tier.
+  bool interactive() const noexcept;
+};
+
+/// Canonical identity of a request.
+struct RequestKey {
+  std::string canonical;  ///< Canonical JSON text (cache key).
+  std::string hex;        ///< 16-hex-digit FNV-1a of `canonical`.
+};
+
+/// Outcome of parse_request: either a request + key, or an error the
+/// caller maps to the "bad_json" / "bad_request" wire codes.
+struct ParseResult {
+  bool ok = false;
+  std::string error_code;  ///< "bad_json" or "bad_request" when !ok.
+  std::string message;     ///< Human-readable reason when !ok.
+  AnalysisRequest request;
+  RequestKey key;
+};
+
+/// Parses and validates one request document. Unknown fields are
+/// rejected (a typo must not silently select a default), node names must
+/// resolve, and every Vdd must sit in the node's [0.3 V, nominal] range.
+ParseResult parse_request(std::string_view text);
+
+/// Canonical serialization of a validated request: one JSON object with
+/// alphabetically ordered keys, doubles in shortest-round-trip form, and
+/// knobs the command ignores normalized to fixed values (seed/sampling/
+/// samples on deterministic runs, t_clk_ns/spares outside yield) so
+/// equivalent requests collide in the cache.
+RequestKey canonical_key(const AnalysisRequest& request);
+
+/// FNV-1a 64-bit hash of `text`.
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace ntv::service

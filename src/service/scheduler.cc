@@ -1,0 +1,150 @@
+#include "service/scheduler.h"
+
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+namespace {
+
+obs::Counter& timeouts_metric() {
+  static obs::Counter& c = obs::counter("service.timeouts");
+  return c;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(exec::ThreadPool& pool, Options options,
+                     ErrorPayloadFn error_payload)
+    : pool_(pool),
+      options_(options),
+      error_payload_(std::move(error_payload)) {}
+
+void Scheduler::publish_gauges_locked() const {
+  obs::gauge("service.queue_depth")
+      .set(static_cast<double>(interactive_.size + batch_.size));
+  obs::gauge("service.inflight").set(static_cast<double>(inflight_));
+}
+
+bool Scheduler::pop_locked(Job* job, bool* interactive) {
+  for (Tier* tier : {&interactive_, &batch_}) {
+    if (tier->size == 0) continue;
+    const std::string client = std::move(tier->rr.front());
+    tier->rr.pop_front();
+    auto it = tier->by_client.find(client);
+    *job = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      tier->by_client.erase(it);
+    } else {
+      tier->rr.push_back(client);  // Client keeps its turn in rotation.
+    }
+    --tier->size;
+    *interactive = tier == &interactive_;
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::pump_locked(std::unique_lock<std::mutex>& lk) {
+  const std::size_t max_inflight =
+      options_.max_inflight != 0
+          ? options_.max_inflight
+          : static_cast<std::size_t>(pool_.thread_count());
+  while (inflight_ < max_inflight) {
+    Job job;
+    bool interactive = false;
+    if (!pop_locked(&job, &interactive)) break;
+    const bool expired =
+        options_.timeout.count() > 0 &&
+        std::chrono::steady_clock::now() - job.enqueued > options_.timeout;
+    if (expired) {
+      timeouts_metric().increment();
+      publish_gauges_locked();
+      lk.unlock();
+      job.done(JobResult{
+          false, error_payload_("timeout", "request timed out in queue")});
+      lk.lock();
+      continue;
+    }
+    ++inflight_;
+    publish_gauges_locked();
+    auto run = [this, work = std::move(job.work),
+                done = std::move(job.done)]() mutable {
+      JobResult result;
+      try {
+        result = work();
+      } catch (const std::exception& e) {
+        result = JobResult{false, error_payload_("internal", e.what())};
+      } catch (...) {
+        result = JobResult{
+            false, error_payload_("internal", "unknown evaluation error")};
+      }
+      done(std::move(result));
+      std::unique_lock<std::mutex> relk(mu_);
+      --inflight_;
+      publish_gauges_locked();
+      pump_locked(relk);
+      drained_cv_.notify_all();
+    };
+    // Dispatch outside mu_: a single-lane pool executes async() inline,
+    // and the completion tail above re-locks mu_.
+    lk.unlock();
+    pool_.async(std::move(run), interactive
+                                    ? exec::ThreadPool::Priority::kInteractive
+                                    : exec::ThreadPool::Priority::kBatch);
+    lk.lock();
+  }
+  publish_gauges_locked();
+}
+
+bool Scheduler::submit(const std::string& client, bool interactive,
+                       std::function<JobResult()> work,
+                       std::function<void(JobResult)> done) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (draining_) {
+    lk.unlock();
+    done(JobResult{false, error_payload_("shutting_down",
+                                         "daemon is draining")});
+    return false;
+  }
+  if (interactive_.size + batch_.size >= options_.max_queued) {
+    static obs::Counter& overloads = obs::counter("service.overloads");
+    overloads.increment();
+    lk.unlock();
+    done(JobResult{
+        false, error_payload_("overloaded", "admission queue is full")});
+    return false;
+  }
+  Tier& tier = interactive ? interactive_ : batch_;
+  auto& queue = tier.by_client[client];
+  if (queue.empty()) tier.rr.push_back(client);
+  queue.push_back(Job{client, std::chrono::steady_clock::now(),
+                      std::move(work), std::move(done)});
+  ++tier.size;
+  pump_locked(lk);
+  return true;
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  draining_ = true;
+  pump_locked(lk);  // Queued work still runs; only admission stops.
+  drained_cv_.wait(lk, [this] {
+    return inflight_ == 0 && interactive_.size == 0 && batch_.size == 0;
+  });
+}
+
+std::size_t Scheduler::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return interactive_.size + batch_.size;
+}
+
+std::size_t Scheduler::inflight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_;
+}
+
+}  // namespace ntv::service

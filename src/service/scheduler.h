@@ -1,0 +1,108 @@
+// Two-tier job scheduler bridging the service layer onto the shared
+// exec ThreadPool.
+//
+// Requests that miss the cache become jobs here. The scheduler adds the
+// three policies the raw pool does not have (docs/SERVICE.md#scheduling):
+//
+//  * Tiers: interactive jobs (analytic backend, energy sweeps — answers
+//    in microseconds-to-milliseconds) dispatch onto the pool's
+//    kInteractive priority queue and always leave this scheduler before
+//    queued batch (Monte Carlo) jobs.
+//  * Per-client fairness: within a tier, queued jobs are drained
+//    round-robin across client identities, so one client replaying a
+//    thousand sweeps cannot starve another's single request.
+//  * Admission + timeouts: at most `max_inflight` jobs run at once and
+//    at most `max_queued` wait (beyond that, submit() rejects with
+//    "overloaded"); a job that waited longer than its timeout when its
+//    turn comes is completed with a "timeout" result instead of running
+//    (lazy, dequeue-time expiry — an expired job never wastes pool
+//    time, but expiry is only observed when the job reaches the head).
+//
+// Jobs are plain closures: `work` computes a JobResult, `done` consumes
+// it (the service routes it through the coalescer). done() is invoked
+// exactly once per submitted job — from a pool lane, from the timeout
+// path, or from drain().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/thread_pool.h"
+#include "service/coalescer.h"
+
+namespace ntv::service {
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Concurrent jobs on the pool; 0 = the pool's lane count.
+    std::size_t max_inflight = 0;
+    std::size_t max_queued = 1024;  ///< Waiting jobs before "overloaded".
+    /// Queue-wait budget per job; <= 0 disables expiry.
+    std::chrono::milliseconds timeout{30000};
+  };
+
+  /// A timeout/overload/shutdown result carries this payload producer:
+  /// the service provides one that serializes its error envelope.
+  using ErrorPayloadFn = std::function<std::string(
+      const std::string& code, const std::string& message)>;
+
+  Scheduler(exec::ThreadPool& pool, Options options,
+            ErrorPayloadFn error_payload);
+
+  /// Queues `work` for `client`. `interactive` selects the tier. Returns
+  /// false (after completing the job with an "overloaded" or
+  /// "shutting_down" result) when admission fails.
+  bool submit(const std::string& client, bool interactive,
+              std::function<JobResult()> work,
+              std::function<void(JobResult)> done);
+
+  /// Stops admitting new jobs, then blocks until every queued and
+  /// in-flight job has completed (queued jobs still run — a drain
+  /// finishes promised work, it does not drop it).
+  void drain();
+
+  std::size_t queued() const;
+  std::size_t inflight() const;
+
+ private:
+  struct Job {
+    std::string client;
+    std::chrono::steady_clock::time_point enqueued;
+    std::function<JobResult()> work;
+    std::function<void(JobResult)> done;
+  };
+  /// One tier: per-client FIFOs drained round-robin.
+  struct Tier {
+    std::unordered_map<std::string, std::deque<Job>> by_client;
+    std::deque<std::string> rr;  ///< Clients with pending jobs, in turn order.
+    std::size_t size = 0;
+  };
+
+  /// Requires mu_ held. Pops the next job in policy order (interactive
+  /// tier first, round-robin within); false when both tiers are empty.
+  bool pop_locked(Job* job, bool* interactive);
+  /// Requires mu_ held. Launches jobs onto the pool while capacity and
+  /// work remain.
+  void pump_locked(std::unique_lock<std::mutex>& lk);
+  void publish_gauges_locked() const;
+
+  exec::ThreadPool& pool_;
+  Options options_;
+  ErrorPayloadFn error_payload_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  Tier interactive_;
+  Tier batch_;
+  std::size_t inflight_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace ntv::service

@@ -1,0 +1,215 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ntv::service {
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got == 0) return false;  // Orderly EOF.
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameRead read_frame(int fd, std::string* payload) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, sizeof header)) return FrameRead::kEof;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(header[0]) << 24) |
+      (static_cast<std::uint32_t>(header[1]) << 16) |
+      (static_cast<std::uint32_t>(header[2]) << 8) |
+      static_cast<std::uint32_t>(header[3]);
+  if (length == 0 || length > kMaxFrameBytes) return FrameRead::kBadFrame;
+  payload->resize(length);
+  return read_exact(fd, payload->data(), length) ? FrameRead::kOk
+                                                 : FrameRead::kEof;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  // One contiguous write: header + payload in separate send() calls
+  // would let Nagle hold the payload for the delayed ACK of the header
+  // (~40 ms per frame on loopback).
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.push_back(static_cast<char>(length >> 24));
+  frame.push_back(static_cast<char>(length >> 16));
+  frame.push_back(static_cast<char>(length >> 8));
+  frame.push_back(static_cast<char>(length));
+  frame += payload;
+  return write_exact(fd, frame.data(), frame.size());
+}
+
+namespace {
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+}  // namespace
+
+Server::Server(Service& service, Options options)
+    : service_(service), options_(options) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("ntvsim serve: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    std::perror("ntvsim serve: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = exec::spawn_thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::reap_locked() {
+  // The Conn (not its loop) owns the fd: it is closed only here and in
+  // stop(), strictly after the reader thread joined, so a kernel-reused
+  // descriptor can never be shutdown() by mistake.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll with a timeout so stop() is observed without a wakeup pipe.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) {
+      std::lock_guard<std::mutex> lk(conn_mu_);
+      reap_locked();
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_nodelay(fd);  // Interactive-tier latency is the product here.
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    const std::uint64_t id =
+        connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::counter("service.connections").increment();
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    reap_locked();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conn->thread =
+        exec::spawn_thread([this, raw, id] { connection_loop(raw, id); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::connection_loop(Conn* conn, std::uint64_t id) {
+  // The fairness identity: one scheduler rotation slot per connection.
+  char client[32];
+  std::snprintf(client, sizeof client, "conn-%llu",
+                static_cast<unsigned long long>(id));
+  std::string request;
+  for (;;) {
+    const FrameRead read = read_frame(conn->fd, &request);
+    if (read == FrameRead::kEof) break;
+    if (read == FrameRead::kBadFrame) {
+      // Framing is unrecoverable (the stream offset is lost): answer
+      // once, then hang up.
+      write_frame(conn->fd,
+                  error_payload("bad_frame",
+                                "frame length must be in [1, 1048576]"));
+      break;
+    }
+    const std::string response =
+        service_.handle_request_text(request, client);
+    if (!write_frame(conn->fd, response)) break;
+  }
+  ::shutdown(conn->fd, SHUT_WR);  // Flush FIN; close happens at reap.
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::stop() {
+  const bool already = stop_.exchange(true, std::memory_order_acq_rel);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (already) return;
+  // Unblock every connection's pending read; in-flight requests finish
+  // and flush their responses before the loops exit.
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    // fds stay open until their thread joined (see reap_locked), so
+    // this shutdown can never hit a recycled descriptor.
+    for (const auto& conn : conns_) ::shutdown(conn->fd, SHUT_RD);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+}  // namespace ntv::service

@@ -1,0 +1,101 @@
+// TCP front end: length-prefixed JSON frames over loopback.
+//
+// Wire protocol (docs/SERVICE.md#wire-protocol): each message is one
+// frame — a 4-byte big-endian unsigned payload length followed by that
+// many bytes of UTF-8 JSON. A client writes one request frame and reads
+// exactly one response frame; frames on one connection are processed
+// strictly in order. Frames above 1 MiB (or of length zero) are answered
+// with a "bad_frame" error and the connection is closed.
+//
+// Threading: the listener and each accepted connection run on dedicated
+// exec::spawn_thread threads (they block on I/O and must never occupy a
+// pool lane); all computation happens inside Service, on the shared
+// pool. Graceful shutdown (stop()): close the listener, shutdown(2) the
+// read side of every live connection so in-flight requests finish and
+// their responses flush, join all threads. Service::drain() afterwards
+// completes anything still queued.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace ntv::service {
+
+/// Frames above this are rejected as "bad_frame".
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+class Server {
+ public:
+  struct Options {
+    int port = 0;  ///< 0 = ephemeral; read the bound port from port().
+  };
+
+  /// The server serves `service`; the caller keeps ownership and calls
+  /// Service::drain() after stop().
+  Server(Service& service, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1:<port> and starts the accept loop. Returns false
+  /// (with a message on stderr) when the socket cannot be bound.
+  bool start();
+
+  /// Graceful shutdown: stop accepting, unblock connection reads, join
+  /// every thread. Idempotent.
+  void stop();
+
+  /// The bound port (valid after start()).
+  int port() const noexcept { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  std::uint64_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One live connection: its socket, reader thread and exit flag (set
+  /// by the loop so the acceptor can reap finished threads).
+  struct Conn {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void connection_loop(Conn* conn, std::uint64_t id);
+  /// Joins and discards connections whose loop has exited.
+  void reap_locked();
+
+  Service& service_;
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+/// Result of reading one frame off a socket.
+enum class FrameRead {
+  kOk,
+  kEof,       ///< Orderly close (or transport error) — hang up quietly.
+  kBadFrame,  ///< Length 0 or > kMaxFrameBytes — answer "bad_frame".
+};
+
+/// Frame I/O helpers shared by server and client. `read_frame` enforces
+/// kMaxFrameBytes; `write_frame` returns false on transport error.
+FrameRead read_frame(int fd, std::string* payload);
+bool write_frame(int fd, const std::string& payload);
+
+}  // namespace ntv::service

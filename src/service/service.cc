@@ -1,0 +1,101 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "service/engine.h"
+
+namespace ntv::service {
+
+namespace {
+
+obs::Counter& requests_metric() {
+  static obs::Counter& c = obs::counter("service.requests");
+  return c;
+}
+obs::Counter& errors_metric() {
+  static obs::Counter& c = obs::counter("service.errors");
+  return c;
+}
+
+/// Success envelope: splices the canonical request and the engine's
+/// results fragment. Contains nothing request-instance-specific, so
+/// every consumer of the same canonical key reads identical bytes.
+std::string ok_payload(const RequestKey& key, const std::string& results) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("status").value("ok");
+  w.key("key").value(key.hex);
+  w.key("request").raw(key.canonical);
+  w.key("results").raw(results);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+std::string error_payload(const std::string& code,
+                          const std::string& message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(1);
+  w.key("status").value("error");
+  w.key("code").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  return w.str();
+}
+
+Service::Service(Options options, exec::ThreadPool& pool)
+    : cache_(options.cache),
+      scheduler_(pool, options.scheduling, error_payload) {}
+
+std::string Service::handle_request_text(const std::string& text,
+                                         const std::string& client) {
+  const auto start = std::chrono::steady_clock::now();
+  requests_metric().increment();
+
+  std::string response;
+  const ParseResult parsed = parse_request(text);
+  if (!parsed.ok) {
+    errors_metric().increment();
+    response = error_payload(parsed.error_code, parsed.message);
+  } else if (auto cached = cache_.get(parsed.key)) {
+    response = std::move(*cached);
+  } else {
+    // Join the in-flight table; at most one thread leads each key.
+    const Coalescer::Ticket ticket = coalescer_.join(parsed.key.canonical);
+    if (ticket.leader) {
+      scheduler_.submit(
+          client, parsed.request.interactive(),
+          [request = parsed.request, key = parsed.key]() {
+            const EngineResult r = evaluate(request);
+            if (!r.ok) {
+              return JobResult{false, error_payload("internal", r.error)};
+            }
+            return JobResult{true, ok_payload(key, r.results)};
+          },
+          [this, key = parsed.key](JobResult result) {
+            // Cache BEFORE retiring the in-flight entry: a duplicate
+            // arriving in between must hit one of the two (coalescer.h).
+            if (result.ok) cache_.put(key, result.payload);
+            coalescer_.complete(key.canonical, std::move(result));
+          });
+    }
+    const JobResult result = ticket.result.get();
+    if (!result.ok) errors_metric().increment();
+    response = result.payload;
+  }
+
+  latency_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return response;
+}
+
+void Service::drain() { scheduler_.drain(); }
+
+}  // namespace ntv::service

@@ -1,0 +1,71 @@
+// The service core: request text in, response text out.
+//
+// Service glues the pipeline together — parse/canonicalize (request.h),
+// artifact cache (artifact_cache.h), in-flight coalescer (coalescer.h),
+// two-tier scheduler (scheduler.h), evaluation engine (engine.h) — and
+// is deliberately socket-free: the wire server (server.h) calls
+// handle_request_text() per decoded frame, and the unit tests call it
+// directly from plain threads (tests/service). One instance serves many
+// threads concurrently.
+//
+// Response envelope (docs/SERVICE.md#responses):
+//   ok:    {"schema_version":1,"status":"ok","key":"<16 hex>",
+//           "request":{<canonical>},"results":{...}}
+//   error: {"schema_version":1,"status":"error","code":"<code>",
+//           "message":"..."}
+//
+// Success payloads are pure functions of the canonical request — no
+// ids, no timestamps, no metrics — so a cache hit, a coalesced join and
+// a fresh computation are byte-indistinguishable.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "exec/thread_pool.h"
+#include "service/artifact_cache.h"
+#include "service/coalescer.h"
+#include "service/latency.h"
+#include "service/scheduler.h"
+
+namespace ntv::service {
+
+/// Serializes one error envelope (also used by the server for frame
+/// errors and by the scheduler's timeout/overload paths).
+std::string error_payload(const std::string& code,
+                          const std::string& message);
+
+class Service {
+ public:
+  struct Options {
+    ArtifactCache::Options cache;
+    Scheduler::Options scheduling;
+  };
+
+  explicit Service(Options options,
+                   exec::ThreadPool& pool = exec::ThreadPool::global());
+
+  /// Answers one request document. `client` scopes the scheduler's
+  /// fairness rotation (the server passes one identity per connection).
+  /// Blocks until the response is available; always returns a complete
+  /// envelope (success or error).
+  std::string handle_request_text(const std::string& text,
+                                  const std::string& client);
+
+  /// Stops admitting jobs and waits for queued + in-flight work.
+  void drain();
+
+  const LatencyHistogram& latency() const noexcept { return latency_; }
+  ArtifactCache& cache() noexcept { return cache_; }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+
+ private:
+  ArtifactCache cache_;
+  Coalescer coalescer_;
+  Scheduler scheduler_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace ntv::service

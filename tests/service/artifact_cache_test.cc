@@ -1,0 +1,115 @@
+// ArtifactCache bounds, LRU order and disk spill (service/artifact_cache.h).
+// Keys are opaque to the cache, so these tests use hand-built RequestKeys.
+#include "service/artifact_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "service/request.h"
+
+namespace ntv::service {
+namespace {
+
+RequestKey key(const std::string& canonical) {
+  RequestKey k;
+  k.canonical = canonical;
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(canonical)));
+  k.hex = hex;
+  return k;
+}
+
+TEST(ArtifactCache, HitReturnsStoredPayloadAndMissReturnsNullopt) {
+  ArtifactCache::Options options;
+  ArtifactCache cache(options);
+  const RequestKey a = key("a");
+  EXPECT_FALSE(cache.get(a).has_value());
+  cache.put(a, "payload-a");
+  const auto hit = cache.get(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-a");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 9u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedAtEntryBound) {
+  ArtifactCache::Options options;
+  options.max_entries = 2;
+  ArtifactCache cache(options);
+  cache.put(key("a"), "A");
+  cache.put(key("b"), "B");
+  ASSERT_TRUE(cache.get(key("a")).has_value());  // Refresh a: b is LRU.
+  cache.put(key("c"), "C");
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_TRUE(cache.get(key("a")).has_value());
+  EXPECT_TRUE(cache.get(key("c")).has_value());
+  EXPECT_FALSE(cache.get(key("b")).has_value());
+}
+
+TEST(ArtifactCache, EvictsAtByteBound) {
+  ArtifactCache::Options options;
+  options.max_bytes = 10;
+  ArtifactCache cache(options);
+  cache.put(key("a"), "aaaaaa");  // 6 bytes.
+  cache.put(key("b"), "bbbbbb");  // 12 total: a must go.
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_LE(cache.bytes(), 10u);
+  EXPECT_FALSE(cache.get(key("a")).has_value());
+  EXPECT_TRUE(cache.get(key("b")).has_value());
+}
+
+TEST(ArtifactCache, PutOfExistingKeyReplacesPayloadAndAdjustsBytes) {
+  ArtifactCache::Options options;
+  ArtifactCache cache(options);
+  cache.put(key("a"), "short");
+  cache.put(key("a"), "a-much-longer-payload");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 21u);
+  EXPECT_EQ(*cache.get(key("a")), "a-much-longer-payload");
+}
+
+TEST(ArtifactCache, EvictionSpillsToDiskAndGetReloads) {
+  ArtifactCache::Options options;
+  options.max_entries = 1;
+  options.spill_dir = testing::TempDir();
+  ArtifactCache cache(options);
+  const RequestKey a = key("spill-a");
+  cache.put(a, "artifact-a");
+  cache.put(key("spill-b"), "artifact-b");  // Evicts and spills a.
+  EXPECT_EQ(cache.entries(), 1u);
+  const auto reloaded = cache.get(a);
+  ASSERT_TRUE(reloaded.has_value()) << "evicted entry must unspill";
+  EXPECT_EQ(*reloaded, "artifact-a");
+}
+
+TEST(ArtifactCache, UnspillRejectsFileWhoseCanonicalKeyDiffers) {
+  // A spill file is named by the 64-bit hash; the canonical key on its
+  // first line is what makes a collision harmless. A file whose first
+  // line disagrees must read as a miss, not as another key's artifact.
+  ArtifactCache::Options options;
+  options.spill_dir = testing::TempDir();
+  ArtifactCache cache(options);
+  const RequestKey a = key("honest-key");
+  {
+    std::ofstream f(options.spill_dir + "/" + a.hex + ".json");
+    f << "some-other-key\n" << "stale-artifact";
+  }
+  EXPECT_FALSE(cache.get(a).has_value());
+}
+
+TEST(ArtifactCache, NoSpillDirMeansEvictionIsFinal) {
+  ArtifactCache::Options options;
+  options.max_entries = 1;
+  ArtifactCache cache(options);
+  const RequestKey a = key("gone-a");
+  cache.put(a, "A");
+  cache.put(key("gone-b"), "B");
+  EXPECT_FALSE(cache.get(a).has_value());
+}
+
+}  // namespace
+}  // namespace ntv::service

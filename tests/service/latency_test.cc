@@ -1,0 +1,50 @@
+// Latency histogram: cumulative bucket counters and interpolated
+// quantile gauges (service/latency.h).
+#include "service/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace ntv::service {
+namespace {
+
+constexpr std::int64_t kMs = 1000000;  // ns per ms.
+
+TEST(LatencyHistogram, BucketsAreCumulative) {
+  obs::Counter& le_1ms = obs::counter("service.latency.le_1ms");
+  obs::Counter& le_10ms = obs::counter("service.latency.le_10ms");
+  obs::Counter& le_inf = obs::counter("service.latency.le_inf");
+  const auto b1 = le_1ms.value();
+  const auto b10 = le_10ms.value();
+  const auto binf = le_inf.value();
+
+  LatencyHistogram h;
+  h.record(kMs / 2);        // 0.5 ms -> le_1ms and everything above.
+  h.record(5 * kMs);        // 5 ms -> le_10ms and above, not le_1ms.
+  h.record(60 * 1000 * kMs);  // 60 s -> only le_inf.
+
+  EXPECT_EQ(le_1ms.value() - b1, 1);
+  EXPECT_EQ(le_10ms.value() - b10, 2);
+  EXPECT_EQ(le_inf.value() - binf, 3);
+}
+
+TEST(LatencyHistogram, QuantileGaugesTrackTheDistribution) {
+  obs::Gauge& p50 = obs::gauge("service.latency.p50_ms");
+  obs::Gauge& p99 = obs::gauge("service.latency.p99_ms");
+  LatencyHistogram h;
+  // 99 fast samples in (1, 2] ms and one in (500, 1000] ms: the median
+  // sits in the 2 ms bucket, the p99 at or above it, and the tail gauge
+  // reflects the slow bucket's range.
+  for (int i = 0; i < 99; ++i) h.record(3 * kMs / 2);
+  h.record(700 * kMs);
+  EXPECT_GT(p50.value(), 1.0);
+  EXPECT_LE(p50.value(), 2.0);
+  EXPECT_GE(p99.value(), p50.value());
+  EXPECT_LE(p99.value(), 1000.0);
+}
+
+}  // namespace
+}  // namespace ntv::service

@@ -1,0 +1,181 @@
+// Request canonicalization and content-addressing (service/request.h):
+// the cache and coalescer are only as good as the key, so these tests
+// pin the equivalence classes — field order, float spelling and ignored
+// knobs must not split a key; every meaningful field must.
+#include "service/request.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ntv::service {
+namespace {
+
+std::string key_of(const std::string& text) {
+  const ParseResult r = parse_request(text);
+  EXPECT_TRUE(r.ok) << text << " -> " << r.message;
+  return r.key.canonical;
+}
+
+TEST(RequestKey, StableAcrossRepeatedParses) {
+  const std::string text =
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55]})";
+  const ParseResult a = parse_request(text);
+  const ParseResult b = parse_request(text);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.key.canonical, b.key.canonical);
+  EXPECT_EQ(a.key.hex, b.key.hex);
+  EXPECT_EQ(a.key.hex.size(), 16u);
+}
+
+TEST(RequestKey, FieldOrderDoesNotMatter) {
+  EXPECT_EQ(
+      key_of(R"({"command":"spares","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("samples":5000,"seed":7})"),
+      key_of(R"({"seed":7,"vdd_grid":[0.55],"samples":5000,)"
+             R"("node":"90nm GP","command":"spares"})"));
+}
+
+TEST(RequestKey, FloatSpellingDoesNotMatter) {
+  EXPECT_EQ(
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.50]})"),
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.5]})"));
+}
+
+TEST(RequestKey, AnalyticRunsIgnoreSamplingKnobs) {
+  // The analytic backend consumes no randomness: seed, sampling plan and
+  // sample budget must normalize away so spelling them cannot split the
+  // cache key.
+  const std::string bare =
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("backend":"analytic"})");
+  EXPECT_EQ(bare,
+            key_of(R"({"command":"study","node":"90nm GP",)"
+                   R"("vdd_grid":[0.55],"backend":"analytic","seed":123,)"
+                   R"("samples":777,"sampling":"qmc"})"));
+}
+
+TEST(RequestKey, MonteCarloRunsKeepSamplingKnobs) {
+  const std::string seed1 =
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("seed":1})");
+  const std::string seed2 =
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("seed":2})");
+  EXPECT_NE(seed1, seed2);
+}
+
+TEST(RequestKey, NonYieldCommandsIgnoreYieldKnobs) {
+  // spares / t_clk_ns only steer the yield command; on study they
+  // normalize to fixed values. (t_clk_ns is still validated.)
+  EXPECT_EQ(
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55]})"),
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("t_clk_ns":50,"spares":3})"));
+  EXPECT_NE(
+      key_of(R"({"command":"yield","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("t_clk_ns":50})"),
+      key_of(R"({"command":"yield","node":"90nm GP","vdd_grid":[0.55],)"
+             R"("t_clk_ns":60})"));
+}
+
+TEST(RequestKey, EnergyIgnoresVddGrid) {
+  // The energy sweep spans the node's full range; a spelled grid must
+  // not fragment the cache.
+  EXPECT_EQ(key_of(R"({"command":"energy","node":"90nm GP"})"),
+            key_of(R"({"command":"energy","node":"90nm GP",)"
+                   R"("vdd_grid":[0.55]})"));
+}
+
+TEST(RequestKey, MeaningfulFieldsSplitTheKey) {
+  const std::string base =
+      key_of(R"({"command":"study","node":"90nm GP","vdd_grid":[0.55]})");
+  EXPECT_NE(base, key_of(R"({"command":"drop","node":"90nm GP",)"
+                         R"("vdd_grid":[0.55]})"));
+  EXPECT_NE(base, key_of(R"({"command":"study","node":"22nm PTM HP",)"
+                         R"("vdd_grid":[0.55]})"));
+  EXPECT_NE(base, key_of(R"({"command":"study","node":"90nm GP",)"
+                         R"("vdd_grid":[0.6]})"));
+  EXPECT_NE(base, key_of(R"({"command":"study","node":"90nm GP",)"
+                         R"("vdd_grid":[0.55],"samples":4000})"));
+  EXPECT_NE(base, key_of(R"({"command":"study","node":"90nm GP",)"
+                         R"("vdd_grid":[0.55],"backend":"analytic"})"));
+}
+
+TEST(RequestKey, HexIsTheFnv1aOfTheCanonicalText) {
+  const ParseResult r = parse_request(
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55]})");
+  ASSERT_TRUE(r.ok);
+  char expect[17];
+  std::snprintf(expect, sizeof expect, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(r.key.canonical)));
+  EXPECT_EQ(r.key.hex, expect);
+}
+
+TEST(RequestParse, DefaultsAreMaterialized) {
+  const ParseResult study = parse_request(
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55]})");
+  ASSERT_TRUE(study.ok);
+  EXPECT_EQ(study.request.samples, 2000u);
+  EXPECT_EQ(study.request.backend, ssta::Backend::kMonteCarlo);
+  const ParseResult spares = parse_request(
+      R"({"command":"spares","node":"90nm GP","vdd_grid":[0.55]})");
+  ASSERT_TRUE(spares.ok);
+  EXPECT_EQ(spares.request.samples, 10000u);
+}
+
+TEST(RequestParse, InteractiveTierIsAnalyticOrEnergy) {
+  EXPECT_TRUE(parse_request(R"({"command":"study","node":"90nm GP",)"
+                            R"("vdd_grid":[0.55],"backend":"analytic"})")
+                  .request.interactive());
+  EXPECT_TRUE(parse_request(R"({"command":"energy","node":"90nm GP"})")
+                  .request.interactive());
+  EXPECT_FALSE(parse_request(R"({"command":"study","node":"90nm GP",)"
+                             R"("vdd_grid":[0.55]})")
+                   .request.interactive());
+}
+
+TEST(RequestParse, RejectsUnknownFields) {
+  const ParseResult r = parse_request(
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+      R"("sample":9})");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code, "bad_request");
+  EXPECT_NE(r.message.find("sample"), std::string::npos);
+}
+
+TEST(RequestParse, ErrorCodes) {
+  EXPECT_EQ(parse_request("not json").error_code, "bad_json");
+  EXPECT_EQ(parse_request("[1,2]").error_code, "bad_json");
+  EXPECT_EQ(parse_request(R"({"command":"frobnicate","node":"90nm GP",)"
+                          R"("vdd_grid":[0.55]})")
+                .error_code,
+            "bad_request");
+  EXPECT_EQ(parse_request(R"({"command":"study","node":"65nm",)"
+                          R"("vdd_grid":[0.55]})")
+                .error_code,
+            "bad_request");
+  // 22 nm nominal is 0.8 V: 0.9 V is out of range there, fine on 90 nm.
+  EXPECT_FALSE(parse_request(R"({"command":"study","node":"22nm PTM HP",)"
+                             R"("vdd_grid":[0.9]})")
+                   .ok);
+  EXPECT_TRUE(parse_request(R"({"command":"study","node":"90nm GP",)"
+                            R"("vdd_grid":[0.9]})")
+                  .ok);
+  EXPECT_FALSE(parse_request(R"({"command":"study","node":"90nm GP",)"
+                             R"("vdd_grid":[0.2]})")
+                   .ok);
+  EXPECT_FALSE(parse_request(R"({"command":"yield","node":"90nm GP",)"
+                             R"("vdd_grid":[0.55]})")
+                   .ok)
+      << "yield without t_clk_ns must be rejected";
+  EXPECT_FALSE(parse_request(R"({"command":"study","node":"90nm GP"})").ok)
+      << "missing vdd_grid must be rejected outside energy";
+  EXPECT_FALSE(parse_request(R"({"command":"study","node":"90nm GP",)"
+                             R"("vdd_grid":[0.55],"samples":0})")
+                   .ok);
+}
+
+}  // namespace
+}  // namespace ntv::service

@@ -1,0 +1,141 @@
+// Service core end-to-end, socket-free (service/service.h): the unit
+// tests drive handle_request_text() from plain threads, which is exactly
+// what the wire server does per decoded frame. Counter assertions use
+// deltas — the obs registry is process-global.
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace ntv::service {
+namespace {
+
+Service::Options small_options() {
+  Service::Options options;
+  options.scheduling.timeout = std::chrono::milliseconds(60000);
+  return options;
+}
+
+std::int64_t computed() { return obs::counter("service.computed").value(); }
+
+bool is_ok(const std::string& response) {
+  return response.rfind("{\"schema_version\":1,\"status\":\"ok\"", 0) == 0;
+}
+
+TEST(Service, AnswersAnalyticStudyWithOkEnvelope) {
+  Service svc(small_options());
+  const std::string response = svc.handle_request_text(
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+      R"("backend":"analytic"})",
+      "t");
+  EXPECT_TRUE(is_ok(response)) << response;
+  EXPECT_NE(response.find("\"key\":\""), std::string::npos);
+  EXPECT_NE(response.find("\"results\":"), std::string::npos);
+  // Byte-identity forbids run-specific content in success payloads.
+  EXPECT_EQ(response.find("\"timing"), std::string::npos);
+}
+
+TEST(Service, ErrorEnvelopesCarryTheParseErrorCode) {
+  Service svc(small_options());
+  EXPECT_NE(svc.handle_request_text("{oops", "t").find(
+                "\"code\":\"bad_json\""),
+            std::string::npos);
+  EXPECT_NE(svc.handle_request_text(
+                   R"({"command":"study","node":"90nm GP",)"
+                   R"("vdd_grid":[0.55],"sample":1})",
+                   "t")
+                .find("\"code\":\"bad_request\""),
+            std::string::npos);
+}
+
+TEST(Service, RepeatedRequestIsServedFromCacheByteIdentically) {
+  Service svc(small_options());
+  obs::Counter& hits = obs::counter("service.cache.hits");
+  const auto computed_before = computed();
+  const auto hits_before = hits.value();
+
+  const std::string request =
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.55],)"
+      R"("samples":200,"backend":"mc"})";
+  const std::string first = svc.handle_request_text(request, "t");
+  const std::string second = svc.handle_request_text(request, "t");
+  ASSERT_TRUE(is_ok(first)) << first;
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(computed() - computed_before, 1);
+  EXPECT_EQ(hits.value() - hits_before, 1);
+}
+
+TEST(Service, EquivalentSpellingsShareOneComputation) {
+  Service svc(small_options());
+  const auto computed_before = computed();
+  // Field order, float spelling and an irrelevant seed (analytic) all
+  // canonicalize away.
+  const std::string a = svc.handle_request_text(
+      R"({"command":"study","node":"90nm GP","vdd_grid":[0.50],)"
+      R"("backend":"analytic"})",
+      "t");
+  const std::string b = svc.handle_request_text(
+      R"({"backend":"analytic","vdd_grid":[0.5],"seed":99,)"
+      R"("node":"90nm GP","command":"study"})",
+      "t");
+  ASSERT_TRUE(is_ok(a)) << a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(computed() - computed_before, 1);
+}
+
+TEST(Service, ConcurrentIdenticalRequestsComputeOnceAndMatchBytes) {
+  constexpr int kThreads = 8;
+  Service svc(small_options());
+  const auto computed_before = computed();
+
+  const std::string request =
+      R"({"command":"spares","node":"90nm GP","vdd_grid":[0.55],)"
+      R"("samples":5000})";
+  std::vector<std::string> responses(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.push_back(exec::spawn_thread([&, i] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) {
+      }
+      responses[static_cast<std::size_t>(i)] =
+          svc.handle_request_text(request, "client-" + std::to_string(i));
+    }));
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(is_ok(responses[0])) << responses[0];
+  for (const auto& response : responses) {
+    EXPECT_EQ(response, responses[0]);
+  }
+  // One sweep total: concurrent duplicates coalesce onto the leader (a
+  // straggler that arrives after completion hits the cache instead —
+  // either way nothing recomputes).
+  EXPECT_EQ(computed() - computed_before, 1);
+}
+
+TEST(Service, DrainCompletesAndSubsequentRequestsAreRejected) {
+  Service svc(small_options());
+  const std::string request =
+      R"({"command":"energy","node":"90nm GP"})";
+  EXPECT_TRUE(is_ok(svc.handle_request_text(request, "t")));
+  svc.drain();
+  // New keys need the scheduler and are turned away...
+  const std::string after = svc.handle_request_text(
+      R"({"command":"energy","node":"22nm PTM HP"})", "t");
+  EXPECT_NE(after.find("\"code\":\"shutting_down\""), std::string::npos);
+  // ...but cached artifacts still answer (reads need no scheduling).
+  EXPECT_TRUE(is_ok(svc.handle_request_text(request, "t")));
+}
+
+}  // namespace
+}  // namespace ntv::service

@@ -138,6 +138,38 @@ class CheckReportTest(unittest.TestCase):
         code, _ = run_main(a, "--min-counter", "soda.fabric.events", "1")
         self.assertEqual(code, 1)
 
+    def test_min_counter_dotted_service_names(self):
+        # The service-smoke CI job gates on the daemon's dotted counter
+        # names; the floor must read them as literal keys of
+        # metrics.counters, not as nested paths.
+        a = self.counter_report(
+            "a.json",
+            {"service.requests": 20, "service.coalesced_joins": 15,
+             "service.cache.hits": 3, "service.computed": 2})
+        code, out = run_main(
+            a, "--min-counter", "service.coalesced_joins", "15",
+            "--min-counter", "service.cache.hits", "1")
+        self.assertEqual(code, 0, out)
+        code, out = run_main(
+            a, "--min-counter", "service.cache.hits", "4")
+        self.assertEqual(code, 1)
+        self.assertIn("service.cache.hits=3", out)
+
+    def test_range_reaches_dotted_gauge_names(self):
+        # Bench reports publish the service latency quantiles as gauges
+        # whose names contain dots; --range must resolve them through the
+        # longest-joined-prefix lookup.
+        doc = self.report({"replay_hit_rate": 0.988})
+        doc["metrics"]["gauges"] = {"service.latency.p99_ms": 12.5}
+        a = self.write("a.json", doc)
+        code, out = run_main(
+            a, "--range", "results.values.replay_hit_rate", "0.5", "1",
+            "--range", "metrics.gauges.service.latency.p99_ms", "0", "1e9")
+        self.assertEqual(code, 0, out)
+        code, _ = run_main(
+            a, "--range", "results.values.replay_hit_rate", "0.99", "1")
+        self.assertEqual(code, 1)
+
     def test_min_counter_repeats_and_composes_with_min_counters(self):
         a = self.counter_report(
             "a.json", {"soda.fabric.events": 10, "soda.mem.accesses": 4})

@@ -10,6 +10,8 @@
 //   ntvsim yield    <node> <vdd> <t_ns>   parametric yield at a clock
 //   ntvsim energy   <node>                Fig. 9 energy/delay sweep
 //   ntvsim optimize <node> <t_ns>         min-energy operating point
+//   ntvsim serve    [serve flags]         variation-analysis daemon
+//                                         (docs/SERVICE.md)
 //
 // Global flags (anywhere on the command line):
 //   --report <file.json>   write a machine-readable run report (manifest,
@@ -39,12 +41,16 @@
 //
 // <node> is one of: "90nm GP", "45nm GP", "32nm PTM HP", "22nm PTM HP"
 // (quote it). Voltages in volts, clock periods in nanoseconds.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/body_bias.h"
@@ -56,6 +62,8 @@
 #include "energy/energy_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "service/server.h"
+#include "service/service.h"
 #include "simd/simd.h"
 #include "ssta/backend.h"
 #include "stats/variance_reduction.h"
@@ -109,7 +117,13 @@ int usage() {
       "  bias     <node> <vdd>         adaptive body bias sizing\n"
       "  yield    <node> <vdd> <t_ns>  parametric yield at a clock\n"
       "  energy   <node>               energy/delay regions\n"
-      "  optimize <node> <t_ns>        min-energy operating point\n");
+      "  optimize <node> <t_ns>        min-energy operating point\n"
+      "  serve    [--port <n>] [--port-file <path>]\n"
+      "           [--cache-entries <n>] [--cache-bytes <n>]\n"
+      "           [--spill-dir <path>] [--max-inflight <n>]\n"
+      "           [--max-queued <n>] [--timeout-ms <n>]\n"
+      "                                analysis daemon (docs/SERVICE.md);\n"
+      "                                drains + exits on SIGTERM/SIGINT\n");
   return 2;
 }
 
@@ -413,6 +427,98 @@ int cmd_optimize(Ctx& ctx, const device::TechNode& node, double t_ns) {
   return 0;
 }
 
+/// SIGTERM/SIGINT latch for the serve loop (sig_atomic_t: the handler
+/// may only touch async-signal-safe state).
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
+/// `ntvsim serve`: the long-running analysis daemon (docs/SERVICE.md).
+/// Binds loopback, serves frames until SIGTERM/SIGINT, then drains the
+/// scheduler and (with --report) writes the shutdown report whose
+/// service.* counters the CI smoke job gates on.
+int cmd_serve(Ctx& ctx, const std::vector<char*>& args) {
+  service::Service::Options options;
+  service::Server::Options server_options;
+  std::string port_file;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const char* a = args[i];
+    const char* value = nullptr;
+    auto next_value = [&]() {
+      if (i + 1 >= args.size()) return false;
+      value = args[++i];
+      return true;
+    };
+    auto parsed_count = [&](long long* out) {
+      char* end = nullptr;
+      *out = std::strtoll(value, &end, 0);
+      return end != value && *end == '\0' && *out >= 0;
+    };
+    long long n = 0;
+    if (std::strcmp(a, "--port") == 0) {
+      if (!next_value() || !parsed_count(&n) || n > 65535) return usage();
+      server_options.port = static_cast<int>(n);
+    } else if (std::strcmp(a, "--port-file") == 0) {
+      if (!next_value()) return usage();
+      port_file = value;
+    } else if (std::strcmp(a, "--cache-entries") == 0) {
+      if (!next_value() || !parsed_count(&n) || n < 1) return usage();
+      options.cache.max_entries = static_cast<std::size_t>(n);
+    } else if (std::strcmp(a, "--cache-bytes") == 0) {
+      if (!next_value() || !parsed_count(&n) || n < 1) return usage();
+      options.cache.max_bytes = static_cast<std::size_t>(n);
+    } else if (std::strcmp(a, "--spill-dir") == 0) {
+      if (!next_value()) return usage();
+      options.cache.spill_dir = value;
+    } else if (std::strcmp(a, "--max-inflight") == 0) {
+      if (!next_value() || !parsed_count(&n)) return usage();
+      options.scheduling.max_inflight = static_cast<std::size_t>(n);
+    } else if (std::strcmp(a, "--max-queued") == 0) {
+      if (!next_value() || !parsed_count(&n) || n < 1) return usage();
+      options.scheduling.max_queued = static_cast<std::size_t>(n);
+    } else if (std::strcmp(a, "--timeout-ms") == 0) {
+      if (!next_value() || !parsed_count(&n)) return usage();
+      options.scheduling.timeout = std::chrono::milliseconds(n);
+    } else {
+      std::fprintf(stderr, "ntvsim serve: unknown flag '%s'\n", a);
+      return usage();
+    }
+  }
+
+  service::Service svc(options);
+  service::Server server(svc, server_options);
+  if (!server.start()) return 1;
+  if (!port_file.empty()) {
+    // The ephemeral-port handshake: smoke drivers read the bound port
+    // back from this file.
+    if (!obs::write_text_file(port_file,
+                              std::to_string(server.port()) + "\n")) {
+      std::fprintf(stderr, "ntvsim serve: cannot write '%s'\n",
+                   port_file.c_str());
+      server.stop();
+      return 1;
+    }
+  }
+  say(ctx, "ntvsim serve: listening on 127.0.0.1:%d\n", server.port());
+
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGINT, serve_stop_handler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  say(ctx, "ntvsim serve: draining...\n");
+  server.stop();  // Stop accepting, finish in-flight, join I/O threads.
+  svc.drain();    // Run down anything still queued.
+  say(ctx, "ntvsim serve: drained after %llu connections\n",
+      static_cast<unsigned long long>(server.connections()));
+
+  if (auto* w = ctx.w()) {
+    w->key("drained").value(true);
+    w->key("port").value(server.port());
+    w->key("connections").value(server.connections());
+  }
+  return 0;
+}
+
 /// Extracts the global flags from argv (modifying it in place) and
 /// returns false on malformed flag syntax.
 bool parse_global_flags(std::vector<char*>& args, Ctx& ctx,
@@ -514,6 +620,7 @@ int dispatch(Ctx& ctx, const std::vector<char*>& args) {
   const std::string command = args[1];
   obs::counter("cli.commands").increment();
   if (command == "nodes") return cmd_nodes(ctx);
+  if (command == "serve") return cmd_serve(ctx, args);
   if (args.size() < 3) return usage();
   const device::TechNode& node = node_arg(ctx, args[2]);
   if (command == "study") {

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Client for the ntvsim analysis daemon (docs/SERVICE.md).
+
+Speaks the length-prefixed JSON frame protocol over loopback TCP:
+each message is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON; one request frame yields exactly one response frame.
+
+Modes:
+  send  [REQUEST]     one request (inline JSON argument, or stdin when
+                      omitted); prints the response document
+  plan  FILE          JSON-Lines request file, sent sequentially on one
+                      connection; prints one response per line
+  burst N REQUEST     N concurrent identical requests, one connection
+                      each, started together — exercises the daemon's
+                      request coalescing. Verifies all N response bodies
+                      are byte-identical and prints the common response.
+
+Exit status: 0 on success; 1 on transport/protocol failure or a burst
+identity violation; 2 on usage errors. `--expect-ok` additionally fails
+(exit 1) when any response has "status" != "ok".
+
+Examples:
+  ntvsim_client.py --port-file port.txt send \
+      '{"command":"study","node":"90nm GP","vdd_grid":[0.55],
+        "backend":"analytic"}'
+  ntvsim_client.py --port 7070 plan requests.jsonl --expect-ok
+  ntvsim_client.py --port-file port.txt burst 16 \
+      '{"command":"spares","node":"22nm PTM HP","vdd_grid":[0.55]}'
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import threading
+
+MAX_FRAME = 1 << 20
+
+
+class Frames:
+    """One connection speaking the frame protocol."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port))
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def call(self, payload: bytes) -> bytes:
+        if not (0 < len(payload) <= MAX_FRAME):
+            raise ValueError(f"request of {len(payload)} bytes is unframeable")
+        self.sock.sendall(struct.pack(">I", len(payload)) + payload)
+        header = self._read_exact(4)
+        (length,) = struct.unpack(">I", header)
+        if not (0 < length <= MAX_FRAME):
+            raise ConnectionError(f"bad response frame length {length}")
+        return self._read_exact(length)
+
+    def _read_exact(self, n: int) -> bytes:
+        buf = b""
+        while len(buf) < n:
+            chunk = self.sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionError("connection closed mid-frame")
+            buf += chunk
+        return buf
+
+    def close(self):
+        self.sock.close()
+
+
+def resolve_port(args) -> int:
+    if args.port is not None:
+        return args.port
+    if args.port_file:
+        with open(args.port_file, encoding="utf-8") as f:
+            return int(f.read().strip())
+    raise SystemExit("ntvsim_client: need --port or --port-file")
+
+
+def check_ok(args, response: bytes) -> bool:
+    if not args.expect_ok:
+        return True
+    try:
+        return json.loads(response).get("status") == "ok"
+    except json.JSONDecodeError:
+        return False
+
+
+def mode_send(args, port: int) -> int:
+    request = args.request if args.request else sys.stdin.read()
+    conn = Frames(port)
+    response = conn.call(request.encode())
+    conn.close()
+    print(response.decode())
+    return 0 if check_ok(args, response) else 1
+
+
+def mode_plan(args, port: int) -> int:
+    conn = Frames(port)
+    failures = 0
+    with open(args.file, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            response = conn.call(line.encode())
+            print(response.decode())
+            if not check_ok(args, response):
+                failures += 1
+    conn.close()
+    if failures:
+        print(f"ntvsim_client: {failures} non-ok responses", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def mode_burst(args, port: int) -> int:
+    payload = args.request.encode()
+    barrier = threading.Barrier(args.n)
+    responses = [None] * args.n
+    errors = []
+
+    def worker(i):
+        try:
+            conn = Frames(port)
+            barrier.wait()  # All requests hit the daemon together.
+            responses[i] = conn.call(payload)
+            conn.close()
+        except (OSError, ConnectionError, threading.BrokenBarrierError) as e:
+            errors.append(f"client {i}: {e}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(args.n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    distinct = {r for r in responses}
+    if len(distinct) != 1:
+        print(
+            f"ntvsim_client: burst returned {len(distinct)} distinct "
+            f"responses (expected byte-identical)",
+            file=sys.stderr,
+        )
+        return 1
+    print(responses[0].decode())
+    return 0 if check_ok(args, responses[0]) else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--port", type=int, help="daemon port")
+    parser.add_argument(
+        "--port-file", help="file holding the daemon port (serve --port-file)"
+    )
+    parser.add_argument(
+        "--expect-ok",
+        action="store_true",
+        help='fail unless every response has "status":"ok"',
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    p_send = sub.add_parser("send", help="one request (arg or stdin)")
+    p_send.add_argument("request", nargs="?", help="request JSON")
+
+    p_plan = sub.add_parser("plan", help="JSONL file, sequential requests")
+    p_plan.add_argument("file")
+
+    p_burst = sub.add_parser("burst", help="N concurrent identical requests")
+    p_burst.add_argument("n", type=int)
+    p_burst.add_argument("request", help="request JSON")
+
+    args = parser.parse_args()
+    port = resolve_port(args)
+    if args.mode == "send":
+        return mode_send(args, port)
+    if args.mode == "plan":
+        return mode_plan(args, port)
+    if args.n < 1:
+        raise SystemExit("ntvsim_client: burst N must be >= 1")
+    return mode_burst(args, port)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
