@@ -1,0 +1,242 @@
+// Scale-out benchmark of process-level Monte Carlo sharding
+// (stats/shard.h, docs/SHARDING.md).
+//
+// Times ONE Table 1 cell — required_spares(0.55 V) at 90 nm — filled by
+// 1 vs 4 single-threaded worker subprocesses, each followed by an
+// in-process tape merge. Both paths end in the merge layer, so the
+// measured ratio isolates the fill scale-out (the whole point of
+// --shards) from constant per-process setup, and the two merged results
+// must agree BITWISE (the shard-count-invariance contract). Recorded
+// values:
+//   spares_1shard / spares_4shard   the sized spare-lane counts
+//   shard_match                     1.0 when every merged field is
+//                                   bitwise identical across 1/4 shards
+//   t1_ms / t4_ms                   wall clock of each path
+//   speedup_4shard                  t1 / t4 — CI floors this at 3x
+//
+// The workload is fill-dominated by construction: one (node, vdd) cell
+// keeps sampler construction (the per-process fixed cost) to two grid
+// builds while --samples scales the sharded Monte Carlo fill.
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/mitigation.h"
+#include "stats/merge.h"
+#include "stats/shard.h"
+
+namespace {
+
+using namespace ntv;
+
+constexpr double kVdd = 0.55;
+// Large enough that the sharded Monte Carlo fill is ~97% of the 1-shard
+// wall clock: the measured speedup then approaches the machine's real
+// 4-process throughput instead of being capped by per-process setup
+// (sampler grids, tape IO, spawn).
+constexpr std::size_t kDefaultSamples = 1920000;
+// The 0.55 V cell needs 13 spares, so a 16-lane cap keeps the search
+// honest while shrinking the row store and the per-alpha curve store
+// ~8x vs the 128-lane default: the phases that remain are the RNG +
+// inverse-CDF fill, which is the work --shards divides.
+constexpr int kMaxSpares = 16;
+// Interleaved measurement passes; the recorded wall times are the best
+// of each, so one scheduler hiccup on a busy runner cannot sink the
+// speedup gate.
+constexpr int kPasses = 2;
+
+core::MitigationConfig scaling_config(std::size_t samples) {
+  core::MitigationConfig config;
+  config.backend = bench::backend();
+  config.chip_samples = samples;
+  config.plan = bench::sampling_plan();
+  return config;
+}
+
+/// The worker child's whole life: fill the owned blocks of the cell and
+/// leave the tail sketches on the tape (bench_util closes the tape).
+void run_worker_workload(std::size_t samples) {
+  const core::MitigationStudy study(device::tech_90nm(),
+                                    scaling_config(samples));
+  (void)study.required_spares(kVdd, kMaxSpares);
+}
+
+/// Spawns this binary as `--shard <k>/<count>` worker and returns the
+/// pid (-1 on failure). Children run single-threaded: the bench measures
+/// process scale-out at fixed per-process parallelism.
+pid_t spawn_worker(int k, int count, const std::string& dir,
+                   std::size_t samples) {
+  const std::string shard_arg =
+      std::to_string(k) + "/" + std::to_string(count);
+  const std::string samples_arg = std::to_string(samples);
+  const char* argv[] = {"/proc/self/exe", "--artifact_only",
+                        "--shard",        shard_arg.c_str(),
+                        "--shard-dir",    dir.c_str(),
+                        "--samples",      samples_arg.c_str(),
+                        "--threads",      "1",
+                        nullptr};
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  execv("/proc/self/exe", const_cast<char**>(argv));
+  _exit(127);
+}
+
+struct ShardedRun {
+  core::DuplicationResult result;
+  double wall_ms = 0.0;
+  bool ok = false;
+};
+
+/// One full sharded pass: `count` concurrent single-threaded workers,
+/// then an in-process merge of their tapes. Wall clock covers both.
+ShardedRun run_sharded(int count, const std::string& dir,
+                       std::size_t samples) {
+  ShardedRun run;
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<pid_t> pids;
+  for (int k = 0; k < count; ++k) {
+    pids.push_back(spawn_worker(k, count, dir, samples));
+  }
+  bool workers_ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (pid < 0 || waitpid(pid, &status, 0) != pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      workers_ok = false;
+    }
+  }
+  if (!workers_ok) {
+    std::fprintf(stderr, "error: %d-shard worker wave failed\n", count);
+    return run;
+  }
+
+  stats::reset_shard_state();
+  stats::shard().mode = stats::ShardMode::kMerge;
+  stats::shard().count = count;
+  stats::shard().dir = dir;
+  {
+    const core::MitigationStudy study(device::tech_90nm(),
+                                      scaling_config(samples));
+    run.result = study.required_spares(kVdd, kMaxSpares);
+  }
+  run.ok = !stats::shard_tapes().empty();
+  if (!run.ok) {
+    std::fprintf(stderr,
+                 "error: %d-shard merge fell back to local recompute\n",
+                 count);
+  }
+  stats::reset_shard_state();
+
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  return run;
+}
+
+bool bitwise_equal(const core::DuplicationResult& a,
+                   const core::DuplicationResult& b) {
+  return a.spares == b.spares && a.feasible == b.feasible &&
+         std::memcmp(&a.area_overhead, &b.area_overhead, sizeof(double)) ==
+             0 &&
+         std::memcmp(&a.power_overhead, &b.power_overhead,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.ess, &b.ess, sizeof(double)) == 0 &&
+         std::memcmp(&a.p99_rel_ci_halfwidth, &b.p99_rel_ci_halfwidth,
+                     sizeof(double)) == 0;
+}
+
+void print_artifact() {
+  const std::size_t samples = bench::samples_or(kDefaultSamples);
+
+  // Worker role: this process IS one of the spawned children below.
+  if (stats::shard_worker()) {
+    run_worker_workload(samples);
+    return;
+  }
+
+  bench::banner("Sharding scale-out: 1 vs 4 worker processes");
+  bench::row("workload: required_spares(%.2f V) at 90nm, %zu chips, "
+             "1 thread per worker", kVdd, samples);
+
+  char dir_template[] = "/tmp/ntv_shard_bench_XXXXXX";
+  if (!mkdtemp(dir_template)) {
+    std::fprintf(stderr, "error: mkdtemp failed\n");
+    return;
+  }
+  const std::string base = dir_template;
+  const std::string dir1 = base + "/s1";
+  const std::string dir4 = base + "/s4";
+  (void)mkdir(dir1.c_str(), 0755);
+  (void)mkdir(dir4.c_str(), 0755);
+
+  // Interleave 1-shard and 4-shard passes and keep each side's best
+  // wall time. The bitwise-match check runs on every pass: byte
+  // identity must hold unconditionally, not just on the fastest run.
+  ShardedRun one;
+  ShardedRun four;
+  bool match = true;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const ShardedRun a = run_sharded(1, dir1, samples);
+    const ShardedRun b = run_sharded(4, dir4, samples);
+    match = match && a.ok && b.ok && bitwise_equal(a.result, b.result);
+    if (pass == 0 || (a.ok && a.wall_ms < one.wall_ms)) one = a;
+    if (pass == 0 || (b.ok && b.wall_ms < four.wall_ms)) four = b;
+  }
+
+  const double speedup =
+      (one.ok && four.ok && four.wall_ms > 0.0) ? one.wall_ms / four.wall_ms
+                                                : 0.0;
+
+  bench::row("1 shard : spares=%d  %.0f ms", one.result.spares, one.wall_ms);
+  bench::row("4 shards: spares=%d  %.0f ms", four.result.spares,
+             four.wall_ms);
+  bench::row("speedup: %.2fx  bitwise match: %s", speedup,
+             match ? "yes" : "NO");
+
+  bench::record("spares_1shard", one.result.spares);
+  bench::record("spares_4shard", four.result.spares);
+  bench::record("shard_match", match ? 1.0 : 0.0);
+  bench::record("t1_ms", one.wall_ms);
+  bench::record("t4_ms", four.wall_ms);
+  bench::record("speedup_4shard", speedup);
+
+  // Tapes are tiny (top-K sketches); leave nothing behind.
+  for (const std::string& d : {dir1, dir4}) {
+    for (int count : {1, 4}) {
+      for (int k = 0; k < count; ++k) {
+        std::remove(stats::shard_tape_path(d, k, count).c_str());
+      }
+    }
+    (void)rmdir(d.c_str());
+  }
+  (void)rmdir(base.c_str());
+}
+
+void BM_TailSketchMerge(benchmark::State& state) {
+  // Merge-layer microcost: union 4 shards' 1k-value tail sketches.
+  std::vector<stats::TailSketch> parts;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<double> values;
+    values.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      values.push_back(static_cast<double>(s + 1) * (i + 1));
+    }
+    parts.push_back(stats::tail_sketch(values, 1000, 1000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::merge_tails(parts, 1000));
+  }
+}
+BENCHMARK(BM_TailSketchMerge)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NTV_BENCH_MAIN(print_artifact)

@@ -28,6 +28,13 @@
 //                        artifacts) or analytic (closed-form SSTA,
 //                        docs/SSTA.md; gated against the mc twin by
 //                        tolerance bands, not byte identity)
+//   --shard <k/N|merge/N> sharded Monte Carlo role (docs/SHARDING.md):
+//                        worker k of N fills only its substream blocks
+//                        and writes summaries to a tape (no --report,
+//                        no --repeat); merge/N unions the N tapes and
+//                        emits the report, byte-identical to unsharded
+//   --shard-dir <dir>    directory of the shard tapes (required with
+//                        --shard)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -48,6 +55,7 @@
 #include "obs/report.h"
 #include "simd/simd.h"
 #include "ssta/backend.h"
+#include "stats/shard.h"
 #include "stats/variance_reduction.h"
 
 namespace ntv::bench {
@@ -128,6 +136,23 @@ inline bool write_bench_report(const std::string& path,
   manifest.sampling = std::string(stats::to_string(sampling_plan().strategy));
   manifest.backend = std::string(ssta::to_string(backend()));
   manifest.simd = std::string(simd::to_string(simd::active_backend()));
+  const stats::ShardSpec& shard = stats::shard();
+  if (shard.mode == stats::ShardMode::kWorker) {
+    manifest.shard = std::to_string(shard.index) + "/" +
+                     std::to_string(shard.count);
+  } else if (shard.mode == stats::ShardMode::kMerge) {
+    manifest.shard = "merge/" + std::to_string(shard.count);
+    for (const stats::ShardTape& tape : stats::shard_tapes()) {
+      obs::RunManifest::ShardProvenance p;
+      p.index = tape.meta.index;
+      p.count = tape.meta.count;
+      p.host = tape.meta.host;
+      p.records = tape.meta.records;
+      p.block_offset = tape.meta.index;
+      p.block_stride = tape.meta.count;
+      manifest.shards.push_back(std::move(p));
+    }
+  }
   auto write_results = [&](obs::JsonWriter& w) {
     w.begin_object();
     w.key("values").begin_object();
@@ -278,10 +303,46 @@ inline int run_bench_main(int argc, char** argv,
       backend() = *parsed;
       continue;
     }
+    if (i > 0 && std::strcmp(argv[i], "--shard") == 0) {
+      if (!(value = flag_value("--shard"))) return 2;
+      if (!stats::parse_shard(value, &stats::shard())) {
+        std::fprintf(stderr,
+                     "error: bad --shard '%s' (expected k/N with 0 <= k < N, "
+                     "or merge/N)\n",
+                     value);
+        return 2;
+      }
+      continue;
+    }
+    if (i > 0 && std::strcmp(argv[i], "--shard-dir") == 0) {
+      if (!(value = flag_value("--shard-dir"))) return 2;
+      stats::shard().dir = value;
+      continue;
+    }
     if (i > 0 && std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
       has_min_time = true;
     }
     args.push_back(argv[i]);
+  }
+  if (stats::shard().mode != stats::ShardMode::kOff &&
+      stats::shard().dir.empty()) {
+    std::fprintf(stderr, "error: --shard requires --shard-dir\n");
+    return 2;
+  }
+  if (stats::shard_worker()) {
+    // A worker's output IS its tape: reports would carry dummy values,
+    // and repeats would append duplicate summaries the merger rejects.
+    if (!report_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --report is not valid in --shard worker mode "
+                   "(workers emit a tape, the merge run emits the report)\n");
+      return 2;
+    }
+    if (repeat != 1) {
+      std::fprintf(stderr, "error: --repeat is not valid in --shard worker "
+                           "mode\n");
+      return 2;
+    }
   }
   exec::ThreadPool::set_global_thread_count(threads_requested);
 
@@ -299,6 +360,12 @@ inline int run_bench_main(int argc, char** argv,
       print_artifact();
     }
     artifact_rep_ns.push_back(ns_since(artifact_start));
+  }
+
+  if (stats::shard_worker() && !stats::close_shard_tape()) {
+    std::fprintf(stderr, "error: cannot write shard tape under '%s'\n",
+                 stats::shard().dir.c_str());
+    return 1;
   }
 
   std::int64_t benchmark_ns = 0;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@
 #include "exec/thread_pool.h"
 #include "simd/simd.h"
 #include "stats/percentile.h"
+#include "stats/shard.h"
 
 namespace ntv::arch {
 
@@ -326,7 +328,11 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
   if (plan.strategy == stats::SamplingStrategy::kQmc) sobol.emplace(opt.seed);
   if (plan.is_weighted()) row_weights.assign(n_chips, 1.0);
 
-  std::vector<double> rows;
+  // Uninitialized on purpose (monte_carlo_blocks_into's buffer contract):
+  // every row is written unsharded, and a shard worker neither fills nor
+  // selects from the rows it does not own. Value-initializing would
+  // page-fault the whole row store in every worker (stats/shard.h).
+  std::unique_ptr<double[]> rows(new double[n_chips * row_width]);
   const stats::ScrambledSobol* qmc = sobol ? &*sobol : nullptr;
   if (sampler.config().correlation == DieCorrelation::kIndependentPaths) {
     // SoA block path: per-block four-lane substreams feed one flat
@@ -336,8 +342,8 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
     // across backends by contract).
     const std::uint64_t seed = opt.seed;
     double* weights = row_weights.empty() ? nullptr : row_weights.data();
-    rows = stats::monte_carlo_blocks(
-        n_chips, row_width,
+    stats::monte_carlo_blocks_into(
+        rows.get(), n_chips, row_width,
         [&sampler, &plan, weights, qmc, row_width, n_chips, seed](
             stats::Xoshiro256pp&, std::size_t lo, std::size_t hi,
             double* out) {
@@ -365,7 +371,7 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
         if (!row_weights.empty()) row_weights[row] = w;
       };
     }
-    rows = stats::monte_carlo_rows(n_chips, row_width, fill, opt);
+    stats::monte_carlo_rows_into(rows.get(), n_chips, row_width, fill, opt);
   }
 
   std::vector<ChipMcResult> results(spare_counts.size());
@@ -379,9 +385,15 @@ std::vector<ChipMcResult> mc_chip_delay_sweep(
   exec::ThreadPool::global().parallel_for(
       0, n_chips,
       [&](std::size_t chip) {
+        // A shard worker selects only from rows it filled; unowned
+        // result slots keep their resize() zeros, exactly as when the
+        // fill itself left them zero (they are never read either way).
+        if (!stats::shard_owns_block(chip / stats::kMonteCarloBlock)) {
+          return;
+        }
         thread_local std::vector<double> scratch;
         scratch.resize(row_width);
-        const double* row = rows.data() + chip * row_width;
+        const double* row = rows.get() + chip * row_width;
         for (std::size_t k = 0; k < spare_counts.size(); ++k) {
           const std::size_t n_lanes =
               static_cast<std::size_t>(width) +

@@ -2,16 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "stats/merge.h"
+#include "stats/monte_carlo.h"
 #include "stats/percentile.h"
 #include "stats/root_find.h"
+#include "stats/shard.h"
 
 namespace ntv::core {
+namespace {
+
+/// Chip rows this shard owns: row c comes from substream block
+/// c / kMonteCarloBlock, and block ownership is the shard partition.
+std::vector<std::size_t> owned_chips(std::size_t n_chips) {
+  std::vector<std::size_t> owned;
+  owned.reserve(n_chips / static_cast<std::size_t>(stats::shard().count) +
+                stats::kMonteCarloBlock);
+  for (std::size_t c = 0; c < n_chips; ++c) {
+    if (stats::shard_owns_block(c / stats::kMonteCarloBlock)) {
+      owned.push_back(c);
+    }
+  }
+  return owned;
+}
+
+}  // namespace
 
 MitigationStudy::MitigationStudy(const device::TechNode& node,
                                  MitigationConfig config)
@@ -62,8 +84,71 @@ double MitigationStudy::chip_delay_p99(double vdd, int spares) const {
       return analytic_->signoff_delay(vdd, config_.signoff_percentile,
                                       spares);
     }
+    // Sharded runs (stats/shard.h): this cell is mergeable whenever its
+    // sample is unweighted — always at the nominal reference (mc_chip
+    // pins the naive plan there), else only under the naive plan.
+    const bool reference = vkey(vdd) == vkey(node().nominal_vdd);
+    const bool shardable = reference || config_.plan.is_naive();
+    if (stats::shard_worker()) {
+      if (shardable) {
+        emit_p99_sketch(shard_cell_key("p99", vdd, spares),
+                        mc_chip(vdd, spares).delays);
+      }
+      return 0.0;  // Worker reports are never consumed; the tape is.
+    }
+    if (shardable && stats::shard_merge()) {
+      const auto merged =
+          merged_chip_delay_p99(shard_cell_key("p99", vdd, spares));
+      if (merged) return *merged;
+    }
     return mc_chip(vdd, spares).percentile(config_.signoff_percentile);
   });
+}
+
+std::string MitigationStudy::shard_cell_key(const char* kind, double vdd,
+                                            int detail) const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf, "%s|%.*s|v=%lld|seed=%llu|n=%zu|w=%d|d=%d|p=%.17g|c=%d",
+      kind, static_cast<int>(node().name.size()), node().name.data(),
+      static_cast<long long>(vkey(vdd)),
+      static_cast<unsigned long long>(config_.seed), config_.chip_samples,
+      config_.timing.simd_width, detail, config_.signoff_percentile,
+      static_cast<int>(config_.timing.correlation));
+  return buf;
+}
+
+void MitigationStudy::emit_p99_sketch(const std::string& key,
+                                      std::span<const double> delays) const {
+  const std::vector<std::size_t> owned = owned_chips(delays.size());
+  std::vector<double> values;
+  values.reserve(owned.size());
+  for (const std::size_t c : owned) values.push_back(delays[c]);
+  const std::size_t keep =
+      stats::tail_keep(delays.size(), config_.signoff_percentile);
+  const stats::TailSketch sketch =
+      stats::tail_sketch(values, delays.size(), keep);
+  if (stats::ShardTapeWriter* tape = stats::shard_tape()) {
+    tape->put(key, stats::serialize_tails({&sketch, 1}));
+  }
+}
+
+std::optional<double> MitigationStudy::merged_chip_delay_p99(
+    const std::string& key) const {
+  const auto payloads = stats::shard_payloads(key);
+  if (payloads.empty()) return std::nullopt;
+  std::vector<stats::TailSketch> parts;
+  parts.reserve(payloads.size());
+  for (const auto payload : payloads) {
+    auto columns = stats::deserialize_tails(payload);
+    if (columns.size() != 1) return std::nullopt;
+    parts.push_back(std::move(columns.front()));
+  }
+  const std::size_t keep =
+      stats::tail_keep(config_.chip_samples, config_.signoff_percentile);
+  const auto merged = stats::merge_tails(parts, keep);
+  if (!merged) return std::nullopt;
+  return stats::percentile_from_tail(*merged, config_.signoff_percentile);
 }
 
 double MitigationStudy::fo4_unit(double vdd) const {
@@ -110,6 +195,22 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
     return result;
   }
 
+  // Sharded runs: the naive plan's per-alpha columns are condensed into
+  // mergeable tail sketches (stats/merge.h). A worker under any other
+  // plan returns a dummy immediately — the weighted self-normalization
+  // is not bit-stable under splitting, so the merger recomputes locally.
+  const bool shard_stats = config_.plan.is_naive();
+  if (stats::shard_worker() && !shard_stats) return DuplicationResult{};
+  std::string cell_key;
+  if (shard_stats && (stats::shard_worker() || stats::shard_merge())) {
+    cell_key = shard_cell_key("spares", vdd, max_spares);
+  }
+  if (!cell_key.empty() && stats::shard_merge()) {
+    const auto merged =
+        merged_required_spares(cell_key, vdd, max_spares, baseline);
+    if (merged) return *merged;
+  }
+
   // One Monte Carlo run with width + max_spares lanes yields the sign-off
   // delay for EVERY spare count via per-chip prefix curves.
   const int width = config_.timing.simd_width;
@@ -136,7 +237,12 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
   static obs::Timer& curves_timer = obs::timer("mitigation.curves.wall");
   static obs::Timer& search_timer = obs::timer("mitigation.search.wall");
 
-  std::vector<double> rows;
+  // Uninitialized on purpose (monte_carlo_blocks_into's buffer contract):
+  // an unsharded run writes every row, and a shard worker's unowned rows
+  // are never read. Value-initializing here would page-fault the whole
+  // row store in every worker — serial work --shards exists to divide.
+  std::unique_ptr<double[]> rows(
+      new double[config_.chip_samples * row_width]);
   {
   obs::ScopedTimer fill_scope(fill_timer);
   if (config_.timing.correlation == arch::DieCorrelation::kIndependentPaths) {
@@ -146,8 +252,8 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
     const std::uint64_t seed = config_.seed;
     const std::size_t n_rows = config_.chip_samples;
     double* w = weights.empty() ? nullptr : weights.data();
-    rows = stats::monte_carlo_blocks(
-        config_.chip_samples, row_width,
+    stats::monte_carlo_blocks_into(
+        rows.get(), config_.chip_samples, row_width,
         [&smp, this, w, qmc, row_width, n_rows, seed](
             stats::Xoshiro256pp&, std::size_t lo, std::size_t hi,
             double* out) {
@@ -175,7 +281,8 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
         if (!weights.empty()) weights[row] = w;
       };
     }
-    rows = stats::monte_carlo_rows(config_.chip_samples, row_width, fill, opt);
+    stats::monte_carlo_rows_into(rows.get(), config_.chip_samples, row_width,
+                                 fill, opt);
   }
   }
 
@@ -188,7 +295,9 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
   // transpose touches each destination line once per tile instead.
   const std::size_t n_alpha = static_cast<std::size_t>(max_spares) + 1;
   const std::size_t n_chips = config_.chip_samples;
-  std::vector<double> delays_by_alpha(n_alpha * n_chips);
+  // Same uninitialized-buffer contract as `rows`: unsharded runs write
+  // every tile, workers only read the tiles they wrote.
+  std::unique_ptr<double[]> delays_by_alpha(new double[n_alpha * n_chips]);
   constexpr std::size_t kTile = 128;
   const std::size_t n_tiles = (n_chips + kTile - 1) / kTile;
   {
@@ -197,14 +306,20 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
       0, n_tiles,
       [&](std::size_t tile) {
         const std::size_t chip0 = tile * kTile;
+        // A worker skips whole tiles it does not own: kTile rows span
+        // exactly one shard ownership group (kShardBlockGroup blocks),
+        // so curve extraction scales 1/N like the fill.
+        if (!stats::shard_owns_block(chip0 / stats::kMonteCarloBlock)) {
+          return;
+        }
         const std::size_t chips = std::min(kTile, n_chips - chip0);
         thread_local std::vector<double> curves;
         curves.resize(kTile * n_alpha);
         arch::ChipDelaySampler::chip_delay_curves_block(
-            rows.data() + chip0 * row_width, chips, row_width, width,
+            rows.get() + chip0 * row_width, chips, row_width, width,
             curves.data(), n_alpha);
         for (std::size_t a = 0; a < n_alpha; ++a) {
-          double* dst = delays_by_alpha.data() + a * n_chips + chip0;
+          double* dst = delays_by_alpha.get() + a * n_chips + chip0;
           const double* src = curves.data() + a;
           for (std::size_t c = 0; c < chips; ++c) {
             dst[c] = src[c * n_alpha];
@@ -214,8 +329,28 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
       /*grain=*/1);
   }
 
+  if (stats::shard_worker()) {
+    // Condense the owned chips of every alpha column into tail sketches
+    // and tape them; the search itself runs on the merger.
+    const std::vector<std::size_t> owned = owned_chips(n_chips);
+    const std::size_t keep =
+        stats::tail_keep(n_chips, config_.signoff_percentile);
+    std::vector<stats::TailSketch> columns(n_alpha);
+    exec::ThreadPool::global().parallel_for(0, n_alpha, [&](std::size_t a) {
+      std::vector<double> values;
+      values.reserve(owned.size());
+      const double* column = delays_by_alpha.get() + a * n_chips;
+      for (const std::size_t c : owned) values.push_back(column[c]);
+      columns[a] = stats::tail_sketch(values, n_chips, keep);
+    });
+    if (stats::ShardTapeWriter* tape = stats::shard_tape()) {
+      tape->put(cell_key, stats::serialize_tails(columns));
+    }
+    return DuplicationResult{};
+  }
+
   const auto alpha_delays = [&](std::size_t a) {
-    return std::span<const double>(delays_by_alpha.data() + a * n_chips,
+    return std::span<const double>(delays_by_alpha.get() + a * n_chips,
                                    n_chips);
   };
   const double fo4 = smp.fo4_unit();
@@ -245,6 +380,84 @@ DuplicationResult MitigationStudy::required_spares(double vdd,
     const stats::QuantileCi ci = stats::weighted_percentile_ci(
         alpha_delays(a), weights, config_.signoff_percentile);
     result.p99_rel_ci_halfwidth = ci.rel_halfwidth();
+    const std::string mv =
+        std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));
+    obs::gauge("mitigation.ess." + mv + "mV").set(result.ess);
+    obs::gauge("mitigation.p99_rel_ci." + mv + "mV")
+        .set(result.p99_rel_ci_halfwidth);
+  }
+  if (alpha > max_spares) {
+    result.feasible = false;
+    result.spares = max_spares + 1;
+    result.area_overhead =
+        config_.area_power.duplication_area_overhead(max_spares + 1);
+    result.power_overhead =
+        config_.area_power.duplication_power_overhead(max_spares + 1);
+    return result;
+  }
+  result.feasible = true;
+  result.spares = static_cast<int>(alpha);
+  result.area_overhead =
+      config_.area_power.duplication_area_overhead(result.spares);
+  result.power_overhead =
+      config_.area_power.duplication_power_overhead(result.spares);
+  return result;
+}
+
+std::optional<DuplicationResult> MitigationStudy::merged_required_spares(
+    const std::string& key, double vdd, int max_spares,
+    double baseline) const {
+  const auto payloads = stats::shard_payloads(key);
+  if (payloads.empty()) return std::nullopt;
+
+  const auto n_alpha = static_cast<std::size_t>(max_spares) + 1;
+  std::vector<std::vector<stats::TailSketch>> shards;
+  shards.reserve(payloads.size());
+  for (const auto payload : payloads) {
+    auto columns = stats::deserialize_tails(payload);
+    if (columns.size() != n_alpha) return std::nullopt;
+    shards.push_back(std::move(columns));
+  }
+
+  const std::size_t keep =
+      stats::tail_keep(config_.chip_samples, config_.signoff_percentile);
+  std::vector<stats::TailSketch> merged(n_alpha);
+  for (std::size_t a = 0; a < n_alpha; ++a) {
+    std::vector<stats::TailSketch> parts;
+    parts.reserve(shards.size());
+    for (auto& shard : shards) parts.push_back(std::move(shard[a]));
+    auto column = stats::merge_tails(parts, keep);
+    if (!column) return std::nullopt;
+    merged[a] = std::move(*column);
+  }
+
+  // From here the cell replays the unsharded search bit for bit: the
+  // merged tails hold the exact upper order statistics of the full
+  // columns, and percentile_from_tail / quantile_ci_from_tail use the
+  // same interpolation arithmetic as the full-column path.
+  const double fo4 = sampler(vdd).fo4_unit();
+  bool probes_ok = true;
+  auto meets = [&](long alpha) {
+    const auto p99 = stats::percentile_from_tail(
+        merged[static_cast<std::size_t>(alpha)], config_.signoff_percentile);
+    if (!p99) {
+      probes_ok = false;
+      return true;
+    }
+    return *p99 / fo4 <= baseline;
+  };
+
+  DuplicationResult result;
+  const long alpha = stats::smallest_true(meets, 0, max_spares);
+  if (!probes_ok) return std::nullopt;
+  result.ess = static_cast<double>(config_.chip_samples);
+  {
+    const std::size_t a = static_cast<std::size_t>(
+        std::min(alpha, static_cast<long>(max_spares)));
+    const auto ci =
+        stats::quantile_ci_from_tail(merged[a], config_.signoff_percentile);
+    if (!ci) return std::nullopt;
+    result.p99_rel_ci_halfwidth = ci->rel_halfwidth();
     const std::string mv =
         std::to_string(static_cast<int>(std::llround(vdd * 1000.0)));
     obs::gauge("mitigation.ess." + mv + "mV").set(result.ess);

@@ -177,6 +177,26 @@ class MitigationStudy {
   /// exists to avoid).
   double fo4_unit(double vdd) const;
 
+  /// Shard plumbing (stats/shard.h, docs/SHARDING.md). Only the naive
+  /// plan's statistics shard (the bit-stability contract); a worker
+  /// under any other plan returns dummies and the merger recomputes
+  /// locally. `shard_key` content-addresses one Monte Carlo cell so
+  /// worker and merger agree on what a tape record means.
+  std::string shard_cell_key(const char* kind, double vdd,
+                             int detail) const;
+  /// Worker side: condense the owned rows of one delay column into a
+  /// tail sketch on the shard tape.
+  void emit_p99_sketch(const std::string& key,
+                       std::span<const double> delays) const;
+  /// Merge side: reconstruct the sign-off percentile of one cell from
+  /// the worker tapes; nullopt on any miss (caller recomputes).
+  std::optional<double> merged_chip_delay_p99(const std::string& key) const;
+  /// Merge side: reconstruct a whole required_spares cell (search, CI,
+  /// overheads) from the per-alpha tail sketches on the tapes.
+  std::optional<DuplicationResult> merged_required_spares(
+      const std::string& key, double vdd, int max_spares,
+      double baseline) const;
+
   device::VariationModel model_;
   MitigationConfig config_;
   std::optional<ssta::AnalyticChipStudy> analytic_;

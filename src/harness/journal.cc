@@ -75,10 +75,26 @@ std::optional<JournalEntry> JournalEntry::from_json_line(
 bool Journal::append(const JournalEntry& entry) const {
   std::FILE* f = std::fopen(path_.c_str(), "ab");
   if (!f) return false;
+  // Crash recovery: a run killed mid-append leaves a torn final line with
+  // no trailing newline. Appending straight after it would concatenate
+  // this record onto the torn one — losing BOTH (the combined line parses
+  // as neither). Seal the torn line with a newline first; load() then
+  // skips it as malformed while this record survives intact.
+  bool ok = true;
+  if (std::fseek(f, 0, SEEK_END) == 0 && std::ftell(f) > 0) {
+    std::FILE* r = std::fopen(path_.c_str(), "rb");
+    if (r) {
+      char last = '\n';
+      if (std::fseek(r, -1, SEEK_END) == 0) {
+        last = static_cast<char>(std::fgetc(r));
+      }
+      std::fclose(r);
+      if (last != '\n') ok = std::fputc('\n', f) != EOF;
+    }
+  }
   const std::string line = entry.to_json_line();
-  const bool ok =
-      std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
-      std::fputc('\n', f) != EOF && std::fflush(f) == 0;
+  ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+       std::fputc('\n', f) != EOF && std::fflush(f) == 0;
   std::fclose(f);
   return ok;
 }

@@ -105,6 +105,7 @@ std::vector<ExperimentSpec> build_registry() {
     s.id = "fig4";
     s.title = "Fig. 4 — performance drop vs Vdd (99 % sign-off)";
     s.binary = "bench_fig4_performance_drop";
+    s.shardable = true;  // Fixed-grid MC sweep (docs/SHARDING.md).
     s.checkpoints = {
         approx_band(checkpoint("drop_pct_90nm_0.50V", "90 nm @0.5 V", "5 %",
                                4.0, 5.5, "%"),
@@ -154,6 +155,7 @@ std::vector<ExperimentSpec> build_registry() {
     s.title = "Table 1 — required spares (structural duplication)";
     s.binary = "bench_table1_spares";
     s.in_smoke_set = true;
+    s.shardable = true;  // Fixed-grid MC sweep (docs/SHARDING.md).
     s.smoke_args = {"--samples", "2000"};
     s.checkpoints = {
         approx_band(checkpoint("spares_90nm_0.50V", "90 nm @0.5 V",
@@ -281,6 +283,7 @@ std::vector<ExperimentSpec> build_registry() {
     s.id = "table4";
     s.title = "Table 4 — frequency margining";
     s.binary = "bench_table4_frequency_margin";
+    s.shardable = true;  // Fixed-grid MC sweep (docs/SHARDING.md).
     s.checkpoints = {
         checkpoint("tclk_ns_90nm_0.50V", "T_clk 90 nm @0.5 V",
                    "22.05 ns (ideal 50 FO4)", 22.5, 25.5, "ns"),
@@ -748,6 +751,7 @@ std::vector<ExperimentSpec> build_registry() {
     twin.args.emplace_back("--backend");
     twin.args.emplace_back("analytic");
     twin.in_smoke_set = false;
+    twin.shardable = false;  // Analytic runs have no MC budget to split.
     twin.smoke_args.clear();
     twin.notes =
         "Analytic-backend twin of `" + base->id +

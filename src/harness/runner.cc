@@ -16,6 +16,7 @@
 #include <ctime>
 
 #include "harness/json.h"
+#include "stats/shard.h"
 
 namespace ntv::harness {
 namespace {
@@ -80,6 +81,11 @@ void progress(std::FILE* log, const char* fmt, ...) {
   std::fflush(log ? log : stdout);
 }
 
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
 }  // namespace
 
 bool ensure_directory(const std::string& path) {
@@ -108,6 +114,14 @@ std::string log_path(const std::string& out_dir, const std::string& id) {
 
 std::string manifest_path(const std::string& out_dir) {
   return out_dir + "/EXPERIMENTS.json";
+}
+
+std::string shard_dir_path(const std::string& out_dir, const std::string& id) {
+  return out_dir + "/shards/" + id;
+}
+
+std::string shard_entry_id(const std::string& id, int index, int count) {
+  return id + ".shard" + std::to_string(index) + "of" + std::to_string(count);
 }
 
 JournalEntry run_experiment(const ExperimentSpec& spec,
@@ -179,6 +193,151 @@ JournalEntry run_experiment(const ExperimentSpec& spec,
   return entry;
 }
 
+JournalEntry run_experiment_sharded(
+    const ExperimentSpec& spec, const RunOptions& opt, const Journal& journal,
+    const std::map<std::string, JournalEntry>& completed) {
+  const int count = opt.shards;
+  const std::string dir = shard_dir_path(opt.out_dir, spec.id);
+
+  JournalEntry entry;
+  entry.id = spec.id;
+  entry.smoke = opt.smoke;
+  entry.report = report_path(opt.out_dir, spec.id);
+
+  if (!ensure_directory(dir)) {
+    entry.status = RunStatus::kFailed;
+    entry.exit_code = -1;
+    entry.attempts = 1;
+    return entry;
+  }
+
+  const int timeout_sec = opt.timeout_sec_override > 0
+                              ? opt.timeout_sec_override
+                              : spec.timeout_sec;
+  const int max_attempts = std::max(
+      1, opt.max_attempts_override > 0 ? opt.max_attempts_override
+                                       : spec.max_attempts);
+
+  // argv tail shared by workers and merger: the spec's own arguments
+  // (plus smoke reduction). Workers and merger MUST see identical
+  // experiment parameters or the tape keys will not match.
+  std::vector<std::string> tail;
+  tail.insert(tail.end(), spec.args.begin(), spec.args.end());
+  if (opt.smoke) {
+    tail.insert(tail.end(), spec.smoke_args.begin(), spec.smoke_args.end());
+  }
+  const std::string bin = opt.bin_dir + "/" + spec.binary;
+
+  // --- Worker wave: all pending shards spawned concurrently per attempt
+  // round, each waited against its own deadline. A worker is complete
+  // when it exits 0 AND its tape file exists (the tape is written via
+  // atomic rename, so existence implies completeness).
+  struct Worker {
+    JournalEntry entry;
+    std::string tape;
+    bool done = false;
+    pid_t pid = -1;
+    Clock::time_point start;
+  };
+  std::vector<Worker> workers(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    Worker& w = workers[static_cast<std::size_t>(k)];
+    w.entry.id = shard_entry_id(spec.id, k, count);
+    w.entry.smoke = opt.smoke;
+    w.tape = stats::shard_tape_path(dir, k, count);
+    w.entry.report = w.tape;
+    const auto prior = completed.find(w.entry.id);
+    if (opt.resume && prior != completed.end() &&
+        prior->second.status == RunStatus::kOk &&
+        prior->second.smoke == opt.smoke && file_exists(w.tape)) {
+      w.entry = prior->second;
+      w.done = true;
+    }
+  }
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    bool any_pending = false;
+    for (int k = 0; k < count; ++k) {
+      Worker& w = workers[static_cast<std::size_t>(k)];
+      if (w.done) continue;
+      any_pending = true;
+      w.entry.attempts = attempt;
+      std::remove(w.tape.c_str());
+      std::vector<std::string> argv;
+      argv.push_back(bin);
+      argv.push_back("--artifact_only");
+      argv.push_back("--shard");
+      argv.push_back(std::to_string(k) + "/" + std::to_string(count));
+      argv.push_back("--shard-dir");
+      argv.push_back(dir);
+      argv.insert(argv.end(), tail.begin(), tail.end());
+      w.start = Clock::now();
+      w.pid = spawn(argv, log_path(opt.out_dir, w.entry.id));
+      if (w.pid < 0) {
+        w.entry.status = RunStatus::kFailed;
+        w.entry.exit_code = -1;
+      }
+    }
+    if (!any_pending) break;
+    for (Worker& w : workers) {
+      if (w.done || w.pid < 0) continue;
+      int wait_status = 0;
+      const bool exited = wait_with_deadline(
+          w.pid, w.start + std::chrono::seconds(timeout_sec), &wait_status);
+      w.pid = -1;
+      w.entry.elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                w.start)
+              .count();
+      if (!exited) {
+        w.entry.status = RunStatus::kTimeout;
+        w.entry.exit_code = -SIGKILL;
+        continue;
+      }
+      w.entry.exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
+                          : WIFSIGNALED(wait_status)
+                              ? -WTERMSIG(wait_status)
+                              : -1;
+      if (w.entry.exit_code != 0 || !file_exists(w.tape)) {
+        w.entry.status = RunStatus::kFailed;
+        continue;
+      }
+      w.entry.status = RunStatus::kOk;
+      w.done = true;
+      journal.append(w.entry);
+    }
+  }
+
+  int attempts_used = 1;
+  for (const Worker& w : workers) {
+    attempts_used = std::max(attempts_used, w.entry.attempts);
+    if (w.done) continue;
+    // A worker is still failed after all retries: record it and fail the
+    // whole experiment (the merger would refuse a partial tape set for
+    // shard-filled cells anyway; failing fast here is clearer).
+    journal.append(w.entry);
+    entry.status = w.entry.status;
+    entry.exit_code = w.entry.exit_code;
+    entry.attempts = attempts_used;
+    return entry;
+  }
+
+  // --- Merge child: the standard attempt loop, but pointed at the tapes.
+  ExperimentSpec merge_spec = spec;
+  merge_spec.args = tail;
+  merge_spec.smoke_args.clear();  // Already folded into tail.
+  merge_spec.args.push_back("--shard");
+  merge_spec.args.push_back("merge/" + std::to_string(count));
+  merge_spec.args.push_back("--shard-dir");
+  merge_spec.args.push_back(dir);
+  RunOptions merge_opt = opt;
+  merge_opt.smoke = false;  // Prevent double-appending smoke_args.
+  JournalEntry merged = run_experiment(merge_spec, merge_opt);
+  merged.smoke = opt.smoke;
+  merged.attempts = std::max(merged.attempts, attempts_used);
+  return merged;
+}
+
 SuiteRun run_suite(const std::vector<ExperimentSpec>& specs,
                    const RunOptions& opt) {
   SuiteRun suite;
@@ -214,9 +373,14 @@ SuiteRun run_suite(const std::vector<ExperimentSpec>& specs,
       continue;
     }
 
-    progress(opt.log, "[repro]   run  %-10s %s ...\n", spec.id.c_str(),
-             spec.binary.c_str());
-    run.entry = run_experiment(spec, opt);
+    const bool sharded = opt.shards > 1 && spec.shardable;
+    progress(opt.log, "[repro]   run  %-10s %s%s ...\n", spec.id.c_str(),
+             spec.binary.c_str(),
+             sharded ? (" (" + std::to_string(opt.shards) + " shards)").c_str()
+                     : "");
+    run.entry = sharded
+                    ? run_experiment_sharded(spec, opt, journal, completed)
+                    : run_experiment(spec, opt);
     if (run.entry.status != RunStatus::kOk) ++suite.failed;
     ++suite.ran;
     journal.append(run.entry);

@@ -33,6 +33,11 @@ struct RunOptions {
   std::vector<std::string> only;
   int timeout_sec_override = 0;   ///< >0 replaces every spec's timeout.
   int max_attempts_override = 0;  ///< >0 replaces every spec's retries.
+  /// Shard each `shardable` spec's Monte Carlo budget across this many
+  /// concurrent worker subprocesses, then merge their tapes into the
+  /// final report (byte-identical to shards=1; docs/SHARDING.md).
+  /// 1 = normal unsharded children. Non-shardable specs ignore this.
+  int shards = 1;
   std::FILE* log = nullptr;       ///< Progress stream; nullptr = stdout.
 };
 
@@ -56,12 +61,27 @@ std::string journal_path(const std::string& out_dir);
 std::string report_path(const std::string& out_dir, const std::string& id);
 std::string log_path(const std::string& out_dir, const std::string& id);
 std::string manifest_path(const std::string& out_dir);
+/// Tape directory of one sharded experiment's workers.
+std::string shard_dir_path(const std::string& out_dir, const std::string& id);
+/// Journal id of one worker within a sharded experiment ("<id>.shard<k>of<N>"
+/// — distinct per (k, N) so partial shard sets resume correctly).
+std::string shard_entry_id(const std::string& id, int index, int count);
 
 /// Runs one experiment attempt-loop (no journal interaction): spawns the
 /// child, enforces the timeout, retries up to the attempt budget. The
 /// returned entry's report path is filled even on failure.
 JournalEntry run_experiment(const ExperimentSpec& spec,
                             const RunOptions& opt);
+
+/// Sharded variant (opt.shards > 1 on a shardable spec): spawns
+/// opt.shards concurrent `--shard k/N` workers (resuming completed ones
+/// from `completed` worker journal entries + existing tapes, appending
+/// one journal line per worker to `journal`), then one `--shard merge/N`
+/// child that writes the final report. The returned spec-level entry is
+/// shaped exactly like run_experiment's.
+JournalEntry run_experiment_sharded(
+    const ExperimentSpec& spec, const RunOptions& opt, const Journal& journal,
+    const std::map<std::string, JournalEntry>& completed);
 
 /// Runs `specs` in order under the options above, appending a journal
 /// line per completed experiment. Creates out_dir (and reports/ logs/

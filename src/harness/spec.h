@@ -74,6 +74,13 @@ struct ExperimentSpec {
   std::vector<std::string> smoke_args;
   /// Member of the reduced CI suite (repro-smoke job)?
   bool in_smoke_set = false;
+  /// Safe to split across `--shards N` worker processes: the experiment
+  /// is a fixed-grid Monte Carlo sweep whose every cell is probed
+  /// identically by workers and merger (docs/SHARDING.md). Adaptive
+  /// searches (e.g. voltage-margin root finds) and analytic twins stay
+  /// unsharded: a sharded run of a non-shardable spec would still be
+  /// CORRECT (the merger recomputes tape misses locally) but wasteful.
+  bool shardable = false;
   int timeout_sec = 300;  ///< Watchdog: the subprocess is killed after this.
   int max_attempts = 2;   ///< Bounded retries (crash/timeout -> rerun).
   std::vector<Checkpoint> checkpoints;

@@ -32,6 +32,19 @@ void RunManifest::write(JsonWriter& w) const {
   w.key("simd").value(simd);
   w.key("build_type").value(build_type);
   w.key("library_version").value(library_version);
+  w.key("shard").value(shard);
+  w.key("shards").begin_array();
+  for (const ShardProvenance& s : shards) {
+    w.begin_object();
+    w.key("index").value(s.index);
+    w.key("count").value(s.count);
+    w.key("host").value(s.host);
+    w.key("records").value(static_cast<std::uint64_t>(s.records));
+    w.key("block_offset").value(s.block_offset);
+    w.key("block_stride").value(s.block_stride);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 

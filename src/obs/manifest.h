@@ -52,6 +52,25 @@ struct RunManifest {
   std::string build_type = std::string(build_kind());
   std::string library_version = std::string(version());  ///< CMake version.
 
+  /// Shard role of the producing process ("" = unsharded, "k/N" =
+  /// worker, "merge/N" = merger; docs/SHARDING.md). Reports from
+  /// workers are placeholders — only merge/unsharded reports carry
+  /// meaningful results, and they are byte-identical to each other.
+  std::string shard;
+  /// Per-worker provenance of a merged report: which seed substreams
+  /// each worker filled (block groups ≡ block_offset mod block_stride,
+  /// kShardBlockGroup Monte Carlo blocks per group), on which host, and
+  /// how many summaries its tape contributed.
+  struct ShardProvenance {
+    int index = 0;
+    int count = 1;
+    std::string host;
+    std::uint64_t records = 0;
+    int block_offset = 0;  ///< == index: owned group residue.
+    int block_stride = 1;  ///< == count: the partition modulus.
+  };
+  std::vector<ShardProvenance> shards;  ///< Empty unless merged.
+
   /// Serializes this manifest as one JSON object value on `w`.
   void write(JsonWriter& w) const;
 

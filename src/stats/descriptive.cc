@@ -9,6 +9,21 @@ Summary::Summary(std::span<const double> data) {
   for (double x : data) add(x);
 }
 
+Summary Summary::from_moments(std::size_t n, double mean, double m2,
+                              double m3, double m4, double min,
+                              double max) noexcept {
+  Summary s;
+  if (n == 0) return s;
+  s.n_ = n;
+  s.mean_ = mean;
+  s.m2_ = m2;
+  s.m3_ = m3;
+  s.m4_ = m4;
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 void Summary::add(double x) noexcept {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -19,6 +19,14 @@ class Summary {
   /// Builds a summary from an existing sample.
   explicit Summary(std::span<const double> data);
 
+  /// Rebuilds a summary from raw central moments (the exact private
+  /// state): used by the shard merge layer (stats/merge.h) to fold
+  /// per-block leaves back into a Summary. `n == 0` returns a default
+  /// summary regardless of the other arguments.
+  static Summary from_moments(std::size_t n, double mean, double m2,
+                              double m3, double m4, double min,
+                              double max) noexcept;
+
   /// Adds one observation.
   void add(double x) noexcept;
 
@@ -27,6 +35,12 @@ class Summary {
 
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
+
+  /// Raw central moment sums (Σ(x−μ)^k); exposed with `from_moments` so
+  /// the shard merge layer can serialize summaries losslessly.
+  double m2() const noexcept { return m2_; }
+  double m3() const noexcept { return m3_; }
+  double m4() const noexcept { return m4_; }
 
   /// Unbiased sample variance; 0 for fewer than two observations.
   double variance() const noexcept;

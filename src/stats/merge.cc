@@ -1,0 +1,241 @@
+#include "stats/merge.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntv::stats {
+
+void MomentSketch::add_block(std::size_t block,
+                             std::span<const double> values) {
+  if (leaves_.count(block) != 0) return;  // Each block has one owner.
+  leaves_.emplace(block, Summary(values));
+}
+
+void MomentSketch::merge(const MomentSketch& other) {
+  for (const auto& [block, leaf] : other.leaves_) {
+    leaves_.emplace(block, leaf);  // No overwrite on ownership violation.
+  }
+}
+
+Summary MomentSketch::finalize() const {
+  // Ascending block order is the canonical fold: the folded summary is a
+  // pure function of the leaf set, so ANY merge grouping of shards ends
+  // in identical bits here.
+  Summary acc;
+  for (const auto& [block, leaf] : leaves_) acc.merge(leaf);
+  return acc;
+}
+
+std::vector<double> MomentSketch::serialize() const {
+  std::vector<double> out;
+  out.reserve(leaves_.size() * 8);
+  for (const auto& [block, leaf] : leaves_) {
+    out.push_back(static_cast<double>(block));
+    out.push_back(static_cast<double>(leaf.count()));
+    out.push_back(leaf.mean());
+    out.push_back(leaf.m2());
+    out.push_back(leaf.m3());
+    out.push_back(leaf.m4());
+    out.push_back(leaf.min());
+    out.push_back(leaf.max());
+  }
+  return out;
+}
+
+std::optional<MomentSketch> MomentSketch::deserialize(
+    std::span<const double> payload) {
+  if (payload.size() % 8 != 0) return std::nullopt;
+  MomentSketch sketch;
+  for (std::size_t i = 0; i < payload.size(); i += 8) {
+    const auto block = static_cast<std::size_t>(payload[i]);
+    const auto n = static_cast<std::size_t>(payload[i + 1]);
+    sketch.leaves_.emplace(
+        block, Summary::from_moments(n, payload[i + 2], payload[i + 3],
+                                     payload[i + 4], payload[i + 5],
+                                     payload[i + 6], payload[i + 7]));
+  }
+  return sketch;
+}
+
+std::size_t tail_keep(std::size_t n, double p, double z) {
+  if (n <= 1) return n;
+  const double p01 = std::clamp(p, 0.0, 100.0) / 100.0;
+  const double se = std::sqrt(p01 * (1.0 - p01) / static_cast<double>(n));
+  const double lo01 = std::clamp(p01 - z * se, 0.0, 1.0);
+  // Lowest rank any probe can interpolate from: floor(lo01 * (n-1)).
+  // Keep everything at or above it, plus slack for the floor/ceil pair.
+  const auto rank_lo =
+      static_cast<std::size_t>(std::floor(lo01 * static_cast<double>(n - 1)));
+  const std::size_t keep = n - std::min(rank_lo, n - 1) + 2;
+  return std::min(n, keep);
+}
+
+TailSketch tail_sketch(std::span<const double> owned_values, std::uint64_t n,
+                       std::size_t keep) {
+  TailSketch sketch;
+  sketch.n = n;
+  sketch.owned = owned_values.size();
+  sketch.values.assign(owned_values.begin(), owned_values.end());
+  if (sketch.values.size() > keep) {
+    // Exact largest-keep: everything from position size-keep up.
+    std::nth_element(sketch.values.begin(),
+                     sketch.values.end() - static_cast<std::ptrdiff_t>(keep),
+                     sketch.values.end());
+    sketch.values.erase(sketch.values.begin(),
+                        sketch.values.end() -
+                            static_cast<std::ptrdiff_t>(keep));
+  }
+  std::sort(sketch.values.begin(), sketch.values.end());
+  return sketch;
+}
+
+std::optional<TailSketch> merge_tails(std::span<const TailSketch> shards,
+                                      std::size_t keep) {
+  if (shards.empty()) return std::nullopt;
+  TailSketch merged;
+  merged.n = shards.front().n;
+  std::uint64_t covered = 0;
+  std::size_t total = 0;
+  for (const TailSketch& s : shards) {
+    if (s.n != merged.n) return std::nullopt;
+    covered += s.owned;
+    total += s.values.size();
+  }
+  // Every sample must be owned by exactly one shard; a gap or an overlap
+  // would silently shift ranks, so refuse to merge instead.
+  if (covered != merged.n) return std::nullopt;
+  merged.owned = merged.n;
+  merged.values.reserve(total);
+  for (const TailSketch& s : shards) {
+    merged.values.insert(merged.values.end(), s.values.begin(),
+                         s.values.end());
+  }
+  std::sort(merged.values.begin(), merged.values.end());
+  const std::size_t cap =
+      std::min<std::size_t>(keep, static_cast<std::size_t>(merged.n));
+  if (merged.values.size() > cap) {
+    merged.values.erase(merged.values.begin(),
+                        merged.values.end() -
+                            static_cast<std::ptrdiff_t>(cap));
+  }
+  return merged;
+}
+
+std::optional<double> percentile_from_tail(const TailSketch& tail, double p) {
+  const auto n = static_cast<std::size_t>(tail.n);
+  if (n == 0 || tail.values.empty()) return std::nullopt;
+  // Mirrors stats::percentile_sorted on the virtual full sorted column:
+  // global rank r lives at tail index r - (n - kept).
+  if (n == 1) return tail.values.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  const std::size_t first = n - tail.values.size();
+  if (lo < first || hi >= n) return std::nullopt;
+  const double vlo = tail.values[lo - first];
+  const double vhi = tail.values[hi - first];
+  return vlo + frac * (vhi - vlo);
+}
+
+std::optional<QuantileCi> quantile_ci_from_tail(const TailSketch& tail,
+                                                double p, double z) {
+  // Replicates stats::weighted_percentile_ci with empty weights: ess is
+  // the sample count, probe levels are 100·clamp(p01 ± z·se, 0, 1).
+  QuantileCi ci;
+  const auto estimate = percentile_from_tail(tail, p);
+  if (!estimate) return std::nullopt;
+  ci.estimate = *estimate;
+  const double ess = static_cast<double>(tail.n);
+  if (ess <= 1.0) {
+    ci.lo = ci.hi = ci.estimate;
+    return ci;
+  }
+  const double p01 = std::clamp(p, 0.0, 100.0) / 100.0;
+  const double se = std::sqrt(p01 * (1.0 - p01) / ess);
+  const auto lo =
+      percentile_from_tail(tail, 100.0 * std::clamp(p01 - z * se, 0.0, 1.0));
+  const auto hi =
+      percentile_from_tail(tail, 100.0 * std::clamp(p01 + z * se, 0.0, 1.0));
+  if (!lo || !hi) return std::nullopt;
+  ci.lo = *lo;
+  ci.hi = *hi;
+  return ci;
+}
+
+std::vector<double> serialize_tails(std::span<const TailSketch> columns) {
+  std::vector<double> out;
+  if (columns.empty()) return out;
+  const std::size_t len = columns.front().values.size();
+  out.reserve(4 + columns.size() * len);
+  out.push_back(static_cast<double>(columns.front().n));
+  out.push_back(static_cast<double>(columns.front().owned));
+  out.push_back(static_cast<double>(columns.size()));
+  out.push_back(static_cast<double>(len));
+  for (const TailSketch& c : columns) {
+    if (c.values.size() != len || c.n != columns.front().n ||
+        c.owned != columns.front().owned) {
+      return {};  // Mixed-shape columns: refuse rather than mis-decode.
+    }
+    out.insert(out.end(), c.values.begin(), c.values.end());
+  }
+  return out;
+}
+
+std::vector<TailSketch> deserialize_tails(std::span<const double> payload) {
+  if (payload.size() < 4) return {};
+  const auto n = static_cast<std::uint64_t>(payload[0]);
+  const auto owned = static_cast<std::uint64_t>(payload[1]);
+  const auto n_columns = static_cast<std::size_t>(payload[2]);
+  const auto len = static_cast<std::size_t>(payload[3]);
+  if (payload.size() != 4 + n_columns * len) return {};
+  std::vector<TailSketch> columns(n_columns);
+  const double* cursor = payload.data() + 4;
+  for (TailSketch& c : columns) {
+    c.n = n;
+    c.owned = owned;
+    c.values.assign(cursor, cursor + len);
+    cursor += len;
+  }
+  return columns;
+}
+
+std::optional<Histogram> merge_histograms(std::span<const Histogram> parts) {
+  if (parts.empty()) return std::nullopt;
+  const Histogram& first = parts.front();
+  Histogram merged(first.lo(), first.hi(), first.bin_count());
+  for (const Histogram& part : parts) {
+    if (part.lo() != first.lo() || part.hi() != first.hi() ||
+        part.bin_count() != first.bin_count()) {
+      return std::nullopt;
+    }
+    // Replay each bin at its center: counts add exactly (integers), so
+    // the merge is commutative and associative.
+    for (std::size_t b = 0; b < part.bin_count(); ++b) {
+      for (std::size_t i = 0; i < part.count(b); ++i) {
+        merged.add(part.bin_center(b));
+      }
+    }
+    for (std::size_t i = 0; i < part.underflow(); ++i) {
+      merged.add(std::nextafter(first.lo(), -1e308));
+    }
+    for (std::size_t i = 0; i < part.overflow(); ++i) {
+      merged.add(std::nextafter(first.hi(), 1e308));
+    }
+  }
+  return merged;
+}
+
+Ecdf merge_ecdfs(std::span<const Ecdf> parts) {
+  std::vector<double> all;
+  std::size_t total = 0;
+  for (const Ecdf& part : parts) total += part.size();
+  all.reserve(total);
+  for (const Ecdf& part : parts) {
+    all.insert(all.end(), part.sorted().begin(), part.sorted().end());
+  }
+  return Ecdf(all);
+}
+
+}  // namespace ntv::stats

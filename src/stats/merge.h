@@ -1,0 +1,138 @@
+// Mergeable sample summaries with a bit-stable aggregation contract.
+//
+// A sharded Monte Carlo run (stats/shard.h) never ships raw rows: each
+// worker condenses its owned substream blocks into summaries that are
+// small, mergeable, and — for everything the default (naive) plan's
+// reports derive from them — reproduce the unsharded computation BIT
+// FOR BIT in any merge grouping order:
+//
+//  * MomentSketch — Welford moment summaries keyed by substream block.
+//    Merging is a disjoint map union (trivially order-invariant);
+//    `finalize()` folds the per-block leaves in ascending block order
+//    with the Chan et al. pairwise update, so the folded Summary is a
+//    pure function of the leaf SET, not of how shards were grouped.
+//  * TailSketch — the exact largest-K order statistics of a column plus
+//    its total count. The union of per-shard top-K multisets contains
+//    the global top-K (any globally top-K value is top-K within its own
+//    shard), so upper-tail percentiles computed from the merged sketch
+//    replicate stats::percentile on the full column exactly, using the
+//    same type-7 interpolation arithmetic.
+//  * merge_histograms / merge_ecdfs — integer bin counts and sorted
+//    multiset unions; both are exact and commutative.
+//
+// Limits of the contract (docs/SHARDING.md): weighted sampling plans
+// (importance/stratified MIS ladders) interleave self-normalized weight
+// sums whose floating-point association depends on the split, so only
+// the naive plan's reports are bit-stable under sharding; non-naive
+// plans degrade to merge-side local computation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/histogram.h"
+#include "stats/variance_reduction.h"
+
+namespace ntv::stats {
+
+/// Per-block Welford summaries with a canonical, grouping-independent
+/// fold. Workers add whole substream blocks; merging shards is a
+/// disjoint union of block keys.
+class MomentSketch {
+ public:
+  /// Summarizes one substream block (key = block index). Re-adding a
+  /// block that is already present is a contract violation (each block
+  /// has exactly one owner) and is ignored.
+  void add_block(std::size_t block, std::span<const double> values);
+
+  /// Disjoint union of block summaries. Blocks present on both sides
+  /// (ownership violation) keep this sketch's leaf.
+  void merge(const MomentSketch& other);
+
+  /// Folds the leaves in ascending block order with Summary::merge
+  /// (Chan et al.). The result depends only on the leaf set, never on
+  /// merge grouping — the bit-stability contract of the sharded mean /
+  /// variance / 3σ/μ numbers.
+  Summary finalize() const;
+
+  std::size_t blocks() const noexcept { return leaves_.size(); }
+
+  /// Serialization for the shard tape: 8 doubles per leaf
+  /// (block, n, mean, m2, m3, m4, min, max) — see merge.cc.
+  std::vector<double> serialize() const;
+  static std::optional<MomentSketch> deserialize(
+      std::span<const double> payload);
+
+ private:
+  std::map<std::size_t, Summary> leaves_;
+};
+
+/// Exact largest-K order statistics of one column: `values` holds the
+/// K largest samples in ascending order, `n` the full column size.
+/// `values.size() == min(keep, owned)` on a worker; after merging, the
+/// merged sketch is trimmed back to min(keep, n).
+struct TailSketch {
+  std::uint64_t n = 0;          ///< Total column size (all shards).
+  std::uint64_t owned = 0;      ///< Samples this sketch actually saw.
+  std::vector<double> values;   ///< Largest-K, ascending.
+};
+
+/// How many upper order statistics a worker must keep so every
+/// percentile probe the sign-off search makes — the estimate at `p` and
+/// the CI probes at 100·(p/100 ± z·se) with se = sqrt(p(1-p)/n) — stays
+/// inside the kept tail. Identical on worker and merge sides by
+/// construction (pure function of (n, p, z)).
+std::size_t tail_keep(std::size_t n, double p,
+                      double z = 1.959963984540054);
+
+/// Builds the sketch of one column from the subset of samples this
+/// worker owns. `keep` bounds values.size(); `n` is the FULL column
+/// size across all shards.
+TailSketch tail_sketch(std::span<const double> owned_values, std::uint64_t n,
+                       std::size_t keep);
+
+/// Multiset union of shard sketches, trimmed to the largest
+/// min(keep, n) values. Order-invariant: the result depends only on
+/// the union of the input multisets. Returns nullopt when the shards
+/// disagree on `n` or their `owned` counts do not sum to `n` (a missing
+/// or duplicated shard — merging would silently produce wrong numbers).
+std::optional<TailSketch> merge_tails(std::span<const TailSketch> shards,
+                                      std::size_t keep);
+
+/// The p-th percentile of the full (virtual) sorted column, computed
+/// from its tail sketch with the same type-7 interpolation arithmetic
+/// as stats::percentile_sorted — bit-identical whenever the probed rank
+/// lands inside the kept tail. Returns nullopt when it does not (the
+/// caller then falls back to local computation).
+std::optional<double> percentile_from_tail(const TailSketch& tail, double p);
+
+/// Unweighted stats::weighted_percentile_ci replicated on a tail
+/// sketch: estimate at p, bounds at the ±z·se probe levels, ess = n.
+/// Bit-identical to the full-column computation when every probed rank
+/// is inside the tail; nullopt otherwise.
+std::optional<QuantileCi> quantile_ci_from_tail(
+    const TailSketch& tail, double p, double z = 1.959963984540054);
+
+/// Tape serialization of a set of per-column tail sketches sharing one
+/// (n, owned): header {n, owned, n_columns, len} then n_columns runs of
+/// `len` ascending doubles (len = min(keep, owned), identical across
+/// columns). Used by core/mitigation.cc for the per-alpha delay columns.
+std::vector<double> serialize_tails(std::span<const TailSketch> columns);
+std::vector<TailSketch> deserialize_tails(std::span<const double> payload);
+
+/// Exact histogram merge: identical (lo, hi, bins) geometry required
+/// (returns nullopt otherwise); counts add, which is order-invariant.
+std::optional<Histogram> merge_histograms(std::span<const Histogram> parts);
+
+/// Exact ECDF merge: the sorted multiset union of the parts' samples —
+/// the same sorted vector std::sort would produce on the concatenated
+/// raw data, regardless of how the sample was split.
+Ecdf merge_ecdfs(std::span<const Ecdf> parts);
+
+}  // namespace ntv::stats

@@ -4,6 +4,7 @@
 
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
+#include "stats/shard.h"
 
 namespace ntv::stats {
 
@@ -51,13 +52,39 @@ std::vector<double> monte_carlo_rows(
       opt);
 }
 
+void monte_carlo_rows_into(
+    double* out, std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t, double*)>& sampler,
+    const MonteCarloOptions& opt) {
+  monte_carlo_blocks_into(
+      out, n, width,
+      [&sampler, width](Xoshiro256pp& rng, std::size_t lo, std::size_t hi,
+                        double* block_out) {
+        for (std::size_t row = lo; row < hi; ++row) {
+          sampler(rng, row, block_out + (row - lo) * width);
+        }
+      },
+      opt);
+}
+
 std::vector<double> monte_carlo_blocks(
     std::size_t n, std::size_t width,
     const std::function<void(Xoshiro256pp&, std::size_t, std::size_t,
                              double*)>& sampler,
     const MonteCarloOptions& opt) {
+  // Value-initialized, so a shard worker's unowned rows read as zero
+  // here (the _into variant leaves them unwritten instead).
   std::vector<double> out(n * width);
-  if (n == 0) return out;
+  monte_carlo_blocks_into(out.data(), n, width, sampler, opt);
+  return out;
+}
+
+void monte_carlo_blocks_into(
+    double* out, std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t, std::size_t,
+                             double*)>& sampler,
+    const MonteCarloOptions& opt) {
+  if (n == 0) return;
 
   // Fixed-size blocks keep the sample->substream assignment independent of
   // the worker count: block b covers rows [b*kBlock, min(n,(b+1)*kBlock)),
@@ -75,22 +102,25 @@ std::vector<double> monte_carlo_blocks(
   obs::ScopedTimer wall_scope(wall_metric);
 
   auto run_block = [&](std::size_t b) {
+    // Shard workers fill only the blocks they own (stats/shard.h); the
+    // rest stay zero and are never read — the merger reconstructs the
+    // full-sample statistics from the per-shard summaries.
+    if (!shard_owns_block(b)) return;
     Xoshiro256pp rng = substream(opt.seed, b);
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(n, lo + kBlock);
-    sampler(rng, lo, hi, out.data() + lo * width);
+    sampler(rng, lo, hi, out + lo * width);
   };
 
   if (opt.threads == 1) {
     obs::gauge("mc.threads").set(1);
     for (std::size_t b = 0; b < blocks; ++b) run_block(b);
-    return out;
+    return;
   }
 
   exec::ThreadPool& pool = exec::ThreadPool::global();
   obs::gauge("mc.threads").set(pool.thread_count());
   pool.parallel_for(0, blocks, run_block);
-  return out;
 }
 
 }  // namespace ntv::stats

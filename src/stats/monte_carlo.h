@@ -57,6 +57,28 @@ std::vector<double> monte_carlo_blocks(
                              std::size_t /*hi*/, double* /*out*/)>& sampler,
     const MonteCarloOptions& opt = {});
 
+/// In-place variant of monte_carlo_blocks: fills the caller's buffer
+/// (at least n*width doubles) instead of allocating. The buffer may be
+/// UNINITIALIZED — every row is written in an unsharded run, and a shard
+/// worker (stats/shard.h) leaves exactly the rows it does not own
+/// untouched, which by contract are never read. Callers on the sharded
+/// path should prefer this over the vector variant: value-initializing
+/// a multi-hundred-MB row store page-faults the whole allocation in
+/// every worker, which is most of what --shards exists to divide.
+void monte_carlo_blocks_into(
+    double* out, std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t /*lo*/,
+                             std::size_t /*hi*/, double* /*out*/)>& sampler,
+    const MonteCarloOptions& opt = {});
+
+/// In-place variant of monte_carlo_rows (same buffer contract as
+/// monte_carlo_blocks_into).
+void monte_carlo_rows_into(
+    double* out, std::size_t n, std::size_t width,
+    const std::function<void(Xoshiro256pp&, std::size_t /*row*/,
+                             double* /*out*/)>& sampler,
+    const MonteCarloOptions& opt = {});
+
 /// Thread count a run with MonteCarloOptions{.threads = requested} would
 /// use. Delegates to exec::resolved_worker_threads (requested > 0 wins,
 /// else $NTV_THREADS, else hardware_concurrency — the old [1, 16] clamp is

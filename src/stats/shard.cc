@@ -1,0 +1,257 @@
+#include "stats/shard.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace ntv::stats {
+namespace {
+
+// Tape format (little-endian, host order — tapes never cross
+// architectures within one run):
+//   magic "NTVSHRD1"
+//   u32 index, u32 count, u32 host_len, host bytes
+//   records: u32 key_len, key bytes, u64 value_count, doubles
+constexpr char kMagic[8] = {'N', 'T', 'V', 'S', 'H', 'R', 'D', '1'};
+
+bool write_u32(std::FILE* f, std::uint32_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+
+bool write_u64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+
+bool read_u32(std::FILE* f, std::uint32_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+
+bool read_u64(std::FILE* f, std::uint64_t* v) {
+  return std::fread(v, sizeof *v, 1, f) == 1;
+}
+
+std::string hostname() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof buf - 1) != 0) return "unknown";
+  return buf;
+}
+
+}  // namespace
+
+ShardSpec& shard() {
+  static ShardSpec spec;
+  return spec;
+}
+
+bool parse_shard(const std::string& text, ShardSpec* out) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash + 1 >= text.size()) return false;
+  const std::string head = text.substr(0, slash);
+  const std::string tail = text.substr(slash + 1);
+  char* end = nullptr;
+  const long count = std::strtol(tail.c_str(), &end, 10);
+  if (end == tail.c_str() || *end != '\0' || count < 1) return false;
+  ShardSpec spec;
+  spec.count = static_cast<int>(count);
+  if (head == "merge") {
+    spec.mode = ShardMode::kMerge;
+    spec.index = 0;
+  } else {
+    const long index = std::strtol(head.c_str(), &end, 10);
+    if (end == head.c_str() || *end != '\0' || index < 0 || index >= count) {
+      return false;
+    }
+    spec.mode = ShardMode::kWorker;
+    spec.index = static_cast<int>(index);
+  }
+  spec.dir = out->dir;  // --shard-dir may already have been parsed.
+  *out = spec;
+  return true;
+}
+
+std::string shard_tape_path(const std::string& dir, int index, int count) {
+  return dir + "/shard_" + std::to_string(index) + "of" +
+         std::to_string(count) + ".tape";
+}
+
+ShardTapeWriter::ShardTapeWriter(const std::string& dir, int index,
+                                 int count)
+    : mutex_(new std::mutex) {
+  final_path_ = shard_tape_path(dir, index, count);
+  tmp_path_ = final_path_ + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (!file_) return;
+  const std::string host = hostname();
+  if (std::fwrite(kMagic, 1, sizeof kMagic, file_) != sizeof kMagic ||
+      !write_u32(file_, static_cast<std::uint32_t>(index)) ||
+      !write_u32(file_, static_cast<std::uint32_t>(count)) ||
+      !write_u32(file_, static_cast<std::uint32_t>(host.size())) ||
+      std::fwrite(host.data(), 1, host.size(), file_) != host.size()) {
+    failed_ = true;
+  }
+}
+
+ShardTapeWriter::~ShardTapeWriter() {
+  if (file_) {
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
+  delete static_cast<std::mutex*>(mutex_);
+}
+
+bool ShardTapeWriter::put(const std::string& key,
+                          std::span<const double> payload) {
+  std::lock_guard<std::mutex> lock(*static_cast<std::mutex*>(mutex_));
+  if (!file_ || failed_) return false;
+  if (!write_u32(file_, static_cast<std::uint32_t>(key.size())) ||
+      std::fwrite(key.data(), 1, key.size(), file_) != key.size() ||
+      !write_u64(file_, static_cast<std::uint64_t>(payload.size())) ||
+      std::fwrite(payload.data(), sizeof(double), payload.size(), file_) !=
+          payload.size()) {
+    failed_ = true;
+    return false;
+  }
+  ++records_;
+  return true;
+}
+
+bool ShardTapeWriter::close() {
+  std::lock_guard<std::mutex> lock(*static_cast<std::mutex*>(mutex_));
+  if (!file_) return false;
+  const bool flushed = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (failed_ || !flushed) {
+    std::remove(tmp_path_.c_str());
+    return false;
+  }
+  // Atomic publish: a tape that exists under its final name is complete.
+  if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<ShardTape> load_shard_tape(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  ShardTape tape;
+  char magic[8];
+  std::uint32_t index = 0, count = 0, host_len = 0;
+  bool ok = std::fread(magic, 1, sizeof magic, f) == sizeof magic &&
+            std::memcmp(magic, kMagic, sizeof kMagic) == 0 &&
+            read_u32(f, &index) && read_u32(f, &count) &&
+            read_u32(f, &host_len) && host_len <= 4096;
+  if (ok) {
+    tape.meta.index = static_cast<int>(index);
+    tape.meta.count = static_cast<int>(count);
+    tape.meta.host.resize(host_len);
+    ok = std::fread(tape.meta.host.data(), 1, host_len, f) == host_len;
+  }
+  while (ok) {
+    std::uint32_t key_len = 0;
+    if (!read_u32(f, &key_len)) break;  // Clean EOF.
+    std::string key(key_len, '\0');
+    std::uint64_t n = 0;
+    ok = key_len <= (1u << 20) &&
+         std::fread(key.data(), 1, key_len, f) == key_len && read_u64(f, &n) &&
+         n <= (1ull << 32);
+    if (!ok) break;
+    std::vector<double> payload(static_cast<std::size_t>(n));
+    ok = std::fread(payload.data(), sizeof(double), payload.size(), f) ==
+         payload.size();
+    if (!ok) break;
+    tape.records[key] = std::move(payload);
+    ++tape.meta.records;
+  }
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return tape;
+}
+
+std::vector<ShardTape> load_shard_tapes(const std::string& dir, int count) {
+  std::vector<ShardTape> tapes;
+  tapes.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    auto tape = load_shard_tape(shard_tape_path(dir, k, count));
+    if (!tape || tape->meta.index != k || tape->meta.count != count) {
+      std::fprintf(stderr,
+                   "warning: shard tape %s missing or corrupt; merge "
+                   "falls back to local computation\n",
+                   shard_tape_path(dir, k, count).c_str());
+      return {};
+    }
+    tapes.push_back(std::move(*tape));
+  }
+  return tapes;
+}
+
+namespace {
+
+// Lazily-built process-global state, resettable so one process can play
+// several shard roles in sequence (the scaling bench and the in-process
+// determinism tests switch worker -> merge without exec'ing).
+std::mutex g_state_mutex;
+ShardTapeWriter* g_writer = nullptr;
+std::vector<ShardTape>* g_tapes = nullptr;
+
+}  // namespace
+
+ShardTapeWriter* shard_tape() {
+  if (!shard_worker()) return nullptr;
+  std::lock_guard<std::mutex> lock(g_state_mutex);
+  if (!g_writer) {
+    g_writer = new ShardTapeWriter(shard().dir, shard().index, shard().count);
+  }
+  return g_writer;
+}
+
+bool close_shard_tape() {
+  if (!shard_worker()) return true;
+  ShardTapeWriter* writer = shard_tape();
+  return writer != nullptr && writer->ok() && writer->close();
+}
+
+const std::vector<ShardTape>& shard_tapes() {
+  std::lock_guard<std::mutex> lock(g_state_mutex);
+  if (!g_tapes) {
+    g_tapes = new std::vector<ShardTape>(
+        shard_merge() ? load_shard_tapes(shard().dir, shard().count)
+                      : std::vector<ShardTape>());
+  }
+  return *g_tapes;
+}
+
+void reset_shard_state() {
+  std::lock_guard<std::mutex> lock(g_state_mutex);
+  delete g_writer;
+  g_writer = nullptr;
+  delete g_tapes;
+  g_tapes = nullptr;
+  shard() = ShardSpec{};
+}
+
+std::vector<std::span<const double>> shard_payloads(const std::string& key) {
+  const std::vector<ShardTape>& tapes = shard_tapes();
+  std::vector<std::span<const double>> payloads;
+  payloads.reserve(tapes.size());
+  for (const ShardTape& tape : tapes) {
+    const auto it = tape.records.find(key);
+    if (it == tape.records.end()) {
+      if (!payloads.empty()) {
+        std::fprintf(stderr,
+                     "warning: shard key '%s' present on only some tapes; "
+                     "falling back to local computation\n",
+                     key.c_str());
+      }
+      return {};
+    }
+    payloads.push_back(it->second);
+  }
+  return payloads;
+}
+
+}  // namespace ntv::stats

@@ -1,0 +1,158 @@
+// Process-level Monte Carlo sharding: deterministic block partitioning
+// plus the shard tape that carries per-shard summaries to the merger.
+//
+// One experiment's MC budget is split across N worker processes by
+// partitioning the fixed-size substream blocks of monte_carlo_blocks
+// (stats/monte_carlo.h): worker k fills exactly the blocks it owns and
+// leaves the rest untouched, so the union of all workers' rows is the
+// byte-identical unsharded sample set (every block re-derives its RNG
+// from (seed, block) alone). Workers condense their rows into mergeable
+// summaries (stats/merge.h) and append them to a shard tape; a final
+// merge process unions the tapes and reproduces the unsharded report
+// bit for bit (docs/SHARDING.md).
+//
+// The shard state is process-global (like the thread pool and the SIMD
+// backend): a worker subprocess is a worker for its whole lifetime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ntv::stats {
+
+/// Role of this process in a sharded run.
+enum class ShardMode {
+  kOff = 0,  ///< Normal single-process run (the default).
+  kWorker,   ///< Fill only owned blocks, write summaries to the tape.
+  kMerge,    ///< Union the worker tapes into the final report.
+};
+
+/// Process-global shard configuration (set once at startup by
+/// `--shard` / `--shard-dir`, before any Monte Carlo runs).
+struct ShardSpec {
+  ShardMode mode = ShardMode::kOff;
+  int index = 0;    ///< Worker index in [0, count); 0 for merge.
+  int count = 1;    ///< Total worker count N.
+  std::string dir;  ///< Directory holding the shard tapes.
+};
+
+/// Mutable access to the process-global shard spec.
+ShardSpec& shard();
+
+inline bool shard_worker() { return shard().mode == ShardMode::kWorker; }
+inline bool shard_merge() { return shard().mode == ShardMode::kMerge; }
+
+/// Ownership granularity in monte_carlo_blocks blocks. Two consecutive
+/// 64-row blocks form one ownership group so a 128-chip prefix-curve
+/// tile (core/mitigation.cc) is always wholly owned or wholly skipped —
+/// workers then skip curve extraction at the same 1/N rate as the fill.
+inline constexpr std::size_t kShardBlockGroup = 2;
+
+/// True when this process fills substream block `b`: always, except in
+/// worker mode, where block groups are dealt round-robin over workers.
+/// The partition is a pure function of (b, index, count) — no state —
+/// so any worker set covering [0, N) reproduces the full sample set.
+inline bool shard_owns_block(std::size_t b) {
+  const ShardSpec& s = shard();
+  if (s.mode != ShardMode::kWorker) return true;
+  return (b / kShardBlockGroup) % static_cast<std::size_t>(s.count) ==
+         static_cast<std::size_t>(s.index);
+}
+
+/// Parses a `--shard` value: "k/N" (worker k of N) or "merge/N".
+/// Returns false on malformed input, k >= N, or N < 1.
+bool parse_shard(const std::string& text, ShardSpec* out);
+
+/// Tape path for worker `index` of `count` under `dir`.
+std::string shard_tape_path(const std::string& dir, int index, int count);
+
+/// Per-tape provenance recorded in the tape header and surfaced in the
+/// merged report's manifest (docs/SHARDING.md).
+struct ShardTapeMeta {
+  int index = 0;
+  int count = 1;
+  std::string host;           ///< Producing machine (gethostname).
+  std::uint64_t records = 0;  ///< Keyed summaries on the tape.
+};
+
+/// Append-only writer for one worker's tape. Records are (key, payload)
+/// pairs; payloads are raw double vectors whose layout is owned by the
+/// producer (stats/merge.h serializers). The tape is written to a
+/// temporary name and atomically renamed on `close()`, so a tape that
+/// exists is complete — a crashed worker leaves no torn tape behind.
+/// `put` is thread-safe (summaries are produced inside parallel sweeps).
+class ShardTapeWriter {
+ public:
+  /// Opens the temporary tape file and writes the header. Check `ok()`.
+  ShardTapeWriter(const std::string& dir, int index, int count);
+  ~ShardTapeWriter();
+  ShardTapeWriter(const ShardTapeWriter&) = delete;
+  ShardTapeWriter& operator=(const ShardTapeWriter&) = delete;
+
+  bool ok() const noexcept { return file_ != nullptr; }
+
+  /// Appends one keyed payload. Returns false on IO failure.
+  bool put(const std::string& key, std::span<const double> payload);
+
+  /// Flushes and renames the tape to its final name. Returns false when
+  /// any put failed or the rename fails; the temporary file is removed.
+  bool close();
+
+  std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string tmp_path_;
+  std::string final_path_;
+  std::uint64_t records_ = 0;
+  bool failed_ = false;
+  void* mutex_;  // std::mutex kept out of the header (pimpl-lite).
+};
+
+/// One worker's tape, fully loaded: header meta plus keyed payloads.
+struct ShardTape {
+  ShardTapeMeta meta;
+  std::map<std::string, std::vector<double>> records;
+};
+
+/// Loads one tape. Returns nullopt on a missing file, a bad magic or
+/// version, or a truncated record (a tape is all-or-nothing).
+std::optional<ShardTape> load_shard_tape(const std::string& path);
+
+/// Loads all `count` worker tapes under `dir`. Returns an empty vector
+/// when any tape is missing or corrupt — the merger then falls back to
+/// computing locally, which is slower but always correct.
+std::vector<ShardTape> load_shard_tapes(const std::string& dir, int count);
+
+/// The process-global tape writer of a worker (lazily opened under
+/// shard().dir on first use). Null outside worker mode.
+ShardTapeWriter* shard_tape();
+
+/// Closes (atomically publishes) the worker's tape; true on success or
+/// when no tape was ever opened. Called once at process shutdown.
+bool close_shard_tape();
+
+/// The loaded worker tapes of a merge process (lazily loaded from
+/// shard().dir on first use; empty outside merge mode or on load
+/// failure). Merge-side consumers look their keys up here and fall back
+/// to local computation on a miss.
+const std::vector<ShardTape>& shard_tapes();
+
+/// Drops the lazy writer (without publishing) and the loaded tape cache,
+/// and resets `shard()` to the default off-mode spec. Lets one process
+/// play several shard roles in sequence (scaling bench, in-process
+/// tests); a normal worker/merge subprocess never needs it.
+void reset_shard_state();
+
+/// Convenience lookup: the payloads stored under `key`, one entry per
+/// worker tape that has it. Empty when not in merge mode or no tape has
+/// the key. A key present on only SOME tapes is a contract violation
+/// (workers disagreed on the call pattern) and also returns empty.
+std::vector<std::span<const double>> shard_payloads(const std::string& key);
+
+}  // namespace ntv::stats

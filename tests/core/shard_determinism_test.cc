@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/mitigation.h"
+#include "stats/shard.h"
+
+namespace ntv::core {
+namespace {
+
+// End-to-end shard-count invariance at the study level, in one process:
+// N in-process "workers" (shard state switched between runs) tape their
+// summaries, the merge run unions them, and every field of the merged
+// DuplicationResult must be BIT-identical to the unsharded run's. This
+// is the same contract `ntvsim_repro --shards N` relies on, minus the
+// subprocess plumbing.
+
+constexpr double kVdd = 0.55;
+constexpr int kMaxSpares = 16;
+
+MitigationConfig shard_test_config() {
+  MitigationConfig config;
+  // 2048 chips = 32 substream blocks = 16 ownership groups: with 8
+  // workers every worker owns exactly 2 groups, so the test exercises
+  // real partitioning, not a degenerate one-owner split.
+  config.chip_samples = 2048;
+  return config;
+}
+
+DuplicationResult run_with_fresh_study() {
+  const MitigationStudy study(device::tech_90nm(), shard_test_config());
+  return study.required_spares(kVdd, kMaxSpares);
+}
+
+void expect_bit_identical(const DuplicationResult& got,
+                          const DuplicationResult& expect,
+                          const char* label) {
+  EXPECT_EQ(got.spares, expect.spares) << label;
+  EXPECT_EQ(got.feasible, expect.feasible) << label;
+  // EXPECT_EQ on doubles is exact comparison — intended here.
+  EXPECT_EQ(got.area_overhead, expect.area_overhead) << label;
+  EXPECT_EQ(got.power_overhead, expect.power_overhead) << label;
+  EXPECT_EQ(got.ess, expect.ess) << label;
+  EXPECT_EQ(got.p99_rel_ci_halfwidth, expect.p99_rel_ci_halfwidth) << label;
+}
+
+TEST(ShardDeterminism, MergedStudyBitIdenticalToUnsharded) {
+  stats::reset_shard_state();
+  const DuplicationResult expect = run_with_fresh_study();
+  ASSERT_TRUE(expect.feasible);
+
+  for (const int count : {2, 8}) {
+    const std::string dir = testing::TempDir() + "ntv_shard_det_" +
+                            std::to_string(count) + "_" +
+                            std::to_string(::getpid());
+    ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+
+    for (int k = 0; k < count; ++k) {
+      stats::reset_shard_state();
+      stats::shard() =
+          stats::ShardSpec{stats::ShardMode::kWorker, k, count, dir};
+      (void)run_with_fresh_study();
+      ASSERT_TRUE(stats::close_shard_tape()) << "worker " << k;
+    }
+
+    stats::reset_shard_state();
+    stats::shard() =
+        stats::ShardSpec{stats::ShardMode::kMerge, 0, count, dir};
+    const DuplicationResult merged = run_with_fresh_study();
+    // The tapes must actually have been used — an empty set means the
+    // merger silently recomputed locally, which would make this test
+    // pass without testing the merge path at all.
+    ASSERT_FALSE(stats::shard_tapes().empty()) << count << " shards";
+    stats::reset_shard_state();
+
+    expect_bit_identical(merged, expect,
+                         count == 2 ? "2 shards" : "8 shards");
+
+    for (int k = 0; k < count; ++k) {
+      std::remove(stats::shard_tape_path(dir, k, count).c_str());
+    }
+    (void)rmdir(dir.c_str());
+  }
+}
+
+// A worker that never ran leaves no tape; the merger must fall back to
+// local computation and still produce the unsharded answer.
+TEST(ShardDeterminism, MissingTapeFallsBackToLocalCompute) {
+  stats::reset_shard_state();
+  const DuplicationResult expect = run_with_fresh_study();
+
+  const std::string dir = testing::TempDir() + "ntv_shard_fallback_" +
+                          std::to_string(::getpid());
+  ASSERT_EQ(mkdir(dir.c_str(), 0755), 0);
+  // Only worker 0 of 2 runs.
+  stats::shard() = stats::ShardSpec{stats::ShardMode::kWorker, 0, 2, dir};
+  (void)run_with_fresh_study();
+  ASSERT_TRUE(stats::close_shard_tape());
+
+  stats::reset_shard_state();
+  stats::shard() = stats::ShardSpec{stats::ShardMode::kMerge, 0, 2, dir};
+  const DuplicationResult merged = run_with_fresh_study();
+  EXPECT_TRUE(stats::shard_tapes().empty());
+  stats::reset_shard_state();
+
+  expect_bit_identical(merged, expect, "fallback merge");
+
+  std::remove(stats::shard_tape_path(dir, 0, 2).c_str());
+  (void)rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace ntv::core

@@ -109,5 +109,39 @@ TEST(Journal, TornFinalLineIsIgnored) {
   std::remove(path.c_str());
 }
 
+// A crashed shard worker can die mid-append; the NEXT append must not
+// splice its record onto the torn line (which would corrupt BOTH). The
+// writer seals an unterminated final line with a newline first, so
+// replay keeps every prior complete record plus the new one.
+TEST(Journal, AppendAfterTornLineSealsIt) {
+  const std::string path = temp_journal_path("sealtorn");
+  std::remove(path.c_str());
+  const Journal journal(path);
+
+  JournalEntry entry;
+  entry.id = "fig1";
+  entry.status = RunStatus::kOk;
+  entry.report = "r1.json";
+  ASSERT_TRUE(journal.append(entry));
+
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"experiment\": \"fig2.shard1of4\", \"status\": \"o";
+  }
+
+  JournalEntry next;
+  next.id = "fig3";
+  next.status = RunStatus::kOk;
+  next.report = "r3.json";
+  ASSERT_TRUE(journal.append(next));
+
+  const auto entries = journal.load();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("fig1").report, "r1.json");
+  EXPECT_EQ(entries.at("fig3").report, "r3.json");
+  EXPECT_EQ(entries.count("fig2.shard1of4"), 0u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ntv::harness

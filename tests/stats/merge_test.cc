@@ -1,0 +1,300 @@
+#include "stats/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "stats/monte_carlo.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+#include "stats/shard.h"
+
+namespace ntv::stats {
+namespace {
+
+// Property suite for the bit-stable aggregation contract (merge.h):
+// splitting a sample into shards along substream-block boundaries and
+// merging the per-shard summaries — in ANY grouping order — must
+// reproduce the unsharded computation bit for bit.
+
+constexpr std::size_t kBlock = kMonteCarloBlock;
+
+std::vector<double> random_column(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  std::vector<double> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) data.push_back(rng.normal());
+  return data;
+}
+
+/// Deterministic Fisher-Yates with the repo RNG (tests stay seedable).
+template <typename T>
+void shuffle_with(std::vector<T>* items, Xoshiro256pp* rng) {
+  for (std::size_t i = items->size(); i > 1; --i) {
+    const std::size_t j = rng->next() % i;
+    std::swap((*items)[i - 1], (*items)[j]);
+  }
+}
+
+/// The block owner under the shard partition of stats/shard.h.
+std::size_t owner_of_block(std::size_t b, std::size_t count) {
+  return (b / kShardBlockGroup) % count;
+}
+
+/// The subset of `column` a worker with the given index would own.
+std::vector<double> owned_values(std::span<const double> column,
+                                 std::size_t index, std::size_t count) {
+  std::vector<double> owned;
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    if (owner_of_block(i / kBlock, count) == index) owned.push_back(column[i]);
+  }
+  return owned;
+}
+
+bool summaries_identical(const Summary& a, const Summary& b) {
+  // Exact (bitwise) equality on every exposed moment — the contract is
+  // bit-stability, not numerical closeness.
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.m2() == b.m2() && a.m3() == b.m3() && a.m4() == b.m4() &&
+         a.min() == b.min() && a.max() == b.max();
+}
+
+TEST(MomentSketch, MergeGroupingOrderIsIrrelevant) {
+  const std::size_t n_blocks = 100;
+  const auto column = random_column(n_blocks * kBlock, 11);
+
+  // Reference: every block added to one sketch.
+  MomentSketch reference;
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    reference.add_block(b, std::span<const double>(column).subspan(
+                               b * kBlock, kBlock));
+  }
+  const Summary expect = reference.finalize();
+
+  Xoshiro256pp rng(99);
+  for (const std::size_t shards : {2u, 3u, 5u, 8u}) {
+    // Build per-shard sketches along the real ownership partition.
+    std::vector<MomentSketch> parts(shards);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      parts[owner_of_block(b, shards)].add_block(
+          b, std::span<const double>(column).subspan(b * kBlock, kBlock));
+    }
+    // Merge in several shuffled linear orders.
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::size_t> order(shards);
+      std::iota(order.begin(), order.end(), 0);
+      shuffle_with(&order, &rng);
+      MomentSketch merged;
+      for (const std::size_t s : order) merged.merge(parts[s]);
+      const Summary got = merged.finalize();
+      EXPECT_TRUE(summaries_identical(got, expect))
+          << shards << " shards, round " << round;
+    }
+    // And as a pairwise tree (a different association).
+    std::vector<MomentSketch> tree = parts;
+    while (tree.size() > 1) {
+      std::vector<MomentSketch> next;
+      for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+        MomentSketch m = tree[i];
+        m.merge(tree[i + 1]);
+        next.push_back(std::move(m));
+      }
+      if (tree.size() % 2 == 1) next.push_back(tree.back());
+      tree = std::move(next);
+    }
+    EXPECT_TRUE(summaries_identical(tree.front().finalize(), expect))
+        << shards << " shards, tree fold";
+  }
+}
+
+TEST(MomentSketch, SerializeRoundTrips) {
+  const auto column = random_column(5 * kBlock, 7);
+  MomentSketch sketch;
+  for (std::size_t b = 0; b < 5; ++b) {
+    sketch.add_block(b * 17,  // Sparse, non-contiguous block keys.
+                     std::span<const double>(column).subspan(b * kBlock,
+                                                             kBlock));
+  }
+  const auto parsed = MomentSketch::deserialize(sketch.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->blocks(), sketch.blocks());
+  EXPECT_TRUE(summaries_identical(parsed->finalize(), sketch.finalize()));
+}
+
+TEST(MomentSketch, DeserializeRejectsTruncatedPayload) {
+  const auto column = random_column(2 * kBlock, 3);
+  MomentSketch sketch;
+  sketch.add_block(0, std::span<const double>(column).first(kBlock));
+  sketch.add_block(1, std::span<const double>(column).subspan(kBlock));
+  std::vector<double> payload = sketch.serialize();
+  payload.pop_back();
+  EXPECT_FALSE(MomentSketch::deserialize(payload));
+}
+
+TEST(MomentSketch, DuplicateBlockKeepsFirstLeaf) {
+  const auto column = random_column(2 * kBlock, 5);
+  MomentSketch a;
+  a.add_block(0, std::span<const double>(column).first(kBlock));
+  MomentSketch b;
+  b.add_block(0, std::span<const double>(column).subspan(kBlock));
+  const Summary before = a.finalize();
+  a.merge(b);  // Ownership violation: block 0 on both sides.
+  EXPECT_EQ(a.blocks(), 1u);
+  EXPECT_TRUE(summaries_identical(a.finalize(), before));
+}
+
+// The central property: sharded tail sketches, merged in any order,
+// reproduce stats::percentile on the full column bitwise.
+TEST(TailSketch, ShardedPercentileIsBitIdentical) {
+  Xoshiro256pp rng(123);
+  for (const std::size_t n : {640u, 6400u, 6397u}) {  // Ragged tail too.
+    const auto column = random_column(n, 1000 + n);
+    const double p = 99.0;
+    const std::size_t keep = tail_keep(n, p);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      std::vector<TailSketch> parts;
+      for (std::size_t k = 0; k < shards; ++k) {
+        parts.push_back(tail_sketch(owned_values(column, k, shards), n, keep));
+      }
+      for (int round = 0; round < 3; ++round) {
+        shuffle_with(&parts, &rng);
+        const auto merged = merge_tails(parts, keep);
+        ASSERT_TRUE(merged) << shards << " shards";
+        const auto got = percentile_from_tail(*merged, p);
+        ASSERT_TRUE(got) << shards << " shards";
+        // Exact equality on purpose: the contract is BIT-identity.
+        EXPECT_EQ(*got, percentile(column, p))
+            << n << " samples, " << shards << " shards, round " << round;
+      }
+    }
+  }
+}
+
+TEST(TailSketch, ShardedQuantileCiIsBitIdentical) {
+  const std::size_t n = 6400;
+  const auto column = random_column(n, 21);
+  const double p = 99.0;
+  const std::size_t keep = tail_keep(n, p);
+  const QuantileCi expect =
+      weighted_percentile_ci(column, std::span<const double>(), p);
+
+  for (const std::size_t shards : {2u, 5u, 8u}) {
+    std::vector<TailSketch> parts;
+    for (std::size_t k = 0; k < shards; ++k) {
+      parts.push_back(tail_sketch(owned_values(column, k, shards), n, keep));
+    }
+    const auto merged = merge_tails(parts, keep);
+    ASSERT_TRUE(merged);
+    const auto got = quantile_ci_from_tail(*merged, p);
+    ASSERT_TRUE(got) << shards << " shards";
+    EXPECT_EQ(got->estimate, expect.estimate);
+    EXPECT_EQ(got->lo, expect.lo);
+    EXPECT_EQ(got->hi, expect.hi);
+  }
+}
+
+// tail_keep must keep every rank the sign-off search probes, for any
+// column size — checked by demanding the CI probes all land in-tail.
+TEST(TailSketch, TailKeepCoversAllCiProbes) {
+  Xoshiro256pp rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 50 + rng.next() % 20000;
+    const double p = (trial % 2 == 0) ? 99.0 : 95.0;
+    const auto column = random_column(n, 7000 + trial);
+    const TailSketch tail = tail_sketch(column, n, tail_keep(n, p));
+    const auto ci = quantile_ci_from_tail(tail, p);
+    ASSERT_TRUE(ci) << "n=" << n << " p=" << p;
+    const QuantileCi expect =
+        weighted_percentile_ci(column, std::span<const double>(), p);
+    EXPECT_EQ(ci->estimate, expect.estimate) << "n=" << n;
+    EXPECT_EQ(ci->lo, expect.lo) << "n=" << n;
+    EXPECT_EQ(ci->hi, expect.hi) << "n=" << n;
+  }
+}
+
+TEST(TailSketch, PercentileOutsideKeptTailIsNullopt) {
+  const auto column = random_column(1000, 17);
+  const TailSketch tail = tail_sketch(column, 1000, 20);
+  EXPECT_FALSE(percentile_from_tail(tail, 50.0));
+  EXPECT_TRUE(percentile_from_tail(tail, 99.5));
+}
+
+TEST(TailSketch, MergeRejectsDisagreeingN) {
+  const auto column = random_column(640, 9);
+  std::vector<TailSketch> parts = {tail_sketch(column, 640, 32),
+                                   tail_sketch(column, 641, 32)};
+  EXPECT_FALSE(merge_tails(parts, 32));
+}
+
+TEST(TailSketch, MergeRejectsMissingShard) {
+  const std::size_t n = 1280;
+  const auto column = random_column(n, 13);
+  // Two of three shards: owned counts cannot sum to n.
+  std::vector<TailSketch> parts;
+  for (std::size_t k = 0; k < 2; ++k) {
+    parts.push_back(tail_sketch(owned_values(column, k, 3), n, 64));
+  }
+  EXPECT_FALSE(merge_tails(parts, 64));
+}
+
+TEST(TailSketch, SerializeTailsRoundTrips) {
+  const std::size_t n = 640;
+  std::vector<TailSketch> columns;
+  for (int c = 0; c < 3; ++c) {
+    columns.push_back(tail_sketch(random_column(n, 40 + c), n, 25));
+  }
+  const auto parsed = deserialize_tails(serialize_tails(columns));
+  ASSERT_EQ(parsed.size(), columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    EXPECT_EQ(parsed[c].n, columns[c].n);
+    EXPECT_EQ(parsed[c].owned, columns[c].owned);
+    EXPECT_EQ(parsed[c].values, columns[c].values);
+  }
+}
+
+TEST(MergeHistograms, CountsMatchUnsharded) {
+  const auto column = random_column(5000, 61);
+  Histogram whole(-4.0, 4.0, 32);
+  whole.add_all(column);
+
+  std::vector<Histogram> parts;
+  for (std::size_t k = 0; k < 4; ++k) {
+    Histogram h(-4.0, 4.0, 32);
+    h.add_all(owned_values(column, k, 4));
+    parts.push_back(std::move(h));
+  }
+  const auto merged = merge_histograms(parts);
+  ASSERT_TRUE(merged);
+  ASSERT_EQ(merged->bin_count(), whole.bin_count());
+  for (std::size_t b = 0; b < whole.bin_count(); ++b) {
+    EXPECT_EQ(merged->count(b), whole.count(b)) << "bin " << b;
+  }
+  EXPECT_EQ(merged->underflow(), whole.underflow());
+  EXPECT_EQ(merged->overflow(), whole.overflow());
+  EXPECT_EQ(merged->total(), whole.total());
+}
+
+TEST(MergeHistograms, RejectsMismatchedGeometry) {
+  std::vector<Histogram> parts = {Histogram(0.0, 1.0, 8),
+                                  Histogram(0.0, 2.0, 8)};
+  EXPECT_FALSE(merge_histograms(parts));
+}
+
+TEST(MergeEcdfs, UnionEqualsUnshardedSort) {
+  const auto column = random_column(3000, 71);
+  const Ecdf whole(column);
+
+  std::vector<Ecdf> parts;
+  for (std::size_t k = 0; k < 3; ++k) {
+    parts.push_back(Ecdf(owned_values(column, k, 3)));
+  }
+  const Ecdf merged = merge_ecdfs(parts);
+  ASSERT_EQ(merged.size(), whole.size());
+  EXPECT_EQ(merged.sorted(), whole.sorted());
+}
+
+}  // namespace
+}  // namespace ntv::stats

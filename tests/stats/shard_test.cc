@@ -1,0 +1,262 @@
+#include "stats/shard.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stats/monte_carlo.h"
+
+namespace ntv::stats {
+namespace {
+
+std::string temp_shard_dir(const char* name) {
+  const std::string dir = testing::TempDir() + "ntv_shard_" + name + "_" +
+                          std::to_string(::getpid());
+  (void)mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// The process-global shard spec leaks across tests otherwise; every test
+// that touches it runs through this fixture.
+class ShardState : public ::testing::Test {
+ protected:
+  void TearDown() override { reset_shard_state(); }
+};
+
+TEST(ParseShard, AcceptsWorkersAndMerge) {
+  ShardSpec spec;
+  ASSERT_TRUE(parse_shard("0/4", &spec));
+  EXPECT_EQ(spec.mode, ShardMode::kWorker);
+  EXPECT_EQ(spec.index, 0);
+  EXPECT_EQ(spec.count, 4);
+
+  ASSERT_TRUE(parse_shard("3/4", &spec));
+  EXPECT_EQ(spec.index, 3);
+
+  ASSERT_TRUE(parse_shard("merge/4", &spec));
+  EXPECT_EQ(spec.mode, ShardMode::kMerge);
+  EXPECT_EQ(spec.index, 0);
+  EXPECT_EQ(spec.count, 4);
+}
+
+TEST(ParseShard, PreservesPreviouslyParsedDir) {
+  ShardSpec spec;
+  spec.dir = "/tmp/tapes";  // --shard-dir came first on the command line.
+  ASSERT_TRUE(parse_shard("1/2", &spec));
+  EXPECT_EQ(spec.dir, "/tmp/tapes");
+}
+
+TEST(ParseShard, RejectsMalformedSpecs) {
+  ShardSpec spec;
+  for (const char* bad : {"", "/", "4", "4/", "/4", "4/4", "5/4", "-1/4",
+                          "0/0", "0/-2", "merge/", "merge/0", "m3rge/4",
+                          "1/4x", "x/4"}) {
+    EXPECT_FALSE(parse_shard(bad, &spec)) << "'" << bad << "'";
+  }
+}
+
+// Every block must have exactly one owner, and the union over workers
+// must cover every block — the partition underlying byte-identity.
+TEST_F(ShardState, EveryBlockHasExactlyOneOwner) {
+  for (const int count : {1, 2, 3, 7, 8}) {
+    for (std::size_t b = 0; b < 1000; ++b) {
+      int owners = 0;
+      for (int k = 0; k < count; ++k) {
+        shard() = ShardSpec{ShardMode::kWorker, k, count, ""};
+        if (shard_owns_block(b)) ++owners;
+      }
+      ASSERT_EQ(owners, 1) << "block " << b << " of " << count << " workers";
+    }
+  }
+}
+
+TEST_F(ShardState, OwnershipGroupsSpanWholeCurveTiles) {
+  // kShardBlockGroup consecutive blocks always share an owner, so a
+  // 128-chip curve tile (kTile in core/mitigation.cc) never straddles
+  // two workers.
+  shard() = ShardSpec{ShardMode::kWorker, 1, 3, ""};
+  for (std::size_t g = 0; g < 300; ++g) {
+    const bool first = shard_owns_block(g * kShardBlockGroup);
+    for (std::size_t i = 1; i < kShardBlockGroup; ++i) {
+      EXPECT_EQ(shard_owns_block(g * kShardBlockGroup + i), first)
+          << "group " << g;
+    }
+  }
+}
+
+TEST_F(ShardState, OffAndMergeModesOwnEveryBlock) {
+  shard() = ShardSpec{};
+  EXPECT_TRUE(shard_owns_block(0));
+  EXPECT_TRUE(shard_owns_block(12345));
+  shard() = ShardSpec{ShardMode::kMerge, 0, 4, ""};
+  EXPECT_TRUE(shard_owns_block(0));
+  EXPECT_TRUE(shard_owns_block(12345));
+}
+
+TEST(ShardTape, WriteLoadRoundTrips) {
+  const std::string dir = temp_shard_dir("roundtrip");
+  const std::vector<double> a = {1.0, 2.5, -3.0};
+  const std::vector<double> b = {42.0};
+  {
+    ShardTapeWriter writer(dir, 2, 4);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.put("cell-a", a));
+    EXPECT_TRUE(writer.put("cell-b", b));
+    EXPECT_EQ(writer.records(), 2u);
+    EXPECT_TRUE(writer.close());
+  }
+  const auto tape = load_shard_tape(shard_tape_path(dir, 2, 4));
+  ASSERT_TRUE(tape);
+  EXPECT_EQ(tape->meta.index, 2);
+  EXPECT_EQ(tape->meta.count, 4);
+  EXPECT_EQ(tape->meta.records, 2u);
+  EXPECT_FALSE(tape->meta.host.empty());
+  ASSERT_EQ(tape->records.size(), 2u);
+  EXPECT_EQ(tape->records.at("cell-a"), a);
+  EXPECT_EQ(tape->records.at("cell-b"), b);
+  std::remove(shard_tape_path(dir, 2, 4).c_str());
+  (void)rmdir(dir.c_str());
+}
+
+TEST(ShardTape, UnclosedWriterPublishesNothing) {
+  const std::string dir = temp_shard_dir("crash");
+  {
+    ShardTapeWriter writer(dir, 0, 1);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.put("cell", std::vector<double>{1.0}));
+    // No close(): the worker "crashed". The destructor must remove the
+    // temporary, and no final tape may exist.
+  }
+  EXPECT_FALSE(load_shard_tape(shard_tape_path(dir, 0, 1)));
+  (void)rmdir(dir.c_str());  // Fails (non-empty) if the tmp leaked.
+  struct stat st;
+  EXPECT_NE(stat(dir.c_str(), &st), 0) << "crashed worker left files behind";
+}
+
+TEST(ShardTape, TruncatedTapeIsRejectedWhole) {
+  const std::string dir = temp_shard_dir("trunc");
+  {
+    ShardTapeWriter writer(dir, 0, 1);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.put("cell-a", std::vector<double>{1.0, 2.0}));
+    EXPECT_TRUE(writer.put("cell-b", std::vector<double>{3.0}));
+    ASSERT_TRUE(writer.close());
+  }
+  const std::string path = shard_tape_path(dir, 0, 1);
+  struct stat st;
+  ASSERT_EQ(stat(path.c_str(), &st), 0);
+  ASSERT_EQ(truncate(path.c_str(), st.st_size - 4), 0);
+  // All-or-nothing: a torn record poisons the whole tape, it must not
+  // quietly surface just the records before the tear.
+  EXPECT_FALSE(load_shard_tape(path));
+  std::remove(path.c_str());
+  (void)rmdir(dir.c_str());
+}
+
+TEST(ShardTape, BadMagicIsRejected) {
+  const std::string dir = temp_shard_dir("magic");
+  const std::string path = shard_tape_path(dir, 0, 1);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATAPE and then some bytes";
+  }
+  EXPECT_FALSE(load_shard_tape(path));
+  std::remove(path.c_str());
+  (void)rmdir(dir.c_str());
+}
+
+TEST(LoadShardTapes, AnyMissingTapeEmptiesTheSet) {
+  const std::string dir = temp_shard_dir("missing");
+  {
+    ShardTapeWriter writer(dir, 0, 2);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.put("cell", std::vector<double>{1.0}));
+    ASSERT_TRUE(writer.close());
+  }
+  // Tape 1 of 2 never appeared: the merger must fall back entirely.
+  EXPECT_TRUE(load_shard_tapes(dir, 2).empty());
+  std::remove(shard_tape_path(dir, 0, 2).c_str());
+  (void)rmdir(dir.c_str());
+}
+
+TEST_F(ShardState, PayloadLookupRequiresKeyOnAllTapes) {
+  const std::string dir = temp_shard_dir("payloads");
+  for (int k = 0; k < 2; ++k) {
+    ShardTapeWriter writer(dir, k, 2);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE(writer.put("everywhere", std::vector<double>{double(k)}));
+    if (k == 0) {
+      EXPECT_TRUE(writer.put("only-on-0", std::vector<double>{9.0}));
+    }
+    ASSERT_TRUE(writer.close());
+  }
+
+  reset_shard_state();
+  shard() = ShardSpec{ShardMode::kMerge, 0, 2, dir};
+  const auto everywhere = shard_payloads("everywhere");
+  ASSERT_EQ(everywhere.size(), 2u);
+  EXPECT_EQ(everywhere[0][0], 0.0);
+  EXPECT_EQ(everywhere[1][0], 1.0);
+  // Partial presence is a contract violation, not a 1-element answer.
+  EXPECT_TRUE(shard_payloads("only-on-0").empty());
+  EXPECT_TRUE(shard_payloads("nowhere").empty());
+
+  for (int k = 0; k < 2; ++k) {
+    std::remove(shard_tape_path(dir, k, 2).c_str());
+  }
+  (void)rmdir(dir.c_str());
+}
+
+// The row-level foundation of byte-identity: the union of N workers'
+// fills reproduces the unsharded sample set exactly, under both the
+// serial and the pooled execution path.
+TEST_F(ShardState, WorkerFillUnionEqualsUnshardedFill) {
+  const std::size_t n = 1000;  // Ragged final block on purpose.
+  const std::size_t width = 3;
+  const auto fill = [width](Xoshiro256pp& rng, std::size_t, double* out) {
+    for (std::size_t c = 0; c < width; ++c) out[c] = rng.normal();
+  };
+
+  for (const int threads : {1, 8}) {
+    MonteCarloOptions opt;
+    opt.threads = threads;
+    shard() = ShardSpec{};
+    const std::vector<double> whole = monte_carlo_rows(n, width, fill, opt);
+
+    for (const int count : {2, 8}) {
+      std::vector<double> merged(n * width, -1.0);
+      for (int k = 0; k < count; ++k) {
+        shard() = ShardSpec{ShardMode::kWorker, k, count, ""};
+        const std::vector<double> part = monte_carlo_rows(n, width, fill, opt);
+        for (std::size_t row = 0; row < n; ++row) {
+          if (!shard_owns_block(row / kMonteCarloBlock)) continue;
+          for (std::size_t c = 0; c < width; ++c) {
+            merged[row * width + c] = part[row * width + c];
+          }
+        }
+      }
+      EXPECT_EQ(merged, whole) << count << " workers, " << threads
+                               << " threads";
+    }
+  }
+}
+
+TEST_F(ShardState, ResetDropsWriterWithoutPublishing) {
+  const std::string dir = temp_shard_dir("reset");
+  shard() = ShardSpec{ShardMode::kWorker, 0, 1, dir};
+  ShardTapeWriter* writer = shard_tape();
+  ASSERT_NE(writer, nullptr);
+  EXPECT_TRUE(writer->put("cell", std::vector<double>{1.0}));
+  reset_shard_state();
+  EXPECT_FALSE(load_shard_tape(shard_tape_path(dir, 0, 1)));
+  EXPECT_EQ(shard().mode, ShardMode::kOff);
+  (void)rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace ntv::stats

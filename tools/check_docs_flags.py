@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Flag-drift gate: docs and --help must agree on CLI flags.
+
+Documentation rots in two directions:
+
+  1. a doc shows `ntvsim_repro run --shard-count 4` but the flag was
+     renamed (or never existed) — the runbook is now wrong;
+  2. a binary grows `--shards` but no doc mentions it — the feature is
+     invisible.
+
+This check fails CI on both. It is wired as a ctest (tools/CMakeLists)
+and runs in every CI job that executes the test suite.
+
+Direction 1 (documented => real): every `--flag` on a documented
+invocation line of a known program (a line in README.md / docs/*.md
+that names the program) must exist in that program's flag universe.
+Direction 2 (real => documented): every flag a --help-mode program
+advertises must be mentioned somewhere in the scanned docs.
+
+Programs are declared in PROGRAMS below, in one of two modes:
+  help    the flag universe is the program's --help/usage text; both
+          directions are enforced.  The binary path comes from argv.
+  source  the flag universe is the union of `--flag` tokens in the
+          listed source files (for programs whose flags live in shared
+          parsing code, e.g. the bench binaries' bench_util.h); only
+          direction 1 is enforced — source text also matches comments,
+          which would make direction 2 noisy.
+
+usage: check_docs_flags.py --repo <root> <ntvsim> <ntvsim_repro>
+"""
+import glob
+import os
+import re
+import subprocess
+import sys
+
+# A flag token: --word(-word)*, not part of a longer word (so prose
+# dashes like "byte-identical" or "--" alone never match).
+FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9]*(?:-[a-z0-9]+)*\b")
+
+# name: the token that marks an invocation line in the docs.
+# mode "help": flags come from running the binary (argv supplies paths).
+# mode "source": flags come from scanning the listed files (globs,
+# relative to the repo root).
+PROGRAMS = [
+    {"name": "ntvsim_repro", "mode": "help"},
+    {"name": "ntvsim", "mode": "help"},
+    {"name": "check_report.py", "mode": "source",
+     "sources": ["tools/check_report.py"]},
+    {"name": "ntvsim_client.py", "mode": "source",
+     "sources": ["tools/ntvsim_client.py"]},
+    # All bench binaries share bench_util.h's flag parser and add no
+    # flags of their own; any `bench_<name>` invocation checks against
+    # the union.
+    {"name": "bench_", "mode": "source",
+     "sources": ["bench/bench_util.h", "bench/*.cc"]},
+]
+
+DOC_GLOBS = ["README.md", "docs/*.md"]
+
+
+def doc_paths(repo):
+    paths = []
+    for pattern in DOC_GLOBS:
+        paths.extend(sorted(glob.glob(os.path.join(repo, pattern))))
+    return paths
+
+
+def help_text(binary):
+    """Usage text of a repo binary: ntvsim prints it on --help (exit 0),
+    ntvsim_repro on any unknown command (exit 2) — take stdout+stderr
+    and ignore the exit code."""
+    try:
+        proc = subprocess.run([binary, "--help"], capture_output=True,
+                              text=True, timeout=60)
+    except OSError as e:
+        return None, f"cannot run {binary}: {e}"
+    return proc.stdout + proc.stderr, None
+
+
+def source_flags(repo, patterns):
+    flags = set()
+    for pattern in patterns:
+        for path in sorted(glob.glob(os.path.join(repo, pattern))):
+            with open(path, encoding="utf-8") as f:
+                flags |= set(FLAG_RE.findall(f.read()))
+    return flags
+
+
+def logical_lines(doc_text):
+    """Doc lines with backslash continuations joined (multi-line command
+    examples in the runbooks are one invocation)."""
+    lines = []
+    pending = ""
+    for line in doc_text.splitlines():
+        if line.rstrip().endswith("\\"):
+            pending += line.rstrip()[:-1] + " "
+            continue
+        lines.append(pending + line)
+        pending = ""
+    if pending:
+        lines.append(pending)
+    return lines
+
+
+def names_program(token, name):
+    """True when a doc token invokes the program: exact basename match,
+    or basename prefix for family names like "bench_"."""
+    base = token.strip("`'\"()<>,.:;").split("/")[-1]
+    if name.endswith("_"):
+        return base.startswith(name)
+    return base == name
+
+
+def documented_flags_by_program(doc_text, names):
+    """{program name: flags attributed to it} for one doc. A flag
+    belongs to the nearest program token BEFORE it on the same logical
+    line, so `repro ... | check_report.py --diff-results` attributes
+    --diff-results to the checker, not to the repro runner."""
+    by_program = {name: set() for name in names}
+    for line in logical_lines(doc_text):
+        current = None
+        for token in line.split():
+            owner = next((n for n in names if names_program(token, n)), None)
+            if owner is not None:
+                current = owner
+                continue
+            if current is not None:
+                by_program[current] |= set(FLAG_RE.findall(token))
+    return by_program
+
+
+def main(argv):
+    args = argv[1:]
+    repo = None
+    binaries = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--repo":
+            if i + 1 >= len(args):
+                print("error: --repo needs a value")
+                return 2
+            repo = args[i + 1]
+            i += 2
+        else:
+            binaries.append(args[i])
+            i += 1
+    if repo is None or len(binaries) != 2:
+        print(__doc__.strip().splitlines()[-1])
+        return 2
+    binary_by_name = {os.path.basename(p): p for p in binaries}
+
+    docs = doc_paths(repo)
+    if not docs:
+        print(f"error: no docs matched under {repo}")
+        return 2
+    doc_texts = {}
+    for path in docs:
+        with open(path, encoding="utf-8") as f:
+            doc_texts[path] = f.read()
+    all_doc_flags = set()
+    for text in doc_texts.values():
+        all_doc_flags |= set(FLAG_RE.findall(text))
+
+    errors = []
+    names = [p["name"] for p in PROGRAMS]
+    universes = {}
+    for program in PROGRAMS:
+        name = program["name"]
+        if program["mode"] == "help":
+            binary = binary_by_name.get(name)
+            if binary is None:
+                errors.append(f"{name}: no binary path given on argv")
+                continue
+            text, err = help_text(binary)
+            if err:
+                errors.append(f"{name}: {err}")
+                continue
+            universes[name] = set(FLAG_RE.findall(text))
+            # The probe flag itself can echo back in an "unknown
+            # command" line; it is not part of the advertised surface.
+            universes[name].discard("--help")
+            # Direction 2: every advertised flag appears in some doc.
+            for flag in sorted(universes[name] - all_doc_flags):
+                errors.append(f"{name}: help flag {flag} is documented "
+                              "nowhere in README.md or docs/")
+        else:
+            universes[name] = source_flags(repo, program["sources"])
+            if not universes[name]:
+                errors.append(f"{name}: no flags found in sources "
+                              f"{program['sources']} (moved?)")
+
+    # Direction 1: documented invocations only use real flags.
+    for path, text in doc_texts.items():
+        rel = os.path.relpath(path, repo)
+        for name, flags in documented_flags_by_program(text, names).items():
+            if name not in universes or not universes[name]:
+                continue
+            for flag in sorted(flags - universes[name]):
+                errors.append(f"{rel}: {name} invocation uses {flag}, "
+                              f"which {name} does not accept")
+
+    for error in errors:
+        print(f"FAIL {error}")
+    if errors:
+        print(f"{len(errors)} flag-drift error(s)")
+        return 1
+    print(f"OK flags: {len(PROGRAMS)} programs x {len(docs)} docs in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,7 @@ Usage:
                   [--range DOTTED.PATH LO HI]...
                   [--max-ci-halfwidth PATTERN MAX]...
                   [--diff-results OTHER.json]...
+                  [--min-shards N]
   check_report.py --compare-perf BASE.json CUR.json [--max-regress-pct P]
                   [--min-speedup S]
 
@@ -30,6 +31,13 @@ Checks, in order:
      over dotted paths ("results.values.p99_rel_ci_halfwidth_90nm_*");
      every matching numeric value must be <= MAX, and a glob that matches
      nothing fails (a gate that silently checks zero keys is no gate);
+  5b. --min-shards N: the report must come from a real shard merge —
+     manifest.shard is "merge/<count>" and manifest.shards lists at
+     least N per-worker provenance entries (index/host/records).  The
+     entries are populated from the tapes the merger actually LOADED,
+     so this distinguishes a genuine tape merge from the silent
+     local-recompute fallback (which would trivially pass a byte-diff
+     against the unsharded report; docs/SHARDING.md);
   6. every --diff-results OTHER.json: the "results" section of OTHER is
      byte-for-byte equal to this report's.  This is the determinism gate
      for the parallel engine — reports produced with the same seed at
@@ -211,11 +219,15 @@ def main(argv):
     check_schema, min_counters, ranges, diff_against = True, 0, [], []
     ci_limits = []
     counter_floors = []
+    min_shards = None
     i = 0
     while i < len(args):
         if args[i] == "--no-schema":
             check_schema = False
             i += 1
+        elif args[i] == "--min-shards":
+            min_shards = int(args[i + 1])
+            i += 2
         elif args[i] == "--min-counters":
             min_counters = int(args[i + 1])
             i += 2
@@ -284,6 +296,17 @@ def main(argv):
                 if not isinstance(value, (int, float)) or value > limit:
                     errors.append(
                         f"ci-halfwidth: {p}={value} exceeds {limit}")
+    if min_shards is not None:
+        shard = doc.get("manifest", {}).get("shard")
+        shards = doc.get("manifest", {}).get("shards")
+        if not isinstance(shard, str) or not shard.startswith("merge/"):
+            errors.append(f"shards: manifest.shard={shard!r} is not a "
+                          "merge role")
+        if not isinstance(shards, list) or len(shards) < min_shards:
+            count = len(shards) if isinstance(shards, list) else "absent"
+            errors.append(f"shards: manifest.shards has {count} "
+                          f"provenance entries, need >= {min_shards} "
+                          "(merger fell back to local recompute?)")
     for other_path in diff_against:
         try:
             with open(other_path) as f:
@@ -315,11 +338,13 @@ def main(argv):
     for err in errors:
         print(f"FAIL {path}: {err}")
     if not errors:
+        shard_note = (f", shards >= {min_shards}"
+                      if min_shards is not None else "")
         print(f"OK {path}: schema={'on' if check_schema else 'off'}, "
               f"{len(ranges)} range check(s), "
               f"{len(counter_floors)} counter floor(s), "
               f"{len(ci_limits)} ci gate(s), "
-              f"{len(diff_against)} diff(s)")
+              f"{len(diff_against)} diff(s){shard_note}")
     return 1 if errors else 0
 
 

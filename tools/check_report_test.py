@@ -182,6 +182,55 @@ class CheckReportTest(unittest.TestCase):
         self.assertNotIn("soda.fabric.events", out)
 
     # ------------------------------------------------------------------
+    # --min-shards: the shard-smoke job's guard against a byte-diff that
+    # trivially passes because the merger silently recomputed locally.
+
+    def shard_report(self, name, shard, shards):
+        doc = self.report({"x": 1.0})
+        if shard is not None:
+            doc["manifest"]["shard"] = shard
+        if shards is not None:
+            doc["manifest"]["shards"] = shards
+        return self.write(name, doc)
+
+    @staticmethod
+    def shard_entries(n):
+        return [{"index": k, "host": "ci", "records": 24} for k in range(n)]
+
+    def test_min_shards_genuine_merge_passes(self):
+        a = self.shard_report("a.json", "merge/4", self.shard_entries(4))
+        code, out = run_main(a, "--min-shards", "4")
+        self.assertEqual(code, 0, out)
+        self.assertIn("shards >= 4", out)
+
+    def test_min_shards_unsharded_report_fails(self):
+        a = self.shard_report("a.json", None, None)
+        code, out = run_main(a, "--min-shards", "4")
+        self.assertEqual(code, 1)
+        self.assertIn("not a merge role", out)
+
+    def test_min_shards_worker_role_fails(self):
+        # A worker's own (dummy) report must never satisfy the gate.
+        a = self.shard_report("a.json", "1/4", self.shard_entries(4))
+        code, out = run_main(a, "--min-shards", "4")
+        self.assertEqual(code, 1)
+        self.assertIn("not a merge role", out)
+
+    def test_min_shards_fallback_merge_fails(self):
+        # Merge role but no per-tape provenance: the merger fell back to
+        # local recompute, so the byte-diff would not test the merge path.
+        a = self.shard_report("a.json", "merge/4", None)
+        code, out = run_main(a, "--min-shards", "4")
+        self.assertEqual(code, 1)
+        self.assertIn("fell back", out)
+
+    def test_min_shards_too_few_tapes_fails(self):
+        a = self.shard_report("a.json", "merge/4", self.shard_entries(2))
+        code, out = run_main(a, "--min-shards", "4")
+        self.assertEqual(code, 1)
+        self.assertIn("2 provenance entries", out)
+
+    # ------------------------------------------------------------------
     # --compare-perf: the gating bench job depends on these exit codes.
 
     def bench_report(self, name, artifact_ns):

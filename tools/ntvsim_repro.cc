@@ -12,7 +12,7 @@
 //   ntvsim_repro list
 //   ntvsim_repro run    [--bin-dir D] [--out-dir D] [--smoke]
 //                       [--only id,id,...] [--no-resume]
-//                       [--timeout SEC] [--retries N]
+//                       [--timeout SEC] [--retries N] [--shards N]
 //   ntvsim_repro render [--manifest F] [--out F] [--check F]
 //   ntvsim_repro --render            (alias for `render`)
 #include <cstdio>
@@ -48,6 +48,10 @@ int usage() {
       "    --no-resume            ignore the checkpoint journal\n"
       "    --timeout <sec>        override every spec's timeout\n"
       "    --retries <n>          override every spec's attempt budget\n"
+      "    --shards <n>           split each shardable experiment's MC\n"
+      "                           budget across n concurrent workers;\n"
+      "                           reports stay byte-identical to an\n"
+      "                           unsharded run (docs/SHARDING.md)\n"
       "  render [options]         render EXPERIMENTS.md from a manifest\n"
       "    --manifest <file>      input (default: EXPERIMENTS.json)\n"
       "    --out <file>           output (default: EXPERIMENTS.md)\n"
@@ -144,6 +148,12 @@ int cmd_run(int argc, char** argv) {
       if (const char* v = next()) opt.timeout_sec_override = std::atoi(v);
     } else if (std::strcmp(arg, "--retries") == 0) {
       if (const char* v = next()) opt.max_attempts_override = std::atoi(v);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (const char* v = next()) opt.shards = std::atoi(v);
+      if (opt.shards < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "error: unknown run option '%s'\n", arg);
       return usage();
